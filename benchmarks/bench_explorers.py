@@ -1,0 +1,121 @@
+"""Explorer ablation benchmarks — the design-decision measurements
+called out in DESIGN.md §5:
+
+* DPOR with vs without sleep sets (schedules explored);
+* lazy-DPOR vs plain DPOR (events executed to full state coverage);
+* regular vs lazy HBR caching under a fixed budget;
+* PCT / random walk baselines for context.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import (
+    DFSExplorer,
+    DPORExplorer,
+    ExplorationLimits,
+    HBRCachingExplorer,
+    LazyDPORExplorer,
+    PCTExplorer,
+    RandomWalkExplorer,
+)
+from repro.suite import REGISTRY
+
+LIM = ExplorationLimits(max_schedules=20_000)
+
+#: (bench id, label) — one diagonal program, one lazy-win program,
+#: one condvar program
+CASES = [
+    (4, "racy_counter"),
+    (13, "disjoint_coarse"),
+    (24, "bounded_buffer"),
+]
+
+
+@pytest.mark.parametrize("bid,label", CASES)
+def test_dpor_with_sleep_sets(benchmark, bid, label):
+    program = REGISTRY[bid].program
+    stats = benchmark.pedantic(
+        lambda: DPORExplorer(program, LIM, sleep_sets=True).run(),
+        rounds=1, iterations=1,
+    )
+    assert stats.num_states >= 1
+    benchmark.extra_info["schedules"] = stats.num_schedules
+
+
+@pytest.mark.parametrize("bid,label", CASES)
+def test_dpor_without_sleep_sets(benchmark, bid, label):
+    program = REGISTRY[bid].program
+    stats = benchmark.pedantic(
+        lambda: DPORExplorer(program, LIM, sleep_sets=False).run(),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["schedules"] = stats.num_schedules
+
+
+@pytest.mark.parametrize("bid,label", CASES)
+def test_lazy_dpor(benchmark, bid, label):
+    program = REGISTRY[bid].program
+    stats = benchmark.pedantic(
+        lambda: LazyDPORExplorer(program, LIM).run(),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["schedules"] = stats.num_schedules
+    benchmark.extra_info["events"] = stats.num_events
+
+
+def test_sleep_sets_reduce_work():
+    """Ablation assertion: sleep sets never increase the schedule count
+    and typically cut it substantially on symmetric programs."""
+    program = REGISTRY[4].program  # racy_counter 3x1
+    with_sleep = DPORExplorer(program, LIM, sleep_sets=True).run()
+    without = DPORExplorer(program, LIM, sleep_sets=False).run()
+    assert with_sleep.num_schedules <= without.num_schedules
+    assert with_sleep.num_states == without.num_states
+
+
+def test_lazy_dpor_cuts_events_on_coarse_locks():
+    """Ablation assertion: on a coarse-lock/disjoint-data program the
+    lazy prefix pruning cuts the executed events versus plain DPOR
+    while reaching the same states."""
+    program = REGISTRY[13].program  # disjoint_coarse 3x2
+    dpor = DPORExplorer(program, LIM).run()
+    lazy = LazyDPORExplorer(program, LIM).run()
+    assert lazy.num_events < dpor.num_events
+    assert lazy.num_states == dpor.num_states
+
+
+@pytest.mark.parametrize("lazy", [False, True], ids=["regular", "lazy"])
+def test_caching_budget_race(benchmark, lazy):
+    """Figure 3's mechanism, head to head: distinct lazy HBRs reached
+    under an identical tight budget."""
+    program = REGISTRY[13].program
+    lim = ExplorationLimits(max_schedules=60)
+    stats = benchmark.pedantic(
+        lambda: HBRCachingExplorer(program, lim, lazy=lazy).run(),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["lazy_hbrs"] = stats.num_lazy_hbrs
+
+
+def test_baselines_for_context(benchmark):
+    """Random walk + PCT on the figure1 program (sanity context row)."""
+    program = REGISTRY[1].program
+    lim = ExplorationLimits(max_schedules=200)
+
+    def run_baselines():
+        rw = RandomWalkExplorer(program, lim, seed=1).run()
+        pct = PCTExplorer(program, lim, depth=3, seed=1).run()
+        return rw, pct
+
+    rw, pct = benchmark.pedantic(run_baselines, rounds=1, iterations=1)
+    assert rw.num_states == pct.num_states == 1
+
+
+def test_dfs_baseline(benchmark):
+    program = REGISTRY[1].program
+    stats = benchmark.pedantic(
+        lambda: DFSExplorer(program, LIM).run(), rounds=1, iterations=1
+    )
+    assert stats.num_schedules == 72

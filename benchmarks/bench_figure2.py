@@ -1,0 +1,63 @@
+"""Figure 2 regeneration benchmark: DPOR over the suite, counting
+terminal HBRs vs terminal lazy HBRs.
+
+Run:   pytest benchmarks/bench_figure2.py --benchmark-only
+Full:  REPRO_BENCH_FULL=1 REPRO_BENCH_LIMIT=100000 pytest ...
+
+Writes the rendered report (scatter + table + paper comparison) to
+benchmarks/output/figure2.md and asserts the qualitative claims:
+a substantial fraction of benchmarks falls strictly below the diagonal,
+and among those a large share of the explored HBRs is redundant.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure2_report, redundancy_summary, run_figure2
+
+from conftest import BENCH_LIMIT, BENCH_SECONDS, selected_benchmarks
+
+
+def _run_figure2():
+    return run_figure2(
+        selected_benchmarks(),
+        schedule_limit=BENCH_LIMIT,
+        seconds_per_benchmark=BENCH_SECONDS,
+    )
+
+
+def test_figure2(benchmark, output_dir):
+    rows = benchmark.pedantic(_run_figure2, rounds=1, iterations=1)
+    report = figure2_report(rows, BENCH_LIMIT)
+    (output_dir / "figure2.md").write_text(report)
+
+    points = [r.as_point() for r in rows]
+    summary = redundancy_summary(points)
+
+    # Shape assertions mirroring the paper's Figure 2 findings:
+    # (1) every benchmark satisfies #lazy <= #HBRs (no point above the
+    #     diagonal), which run_figure2 verifies internally;
+    # (2) a sizeable fraction of benchmarks lies strictly below the
+    #     diagonal (paper: 33/79 ~ 42%);
+    frac_below = summary["num_below_diagonal"] / summary["num_benchmarks"]
+    assert frac_below >= 0.25, f"only {frac_below:.0%} below the diagonal"
+    # (3) among those, most explored HBRs are redundant (paper: 80%).
+    assert summary["redundant_pct"] >= 50.0, (
+        f"only {summary['redundant_pct']:.0f}% of HBRs redundant"
+    )
+
+
+def test_figure2_monotone_in_limit(benchmark):
+    """Calibration: all counted quantities grow monotonically with the
+    schedule limit, so a lower limit preserves diagonal structure."""
+    from repro.suite import REGISTRY
+
+    def run_two_limits():
+        bench = [REGISTRY[13]]  # disjoint_coarse 3x2: limit is binding
+        small = run_figure2(bench, schedule_limit=50)[0]
+        large = run_figure2(bench, schedule_limit=200)[0]
+        return small, large
+
+    small, large = benchmark.pedantic(run_two_limits, rounds=1, iterations=1)
+    assert small.num_hbrs <= large.num_hbrs
+    assert small.num_lazy_hbrs <= large.num_lazy_hbrs
+    assert small.num_states <= large.num_states

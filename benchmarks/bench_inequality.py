@@ -1,0 +1,36 @@
+"""Section 3 inequality benchmark:
+
+    #states <= #lazy HBRs <= #HBRs <= #schedules <= limit
+
+The paper *assumes* this chain (their tool cannot observe JVM states);
+our simulator hashes real final states, so the chain is measured and
+asserted for every benchmark instance.  Writes
+benchmarks/output/inequality.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import inequality_report, run_inequality_table
+
+from conftest import BENCH_LIMIT, BENCH_SECONDS, selected_benchmarks
+
+
+def _run_table():
+    return run_inequality_table(
+        selected_benchmarks(),
+        schedule_limit=BENCH_LIMIT,
+        seconds_per_benchmark=BENCH_SECONDS,
+    )
+
+
+def test_inequality_chain(benchmark, output_dir):
+    rows = benchmark.pedantic(_run_table, rounds=1, iterations=1)
+    report = inequality_report(rows)
+    (output_dir / "inequality.md").write_text(report)
+
+    for row in rows:
+        s = row.stats
+        assert s.num_states <= s.num_lazy_hbrs, row.name
+        assert s.num_lazy_hbrs <= s.num_hbrs, row.name
+        assert s.num_hbrs <= s.num_schedules, row.name
+        assert s.num_schedules <= BENCH_LIMIT, row.name

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the hot paths (per the profiling guidance: the
+measured bottlenecks are clock joins, fingerprint updates, and the
+executor's step loop — these benches track their throughput)."""
+
+from __future__ import annotations
+
+from repro import Program
+from repro.core.fingerprint import FingerprintChain
+from repro.core.vector_clock import VectorClock, tuple_leq
+from repro.runtime.executor import Executor
+from repro.runtime.schedule import execute
+from repro.suite.counters import disjoint_coarse
+
+
+def test_vector_clock_join(benchmark):
+    a = VectorClock(8, range(8))
+    b = VectorClock(8, reversed(range(8)))
+
+    def join():
+        c = a.copy()
+        for _ in range(100):
+            c.join_inplace(b)
+        return c
+
+    result = benchmark(join)
+    assert result.snapshot()[0] == 7
+
+
+def test_vector_clock_snapshot(benchmark):
+    a = VectorClock(16, range(16))
+    benchmark(lambda: [a.snapshot() for _ in range(100)])
+
+
+def test_tuple_leq(benchmark):
+    a = tuple(range(16))
+    b = tuple(v + 1 for v in range(16))
+    benchmark(lambda: [tuple_leq(a, b) for _ in range(100)])
+
+
+def test_fingerprint_update(benchmark):
+    def run():
+        chain = FingerprintChain()
+        clock = tuple(range(8))
+        for i in range(1000):
+            chain.update(i % 4, (i % 19, i % 7, None), clock)
+        return chain.prefix_fingerprint()
+
+    benchmark(run)
+
+
+def test_executor_throughput(benchmark):
+    """Events per second through the full executor + dual clock engine."""
+    program = disjoint_coarse(4, 4)
+
+    def run_once():
+        return execute(program)
+
+    result = benchmark(run_once)
+    assert result.ok
+
+
+def test_executor_stepping_overhead(benchmark):
+    """Step-by-step driving (the explorer-facing interface)."""
+    program = disjoint_coarse(3, 3)
+
+    def run_steps():
+        ex = Executor(program)
+        n = 0
+        while not ex.is_done():
+            ex.step(ex.enabled()[0])
+            n += 1
+        return n
+
+    n = benchmark(run_steps)
+    assert n > 0
+
+
+def test_program_instantiation(benchmark):
+    """Cost of rebuilding a program instance (paid once per schedule)."""
+    program = disjoint_coarse(4, 2)
+    benchmark(lambda: Executor(program))

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Scenario: testing a coarse-locked in-memory KV "server".
+
+The paper's motivation: well-engineered code often uses one big lock
+around a shared structure even when requests touch disjoint keys.  The
+regular happens-before relation must order every pair of critical
+sections, so DPOR has to explore every permutation of requests; the
+lazy HBR sees through the lock and collapses the disjoint ones.
+
+This example builds a little KV store handling a mixed request load
+(disjoint PUTs, shared-counter bumps), explores it with DPOR vs the
+lazy strategies, and verifies a consistency property on every schedule.
+
+Run:  python examples/coarse_grained_server.py
+"""
+
+from repro import Program
+from repro.explore import (
+    DPORExplorer,
+    ExplorationLimits,
+    HBRCachingExplorer,
+    LazyDPORExplorer,
+)
+
+NUM_CLIENTS = 3
+
+
+def build(p):
+    big_lock = p.mutex("big_lock")
+    store = p.dict("store")
+    request_count = p.var("request_count", 0)
+
+    def client(api, me):
+        # request 1: PUT to the client's own key (disjoint across clients)
+        yield api.lock(big_lock)
+        yield api.write(store, f"value-{me}", key=me)
+        yield api.unlock(big_lock)
+        # request 2: bump the global request counter (shared)
+        yield api.lock(big_lock)
+        n = yield api.read(request_count)
+        yield api.write(request_count, n + 1)
+        yield api.unlock(big_lock)
+
+    def invariant_checker(api, clients):
+        # runs last in program order per thread; checks under the lock
+        yield api.lock(big_lock)
+        n = yield api.read(request_count)
+        yield api.unlock(big_lock)
+        api.guest_assert(0 <= n <= clients, "counter out of range")
+
+    for me in range(NUM_CLIENTS):
+        p.thread(client, me)
+    p.thread(invariant_checker, NUM_CLIENTS)
+
+
+def main():
+    program = Program("kv_server", build)
+    limits = ExplorationLimits(max_schedules=50_000)
+
+    print("coarse-locked KV server, "
+          f"{NUM_CLIENTS} clients x 2 requests each\n")
+    header = f"{'strategy':<20} {'schedules':>10} {'#HBRs':>8} {'#lazy':>8} {'#states':>8} {'errors':>7}"
+    print(header)
+    print("-" * len(header))
+    for explorer in (
+        DPORExplorer(program, limits),
+        HBRCachingExplorer(program, limits, lazy=False),
+        HBRCachingExplorer(program, limits, lazy=True),
+        LazyDPORExplorer(program, limits),
+    ):
+        stats = explorer.run()
+        stats.verify_inequality()
+        print(
+            f"{stats.explorer_name:<20} {stats.num_schedules:>10} "
+            f"{stats.num_hbrs:>8} {stats.num_lazy_hbrs:>8} "
+            f"{stats.num_states:>8} {len(stats.errors):>7}"
+        )
+
+    print()
+    print("The PUTs to disjoint keys make most HBR classes collapse")
+    print("into far fewer lazy classes; only the counter bumps (true")
+    print("data conflicts) keep schedules genuinely distinct.")
+
+
+if __name__ == "__main__":
+    main()

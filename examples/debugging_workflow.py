@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario: the full SCT debugging workflow on one bug.
+
+1. **Detect** — run happens-before race detection to see which accesses
+   are unsynchronised.
+2. **Expose** — explore with DPOR until the property violation fires.
+3. **Minimize** — shrink the failing schedule with delta debugging.
+4. **Understand** — render the minimized schedule as a per-thread
+   timeline, the artefact you would paste into a bug report.
+
+The subject is the racy bank: two unlocked transfers plus an auditor
+asserting conservation of money.
+
+Run:  python examples/debugging_workflow.py
+"""
+
+from repro import execute
+from repro.analysis.races import find_races, race_summary
+from repro.analysis.traceviz import names_of, render_timeline
+from repro.explore import (
+    DPORExplorer,
+    ExplorationLimits,
+    minimize_schedule,
+)
+from repro.suite.bank import bank_racy
+
+
+def main():
+    program = bank_racy(2)
+    limits = ExplorationLimits(max_schedules=30_000)
+
+    print("=" * 70)
+    print("step 1: race detection (sync-only happens-before)")
+    print("=" * 70)
+    report = find_races(program, limits)
+    names = names_of(program)
+    print(race_summary(report, names))
+    print()
+
+    print("=" * 70)
+    print("step 2: systematic exploration until the assertion fires")
+    print("=" * 70)
+    stats = DPORExplorer(program, limits).run()
+    finding = stats.errors[0]
+    print(f"{stats.num_schedules} schedules explored, "
+          f"{len(stats.errors)} distinct violations")
+    print(f"first: {finding.kind}: {finding.message}")
+    print(f"schedule ({len(finding.schedule)} choices): {finding.schedule}")
+    print()
+
+    print("=" * 70)
+    print("step 3: schedule minimization")
+    print("=" * 70)
+    result = minimize_schedule(program, finding.schedule)
+    print(f"minimized to {len(result.schedule)} choices "
+          f"({result.reduction_pct:.0f}% shorter, "
+          f"{result.replays} replays): {result.schedule}")
+    print()
+
+    print("=" * 70)
+    print("step 4: the failing interleaving, human-readable")
+    print("=" * 70)
+    replay = execute(program, schedule=result.schedule)
+    assert replay.error is not None
+    print(render_timeline(replay, names))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1, end to end.
+
+Builds the two-thread program from the paper, shows the regular and
+lazy happens-before relations of one schedule, and then lets every
+exploration strategy loose on it — reproducing the headline numbers:
+72 schedules, 2 HBR classes, 1 lazy HBR class, 1 final state.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Program, execute
+from repro.core.relations import PartialOrder
+from repro.explore import (
+    DFSExplorer,
+    DPORExplorer,
+    HBRCachingExplorer,
+    LazyDPORExplorer,
+)
+
+
+def build(p):
+    """T1: lock(m); read(x); unlock(m); write(y)
+    T2: write(z); lock(m); read(x); unlock(m)"""
+    m = p.mutex("m")
+    x = p.var("x", 0)
+    y = p.var("y", 0)
+    z = p.var("z", 0)
+
+    def t1(api):
+        yield api.lock(m)
+        v = yield api.read(x)
+        yield api.unlock(m)
+        yield api.write(y, v + 1)
+
+    def t2(api):
+        yield api.write(z, 7)
+        yield api.lock(m)
+        yield api.read(x)
+        yield api.unlock(m)
+
+    p.thread(t1, name="T1")
+    p.thread(t2, name="T2")
+
+
+def main():
+    program = Program("figure1", build)
+
+    print("=" * 64)
+    print("One schedule (T1 runs first), and its two relations")
+    print("=" * 64)
+    result = execute(program, schedule=[0, 0, 0, 0, 0, 1])
+    print(f"final state: {result.final_state}")
+    print()
+    print("regular happens-before relation:")
+    print(PartialOrder(result.events, lazy=False).render())
+    print()
+    print("lazy happens-before relation (mutex edges removed):")
+    print(PartialOrder(result.events, lazy=True).render())
+    print()
+
+    print("=" * 64)
+    print("Exploration: who needs how many schedules?")
+    print("=" * 64)
+    for explorer in (
+        DFSExplorer(program),
+        DPORExplorer(program),
+        HBRCachingExplorer(program),
+        HBRCachingExplorer(program, lazy=True),
+        LazyDPORExplorer(program),
+    ):
+        stats = explorer.run()
+        stats.verify_inequality()
+        print(stats.summary())
+
+    print()
+    print("Reading: DFS proves there are 72 interleavings but only ONE")
+    print("final state.  DPOR needs 2 schedules (one per HBR class).")
+    print("The lazy HBR recognises that the two lock orders are")
+    print("equivalent, collapsing everything to a single class — the")
+    print("paper's key observation.")
+
+
+if __name__ == "__main__":
+    main()

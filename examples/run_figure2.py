@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 2: #HBRs vs #lazy HBRs under DPOR,
+over all 79 suite benchmarks.
+
+Usage:
+    python examples/run_figure2.py [schedule_limit] [seconds_per_benchmark]
+
+Defaults: limit 2000, 10 s per benchmark.  The paper used 100,000
+schedules on an instrumented JVM; every counted quantity grows
+monotonically with the limit, so the diagonal structure is unchanged —
+see EXPERIMENTS.md for the calibration discussion.
+"""
+
+import sys
+
+from repro.analysis import figure2_report, run_figure2
+
+
+def main():
+    limit = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    seconds = float(sys.argv[2]) if len(sys.argv) > 2 else 10.0
+    rows = run_figure2(
+        schedule_limit=limit,
+        seconds_per_benchmark=seconds,
+        progress=print,
+    )
+    print()
+    print(figure2_report(rows, limit))
+
+
+if __name__ == "__main__":
+    main()

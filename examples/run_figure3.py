@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 3: terminal lazy HBRs explored by
+regular HBR caching vs lazy HBR caching, over all 79 suite benchmarks.
+
+Usage:
+    python examples/run_figure3.py [schedule_limit] [seconds_per_benchmark]
+
+Defaults: limit 2000, 10 s per benchmark (per explorer).
+"""
+
+import sys
+
+from repro.analysis import figure3_report, run_figure3
+
+
+def main():
+    limit = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    seconds = float(sys.argv[2]) if len(sys.argv) > 2 else 10.0
+    rows = run_figure3(
+        schedule_limit=limit,
+        seconds_per_benchmark=seconds,
+        progress=print,
+    )
+    print()
+    print(figure3_report(rows, limit))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline with a setuptools too old for
+PEP 517 editable installs (no ``wheel``); this shim lets
+``pip install -e . --no-use-pep517`` (or plain ``pip install -e .`` on
+older pips) work everywhere.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""repro — reproduction of *The Lazy Happens-Before Relation: Better
+Partial-Order Reduction for Systematic Concurrency Testing* (Thomson &
+Donaldson, PPoPP 2015).
+
+The package provides:
+
+* :mod:`repro.runtime` — a deterministic systematic-concurrency-testing
+  substrate: guest programs written as generators, executed one visible
+  operation at a time under a pluggable scheduler;
+* :mod:`repro.core` — the regular and lazy happens-before relations,
+  computed online via dual vector clocks, with canonical fingerprints;
+* :mod:`repro.explore` — exploration strategies: exhaustive DFS,
+  Flanagan–Godefroid DPOR, HBR caching, the paper's lazy HBR caching,
+  a lazy-DPOR prototype (the paper's future work), plus random, PCT and
+  preemption-bounded baselines;
+* :mod:`repro.suite` — 79 benchmark program instances mirroring the
+  paper's benchmark collection;
+* :mod:`repro.analysis` — harnesses that regenerate the paper's
+  Figure 2, Figure 3 and the state-counting inequality.
+
+Quickstart::
+
+    from repro import Program, execute
+    from repro.explore import DPORExplorer
+
+    def build(p):
+        m = p.mutex("m")
+        x, y = p.var("x", 0), p.var("y", 0)
+        def t1(api):
+            yield api.lock(m)
+            v = yield api.read(x)
+            yield api.unlock(m)
+            yield api.write(y, v + 1)
+        p.thread(t1)
+        p.thread(t1)
+
+    program = Program("demo", build)
+    stats = DPORExplorer(program).run()
+    print(stats.num_schedules, stats.num_hbrs, stats.num_lazy_hbrs)
+"""
+
+from .core import (
+    DualClockEngine,
+    Event,
+    FingerprintCache,
+    Op,
+    OpKind,
+    PartialOrder,
+    VectorClock,
+    conflicts,
+    conflicts_lazy,
+)
+from .errors import (
+    DeadlockError,
+    GuestAssertionError,
+    GuestError,
+    InvalidOpError,
+    ReproError,
+    SchedulerError,
+)
+from .runtime import (
+    AtomicInt,
+    Barrier,
+    CondVar,
+    Executor,
+    Mutex,
+    Program,
+    ProgramBuilder,
+    RWLock,
+    Semaphore,
+    SharedArray,
+    SharedDict,
+    SharedVar,
+    ThreadAPI,
+    TraceResult,
+    execute,
+    is_feasible,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicInt",
+    "Barrier",
+    "CondVar",
+    "DeadlockError",
+    "DualClockEngine",
+    "Event",
+    "Executor",
+    "FingerprintCache",
+    "GuestAssertionError",
+    "GuestError",
+    "InvalidOpError",
+    "Mutex",
+    "Op",
+    "OpKind",
+    "PartialOrder",
+    "Program",
+    "ProgramBuilder",
+    "RWLock",
+    "ReproError",
+    "SchedulerError",
+    "Semaphore",
+    "SharedArray",
+    "SharedDict",
+    "SharedVar",
+    "ThreadAPI",
+    "TraceResult",
+    "VectorClock",
+    "conflicts",
+    "conflicts_lazy",
+    "execute",
+    "is_feasible",
+    "__version__",
+]

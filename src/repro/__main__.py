@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list                      list the 79 suite benchmarks
+run ID [--schedule ...]   execute one benchmark once and show the result
+explore ID [--strategy S] explore a benchmark and print the statistics
+races ID                  systematic data-race hunt on a benchmark
+figure2 / figure3         regenerate the paper's figures
+inequality                the Section 3 inequality table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    figure2_report,
+    figure3_report,
+    inequality_report,
+    run_figure2,
+    run_figure3,
+    run_inequality_table,
+)
+from .analysis.races import find_races, race_summary
+from .explore import ExplorationLimits
+from .explore.controller import STANDARD_EXPLORERS
+from .runtime.schedule import execute
+from .suite import REGISTRY, all_benchmarks
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'id':>3} {'name':<38} {'family':<18} {'small':<5} expect_error")
+    for b in all_benchmarks():
+        print(
+            f"{b.bench_id:>3} {b.program.name:<38} {b.family:<18} "
+            f"{'yes' if b.small else 'no':<5} {b.expect_error or '-'}"
+        )
+    return 0
+
+
+def _get(bench_id: int):
+    if bench_id not in REGISTRY:
+        print(f"error: no benchmark {bench_id} (1..79)", file=sys.stderr)
+        raise SystemExit(2)
+    return REGISTRY[bench_id]
+
+
+def _cmd_run(args) -> int:
+    bench = _get(args.id)
+    schedule = None
+    if args.schedule:
+        schedule = [int(t) for t in args.schedule.split(",")]
+    result = execute(bench.program, schedule=schedule)
+    print(result.describe())
+    if args.timeline:
+        from .analysis.traceviz import names_of, render_timeline
+        print()
+        print(render_timeline(result, names_of(bench.program)))
+        print()
+    print("final state:")
+    for name, value in result.final_state.items():
+        print(f"  {name} = {value!r}")
+    return 0 if result.ok else 1
+
+
+def _cmd_explore(args) -> int:
+    bench = _get(args.id)
+    factory = STANDARD_EXPLORERS.get(args.strategy)
+    if factory is None:
+        print(f"error: unknown strategy {args.strategy!r}; one of "
+              f"{sorted(STANDARD_EXPLORERS)}", file=sys.stderr)
+        return 2
+    limits = ExplorationLimits(max_schedules=args.limit,
+                               max_seconds=args.seconds)
+    stats = factory(bench.program, limits).run()
+    stats.verify_inequality()
+    print(stats.summary())
+    for finding in stats.errors:
+        print(f"  {finding.kind}: {finding.message}")
+        print(f"    schedule: {','.join(map(str, finding.schedule))}")
+    return 0
+
+
+def _cmd_races(args) -> int:
+    bench = _get(args.id)
+    limits = ExplorationLimits(max_schedules=args.limit,
+                               max_seconds=args.seconds)
+    report = find_races(bench.program, limits)
+    instance = bench.program.instantiate()
+    names = {obj.oid: obj.name for obj in instance.registry.objects}
+    print(race_summary(report, names))
+    return 0 if report.race_free else 1
+
+
+def _cmd_figure2(args) -> int:
+    rows = run_figure2(schedule_limit=args.limit,
+                       seconds_per_benchmark=args.seconds,
+                       progress=print if args.verbose else None)
+    print(figure2_report(rows, args.limit))
+    return 0
+
+
+def _cmd_figure3(args) -> int:
+    rows = run_figure3(schedule_limit=args.limit,
+                       seconds_per_benchmark=args.seconds,
+                       progress=print if args.verbose else None)
+    print(figure3_report(rows, args.limit))
+    return 0
+
+
+def _cmd_inequality(args) -> int:
+    rows = run_inequality_table(schedule_limit=args.limit,
+                                seconds_per_benchmark=args.seconds)
+    print(inequality_report(rows))
+    return 0
+
+
+def _cmd_matrix(args) -> int:
+    import json
+
+    from .explore.controller import matrix_report, run_matrix
+
+    ids = ([int(t) for t in args.ids.split(",")] if args.ids
+           else sorted(REGISTRY))
+    programs = [_get(i).program for i in ids]
+    strategies = args.strategies.split(",")
+    limits = ExplorationLimits(max_schedules=args.limit,
+                               max_seconds=args.seconds)
+    rows = run_matrix(programs, strategies, limits,
+                      progress=print if args.verbose else None)
+    print(matrix_report(rows))
+    if args.json:
+        payload = [
+            {name: stats.to_dict() for name, stats in row.by_explorer.items()}
+            for row in rows
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lazy happens-before SCT toolkit (PPoPP 2015 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the suite benchmarks")
+
+    p_run = sub.add_parser("run", help="execute one benchmark once")
+    p_run.add_argument("id", type=int)
+    p_run.add_argument("--schedule", help="comma-separated thread choices")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="render the per-thread event timeline")
+
+    p_exp = sub.add_parser("explore", help="explore a benchmark")
+    p_exp.add_argument("id", type=int)
+    p_exp.add_argument("--strategy", default="dpor")
+    p_exp.add_argument("--limit", type=int, default=10_000)
+    p_exp.add_argument("--seconds", type=float, default=None)
+
+    p_races = sub.add_parser("races", help="systematic data-race hunt")
+    p_races.add_argument("id", type=int)
+    p_races.add_argument("--limit", type=int, default=10_000)
+    p_races.add_argument("--seconds", type=float, default=None)
+
+    for name in ("figure2", "figure3", "inequality"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--limit", type=int, default=2_000)
+        p.add_argument("--seconds", type=float, default=5.0)
+        p.add_argument("--verbose", action="store_true")
+
+    p_matrix = sub.add_parser(
+        "matrix", help="compare explorers over chosen benchmarks"
+    )
+    p_matrix.add_argument("--ids", help="comma-separated bench ids "
+                                        "(default: all 79)")
+    p_matrix.add_argument("--strategies", default="dpor,lazy-hbr-caching")
+    p_matrix.add_argument("--limit", type=int, default=2_000)
+    p_matrix.add_argument("--seconds", type=float, default=5.0)
+    p_matrix.add_argument("--json", help="also write results as JSON")
+    p_matrix.add_argument("--verbose", action="store_true")
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "explore": _cmd_explore,
+        "races": _cmd_races,
+        "figure2": _cmd_figure2,
+        "figure3": _cmd_figure3,
+        "inequality": _cmd_inequality,
+        "matrix": _cmd_matrix,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # output piped into e.g. `head`; not an error
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Experiment harnesses regenerating the paper's figures and tables."""
+
+from .races import (
+    Race,
+    RaceReport,
+    find_races,
+    race_summary,
+    races_in_trace,
+    sync_oids_of,
+)
+from .runner import (
+    DEFAULT_LIMIT,
+    Figure2Row,
+    Figure3Row,
+    InequalityRow,
+    run_figure2,
+    run_figure3,
+    run_inequality_table,
+)
+from .report import figure2_report, figure3_report, inequality_report
+from .scatter import render_scatter, scatter_csv
+from .stats import (
+    ScatterPoint,
+    below_diagonal,
+    caching_gain_summary,
+    redundancy_summary,
+)
+
+__all__ = [
+    "DEFAULT_LIMIT",
+    "Figure2Row",
+    "Figure3Row",
+    "InequalityRow",
+    "Race",
+    "RaceReport",
+    "ScatterPoint",
+    "below_diagonal",
+    "caching_gain_summary",
+    "figure2_report",
+    "figure3_report",
+    "find_races",
+    "inequality_report",
+    "race_summary",
+    "races_in_trace",
+    "redundancy_summary",
+    "render_scatter",
+    "run_figure2",
+    "run_figure3",
+    "run_inequality_table",
+    "scatter_csv",
+    "sync_oids_of",
+]

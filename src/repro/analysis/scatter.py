@@ -1,0 +1,85 @@
+"""ASCII log-log scatter plots — terminal renderings of the paper's
+Figures 2 and 3.
+
+Each point is printed as its benchmark id (mod 10 for single-character
+cells, with a legend for collisions), the diagonal is drawn with ``/``,
+and axes are decade-labelled, mirroring the matplotlib figures in the
+paper closely enough to eyeball the below-diagonal mass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .stats import ScatterPoint
+
+
+def _log_pos(v: int, vmax: float, cells: int) -> int:
+    """Map a value >= 1 onto [0, cells-1] on a log scale."""
+    v = max(v, 1)
+    if vmax <= 1:
+        return 0
+    frac = math.log10(v) / math.log10(vmax)
+    return min(cells - 1, int(round(frac * (cells - 1))))
+
+
+def render_scatter(
+    points: Sequence[ScatterPoint],
+    xlabel: str,
+    ylabel: str,
+    width: int = 64,
+    height: int = 24,
+    diagonal: bool = True,
+) -> str:
+    """Render points on a log-log grid with the y=x diagonal."""
+    vmax = max([p.x for p in points] + [p.y for p in points] + [10])
+    grid = [[" "] * width for _ in range(height)]
+
+    if diagonal:
+        for c in range(min(width, height * width // width)):
+            r = int(round(c * (height - 1) / (width - 1)))
+            grid[height - 1 - r][c] = "/"
+
+    collisions: List[str] = []
+    for p in points:
+        col = _log_pos(p.x, vmax, width)
+        row = height - 1 - _log_pos(p.y, vmax, height)
+        mark = str(p.bench_id % 10)
+        cell = grid[row][col]
+        if cell not in (" ", "/"):
+            collisions.append(f"({p.bench_id} overlaps at col {col})")
+        grid[row][col] = mark
+
+    lines = []
+    lines.append(f"  {ylabel}")
+    for r, row in enumerate(grid):
+        decade = ""
+        # left axis: decade labels at the rows corresponding to powers of 10
+        level = (height - 1 - r) / (height - 1) * math.log10(vmax)
+        if abs(level - round(level)) < (math.log10(vmax) / (height - 1)) / 2:
+            decade = f"1e{int(round(level))}"
+        lines.append(f"{decade:>6} |{''.join(row)}")
+    lines.append(f"{'':>6} +{'-' * width}")
+    # bottom axis decade labels
+    axis = [" "] * width
+    nd = int(math.floor(math.log10(vmax)))
+    for d in range(nd + 1):
+        c = _log_pos(10 ** d, vmax, width)
+        label = f"1e{d}"
+        for i, ch in enumerate(label):
+            if c + i < width:
+                axis[c + i] = ch
+    lines.append(f"{'':>7}{''.join(axis)}")
+    lines.append(f"{'':>7}{xlabel}")
+    lines.append("")
+    lines.append("  points are benchmark ids mod 10; '/' is the y=x diagonal")
+    return "\n".join(lines)
+
+
+def scatter_csv(points: Sequence[ScatterPoint]) -> str:
+    """CSV form of the scatter data (id,name,x,y,limit_hit)."""
+    rows = ["bench_id,name,x,y,limit_hit"]
+    for p in points:
+        rows.append(f"{p.bench_id},{p.name},{p.x},{p.y},{int(p.limit_hit)}")
+    return "\n".join(rows)

@@ -1,0 +1,80 @@
+"""Trace timeline rendering.
+
+Turns a :class:`~repro.runtime.trace.TraceResult` into a step-by-step
+text timeline — one column per thread, one row per executed event, in
+schedule order — the standard way concurrency bug reports are read:
+
+    step  T0                    T1
+       0  lock(m)               .
+       1  read(x) -> 0          .
+       2  .                     write(z) = 7
+       ...
+
+Values are shown for reads/writes; synchronisation events are marked.
+Used by the CLI (`python -m repro run`) and the bug-hunt example to
+present minimized error schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.events import Event, OpKind
+from ..runtime.trace import TraceResult
+
+_VALUE_KINDS = {OpKind.READ, OpKind.WRITE, OpKind.RMW}
+
+
+def _describe_event(e: Event, names: Dict[int, str]) -> str:
+    name = names.get(e.oid, f"o{e.oid}")
+    loc = name + (f"[{e.key!r}]" if e.key is not None else "")
+    kind = e.kind
+    if kind == OpKind.READ:
+        return f"read({loc}) -> {e.value!r}"
+    if kind == OpKind.WRITE:
+        return f"write({loc}) = {e.value!r}"
+    if kind == OpKind.RMW:
+        return f"rmw({loc}) -> {e.value!r}"
+    if kind == OpKind.YIELD:
+        return "yield"
+    if kind == OpKind.EXIT:
+        return "exit" + (" [crashed]" if e.value else "")
+    if kind == OpKind.SPAWN:
+        return f"spawn -> T{e.value}"
+    if kind == OpKind.JOIN:
+        return f"join({loc})"
+    return f"{kind.name.lower()}({loc})"
+
+
+def render_timeline(
+    result: TraceResult,
+    names: Optional[Dict[int, str]] = None,
+    width: int = 26,
+) -> str:
+    """Render the executed schedule as a per-thread timeline."""
+    names = names or {}
+    tids = sorted({e.tid for e in result.events})
+    col = {t: i for i, t in enumerate(tids)}
+
+    lines: List[str] = []
+    header = "step  " + "".join(f"T{t}".ljust(width) for t in tids)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for e in result.events:
+        cells = ["."] * len(tids)
+        cells[col[e.tid]] = _describe_event(e, names)
+        lines.append(
+            f"{e.index:>4}  " + "".join(c.ljust(width) for c in cells)
+        )
+    if result.error is not None:
+        lines.append("-" * len(header))
+        lines.append(f"ERROR: {type(result.error).__name__}: {result.error}")
+    return "\n".join(lines)
+
+
+def names_of(program) -> Dict[int, str]:
+    """oid -> declared name map for a program (fresh instantiation)."""
+    return {
+        obj.oid: obj.name
+        for obj in program.instantiate().registry.objects
+    }

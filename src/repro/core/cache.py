@@ -1,0 +1,61 @@
+"""Fingerprint caches for HBR caching (Musuvathi–Qadeer) and the lazy
+variant contributed by the paper.
+
+A cache is conceptually a set of fingerprints of (lazy) HBRs of
+executed prefixes.  ``insert`` returns whether the fingerprint was new;
+a hit means the current prefix is redundant — some earlier feasible
+prefix had the same (lazy) HBR, hence by Theorem 2.1 (regular) or
+Theorem 2.2 (lazy) reaches the same state, and the continuation can be
+pruned.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+
+class FingerprintCache:
+    """A set of fingerprints with hit/miss statistics.
+
+    Parameters
+    ----------
+    capacity:
+        Optional upper bound on the number of stored fingerprints.  When
+        the bound is reached, further *new* fingerprints are reported as
+        misses but not stored (pruning then under-approximates, which is
+        sound: fewer prunes, never wrong ones).
+    """
+
+    __slots__ = ("_set", "hits", "misses", "capacity", "overflowed")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._set: Set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.capacity = capacity
+        self.overflowed = False
+
+    def insert(self, fingerprint: int) -> bool:
+        """Record ``fingerprint``; return True when it was not seen before."""
+        s = self._set
+        if fingerprint in s:
+            self.hits += 1
+            return False
+        self.misses += 1
+        if self.capacity is not None and len(s) >= self.capacity:
+            self.overflowed = True
+            return True
+        s.add(fingerprint)
+        return True
+
+    def __contains__(self, fingerprint: int) -> bool:
+        return fingerprint in self._set
+
+    def __len__(self) -> int:
+        return len(self._set)
+
+    def clear(self) -> None:
+        self._set.clear()
+        self.hits = 0
+        self.misses = 0
+        self.overflowed = False

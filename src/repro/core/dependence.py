@@ -1,0 +1,79 @@
+"""Dependence (conflict) predicates between events.
+
+Condition (b) of the happens-before definition (paper, Section 2):
+``e1`` and ``e2`` conflict when they access the same variable/mutex and
+at least one access is a modification.  The *lazy* variant drops the
+clause for mutexes: two lock/unlock events never conflict, no matter
+the mutex.
+
+These predicates drive both the online clock engines (which edges to
+add) and DPOR (which pairs of events race).
+"""
+
+from __future__ import annotations
+
+from .events import Event, MODIFYING_KINDS, MUTEX_KINDS, OpKind
+
+
+def conflicts(e1: Event, e2: Event) -> bool:
+    """Regular dependence: same location, at least one modification.
+
+    A WAIT event also behaves as an unlock of its paired mutex, so it
+    additionally conflicts with lock/unlock events on that mutex.
+    """
+    if e1.tid == e2.tid:
+        return True  # program order: same-thread events are always dependent
+    if _touches_common_location(e1, e2):
+        return e1.kind in MODIFYING_KINDS or e2.kind in MODIFYING_KINDS
+    return False
+
+
+def _touches_common_location(e1: Event, e2: Event) -> bool:
+    if e1.oid >= 0 and (e1.oid, e1.key) == (e2.oid, e2.key):
+        return True
+    # WAIT releases a mutex: it conflicts with mutex ops on that mutex.
+    if e1.released_mutex_oid is not None and e2.kind in MUTEX_KINDS and \
+            e2.oid == e1.released_mutex_oid:
+        return True
+    if e2.released_mutex_oid is not None and e1.kind in MUTEX_KINDS and \
+            e1.oid == e2.released_mutex_oid:
+        return True
+    return False
+
+
+def conflicts_lazy(e1: Event, e2: Event) -> bool:
+    """Lazy dependence: like :func:`conflicts` but mutex lock/unlock
+    events never conflict with anything from another thread.
+
+    Note the asymmetry-free formulation: if *either* event is a pure
+    mutex operation the pair is independent, because mutex operations
+    only ever touch their mutex (so a conflicting pair involving one
+    mutex op must involve two).
+    """
+    if e1.tid == e2.tid:
+        return True
+    if e1.kind in MUTEX_KINDS or e2.kind in MUTEX_KINDS:
+        return False
+    return conflicts(e1, e2)
+
+
+def may_be_coenabled(e1: Event, e2: Event) -> bool:
+    """Conservative co-enabledness approximation for DPOR.
+
+    Returning ``True`` too often only costs extra backtracking (still
+    sound).  We rule out the one cheap, certain case: a ``LOCK`` and the
+    ``UNLOCK`` of the same mutex can never be simultaneously enabled —
+    the unlock is pending only while the lock is blocked.
+    """
+    if e1.oid >= 0 and e1.oid == e2.oid:
+        kinds = {e1.kind, e2.kind}
+        if kinds == {OpKind.LOCK, OpKind.UNLOCK}:
+            return False
+        if kinds == {OpKind.WAIT, OpKind.NOTIFY} or kinds == {
+            OpKind.WAIT,
+            OpKind.NOTIFY_ALL,
+        }:
+            # a pending WAIT is always enabled (it releases the mutex);
+            # keep conservative True for these.
+            return True
+    return True

@@ -1,0 +1,168 @@
+"""Operations and events.
+
+A guest thread communicates with the runtime by ``yield``-ing
+:class:`Op` objects (constructed through
+:class:`repro.runtime.thread_api.ThreadAPI`).  When the scheduler picks
+the thread, the executor performs the operation and the resulting
+:class:`Event` is appended to the trace.
+
+Terminology follows the paper: an executed operation is an *event*; a
+total order of events is a *schedule*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class OpKind(enum.IntEnum):
+    """Kinds of visible operations.
+
+    The integer values are stable and are used inside fingerprints, so
+    they must not be reordered.
+    """
+
+    READ = 0          #: read a shared variable
+    WRITE = 1         #: write a shared variable
+    RMW = 2           #: atomic read-modify-write (CAS, fetch_add, ...)
+    LOCK = 3          #: acquire a mutex
+    UNLOCK = 4        #: release a mutex
+    WAIT = 5          #: condition-variable wait (releases the mutex)
+    NOTIFY = 6        #: condition-variable notify (one waiter)
+    NOTIFY_ALL = 7    #: condition-variable notify (all waiters)
+    SEM_ACQUIRE = 8   #: semaphore P
+    SEM_RELEASE = 9   #: semaphore V
+    BARRIER_WAIT = 10 #: cyclic barrier arrival
+    SPAWN = 11        #: create a new guest thread
+    JOIN = 12         #: wait for a guest thread to terminate
+    EXIT = 13         #: implicit final event of every thread
+    RLOCK = 14        #: acquire a read-write lock in shared (reader) mode
+    RUNLOCK = 15      #: release reader mode
+    WLOCK = 16        #: acquire a read-write lock in exclusive mode
+    WUNLOCK = 17      #: release exclusive mode
+    YIELD = 18        #: pure scheduling point, no shared access
+
+
+#: Kinds that are pure mutex operations.  These are exactly the kinds the
+#: lazy HBR ignores when computing inter-thread edges (paper, Section 2:
+#: "lock and unlock events do not introduce inter-thread edges").
+MUTEX_KINDS = frozenset({OpKind.LOCK, OpKind.UNLOCK})
+
+#: Kinds that *modify* the object they touch, for condition (b) of the
+#: happens-before definition ("at least one access is a modification").
+MODIFYING_KINDS = frozenset(
+    {
+        OpKind.WRITE,
+        OpKind.RMW,
+        OpKind.LOCK,
+        OpKind.UNLOCK,
+        OpKind.WAIT,
+        OpKind.NOTIFY,
+        OpKind.NOTIFY_ALL,
+        OpKind.SEM_ACQUIRE,
+        OpKind.SEM_RELEASE,
+        OpKind.BARRIER_WAIT,
+        OpKind.RLOCK,
+        OpKind.RUNLOCK,
+        OpKind.WLOCK,
+        OpKind.WUNLOCK,
+        # Thread lifecycle events modify the target thread's pseudo-object:
+        # SPAWN creates it, EXIT completes it.  JOIN only observes it (a
+        # read), so concurrent joins of a finished thread do not conflict.
+        OpKind.SPAWN,
+        OpKind.EXIT,
+    }
+)
+
+#: Kinds that may block (have an enabledness condition).
+BLOCKING_KINDS = frozenset(
+    {
+        OpKind.LOCK,
+        OpKind.WAIT,
+        OpKind.SEM_ACQUIRE,
+        OpKind.BARRIER_WAIT,
+        OpKind.JOIN,
+        OpKind.RLOCK,
+        OpKind.WLOCK,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Op:
+    """A pending operation yielded by a guest thread.
+
+    ``target`` is the :class:`~repro.runtime.objects.SharedObject` the
+    operation acts on (``None`` for YIELD/SPAWN/EXIT).  ``arg`` carries
+    the operation payload: the value for WRITE, the update function for
+    RMW, the body for SPAWN, the thread id for JOIN, the paired mutex
+    for WAIT.
+    """
+
+    kind: OpKind
+    target: Any = None
+    arg: Any = None
+    arg2: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        t = getattr(self.target, "name", self.target)
+        return f"Op({self.kind.name}, {t})"
+
+
+@dataclass
+class Event:
+    """An executed operation, as recorded in the trace.
+
+    ``oid`` is the integer id of the shared object touched (``-1`` when
+    no object is touched).  ``tindex`` is the event's position within
+    its own thread (0-based).  ``clock`` / ``lazy_clock`` are the
+    event's vector clocks under the regular and lazy happens-before
+    relations; they are filled in by the
+    :class:`~repro.core.hb.DualClockEngine` as the event executes.
+    """
+
+    index: int                      #: position in the schedule (0-based)
+    tid: int                        #: executing thread
+    tindex: int                     #: position within the thread
+    kind: OpKind
+    oid: int                        #: shared-object id, or -1
+    key: Any = None                 #: sub-object key (array index, dict key)
+    value: Any = None               #: result / written value (informational)
+    clock: Optional[Tuple[int, ...]] = None
+    lazy_clock: Optional[Tuple[int, ...]] = None
+    #: for WAIT events: the oid of the mutex released by the wait, so the
+    #: regular HBR can order subsequent lock() events after the wait.
+    released_mutex_oid: Optional[int] = None
+    extra: Any = field(default=None, repr=False)
+
+    @property
+    def is_mutex_op(self) -> bool:
+        """True when this event is a pure mutex lock/unlock."""
+        return self.kind in MUTEX_KINDS
+
+    @property
+    def is_modification(self) -> bool:
+        """True when this event modifies its target object."""
+        return self.kind in MODIFYING_KINDS
+
+    def label(self) -> Tuple[int, int, Any]:
+        """The event's fingerprint label ``(kind, oid, key)``.
+
+        Labels deliberately exclude data values: the happens-before
+        relation is a partial order over *operations*; in a
+        deterministic program the values are a function of the partial
+        order, so including them would be redundant.
+        """
+        return (int(self.kind), self.oid, self.key)
+
+    def location(self) -> Tuple[int, Any]:
+        """The memory location touched, as an ``(oid, key)`` pair."""
+        return (self.oid, self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Event(#{self.index} T{self.tid}.{self.tindex} "
+            f"{self.kind.name} oid={self.oid})"
+        )

@@ -1,0 +1,95 @@
+"""Canonical fingerprints of (lazy) happens-before relations.
+
+A happens-before relation is identified, up to equality, by the
+per-thread sequence of event labels together with each event's vector
+clock under that relation: two schedules have the same HBR iff every
+thread performs the same labelled events and each event has the same
+clock.  (The clock of an event encodes exactly the set of events that
+happen-before it.)
+
+For counting and caching we do not materialise that structure; instead
+each thread maintains a *chained hash* updated per event::
+
+    h_t  <-  hash((h_t, label, clock))
+
+and a prefix fingerprint is ``hash((n_events, h_0, ..., h_k))``.  All
+hashed values are tuples of ints, for which CPython's ``hash`` is
+deterministic across processes (hash randomisation only affects strings
+and bytes), so fingerprints are stable and reproducible.
+
+The exact, collision-free canonical form (used by the theorem checkers
+in :mod:`repro.core.theorems`) is produced by :class:`CanonicalHBR`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+_SEED = 0x9E3779B97F4A7C15  # golden-ratio constant; any fixed seed works
+
+
+class FingerprintChain:
+    """Incremental per-thread chained hashes for one HB relation."""
+
+    __slots__ = ("_chains", "_count")
+
+    def __init__(self) -> None:
+        self._chains: List[int] = []
+        self._count = 0
+
+    def ensure_thread(self, tid: int) -> None:
+        chains = self._chains
+        while len(chains) <= tid:
+            chains.append(hash((_SEED, len(chains))))
+
+    def update(self, tid: int, label: Tuple[int, int], clock: Tuple[int, ...]) -> None:
+        """Fold one executed event into thread ``tid``'s chain."""
+        self.ensure_thread(tid)
+        self._chains[tid] = hash((self._chains[tid], label, clock))
+        self._count += 1
+
+    def prefix_fingerprint(self) -> int:
+        """Fingerprint of the HBR of the trace executed so far."""
+        return hash((self._count, tuple(self._chains)))
+
+    @property
+    def event_count(self) -> int:
+        return self._count
+
+    def fork(self) -> "FingerprintChain":
+        """An independent copy (used by explorers that branch in-memory)."""
+        c = FingerprintChain.__new__(FingerprintChain)
+        c._chains = list(self._chains)
+        c._count = self._count
+        return c
+
+
+class CanonicalHBR:
+    """Exact canonical representation of an HBR (no hash collisions).
+
+    Stores, per thread, the full sequence of ``(label, clock)`` pairs.
+    Equality of two :class:`CanonicalHBR` values is exactly equality of
+    the underlying happens-before relations.
+    """
+
+    __slots__ = ("_threads",)
+
+    def __init__(self) -> None:
+        self._threads: List[List[Tuple[Tuple[int, int], Tuple[int, ...]]]] = []
+
+    def update(self, tid: int, label: Tuple[int, int], clock: Tuple[int, ...]) -> None:
+        threads = self._threads
+        while len(threads) <= tid:
+            threads.append([])
+        threads[tid].append((label, clock))
+
+    def freeze(self) -> Tuple[Tuple[Tuple[Tuple[int, int], Tuple[int, ...]], ...], ...]:
+        """An immutable, hashable value identifying the relation.
+
+        Trailing empty threads are stripped so that programs differing
+        only in how many thread slots were pre-allocated compare equal.
+        """
+        threads = list(self._threads)
+        while threads and not threads[-1]:
+            threads.pop()
+        return tuple(tuple(seq) for seq in threads)

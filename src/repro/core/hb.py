@@ -1,0 +1,193 @@
+"""Online computation of the regular and lazy happens-before relations.
+
+The :class:`DualClockEngine` is fed every event as the executor performs
+it and maintains, in a single pass:
+
+* per-thread vector clocks under the **regular** HBR (condition (b):
+  same variable *or mutex*, at least one modification);
+* per-thread vector clocks under the **lazy** HBR (condition (b'):
+  same *non-mutex* variable, at least one modification — lock/unlock
+  events induce no inter-thread edges);
+* incremental fingerprints of both relations
+  (:class:`~repro.core.fingerprint.FingerprintChain`).
+
+Runtime-enforced synchronisation that is *not* a data conflict —
+spawn/join edges, condition-variable wakeups, semaphore hand-offs,
+barrier releases — is injected through :meth:`add_release_edge` and
+participates in **both** relations: the lazy HBR only drops edges whose
+sole cause is mutual exclusion on a mutex (paper, Section 2).
+
+Per-object state follows the classic two-clock scheme: ``A[o]`` is the
+join of the clocks of all accesses to ``o`` so far and ``M[o]`` the join
+of the modifying accesses.  A read must happen-after all prior
+modifications (join ``M[o]``); a modification must happen-after all
+prior accesses (join ``A[o]``).  This yields exactly the transitive
+closure of program order plus condition-(b) edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .events import Event, MODIFYING_KINDS, MUTEX_KINDS
+from .fingerprint import CanonicalHBR, FingerprintChain
+from .vector_clock import VectorClock
+
+
+class _ClockSide:
+    """Clock state for one of the two relations (regular or lazy)."""
+
+    __slots__ = ("thread_clocks", "access", "modify", "chain", "canonical")
+
+    def __init__(self, canonical: bool) -> None:
+        self.thread_clocks: List[VectorClock] = []
+        self.access: Dict[int, VectorClock] = {}
+        self.modify: Dict[int, VectorClock] = {}
+        self.chain = FingerprintChain()
+        self.canonical: Optional[CanonicalHBR] = CanonicalHBR() if canonical else None
+
+    def ensure_thread(self, tid: int) -> None:
+        clocks = self.thread_clocks
+        while len(clocks) <= tid:
+            clocks.append(VectorClock(len(clocks) + 1))
+        self.chain.ensure_thread(tid)
+
+
+class DualClockEngine:
+    """Computes regular and lazy HB clocks plus fingerprints, online.
+
+    Parameters
+    ----------
+    canonical:
+        When true, also build the exact :class:`CanonicalHBR` forms
+        (slower; used by theorem checkers and tests, never by the
+        exploration hot path).
+    """
+
+    __slots__ = ("regular", "lazy", "_pending_sync", "_canonical")
+
+    def __init__(self, canonical: bool = False) -> None:
+        self._canonical = canonical
+        self.regular = _ClockSide(canonical)
+        self.lazy = _ClockSide(canonical)
+        # tid -> list of (regular snapshot, lazy snapshot) to join before
+        # the thread's next event (release edges from other threads).
+        self._pending_sync: Dict[int, List[Tuple[Tuple[int, ...], Tuple[int, ...]]]] = {}
+
+    # ------------------------------------------------------------------
+    def register_thread(self, tid: int, parent_spawn_event: Optional[Event] = None) -> None:
+        """Declare a thread.  If it was spawned by another thread, its
+        clock starts from the spawning event's clock (a spawn edge)."""
+        self.regular.ensure_thread(tid)
+        self.lazy.ensure_thread(tid)
+        if parent_spawn_event is not None:
+            assert parent_spawn_event.clock is not None
+            self.regular.thread_clocks[tid].join_tuple_inplace(parent_spawn_event.clock)
+            self.lazy.thread_clocks[tid].join_tuple_inplace(parent_spawn_event.lazy_clock)
+
+    def add_release_edge(self, event: Event, released_tid: int) -> None:
+        """Record that ``event`` unblocked ``released_tid`` (condvar
+        notify, semaphore release, barrier completion, thread exit
+        observed by join).  The released thread's next event will
+        happen-after ``event`` in both relations."""
+        assert event.clock is not None and event.lazy_clock is not None
+        self._pending_sync.setdefault(released_tid, []).append(
+            (event.clock, event.lazy_clock)
+        )
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: Event) -> None:
+        """Execute the clock updates for ``event`` and stamp it with its
+        regular and lazy clocks.  Must be called in schedule order."""
+        tid = event.tid
+        self.regular.ensure_thread(tid)
+        self.lazy.ensure_thread(tid)
+
+        pending = self._pending_sync.pop(tid, None)
+
+        event.clock = self._advance(self.regular, event, pending, lazy=False)
+        event.lazy_clock = self._advance(self.lazy, event, pending, lazy=True)
+
+        label = event.label()
+        self.regular.chain.update(tid, label, event.clock)
+        self.lazy.chain.update(tid, label, event.lazy_clock)
+        if self._canonical:
+            self.regular.canonical.update(tid, label, event.clock)
+            self.lazy.canonical.update(tid, label, event.lazy_clock)
+
+    @staticmethod
+    def _advance(side: _ClockSide, event: Event, pending, lazy: bool) -> Tuple[int, ...]:
+        tc = side.thread_clocks[event.tid]
+        if pending:
+            idx = 1 if lazy else 0
+            for snap in pending:
+                tc.join_tuple_inplace(snap[idx])
+
+        kind = event.kind
+        skip_edges = lazy and kind in MUTEX_KINDS
+        loc = (event.oid, event.key) if event.oid >= 0 else None
+        # A WAIT event releases its paired mutex: on the regular side it
+        # behaves like an unlock of that mutex as well (so later lock()
+        # events are ordered after it).  The lazy side ignores mutexes.
+        mutex_loc = None
+        if event.released_mutex_oid is not None and not lazy:
+            mutex_loc = (event.released_mutex_oid, None)
+
+        if loc is not None and not skip_edges:
+            if kind in MODIFYING_KINDS:
+                prev = side.access.get(loc)
+            else:
+                prev = side.modify.get(loc)
+            if prev is not None:
+                tc.join_inplace(prev)
+        if mutex_loc is not None:
+            prev = side.access.get(mutex_loc)
+            if prev is not None:
+                tc.join_inplace(prev)
+
+        tc.tick(event.tid)
+        snap_clock = tc.snapshot()
+
+        if loc is not None and not skip_edges:
+            DualClockEngine._bump(side.access, loc, snap_clock)
+            if kind in MODIFYING_KINDS:
+                DualClockEngine._bump(side.modify, loc, snap_clock)
+        if mutex_loc is not None:
+            DualClockEngine._bump(side.access, mutex_loc, snap_clock)
+            DualClockEngine._bump(side.modify, mutex_loc, snap_clock)
+        return snap_clock
+
+    @staticmethod
+    def _bump(table: Dict, loc, snap_clock: Tuple[int, ...]) -> None:
+        vc = table.get(loc)
+        if vc is None:
+            vc = VectorClock(len(snap_clock))
+            table[loc] = vc
+        vc.join_tuple_inplace(snap_clock)
+
+    # ------------------------------------------------------------------
+    # Fingerprint accessors
+    def hbr_fingerprint(self) -> int:
+        """Fingerprint of the regular HBR of the trace so far."""
+        return self.regular.chain.prefix_fingerprint()
+
+    def lazy_fingerprint(self) -> int:
+        """Fingerprint of the lazy HBR of the trace so far."""
+        return self.lazy.chain.prefix_fingerprint()
+
+    def canonical_hbr(self):
+        """Exact canonical regular HBR (requires ``canonical=True``)."""
+        if self.regular.canonical is None:
+            raise ValueError("engine was created with canonical=False")
+        return self.regular.canonical.freeze()
+
+    def canonical_lazy_hbr(self):
+        """Exact canonical lazy HBR (requires ``canonical=True``)."""
+        if self.lazy.canonical is None:
+            raise ValueError("engine was created with canonical=False")
+        return self.lazy.canonical.freeze()
+
+    def thread_clock(self, tid: int, lazy: bool = False) -> VectorClock:
+        side = self.lazy if lazy else self.regular
+        side.ensure_thread(tid)
+        return side.thread_clocks[tid]

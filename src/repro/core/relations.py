@@ -1,0 +1,142 @@
+"""Explicit partial-order view of a trace.
+
+The exploration hot path only ever touches vector clocks and
+fingerprints; this module materialises the happens-before relation as a
+DAG for the benefit of tests, theorem checkers and pretty-printing.
+
+An event ``i`` precedes ``j`` under the relation iff ``clock(i) <=
+clock(j)`` pointwise and ``i != j`` — the vector clocks computed by
+:class:`~repro.core.hb.DualClockEngine` encode exactly the transitive
+closure, so no graph search is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .events import Event
+from .vector_clock import tuple_leq
+
+
+class PartialOrder:
+    """A partial order over the events of one executed trace."""
+
+    __slots__ = ("events", "lazy", "_clocks")
+
+    def __init__(self, events: Sequence[Event], lazy: bool = False) -> None:
+        self.events: Tuple[Event, ...] = tuple(events)
+        self.lazy = lazy
+        clocks = []
+        for e in self.events:
+            c = e.lazy_clock if lazy else e.clock
+            if c is None:
+                raise ValueError("events must carry vector clocks; run them "
+                                 "through an Executor first")
+            clocks.append(c)
+        self._clocks: List[Tuple[int, ...]] = clocks
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def precedes(self, i: int, j: int) -> bool:
+        """True when event ``i`` happens-before event ``j``."""
+        return i != j and tuple_leq(self._clocks[i], self._clocks[j])
+
+    def concurrent(self, i: int, j: int) -> bool:
+        """True when neither event is ordered before the other."""
+        return not self.precedes(i, j) and not self.precedes(j, i)
+
+    def predecessors(self, j: int) -> List[int]:
+        """All events ordered before ``j`` (transitively)."""
+        return [i for i in range(len(self.events)) if self.precedes(i, j)]
+
+    def immediate_predecessors(self, j: int) -> List[int]:
+        """Covering relation: predecessors with no intermediate event."""
+        preds = set(self.predecessors(j))
+        return [
+            i
+            for i in preds
+            if not any(self.precedes(i, k) and self.precedes(k, j) for k in preds)
+        ]
+
+    def inter_thread_edges(self) -> List[Tuple[int, int]]:
+        """Covering edges between events of different threads — the
+        arrows drawn in the paper's Figure 1."""
+        out = []
+        for j in range(len(self.events)):
+            for i in self.immediate_predecessors(j):
+                if self.events[i].tid != self.events[j].tid:
+                    out.append((i, j))
+        return out
+
+    # ------------------------------------------------------------------
+    def linearizations(self, limit: Optional[int] = None) -> Iterator[List[int]]:
+        """Enumerate topological orders of the relation (all of them, or
+        at most ``limit``).  Exponential; only for small traces."""
+        n = len(self.events)
+        # direct successor counts via pairwise test; fine for test sizes
+        indeg = [0] * n
+        succs: List[List[int]] = [[] for _ in range(n)]
+        for i in range(n):
+            for j in range(n):
+                if i != j and self.precedes(i, j):
+                    succs[i].append(j)
+                    indeg[j] += 1
+        emitted = 0
+        order: List[int] = []
+
+        def rec(avail: List[int]) -> Iterator[List[int]]:
+            nonlocal emitted
+            if limit is not None and emitted >= limit:
+                return
+            if len(order) == n:
+                emitted += 1
+                yield list(order)
+                return
+            for v in avail:
+                next_avail = [w for w in avail if w != v]
+                for w in succs[v]:
+                    indeg[w] -= 1
+                    if indeg[w] == 0:
+                        next_avail.append(w)
+                order.append(v)
+                yield from rec(next_avail)
+                order.pop()
+                for w in succs[v]:
+                    indeg[w] += 1
+                if limit is not None and emitted >= limit:
+                    return
+
+        yield from rec(sorted(i for i in range(n) if indeg[i] == 0))
+
+    def thread_schedule(self, linearization: Sequence[int]) -> List[int]:
+        """Convert a linearization (event indices) to the list of thread
+        ids, i.e. a replayable schedule."""
+        return [self.events[i].tid for i in linearization]
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Multi-column text rendering in the style of the paper's
+        Figure 1: one column per thread, inter-thread arrows listed."""
+        tids = sorted({e.tid for e in self.events})
+        cols = {t: [] for t in tids}
+        names = {}
+        for i, e in enumerate(self.events):
+            names[i] = f"{e.kind.name.lower()}(o{e.oid})" if e.oid >= 0 else e.kind.name.lower()
+            cols[e.tid].append(f"[{i:>3}] {names[i]}")
+        width = max((len(s) for col in cols.values() for s in col), default=10) + 2
+        height = max(len(c) for c in cols.values())
+        lines = ["".join(f"T{t}".ljust(width) for t in tids)]
+        for row in range(height):
+            lines.append(
+                "".join(
+                    (cols[t][row] if row < len(cols[t]) else "").ljust(width)
+                    for t in tids
+                )
+            )
+        edges = self.inter_thread_edges()
+        lines.append("")
+        lines.append(f"{'lazy ' if self.lazy else ''}inter-thread edges: "
+                     + (", ".join(f"{i}->{j}" for i, j in edges) or "(none)"))
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Dense vector clocks.
+
+Vector clocks order events: event ``e1`` happens-before ``e2`` iff
+``e1.clock <= e2.clock`` component-wise (and the events differ).  The
+executor knows the full set of threads up front for static programs and
+grows clocks on demand when threads are spawned dynamically.
+
+The implementation favours the hot path of the executor: clocks are
+plain Python lists wrapped in a thin class, joins are in-place, and the
+immutable snapshot used in fingerprints is a tuple.  (Per the
+optimisation guides: make it correct and legible first; the only
+measured hot operations — ``join_inplace`` and ``snapshot`` — are kept
+allocation-light.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+class VectorClock:
+    """A mutable dense vector clock over thread ids ``0..n-1``."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, size: int = 0, init: Iterable[int] = ()):
+        c = list(init)
+        if len(c) < size:
+            c.extend([0] * (size - len(c)))
+        self._c: List[int] = c
+
+    # -- growth -----------------------------------------------------------
+    def ensure_size(self, size: int) -> None:
+        """Grow the clock with zero entries so it covers ``size`` threads."""
+        c = self._c
+        if len(c) < size:
+            c.extend([0] * (size - len(c)))
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    # -- accessors ---------------------------------------------------------
+    def __getitem__(self, tid: int) -> int:
+        c = self._c
+        return c[tid] if tid < len(c) else 0
+
+    def __setitem__(self, tid: int, value: int) -> None:
+        self.ensure_size(tid + 1)
+        self._c[tid] = value
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """An immutable copy, suitable for hashing and storage on events."""
+        return tuple(self._c)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(init=self._c)
+
+    # -- lattice operations -------------------------------------------------
+    def tick(self, tid: int) -> None:
+        """Advance this thread's own component by one."""
+        self.ensure_size(tid + 1)
+        self._c[tid] += 1
+
+    def join_inplace(self, other: "VectorClock") -> None:
+        """Component-wise maximum, stored in ``self``."""
+        oc = other._c
+        self.ensure_size(len(oc))
+        c = self._c
+        for i, v in enumerate(oc):
+            if v > c[i]:
+                c[i] = v
+
+    def join_tuple_inplace(self, other: Tuple[int, ...]) -> None:
+        """Join with an immutable snapshot."""
+        self.ensure_size(len(other))
+        c = self._c
+        for i, v in enumerate(other):
+            if v > c[i]:
+                c[i] = v
+
+    # -- comparisons ---------------------------------------------------------
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise ``self <= other`` (the happens-before test)."""
+        oc = other._c
+        olen = len(oc)
+        for i, v in enumerate(self._c):
+            if v and (i >= olen or v > oc[i]):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        a, b = self._c, other._c
+        if len(a) < len(b):
+            a, b = b, a
+        return a[: len(b)] == b and not any(a[len(b):])
+
+    def __hash__(self):  # pragma: no cover - clocks are not dict keys
+        raise TypeError("VectorClock is mutable; hash its snapshot() instead")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VC{self._c!r}"
+
+
+def tuple_leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    """Pointwise ``a <= b`` for snapshot tuples (missing entries are 0)."""
+    bl = len(b)
+    for i, v in enumerate(a):
+        if v and (i >= bl or v > b[i]):
+            return False
+    return True
+
+
+def tuple_concurrent(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    """True when neither snapshot dominates the other."""
+    return not tuple_leq(a, b) and not tuple_leq(b, a)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Errors are split into two families:
+
+* *Host* errors (:class:`ReproError` subclasses other than
+  :class:`GuestError`) indicate misuse of the library or internal
+  invariant violations — they propagate to the caller.
+* *Guest* errors (:class:`GuestError` subclasses) represent property
+  violations of the program under test — deadlocks, failed guest
+  assertions.  Explorers record these as findings rather than crashing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidOpError(ReproError):
+    """A guest thread yielded an operation that is illegal in the current
+    runtime state (e.g. unlocking a mutex it does not hold)."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler selected a thread that is not currently enabled, or a
+    replay schedule diverged from the program's behaviour."""
+
+
+class ExplorationLimitError(ReproError):
+    """An exploration exceeded a hard limit that was configured to raise
+    instead of truncate."""
+
+
+class GuestError(ReproError):
+    """Base class for property violations of the program under test."""
+
+
+class DeadlockError(GuestError):
+    """No runnable thread remains but some threads have not terminated."""
+
+    def __init__(self, blocked_threads, message: str = ""):
+        self.blocked_threads = tuple(blocked_threads)
+        super().__init__(
+            message or f"deadlock: threads {list(self.blocked_threads)} blocked"
+        )
+
+
+class GuestAssertionError(GuestError):
+    """A guest-level assertion (``api.guest_assert``) failed."""
+
+    def __init__(self, thread_id: int, message: str = ""):
+        self.thread_id = thread_id
+        super().__init__(message or f"guest assertion failed in thread {thread_id}")

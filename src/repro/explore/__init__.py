@@ -1,0 +1,50 @@
+"""Exploration strategies for systematic concurrency testing."""
+
+from .base import (
+    DEFAULT_SCHEDULE_LIMIT,
+    ErrorFinding,
+    ExplorationLimits,
+    ExplorationStats,
+    Explorer,
+)
+from .bounded import (
+    IterativeContextBoundingExplorer,
+    PreemptionBoundedExplorer,
+)
+from .caching import HBRCachingExplorer
+from .controller import (
+    STANDARD_EXPLORERS,
+    ComparisonRow,
+    run_matrix,
+    states_found,
+)
+from .delay import DelayBoundedExplorer
+from .dfs import DFSExplorer
+from .dpor import DPORExplorer
+from .lazy_dpor import LazyDPORExplorer
+from .minimize import MinimizationResult, minimize_schedule
+from .pct import PCTExplorer
+from .random_walk import RandomWalkExplorer
+
+__all__ = [
+    "MinimizationResult",
+    "minimize_schedule",
+    "DEFAULT_SCHEDULE_LIMIT",
+    "STANDARD_EXPLORERS",
+    "ComparisonRow",
+    "DFSExplorer",
+    "DelayBoundedExplorer",
+    "DPORExplorer",
+    "ErrorFinding",
+    "ExplorationLimits",
+    "ExplorationStats",
+    "Explorer",
+    "HBRCachingExplorer",
+    "IterativeContextBoundingExplorer",
+    "LazyDPORExplorer",
+    "PCTExplorer",
+    "PreemptionBoundedExplorer",
+    "RandomWalkExplorer",
+    "run_matrix",
+    "states_found",
+]

@@ -1,0 +1,188 @@
+"""Explorer framework: limits, statistics and the base class.
+
+An explorer enumerates schedules of one program.  All concrete
+explorers are *stateless* in the SCT sense: each schedule is executed
+against a freshly built program instance, replaying the prefix of
+thread choices that leads to the branch point (the standard architecture
+of Verisoft/CHESS-style tools, which cannot checkpoint states).
+
+Statistics mirror the quantities of the paper's evaluation: the number
+of schedules executed, and the numbers of distinct terminal HBRs,
+terminal lazy HBRs and final states among completed schedules.  The
+paper's inequality
+
+    #states <= #lazy HBRs <= #HBRs <= #schedules
+
+is checked by :meth:`ExplorationStats.verify_inequality` (and enforced
+in the integration tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..errors import GuestError
+from ..runtime.executor import Executor
+from ..runtime.program import Program
+from ..runtime.trace import TraceResult
+
+DEFAULT_SCHEDULE_LIMIT = 100_000
+
+
+@dataclass
+class ExplorationLimits:
+    """Hard bounds on one exploration."""
+
+    max_schedules: int = DEFAULT_SCHEDULE_LIMIT
+    max_seconds: Optional[float] = None
+    max_events_per_schedule: int = 20_000
+
+
+@dataclass
+class ErrorFinding:
+    """One distinct property violation and a schedule reproducing it."""
+
+    kind: str
+    message: str
+    schedule: List[int]
+
+
+@dataclass
+class ExplorationStats:
+    """Outcome of one exploration run."""
+
+    program_name: str
+    explorer_name: str
+    num_schedules: int = 0          #: executions performed (incl. pruned)
+    num_complete: int = 0           #: executions that ran to a terminal state
+    num_pruned: int = 0             #: executions cut short by caching/sleep sets
+    num_hbrs: int = 0               #: distinct terminal (regular) HBRs
+    num_lazy_hbrs: int = 0          #: distinct terminal lazy HBRs
+    num_states: int = 0             #: distinct terminal program states
+    num_events: int = 0             #: total events executed
+    errors: List[ErrorFinding] = field(default_factory=list)
+    limit_hit: bool = False         #: stopped by a limit, not exhaustion
+    exhausted: bool = False         #: the full reduced state space was covered
+    elapsed: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def verify_inequality(self) -> None:
+        """Assert the paper's Section 3 inequality chain."""
+        if not (
+            self.num_states <= self.num_lazy_hbrs <= self.num_hbrs
+            <= self.num_schedules
+        ):
+            raise AssertionError(
+                f"inequality violated for {self.program_name} / "
+                f"{self.explorer_name}: states={self.num_states} "
+                f"lazy={self.num_lazy_hbrs} hbrs={self.num_hbrs} "
+                f"schedules={self.num_schedules}"
+            )
+
+    def summary(self) -> str:
+        mark = "!" if self.limit_hit else ("*" if self.exhausted else "")
+        return (
+            f"{self.program_name:<28} {self.explorer_name:<14} "
+            f"sched={self.num_schedules:<7} hbrs={self.num_hbrs:<7} "
+            f"lazy={self.num_lazy_hbrs:<7} states={self.num_states:<7} "
+            f"errors={len(self.errors)} {mark}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form, for persisting experiment results."""
+        return {
+            "program": self.program_name,
+            "explorer": self.explorer_name,
+            "num_schedules": self.num_schedules,
+            "num_complete": self.num_complete,
+            "num_pruned": self.num_pruned,
+            "num_hbrs": self.num_hbrs,
+            "num_lazy_hbrs": self.num_lazy_hbrs,
+            "num_states": self.num_states,
+            "num_events": self.num_events,
+            "errors": [
+                {"kind": e.kind, "message": e.message,
+                 "schedule": e.schedule}
+                for e in self.errors
+            ],
+            "limit_hit": self.limit_hit,
+            "exhausted": self.exhausted,
+            "elapsed": self.elapsed,
+            "extra": {k: v for k, v in self.extra.items()
+                      if isinstance(v, (int, float, str, bool))},
+        }
+
+
+class Explorer:
+    """Base class: bookkeeping shared by every strategy."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        program: Program,
+        limits: Optional[ExplorationLimits] = None,
+    ) -> None:
+        self.program = program
+        self.limits = limits or ExplorationLimits()
+        self._hbr_fps: Set[int] = set()
+        self._lazy_fps: Set[int] = set()
+        self._state_hashes: Set[int] = set()
+        self._error_kinds: Set[Tuple[str, str]] = set()
+        self.stats = ExplorationStats(program.name, self.name)
+        self._deadline: Optional[float] = None
+
+    # -- hooks for subclasses ----------------------------------------------
+    def _new_executor(self) -> Executor:
+        return Executor(
+            self.program, max_events=self.limits.max_events_per_schedule
+        )
+
+    def _record_terminal(self, result: TraceResult) -> None:
+        """Account for one completed (terminal) execution."""
+        st = self.stats
+        st.num_complete += 1
+        self._hbr_fps.add(result.hbr_fp)
+        self._lazy_fps.add(result.lazy_fp)
+        self._state_hashes.add(result.state_hash)
+        st.num_hbrs = len(self._hbr_fps)
+        st.num_lazy_hbrs = len(self._lazy_fps)
+        st.num_states = len(self._state_hashes)
+        if result.error is not None:
+            self._record_error(result.error, result.schedule)
+
+    def _record_error(self, error: GuestError, schedule: List[int]) -> None:
+        key = (type(error).__name__, str(error))
+        if key not in self._error_kinds:
+            self._error_kinds.add(key)
+            self.stats.errors.append(
+                ErrorFinding(key[0], key[1], list(schedule))
+            )
+
+    def _schedule_started(self) -> None:
+        self.stats.num_schedules += 1
+
+    def _budget_exceeded(self) -> bool:
+        if self.stats.num_schedules >= self.limits.max_schedules:
+            self.stats.limit_hit = True
+            return True
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self.stats.limit_hit = True
+            return True
+        return False
+
+    # -- template method ------------------------------------------------------
+    def run(self) -> ExplorationStats:
+        start = time.monotonic()
+        if self.limits.max_seconds is not None:
+            self._deadline = start + self.limits.max_seconds
+        try:
+            self._explore()
+        finally:
+            self.stats.elapsed = time.monotonic() - start
+        return self.stats
+
+    def _explore(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

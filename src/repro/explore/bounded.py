@@ -1,0 +1,157 @@
+"""Iterative preemption bounding (Musuvathi & Qadeer; CHESS).
+
+The reference [4] of the paper introduced HBR caching in the context of
+context-bounded exploration; this explorer provides that context: a
+depth-first enumeration restricted to schedules with at most ``bound``
+preemptions (unforced context switches), optionally iterating the bound
+upward.  With ``bound=None`` it degenerates to plain DFS.
+
+A context switch at a scheduling point is *forced* (free) when the
+previously running thread is finished or blocked; otherwise switching
+to a different thread costs one preemption.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import ExplorationLimits, Explorer
+
+
+class _Frame:
+    __slots__ = ("choices", "idx", "prev_tid", "budget")
+
+    def __init__(self, choices: List[int], prev_tid: int, budget: int) -> None:
+        self.choices = choices
+        self.idx = 0
+        self.prev_tid = prev_tid
+        self.budget = budget
+
+    @property
+    def chosen(self) -> int:
+        return self.choices[self.idx]
+
+
+class PreemptionBoundedExplorer(Explorer):
+    """DFS over schedules with at most ``bound`` preemptions."""
+
+    name = "preempt-bounded"
+
+    def __init__(self, program, limits=None, bound: Optional[int] = 2) -> None:
+        super().__init__(program, limits)
+        self.bound = bound
+        if bound is not None:
+            self.stats.explorer_name = self.name = f"preempt-bounded({bound})"
+
+    def _choices(self, enabled: List[int], prev_tid: int, budget: int) -> List[int]:
+        """Schedulable threads under the remaining preemption budget,
+        non-preempting choice first (so cheap schedules come first)."""
+        if prev_tid in enabled:
+            if budget <= 0:
+                return [prev_tid]
+            return [prev_tid] + [t for t in enabled if t != prev_tid]
+        return list(enabled)  # forced switch: free
+
+    def _explore(self) -> None:
+        path: List[_Frame] = []
+        first = True
+        while first or path:
+            first = False
+            if self._budget_exceeded():
+                return
+            self._schedule_started()
+            ex = self._new_executor()
+            for frame in path:
+                ex.step(frame.chosen)
+            # continue from the end of the replayed prefix
+            prev_tid = path[-1].chosen if path else -1
+            budget = path[-1].budget if path else (
+                self.bound if self.bound is not None else 1 << 30
+            )
+            if path:
+                # account for the preemption taken by the replayed frame
+                budget = self._budget_after(path[-1])
+            while not ex.is_done():
+                enabled = ex.enabled()
+                choices = self._choices(enabled, prev_tid, budget)
+                frame = _Frame(choices, prev_tid, budget)
+                path.append(frame)
+                chosen = frame.chosen
+                budget = self._budget_after(frame)
+                prev_tid = chosen
+                ex.step(chosen)
+            result = ex.finish()
+            self.stats.num_events += result.num_events
+            self._record_terminal(result)
+            while path and path[-1].idx + 1 >= len(path[-1].choices):
+                path.pop()
+            if path:
+                path[-1].idx += 1
+            else:
+                self.stats.exhausted = not self.stats.limit_hit
+                return
+
+    def _budget_after(self, frame: _Frame) -> int:
+        """Remaining budget after taking ``frame.chosen``."""
+        chosen = frame.chosen
+        if frame.prev_tid != -1 and frame.prev_tid != chosen and \
+                frame.prev_tid in frame.choices:
+            return frame.budget - 1
+        return frame.budget
+
+
+class IterativeContextBoundingExplorer(Explorer):
+    """CHESS-style iterative context bounding (Musuvathi & Qadeer):
+    explore with preemption bound 0, then 1, then 2, ... up to
+    ``max_bound``, sharing one schedule budget.
+
+    Low bounds reach most bugs with tiny schedule counts (the empirical
+    small-bound hypothesis); raising the bound converges to full DFS.
+    Re-exploration across rounds is accepted, as in CHESS.
+    """
+
+    name = "iterative-cb"
+
+    def __init__(self, program, limits=None, max_bound: int = 3) -> None:
+        super().__init__(program, limits)
+        self.max_bound = max_bound
+        self.bound_reached = -1
+
+    def _explore(self) -> None:
+        remaining = self.limits.max_schedules
+        for bound in range(self.max_bound + 1):
+            if remaining <= 0:
+                self.stats.limit_hit = True
+                return
+            inner_limits = ExplorationLimits(
+                max_schedules=remaining,
+                max_seconds=None,
+                max_events_per_schedule=self.limits.max_events_per_schedule,
+            )
+            inner = PreemptionBoundedExplorer(
+                self.program, inner_limits, bound=bound
+            )
+            # share the recording sets so stats accumulate across rounds
+            inner._hbr_fps = self._hbr_fps
+            inner._lazy_fps = self._lazy_fps
+            inner._state_hashes = self._state_hashes
+            inner._error_kinds = self._error_kinds
+            inner.stats.errors = self.stats.errors
+            inner_stats = inner.run()
+            self.stats.num_schedules += inner_stats.num_schedules
+            self.stats.num_complete += inner_stats.num_complete
+            self.stats.num_events += inner_stats.num_events
+            self.stats.num_hbrs = len(self._hbr_fps)
+            self.stats.num_lazy_hbrs = len(self._lazy_fps)
+            self.stats.num_states = len(self._state_hashes)
+            remaining -= inner_stats.num_schedules
+            self.bound_reached = bound
+            self.stats.extra[f"schedules_bound_{bound}"] = \
+                inner_stats.num_schedules
+            if self._deadline is not None:
+                import time
+                if time.monotonic() > self._deadline:
+                    self.stats.limit_hit = True
+                    return
+        self.stats.limit_hit = self.stats.num_schedules >= \
+            self.limits.max_schedules

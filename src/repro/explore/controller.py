@@ -1,0 +1,107 @@
+"""Run-matrix helpers: run several explorers over several programs and
+collect comparable statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..runtime.program import Program
+from .base import ExplorationLimits, ExplorationStats, Explorer
+from .bounded import IterativeContextBoundingExplorer, PreemptionBoundedExplorer
+from .caching import HBRCachingExplorer
+from .delay import DelayBoundedExplorer
+from .dfs import DFSExplorer
+from .dpor import DPORExplorer
+from .lazy_dpor import LazyDPORExplorer
+from .pct import PCTExplorer
+from .random_walk import RandomWalkExplorer
+
+#: factory: (program, limits) -> Explorer
+ExplorerFactory = Callable[[Program, ExplorationLimits], Explorer]
+
+STANDARD_EXPLORERS: Dict[str, ExplorerFactory] = {
+    "dfs": lambda prog, lim: DFSExplorer(prog, lim),
+    "dpor": lambda prog, lim: DPORExplorer(prog, lim),
+    "dpor-nosleep": lambda prog, lim: DPORExplorer(prog, lim, sleep_sets=False),
+    "hbr-caching": lambda prog, lim: HBRCachingExplorer(prog, lim, lazy=False),
+    "lazy-hbr-caching": lambda prog, lim: HBRCachingExplorer(prog, lim, lazy=True),
+    "lazy-dpor": lambda prog, lim: LazyDPORExplorer(prog, lim),
+    "random": lambda prog, lim: RandomWalkExplorer(prog, lim),
+    "pct": lambda prog, lim: PCTExplorer(prog, lim),
+    "preempt-bounded": lambda prog, lim: PreemptionBoundedExplorer(prog, lim),
+    "iterative-cb": lambda prog, lim: IterativeContextBoundingExplorer(prog, lim),
+    "delay-bounded": lambda prog, lim: DelayBoundedExplorer(prog, lim),
+}
+
+
+def matrix_report(rows: Sequence["ComparisonRow"]) -> str:
+    """Markdown table comparing all explorers over all programs: one row
+    per (program, explorer) with the headline counts."""
+    out = [
+        "| program | explorer | schedules | #HBRs | #lazy HBRs | #states "
+        "| errors | status |",
+        "|---|---|---:|---:|---:|---:|---:|:--|",
+    ]
+    for row in rows:
+        for name, stats in row.by_explorer.items():
+            status = "limit" if stats.limit_hit else (
+                "exhausted" if stats.exhausted else "done"
+            )
+            out.append(
+                f"| {row.program_name} | {name} | {stats.num_schedules} | "
+                f"{stats.num_hbrs} | {stats.num_lazy_hbrs} | "
+                f"{stats.num_states} | {len(stats.errors)} | {status} |"
+            )
+    return "\n".join(out)
+
+
+@dataclass
+class ComparisonRow:
+    """Stats of all requested explorers for one program."""
+
+    program_name: str
+    by_explorer: Dict[str, ExplorationStats] = field(default_factory=dict)
+
+
+def run_matrix(
+    programs: Iterable[Program],
+    explorer_names: Sequence[str],
+    limits: Optional[ExplorationLimits] = None,
+    verify: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ComparisonRow]:
+    """Run each named explorer on each program.
+
+    With ``verify`` (default), the paper's inequality chain is asserted
+    for every run.
+    """
+    limits = limits or ExplorationLimits()
+    rows: List[ComparisonRow] = []
+    for program in programs:
+        row = ComparisonRow(program.name)
+        for name in explorer_names:
+            factory = STANDARD_EXPLORERS.get(name)
+            if factory is None:
+                raise KeyError(
+                    f"unknown explorer {name!r}; available: "
+                    f"{sorted(STANDARD_EXPLORERS)}"
+                )
+            stats = factory(program, limits).run()
+            if verify:
+                stats.verify_inequality()
+            row.by_explorer[name] = stats
+            if progress is not None:
+                progress(stats.summary())
+        rows.append(row)
+    return rows
+
+
+def states_found(program: Program, explorer_name: str,
+                 limits: Optional[ExplorationLimits] = None) -> frozenset:
+    """The set of distinct terminal state hashes an explorer reaches —
+    used by the soundness tests to compare against DFS ground truth."""
+    limits = limits or ExplorationLimits()
+    explorer = STANDARD_EXPLORERS[explorer_name](program, limits)
+    explorer.run()
+    return frozenset(explorer._state_hashes)

@@ -1,0 +1,96 @@
+"""Delay bounding (Emmi, Qadeer & Rakamarić, POPL 2011).
+
+A *delay* skips the scheduler's default choice at one point, running
+the next thread in round-robin order instead.  Exploring all schedules
+with at most ``bound`` delays covers a rapidly growing portion of the
+behaviour space at polynomial cost — empirically even more
+bug-efficient than preemption bounding, because the budget is charged
+for *deviating* rather than for switching.
+
+With ``bound=0`` exactly one schedule (the deterministic round-robin
+execution) is explored; each extra unit of budget multiplies the
+explored set by at most the schedule length.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Explorer
+
+
+class _Frame:
+    """One scheduling point: how many delays were applied here."""
+
+    __slots__ = ("enabled", "delays", "budget_left", "start")
+
+    def __init__(self, enabled: List[int], budget_left: int, start: int) -> None:
+        self.enabled = enabled
+        self.delays = 0
+        self.budget_left = budget_left
+        self.start = start  # index of the default (round-robin) choice
+
+    @property
+    def chosen(self) -> int:
+        return self.enabled[(self.start + self.delays) % len(self.enabled)]
+
+    def can_delay_more(self) -> bool:
+        return (
+            self.delays < self.budget_left
+            and self.delays + 1 < len(self.enabled)
+        )
+
+
+class DelayBoundedExplorer(Explorer):
+    """DFS over schedules with at most ``bound`` delays from the
+    deterministic round-robin baseline."""
+
+    name = "delay-bounded"
+
+    def __init__(self, program, limits=None, bound: int = 1) -> None:
+        super().__init__(program, limits)
+        if bound < 0:
+            raise ValueError("delay bound must be >= 0")
+        self.bound = bound
+        self.stats.explorer_name = self.name = f"delay-bounded({bound})"
+
+    def _default_start(self, enabled: List[int], last_tid: int) -> int:
+        """Round-robin default: the first enabled tid >= last scheduled."""
+        for i, tid in enumerate(enabled):
+            if tid >= last_tid:
+                return i
+        return 0
+
+    def _explore(self) -> None:
+        path: List[_Frame] = []
+        first = True
+        while first or path:
+            first = False
+            if self._budget_exceeded():
+                return
+            self._schedule_started()
+            ex = self._new_executor()
+            budget = self.bound
+            last_tid = 0
+            for frame in path:
+                ex.step(frame.chosen)
+                budget = frame.budget_left - frame.delays
+                last_tid = frame.chosen
+            while not ex.is_done():
+                enabled = ex.enabled()
+                start = self._default_start(enabled, last_tid)
+                frame = _Frame(enabled, budget, start)
+                path.append(frame)
+                last_tid = frame.chosen
+                ex.step(frame.chosen)
+            result = ex.finish()
+            self.stats.num_events += result.num_events
+            self._record_terminal(result)
+            # backtrack: deepest frame that can spend one more delay
+            while path and not path[-1].can_delay_more():
+                path.pop()
+            if path:
+                path[-1].delays += 1
+            else:
+                self.stats.exhausted = not self.stats.limit_hit
+                return

@@ -1,0 +1,60 @@
+"""Exhaustive depth-first enumeration of all schedules.
+
+No reduction at all: every interleaving of visible operations is
+executed once.  Exponential, but it is the ground truth the reduction
+strategies are tested against — on small programs every other explorer
+must find exactly the same set of terminal states.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Explorer
+
+
+class _Frame:
+    """One scheduling decision on the DFS path."""
+
+    __slots__ = ("enabled", "idx")
+
+    def __init__(self, enabled: List[int]) -> None:
+        self.enabled = enabled
+        self.idx = 0  # position in `enabled` currently being explored
+
+    @property
+    def chosen(self) -> int:
+        return self.enabled[self.idx]
+
+
+class DFSExplorer(Explorer):
+    """Enumerates every schedule by stateless depth-first search."""
+
+    name = "dfs"
+
+    def _explore(self) -> None:
+        path: List[_Frame] = []
+        first = True
+        while first or path:
+            first = False
+            if self._budget_exceeded():
+                return
+            self._schedule_started()
+            ex = self._new_executor()
+            for frame in path:
+                ex.step(frame.chosen)
+            while not ex.is_done():
+                frame = _Frame(ex.enabled())
+                path.append(frame)
+                ex.step(frame.chosen)
+            result = ex.finish()
+            self.stats.num_events += result.num_events
+            self._record_terminal(result)
+            # backtrack to the deepest frame with an untried sibling
+            while path and path[-1].idx + 1 >= len(path[-1].enabled):
+                path.pop()
+            if path:
+                path[-1].idx += 1
+            else:
+                self.stats.exhausted = True
+                return

@@ -1,0 +1,250 @@
+"""Dynamic partial-order reduction (Flanagan & Godefroid, POPL 2005).
+
+Stateless DPOR with clock vectors and (optional) sleep sets:
+
+* at every state along the current execution, every thread's *pending*
+  operation is tested against the most recent conflicting,
+  possibly-co-enabled event in the trace that does not already
+  happen-before the thread; a backtrack point is registered at the
+  state from which that event was executed (this pending-op formulation
+  also catches races with currently *disabled* operations such as
+  blocked lock acquisitions — essential for lock-heavy programs);
+* sleep sets suppress re-exploration of independent siblings.
+
+Race detection uses the **regular** happens-before relation — by the
+paper's Section 4, the lazy HBR cannot simply replace it here because
+not all linearizations of a lazy HBR are feasible.  (The prototype that
+*adds* lazy-HBR pruning on top lives in
+:mod:`repro.explore.lazy_dpor`.)
+
+The implementation indexes the trace per memory location so the
+backward scan for the latest conflicting event is O(events on that
+location), not O(trace length).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.events import Event, MODIFYING_KINDS, MUTEX_KINDS, OpKind
+from ..core.dependence import conflicts, may_be_coenabled
+from ..runtime.executor import Executor
+from ..runtime.trace import PendingInfo
+from .base import Explorer
+
+
+class _Node:
+    """One scheduling point on the DPOR stack."""
+
+    __slots__ = ("enabled", "chosen", "backtrack", "done", "sleep")
+
+    def __init__(self, enabled: List[int], sleep: Set[int]) -> None:
+        self.enabled = enabled
+        self.chosen = -1
+        self.backtrack: Set[int] = set()
+        self.done: Set[int] = set()
+        self.sleep: Set[int] = sleep
+
+
+def _pending_as_event(info: PendingInfo) -> Event:
+    """View a pending operation as an (unstamped) event for the
+    conflict predicates."""
+    return Event(
+        index=-1,
+        tid=info.tid,
+        tindex=-1,
+        kind=OpKind(info.kind),
+        oid=info.oid,
+        key=info.key,
+        released_mutex_oid=info.released_mutex_oid,
+    )
+
+
+class DPORExplorer(Explorer):
+    """Flanagan–Godefroid DPOR with clock vectors and sleep sets."""
+
+    name = "dpor"
+
+    def __init__(self, program, limits=None, sleep_sets: bool = True) -> None:
+        super().__init__(program, limits)
+        self.sleep_sets = sleep_sets
+        if not sleep_sets:
+            self.stats.explorer_name = self.name = "dpor-nosleep"
+
+    # ------------------------------------------------------------------
+    def _explore(self) -> None:
+        stack: List[_Node] = []
+        first = True
+        while first or stack:
+            first = False
+            if self._budget_exceeded():
+                return
+            self._schedule_started()
+            pruned = self._run_one(stack)
+            if pruned:
+                self.stats.num_pruned += 1
+            # backtrack: deepest node with an unexplored candidate
+            while stack:
+                node = stack[-1]
+                cand = node.backtrack - node.done - node.sleep
+                if cand:
+                    prev = node.chosen
+                    if self.sleep_sets and prev >= 0:
+                        node.sleep.add(prev)
+                    q = min(cand)
+                    node.chosen = q
+                    node.done.add(q)
+                    break
+                stack.pop()
+            if not stack:
+                self.stats.exhausted = not self.stats.limit_hit
+                return
+
+    # ------------------------------------------------------------------
+    def _run_one(self, stack: List[_Node]) -> bool:
+        """Replay the stack prefix, then extend to a terminal (or
+        sleep-pruned) state, updating backtrack sets.  Returns True if
+        the run was pruned by sleep sets."""
+        ex = self._new_executor()
+        # per-location index of trace positions, for fast race lookup
+        loc_index: Dict[Tuple[int, object], List[int]] = {}
+        for node in stack:
+            self._index_event(loc_index, ex.trace, ex.step(node.chosen))
+
+        while True:
+            if ex.is_done():
+                result = ex.finish()
+                self.stats.num_events += result.num_events
+                self._update_backtracks(ex, stack, loc_index)
+                self._record_terminal(result)
+                return False
+            if len(ex.trace) >= len(stack):
+                # a state we have not analysed yet
+                self._update_backtracks(ex, stack, loc_index)
+                enabled = ex.enabled()
+                if len(ex.trace) == len(stack):
+                    sleep = self._child_sleep(stack, ex)
+                    node = _Node(enabled, sleep)
+                    runnable = [t for t in enabled if t not in sleep]
+                    if not runnable:
+                        # every enabled thread is redundant here: the
+                        # continuation is covered by an earlier branch
+                        return True
+                    choice = runnable[0]
+                    node.backtrack.add(choice)
+                    node.chosen = choice
+                    node.done.add(choice)
+                    stack.append(node)
+            self._index_event(loc_index, ex.trace, ex.step(stack[len(ex.trace)].chosen))
+
+    # ------------------------------------------------------------------
+    def _child_sleep(self, stack: List[_Node], ex: Executor) -> Set[int]:
+        """Sleep set inherited by the state just reached: parents'
+        sleepers whose pending ops are independent of the executed
+        event survive."""
+        if not self.sleep_sets or not stack:
+            return set()
+        parent = stack[-1]
+        if not parent.sleep:
+            return set()
+        last_event = ex.trace[-1]
+        survivors: Set[int] = set()
+        for tid in parent.sleep:
+            info = ex.pending_info(tid)
+            if info is None:
+                continue
+            if not conflicts(_pending_as_event(info), last_event):
+                survivors.add(tid)
+        return survivors
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _index_event(
+        loc_index: Dict[Tuple[int, object], List[int]],
+        trace: List[Event],
+        event: Event,
+    ) -> None:
+        if event.oid >= 0:
+            loc_index.setdefault((event.oid, event.key), []).append(event.index)
+        if event.released_mutex_oid is not None:
+            loc_index.setdefault(
+                (event.released_mutex_oid, None), []
+            ).append(event.index)
+
+    def _update_backtracks(
+        self,
+        ex: Executor,
+        stack: List[_Node],
+        loc_index: Dict[Tuple[int, object], List[int]],
+    ) -> None:
+        """F–G race analysis: for every pending operation, find the
+        latest conflicting, possibly-co-enabled, HB-unordered event and
+        register a backtrack point before it."""
+        trace = ex.trace
+        for info in ex.all_pending_infos():
+            if info.oid < 0 and info.released_mutex_oid is None:
+                continue
+            pend = _pending_as_event(info)
+            cv = ex.engine.thread_clock(info.tid)  # regular clock of tid
+            i = self._latest_race(trace, loc_index, pend, cv)
+            if i is None or i >= len(stack):
+                continue
+            node = stack[i]
+            # E: threads that could get the pending op (or something
+            # happening-before it) running at the pre-state of event i
+            p = info.tid
+            E: Set[int] = set()
+            enabled_at_i = set(node.enabled)
+            if p in enabled_at_i:
+                E.add(p)
+            for j in range(i + 1, len(trace)):
+                e_j = trace[j]
+                if e_j.tid in enabled_at_i and self._hb_pending(e_j, cv):
+                    E.add(e_j.tid)
+            if E:
+                if not (E & (node.backtrack | node.done)):
+                    node.backtrack.add(min(E))
+            else:
+                node.backtrack.update(enabled_at_i)
+
+    def _latest_race(
+        self,
+        trace: List[Event],
+        loc_index: Dict[Tuple[int, object], List[int]],
+        pend: Event,
+        cv,
+    ) -> Optional[int]:
+        """Index of the latest event racing with ``pend`` (conflicting,
+        possibly co-enabled, not happens-before the pending thread)."""
+        candidates: List[int] = []
+        if pend.oid >= 0:
+            candidates.extend(loc_index.get((pend.oid, pend.key), ()))
+        if pend.released_mutex_oid is not None:
+            candidates.extend(loc_index.get((pend.released_mutex_oid, None), ()))
+        if pend.kind in MUTEX_KINDS:
+            # WAIT events that released this mutex are indexed under the
+            # mutex location already, so nothing extra to scan.
+            pass
+        for i in sorted(set(candidates), reverse=True):
+            e = trace[i]
+            if e.tid == pend.tid:
+                continue
+            if not conflicts(e, pend):
+                continue
+            if not may_be_coenabled(e, pend):
+                continue
+            if self._hb_pending(e, cv):
+                # already ordered before the pending op: not a race, and
+                # nothing earlier on this location can race either
+                # (later events on the location dominate earlier ones);
+                # keep scanning, though, because a non-modifying chain
+                # may hide an older racing write.
+                continue
+            return i
+        return None
+
+    @staticmethod
+    def _hb_pending(e: Event, cv) -> bool:
+        """Does event ``e`` happen-before the pending op of the thread
+        whose current regular clock is ``cv``?"""
+        return e.clock[e.tid] <= cv[e.tid]

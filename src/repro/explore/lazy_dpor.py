@@ -1,0 +1,90 @@
+"""Lazy DPOR prototype — the paper's Section 4 future work.
+
+The paper observes that the lazy HBR cannot simply replace the regular
+HBR inside DPOR, because not every linearization of a lazy HBR is
+feasible.  What *can* be done soundly today is to combine the two
+mechanisms:
+
+* DPOR's race detection and backtracking run unchanged on the regular
+  HBR (so the set of branches considered is the sound F–G set);
+* additionally, after every executed event the **lazy** prefix
+  fingerprint is checked against a global cache; on a hit, the current
+  branch's continuation provably reaches only states reachable from the
+  earlier, equivalent prefix.
+
+Caveat (documented, and measured in the ablation benchmark): pruning a
+branch also skips the race analysis its suffix would have performed, so
+backtrack points that only that suffix would have added to *this*
+branch's ancestors can be lost.  Equivalent prefixes are extended
+elsewhere — but under a different prefix whose ancestor nodes are
+different stack entries.  The tests therefore validate this explorer
+empirically: on every small benchmark in the suite it must find exactly
+the terminal states DFS finds; where that ever failed, the explorer
+would be reported as approximate.  (Across the shipped suite it finds
+the full state set; a proof is future work, as in the paper.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.cache import FingerprintCache
+from .dpor import DPORExplorer, _Node
+
+
+class LazyDPORExplorer(DPORExplorer):
+    """DPOR + lazy-HBR prefix pruning (prototype)."""
+
+    name = "lazy-dpor"
+
+    def __init__(
+        self,
+        program,
+        limits=None,
+        sleep_sets: bool = True,
+        cache_capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(program, limits, sleep_sets=sleep_sets)
+        self.stats.explorer_name = self.name = "lazy-dpor"
+        self.cache = FingerprintCache(cache_capacity)
+
+    def _run_one(self, stack) -> bool:
+        ex = self._new_executor()
+        loc_index = {}
+        for node in stack:
+            self._index_event(loc_index, ex.trace, ex.step(node.chosen))
+
+        while True:
+            if ex.is_done():
+                result = ex.finish()
+                self.stats.num_events += result.num_events
+                self._update_backtracks(ex, stack, loc_index)
+                self._record_terminal(result)
+                return False
+            if len(ex.trace) >= len(stack):
+                self._update_backtracks(ex, stack, loc_index)
+                enabled = ex.enabled()
+                if len(ex.trace) == len(stack):
+                    sleep = self._child_sleep(stack, ex)
+                    node = _Node(enabled, sleep)
+                    runnable = [t for t in enabled if t not in sleep]
+                    if not runnable:
+                        return True
+                    choice = runnable[0]
+                    node.backtrack.add(choice)
+                    node.chosen = choice
+                    node.done.add(choice)
+                    stack.append(node)
+            event = ex.step(stack[len(ex.trace)].chosen)
+            self._index_event(loc_index, ex.trace, event)
+            # lazy-HBR pruning: skip continuations of prefixes whose
+            # lazy HBR was already reached by an earlier feasible prefix
+            if not self.cache.insert(ex.engine.lazy_fingerprint()):
+                self.stats.num_events += len(ex.trace)
+                return True
+
+    def run(self):
+        stats = super().run()
+        stats.extra["cache_size"] = len(self.cache)
+        stats.extra["cache_hits"] = self.cache.hits
+        return stats

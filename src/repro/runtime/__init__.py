@@ -1,0 +1,52 @@
+"""SCT execution substrate: shared objects, guest programs, the
+stepwise executor and schedulers."""
+
+from .atomic import AtomicInt
+from .barrier import Barrier
+from .condvar import CondVar
+from .executor import DEFAULT_MAX_EVENTS, Executor
+from .mutex import Mutex
+from .objects import ObjectRegistry, SharedObject, ThreadHandle
+from .program import Program, ProgramBuilder, ProgramInstance
+from .rwlock import RWLock
+from .schedule import (
+    FirstEnabledScheduler,
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    execute,
+    is_feasible,
+)
+from .semaphore import Semaphore
+from .sharedvar import SharedArray, SharedDict, SharedVar
+from .thread_api import ThreadAPI
+from .trace import PendingInfo, TraceResult
+
+__all__ = [
+    "AtomicInt",
+    "Barrier",
+    "CondVar",
+    "DEFAULT_MAX_EVENTS",
+    "Executor",
+    "FirstEnabledScheduler",
+    "Mutex",
+    "ObjectRegistry",
+    "PendingInfo",
+    "Program",
+    "ProgramBuilder",
+    "ProgramInstance",
+    "RWLock",
+    "RandomScheduler",
+    "ReplayScheduler",
+    "RoundRobinScheduler",
+    "Semaphore",
+    "SharedArray",
+    "SharedDict",
+    "SharedObject",
+    "SharedVar",
+    "ThreadAPI",
+    "ThreadHandle",
+    "TraceResult",
+    "execute",
+    "is_feasible",
+]

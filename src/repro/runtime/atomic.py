@@ -1,0 +1,58 @@
+"""Atomic integers.
+
+``load``/``store`` are ordinary READ/WRITE events; ``fetch_add``,
+``compare_and_swap`` and friends execute as single RMW events, so they
+are indivisible at the scheduling level — exactly the semantics of
+hardware atomics under sequential consistency.
+"""
+
+from __future__ import annotations
+
+from .objects import ObjectRegistry, SharedObject
+
+
+class AtomicInt(SharedObject):
+    """A shared integer with atomic read-modify-write operations."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, registry: ObjectRegistry, initial: int = 0, name: str = ""):
+        super().__init__(registry, name)
+        self.value = int(initial)
+
+    def get(self, key=None) -> int:
+        return self.value
+
+    def set(self, key, value) -> None:
+        self.value = int(value)
+
+    def state_value(self):
+        return self.value
+
+    # The RMW op carries a function old -> (new, result); these builders
+    # produce the payloads used by ThreadAPI.
+    @staticmethod
+    def _fetch_add(delta: int):
+        def apply(old: int):
+            return old + delta, old
+        return apply
+
+    @staticmethod
+    def _add_fetch(delta: int):
+        def apply(old: int):
+            return old + delta, old + delta
+        return apply
+
+    @staticmethod
+    def _cas(expect: int, new: int):
+        def apply(old: int):
+            if old == expect:
+                return new, True
+            return old, False
+        return apply
+
+    @staticmethod
+    def _exchange(new: int):
+        def apply(old: int):
+            return new, old
+        return apply

@@ -1,0 +1,50 @@
+"""Cyclic barrier.
+
+A thread's ``barrier_wait`` is enabled once *all* ``parties`` threads
+are simultaneously pending on the barrier (admission happens in a
+deterministic pre-pass of the executor's enabledness computation).
+Admitted threads then execute their BARRIER_WAIT events in any order
+the scheduler picks — matching real barriers, where wakeup order after
+the last arrival is unspecified.
+
+No release edges are injected: all BARRIER_WAIT events on one barrier
+conflict pairwise (they modify the barrier), and the synchronisation
+"everyone reached the barrier" is an enabledness fact, not an event
+ordering — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .objects import ObjectRegistry, SharedObject
+
+
+class Barrier(SharedObject):
+    """A reusable barrier for a fixed number of parties."""
+
+    __slots__ = ("parties", "admitted", "generation")
+
+    def __init__(self, registry: ObjectRegistry, parties: int, name: str = ""):
+        super().__init__(registry, name)
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.parties = parties
+        self.admitted: Set[int] = set()
+        self.generation = 0
+
+    def admit(self, tids) -> None:
+        """Called by the executor when ``parties`` threads are pending."""
+        self.admitted.update(tids)
+
+    def can_pass(self, tid: int) -> bool:
+        return tid in self.admitted
+
+    def do_pass(self, tid: int) -> int:
+        self.admitted.discard(tid)
+        if not self.admitted:
+            self.generation += 1
+        return self.generation
+
+    def state_value(self):
+        return ("barrier", self.generation, tuple(sorted(self.admitted)))

@@ -1,0 +1,52 @@
+"""Condition variables with classic monitor semantics.
+
+``wait(cv, m)`` atomically releases ``m`` and parks the thread on the
+condition variable (one WAIT event); a subsequent ``notify`` moves the
+longest-waiting thread to the *re-acquiring* phase, where its next step
+is an implicit ``lock(m)`` event.  The guest's ``yield api.wait(...)``
+returns only after the mutex has been re-acquired — exactly
+``pthread_cond_wait`` / ``Object.wait`` behaviour, including lost
+wakeups (a notify with no waiters is a no-op).
+
+Happens-before treatment: WAIT/NOTIFY events conflict on the condvar
+object in *both* relations (condvars are not mutexes, so the lazy HBR
+keeps their edges), and the runtime injects a release edge
+notify → resumed-thread so that code running after the wakeup is
+ordered after the notify even in the lazy relation, where the implicit
+re-acquire lock event carries no mutex edges.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .objects import ObjectRegistry, SharedObject
+
+
+class CondVar(SharedObject):
+    """A condition variable; waiters resume in FIFO order."""
+
+    __slots__ = ("waiters",)
+
+    def __init__(self, registry: ObjectRegistry, name: str = ""):
+        super().__init__(registry, name)
+        self.waiters: List[int] = []
+
+    def add_waiter(self, tid: int) -> None:
+        self.waiters.append(tid)
+
+    def pop_one(self) -> List[int]:
+        """Waiters released by ``notify`` (at most one, FIFO)."""
+        if self.waiters:
+            return [self.waiters.pop(0)]
+        return []
+
+    def pop_all(self) -> List[int]:
+        """Waiters released by ``notify_all``."""
+        out, self.waiters = self.waiters, []
+        return out
+
+    def state_value(self):
+        # A schedule cannot end with still-parked waiters unless it
+        # deadlocked; the queue is part of the state regardless.
+        return ("condvar", tuple(self.waiters))

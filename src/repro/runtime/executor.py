@@ -1,0 +1,414 @@
+"""The stepwise executor: the heart of the SCT runtime.
+
+An :class:`Executor` owns one fresh :class:`ProgramInstance` and drives
+its guest generators one visible operation at a time:
+
+* every thread always has (at most) one *pending* operation — the value
+  of its most recent ``yield`` — giving the one-op lookahead DPOR needs;
+* :meth:`enabled` reports which pending operations can execute now;
+* :meth:`step` executes one of them, records the :class:`Event`,
+  updates both happens-before clock engines, resumes the generator, and
+  captures its next pending op;
+* when no thread is enabled and some are unfinished, the run ends in a
+  recorded :class:`~repro.errors.DeadlockError`.
+
+Explorers re-create an Executor per schedule (stateless exploration
+with replay), so this class has no reset logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.events import Event, Op, OpKind
+from ..core.hb import DualClockEngine
+from ..errors import (
+    DeadlockError,
+    GuestError,
+    InvalidOpError,
+    SchedulerError,
+)
+from .barrier import Barrier
+from .objects import ThreadHandle
+from .program import Program, ProgramInstance
+from .state import compute_state_hash, describe_state
+from .thread_api import ThreadAPI
+from .trace import PendingInfo, TraceResult
+
+DEFAULT_MAX_EVENTS = 20_000
+
+
+class _Status(enum.IntEnum):
+    RUNNABLE = 0
+    WAITING = 1   # parked on a condition variable
+    FINISHED = 2
+
+
+class _GuestThread:
+    __slots__ = (
+        "tid", "name", "gen", "pending", "status", "tindex",
+        "handle", "wait_mutex", "resuming", "exit_recorded", "crashed",
+    )
+
+    def __init__(self, tid: int, name: str, gen, handle: ThreadHandle) -> None:
+        self.tid = tid
+        self.name = name
+        self.gen = gen
+        self.pending: Optional[Op] = None
+        self.status = _Status.RUNNABLE
+        self.tindex = 0
+        self.handle = handle
+        self.wait_mutex = None        # mutex to re-acquire after a wait
+        self.resuming = False         # pending op is the implicit re-lock
+        self.exit_recorded = False
+        self.crashed = False          # terminated by a guest assertion
+
+
+class Executor:
+    """Stepwise execution of one program instance under external control."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        canonical: bool = False,
+    ) -> None:
+        self.program = program
+        self.instance: ProgramInstance = program.instantiate()
+        self.engine = DualClockEngine(canonical=canonical)
+        self.max_events = max_events
+        self.trace: List[Event] = []
+        self.schedule: List[int] = []
+        self.threads: List[_GuestThread] = []
+        self.error: Optional[GuestError] = None  # deadlock / fatal errors
+        self.guest_failures: List[GuestError] = []  # per-thread crashes
+        self.truncated = False
+        self._exit_events: Dict[int, Event] = {}
+
+        for body, args, name in self.instance.threads:
+            self._create_thread(body, args, name)
+
+    # ------------------------------------------------------------------
+    # Thread management
+    def _create_thread(self, body: Callable, args: Tuple, name: str) -> _GuestThread:
+        tid = len(self.threads)
+        handle = ThreadHandle(self.instance.registry, tid)
+        api = ThreadAPI(tid)
+        gen = body(api, *args)
+        t = _GuestThread(tid, name or f"T{tid}", gen, handle)
+        self.threads.append(t)
+        self.engine.register_thread(tid)
+        self._advance(t, None, first=True)
+        return t
+
+    def _advance(self, t: _GuestThread, send_value: Any, first: bool = False) -> None:
+        """Resume ``t``'s generator and capture its next pending op."""
+        try:
+            op = next(t.gen) if first else t.gen.send(send_value)
+        except StopIteration:
+            t.pending = Op(OpKind.EXIT, t.handle)
+            return
+        except GuestError as exc:
+            # A guest assertion failure crashes only this thread: its
+            # death becomes an ordinary EXIT event (carrying the error),
+            # and the other threads keep running.  A global abort would
+            # make terminal states depend on where *concurrent* threads
+            # happened to be, which breaks the trace-equivalence
+            # arguments every POR strategy relies on.
+            t.pending = Op(OpKind.EXIT, t.handle, exc)
+            return
+        if not isinstance(op, Op):
+            raise InvalidOpError(
+                f"thread {t.name} yielded {op!r}; guest threads must yield "
+                f"Op values built with the ThreadAPI"
+            )
+        t.pending = op
+
+    # ------------------------------------------------------------------
+    # Enabledness
+    def _admit_barriers(self) -> None:
+        """Deterministic pre-pass: admit full barrier cohorts."""
+        pending_by_barrier: Dict[int, List[int]] = {}
+        barriers: Dict[int, Barrier] = {}
+        for t in self.threads:
+            op = t.pending
+            if (
+                t.status == _Status.RUNNABLE
+                and op is not None
+                and op.kind == OpKind.BARRIER_WAIT
+                and t.tid not in op.target.admitted
+            ):
+                pending_by_barrier.setdefault(op.target.oid, []).append(t.tid)
+                barriers[op.target.oid] = op.target
+        for oid, tids in pending_by_barrier.items():
+            b = barriers[oid]
+            # only threads of the *new* generation count: threads still in
+            # b.admitted are finishing the previous one
+            if len(tids) >= b.parties:
+                b.admit(tids[: b.parties])
+
+    def _op_enabled(self, t: _GuestThread) -> bool:
+        op = t.pending
+        kind = op.kind
+        if kind == OpKind.LOCK:
+            return op.target.can_lock()
+        if kind == OpKind.READ:
+            pred = op.arg2
+            if pred is not None:  # await_value
+                return bool(pred(op.target.get(op.arg)))
+            return True
+        if kind == OpKind.SEM_ACQUIRE:
+            return op.target.can_acquire()
+        if kind == OpKind.JOIN:
+            target = op.arg
+            return (
+                0 <= target < len(self.threads)
+                and self.threads[target].status == _Status.FINISHED
+            )
+        if kind == OpKind.BARRIER_WAIT:
+            return op.target.can_pass(t.tid)
+        if kind == OpKind.RLOCK:
+            return op.target.can_rlock(t.tid)
+        if kind == OpKind.WLOCK:
+            return op.target.can_wlock(t.tid)
+        return True
+
+    def enabled(self) -> List[int]:
+        """Sorted tids whose pending operation can execute now."""
+        if self.error is not None or self.truncated:
+            return []
+        self._admit_barriers()
+        return [
+            t.tid
+            for t in self.threads
+            if t.status == _Status.RUNNABLE
+            and t.pending is not None
+            and self._op_enabled(t)
+        ]
+
+    def runnable_unfinished(self) -> List[int]:
+        """Tids of threads that have not finished (enabled or blocked)."""
+        return [t.tid for t in self.threads if t.status != _Status.FINISHED]
+
+    # ------------------------------------------------------------------
+    # DPOR lookahead
+    def pending_info(self, tid: int) -> Optional[PendingInfo]:
+        """The pending operation of ``tid`` as location data, or None for
+        finished/parked threads."""
+        t = self.threads[tid]
+        if t.pending is None:
+            return None
+        op = t.pending
+        oid, key = self._op_location(t, op)
+        released = op.arg2.oid if op.kind == OpKind.WAIT else None
+        return PendingInfo(
+            tid=tid,
+            kind=int(op.kind),
+            oid=oid,
+            key=key,
+            enabled=self._op_enabled(t) and t.status == _Status.RUNNABLE,
+            released_mutex_oid=released,
+        )
+
+    def all_pending_infos(self) -> List[PendingInfo]:
+        self._admit_barriers()
+        infos = []
+        for t in self.threads:
+            info = self.pending_info(t.tid)
+            if info is not None:
+                infos.append(info)
+        return infos
+
+    @staticmethod
+    def _op_location(t: _GuestThread, op: Op) -> Tuple[int, Any]:
+        kind = op.kind
+        if kind in (OpKind.READ, OpKind.WRITE, OpKind.RMW):
+            return op.target.oid, op.arg
+        if kind == OpKind.YIELD or kind == OpKind.SPAWN:
+            return -1, None
+        if kind == OpKind.JOIN:
+            return -2, op.arg  # resolved to the handle oid at execution
+        if kind == OpKind.EXIT:
+            return op.target.oid, None
+        return op.target.oid, None
+
+    # ------------------------------------------------------------------
+    # Stepping
+    def step(self, tid: int) -> Event:
+        """Execute ``tid``'s pending operation; returns the new event."""
+        if self.error is not None or self.truncated:
+            raise SchedulerError("execution already terminated")
+        t = self.threads[tid]
+        if t.status != _Status.RUNNABLE or t.pending is None:
+            raise SchedulerError(f"thread {tid} has no pending operation")
+        self._admit_barriers()
+        if not self._op_enabled(t):
+            raise SchedulerError(f"thread {tid} is not enabled")
+        if len(self.trace) >= self.max_events:
+            self.truncated = True
+            raise SchedulerError(
+                f"schedule exceeded max_events={self.max_events}"
+            )
+
+        op = t.pending
+        kind = op.kind
+        value: Any = None
+        released_mutex_oid: Optional[int] = None
+        woken: List[_GuestThread] = []
+        spawned: Optional[_GuestThread] = None
+        oid, key = self._op_location(t, op)
+
+        try:
+            if kind == OpKind.READ:
+                value = op.target.get(op.arg)
+            elif kind == OpKind.WRITE:
+                op.target.set(op.arg, op.arg2)
+                value = op.arg2
+            elif kind == OpKind.RMW:
+                old = op.target.get(op.arg)
+                new, value = op.arg2(old)
+                op.target.set(op.arg, new)
+            elif kind == OpKind.LOCK:
+                op.target.do_lock(tid)
+            elif kind == OpKind.UNLOCK:
+                op.target.do_unlock(tid)
+            elif kind == OpKind.WAIT:
+                mutex = op.arg2
+                if mutex.owner != tid:
+                    raise InvalidOpError(
+                        f"wait on {op.target.name}: T{tid} does not hold "
+                        f"{mutex.name}"
+                    )
+                mutex.do_unlock(tid)
+                op.target.add_waiter(tid)
+                released_mutex_oid = mutex.oid
+                t.wait_mutex = mutex
+                t.status = _Status.WAITING
+            elif kind == OpKind.NOTIFY:
+                woken = [self.threads[w] for w in op.target.pop_one()]
+            elif kind == OpKind.NOTIFY_ALL:
+                woken = [self.threads[w] for w in op.target.pop_all()]
+            elif kind == OpKind.SEM_ACQUIRE:
+                op.target.do_acquire()
+            elif kind == OpKind.SEM_RELEASE:
+                op.target.do_release()
+            elif kind == OpKind.BARRIER_WAIT:
+                value = op.target.do_pass(tid)
+            elif kind == OpKind.RLOCK:
+                op.target.do_rlock(tid)
+            elif kind == OpKind.RUNLOCK:
+                op.target.do_runlock(tid)
+            elif kind == OpKind.WLOCK:
+                op.target.do_wlock(tid)
+            elif kind == OpKind.WUNLOCK:
+                op.target.do_wunlock(tid)
+            elif kind == OpKind.SPAWN:
+                fn, args = op.arg
+                spawned = self._create_thread(fn, args, "")
+                value = spawned.tid
+                oid, key = spawned.handle.oid, None
+            elif kind == OpKind.JOIN:
+                target = self.threads[op.arg]
+                oid, key = target.handle.oid, None
+            elif kind == OpKind.EXIT:
+                if op.arg is not None:  # thread died on a guest assertion
+                    t.crashed = True
+                    self.guest_failures.append(op.arg)
+                    value = op.arg  # surfaced by trace renderers
+            elif kind == OpKind.YIELD:
+                pass
+            else:  # pragma: no cover - all kinds handled above
+                raise InvalidOpError(f"unhandled op kind {kind!r}")
+        except GuestError as exc:  # pragma: no cover - defensive
+            self.error = exc
+            t.status = _Status.FINISHED
+            t.pending = None
+            raise
+
+        event = Event(
+            index=len(self.trace),
+            tid=tid,
+            tindex=t.tindex,
+            kind=kind,
+            oid=oid,
+            key=key,
+            value=value,
+            released_mutex_oid=released_mutex_oid,
+        )
+        t.tindex += 1
+        self.engine.on_event(event)
+        self.trace.append(event)
+        self.schedule.append(tid)
+
+        # Post-event bookkeeping that needs the stamped clocks.
+        if spawned is not None:
+            # child happens-after the spawn event (in both relations)
+            self.engine.register_thread(spawned.tid, event)
+        for w in woken:
+            # notify -> wakeup edge, in both relations
+            self.engine.add_release_edge(event, w.tid)
+            w.status = _Status.RUNNABLE
+            w.resuming = True
+            w.pending = Op(OpKind.LOCK, w.wait_mutex)
+
+        # Resume the generator (or finalise the thread).
+        if kind == OpKind.WAIT:
+            t.pending = None  # parked until notified
+        elif kind == OpKind.EXIT:
+            t.status = _Status.FINISHED
+            t.pending = None
+            t.exit_recorded = True
+            self._exit_events[tid] = event
+        elif t.resuming and kind == OpKind.LOCK:
+            # the implicit re-acquire after a wait: now the guest's
+            # `yield api.wait(...)` finally returns
+            t.resuming = False
+            t.wait_mutex = None
+            self._advance(t, None)
+        else:
+            self._advance(t, value)
+        return event
+
+    # ------------------------------------------------------------------
+    # Termination
+    def is_done(self) -> bool:
+        """True when the run is over (normally or abnormally).  Detects
+        and records deadlock as a side effect."""
+        if self.error is not None or self.truncated:
+            return True
+        unfinished = self.runnable_unfinished()
+        if not unfinished:
+            return True
+        if len(self.trace) >= self.max_events:
+            self.truncated = True
+            return True
+        if not self.enabled():
+            self.error = DeadlockError(unfinished)
+            return True
+        return False
+
+    def finish(self) -> TraceResult:
+        """Package the result; the run must be done."""
+        if not self.is_done():
+            raise SchedulerError("finish() called before the run is done")
+        progress = tuple(
+            (t.tindex, t.crashed) for t in self.threads
+        )
+        error = self.error or (
+            self.guest_failures[0] if self.guest_failures else None
+        )
+        state_hash = compute_state_hash(
+            self.instance.registry, progress, error, self.truncated
+        )
+        return TraceResult(
+            program_name=self.program.name,
+            schedule=list(self.schedule),
+            events=list(self.trace),
+            hbr_fp=self.engine.hbr_fingerprint(),
+            lazy_fp=self.engine.lazy_fingerprint(),
+            state_hash=state_hash,
+            error=error,
+            final_state=describe_state(self.instance.registry),
+            truncated=self.truncated,
+        )

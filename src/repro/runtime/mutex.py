@@ -1,0 +1,52 @@
+"""Non-reentrant mutex.
+
+``lock`` is enabled only while the mutex is free; ``unlock`` by a
+non-owner is an :class:`~repro.errors.InvalidOpError` (a harness-level
+modelling error, not a guest property violation).
+
+Lock/unlock events are the operations whose inter-thread edges the lazy
+happens-before relation discards.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import InvalidOpError
+from .objects import ObjectRegistry, SharedObject
+
+
+class Mutex(SharedObject):
+    """A standard mutual-exclusion lock."""
+
+    __slots__ = ("owner", "acquisitions")
+
+    def __init__(self, registry: ObjectRegistry, name: str = ""):
+        super().__init__(registry, name)
+        self.owner: Optional[int] = None
+        self.acquisitions = 0  # informational counter
+
+    def can_lock(self) -> bool:
+        return self.owner is None
+
+    def do_lock(self, tid: int) -> None:
+        if self.owner is not None:
+            raise InvalidOpError(
+                f"{self.name}: lock by T{tid} while held by T{self.owner}"
+            )
+        self.owner = tid
+        self.acquisitions += 1
+
+    def do_unlock(self, tid: int) -> None:
+        if self.owner != tid:
+            raise InvalidOpError(
+                f"{self.name}: unlock by T{tid} but owner is "
+                f"{'nobody' if self.owner is None else f'T{self.owner}'}"
+            )
+        self.owner = None
+
+    def state_value(self):
+        # Mutex state participates in the final-state hash; the paper's
+        # counting argument guarantees it is equal for schedules with
+        # equal lazy HBRs.
+        return ("mutex", self.owner)

@@ -1,0 +1,67 @@
+"""Shared-object base class and per-program object registry.
+
+Every visible object a guest program can touch (variables, mutexes,
+condition variables, ...) is a :class:`SharedObject` registered with the
+program instance's :class:`ObjectRegistry`.  Object ids are assigned in
+construction order, which makes them deterministic across executions of
+the same program — a requirement for happens-before fingerprints to be
+comparable between schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+
+class ObjectRegistry:
+    """Allocates dense object ids and remembers all shared objects."""
+
+    __slots__ = ("objects",)
+
+    def __init__(self) -> None:
+        self.objects: List["SharedObject"] = []
+
+    def register(self, obj: "SharedObject") -> int:
+        oid = len(self.objects)
+        self.objects.append(obj)
+        return oid
+
+    def state_items(self):
+        """Stable ``(oid, state_value)`` pairs for final-state hashing."""
+        return [(o.oid, o.state_value()) for o in self.objects]
+
+
+class SharedObject:
+    """Base class for everything guest threads can operate on."""
+
+    __slots__ = ("oid", "name")
+
+    def __init__(self, registry: ObjectRegistry, name: str = "") -> None:
+        self.oid = registry.register(self)
+        self.name = name or f"{type(self).__name__.lower()}{self.oid}"
+
+    def state_value(self) -> Any:
+        """A hashable summary of this object's current state, used in the
+        final-state hash.  Subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r}, oid={self.oid})"
+
+
+class ThreadHandle(SharedObject):
+    """Pseudo-object standing for one guest thread.
+
+    SPAWN/EXIT/JOIN events target the thread's handle, so thread
+    lifecycle ordering falls out of ordinary conflict edges: EXIT
+    modifies the handle and JOIN reads it.
+    """
+
+    __slots__ = ("tid",)
+
+    def __init__(self, registry: ObjectRegistry, tid: int, name: str = "") -> None:
+        super().__init__(registry, name or f"thread{tid}")
+        self.tid = tid
+
+    def state_value(self):
+        return ("thread", self.tid)

@@ -1,0 +1,122 @@
+"""Guest program definition.
+
+A :class:`Program` is a *recipe*: a name plus a builder function that,
+when invoked, produces a fresh :class:`ProgramInstance` — fresh shared
+objects and fresh thread generators.  Explorers re-build the instance
+for every executed schedule, which guarantees runs are independent and
+object ids are identical across runs (construction order is fixed).
+
+Example::
+
+    def build(p: ProgramBuilder):
+        m = p.mutex("m")
+        x = p.var("x", 0)
+        y = p.var("y", 0)
+
+        def t1(api):
+            yield api.lock(m)
+            v = yield api.read(x)
+            yield api.unlock(m)
+            yield api.write(y, v)
+
+        p.thread(t1)
+        p.thread(t1)
+
+    program = Program("two_readers", build)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .atomic import AtomicInt
+from .barrier import Barrier
+from .condvar import CondVar
+from .mutex import Mutex
+from .objects import ObjectRegistry, SharedObject
+from .rwlock import RWLock
+from .semaphore import Semaphore
+from .sharedvar import SharedArray, SharedDict, SharedVar
+
+#: A guest thread body: generator function taking (api, *args).
+ThreadBody = Callable[..., Any]
+
+
+class ProgramBuilder:
+    """Handed to a program's build function to declare shared state and
+    threads.  All declarations happen before execution starts, so object
+    and thread ids are deterministic."""
+
+    def __init__(self) -> None:
+        self.registry = ObjectRegistry()
+        self.threads: List[Tuple[ThreadBody, Tuple[Any, ...], str]] = []
+        self.named: Dict[str, SharedObject] = {}
+
+    # -- shared state ----------------------------------------------------
+    def var(self, name: str, initial: Any = None) -> SharedVar:
+        return self._remember(SharedVar(self.registry, initial, name))
+
+    def array(self, name: str, initial) -> SharedArray:
+        return self._remember(SharedArray(self.registry, initial, name))
+
+    def dict(self, name: str, initial: Optional[Dict] = None) -> SharedDict:
+        return self._remember(SharedDict(self.registry, initial, name))
+
+    def atomic(self, name: str, initial: int = 0) -> AtomicInt:
+        return self._remember(AtomicInt(self.registry, initial, name))
+
+    def mutex(self, name: str) -> Mutex:
+        return self._remember(Mutex(self.registry, name))
+
+    def condvar(self, name: str) -> CondVar:
+        return self._remember(CondVar(self.registry, name))
+
+    def semaphore(self, name: str, initial: int = 0) -> Semaphore:
+        return self._remember(Semaphore(self.registry, initial, name))
+
+    def barrier(self, name: str, parties: int) -> Barrier:
+        return self._remember(Barrier(self.registry, parties, name))
+
+    def rwlock(self, name: str) -> RWLock:
+        return self._remember(RWLock(self.registry, name))
+
+    def _remember(self, obj: SharedObject) -> SharedObject:
+        if obj.name in self.named:
+            raise ValueError(f"duplicate shared object name {obj.name!r}")
+        self.named[obj.name] = obj
+        return obj
+
+    # -- threads -----------------------------------------------------------
+    def thread(self, body: ThreadBody, *args: Any, name: str = "") -> int:
+        """Declare a static guest thread ``body(api, *args)``; returns its
+        thread id (assigned in declaration order)."""
+        tid = len(self.threads)
+        self.threads.append((body, args, name or f"T{tid}"))
+        return tid
+
+
+@dataclass
+class ProgramInstance:
+    """One freshly-built copy of a program, ready to execute."""
+
+    registry: ObjectRegistry
+    threads: List[Tuple[ThreadBody, Tuple[Any, ...], str]]
+    named: Dict[str, SharedObject]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A named, re-buildable guest program."""
+
+    name: str
+    build: Callable[[ProgramBuilder], None]
+    description: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    def instantiate(self) -> ProgramInstance:
+        builder = ProgramBuilder()
+        self.build(builder)
+        if not builder.threads:
+            raise ValueError(f"program {self.name!r} declares no threads")
+        return ProgramInstance(builder.registry, builder.threads, builder.named)

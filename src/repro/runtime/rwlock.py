@@ -1,0 +1,62 @@
+"""Reader–writer lock.
+
+Multiple readers may hold the lock concurrently; a writer requires
+exclusivity.  Acquisition is greedy with no writer preference (a
+pending writer does not block new readers) — the simplest deterministic
+policy, and the one that exposes the most interleavings to the tester.
+
+RWLock events are kept in the lazy HBR (conservatively: the paper's
+theorem covers plain mutexes only).  An rwlock held in *read* mode by
+several threads genuinely orders nothing between the readers, which the
+regular HBR already captures because RLOCK conflicts are on the rwlock
+object itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..errors import InvalidOpError
+from .objects import ObjectRegistry, SharedObject
+
+
+class RWLock(SharedObject):
+    """A reader–writer lock."""
+
+    __slots__ = ("readers", "writer")
+
+    def __init__(self, registry: ObjectRegistry, name: str = ""):
+        super().__init__(registry, name)
+        self.readers: Set[int] = set()
+        self.writer: Optional[int] = None
+
+    # -- reader side -----------------------------------------------------
+    def can_rlock(self, tid: int) -> bool:
+        return self.writer is None and tid not in self.readers
+
+    def do_rlock(self, tid: int) -> None:
+        if self.writer is not None or tid in self.readers:
+            raise InvalidOpError(f"{self.name}: bad rlock by T{tid}")
+        self.readers.add(tid)
+
+    def do_runlock(self, tid: int) -> None:
+        if tid not in self.readers:
+            raise InvalidOpError(f"{self.name}: runlock by non-reader T{tid}")
+        self.readers.discard(tid)
+
+    # -- writer side -----------------------------------------------------
+    def can_wlock(self, tid: int) -> bool:
+        return self.writer is None and not self.readers
+
+    def do_wlock(self, tid: int) -> None:
+        if self.writer is not None or self.readers:
+            raise InvalidOpError(f"{self.name}: bad wlock by T{tid}")
+        self.writer = tid
+
+    def do_wunlock(self, tid: int) -> None:
+        if self.writer != tid:
+            raise InvalidOpError(f"{self.name}: wunlock by non-writer T{tid}")
+        self.writer = None
+
+    def state_value(self):
+        return ("rwlock", tuple(sorted(self.readers)), self.writer)

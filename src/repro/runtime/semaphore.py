@@ -1,0 +1,37 @@
+"""Counting semaphore.
+
+``acquire`` (P) is enabled while the count is positive; ``release`` (V)
+is always enabled.  Semaphore events stay in the lazy HBR: the paper's
+Theorem 2.2 covers mutex operations only, so semaphore edges are kept
+conservatively (an ablation flag in the engine would be unsound without
+an accompanying proof — see DESIGN.md §5.4).
+"""
+
+from __future__ import annotations
+
+from .objects import ObjectRegistry, SharedObject
+
+
+class Semaphore(SharedObject):
+    """A counting semaphore with FIFO-free (scheduler-driven) wakeups."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, registry: ObjectRegistry, initial: int = 0, name: str = ""):
+        super().__init__(registry, name)
+        if initial < 0:
+            raise ValueError("semaphore count must be non-negative")
+        self.count = int(initial)
+
+    def can_acquire(self) -> bool:
+        return self.count > 0
+
+    def do_acquire(self) -> None:
+        assert self.count > 0
+        self.count -= 1
+
+    def do_release(self) -> None:
+        self.count += 1
+
+    def state_value(self):
+        return ("sem", self.count)

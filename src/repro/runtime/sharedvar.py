@@ -1,0 +1,98 @@
+"""Plain shared data: scalar variables, arrays and dictionaries.
+
+Conflict granularity is per *location*: a :class:`SharedVar` is one
+location; each :class:`SharedArray` slot and each :class:`SharedDict`
+key is its own location (the slot index / key becomes the event's
+``key``), so threads writing disjoint elements do not conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from ..errors import InvalidOpError
+from .objects import ObjectRegistry, SharedObject
+
+
+class SharedVar(SharedObject):
+    """A single shared scalar variable."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, registry: ObjectRegistry, initial: Any = None, name: str = ""):
+        super().__init__(registry, name)
+        self.value = initial
+
+    def get(self, key=None) -> Any:
+        return self.value
+
+    def set(self, key, value) -> None:
+        self.value = value
+
+    def state_value(self):
+        return _hashable(self.value)
+
+
+class SharedArray(SharedObject):
+    """A fixed-size shared array; each slot is an independent location."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self, registry: ObjectRegistry, initial: Iterable[Any], name: str = ""):
+        super().__init__(registry, name)
+        self.cells: List[Any] = list(initial)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def get(self, key) -> Any:
+        if not isinstance(key, int) or not (0 <= key < len(self.cells)):
+            raise InvalidOpError(f"bad index {key!r} for {self.name}")
+        return self.cells[key]
+
+    def set(self, key, value) -> None:
+        if not isinstance(key, int) or not (0 <= key < len(self.cells)):
+            raise InvalidOpError(f"bad index {key!r} for {self.name}")
+        self.cells[key] = value
+
+    def state_value(self):
+        return tuple(_hashable(v) for v in self.cells)
+
+
+class SharedDict(SharedObject):
+    """A shared map; each key is an independent location.
+
+    For fingerprints to be stable across *processes* keys should be
+    ints or tuples of ints (CPython string hashing is randomised per
+    process); within one exploration any hashable key is fine.
+    """
+
+    __slots__ = ("table",)
+
+    def __init__(self, registry: ObjectRegistry, initial: Dict = None, name: str = ""):
+        super().__init__(registry, name)
+        self.table: Dict[Any, Any] = dict(initial or {})
+
+    def get(self, key) -> Any:
+        return self.table.get(key)
+
+    def set(self, key, value) -> None:
+        self.table[key] = value
+
+    def state_value(self):
+        return tuple(sorted((repr(k), repr(v)) for k, v in self.table.items()))
+
+
+def _hashable(v: Any):
+    """Coerce a guest value into something hashable for state digests."""
+    if isinstance(v, (list, tuple)):
+        return tuple(_hashable(x) for x in v)
+    if isinstance(v, dict):
+        return tuple(sorted((repr(k), repr(x)) for k, x in v.items()))
+    if isinstance(v, set):
+        return tuple(sorted(repr(x) for x in v))
+    try:
+        hash(v)
+        return v
+    except TypeError:
+        return repr(v)

@@ -1,0 +1,44 @@
+"""Final-state capture.
+
+The simulator has perfect visibility of guest state, so — unlike the
+paper's Java tool, which had to treat "same HBR" as a proxy for "same
+state" — we can digest the real final state and *verify* the chain
+``#states <= #lazy HBRs <= #HBRs <= #schedules`` instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import GuestError
+from .objects import ObjectRegistry
+
+
+def compute_state_hash(
+    registry: ObjectRegistry,
+    thread_progress: Tuple[int, ...],
+    error: Optional[GuestError],
+    truncated: bool,
+) -> int:
+    """Digest the complete observable state at the end of a run.
+
+    Includes every shared object's value, how far each thread got
+    (relevant only for abnormal runs — for complete runs it is implied
+    by the program), and the error status.
+    """
+    err_mark: Tuple[Any, ...] = ()
+    if error is not None:
+        err_mark = (type(error).__name__,)
+    return hash(
+        (
+            tuple(registry.state_items()),
+            thread_progress,
+            err_mark,
+            truncated,
+        )
+    )
+
+
+def describe_state(registry: ObjectRegistry) -> Dict[str, Any]:
+    """Human-readable snapshot: object name -> state value."""
+    return {obj.name: obj.state_value() for obj in registry.objects}

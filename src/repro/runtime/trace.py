@@ -1,0 +1,65 @@
+"""Execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.events import Event
+from ..errors import GuestError
+
+
+@dataclass
+class TraceResult:
+    """Everything recorded about one executed schedule.
+
+    ``hbr_fp`` / ``lazy_fp`` are the terminal fingerprints of the regular
+    and lazy happens-before relations; ``state_hash`` digests the final
+    values of all shared objects plus the error status.  For any two
+    executions of the same program the paper's guarantees give::
+
+        hbr_fp equal      =>  lazy_fp equal  (Theorem 2.1 + lazy ⊆ regular)
+        lazy_fp equal     =>  state_hash equal  (Theorem 2.2)
+    """
+
+    program_name: str
+    schedule: List[int]
+    events: List[Event]
+    hbr_fp: int
+    lazy_fp: int
+    state_hash: int
+    error: Optional[GuestError] = None
+    final_state: Dict[str, Any] = field(default_factory=dict)
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.truncated
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else (
+            "truncated" if self.truncated else f"error: {self.error}"
+        )
+        return (
+            f"{self.program_name}: {len(self.events)} events, "
+            f"schedule={self.schedule}, {status}"
+        )
+
+
+@dataclass(frozen=True)
+class PendingInfo:
+    """What a not-yet-executed thread wants to do next (DPOR lookahead)."""
+
+    tid: int
+    kind: int
+    oid: int
+    key: Any
+    enabled: bool
+    released_mutex_oid: Optional[int] = None
+
+    def location(self) -> Tuple[int, Any]:
+        return (self.oid, self.key)

@@ -1,0 +1,264 @@
+"""The benchmark suite: 79 program instances, ids 1..79.
+
+The paper evaluated 79 open-source multithreaded Java benchmarks; this
+suite substitutes 79 instances drawn from classic concurrency program
+families spanning the same behavioural spectrum (see DESIGN.md §2):
+pure data races (no lazy-HBR benefit), coarse locks over disjoint or
+read-only data (maximal benefit), fine-grained locking, condition
+variables / semaphores / barriers (conservatively kept in the lazy
+relation), lock-free CAS algorithms, mutual-exclusion protocols, and
+known-buggy programs (deadlocks, assertion violations) that the
+explorers must find.
+
+``REGISTRY`` maps bench id -> :class:`~repro.suite.base.Benchmark`;
+``small`` instances have DFS-exhaustible state spaces and are used as
+ground truth in soundness tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .bank import bank_global_lock, bank_per_account, bank_racy
+from .base import Benchmark
+from .buffers import bounded_buffer, pingpong, pipeline
+from .collections_prog import (
+    coarse_dict,
+    striped_map,
+    treiber_stack,
+    work_queue_private,
+    work_queue_shared,
+)
+from .counters import (
+    atomic_counter,
+    disjoint_coarse,
+    locked_counter,
+    mixed_coarse,
+    racy_counter,
+    readonly_coarse,
+)
+from .figure1 import figure1
+from .indexer import filesystem, indexer
+from .locks import (
+    lock_order_deadlock,
+    philosophers,
+    readers_writers,
+    ticket_lock,
+)
+from .mutual_exclusion import bakery, dekker, peterson
+from .sync_patterns import (
+    barrier_phases,
+    condvar_broadcast,
+    double_checked_locking,
+    flags_handshake,
+    message_passing_litmus,
+    semaphore_pool,
+    spawn_join_tree,
+    store_buffer_litmus,
+    token_ring,
+)
+
+__all__ = [
+    "Benchmark",
+    "REGISTRY",
+    "all_benchmarks",
+    "get_benchmark",
+    "small_benchmarks",
+]
+
+
+def _build_registry() -> Dict[int, Benchmark]:
+    entries: List[Benchmark] = []
+
+    def add(family: str, program, small: bool = False,
+            expect_error: Optional[str] = None, notes: str = "") -> None:
+        entries.append(
+            Benchmark(
+                bench_id=len(entries) + 1,
+                family=family,
+                program=program,
+                small=small,
+                expect_error=expect_error,
+                notes=notes,
+            )
+        )
+
+    # -- 1: the paper's running example ---------------------------------
+    add("figure1", figure1(), small=True, notes="paper Figure 1")
+
+    # -- 2-4: racy counters (diagonal points: no locks) -------------------
+    add("racy_counter", racy_counter(2, 1), small=True)
+    add("racy_counter", racy_counter(2, 2), small=True)
+    add("racy_counter", racy_counter(3, 1), small=True)
+
+    # -- 5-7: coarse-locked counters (locks, but data follows locks) ------
+    add("locked_counter", locked_counter(2, 1), small=True)
+    add("locked_counter", locked_counter(2, 2), small=True)
+    add("locked_counter", locked_counter(3, 1), small=True)
+
+    # -- 8-9: atomic counters ------------------------------------------------
+    add("atomic_counter", atomic_counter(2, 2), small=True)
+    add("atomic_counter", atomic_counter(3, 1), small=True)
+
+    # -- 10-13: coarse lock over disjoint data (maximal lazy win) ----------
+    add("disjoint_coarse", disjoint_coarse(2, 1), small=True)
+    add("disjoint_coarse", disjoint_coarse(2, 2), small=True)
+    add("disjoint_coarse", disjoint_coarse(3, 1), small=True)
+    add("disjoint_coarse", disjoint_coarse(3, 2))
+
+    # -- 14-16: read-only critical sections ---------------------------------
+    add("readonly_coarse", readonly_coarse(2, 1), small=True)
+    add("readonly_coarse", readonly_coarse(2, 2), small=True)
+    add("readonly_coarse", readonly_coarse(3, 2))
+
+    # -- 17-18: mixed disjoint/shared sections -------------------------------
+    add("mixed_coarse", mixed_coarse(2), small=True)
+    add("mixed_coarse", mixed_coarse(3))
+
+    # -- 19-21: DPOR-paper indexer --------------------------------------------
+    add("indexer", indexer(2, 2, 8), small=True)
+    add("indexer", indexer(3, 1, 8))
+    add("indexer", indexer(2, 2, 4, mult=2),
+        notes="even multiplier forces collisions")
+
+    # -- 22-23: DPOR-paper filesystem -------------------------------------------
+    add("filesystem", filesystem(2))
+    add("filesystem", filesystem(3))
+
+    # -- 24-27: bounded buffer ----------------------------------------------------
+    add("bounded_buffer", bounded_buffer(1, 1, 2, 1), small=True)
+    add("bounded_buffer", bounded_buffer(1, 1, 2, 2), small=True)
+    add("bounded_buffer", bounded_buffer(2, 1, 1, 2))
+    add("bounded_buffer", bounded_buffer(1, 2, 2, 2))
+
+    # -- 28-29: condvar ping-pong ---------------------------------------------------
+    add("pingpong", pingpong(1), small=True)
+    add("pingpong", pingpong(2), small=True)
+
+    # -- 30-31: semaphore pipeline -----------------------------------------------------
+    add("pipeline", pipeline(2, 2), small=True)
+    add("pipeline", pipeline(3, 1), small=True)
+
+    # -- 32-35: dining philosophers ------------------------------------------------------
+    add("philosophers", philosophers(2, ordered=False), small=True,
+        expect_error="deadlock")
+    add("philosophers", philosophers(3, ordered=False),
+        expect_error="deadlock")
+    add("philosophers", philosophers(2, ordered=True), small=True)
+    add("philosophers", philosophers(3, ordered=True))
+
+    # -- 36-37: AB-BA lock order ------------------------------------------------------------
+    add("lock_order", lock_order_deadlock(fixed=False), small=True,
+        expect_error="deadlock")
+    add("lock_order", lock_order_deadlock(fixed=True), small=True)
+
+    # -- 38-39: ticket lock -------------------------------------------------------------------
+    add("ticket_lock", ticket_lock(2), small=True)
+    add("ticket_lock", ticket_lock(3))
+
+    # -- 40-42: readers/writers -----------------------------------------------------------------
+    add("readers_writers", readers_writers(1, 1), small=True)
+    add("readers_writers", readers_writers(2, 1))
+    add("readers_writers", readers_writers(1, 2), small=True)
+
+    # -- 43-44: bank, global lock ------------------------------------------------------------------
+    add("bank_global", bank_global_lock(2), small=True)
+    add("bank_global", bank_global_lock(3))
+
+    # -- 45-46: bank, per-account locks ----------------------------------------------------------------
+    add("bank_per_account", bank_per_account(2), small=True)
+    add("bank_per_account", bank_per_account(3))
+
+    # -- 47: racy bank (assertion violable) ------------------------------------------------------------
+    add("bank_racy", bank_racy(2), small=True, expect_error="assertion")
+
+    # -- 48-49: Peterson -----------------------------------------------------------------------------------
+    add("peterson", peterson(buggy=False), small=True)
+    add("peterson", peterson(buggy=True), small=True,
+        expect_error="assertion")
+
+    # -- 50-51: Dekker ----------------------------------------------------------------------------------------
+    add("dekker", dekker(buggy=False), small=True)
+    add("dekker", dekker(buggy=True), small=True, expect_error="assertion")
+
+    # -- 52-53: bakery ------------------------------------------------------------------------------------------
+    add("bakery", bakery(2), small=True)
+    add("bakery", bakery(3))
+
+    # -- 54-55: shared work queue ----------------------------------------------------------------------------------
+    add("work_queue", work_queue_shared(2, 1), small=True)
+    add("work_queue", work_queue_shared(2, 2))
+
+    # -- 56-58: private queues under one lock ----------------------------------------------------------------------
+    add("work_queue_private", work_queue_private(2, 2), small=True)
+    add("work_queue_private", work_queue_private(3, 1), small=True)
+    add("work_queue_private", work_queue_private(3, 2))
+
+    # -- 59-61: coarse-locked dict, disjoint inserts ----------------------------------------------------------------
+    add("coarse_dict", coarse_dict(2, 2), small=True)
+    add("coarse_dict", coarse_dict(3, 1), small=True)
+    add("coarse_dict", coarse_dict(3, 2))
+
+    # -- 62-63: striped map ---------------------------------------------------------------------------------------------
+    add("striped_map", striped_map(2), small=True)
+    add("striped_map", striped_map(3))
+
+    # -- 64-65: Treiber stack ----------------------------------------------------------------------------------------------
+    add("treiber_stack", treiber_stack(2, 1), small=True)
+    add("treiber_stack", treiber_stack(2, 2))
+
+    # -- 66-68: barrier phases ----------------------------------------------------------------------------------------------
+    add("barrier_phases", barrier_phases(2, 1), small=True)
+    add("barrier_phases", barrier_phases(2, 2))
+    add("barrier_phases", barrier_phases(3, 1))
+
+    # -- 69-70: semaphore pool ------------------------------------------------------------------------------------------------
+    add("semaphore_pool", semaphore_pool(2, 1), small=True)
+    add("semaphore_pool", semaphore_pool(3, 2))
+
+    # -- 71-72: token ring -------------------------------------------------------------------------------------------------------
+    add("token_ring", token_ring(2, 1), small=True)
+    add("token_ring", token_ring(3, 1), small=True)
+
+    # -- 73-74: double-checked locking -----------------------------------------------------------------------------------------------
+    add("dcl", double_checked_locking(2, buggy=False), small=True)
+    add("dcl", double_checked_locking(2, buggy=True), small=True,
+        expect_error="assertion")
+
+    # -- 75-76: SC litmus tests --------------------------------------------------------------------------------------------------------
+    add("litmus", store_buffer_litmus(), small=True)
+    add("litmus", message_passing_litmus(), small=True)
+
+    # -- 77: dynamic spawn/join ----------------------------------------------------------------------------------------------------------
+    add("spawn_join", spawn_join_tree(2), small=True)
+
+    # -- 78: condvar broadcast ------------------------------------------------------------------------------------------------------------
+    add("condvar_broadcast", condvar_broadcast(2), small=True)
+
+    # -- 79: flag handshake -----------------------------------------------------------------------------------------------------------------
+    add("flags_handshake", flags_handshake(), small=True)
+
+    assert len(entries) == 79, f"registry has {len(entries)} entries, not 79"
+    return {b.bench_id: b for b in entries}
+
+
+REGISTRY: Dict[int, Benchmark] = _build_registry()
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """All 79 suite entries, ordered by id."""
+    return [REGISTRY[i] for i in sorted(REGISTRY)]
+
+
+def small_benchmarks() -> List[Benchmark]:
+    """The DFS-exhaustible subset used for ground-truth comparisons."""
+    return [b for b in all_benchmarks() if b.small]
+
+
+def get_benchmark(bench_id: int) -> Benchmark:
+    return REGISTRY[bench_id]
+
+
+def by_family(families: Iterable[str]) -> List[Benchmark]:
+    wanted = set(families)
+    return [b for b in all_benchmarks() if b.family in wanted]

@@ -1,0 +1,132 @@
+"""Bank-account transfer benchmarks: global lock, per-account locks,
+and a racy variant whose balance invariant some schedules break."""
+
+from __future__ import annotations
+
+from ..runtime.program import Program, ProgramBuilder
+
+
+def _transfers_for(threads: int, accounts: int):
+    """Deterministic transfer list per thread: (src, dst, amount)."""
+    plans = []
+    for tid in range(threads):
+        src = tid % accounts
+        dst = (tid + 1) % accounts
+        plans.append((src, dst, 10 + tid))
+    return plans
+
+
+def bank_global_lock(threads: int, accounts: int = 2) -> Program:
+    """Transfers under a single coarse lock, plus a final audit thread
+    asserting conservation of money.
+
+    Because every transfer touches shared balances, the data conflicts
+    persist in the lazy HBR; the coarse lock adds *extra* mutex edges
+    for the disjoint transfers, which the lazy HBR removes.
+    """
+    initial = 100
+    plans = _transfers_for(threads, accounts)
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("bank")
+        balances = p.array("balances", [initial] * accounts)
+
+        def transfer(api, src, dst, amount):
+            yield api.lock(m)
+            s = yield api.read(balances, key=src)
+            yield api.write(balances, s - amount, key=src)
+            d = yield api.read(balances, key=dst)
+            yield api.write(balances, d + amount, key=dst)
+            yield api.unlock(m)
+
+        def auditor(api):
+            yield api.lock(m)
+            total = 0
+            for a in range(accounts):
+                v = yield api.read(balances, key=a)
+                total += v
+            yield api.unlock(m)
+            api.guest_assert(
+                total == initial * accounts,
+                f"money not conserved: {total}",
+            )
+
+        for src, dst, amount in plans:
+            p.thread(transfer, src, dst, amount)
+        p.thread(auditor)
+
+    return Program(
+        f"bank_global_t{threads}_a{accounts}",
+        build,
+        description="bank transfers under one global lock + audit",
+    )
+
+
+def bank_per_account(threads: int, accounts: int = 3) -> Program:
+    """Fine-grained locking: each transfer takes the two account locks
+    in index order (deadlock-free)."""
+    initial = 100
+    plans = _transfers_for(threads, accounts)
+
+    def build(p: ProgramBuilder) -> None:
+        locks = [p.mutex(f"acct{a}") for a in range(accounts)]
+        balances = p.array("balances", [initial] * accounts)
+
+        def transfer(api, src, dst, amount):
+            first, second = min(src, dst), max(src, dst)
+            yield api.lock(locks[first])
+            yield api.lock(locks[second])
+            s = yield api.read(balances, key=src)
+            yield api.write(balances, s - amount, key=src)
+            d = yield api.read(balances, key=dst)
+            yield api.write(balances, d + amount, key=dst)
+            yield api.unlock(locks[second])
+            yield api.unlock(locks[first])
+
+        for src, dst, amount in plans:
+            p.thread(transfer, src, dst, amount)
+
+    return Program(
+        f"bank_per_account_t{threads}_a{accounts}",
+        build,
+        description="bank transfers with ordered per-account locks",
+    )
+
+
+def bank_racy(threads: int = 2, accounts: int = 2) -> Program:
+    """Transfers with NO locking: lost updates break conservation, so
+    the audit assertion fails on some schedules (a bug SCT must find)."""
+    initial = 100
+    plans = _transfers_for(threads, accounts)
+
+    def build(p: ProgramBuilder) -> None:
+        balances = p.array("balances", [initial] * accounts)
+        done = p.atomic("done", 0)
+
+        def transfer(api, src, dst, amount):
+            s = yield api.read(balances, key=src)
+            yield api.write(balances, s - amount, key=src)
+            d = yield api.read(balances, key=dst)
+            yield api.write(balances, d + amount, key=dst)
+            yield api.fetch_add(done, 1)
+
+        def auditor(api):
+            yield api.await_value(done, lambda v: v == threads)
+            total = 0
+            for a in range(accounts):
+                v = yield api.read(balances, key=a)
+                total += v
+            api.guest_assert(
+                total == initial * accounts,
+                f"money not conserved: {total}",
+            )
+
+        for src, dst, amount in plans:
+            p.thread(transfer, src, dst, amount)
+        p.thread(auditor)
+
+    return Program(
+        f"bank_racy_t{threads}_a{accounts}",
+        build,
+        description="unlocked bank transfers (assertion violable)",
+    )

@@ -1,0 +1,57 @@
+"""Benchmark metadata and shared guest-code helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..runtime.program import Program
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One suite entry: a program plus evaluation metadata.
+
+    ``small`` marks instances whose full state space is cheap enough for
+    exhaustive DFS, used as ground truth in the soundness tests.
+    ``expect_error`` names the property violation some schedule of the
+    program exhibits (``"deadlock"`` or ``"assertion"``), or None for
+    correct programs.
+    """
+
+    bench_id: int
+    family: str
+    program: Program
+    small: bool = False
+    expect_error: Optional[str] = None
+    notes: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+# ---------------------------------------------------------------------------
+# Guest-code helpers (composed into thread bodies with `yield from`)
+
+def locked_increment(api, mutex, var, delta=1):
+    """lock; var += delta; unlock."""
+    yield api.lock(mutex)
+    v = yield api.read(var)
+    yield api.write(var, v + delta)
+    yield api.unlock(mutex)
+
+
+def locked_read(api, mutex, var):
+    """lock; read; unlock; returns the value."""
+    yield api.lock(mutex)
+    v = yield api.read(var)
+    yield api.unlock(mutex)
+    return v
+
+
+def locked_write(api, mutex, var, value, key=None):
+    """lock; write; unlock."""
+    yield api.lock(mutex)
+    yield api.write(var, value, key=key)
+    yield api.unlock(mutex)

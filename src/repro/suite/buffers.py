@@ -1,0 +1,143 @@
+"""Producer/consumer patterns: bounded buffer, condvar ping-pong, and a
+semaphore pipeline."""
+
+from __future__ import annotations
+
+from ..runtime.program import Program, ProgramBuilder
+
+
+def bounded_buffer(producers: int, consumers: int, items: int, capacity: int) -> Program:
+    """The classic monitor-style bounded buffer.
+
+    Each producer deposits ``items`` values; consumers drain the buffer
+    (total items split round-robin between consumers).  Uses one mutex
+    and two condition variables (not_full / not_empty).
+    """
+    total = producers * items
+    per_consumer, rem = divmod(total, consumers)
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        not_full = p.condvar("not_full")
+        not_empty = p.condvar("not_empty")
+        buf = p.array("buf", [0] * capacity)
+        count = p.var("count", 0)
+        put_idx = p.var("put_idx", 0)
+        take_idx = p.var("take_idx", 0)
+        sums = p.array("sums", [0] * consumers)
+
+        def producer(api, me):
+            for i in range(items):
+                value = me * items + i + 1
+                yield api.lock(m)
+                while True:
+                    c = yield api.read(count)
+                    if c < capacity:
+                        break
+                    yield api.wait(not_full, m)
+                idx = yield api.read(put_idx)
+                yield api.write(buf, value, key=idx)
+                yield api.write(put_idx, (idx + 1) % capacity)
+                yield api.write(count, c + 1)
+                yield api.notify(not_empty)
+                yield api.unlock(m)
+
+        def consumer(api, me, n):
+            acc = 0
+            for _ in range(n):
+                yield api.lock(m)
+                while True:
+                    c = yield api.read(count)
+                    if c > 0:
+                        break
+                    yield api.wait(not_empty, m)
+                idx = yield api.read(take_idx)
+                v = yield api.read(buf, key=idx)
+                yield api.write(take_idx, (idx + 1) % capacity)
+                yield api.write(count, c - 1)
+                yield api.notify(not_full)
+                yield api.unlock(m)
+                acc += v
+            yield api.write(sums, acc, key=me)
+
+        for me in range(producers):
+            p.thread(producer, me)
+        for me in range(consumers):
+            n = per_consumer + (1 if me < rem else 0)
+            p.thread(consumer, me, n)
+
+    return Program(
+        f"bounded_buffer_p{producers}_c{consumers}_k{items}_cap{capacity}",
+        build,
+        description="monitor bounded buffer with two condvars",
+    )
+
+
+def pingpong(rounds: int) -> Program:
+    """Two threads alternate strictly via a condvar-protected turn flag."""
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        cv = p.condvar("cv")
+        turn = p.var("turn", 0)
+        hits = p.array("hits", [0, 0])
+
+        def player(api, me):
+            for _ in range(rounds):
+                yield api.lock(m)
+                while True:
+                    t = yield api.read(turn)
+                    if t == me:
+                        break
+                    yield api.wait(cv, m)
+                h = yield api.read(hits, key=me)
+                yield api.write(hits, h + 1, key=me)
+                yield api.write(turn, 1 - me)
+                yield api.notify(cv)
+                yield api.unlock(m)
+
+        p.thread(player, 0)
+        p.thread(player, 1)
+
+    return Program(
+        f"pingpong_r{rounds}",
+        build,
+        description="strict alternation via condition variable",
+    )
+
+
+def pipeline(stages: int, items: int) -> Program:
+    """A chain of stages passing tokens via semaphores.
+
+    Stage ``i`` acquires its input semaphore, transforms a shared cell,
+    and releases the next stage's semaphore.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        sems = [
+            p.semaphore(f"s{i}", items if i == 0 else 0) for i in range(stages)
+        ]
+        done = p.semaphore("done", 0)
+        cell = p.var("cell", 0)
+        work = p.array("work", [0] * stages)
+
+        def stage(api, i):
+            for _ in range(items):
+                yield api.acquire(sems[i])
+                v = yield api.read(cell)
+                yield api.write(cell, v + 1)
+                w = yield api.read(work, key=i)
+                yield api.write(work, w + 1, key=i)
+                if i + 1 < stages:
+                    yield api.release(sems[i + 1])
+                else:
+                    yield api.release(done)
+
+        for i in range(stages):
+            p.thread(stage, i)
+
+    return Program(
+        f"pipeline_s{stages}_k{items}",
+        build,
+        description="semaphore-linked processing pipeline",
+    )

@@ -1,0 +1,162 @@
+"""Shared-collection benchmarks: work queues, a coarse-locked map, a
+stripe-locked map, and a Treiber stack."""
+
+from __future__ import annotations
+
+from ..runtime.program import Program, ProgramBuilder
+
+
+def work_queue_shared(workers: int, items: int) -> Program:
+    """One shared queue under a coarse lock; workers drain it.
+
+    Which worker pops which item *matters* (per-worker sums differ), so
+    even the lazy HBR keeps the pop-order distinctions: the reduction
+    here comes only from the items' payload processing being local.
+    """
+    total = workers * items
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        head = p.var("head", 0)
+        sums = p.array("sums", [0] * workers)
+
+        def worker(api, me):
+            acc = 0
+            while True:
+                yield api.lock(m)
+                h = yield api.read(head)
+                if h < total:
+                    yield api.write(head, h + 1)
+                yield api.unlock(m)
+                if h >= total:
+                    break
+                acc += h + 1
+            yield api.write(sums, acc, key=me)
+
+        for me in range(workers):
+            p.thread(worker, me)
+
+    return Program(
+        f"work_queue_shared_w{workers}_k{items}",
+        build,
+        description="coarse-locked shared work queue",
+    )
+
+
+def work_queue_private(workers: int, items: int) -> Program:
+    """Per-worker queues protected by ONE big lock — the common
+    "one lock for everything" anti-pattern.  The critical sections touch
+    disjoint data, so the lazy HBR collapses all lock orders."""
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        heads = p.array("heads", [0] * workers)
+        sums = p.array("sums", [0] * workers)
+
+        def worker(api, me):
+            acc = 0
+            for _ in range(items):
+                yield api.lock(m)
+                h = yield api.read(heads, key=me)
+                yield api.write(heads, h + 1, key=me)
+                yield api.unlock(m)
+                acc += h + 1
+            yield api.write(sums, acc, key=me)
+
+        for me in range(workers):
+            p.thread(worker, me)
+
+    return Program(
+        f"work_queue_private_w{workers}_k{items}",
+        build,
+        description="per-worker queues under one coarse lock",
+    )
+
+
+def coarse_dict(threads: int, inserts: int) -> Program:
+    """Threads insert disjoint keys into one map under a global lock —
+    the final map is schedule-independent, so there is exactly one
+    state, one lazy HBR, and many regular HBRs."""
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        table = p.dict("table")
+
+        def worker(api, me):
+            for i in range(inserts):
+                key = me * inserts + i
+                yield api.lock(m)
+                yield api.write(table, key * key, key=key)
+                yield api.unlock(m)
+
+        for me in range(threads):
+            p.thread(worker, me)
+
+    return Program(
+        f"coarse_dict_t{threads}_k{inserts}",
+        build,
+        description="coarse-locked map, disjoint key inserts",
+    )
+
+
+def striped_map(threads: int, stripes: int = 2) -> Program:
+    """A stripe-locked hash map; each thread hammers the stripe of its
+    own key plus one shared hot key."""
+
+    def build(p: ProgramBuilder) -> None:
+        locks = [p.mutex(f"stripe{s}") for s in range(stripes)]
+        table = p.dict("table")
+        hot_key = 0
+
+        def worker(api, me):
+            own_key = me + 1
+            for key in (own_key, hot_key):
+                s = key % stripes
+                yield api.lock(locks[s])
+                old = yield api.read(table, key=key)
+                yield api.write(table, (old or 0) + me + 1, key=key)
+                yield api.unlock(locks[s])
+
+        for me in range(threads):
+            p.thread(worker, me)
+
+    return Program(
+        f"striped_map_t{threads}_s{stripes}",
+        build,
+        description="stripe-locked map with one hot key",
+    )
+
+
+def treiber_stack(threads: int, pushes: int = 1) -> Program:
+    """Lock-free Treiber stack: CAS on the top-of-stack pointer, with
+    the retry loop exposed to the scheduler.
+
+    Nodes are identified by their value (1-based); ``nexts[v]`` is node
+    v's next pointer (0 = nil).  Each thread only ever writes its own
+    nodes' next pointers, exactly like the real algorithm, so a failed
+    CAS leaves no stray writes behind.  No mutexes at all: the lazy HBR
+    coincides with the regular one (a diagonal point)."""
+    capacity = threads * pushes + 1
+
+    def build(p: ProgramBuilder) -> None:
+        top = p.atomic("top", 0)  # value id of the top node, 0 = empty
+        nexts = p.array("nexts", [0] * capacity)
+
+        def worker(api, me):
+            for i in range(pushes):
+                value = me * pushes + i + 1
+                while True:
+                    t = yield api.load(top)
+                    yield api.write(nexts, t, key=value)
+                    ok = yield api.cas(top, t, value)
+                    if ok:
+                        break
+
+        for me in range(threads):
+            p.thread(worker, me)
+
+    return Program(
+        f"treiber_stack_t{threads}_k{pushes}",
+        build,
+        description="Treiber stack pushes via CAS",
+    )

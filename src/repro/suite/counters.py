@@ -1,0 +1,172 @@
+"""Counter families: the spectrum from "no lazy benefit" to "maximal
+lazy benefit".
+
+* ``racy_counter`` — unsynchronised read/increment/write: every
+  interleaving of the data accesses matters; no locks, so the lazy HBR
+  equals the regular HBR (points on the Figure 2 diagonal).
+* ``locked_counter`` — the same increments under a coarse mutex: lock
+  order and data order coincide, so again no lazy reduction — but no
+  lost updates either (a single final state).
+* ``atomic_counter`` — fetch_add increments; RMW events conflict, no
+  mutexes anywhere.
+* ``disjoint_coarse`` — a coarse mutex protecting *per-thread* data:
+  the textbook case for the lazy HBR.  Regular DPOR must explore every
+  ordering of the critical sections; the lazy HBR sees completely
+  independent threads and collapses everything to one class.
+* ``readonly_coarse`` — critical sections that only read shared data:
+  same collapse, via the read-only rather than disjointness argument.
+"""
+
+from __future__ import annotations
+
+from ..runtime.program import Program, ProgramBuilder
+
+
+def racy_counter(threads: int, increments: int) -> Program:
+    """``threads`` threads each do ``increments`` unprotected ++."""
+
+    def build(p: ProgramBuilder) -> None:
+        c = p.var("c", 0)
+
+        def worker(api):
+            for _ in range(increments):
+                v = yield api.read(c)
+                yield api.write(c, v + 1)
+
+        for _ in range(threads):
+            p.thread(worker)
+
+    return Program(
+        f"racy_counter_t{threads}_k{increments}",
+        build,
+        description="unsynchronised counter increments (lost updates)",
+    )
+
+
+def locked_counter(threads: int, increments: int) -> Program:
+    """The same counter, increments under a coarse mutex."""
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        c = p.var("c", 0)
+
+        def worker(api):
+            for _ in range(increments):
+                yield api.lock(m)
+                v = yield api.read(c)
+                yield api.write(c, v + 1)
+                yield api.unlock(m)
+
+        for _ in range(threads):
+            p.thread(worker)
+
+    return Program(
+        f"locked_counter_t{threads}_k{increments}",
+        build,
+        description="coarse-locked counter increments",
+    )
+
+
+def atomic_counter(threads: int, increments: int) -> Program:
+    """fetch_add increments on an AtomicInt (single final state)."""
+
+    def build(p: ProgramBuilder) -> None:
+        c = p.atomic("c", 0)
+
+        def worker(api):
+            for _ in range(increments):
+                yield api.fetch_add(c, 1)
+
+        for _ in range(threads):
+            p.thread(worker)
+
+    return Program(
+        f"atomic_counter_t{threads}_k{increments}",
+        build,
+        description="atomic fetch_add increments",
+    )
+
+
+def disjoint_coarse(threads: int, sections: int) -> Program:
+    """A coarse mutex around updates of per-thread variables.
+
+    The paper's motivating pattern: well-engineered code with a simple
+    locking discipline.  Every interleaving of the critical sections is
+    a distinct HBR; all of them are one lazy HBR.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        slots = p.array("slots", [0] * threads)
+
+        def worker(api, me):
+            for _ in range(sections):
+                yield api.lock(m)
+                v = yield api.read(slots, key=me)
+                yield api.write(slots, v + 1, key=me)
+                yield api.unlock(m)
+
+        for tid in range(threads):
+            p.thread(worker, tid)
+
+    return Program(
+        f"disjoint_coarse_t{threads}_k{sections}",
+        build,
+        description="coarse lock over disjoint per-thread data",
+    )
+
+
+def readonly_coarse(threads: int, reads: int) -> Program:
+    """Critical sections that only *read* shared configuration."""
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        config = p.var("config", 42)
+        results = p.array("results", [0] * threads)
+
+        def worker(api, me):
+            acc = 0
+            for _ in range(reads):
+                yield api.lock(m)
+                v = yield api.read(config)
+                yield api.unlock(m)
+                acc += v
+            yield api.write(results, acc, key=me)
+
+        for tid in range(threads):
+            p.thread(worker, tid)
+
+    return Program(
+        f"readonly_coarse_t{threads}_k{reads}",
+        build,
+        description="coarse lock around read-only critical sections",
+    )
+
+
+def mixed_coarse(threads: int) -> Program:
+    """Half the critical sections touch shared data, half are disjoint —
+    a partial lazy-HBR win (between the diagonal and the floor)."""
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        shared = p.var("shared", 0)
+        slots = p.array("slots", [0] * threads)
+
+        def worker(api, me):
+            yield api.lock(m)
+            v = yield api.read(slots, key=me)
+            yield api.write(slots, v + 1, key=me)
+            yield api.unlock(m)
+            yield api.lock(m)
+            s = yield api.read(shared)
+            yield api.write(shared, s + 1)
+            yield api.unlock(m)
+
+        for tid in range(threads):
+            p.thread(worker, tid)
+
+    return Program(
+        f"mixed_coarse_t{threads}",
+        build,
+        description="coarse lock, mixed disjoint and shared sections",
+    )

@@ -1,0 +1,44 @@
+"""The paper's running example (Figure 1).
+
+T1: lock(m); read(x); unlock(m); write(y)
+T2: write(z); lock(m); read(x); unlock(m)
+
+Two HBR equivalence classes (the two lock orders), but a single lazy
+HBR class — the critical sections only *read* x, so removing the mutex
+edges leaves no inter-thread ordering at all.
+"""
+
+from __future__ import annotations
+
+from ..runtime.program import Program, ProgramBuilder
+
+
+def _build(p: ProgramBuilder) -> None:
+    m = p.mutex("m")
+    x = p.var("x", 0)
+    y = p.var("y", 0)
+    z = p.var("z", 0)
+
+    def t1(api):
+        yield api.lock(m)
+        v = yield api.read(x)
+        yield api.unlock(m)
+        yield api.write(y, v + 1)
+
+    def t2(api):
+        yield api.write(z, 7)
+        yield api.lock(m)
+        yield api.read(x)
+        yield api.unlock(m)
+
+    p.thread(t1, name="T1")
+    p.thread(t2, name="T2")
+
+
+def figure1() -> Program:
+    """The exact program of the paper's Figure 1."""
+    return Program(
+        "figure1",
+        _build,
+        description="Paper Figure 1: coarse read-only critical sections",
+    )

@@ -1,0 +1,93 @@
+"""The *indexer* and *file system* benchmarks from the original DPOR
+paper (Flanagan & Godefroid, POPL 2005), scaled to SCT-friendly sizes.
+
+Both are classics because naive exploration explodes while the actual
+conflicts are rare and data-dependent — exactly what *dynamic* POR
+detects at runtime.
+"""
+
+from __future__ import annotations
+
+from ..runtime.program import Program, ProgramBuilder
+
+
+def indexer(threads: int, entries: int = 2, table_size: int = 8,
+            mult: int = 7) -> Program:
+    """Threads insert into a shared hash table with open addressing.
+
+    Each thread ``tid`` inserts messages ``tid*entries + i`` at hash
+    ``(msg * mult) % table_size``.  With ``mult`` coprime to the table
+    size the hashes are collision-free (threads fully independent, the
+    ideal DPOR case); an even ``mult`` over a power-of-two table forces
+    collisions and CAS retries.  Termination requires
+    ``threads * entries <= table_size``.
+    """
+    if threads * entries > table_size:
+        raise ValueError("table too small: inserts would never terminate")
+
+    def build(p: ProgramBuilder) -> None:
+        table = p.array("table", [0] * table_size)
+
+        def cas_slot(expect, new):
+            def apply(old):
+                if old == expect:
+                    return new, True
+                return old, False
+            return apply
+
+        def worker(api, tid):
+            for i in range(entries):
+                msg = tid * entries + i + 1
+                h = (msg * mult) % table_size
+                while True:
+                    ok = yield api.rmw(table, cas_slot(0, msg), key=h)
+                    if ok:
+                        break
+                    h = (h + 1) % table_size
+
+        for tid in range(threads):
+            p.thread(worker, tid)
+
+    return Program(
+        f"indexer_t{threads}_w{entries}_h{table_size}_m{mult}",
+        build,
+        description="DPOR-paper indexer: hash table with CAS insertion",
+    )
+
+
+def filesystem(threads: int, inodes: int = 2, blocks: int = 4) -> Program:
+    """Threads allocate a disk block for their inode under two levels of
+    locking (per-inode lock, then per-block lock)."""
+
+    def build(p: ProgramBuilder) -> None:
+        locki = [p.mutex(f"locki{i}") for i in range(inodes)]
+        lockb = [p.mutex(f"lockb{b}") for b in range(blocks)]
+        inode = p.array("inode", [0] * inodes)
+        busy = p.array("busy", [0] * blocks)
+
+        def worker(api, tid):
+            i = tid % inodes
+            yield api.lock(locki[i])
+            v = yield api.read(inode, key=i)
+            if v == 0:
+                b = (i * 2) % blocks
+                while True:
+                    yield api.lock(lockb[b])
+                    is_busy = yield api.read(busy, key=b)
+                    if not is_busy:
+                        yield api.write(busy, 1, key=b)
+                        yield api.write(inode, b + 1, key=i)
+                        yield api.unlock(lockb[b])
+                        break
+                    yield api.unlock(lockb[b])
+                    b = (b + 1) % blocks
+            yield api.unlock(locki[i])
+
+        for tid in range(threads):
+            p.thread(worker, tid)
+
+    return Program(
+        f"filesystem_t{threads}_i{inodes}_b{blocks}",
+        build,
+        description="DPOR-paper file system: inode/block allocation",
+    )

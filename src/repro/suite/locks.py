@@ -1,0 +1,139 @@
+"""Lock-discipline benchmarks: dining philosophers, AB-BA deadlocks,
+ticket locks, and readers–writers."""
+
+from __future__ import annotations
+
+from ..runtime.program import Program, ProgramBuilder
+
+
+def philosophers(n: int, ordered: bool = False) -> Program:
+    """Dining philosophers with per-fork mutexes.
+
+    The naive version (every philosopher picks the left fork first) can
+    deadlock; ``ordered=True`` applies the standard fix (global fork
+    ordering) and is deadlock-free.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        forks = [p.mutex(f"fork{i}") for i in range(n)]
+        meals = p.array("meals", [0] * n)
+
+        def phil(api, i):
+            left, right = forks[i], forks[(i + 1) % n]
+            first, second = (left, right)
+            if ordered and left.oid > right.oid:
+                first, second = (right, left)
+            yield api.lock(first)
+            yield api.lock(second)
+            v = yield api.read(meals, key=i)
+            yield api.write(meals, v + 1, key=i)
+            yield api.unlock(second)
+            yield api.unlock(first)
+
+        for i in range(n):
+            p.thread(phil, i)
+
+    suffix = "ordered" if ordered else "naive"
+    return Program(
+        f"philosophers_n{n}_{suffix}",
+        build,
+        description=f"dining philosophers ({suffix})",
+    )
+
+
+def lock_order_deadlock(fixed: bool = False) -> Program:
+    """The minimal AB-BA deadlock: T0 takes a then b, T1 takes b then a.
+    ``fixed=True`` orders both the same way (deadlock-free)."""
+
+    def build(p: ProgramBuilder) -> None:
+        a = p.mutex("a")
+        b = p.mutex("b")
+        x = p.var("x", 0)
+
+        def t0(api):
+            yield api.lock(a)
+            yield api.lock(b)
+            v = yield api.read(x)
+            yield api.write(x, v + 1)
+            yield api.unlock(b)
+            yield api.unlock(a)
+
+        def t1(api):
+            first, second = (a, b) if fixed else (b, a)
+            yield api.lock(first)
+            yield api.lock(second)
+            v = yield api.read(x)
+            yield api.write(x, v + 10)
+            yield api.unlock(second)
+            yield api.unlock(first)
+
+        p.thread(t0)
+        p.thread(t1)
+
+    return Program(
+        f"lock_order_{'fixed' if fixed else 'deadlock'}",
+        build,
+        description="AB-BA lock ordering" + ("" if fixed else " (deadlocks)"),
+    )
+
+
+def ticket_lock(threads: int) -> Program:
+    """A ticket lock built from two atomics; each thread increments a
+    shared counter inside the home-grown critical section."""
+
+    def build(p: ProgramBuilder) -> None:
+        next_ticket = p.atomic("next_ticket", 0)
+        serving = p.var("serving", 0)
+        c = p.var("c", 0)
+
+        def worker(api):
+            t = yield api.fetch_add(next_ticket, 1)
+            yield api.await_value(serving, lambda s, t=t: s == t)
+            v = yield api.read(c)
+            yield api.write(c, v + 1)
+            yield api.write(serving, t + 1)
+
+        for _ in range(threads):
+            p.thread(worker)
+
+    return Program(
+        f"ticket_lock_t{threads}",
+        build,
+        description="ticket lock from atomics",
+    )
+
+
+def readers_writers(readers: int, writers: int, rounds: int = 1) -> Program:
+    """RWLock-protected shared cell: writers bump it, readers copy it to
+    their own slot."""
+
+    def build(p: ProgramBuilder) -> None:
+        rw = p.rwlock("rw")
+        data = p.var("data", 0)
+        seen = p.array("seen", [0] * readers)
+
+        def reader(api, me):
+            for _ in range(rounds):
+                yield api.rlock(rw)
+                v = yield api.read(data)
+                yield api.runlock(rw)
+                s = yield api.read(seen, key=me)
+                yield api.write(seen, s + v, key=me)
+
+        def writer(api):
+            for _ in range(rounds):
+                yield api.wlock(rw)
+                v = yield api.read(data)
+                yield api.write(data, v + 1)
+                yield api.wunlock(rw)
+
+        for me in range(readers):
+            p.thread(reader, me)
+        for _ in range(writers):
+            p.thread(writer)
+
+    return Program(
+        f"readers_writers_r{readers}_w{writers}_k{rounds}",
+        build,
+        description="reader/writer lock over one cell",
+    )

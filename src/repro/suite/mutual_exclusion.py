@@ -1,0 +1,161 @@
+"""Software mutual-exclusion protocols: Peterson, Dekker, and a tiny
+Lamport bakery.
+
+Modelling note.  The runtime's blocking ``await_value`` predicate reads
+a *single* location (this keeps the happens-before bookkeeping exact).
+These protocols wait on conditions spanning two variables, so each
+protocol packs its protocol state (flags + turn) into one shared
+variable updated through atomic ``rmw`` events.  The accesses remain
+separate events with the same interleavings as the two-variable
+formulation under sequential consistency; only the *location* is
+shared, which is conservative for POR (more conflicts, never fewer).
+
+Each protocol's critical section increments an occupancy gauge and
+asserts it was free — the buggy variants violate the assertion.
+"""
+
+from __future__ import annotations
+
+from ..runtime.program import Program, ProgramBuilder
+
+
+def _set_field(idx, value):
+    def apply(old):
+        new = list(old)
+        new[idx] = value
+        return tuple(new), tuple(new)
+    return apply
+
+
+def peterson(buggy: bool = False) -> Program:
+    """Peterson's algorithm for two threads.
+
+    State tuple: (flag0, flag1, turn).  The buggy variant omits the
+    ``turn`` handover, so both threads can enter the critical section.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        st = p.var("st", (False, False, 0))
+        gauge = p.var("gauge", 0)
+        c = p.var("c", 0)
+
+        def worker(api, me):
+            other = 1 - me
+            yield api.rmw(st, _set_field(me, True))
+            if not buggy:
+                yield api.rmw(st, _set_field(2, other))
+            yield api.await_value(
+                st, lambda s, other=other, me=me: not s[other] or s[2] == me
+            )
+            # critical section
+            g = yield api.read(gauge)
+            api.guest_assert(g == 0, "mutual exclusion violated")
+            yield api.write(gauge, g + 1)
+            v = yield api.read(c)
+            yield api.write(c, v + 1)
+            yield api.write(gauge, 0)
+            # exit protocol
+            yield api.rmw(st, _set_field(me, False))
+
+        p.thread(worker, 0)
+        p.thread(worker, 1)
+
+    name = "peterson_buggy" if buggy else "peterson"
+    return Program(name, build, description="Peterson mutual exclusion")
+
+
+def dekker(buggy: bool = False) -> Program:
+    """Dekker's algorithm (simplified bounded form).
+
+    State tuple: (want0, want1, turn).  The buggy variant skips the
+    politeness backoff, allowing both threads into the critical section
+    when both want it and ignore the turn.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        st = p.var("st", (False, False, 0))
+        gauge = p.var("gauge", 0)
+        c = p.var("c", 0)
+
+        def worker(api, me):
+            other = 1 - me
+            yield api.rmw(st, _set_field(me, True))
+            if buggy:
+                # no backoff: barge straight in once the flag is up
+                pass
+            else:
+                s = yield api.read(st)
+                if s[other]:
+                    t = s[2]
+                    if t != me:
+                        yield api.rmw(st, _set_field(me, False))
+                        yield api.await_value(st, lambda s, me=me: s[2] == me)
+                        yield api.rmw(st, _set_field(me, True))
+                    yield api.await_value(
+                        st, lambda s, other=other: not s[other]
+                    )
+            # critical section
+            g = yield api.read(gauge)
+            api.guest_assert(g == 0, "mutual exclusion violated")
+            yield api.write(gauge, g + 1)
+            v = yield api.read(c)
+            yield api.write(c, v + 1)
+            yield api.write(gauge, 0)
+            # exit: hand over the turn, drop the flag
+            yield api.rmw(st, _set_field(2, other))
+            yield api.rmw(st, _set_field(me, False))
+
+        p.thread(worker, 0)
+        p.thread(worker, 1)
+
+    name = "dekker_buggy" if buggy else "dekker"
+    return Program(name, build, description="Dekker mutual exclusion")
+
+
+def bakery(threads: int = 2) -> Program:
+    """Lamport's bakery for a small fixed thread count.
+
+    State tuple: tickets per thread (0 = not competing).  ``choosing``
+    flags are folded away by taking the ticket with one atomic rmw —
+    Lamport's algorithm without the choosing flag is correct when
+    ticket-taking is atomic.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        tickets = p.var("tickets", (0,) * threads)
+        gauge = p.var("gauge", 0)
+        c = p.var("c", 0)
+
+        def take_ticket(me):
+            def apply(old):
+                new = list(old)
+                new[me] = max(old) + 1
+                return tuple(new), tuple(new)
+            return apply
+
+        def my_turn(s, me):
+            mine = s[me]
+            for j, t in enumerate(s):
+                if j == me or t == 0:
+                    continue
+                if (t, j) < (mine, me):
+                    return False
+            return True
+
+        def worker(api, me):
+            yield api.rmw(tickets, take_ticket(me))
+            yield api.await_value(tickets, lambda s, me=me: my_turn(s, me))
+            g = yield api.read(gauge)
+            api.guest_assert(g == 0, "mutual exclusion violated")
+            yield api.write(gauge, g + 1)
+            v = yield api.read(c)
+            yield api.write(c, v + 1)
+            yield api.write(gauge, 0)
+            yield api.rmw(tickets, _set_field(me, 0))
+
+        for me in range(threads):
+            p.thread(worker, me)
+
+    return Program(
+        f"bakery_t{threads}", build, description="Lamport bakery (atomic tickets)"
+    )

@@ -1,0 +1,265 @@
+"""Synchronisation-pattern benchmarks: barrier phases, semaphore pools,
+token rings, double-checked locking, litmus tests, spawn/join trees and
+condvar broadcast."""
+
+from __future__ import annotations
+
+from ..runtime.program import Program, ProgramBuilder
+
+
+def barrier_phases(threads: int, phases: int) -> Program:
+    """SPMD-style computation: in each phase every thread reads its left
+    neighbour's previous value, then all meet at a barrier."""
+
+    def build(p: ProgramBuilder) -> None:
+        b = p.barrier("b", threads)
+        cells = p.array("cells", list(range(threads)))
+        scratch = p.array("scratch", [0] * threads)
+
+        def worker(api, me):
+            left = (me - 1) % threads
+            for _ in range(phases):
+                v = yield api.read(cells, key=left)
+                yield api.write(scratch, v + 1, key=me)
+                yield api.barrier_wait(b)
+                s = yield api.read(scratch, key=me)
+                yield api.write(cells, s, key=me)
+                yield api.barrier_wait(b)
+
+        for me in range(threads):
+            p.thread(worker, me)
+
+    return Program(
+        f"barrier_phases_t{threads}_p{phases}",
+        build,
+        description="neighbour exchange with barrier phases",
+    )
+
+
+def semaphore_pool(threads: int, permits: int) -> Program:
+    """A resource pool guarded by a counting semaphore; each thread
+    takes a permit, bumps its own usage slot, and returns the permit."""
+
+    def build(p: ProgramBuilder) -> None:
+        sem = p.semaphore("pool", permits)
+        used = p.array("used", [0] * threads)
+
+        def worker(api, me):
+            yield api.acquire(sem)
+            v = yield api.read(used, key=me)
+            yield api.write(used, v + 1, key=me)
+            yield api.release(sem)
+
+        for me in range(threads):
+            p.thread(worker, me)
+
+    return Program(
+        f"semaphore_pool_t{threads}_p{permits}",
+        build,
+        description="counting-semaphore resource pool",
+    )
+
+
+def token_ring(threads: int, laps: int = 1) -> Program:
+    """A token circulates: thread i waits for token == i, works, passes
+    it on.  Fully sequentialised — one state, one schedule class."""
+
+    def build(p: ProgramBuilder) -> None:
+        token = p.var("token", 0)
+        work = p.array("work", [0] * threads)
+
+        def worker(api, me):
+            for lap in range(laps):
+                target = lap * threads + me
+                yield api.await_value(token, lambda t, target=target: t == target)
+                w = yield api.read(work, key=me)
+                yield api.write(work, w + 1, key=me)
+                yield api.write(token, target + 1)
+
+        for me in range(threads):
+            p.thread(worker, me)
+
+    return Program(
+        f"token_ring_t{threads}_l{laps}",
+        build,
+        description="token passing ring via awaits",
+    )
+
+
+def double_checked_locking(readers: int, buggy: bool = False) -> Program:
+    """Lazy initialisation.  The correct variant re-checks under the
+    lock; the buggy variant publishes the "initialised" flag *before*
+    filling the payload, so a reader can observe a half-built object."""
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        ready = p.var("ready", 0)
+        payload = p.var("payload", 0)
+
+        def reader(api, me):
+            r = yield api.read(ready)
+            if not r:
+                yield api.lock(m)
+                r = yield api.read(ready)
+                if not r:
+                    if buggy:
+                        yield api.write(ready, 1)
+                        yield api.write(payload, 42)
+                    else:
+                        yield api.write(payload, 42)
+                        yield api.write(ready, 1)
+                yield api.unlock(m)
+                v = yield api.read(payload)
+            else:
+                v = yield api.read(payload)
+            api.guest_assert(v == 42, "observed uninitialised payload")
+
+        for me in range(readers):
+            p.thread(reader, me)
+
+    name = f"dcl_{'buggy' if buggy else 'ok'}_r{readers}"
+    return Program(name, build, description="double-checked locking")
+
+
+def store_buffer_litmus() -> Program:
+    """The SB litmus test: under sequential consistency (which this
+    runtime provides) at least one thread must see the other's write,
+    so (r0, r1) == (0, 0) is unreachable — asserted."""
+
+    def build(p: ProgramBuilder) -> None:
+        x = p.var("x", 0)
+        y = p.var("y", 0)
+        r = p.array("r", [-1, -1])
+        done = p.atomic("done", 0)
+
+        def t0(api):
+            yield api.write(x, 1)
+            v = yield api.read(y)
+            yield api.write(r, v, key=0)
+            yield api.fetch_add(done, 1)
+
+        def t1(api):
+            yield api.write(y, 1)
+            v = yield api.read(x)
+            yield api.write(r, v, key=1)
+            yield api.fetch_add(done, 1)
+
+        def checker(api):
+            yield api.await_value(done, lambda d: d == 2)
+            a = yield api.read(r, key=0)
+            b = yield api.read(r, key=1)
+            api.guest_assert(a == 1 or b == 1, "SB: both threads read 0")
+
+        p.thread(t0)
+        p.thread(t1)
+        p.thread(checker)
+
+    return Program("store_buffer_litmus", build,
+                   description="SB litmus under sequential consistency")
+
+
+def message_passing_litmus() -> Program:
+    """MP litmus: consumer awaits the flag, then must see the data."""
+
+    def build(p: ProgramBuilder) -> None:
+        data = p.var("data", 0)
+        flag = p.var("flag", 0)
+
+        def producer(api):
+            yield api.write(data, 42)
+            yield api.write(flag, 1)
+
+        def consumer(api):
+            yield api.await_value(flag, lambda f: f == 1)
+            v = yield api.read(data)
+            api.guest_assert(v == 42, "MP: stale data after flag")
+
+        p.thread(producer)
+        p.thread(consumer)
+
+    return Program("message_passing_litmus", build,
+                   description="MP litmus under sequential consistency")
+
+
+def spawn_join_tree(width: int) -> Program:
+    """A main thread spawns ``width`` children and joins them in order;
+    children fill disjoint slots."""
+
+    def build(p: ProgramBuilder) -> None:
+        out = p.array("out", [0] * width)
+
+        def child(api, me):
+            yield api.write(out, me + 1, key=me)
+
+        def main(api):
+            kids = []
+            for i in range(width):
+                tid = yield api.spawn(child, i)
+                kids.append(tid)
+            for tid in kids:
+                yield api.join(tid)
+
+        p.thread(main)
+
+    return Program(f"spawn_join_tree_w{width}", build,
+                   description="dynamic spawn/join fan-out")
+
+
+def condvar_broadcast(waiters: int) -> Program:
+    """One announcer notifies all waiters; each waiter re-checks its
+    predicate (monitor discipline) and records what it saw."""
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        cv = p.condvar("cv")
+        announced = p.var("announced", 0)
+        seen = p.array("seen", [0] * waiters)
+
+        def waiter(api, me):
+            yield api.lock(m)
+            while True:
+                a = yield api.read(announced)
+                if a:
+                    break
+                yield api.wait(cv, m)
+            yield api.unlock(m)
+            yield api.write(seen, a, key=me)
+
+        def announcer(api):
+            yield api.lock(m)
+            yield api.write(announced, 1)
+            yield api.notify_all(cv)
+            yield api.unlock(m)
+
+        for me in range(waiters):
+            p.thread(waiter, me)
+        p.thread(announcer)
+
+    return Program(f"condvar_broadcast_w{waiters}", build,
+                   description="notify_all broadcast to waiters")
+
+
+def flags_handshake() -> Program:
+    """Two-phase flag handshake: each side raises its flag, awaits the
+    peer's, and then both proceed — a pure await/visibility pattern."""
+
+    def build(p: ProgramBuilder) -> None:
+        fa = p.var("fa", 0)
+        fb = p.var("fb", 0)
+        out = p.array("out", [0, 0])
+
+        def left(api):
+            yield api.write(fa, 1)
+            yield api.await_value(fb, lambda v: v == 1)
+            yield api.write(out, 1, key=0)
+
+        def right(api):
+            yield api.write(fb, 1)
+            yield api.await_value(fa, lambda v: v == 1)
+            yield api.write(out, 1, key=1)
+
+        p.thread(left)
+        p.thread(right)
+
+    return Program("flags_handshake", build,
+                   description="symmetric flag handshake")

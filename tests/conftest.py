@@ -1,0 +1,70 @@
+"""Shared fixtures: small canonical programs used across the tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Program
+
+
+def build_figure1(p):
+    m = p.mutex("m")
+    x = p.var("x", 0)
+    y = p.var("y", 0)
+    z = p.var("z", 0)
+
+    def t1(api):
+        yield api.lock(m)
+        v = yield api.read(x)
+        yield api.unlock(m)
+        yield api.write(y, v + 1)
+
+    def t2(api):
+        yield api.write(z, 7)
+        yield api.lock(m)
+        yield api.read(x)
+        yield api.unlock(m)
+
+    p.thread(t1)
+    p.thread(t2)
+
+
+@pytest.fixture
+def figure1_program():
+    return Program("figure1", build_figure1)
+
+
+def build_two_writers(p):
+    x = p.var("x", 0)
+
+    def w(api, val):
+        yield api.write(x, val)
+
+    p.thread(w, 1)
+    p.thread(w, 2)
+
+
+@pytest.fixture
+def two_writers_program():
+    """The minimal racy program: two writes to one variable."""
+    return Program("two_writers", build_two_writers)
+
+
+def build_locked_pair(p):
+    m = p.mutex("m")
+    c = p.var("c", 0)
+
+    def w(api):
+        yield api.lock(m)
+        v = yield api.read(c)
+        yield api.write(c, v + 1)
+        yield api.unlock(m)
+
+    p.thread(w)
+    p.thread(w)
+
+
+@pytest.fixture
+def locked_pair_program():
+    """Two coarse-locked increments."""
+    return Program("locked_pair", build_locked_pair)

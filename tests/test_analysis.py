@@ -1,0 +1,121 @@
+"""Tests for the analysis harness: scatter points, aggregates, report
+rendering, and small end-to-end figure runs."""
+
+from repro.analysis import (
+    ScatterPoint,
+    below_diagonal,
+    caching_gain_summary,
+    figure2_report,
+    figure3_report,
+    inequality_report,
+    redundancy_summary,
+    render_scatter,
+    run_figure2,
+    run_figure3,
+    run_inequality_table,
+    scatter_csv,
+)
+from repro.suite import REGISTRY
+
+SUBSET = [REGISTRY[i] for i in (1, 3, 6, 11, 14, 32, 47)]
+
+
+class TestScatterPoint:
+    def test_below_diagonal(self):
+        assert ScatterPoint(1, "a", 10, 3).below_diagonal
+        assert not ScatterPoint(1, "a", 3, 3).below_diagonal
+        assert not ScatterPoint(1, "a", 3, 10).below_diagonal
+
+
+class TestAggregates:
+    POINTS = [
+        ScatterPoint(1, "diag", 10, 10),
+        ScatterPoint(2, "below", 100, 20),
+        ScatterPoint(3, "below2", 50, 25),
+    ]
+
+    def test_below_diagonal_filter(self):
+        assert [p.bench_id for p in below_diagonal(self.POINTS)] == [2, 3]
+
+    def test_redundancy_summary(self):
+        s = redundancy_summary(self.POINTS)
+        assert s["num_below_diagonal"] == 2
+        assert s["total_hbrs_below"] == 150
+        assert s["redundant_hbrs"] == 105
+        assert abs(s["redundant_pct"] - 70.0) < 1e-9
+
+    def test_redundancy_empty(self):
+        s = redundancy_summary([ScatterPoint(1, "d", 5, 5)])
+        assert s["num_below_diagonal"] == 0
+        assert s["redundant_pct"] == 0.0
+
+    def test_caching_gain_summary(self):
+        pts = [
+            ScatterPoint(1, "same", 10, 10),
+            ScatterPoint(2, "gain", 10, 15),
+        ]
+        s = caching_gain_summary(pts)
+        assert s["num_gaining"] == 1
+        assert s["extra_lazy_hbrs"] == 5
+        assert abs(s["extra_pct"] - 50.0) < 1e-9
+
+
+class TestScatterRendering:
+    POINTS = [ScatterPoint(i, f"b{i}", 10 ** (i % 4), 5 * i + 1)
+              for i in range(1, 8)]
+
+    def test_render_contains_axes_and_diagonal(self):
+        text = render_scatter(self.POINTS, "xs", "ys")
+        assert "xs" in text and "ys" in text
+        assert "/" in text
+        assert "1e0" in text
+
+    def test_render_places_all_points(self):
+        text = render_scatter([ScatterPoint(3, "b", 1, 1)], "x", "y")
+        assert "3" in text
+
+    def test_csv(self):
+        csv = scatter_csv(self.POINTS[:2])
+        lines = csv.splitlines()
+        assert lines[0] == "bench_id,name,x,y,limit_hit"
+        assert lines[1].startswith("1,b1,10,")
+
+
+class TestFigureRuns:
+    def test_figure2_rows(self):
+        rows = run_figure2(SUBSET, schedule_limit=200)
+        assert len(rows) == len(SUBSET)
+        fig1 = next(r for r in rows if r.name == "figure1")
+        assert fig1.num_hbrs == 2
+        assert fig1.num_lazy_hbrs == 1
+        disjoint = next(r for r in rows if "disjoint" in r.name)
+        assert disjoint.num_lazy_hbrs == 1
+        assert disjoint.num_hbrs > 1
+
+    def test_figure2_report_renders(self):
+        rows = run_figure2(SUBSET[:3], schedule_limit=100)
+        text = figure2_report(rows, 100)
+        assert "Figure 2" in text
+        assert "below the diagonal" in text
+        assert "figure1" in text
+
+    def test_figure3_rows(self):
+        rows = run_figure3(SUBSET, schedule_limit=200)
+        assert len(rows) == len(SUBSET)
+        for r in rows:
+            # regular caching never explores more lazy HBRs than lazy
+            # caching when both exhaust; under equal budgets the lazy
+            # variant is never behind on exhausted benchmarks
+            if not r.limit_hit:
+                assert r.lazy_hbrs_lazy_caching >= r.lazy_hbrs_regular_caching
+
+    def test_figure3_report_renders(self):
+        rows = run_figure3(SUBSET[:3], schedule_limit=100)
+        text = figure3_report(rows, 100)
+        assert "Figure 3" in text
+        assert "lazy HBR caching" in text
+
+    def test_inequality_table(self):
+        rows = run_inequality_table(SUBSET, schedule_limit=200)
+        text = inequality_report(rows)
+        assert "Violations: **0**" in text

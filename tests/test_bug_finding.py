@@ -1,0 +1,48 @@
+"""Every benchmark with a known property violation must be caught —
+and each reported schedule must reproduce its error."""
+
+import pytest
+
+from repro.explore import DPORExplorer, ExplorationLimits
+from repro.runtime.schedule import execute
+from repro.suite import all_benchmarks
+
+LIM = ExplorationLimits(max_schedules=30_000)
+
+BUGGY = [b for b in all_benchmarks() if b.expect_error is not None]
+CORRECT_SMALL = [b for b in all_benchmarks()
+                 if b.expect_error is None and b.small]
+
+EXPECTED_KIND = {
+    "deadlock": "DeadlockError",
+    "assertion": "GuestAssertionError",
+}
+
+
+@pytest.mark.parametrize("bench", BUGGY, ids=lambda b: b.program.name)
+def test_expected_error_is_found(bench):
+    stats = DPORExplorer(bench.program, LIM).run()
+    kinds = {e.kind for e in stats.errors}
+    assert EXPECTED_KIND[bench.expect_error] in kinds, (
+        f"{bench.program.name}: expected {bench.expect_error}, "
+        f"found {kinds or 'nothing'}"
+    )
+
+
+@pytest.mark.parametrize("bench", BUGGY, ids=lambda b: b.program.name)
+def test_error_schedules_reproduce(bench):
+    stats = DPORExplorer(bench.program, LIM).run()
+    for finding in stats.errors:
+        r = execute(bench.program, schedule=finding.schedule)
+        assert r.error is not None, (
+            f"{bench.program.name}: schedule {finding.schedule} did not "
+            f"reproduce {finding.kind}"
+        )
+
+
+@pytest.mark.parametrize("bench", CORRECT_SMALL, ids=lambda b: b.program.name)
+def test_correct_programs_have_no_errors(bench):
+    stats = DPORExplorer(bench.program, LIM).run()
+    assert stats.errors == [], (
+        f"{bench.program.name} reported {stats.errors}"
+    )

@@ -1,0 +1,85 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestList:
+    def test_lists_79(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        # header + 79 rows
+        assert len(out.strip().splitlines()) == 80
+
+
+class TestRun:
+    def test_run_figure1(self, capsys):
+        assert main(["run", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "final state" in out
+
+    def test_run_with_schedule(self, capsys):
+        assert main(["run", "1", "--schedule", "1,1,1,1,1,0"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule=[1, 1, 1, 1, 1, 0" in out
+
+    def test_unknown_id_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "999"])
+        assert exc.value.code == 2
+
+
+class TestExplore:
+    def test_explore_dpor(self, capsys):
+        assert main(["explore", "1", "--strategy", "dpor"]) == 0
+        out = capsys.readouterr().out
+        assert "dpor" in out
+        assert "hbrs=2" in out
+
+    def test_explore_finds_deadlock(self, capsys):
+        assert main(["explore", "36"]) == 0
+        out = capsys.readouterr().out
+        assert "DeadlockError" in out
+        assert "schedule:" in out
+
+    def test_unknown_strategy(self, capsys):
+        assert main(["explore", "1", "--strategy", "nope"]) == 2
+
+    def test_all_strategies_accessible(self, capsys):
+        for strategy in ("dfs", "dpor", "hbr-caching", "lazy-hbr-caching",
+                         "lazy-dpor"):
+            assert main(["explore", "1", "--strategy", strategy,
+                         "--limit", "200"]) == 0
+
+
+class TestRaces:
+    def test_racy_benchmark_exits_1(self, capsys):
+        assert main(["races", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "race(s)" in out
+        assert "witness" in out
+
+    def test_clean_benchmark_exits_0(self, capsys):
+        assert main(["races", "5"]) == 0
+        assert "race-free" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        for cmd in ("list", "run", "explore", "races", "figure2",
+                    "figure3", "inequality"):
+            # does not raise
+            if cmd == "list":
+                parser.parse_args([cmd])
+            elif cmd in ("run", "explore", "races"):
+                parser.parse_args([cmd, "1"])
+            else:
+                parser.parse_args([cmd, "--limit", "10"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

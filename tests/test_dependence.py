@@ -1,0 +1,113 @@
+"""Tests for the regular and lazy conflict predicates."""
+
+from repro.core.dependence import conflicts, conflicts_lazy, may_be_coenabled
+from repro.core.events import Event, OpKind
+
+
+def ev(tid, kind, oid, key=None, released=None, index=0):
+    return Event(index=index, tid=tid, tindex=0, kind=kind, oid=oid,
+                 key=key, released_mutex_oid=released)
+
+
+class TestRegularConflicts:
+    def test_same_thread_always_dependent(self):
+        a = ev(0, OpKind.READ, 1)
+        b = ev(0, OpKind.READ, 2)
+        assert conflicts(a, b)
+
+    def test_read_read_independent(self):
+        assert not conflicts(ev(0, OpKind.READ, 1), ev(1, OpKind.READ, 1))
+
+    def test_read_write_conflict(self):
+        assert conflicts(ev(0, OpKind.READ, 1), ev(1, OpKind.WRITE, 1))
+
+    def test_write_write_conflict(self):
+        assert conflicts(ev(0, OpKind.WRITE, 1), ev(1, OpKind.WRITE, 1))
+
+    def test_different_objects_independent(self):
+        assert not conflicts(ev(0, OpKind.WRITE, 1), ev(1, OpKind.WRITE, 2))
+
+    def test_different_keys_independent(self):
+        a = ev(0, OpKind.WRITE, 1, key=0)
+        b = ev(1, OpKind.WRITE, 1, key=1)
+        assert not conflicts(a, b)
+
+    def test_same_key_conflict(self):
+        a = ev(0, OpKind.WRITE, 1, key=3)
+        b = ev(1, OpKind.READ, 1, key=3)
+        assert conflicts(a, b)
+
+    def test_lock_lock_conflict(self):
+        assert conflicts(ev(0, OpKind.LOCK, 9), ev(1, OpKind.LOCK, 9))
+
+    def test_lock_unlock_conflict(self):
+        assert conflicts(ev(0, OpKind.LOCK, 9), ev(1, OpKind.UNLOCK, 9))
+
+    def test_rmw_conflicts_with_read(self):
+        assert conflicts(ev(0, OpKind.RMW, 4), ev(1, OpKind.READ, 4))
+
+    def test_wait_conflicts_with_lock_on_released_mutex(self):
+        w = ev(0, OpKind.WAIT, 5, released=9)
+        l = ev(1, OpKind.LOCK, 9)
+        assert conflicts(w, l)
+        assert conflicts(l, w)
+
+    def test_wait_does_not_conflict_with_other_mutex(self):
+        w = ev(0, OpKind.WAIT, 5, released=9)
+        l = ev(1, OpKind.LOCK, 8)
+        assert not conflicts(w, l)
+
+    def test_wait_notify_conflict_on_condvar(self):
+        w = ev(0, OpKind.WAIT, 5, released=9)
+        n = ev(1, OpKind.NOTIFY, 5)
+        assert conflicts(w, n)
+
+
+class TestLazyConflicts:
+    def test_lock_never_conflicts_lazily(self):
+        assert not conflicts_lazy(ev(0, OpKind.LOCK, 9), ev(1, OpKind.LOCK, 9))
+        assert not conflicts_lazy(ev(0, OpKind.UNLOCK, 9), ev(1, OpKind.LOCK, 9))
+
+    def test_lock_vs_wait_release_is_lazy_independent(self):
+        w = ev(0, OpKind.WAIT, 5, released=9)
+        l = ev(1, OpKind.LOCK, 9)
+        assert not conflicts_lazy(w, l)
+
+    def test_data_conflicts_survive(self):
+        assert conflicts_lazy(ev(0, OpKind.WRITE, 1), ev(1, OpKind.READ, 1))
+
+    def test_condvar_conflicts_survive(self):
+        w = ev(0, OpKind.WAIT, 5, released=9)
+        n = ev(1, OpKind.NOTIFY_ALL, 5)
+        assert conflicts_lazy(w, n)
+
+    def test_semaphore_conflicts_survive(self):
+        a = ev(0, OpKind.SEM_ACQUIRE, 2)
+        r = ev(1, OpKind.SEM_RELEASE, 2)
+        assert conflicts_lazy(a, r)
+
+    def test_same_thread_still_dependent(self):
+        a = ev(0, OpKind.LOCK, 9)
+        b = ev(0, OpKind.UNLOCK, 9)
+        assert conflicts_lazy(a, b)
+
+    def test_lazy_implies_regular(self):
+        # lazy conflicts are a subset of regular conflicts
+        kinds = [OpKind.READ, OpKind.WRITE, OpKind.RMW, OpKind.LOCK,
+                 OpKind.UNLOCK, OpKind.SEM_ACQUIRE, OpKind.NOTIFY]
+        for k1 in kinds:
+            for k2 in kinds:
+                e1, e2 = ev(0, k1, 1), ev(1, k2, 1)
+                if conflicts_lazy(e1, e2):
+                    assert conflicts(e1, e2)
+
+
+class TestCoEnabled:
+    def test_lock_unlock_same_mutex_never_coenabled(self):
+        assert not may_be_coenabled(ev(0, OpKind.LOCK, 9), ev(1, OpKind.UNLOCK, 9))
+
+    def test_lock_lock_may_be_coenabled(self):
+        assert may_be_coenabled(ev(0, OpKind.LOCK, 9), ev(1, OpKind.LOCK, 9))
+
+    def test_data_ops_may_be_coenabled(self):
+        assert may_be_coenabled(ev(0, OpKind.WRITE, 1), ev(1, OpKind.READ, 1))

@@ -1,0 +1,89 @@
+"""Tests for event/op structures and kind classifications."""
+
+from repro.core.events import (
+    BLOCKING_KINDS,
+    Event,
+    MODIFYING_KINDS,
+    MUTEX_KINDS,
+    Op,
+    OpKind,
+)
+
+
+class TestKindSets:
+    def test_mutex_kinds_are_exactly_lock_unlock(self):
+        assert MUTEX_KINDS == {OpKind.LOCK, OpKind.UNLOCK}
+
+    def test_reads_do_not_modify(self):
+        assert OpKind.READ not in MODIFYING_KINDS
+        assert OpKind.JOIN not in MODIFYING_KINDS
+        assert OpKind.YIELD not in MODIFYING_KINDS
+
+    def test_writes_and_rmw_modify(self):
+        assert OpKind.WRITE in MODIFYING_KINDS
+        assert OpKind.RMW in MODIFYING_KINDS
+
+    def test_mutex_ops_modify_their_mutex(self):
+        # condition (b) of the regular HBR: lock/unlock are modifications
+        assert OpKind.LOCK in MODIFYING_KINDS
+        assert OpKind.UNLOCK in MODIFYING_KINDS
+
+    def test_lifecycle_classification(self):
+        # EXIT/SPAWN modify the thread handle; JOIN only observes it
+        assert OpKind.EXIT in MODIFYING_KINDS
+        assert OpKind.SPAWN in MODIFYING_KINDS
+        assert OpKind.JOIN not in MODIFYING_KINDS
+
+    def test_blocking_kinds(self):
+        for k in (OpKind.LOCK, OpKind.WAIT, OpKind.SEM_ACQUIRE,
+                  OpKind.BARRIER_WAIT, OpKind.JOIN):
+            assert k in BLOCKING_KINDS
+        assert OpKind.WRITE not in BLOCKING_KINDS
+
+    def test_kind_values_are_stable(self):
+        # fingerprints embed these integers; they must never change
+        assert int(OpKind.READ) == 0
+        assert int(OpKind.WRITE) == 1
+        assert int(OpKind.LOCK) == 3
+        assert int(OpKind.UNLOCK) == 4
+
+
+class TestEvent:
+    def _event(self, **kw):
+        defaults = dict(index=0, tid=1, tindex=0, kind=OpKind.READ, oid=5)
+        defaults.update(kw)
+        return Event(**defaults)
+
+    def test_label_includes_kind_oid_key(self):
+        e = self._event(kind=OpKind.WRITE, oid=3, key=7)
+        assert e.label() == (int(OpKind.WRITE), 3, 7)
+
+    def test_label_excludes_value(self):
+        a = self._event(value=1)
+        b = self._event(value=999)
+        assert a.label() == b.label()
+
+    def test_location(self):
+        e = self._event(oid=2, key="k")
+        assert e.location() == (2, "k")
+
+    def test_is_mutex_op(self):
+        assert self._event(kind=OpKind.LOCK).is_mutex_op
+        assert not self._event(kind=OpKind.WAIT).is_mutex_op
+
+    def test_is_modification(self):
+        assert self._event(kind=OpKind.WRITE).is_modification
+        assert not self._event(kind=OpKind.READ).is_modification
+
+
+class TestOp:
+    def test_op_is_frozen(self):
+        op = Op(OpKind.YIELD)
+        try:
+            op.kind = OpKind.READ
+            assert False, "Op should be immutable"
+        except AttributeError:
+            pass
+
+    def test_repr_mentions_kind(self):
+        assert "YIELD" in repr(Op(OpKind.YIELD))

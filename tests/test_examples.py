@@ -1,0 +1,111 @@
+"""The example scripts are part of the public surface: they must run
+cleanly and print what they claim to print."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickstart:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("quickstart.py")
+
+    def test_shows_both_relations(self, output):
+        assert "regular happens-before relation" in output
+        assert "lazy happens-before relation" in output
+
+    def test_regular_has_edge_lazy_does_not(self, output):
+        assert "inter-thread edges: 2->6" in output
+        assert "(none)" in output
+
+    def test_headline_numbers(self, output):
+        assert "sched=72" in output      # DFS
+        assert "hbrs=2" in output        # two HBR classes
+        assert "lazy=1" in output        # one lazy class
+
+
+class TestCoarseGrainedServer:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("coarse_grained_server.py")
+
+    def test_all_strategies_reported(self, output):
+        for name in ("dpor", "hbr-caching", "lazy-hbr-caching", "lazy-dpor"):
+            assert name in output
+
+    def test_no_errors_found(self, output):
+        # every row ends with 0 errors
+        for line in output.splitlines():
+            if line.startswith(("dpor", "hbr-caching", "lazy")):
+                assert line.rstrip().endswith("0")
+
+
+class TestFindTheBug:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("find_the_bug.py")
+
+    def test_finds_deadlock(self, output):
+        assert "FOUND DeadlockError" in output
+
+    def test_finds_assertion_failures(self, output):
+        assert "FOUND GuestAssertionError" in output
+        assert "money not conserved" in output
+        assert "mutual exclusion violated" in output
+
+    def test_reproduces_deterministically(self, output):
+        assert "(deterministic)" in output
+
+    def test_fixed_versions_clean(self, output):
+        assert "no bugs in" in output
+
+
+class TestDebuggingWorkflow:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("debugging_workflow.py")
+
+    def test_all_four_steps_run(self, output):
+        for step in ("race detection", "systematic exploration",
+                     "schedule minimization", "human-readable"):
+            assert step in output
+
+    def test_races_reported(self, output):
+        assert "race on balances" in output
+
+    def test_minimization_reported(self, output):
+        assert "minimized to" in output
+        assert "replays" in output
+
+    def test_timeline_shows_the_violation(self, output):
+        assert "ERROR: GuestAssertionError" in output
+        assert "exit [crashed]" in output
+
+
+class TestFigureRunners:
+    def test_run_figure2_subset(self):
+        # tiny limit for speed; the full run is exercised by the bench
+        out = run_example("run_figure2.py", "60", "2")
+        assert "Figure 2" in out
+        assert "below the diagonal" in out
+
+    def test_run_figure3_subset(self):
+        out = run_example("run_figure3.py", "40", "1")
+        assert "Figure 3" in out
+        assert "lazy HBR caching" in out

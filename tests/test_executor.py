@@ -1,0 +1,386 @@
+"""Tests for the stepwise executor: enabledness, stepping, blocking
+semantics, deadlock detection, dynamic threads, truncation."""
+
+import pytest
+
+from repro import DeadlockError, Program, execute
+from repro.core.events import OpKind
+from repro.errors import InvalidOpError, SchedulerError
+from repro.runtime.executor import Executor
+
+
+def make(build, name="t"):
+    return Program(name, build)
+
+
+class TestStepping:
+    def test_step_disabled_thread_raises(self):
+        def build(p):
+            m = p.mutex("m")
+
+            def t(api):
+                yield api.lock(m)
+                yield api.unlock(m)
+
+            p.thread(t)
+            p.thread(t)
+
+        ex = Executor(make(build))
+        ex.step(0)  # T0 locks
+        assert ex.enabled() == [0]
+        with pytest.raises(SchedulerError):
+            ex.step(1)
+
+    def test_step_finished_thread_raises(self):
+        def build(p):
+            x = p.var("x", 0)
+
+            def t(api):
+                yield api.write(x, 1)
+
+            p.thread(t)
+
+        ex = Executor(make(build))
+        ex.step(0)
+        ex.step(0)  # EXIT
+        with pytest.raises(SchedulerError):
+            ex.step(0)
+
+    def test_every_thread_gets_exit_event(self):
+        def build(p):
+            x = p.var("x", 0)
+
+            def t(api):
+                yield api.write(x, 1)
+
+            p.thread(t)
+            p.thread(t)
+
+        r = execute(make(build))
+        exits = [e for e in r.events if e.kind == OpKind.EXIT]
+        assert {e.tid for e in exits} == {0, 1}
+
+    def test_trace_indices_sequential(self, figure1_program):
+        r = execute(figure1_program)
+        assert [e.index for e in r.events] == list(range(len(r.events)))
+
+    def test_tindex_per_thread(self, figure1_program):
+        r = execute(figure1_program)
+        for tid in (0, 1):
+            seq = [e.tindex for e in r.events if e.tid == tid]
+            assert seq == list(range(len(seq)))
+
+    def test_finish_before_done_raises(self, figure1_program):
+        ex = Executor(figure1_program)
+        with pytest.raises(SchedulerError):
+            ex.finish()
+
+    def test_yielding_non_op_raises(self):
+        def build(p):
+            def t(api):
+                yield "not an op"
+
+            p.thread(t)
+
+        with pytest.raises(InvalidOpError):
+            Executor(make(build))
+
+
+class TestMutexSemantics:
+    def test_lock_blocks_second_thread(self):
+        def build(p):
+            m = p.mutex("m")
+
+            def t(api):
+                yield api.lock(m)
+                yield api.unlock(m)
+
+            p.thread(t)
+            p.thread(t)
+
+        ex = Executor(make(build))
+        assert ex.enabled() == [0, 1]
+        ex.step(0)
+        assert ex.enabled() == [0]
+        ex.step(0)  # unlock
+        assert ex.enabled() == [0, 1]
+
+    def test_deadlock_detected_and_recorded(self):
+        def build(p):
+            a, b = p.mutex("a"), p.mutex("b")
+
+            def t0(api):
+                yield api.lock(a)
+                yield api.lock(b)
+
+            def t1(api):
+                yield api.lock(b)
+                yield api.lock(a)
+
+            p.thread(t0)
+            p.thread(t1)
+
+        r = execute(make(build), schedule=[0, 1])
+        assert isinstance(r.error, DeadlockError)
+        assert set(r.error.blocked_threads) == {0, 1}
+
+    def test_unlock_by_non_owner_is_host_error(self):
+        def build(p):
+            m = p.mutex("m")
+
+            def t(api):
+                yield api.unlock(m)
+
+            p.thread(t)
+
+        with pytest.raises(InvalidOpError):
+            execute(make(build))
+
+
+class TestCondVarSemantics:
+    def _waiter_notifier(self, p):
+        m = p.mutex("m")
+        cv = p.condvar("cv")
+        flag = p.var("flag", 0)
+
+        def waiter(api):
+            yield api.lock(m)
+            while True:
+                f = yield api.read(flag)
+                if f:
+                    break
+                yield api.wait(cv, m)
+            yield api.unlock(m)
+
+        def notifier(api):
+            yield api.lock(m)
+            yield api.write(flag, 1)
+            yield api.notify(cv)
+            yield api.unlock(m)
+
+        p.thread(waiter)
+        p.thread(notifier)
+        return m, cv
+
+    def test_wait_releases_mutex(self):
+        holder = {}
+
+        def build(p):
+            holder["m"], _ = self._waiter_notifier(p)
+
+        ex = Executor(make(build))
+        ex.step(0)  # lock
+        ex.step(0)  # read flag = 0
+        ex.step(0)  # wait: releases m, parks
+        assert ex.instance.named["m"].owner is None
+        assert ex.enabled() == [1]  # waiter is parked
+
+    def test_wait_resumes_after_notify_and_reacquire(self):
+        def build(p):
+            self._waiter_notifier(p)
+
+        r = execute(make(build), schedule=[0, 0, 0, 1, 1, 1, 1])
+        assert r.ok
+        # the waiter's resume appears as a second LOCK event by tid 0
+        locks = [e for e in r.events if e.tid == 0 and e.kind == OpKind.LOCK]
+        assert len(locks) == 2
+
+    def test_lost_wakeup_semantics(self):
+        # notify with no waiters is a no-op; a later wait sleeps forever
+        def build(p):
+            m = p.mutex("m")
+            cv = p.condvar("cv")
+
+            def waiter(api):
+                yield api.lock(m)
+                yield api.wait(cv, m)
+                yield api.unlock(m)
+
+            def notifier(api):
+                yield api.notify(cv)
+
+            p.thread(waiter)
+            p.thread(notifier)
+
+        r = execute(make(build), schedule=[1, 1, 0, 0])
+        assert isinstance(r.error, DeadlockError)
+
+    def test_wait_without_mutex_is_host_error(self):
+        def build(p):
+            m = p.mutex("m")
+            cv = p.condvar("cv")
+
+            def t(api):
+                yield api.wait(cv, m)
+
+            p.thread(t)
+
+        with pytest.raises(InvalidOpError):
+            execute(make(build))
+
+    def test_notify_all_wakes_everyone(self):
+        def build(p):
+            m = p.mutex("m")
+            cv = p.condvar("cv")
+            flag = p.var("flag", 0)
+
+            def waiter(api):
+                yield api.lock(m)
+                while True:
+                    f = yield api.read(flag)
+                    if f:
+                        break
+                    yield api.wait(cv, m)
+                yield api.unlock(m)
+
+            def boss(api):
+                yield api.lock(m)
+                yield api.write(flag, 1)
+                yield api.notify_all(cv)
+                yield api.unlock(m)
+
+            p.thread(waiter)
+            p.thread(waiter)
+            p.thread(boss)
+
+        r = execute(make(build), schedule=[0, 0, 0, 1, 1, 1, 2])
+        assert r.ok
+
+
+class TestAwait:
+    def test_await_blocks_until_predicate(self):
+        def build(p):
+            flag = p.var("flag", 0)
+
+            def consumer(api):
+                yield api.await_value(flag, lambda v: v == 1)
+
+            def producer(api):
+                yield api.write(flag, 1)
+
+            p.thread(consumer)
+            p.thread(producer)
+
+        ex = Executor(make(build))
+        assert ex.enabled() == [1]
+        ex.step(1)
+        assert 0 in ex.enabled()
+
+    def test_await_never_satisfied_is_deadlock(self):
+        def build(p):
+            flag = p.var("flag", 0)
+
+            def consumer(api):
+                yield api.await_value(flag, lambda v: v == 1)
+
+            p.thread(consumer)
+
+        r = execute(make(build))
+        assert isinstance(r.error, DeadlockError)
+
+
+class TestDynamicThreads:
+    def test_spawn_returns_tid_and_join_waits(self):
+        def build(p):
+            x = p.var("x", 0)
+
+            def child(api):
+                yield api.write(x, 42)
+
+            def main(api):
+                tid = yield api.spawn(child)
+                yield api.join(tid)
+                v = yield api.read(x)
+                api.guest_assert(v == 42)
+
+            p.thread(main)
+
+        r = execute(make(build))
+        assert r.ok
+        assert r.final_state["x"] == 42
+
+    def test_join_blocks_until_child_exits(self):
+        def build(p):
+            def child(api):
+                yield api.sched_yield()
+
+            def main(api):
+                tid = yield api.spawn(child)
+                yield api.join(tid)
+
+            p.thread(main)
+
+        ex = Executor(make(build))
+        ex.step(0)  # spawn
+        assert ex.enabled() == [1]  # join not enabled until child exits
+        ex.step(1)  # child yield
+        ex.step(1)  # child exit
+        assert 0 in ex.enabled()
+
+
+class TestGuestAssertions:
+    def test_failed_assertion_crashes_only_that_thread(self):
+        def build(p):
+            x = p.var("x", 0)
+
+            def bad(api):
+                yield api.read(x)
+                api.guest_assert(False, "boom")
+
+            def good(api):
+                yield api.write(x, 1)
+
+            p.thread(bad)
+            p.thread(good)
+
+        r = execute(make(build), schedule=[0, 0, 1, 1])
+        assert r.error is not None
+        assert "boom" in str(r.error)
+        assert r.final_state["x"] == 1  # the good thread still ran
+
+    def test_error_state_differs_from_clean_state(self):
+        def build(p):
+            x = p.var("x", 0)
+
+            def maybe_bad(api):
+                v = yield api.read(x)
+                api.guest_assert(v == 0, "saw the write")
+
+            def writer(api):
+                yield api.write(x, 0)  # writes the same value!
+
+            p.thread(maybe_bad)
+            p.thread(writer)
+
+        # both orders end with x == 0 and no failure -> same final data;
+        # assertion never fires, states equal
+        a = execute(make(build), schedule=[0, 0, 1, 1])
+        b = execute(make(build), schedule=[1, 1, 0, 0])
+        assert a.error is None and b.error is None
+
+
+class TestTruncation:
+    def test_max_events_truncates(self):
+        def build(p):
+            x = p.var("x", 0)
+
+            def spinner(api):
+                while True:
+                    yield api.read(x)
+
+            p.thread(spinner)
+
+        r = execute(make(build), max_events=25)
+        assert r.truncated
+        assert len(r.events) == 25
+
+
+class TestDeterminism:
+    def test_same_schedule_same_everything(self, figure1_program):
+        a = execute(figure1_program, schedule=[1, 0, 0, 0, 1])
+        b = execute(figure1_program, schedule=[1, 0, 0, 0, 1])
+        assert a.schedule == b.schedule
+        assert a.hbr_fp == b.hbr_fp
+        assert a.lazy_fp == b.lazy_fp
+        assert a.state_hash == b.state_hash
+        assert [e.label() for e in a.events] == [e.label() for e in b.events]

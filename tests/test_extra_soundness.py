@@ -1,0 +1,64 @@
+"""Soundness of the reduction strategies on the extension workloads
+(semaphore protocols, await-guarded rendezvous, seqlock)."""
+
+import pytest
+
+from repro.explore import (
+    DFSExplorer,
+    DPORExplorer,
+    ExplorationLimits,
+    HBRCachingExplorer,
+    LazyDPORExplorer,
+)
+from repro.suite.extra import cigarette_smokers, h2o, seqlock
+
+LIM = ExplorationLimits(max_schedules=60_000, max_seconds=120)
+
+CASES = [
+    ("cigarette_smokers", cigarette_smokers, (1,)),
+    ("h2o", h2o, (1,)),
+    ("seqlock", seqlock, (1, 1)),
+]
+
+
+@pytest.fixture(scope="module")
+def ground_truth():
+    truth = {}
+    for name, maker, args in CASES:
+        prog = maker(*args)
+        dfs = DFSExplorer(prog, LIM)
+        stats = dfs.run()
+        assert stats.exhausted, f"{name}: DFS did not exhaust"
+        truth[name] = (prog, frozenset(dfs._state_hashes))
+    return truth
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+def test_dpor_matches_dfs(ground_truth, name):
+    prog, base = ground_truth[name]
+    e = DPORExplorer(prog, LIM)
+    e.run()
+    assert frozenset(e._state_hashes) == base
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+def test_lazy_caching_matches_dfs(ground_truth, name):
+    prog, base = ground_truth[name]
+    e = HBRCachingExplorer(prog, LIM, lazy=True)
+    e.run()
+    assert frozenset(e._state_hashes) == base
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+def test_lazy_dpor_matches_dfs(ground_truth, name):
+    prog, base = ground_truth[name]
+    e = LazyDPORExplorer(prog, LIM)
+    e.run()
+    assert frozenset(e._state_hashes) == base
+
+
+def test_seqlock_state_count_is_five(ground_truth):
+    _, base = ground_truth["seqlock"]
+    # reader may observe data (0,0) or (1,1), before/after the writer
+    # finishes, plus retry variations -> 5 distinct terminal states
+    assert len(base) == 5

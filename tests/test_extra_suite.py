@@ -1,0 +1,90 @@
+"""Tests for the extension workloads (suite.extra)."""
+
+import pytest
+
+from repro.explore import DPORExplorer, ExplorationLimits
+from repro.runtime.schedule import RandomScheduler, execute
+from repro.suite.extra import (
+    cigarette_smokers,
+    h2o,
+    seqlock,
+    sleeping_barber,
+    stress_work_queue,
+)
+
+LIM = ExplorationLimits(max_schedules=8_000, max_seconds=30)
+
+
+class TestSleepingBarber:
+    def test_everyone_accounted_for(self):
+        prog = sleeping_barber(2, 1)
+        for seed in range(40):
+            r = execute(prog, scheduler=RandomScheduler(seed), max_events=3000)
+            assert r.ok, f"seed {seed}: {r.error}"
+            s = r.final_state
+            assert s["served"] + s["turned_away"] == 2
+            assert s["waiting"] == 0
+
+    def test_no_deadlock_within_budget(self):
+        stats = DPORExplorer(sleeping_barber(2, 1), LIM).run()
+        assert not stats.errors
+
+
+class TestCigaretteSmokers:
+    def test_each_smoker_smokes_once_per_round(self):
+        prog = cigarette_smokers(1)
+        for seed in range(40):
+            r = execute(prog, scheduler=RandomScheduler(seed))
+            assert r.ok
+            assert r.final_state["smoked"] == (1, 1, 1)
+            assert r.final_state["table"] == 0
+
+    def test_deterministic_single_state(self):
+        stats = DPORExplorer(cigarette_smokers(1), LIM).run()
+        assert stats.num_states == 1
+
+
+class TestH2O:
+    def test_all_atoms_bond(self):
+        prog = h2o(1)
+        for seed in range(40):
+            r = execute(prog, scheduler=RandomScheduler(seed))
+            assert r.ok
+            assert r.final_state["bonds"] == 3  # 2 H + 1 O
+
+    def test_no_deadlock(self):
+        stats = DPORExplorer(h2o(1), LIM).run()
+        kinds = {e.kind for e in stats.errors}
+        assert "DeadlockError" not in kinds
+
+
+class TestSeqlock:
+    def test_readers_never_tear(self):
+        prog = seqlock(1, 1)
+        stats = DPORExplorer(prog, LIM).run()
+        # the retry protocol prevents torn reads on every schedule
+        assert not stats.errors
+
+    def test_reader_sees_consistent_snapshot(self):
+        prog = seqlock(1, 1)
+        for seed in range(40):
+            r = execute(prog, scheduler=RandomScheduler(seed), max_events=3000)
+            assert r.ok
+            assert r.final_state["out"][0] in (0, 1)
+
+    def test_benign_races_are_still_reported(self):
+        # the data reads race with the writer by design; HB race
+        # detection must flag them (they are races, just tolerated)
+        from repro.analysis.races import find_races
+        report = find_races(seqlock(1, 1), LIM)
+        assert not report.race_free
+        racy_locations = {r.oid for r in report.races}
+        assert len(racy_locations) >= 1
+
+
+class TestStressInstances:
+    def test_stress_work_queue_is_budget_binding(self):
+        from repro.explore import HBRCachingExplorer
+        lim = ExplorationLimits(max_schedules=300)
+        stats = HBRCachingExplorer(stress_work_queue(2, 4), lim).run()
+        assert stats.limit_hit

@@ -1,0 +1,92 @@
+"""Tests for chained fingerprints and canonical HBR forms."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.fingerprint import CanonicalHBR, FingerprintChain
+
+
+class TestFingerprintChain:
+    def test_empty_chains_of_same_arity_agree(self):
+        a, b = FingerprintChain(), FingerprintChain()
+        a.ensure_thread(1)
+        b.ensure_thread(1)
+        assert a.prefix_fingerprint() == b.prefix_fingerprint()
+
+    def test_update_changes_fingerprint(self):
+        c = FingerprintChain()
+        before = c.prefix_fingerprint()
+        c.update(0, (1, 2, None), (1,))
+        assert c.prefix_fingerprint() != before
+
+    def test_same_updates_same_fingerprint(self):
+        a, b = FingerprintChain(), FingerprintChain()
+        for chain in (a, b):
+            chain.update(0, (1, 2, None), (1,))
+            chain.update(1, (3, 4, None), (1, 1))
+        assert a.prefix_fingerprint() == b.prefix_fingerprint()
+
+    def test_order_of_threads_does_not_collide(self):
+        # same multiset of per-thread updates applied to different
+        # threads must give different fingerprints
+        a, b = FingerprintChain(), FingerprintChain()
+        a.update(0, (1, 2, None), (1,))
+        b.update(1, (1, 2, None), (0, 1))
+        assert a.prefix_fingerprint() != b.prefix_fingerprint()
+
+    def test_clock_matters(self):
+        a, b = FingerprintChain(), FingerprintChain()
+        a.update(0, (1, 2, None), (1, 0))
+        b.update(0, (1, 2, None), (1, 5))
+        assert a.prefix_fingerprint() != b.prefix_fingerprint()
+
+    def test_event_count_tracked(self):
+        c = FingerprintChain()
+        assert c.event_count == 0
+        c.update(0, (1, 1, None), (1,))
+        assert c.event_count == 1
+
+    def test_fork_is_independent(self):
+        a = FingerprintChain()
+        a.update(0, (1, 1, None), (1,))
+        b = a.fork()
+        assert a.prefix_fingerprint() == b.prefix_fingerprint()
+        b.update(0, (1, 1, None), (2,))
+        assert a.prefix_fingerprint() != b.prefix_fingerprint()
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 5)),
+                    max_size=20))
+    def test_deterministic_across_instances(self, updates):
+        a, b = FingerprintChain(), FingerprintChain()
+        for chain in (a, b):
+            for tid, label_part in updates:
+                chain.update(tid, (label_part, 0, None), (tid + 1,))
+        assert a.prefix_fingerprint() == b.prefix_fingerprint()
+
+
+class TestCanonicalHBR:
+    def test_freeze_strips_trailing_empty_threads(self):
+        a, b = CanonicalHBR(), CanonicalHBR()
+        a.update(0, (1, 1, None), (1,))
+        b.update(0, (1, 1, None), (1,))
+        b.update(3, (9, 9, None), (0, 0, 0, 1))
+        # force thread 3 to exist in `a` too but with no events
+        frozen_a = a.freeze()
+        assert len(frozen_a) == 1
+
+    def test_equal_relations_freeze_equal(self):
+        a, b = CanonicalHBR(), CanonicalHBR()
+        for c in (a, b):
+            c.update(0, (1, 1, None), (1,))
+            c.update(1, (2, 2, None), (1, 1))
+        assert a.freeze() == b.freeze()
+
+    def test_different_clocks_freeze_different(self):
+        a, b = CanonicalHBR(), CanonicalHBR()
+        a.update(0, (1, 1, None), (1, 0))
+        b.update(0, (1, 1, None), (1, 9))
+        assert a.freeze() != b.freeze()
+
+    def test_freeze_is_hashable(self):
+        c = CanonicalHBR()
+        c.update(0, (1, 1, None), (1,))
+        hash(c.freeze())

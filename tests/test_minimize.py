@@ -1,0 +1,82 @@
+"""Tests for error-schedule minimisation."""
+
+import pytest
+
+from repro import Program, execute
+from repro.explore import DPORExplorer, ExplorationLimits, minimize_schedule
+from repro.suite.bank import bank_racy
+from repro.suite.locks import lock_order_deadlock
+from repro.suite.mutual_exclusion import peterson
+
+
+def find_error_schedule(program):
+    stats = DPORExplorer(
+        program, ExplorationLimits(max_schedules=30_000)
+    ).run()
+    assert stats.errors
+    return stats.errors[0]
+
+
+class TestMinimization:
+    def test_deadlock_schedule_shrinks(self):
+        program = lock_order_deadlock()
+        finding = find_error_schedule(program)
+        result = minimize_schedule(program, finding.schedule)
+        assert result.error_kind == "DeadlockError"
+        assert len(result.schedule) <= len(finding.schedule)
+        # the minimized schedule still deadlocks when replayed
+        r = execute(program, schedule=result.schedule)
+        assert r.error is not None
+
+    def test_assertion_schedule_shrinks_and_reproduces(self):
+        program = bank_racy(2)
+        finding = find_error_schedule(program)
+        result = minimize_schedule(program, finding.schedule)
+        assert result.error_kind == "GuestAssertionError"
+        r = execute(program, schedule=result.schedule)
+        assert type(r.error).__name__ == "GuestAssertionError"
+
+    def test_peterson_violation_shrinks(self):
+        program = peterson(buggy=True)
+        finding = find_error_schedule(program)
+        result = minimize_schedule(program, finding.schedule)
+        r = execute(program, schedule=result.schedule)
+        assert type(r.error).__name__ == "GuestAssertionError"
+        assert len(result.schedule) <= len(finding.schedule)
+
+    def test_non_failing_schedule_rejected(self, figure1_program):
+        full = execute(figure1_program).schedule
+        with pytest.raises(ValueError):
+            minimize_schedule(figure1_program, full)
+
+    def test_reduction_pct(self):
+        program = lock_order_deadlock()
+        finding = find_error_schedule(program)
+        # pad the failing schedule with redundant explicit choices
+        padded = finding.schedule + execute(
+            program, schedule=finding.schedule
+        ).schedule[len(finding.schedule):]
+        result = minimize_schedule(program, padded)
+        assert 0.0 <= result.reduction_pct <= 100.0
+        assert result.replays >= 1
+
+    def test_error_needing_no_steering_minimizes_to_empty(self):
+        # a program that fails under the default first-enabled policy
+        def build(p):
+            x = p.var("x", 0)
+
+            def t(api):
+                yield api.read(x)
+                api.guest_assert(False, "always")
+
+            p.thread(t)
+
+        program = Program("always_fails", build)
+        result = minimize_schedule(program, [0, 0])
+        assert result.schedule == []
+
+    def test_replay_budget_respected(self):
+        program = bank_racy(2)
+        finding = find_error_schedule(program)
+        result = minimize_schedule(program, finding.schedule, max_replays=5)
+        assert result.replays <= 6

@@ -1,0 +1,69 @@
+"""Tests for Program / ProgramBuilder."""
+
+import pytest
+
+from repro import Program
+from repro.runtime.program import ProgramBuilder
+
+
+class TestBuilder:
+    def test_all_object_kinds_constructible(self):
+        b = ProgramBuilder()
+        b.var("v", 1)
+        b.array("a", [1, 2])
+        b.dict("d", {1: 2})
+        b.atomic("at", 3)
+        b.mutex("m")
+        b.condvar("cv")
+        b.semaphore("s", 2)
+        b.barrier("bar", 2)
+        b.rwlock("rw")
+        assert len(b.registry.objects) == 9
+        assert set(b.named) == {"v", "a", "d", "at", "m", "cv", "s",
+                                "bar", "rw"}
+
+    def test_duplicate_names_rejected(self):
+        b = ProgramBuilder()
+        b.var("x", 0)
+        with pytest.raises(ValueError):
+            b.mutex("x")
+
+    def test_thread_ids_in_declaration_order(self):
+        b = ProgramBuilder()
+
+        def body(api):
+            yield api.sched_yield()
+
+        assert b.thread(body) == 0
+        assert b.thread(body) == 1
+        assert b.thread(body, name="named") == 2
+
+
+class TestProgram:
+    def test_instantiate_is_fresh_each_time(self):
+        def build(p):
+            v = p.var("v", 0)
+
+            def t(api):
+                yield api.write(v, 1)
+
+            p.thread(t)
+
+        prog = Program("t", build)
+        a = prog.instantiate()
+        b = prog.instantiate()
+        assert a.named["v"] is not b.named["v"]
+        a.named["v"].set(None, 99)
+        assert b.named["v"].get() == 0
+
+    def test_program_without_threads_rejected(self):
+        prog = Program("empty", lambda p: None)
+        with pytest.raises(ValueError):
+            prog.instantiate()
+
+    def test_program_is_reusable_across_explorations(self, figure1_program):
+        from repro.explore import DPORExplorer
+        s1 = DPORExplorer(figure1_program).run()
+        s2 = DPORExplorer(figure1_program).run()
+        assert s1.num_schedules == s2.num_schedules
+        assert s1.num_hbrs == s2.num_hbrs

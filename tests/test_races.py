@@ -1,0 +1,127 @@
+"""Tests for happens-before data-race detection."""
+
+import pytest
+
+from repro import Program, execute
+from repro.analysis.races import (
+    Race,
+    find_races,
+    race_summary,
+    races_in_trace,
+    sync_oids_of,
+)
+from repro.explore import ExplorationLimits
+
+LIM = ExplorationLimits(max_schedules=20_000)
+
+
+def hunt(program):
+    return find_races(program, LIM)
+
+
+class TestRacyPrograms:
+    def test_racy_counter_has_races(self):
+        from repro.suite.counters import racy_counter
+        report = hunt(racy_counter(2, 1))
+        assert not report.race_free
+        assert report.exhausted
+        # read-write and write-write pairs on c; read-read is not a race
+        kinds = {(r.first[2], r.second[2]) for r in report.races}
+        assert len(report.races) == 3
+        assert all(r.oid is not None for r in report.races)
+
+    def test_racy_bank_races_on_balances(self):
+        from repro.suite.bank import bank_racy
+        report = hunt(bank_racy(2))
+        assert not report.race_free
+        keys = {r.key for r in report.races}
+        assert keys == {0, 1}  # both account slots race
+
+    def test_dcl_buggy_fast_path_races(self):
+        from repro.suite.sync_patterns import double_checked_locking
+        report = hunt(double_checked_locking(2, buggy=True))
+        # the unsynchronised fast-path read of `ready` races with the
+        # locked write of `ready`
+        assert not report.race_free
+
+    def test_witness_schedules_are_replayable(self):
+        from repro.suite.counters import racy_counter
+        program = racy_counter(2, 1)
+        report = hunt(program)
+        sync = sync_oids_of(program.instantiate().registry)
+        for race, schedule in report.witness.items():
+            r = execute(program, schedule=schedule)
+            assert race in races_in_trace(r, sync)
+
+
+class TestRaceFreePrograms:
+    @pytest.mark.parametrize("maker", [
+        lambda: __import__("repro.suite.counters", fromlist=["x"]).locked_counter(2, 2),
+        lambda: __import__("repro.suite.counters", fromlist=["x"]).disjoint_coarse(2, 2),
+        lambda: __import__("repro.suite.counters", fromlist=["x"]).atomic_counter(2, 2),
+        lambda: __import__("repro.suite.bank", fromlist=["x"]).bank_per_account(2),
+        lambda: __import__("repro.suite.buffers", fromlist=["x"]).pingpong(1),
+    ], ids=["locked_counter", "disjoint_coarse", "atomic_counter",
+            "bank_per_account", "pingpong"])
+    def test_properly_synchronised_programs_race_free(self, maker):
+        report = hunt(maker())
+        assert report.race_free, race_summary(report)
+        assert report.exhausted
+
+    def test_rwlock_readers_race_free(self):
+        from repro.suite.locks import readers_writers
+        report = hunt(readers_writers(1, 1))
+        assert report.race_free
+
+    def test_spawn_join_is_synchronisation(self):
+        # parent writes before spawn; child reads: ordered by the spawn
+        # edge, NOT racy.  child writes; parent reads after join: ordered.
+        def build(p):
+            x = p.var("x", 0)
+            y = p.var("y", 0)
+
+            def child(api):
+                yield api.read(x)
+                yield api.write(y, 1)
+
+            def main(api):
+                yield api.write(x, 1)
+                tid = yield api.spawn(child)
+                yield api.join(tid)
+                yield api.read(y)
+
+            p.thread(main)
+
+        report = hunt(Program("spawn_sync", build))
+        assert report.race_free, race_summary(report)
+
+    def test_message_passing_via_await_is_still_a_race(self):
+        # await on a plain variable is a spin-read: data race by the
+        # sync-HB definition (like C without atomics), even though the
+        # program is correct under SC
+        from repro.suite.sync_patterns import message_passing_litmus
+        report = hunt(message_passing_litmus())
+        assert not report.race_free
+
+
+class TestRaceIdentity:
+    def test_race_stable_across_schedules(self):
+        from repro.suite.counters import racy_counter
+        program = racy_counter(2, 1)
+        sync = sync_oids_of(program.instantiate().registry)
+        a = races_in_trace(execute(program, schedule=[0, 1, 0, 1]), sync)
+        b = races_in_trace(execute(program, schedule=[1, 0, 1, 0]), sync)
+        assert set(a) & set(b), "same logical race found in both schedules"
+
+    def test_describe_mentions_location_and_threads(self):
+        race = Race(3, None, (0, 1, 1), (1, 0, 0))
+        text = race.describe({3: "counter"})
+        assert "counter" in text
+        assert "T0.1 WRITE" in text and "T1.0 READ" in text
+
+    def test_summary_renders(self):
+        from repro.suite.counters import racy_counter
+        report = hunt(racy_counter(2, 1))
+        text = race_summary(report)
+        assert "race(s)" in text
+        assert "witness schedule" in text

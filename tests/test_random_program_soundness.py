@@ -1,0 +1,131 @@
+"""Hypothesis-driven soundness: on randomly generated lock-structured
+programs, every reduction strategy must find exactly the terminal
+states exhaustive DFS finds — the strongest evidence the explorers are
+correct beyond the hand-picked suite."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Program
+from repro.explore import (
+    DFSExplorer,
+    DPORExplorer,
+    ExplorationLimits,
+    HBRCachingExplorer,
+    LazyDPORExplorer,
+)
+
+LIM = ExplorationLimits(max_schedules=60_000)
+
+# Program shapes kept tiny so DFS always exhausts: 2 threads, each up
+# to 3 segments of up to 2 ops over 2 variables and up to 2 mutexes.
+data_op = st.tuples(
+    st.sampled_from(["read", "write", "incr"]),
+    st.integers(min_value=0, max_value=1),
+)
+segment = st.one_of(
+    data_op.map(lambda op: (None, [op])),
+    st.tuples(
+        st.integers(min_value=0, max_value=1),  # which mutex
+        st.lists(data_op, min_size=1, max_size=2),
+    ),
+)
+thread_body = st.lists(segment, min_size=1, max_size=3)
+
+
+def _event_count(spec) -> int:
+    """Upper bound on the trace length of a generated program."""
+    total = 0
+    for body in spec:
+        for lock_idx, ops in body:
+            total += (2 if lock_idx is not None else 0)
+            total += sum(2 if op == "incr" else 1 for op, _ in ops)
+        total += 1  # exit event
+    return total
+
+
+# keep the interleaving count DFS-exhaustible: <= 14 events over 2 threads
+program_spec = st.lists(thread_body, min_size=2, max_size=2).filter(
+    lambda spec: _event_count(spec) <= 14
+)
+
+
+def build_program(spec):
+    def build(p):
+        mutexes = [p.mutex("m0"), p.mutex("m1")]
+        cells = p.array("cells", [0, 0])
+
+        def make_thread(segments, seed):
+            def body(api):
+                token = seed
+                for lock_idx, ops in segments:
+                    if lock_idx is not None:
+                        yield api.lock(mutexes[lock_idx])
+                    for op, var in ops:
+                        if op == "read":
+                            yield api.read(cells, key=var)
+                        elif op == "write":
+                            token += 1
+                            yield api.write(cells, token, key=var)
+                        else:  # incr: read-modify-write as two events
+                            v = yield api.read(cells, key=var)
+                            yield api.write(cells, v + 1, key=var)
+                    if lock_idx is not None:
+                        yield api.unlock(mutexes[lock_idx])
+            return body
+
+        for i, segments in enumerate(spec):
+            p.thread(make_thread(segments, (i + 1) * 100))
+
+    return Program("random_prog", build)
+
+
+soundness_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@soundness_settings
+@given(program_spec)
+def test_all_reducers_match_dfs_states(spec):
+    program = build_program(spec)
+    dfs = DFSExplorer(program, LIM)
+    stats = dfs.run()
+    assert stats.exhausted, "generated program too large for DFS"
+    baseline = frozenset(dfs._state_hashes)
+
+    for explorer in (
+        DPORExplorer(program, LIM),
+        DPORExplorer(program, LIM, sleep_sets=False),
+        HBRCachingExplorer(program, LIM, lazy=False),
+        HBRCachingExplorer(program, LIM, lazy=True),
+        LazyDPORExplorer(program, LIM),
+    ):
+        explorer.run()
+        found = frozenset(explorer._state_hashes)
+        assert found == baseline, (
+            f"{explorer.name} found {len(found)} states, DFS "
+            f"{len(baseline)}; spec={spec!r}"
+        )
+
+
+@soundness_settings
+@given(program_spec)
+def test_inequality_chain_on_random_programs(spec):
+    program = build_program(spec)
+    for explorer in (
+        DPORExplorer(program, LIM),
+        HBRCachingExplorer(program, LIM, lazy=True),
+    ):
+        stats = explorer.run()
+        stats.verify_inequality()
+
+
+@soundness_settings
+@given(program_spec)
+def test_dpor_schedule_count_never_exceeds_dfs(spec):
+    program = build_program(spec)
+    dfs = DFSExplorer(program, LIM).run()
+    dpor = DPORExplorer(program, LIM).run()
+    assert dpor.num_schedules <= dfs.num_schedules

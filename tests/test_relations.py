@@ -1,0 +1,124 @@
+"""Tests for the explicit PartialOrder view of traces."""
+
+import pytest
+
+from repro import Program, execute
+from repro.core.relations import PartialOrder
+
+
+class TestFigure1Order(object):
+    @pytest.fixture
+    def po_pair(self, figure1_program):
+        r = execute(figure1_program, schedule=[0, 0, 0, 0, 0, 1])
+        return (
+            PartialOrder(r.events, lazy=False),
+            PartialOrder(r.events, lazy=True),
+            r,
+        )
+
+    def test_program_order_preserved(self, po_pair):
+        po, _, r = po_pair
+        t0 = [e.index for e in r.events if e.tid == 0]
+        for a, b in zip(t0, t0[1:]):
+            assert po.precedes(a, b)
+            assert not po.precedes(b, a)
+
+    def test_regular_has_cross_edge_lazy_does_not(self, po_pair):
+        po, lazy_po, r = po_pair
+        assert any(
+            r.events[i].tid != r.events[j].tid
+            for (i, j) in po.inter_thread_edges()
+        )
+        assert lazy_po.inter_thread_edges() == []
+
+    def test_unordered_writes_are_concurrent(self, po_pair):
+        po, _, r = po_pair
+        wy = next(e.index for e in r.events
+                  if e.kind.name == "WRITE" and e.tid == 0)
+        wz = next(e.index for e in r.events
+                  if e.kind.name == "WRITE" and e.tid == 1)
+        assert po.concurrent(wy, wz)
+
+    def test_render_contains_threads_and_edges(self, po_pair):
+        po, lazy_po, _ = po_pair
+        text = po.render()
+        assert "T0" in text and "T1" in text
+        assert "->" in text
+        assert "(none)" in lazy_po.render()
+
+
+class TestLinearizations:
+    def test_single_thread_has_one_linearization(self):
+        def build(p):
+            x = p.var("x", 0)
+
+            def t(api):
+                yield api.write(x, 1)
+                yield api.read(x)
+
+            p.thread(t)
+
+        r = execute(Program("t", build))
+        po = PartialOrder(r.events)
+        lins = list(po.linearizations())
+        assert len(lins) == 1
+        assert lins[0] == list(range(len(r.events)))
+
+    def test_independent_threads_all_interleavings(self):
+        def build(p):
+            x, y = p.var("x", 0), p.var("y", 0)
+
+            def t0(api):
+                yield api.write(x, 1)
+
+            def t1(api):
+                yield api.write(y, 1)
+
+            p.thread(t0)
+            p.thread(t1)
+
+        r = execute(Program("t", build))
+        po = PartialOrder(r.events)
+        # 4 events (2 writes + 2 exits)... exits conflict only with own
+        # thread; count = C(4,2) = 6 interleavings
+        assert len(list(po.linearizations())) == 6
+
+    def test_limit_respected(self, figure1_program):
+        r = execute(figure1_program)
+        po = PartialOrder(r.events, lazy=True)
+        assert len(list(po.linearizations(limit=5))) == 5
+
+    def test_every_linearization_respects_order(self, figure1_program):
+        r = execute(figure1_program)
+        po = PartialOrder(r.events)
+        for lin in po.linearizations(limit=50):
+            pos = {v: i for i, v in enumerate(lin)}
+            for i in range(len(r.events)):
+                for j in range(len(r.events)):
+                    if po.precedes(i, j):
+                        assert pos[i] < pos[j]
+
+    def test_thread_schedule_conversion(self, figure1_program):
+        r = execute(figure1_program)
+        po = PartialOrder(r.events)
+        lin = next(po.linearizations(limit=1))
+        sched = po.thread_schedule(lin)
+        assert len(sched) == len(r.events)
+        assert set(sched) == {0, 1}
+
+    def test_unstamped_events_rejected(self):
+        from repro.core.events import Event, OpKind
+        with pytest.raises(ValueError):
+            PartialOrder([Event(0, 0, 0, OpKind.READ, 0)])
+
+
+class TestPredecessors:
+    def test_immediate_predecessors_are_covering(self, figure1_program):
+        r = execute(figure1_program, schedule=[0, 0, 0, 0, 0, 1])
+        po = PartialOrder(r.events)
+        for j in range(len(r.events)):
+            for i in po.immediate_predecessors(j):
+                assert po.precedes(i, j)
+                # no event strictly between i and j
+                for k in po.predecessors(j):
+                    assert not (po.precedes(i, k) and po.precedes(k, j))

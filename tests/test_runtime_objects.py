@@ -1,0 +1,199 @@
+"""Unit tests for shared objects: registry, vars, mutexes, semaphores,
+condvars, barriers, rwlocks, atomics."""
+
+import pytest
+
+from repro.errors import InvalidOpError
+from repro.runtime.atomic import AtomicInt
+from repro.runtime.barrier import Barrier
+from repro.runtime.condvar import CondVar
+from repro.runtime.mutex import Mutex
+from repro.runtime.objects import ObjectRegistry, ThreadHandle
+from repro.runtime.rwlock import RWLock
+from repro.runtime.semaphore import Semaphore
+from repro.runtime.sharedvar import SharedArray, SharedDict, SharedVar
+
+
+@pytest.fixture
+def reg():
+    return ObjectRegistry()
+
+
+class TestRegistry:
+    def test_oids_are_dense_and_ordered(self, reg):
+        a = SharedVar(reg, 0, "a")
+        b = Mutex(reg, "b")
+        c = SharedVar(reg, 0, "c")
+        assert (a.oid, b.oid, c.oid) == (0, 1, 2)
+
+    def test_state_items_in_oid_order(self, reg):
+        SharedVar(reg, 5, "a")
+        Semaphore(reg, 2, "s")
+        items = reg.state_items()
+        assert items == [(0, 5), (1, ("sem", 2))]
+
+    def test_default_names(self, reg):
+        v = SharedVar(reg, 0)
+        assert v.name == "sharedvar0"
+
+
+class TestSharedData:
+    def test_var_get_set(self, reg):
+        v = SharedVar(reg, 10)
+        assert v.get() == 10
+        v.set(None, 20)
+        assert v.get() == 20
+
+    def test_array_bounds_checked(self, reg):
+        a = SharedArray(reg, [1, 2, 3])
+        assert a.get(2) == 3
+        with pytest.raises(InvalidOpError):
+            a.get(3)
+        with pytest.raises(InvalidOpError):
+            a.set("x", 1)
+
+    def test_array_state_value(self, reg):
+        a = SharedArray(reg, [1, [2, 3]])
+        assert a.state_value() == (1, (2, 3))
+
+    def test_dict_get_missing_returns_none(self, reg):
+        d = SharedDict(reg)
+        assert d.get("nope") is None
+
+    def test_dict_state_value_is_order_independent(self, reg):
+        d1 = SharedDict(reg)
+        d2 = SharedDict(reg)
+        d1.set("a", 1); d1.set("b", 2)
+        d2.set("b", 2); d2.set("a", 1)
+        assert d1.state_value() == d2.state_value()
+
+    def test_unhashable_values_digest(self, reg):
+        v = SharedVar(reg, {"k": [1, 2]})
+        hash(v.state_value())
+
+
+class TestMutex:
+    def test_lock_unlock_cycle(self, reg):
+        m = Mutex(reg)
+        assert m.can_lock()
+        m.do_lock(3)
+        assert not m.can_lock()
+        assert m.owner == 3
+        m.do_unlock(3)
+        assert m.owner is None
+
+    def test_double_lock_is_invalid(self, reg):
+        m = Mutex(reg)
+        m.do_lock(0)
+        with pytest.raises(InvalidOpError):
+            m.do_lock(1)
+
+    def test_unlock_by_non_owner_is_invalid(self, reg):
+        m = Mutex(reg)
+        m.do_lock(0)
+        with pytest.raises(InvalidOpError):
+            m.do_unlock(1)
+
+    def test_unlock_of_free_mutex_is_invalid(self, reg):
+        with pytest.raises(InvalidOpError):
+            Mutex(reg).do_unlock(0)
+
+
+class TestSemaphore:
+    def test_acquire_release(self, reg):
+        s = Semaphore(reg, 1)
+        assert s.can_acquire()
+        s.do_acquire()
+        assert not s.can_acquire()
+        s.do_release()
+        assert s.can_acquire()
+
+    def test_negative_initial_rejected(self, reg):
+        with pytest.raises(ValueError):
+            Semaphore(reg, -1)
+
+
+class TestCondVar:
+    def test_fifo_notify(self, reg):
+        cv = CondVar(reg)
+        cv.add_waiter(1)
+        cv.add_waiter(2)
+        assert cv.pop_one() == [1]
+        assert cv.pop_one() == [2]
+        assert cv.pop_one() == []
+
+    def test_pop_all(self, reg):
+        cv = CondVar(reg)
+        cv.add_waiter(1)
+        cv.add_waiter(2)
+        assert cv.pop_all() == [1, 2]
+        assert cv.pop_all() == []
+
+
+class TestBarrier:
+    def test_generation_cycle(self, reg):
+        b = Barrier(reg, 2)
+        b.admit([0, 1])
+        assert b.can_pass(0) and b.can_pass(1)
+        b.do_pass(0)
+        assert not b.can_pass(0)
+        gen = b.do_pass(1)
+        assert gen == 1
+
+    def test_needs_positive_parties(self, reg):
+        with pytest.raises(ValueError):
+            Barrier(reg, 0)
+
+
+class TestRWLock:
+    def test_multiple_readers(self, reg):
+        rw = RWLock(reg)
+        rw.do_rlock(0)
+        assert rw.can_rlock(1)
+        rw.do_rlock(1)
+        assert not rw.can_wlock(2)
+        rw.do_runlock(0)
+        rw.do_runlock(1)
+        assert rw.can_wlock(2)
+
+    def test_writer_excludes_readers(self, reg):
+        rw = RWLock(reg)
+        rw.do_wlock(0)
+        assert not rw.can_rlock(1)
+        assert not rw.can_wlock(1)
+        rw.do_wunlock(0)
+        assert rw.can_rlock(1)
+
+    def test_reentrant_rlock_rejected(self, reg):
+        rw = RWLock(reg)
+        rw.do_rlock(0)
+        assert not rw.can_rlock(0)
+        with pytest.raises(InvalidOpError):
+            rw.do_rlock(0)
+
+    def test_wrong_unlocks_rejected(self, reg):
+        rw = RWLock(reg)
+        with pytest.raises(InvalidOpError):
+            rw.do_runlock(0)
+        with pytest.raises(InvalidOpError):
+            rw.do_wunlock(0)
+
+
+class TestAtomicInt:
+    def test_rmw_builders(self):
+        assert AtomicInt._fetch_add(3)(10) == (13, 10)
+        assert AtomicInt._add_fetch(3)(10) == (13, 13)
+        assert AtomicInt._cas(10, 99)(10) == (99, True)
+        assert AtomicInt._cas(11, 99)(10) == (10, False)
+        assert AtomicInt._exchange(7)(1) == (7, 1)
+
+    def test_state_value(self, reg):
+        a = AtomicInt(reg, 5)
+        assert a.state_value() == 5
+
+
+class TestThreadHandle:
+    def test_handle_state(self, reg):
+        h = ThreadHandle(reg, 2)
+        assert h.state_value() == ("thread", 2)
+        assert h.tid == 2

@@ -1,0 +1,75 @@
+"""Tests for schedulers, replay and feasibility checking."""
+
+import pytest
+
+from repro import Program, execute, is_feasible
+from repro.errors import SchedulerError
+from repro.runtime.schedule import (
+    FirstEnabledScheduler,
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+)
+
+
+class TestFirstEnabled:
+    def test_deterministic(self, figure1_program):
+        a = execute(figure1_program, scheduler=FirstEnabledScheduler())
+        b = execute(figure1_program, scheduler=FirstEnabledScheduler())
+        assert a.schedule == b.schedule
+
+
+class TestRoundRobin:
+    def test_alternates_between_enabled_threads(self, two_writers_program):
+        r = execute(two_writers_program, scheduler=RoundRobinScheduler())
+        # both threads appear early, not one run to completion first
+        assert r.schedule[0] != r.schedule[1]
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self, figure1_program):
+        a = execute(figure1_program, scheduler=RandomScheduler(7))
+        b = execute(figure1_program, scheduler=RandomScheduler(7))
+        assert a.schedule == b.schedule
+
+    def test_different_seeds_eventually_differ(self, figure1_program):
+        schedules = {
+            tuple(execute(figure1_program,
+                          scheduler=RandomScheduler(s)).schedule)
+            for s in range(20)
+        }
+        assert len(schedules) > 1
+
+
+class TestReplay:
+    def test_prefix_then_fallback(self, figure1_program):
+        r = execute(figure1_program, schedule=[1])
+        assert r.schedule[0] == 1
+        assert len(r.events) == 10
+
+    def test_divergent_replay_raises(self, figure1_program):
+        # t0 holds the mutex; asking t1 to lock must fail
+        with pytest.raises(SchedulerError):
+            execute(figure1_program, schedule=[0, 1, 1])
+
+    def test_strict_replay_stops_at_end(self, figure1_program):
+        sched = ReplayScheduler([0], strict=True)
+        with pytest.raises(SchedulerError):
+            execute(figure1_program, scheduler=sched)
+
+
+class TestFeasibility:
+    def test_complete_schedule_is_feasible(self, figure1_program):
+        full = execute(figure1_program).schedule
+        assert is_feasible(figure1_program, full)
+
+    def test_infeasible_schedule_detected(self, figure1_program):
+        # T1 cannot lock while T0 holds the mutex
+        assert not is_feasible(figure1_program, [0, 1, 1, 0, 0, 0, 0, 1, 1, 1])
+
+    def test_partial_schedule_is_not_feasible_as_complete(self, figure1_program):
+        assert not is_feasible(figure1_program, [0, 0])
+
+    def test_too_long_schedule_is_infeasible(self, figure1_program):
+        full = execute(figure1_program).schedule
+        assert not is_feasible(figure1_program, full + [0])

@@ -1,0 +1,124 @@
+"""Soundness of every reduction strategy against exhaustive DFS.
+
+For each DFS-exhaustible benchmark in the chosen subset, every explorer
+must find exactly the same set of distinct terminal states — the core
+guarantee of partial-order reduction (no error states can be missed).
+"""
+
+import pytest
+
+from repro.explore import (
+    DFSExplorer,
+    DPORExplorer,
+    ExplorationLimits,
+    HBRCachingExplorer,
+    LazyDPORExplorer,
+)
+from repro.suite import REGISTRY
+
+LIM = ExplorationLimits(max_schedules=30_000)
+
+# A representative, fast subset of the DFS-exhaustible benchmarks
+# (covering mutexes, condvars, semaphores, barriers, rwlocks, atomics,
+# awaits, spawn/join and crashing threads).  The full sweep lives in the
+# benchmark harness.
+SUBSET = [
+    1,   # figure1
+    3,   # racy_counter 2x2
+    6,   # locked_counter 2x2
+    8,   # atomic_counter
+    11,  # disjoint_coarse 2x2
+    14,  # readonly_coarse
+    17,  # mixed_coarse
+    19,  # indexer
+    24,  # bounded_buffer (condvars)
+    28,  # pingpong
+    31,  # pipeline (semaphores)
+    32,  # philosophers naive (deadlocks)
+    36,  # lock_order deadlock
+    38,  # ticket lock (awaits)
+    40,  # readers_writers (rwlock)
+    45,  # bank per-account
+    48,  # peterson (rmw + await)
+    54,  # work_queue
+    59,  # coarse_dict
+    64,  # treiber stack (CAS)
+    66,  # barrier_phases
+    69,  # semaphore pool
+    73,  # dcl
+    74,  # dcl buggy (crashes)
+    77,  # spawn/join
+    79,  # flags handshake
+]
+
+
+def dfs_states(benchmark):
+    explorer = DFSExplorer(benchmark.program, LIM)
+    stats = explorer.run()
+    assert stats.exhausted, f"{benchmark.name}: DFS did not exhaust"
+    return frozenset(explorer._state_hashes), stats
+
+
+@pytest.fixture(scope="module")
+def ground_truth():
+    return {bid: dfs_states(REGISTRY[bid]) for bid in SUBSET}
+
+
+@pytest.mark.parametrize("bid", SUBSET)
+def test_dpor_finds_all_states(ground_truth, bid):
+    base, _ = ground_truth[bid]
+    e = DPORExplorer(REGISTRY[bid].program, LIM)
+    e.run()
+    assert frozenset(e._state_hashes) == base
+
+
+@pytest.mark.parametrize("bid", SUBSET)
+def test_dpor_without_sleep_sets_finds_all_states(ground_truth, bid):
+    base, _ = ground_truth[bid]
+    e = DPORExplorer(REGISTRY[bid].program, LIM, sleep_sets=False)
+    e.run()
+    assert frozenset(e._state_hashes) == base
+
+
+@pytest.mark.parametrize("bid", SUBSET)
+def test_hbr_caching_finds_all_states(ground_truth, bid):
+    base, _ = ground_truth[bid]
+    e = HBRCachingExplorer(REGISTRY[bid].program, LIM, lazy=False)
+    e.run()
+    assert frozenset(e._state_hashes) == base
+
+
+@pytest.mark.parametrize("bid", SUBSET)
+def test_lazy_hbr_caching_finds_all_states(ground_truth, bid):
+    base, _ = ground_truth[bid]
+    e = HBRCachingExplorer(REGISTRY[bid].program, LIM, lazy=True)
+    e.run()
+    assert frozenset(e._state_hashes) == base
+
+
+@pytest.mark.parametrize("bid", SUBSET)
+def test_lazy_dpor_finds_all_states(ground_truth, bid):
+    base, _ = ground_truth[bid]
+    e = LazyDPORExplorer(REGISTRY[bid].program, LIM)
+    e.run()
+    assert frozenset(e._state_hashes) == base
+
+
+@pytest.mark.parametrize("bid", SUBSET)
+def test_reducers_never_exceed_dfs_schedules(ground_truth, bid):
+    _, dfs_stats = ground_truth[bid]
+    for cls, kw in ((DPORExplorer, {}), (LazyDPORExplorer, {})):
+        stats = cls(REGISTRY[bid].program, LIM, **kw).run()
+        assert stats.num_schedules <= dfs_stats.num_schedules
+
+
+@pytest.mark.parametrize("bid", SUBSET)
+def test_inequality_chain_everywhere(ground_truth, bid):
+    for cls, kw in (
+        (DPORExplorer, {}),
+        (HBRCachingExplorer, {"lazy": False}),
+        (HBRCachingExplorer, {"lazy": True}),
+        (LazyDPORExplorer, {}),
+    ):
+        stats = cls(REGISTRY[bid].program, LIM, **kw).run()
+        stats.verify_inequality()

@@ -1,0 +1,77 @@
+"""Tests for final-state capture and hashing."""
+
+from repro import Program, execute
+from repro.runtime.objects import ObjectRegistry
+from repro.runtime.sharedvar import SharedVar
+from repro.runtime.state import compute_state_hash, describe_state
+
+
+class TestStateHash:
+    def test_same_state_same_hash(self):
+        r1, r2 = ObjectRegistry(), ObjectRegistry()
+        SharedVar(r1, 5, "x")
+        SharedVar(r2, 5, "x")
+        h1 = compute_state_hash(r1, ((1, False),), None, False)
+        h2 = compute_state_hash(r2, ((1, False),), None, False)
+        assert h1 == h2
+
+    def test_value_changes_hash(self):
+        r1, r2 = ObjectRegistry(), ObjectRegistry()
+        SharedVar(r1, 5, "x")
+        SharedVar(r2, 6, "x")
+        assert compute_state_hash(r1, (), None, False) != \
+               compute_state_hash(r2, (), None, False)
+
+    def test_error_changes_hash(self):
+        from repro.errors import DeadlockError
+        r = ObjectRegistry()
+        SharedVar(r, 5, "x")
+        clean = compute_state_hash(r, (), None, False)
+        dead = compute_state_hash(r, (), DeadlockError([0]), False)
+        assert clean != dead
+
+    def test_progress_changes_hash(self):
+        r = ObjectRegistry()
+        a = compute_state_hash(r, ((1, False),), None, False)
+        b = compute_state_hash(r, ((2, False),), None, False)
+        assert a != b
+
+    def test_crash_flag_changes_hash(self):
+        r = ObjectRegistry()
+        a = compute_state_hash(r, ((1, False),), None, False)
+        b = compute_state_hash(r, ((1, True),), None, False)
+        assert a != b
+
+    def test_truncation_changes_hash(self):
+        r = ObjectRegistry()
+        assert compute_state_hash(r, (), None, False) != \
+               compute_state_hash(r, (), None, True)
+
+
+class TestDescribeState:
+    def test_names_mapped_to_values(self):
+        r = ObjectRegistry()
+        SharedVar(r, 5, "x")
+        SharedVar(r, "hi", "y")
+        assert describe_state(r) == {"x": 5, "y": "hi"}
+
+
+class TestEndToEndStateIdentity:
+    def test_commuting_schedules_same_state(self):
+        """Increments commute: +1 then +2 == +2 then +1 — but only with
+        atomic increments; with read/write pairs interleavings differ."""
+        def build(p):
+            a = p.atomic("a", 0)
+
+            def inc(api, d):
+                yield api.fetch_add(a, d)
+
+            p.thread(inc, 1)
+            p.thread(inc, 2)
+
+        prog = Program("t", build)
+        r1 = execute(prog, schedule=[0, 0, 1, 1])
+        r2 = execute(prog, schedule=[1, 1, 0, 0])
+        assert r1.state_hash == r2.state_hash
+        # ...but the HBRs differ (RMWs conflict):
+        assert r1.hbr_fp != r2.hbr_fp

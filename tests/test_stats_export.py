@@ -1,0 +1,48 @@
+"""Tests for result serialisation and the matrix CLI command."""
+
+import json
+
+from repro.__main__ import main
+from repro.explore import DPORExplorer, ExplorationLimits
+from repro.suite import REGISTRY
+
+
+class TestToDict:
+    def test_roundtrips_through_json(self):
+        stats = DPORExplorer(
+            REGISTRY[36].program, ExplorationLimits(max_schedules=100)
+        ).run()
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["program"] == "lock_order_deadlock"
+        assert payload["explorer"] == "dpor"
+        assert payload["num_schedules"] == stats.num_schedules
+        assert payload["errors"][0]["kind"] == "DeadlockError"
+        assert isinstance(payload["errors"][0]["schedule"], list)
+
+    def test_extra_filtered_to_scalars(self):
+        stats = DPORExplorer(
+            REGISTRY[1].program, ExplorationLimits(max_schedules=100)
+        ).run()
+        stats.extra["fine"] = 3
+        stats.extra["dropped"] = object()
+        d = stats.to_dict()
+        assert d["extra"]["fine"] == 3
+        assert "dropped" not in d["extra"]
+
+
+class TestMatrixCommand:
+    def test_matrix_renders_table(self, capsys):
+        assert main(["matrix", "--ids", "1", "--strategies",
+                     "dpor,lazy-dpor", "--limit", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "| figure1 | dpor |" in out
+        assert "lazy-dpor" in out
+
+    def test_matrix_json_export(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        assert main(["matrix", "--ids", "1,36", "--strategies", "dpor",
+                     "--limit", "200", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert len(payload) == 2
+        assert payload[0]["dpor"]["program"] == "figure1"
+        assert payload[1]["dpor"]["errors"]

@@ -1,0 +1,73 @@
+"""Tests for the benchmark suite itself: registry consistency, program
+determinism, and expected properties."""
+
+import pytest
+
+from repro.runtime.schedule import RandomScheduler, execute
+from repro.suite import REGISTRY, all_benchmarks, by_family, get_benchmark, small_benchmarks
+
+
+class TestRegistry:
+    def test_exactly_79_benchmarks(self):
+        assert len(REGISTRY) == 79
+
+    def test_ids_are_1_to_79(self):
+        assert sorted(REGISTRY) == list(range(1, 80))
+
+    def test_names_unique(self):
+        names = [b.program.name for b in all_benchmarks()]
+        assert len(set(names)) == 79
+
+    def test_get_benchmark(self):
+        assert get_benchmark(1).program.name == "figure1"
+
+    def test_small_subset_nonempty(self):
+        smalls = small_benchmarks()
+        assert 30 <= len(smalls) <= 79
+
+    def test_by_family(self):
+        phils = by_family(["philosophers"])
+        assert len(phils) == 4
+        assert all(b.family == "philosophers" for b in phils)
+
+    def test_spectrum_of_families_present(self):
+        families = {b.family for b in all_benchmarks()}
+        for expected in ("figure1", "racy_counter", "disjoint_coarse",
+                         "philosophers", "bounded_buffer", "peterson",
+                         "treiber_stack", "barrier_phases"):
+            assert expected in families
+
+
+class TestProgramsExecute:
+    @pytest.mark.parametrize("bid", sorted(REGISTRY))
+    def test_runs_under_default_scheduler(self, bid):
+        b = REGISTRY[bid]
+        r = execute(b.program)
+        assert not r.truncated, f"{b.name} truncated"
+        if b.expect_error is None:
+            assert r.error is None, f"{b.name}: unexpected {r.error}"
+
+    @pytest.mark.parametrize("bid", sorted(REGISTRY))
+    def test_runs_under_random_scheduler(self, bid):
+        b = REGISTRY[bid]
+        r = execute(b.program, scheduler=RandomScheduler(1234 + bid))
+        assert not r.truncated
+
+    @pytest.mark.parametrize("bid", sorted(REGISTRY))
+    def test_deterministic_replay(self, bid):
+        b = REGISTRY[bid]
+        first = execute(b.program, scheduler=RandomScheduler(7 * bid))
+        second = execute(b.program, schedule=first.schedule)
+        assert second.hbr_fp == first.hbr_fp
+        assert second.lazy_fp == first.lazy_fp
+        assert second.state_hash == first.state_hash
+
+
+class TestObjectIdStability:
+    @pytest.mark.parametrize("bid", [1, 13, 24, 32, 48, 64, 78])
+    def test_oids_stable_across_instantiations(self, bid):
+        prog = REGISTRY[bid].program
+        a = prog.instantiate()
+        b = prog.instantiate()
+        assert [(o.oid, o.name) for o in a.registry.objects] == \
+               [(o.oid, o.name) for o in b.registry.objects]

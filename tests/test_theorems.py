@@ -1,0 +1,136 @@
+"""Empirical validation of the paper's theorems on randomly generated
+programs (hypothesis) and on hand-picked ones.
+
+Theorem 2.1: all linearizations of a schedule's HBR are feasible and
+reach the same state.
+Theorem 2.2: feasible schedules with equal lazy HBRs reach equal
+states (and equal HBRs imply equal lazy HBRs).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Program
+from repro.core.theorems import (
+    check_inequality_chain,
+    check_theorem_2_1,
+    check_theorem_2_2,
+)
+from repro.explore import DFSExplorer, ExplorationLimits
+from repro.runtime.schedule import RandomScheduler, execute
+
+
+# ---------------------------------------------------------------------------
+# Random-program generation.  Each thread is a list of segments; a
+# segment is either a plain data op or a lock-protected block of data
+# ops, so lock/unlock are always properly nested.
+
+data_op = st.tuples(
+    st.sampled_from(["read", "write"]),
+    st.integers(min_value=0, max_value=2),   # which variable
+)
+segment = st.one_of(
+    data_op.map(lambda op: ("plain", [op])),
+    st.lists(data_op, min_size=1, max_size=2).map(lambda ops: ("locked", ops)),
+)
+thread_body = st.lists(segment, min_size=1, max_size=3)
+program_spec = st.lists(thread_body, min_size=2, max_size=3)
+
+
+def build_program(spec):
+    def build(p):
+        m = p.mutex("m")
+        cells = p.array("cells", [0, 0, 0])
+
+        def make_thread(segments, seed):
+            def body(api):
+                counter = seed
+                for style, ops in segments:
+                    if style == "locked":
+                        yield api.lock(m)
+                    for op, var in ops:
+                        if op == "read":
+                            yield api.read(cells, key=var)
+                        else:
+                            counter += 1
+                            yield api.write(cells, counter, key=var)
+                    if style == "locked":
+                        yield api.unlock(m)
+            return body
+
+        for i, segments in enumerate(spec):
+            p.thread(make_thread(segments, (i + 1) * 100))
+
+    return Program("generated", build)
+
+
+few_examples = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTheorem21:
+    @few_examples
+    @given(program_spec, st.integers(min_value=0, max_value=99))
+    def test_all_linearizations_feasible_and_equal(self, spec, seed):
+        program = build_program(spec)
+        base = execute(program, scheduler=RandomScheduler(seed))
+        report = check_theorem_2_1(program, base.schedule,
+                                   max_linearizations=80)
+        assert report.holds, report.detail
+
+    def test_figure1(self, figure1_program):
+        report = check_theorem_2_1(figure1_program, [0] * 5 + [1] * 5)
+        assert report.holds
+        assert report.checked > 1
+
+    def test_infeasible_schedule_rejected(self, figure1_program):
+        import pytest
+        with pytest.raises(ValueError):
+            check_theorem_2_1(figure1_program, [1, 1, 0, 0])
+
+
+class TestTheorem22:
+    @few_examples
+    @given(program_spec)
+    def test_equal_lazy_hbr_implies_equal_state(self, spec):
+        program = build_program(spec)
+        schedules = [
+            execute(program, scheduler=RandomScheduler(s)).schedule
+            for s in range(12)
+        ]
+        report = check_theorem_2_2(program, schedules)
+        assert report.holds, (report.detail, report.counterexample)
+
+    def test_figure1_lock_orders_share_lazy_hbr(self, figure1_program):
+        s1 = [0] * 5 + [1] * 5
+        s2 = [1] * 5 + [0] * 5
+        report = check_theorem_2_2(figure1_program, [s1, s2])
+        assert report.holds
+        a = execute(figure1_program, schedule=s1)
+        b = execute(figure1_program, schedule=s2)
+        assert a.lazy_fp == b.lazy_fp
+        assert a.hbr_fp != b.hbr_fp
+
+
+class TestInequalityChain:
+    @few_examples
+    @given(program_spec)
+    def test_chain_on_random_schedules(self, spec):
+        program = build_program(spec)
+        schedules = [
+            execute(program, scheduler=RandomScheduler(s)).schedule
+            for s in range(10)
+        ]
+        report = check_inequality_chain(program, schedules)
+        assert report.holds, report.detail
+
+    def test_chain_on_exhaustive_exploration(self, figure1_program):
+        stats = DFSExplorer(
+            figure1_program, ExplorationLimits(max_schedules=200)
+        ).run()
+        stats.verify_inequality()
+        assert stats.num_hbrs == 2
+        assert stats.num_lazy_hbrs == 1
+        assert stats.num_states == 1

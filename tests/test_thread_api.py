@@ -1,0 +1,159 @@
+"""Tests for the guest-facing operation constructors and semantics of
+the less-common operations (RMW helpers, rwlock ops, yield)."""
+
+import pytest
+
+from repro import GuestAssertionError, Program, execute
+from repro.core.events import OpKind
+from repro.runtime.thread_api import ThreadAPI
+
+
+class TestOpConstruction:
+    def test_read_write_ops(self):
+        api = ThreadAPI(0)
+        sentinel = object()
+        op = api.read(sentinel, key=3)
+        assert op.kind == OpKind.READ and op.arg == 3
+        op = api.write(sentinel, 9, key=2)
+        assert op.kind == OpKind.WRITE and op.arg == 2 and op.arg2 == 9
+
+    def test_guest_assert_raises_immediately(self):
+        api = ThreadAPI(4)
+        api.guest_assert(True)  # no-op
+        with pytest.raises(GuestAssertionError) as exc:
+            api.guest_assert(False, "nope")
+        assert exc.value.thread_id == 4
+
+
+class TestAtomicSemantics:
+    def _prog(self, body):
+        def build(p):
+            a = p.atomic("a", 10)
+            out = p.var("out", None)
+
+            def t(api):
+                result = yield from body(api, a)
+                yield api.write(out, result)
+
+            p.thread(t)
+
+        return Program("t", build)
+
+    def test_fetch_add_returns_old(self):
+        def body(api, a):
+            old = yield api.fetch_add(a, 5)
+            return old
+
+        r = execute(self._prog(body))
+        assert r.final_state["out"] == 10
+        assert r.final_state["a"] == 15
+
+    def test_add_fetch_returns_new(self):
+        def body(api, a):
+            new = yield api.add_fetch(a, 5)
+            return new
+
+        r = execute(self._prog(body))
+        assert r.final_state["out"] == 15
+
+    def test_cas_success_and_failure(self):
+        def body(api, a):
+            ok1 = yield api.cas(a, 10, 20)
+            ok2 = yield api.cas(a, 10, 30)
+            return (ok1, ok2)
+
+        r = execute(self._prog(body))
+        assert r.final_state["out"] == (True, False)
+        assert r.final_state["a"] == 20
+
+    def test_exchange(self):
+        def body(api, a):
+            old = yield api.exchange(a, 77)
+            return old
+
+        r = execute(self._prog(body))
+        assert r.final_state["out"] == 10
+        assert r.final_state["a"] == 77
+
+    def test_load_store(self):
+        def body(api, a):
+            yield api.store(a, 3)
+            v = yield api.load(a)
+            return v
+
+        r = execute(self._prog(body))
+        assert r.final_state["out"] == 3
+
+
+class TestRWLockOps:
+    def test_reader_writer_interaction(self):
+        def build(p):
+            rw = p.rwlock("rw")
+            x = p.var("x", 0)
+
+            def writer(api):
+                yield api.wlock(rw)
+                yield api.write(x, 1)
+                yield api.wunlock(rw)
+
+            def reader(api):
+                yield api.rlock(rw)
+                yield api.read(x)
+                yield api.runlock(rw)
+
+            p.thread(writer)
+            p.thread(reader)
+
+        r = execute(Program("t", build))
+        assert r.ok
+
+    def test_two_readers_concurrent(self):
+        from repro.runtime.executor import Executor
+
+        def build(p):
+            rw = p.rwlock("rw")
+            x = p.var("x", 0)
+
+            def reader(api):
+                yield api.rlock(rw)
+                yield api.read(x)
+                yield api.runlock(rw)
+
+            p.thread(reader)
+            p.thread(reader)
+
+        ex = Executor(Program("t", build))
+        ex.step(0)  # r0 takes read lock
+        assert 1 in ex.enabled()  # r1 can read-lock concurrently
+
+
+class TestYield:
+    def test_sched_yield_creates_scheduling_point(self):
+        def build(p):
+            def t(api):
+                yield api.sched_yield()
+                yield api.sched_yield()
+
+            p.thread(t)
+
+        r = execute(Program("t", build))
+        yields = [e for e in r.events if e.kind == OpKind.YIELD]
+        assert len(yields) == 2
+        assert all(e.oid == -1 for e in yields)
+
+    def test_general_rmw_on_var(self):
+        def build(p):
+            v = p.var("v", (1, 2))
+            out = p.var("out", None)
+
+            def t(api):
+                old_sum = yield api.rmw(
+                    v, lambda old: ((old[0] + 1, old[1]), old[0] + old[1])
+                )
+                yield api.write(out, old_sum)
+
+            p.thread(t)
+
+        r = execute(Program("t", build))
+        assert r.final_state["v"] == (2, 2)
+        assert r.final_state["out"] == 3

@@ -1,0 +1,46 @@
+"""Tests for the trace timeline renderer."""
+
+from repro import execute
+from repro.analysis.traceviz import names_of, render_timeline
+
+
+class TestTimeline:
+    def test_columns_per_thread(self, figure1_program):
+        r = execute(figure1_program)
+        text = render_timeline(r, names_of(figure1_program))
+        assert "T0" in text and "T1" in text
+        assert "lock(m)" in text
+        assert "write(z) = 7" in text
+        assert "read(x) -> 0" in text
+
+    def test_one_row_per_event(self, figure1_program):
+        r = execute(figure1_program)
+        text = render_timeline(r)
+        rows = [l for l in text.splitlines() if l[:4].strip().isdigit()]
+        assert len(rows) == len(r.events)
+
+    def test_error_shown(self):
+        from repro.suite.locks import lock_order_deadlock
+        prog = lock_order_deadlock()
+        r = execute(prog, schedule=[0, 1])
+        text = render_timeline(r, names_of(prog))
+        assert "ERROR: DeadlockError" in text
+
+    def test_crashed_exit_marked(self):
+        from repro.suite.bank import bank_racy
+        from repro.explore import DPORExplorer, ExplorationLimits
+        prog = bank_racy(2)
+        stats = DPORExplorer(prog,
+                             ExplorationLimits(max_schedules=5000)).run()
+        sched = stats.errors[0].schedule
+        r = execute(prog, schedule=sched)
+        text = render_timeline(r, names_of(prog))
+        assert "exit [crashed]" in text
+
+    def test_spawn_and_join_render(self):
+        from repro.suite.sync_patterns import spawn_join_tree
+        prog = spawn_join_tree(2)
+        r = execute(prog)
+        text = render_timeline(r, names_of(prog))
+        assert "spawn -> T1" in text
+        assert "join(" in text

@@ -1,0 +1,149 @@
+"""Unit and property tests for dense vector clocks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.vector_clock import VectorClock, tuple_concurrent, tuple_leq
+
+clock_lists = st.lists(st.integers(min_value=0, max_value=8), max_size=6)
+
+
+class TestBasics:
+    def test_new_clock_is_zero(self):
+        vc = VectorClock(3)
+        assert vc.snapshot() == (0, 0, 0)
+
+    def test_tick_increments_own_component(self):
+        vc = VectorClock(2)
+        vc.tick(1)
+        vc.tick(1)
+        assert vc.snapshot() == (0, 2)
+
+    def test_tick_grows_clock(self):
+        vc = VectorClock(1)
+        vc.tick(4)
+        assert vc.snapshot() == (0, 0, 0, 0, 1)
+
+    def test_getitem_out_of_range_is_zero(self):
+        vc = VectorClock(2)
+        assert vc[10] == 0
+
+    def test_setitem_grows(self):
+        vc = VectorClock(0)
+        vc[3] = 5
+        assert vc.snapshot() == (0, 0, 0, 5)
+
+    def test_copy_is_independent(self):
+        a = VectorClock(2, [1, 2])
+        b = a.copy()
+        b.tick(0)
+        assert a.snapshot() == (1, 2)
+        assert b.snapshot() == (2, 2)
+
+    def test_mutable_clock_is_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(VectorClock(1))
+
+
+class TestJoin:
+    def test_join_takes_pointwise_max(self):
+        a = VectorClock(3, [1, 5, 2])
+        b = VectorClock(3, [4, 1, 2])
+        a.join_inplace(b)
+        assert a.snapshot() == (4, 5, 2)
+
+    def test_join_grows_shorter_clock(self):
+        a = VectorClock(1, [3])
+        b = VectorClock(3, [1, 2, 3])
+        a.join_inplace(b)
+        assert a.snapshot() == (3, 2, 3)
+
+    def test_join_tuple(self):
+        a = VectorClock(2, [1, 1])
+        a.join_tuple_inplace((0, 5, 7))
+        assert a.snapshot() == (1, 5, 7)
+
+
+class TestComparison:
+    def test_leq_reflexive(self):
+        a = VectorClock(2, [1, 2])
+        assert a.leq(a)
+
+    def test_leq_with_shorter_other(self):
+        a = VectorClock(3, [1, 0, 0])
+        b = VectorClock(1, [2])
+        assert a.leq(b)  # trailing zeros are ignored
+
+    def test_not_leq(self):
+        a = VectorClock(2, [1, 2])
+        b = VectorClock(2, [2, 1])
+        assert not a.leq(b)
+        assert not b.leq(a)
+
+    def test_eq_ignores_trailing_zeros(self):
+        assert VectorClock(2, [1, 0]) == VectorClock(4, [1, 0, 0, 0])
+        assert VectorClock(2, [1, 1]) != VectorClock(2, [1, 0])
+
+
+class TestTupleHelpers:
+    def test_tuple_leq_basic(self):
+        assert tuple_leq((1, 2), (1, 3))
+        assert not tuple_leq((2, 0), (1, 3))
+
+    def test_tuple_leq_length_mismatch(self):
+        assert tuple_leq((1,), (1, 5))
+        assert tuple_leq((1, 0, 0), (1,))
+        assert not tuple_leq((1, 0, 2), (1,))
+
+    def test_tuple_concurrent(self):
+        assert tuple_concurrent((1, 0), (0, 1))
+        assert not tuple_concurrent((1, 0), (1, 1))
+
+
+class TestLatticeProperties:
+    @given(clock_lists, clock_lists)
+    def test_join_is_upper_bound(self, xs, ys):
+        a = VectorClock(init=xs)
+        b = VectorClock(init=ys)
+        j = a.copy()
+        j.join_inplace(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(clock_lists, clock_lists)
+    def test_join_commutes(self, xs, ys):
+        a1 = VectorClock(init=xs)
+        a1.join_inplace(VectorClock(init=ys))
+        a2 = VectorClock(init=ys)
+        a2.join_inplace(VectorClock(init=xs))
+        assert a1 == a2
+
+    @given(clock_lists, clock_lists, clock_lists)
+    def test_join_associates(self, xs, ys, zs):
+        a = VectorClock(init=xs)
+        a.join_inplace(VectorClock(init=ys))
+        a.join_inplace(VectorClock(init=zs))
+        b = VectorClock(init=ys)
+        b.join_inplace(VectorClock(init=zs))
+        c = VectorClock(init=xs)
+        c.join_inplace(b)
+        assert a == c
+
+    @given(clock_lists)
+    def test_join_idempotent(self, xs):
+        a = VectorClock(init=xs)
+        b = VectorClock(init=xs)
+        a.join_inplace(b)
+        assert a == b
+
+    @given(clock_lists, clock_lists)
+    def test_leq_antisymmetric(self, xs, ys):
+        a = VectorClock(init=xs)
+        b = VectorClock(init=ys)
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+    @given(clock_lists, clock_lists)
+    def test_tuple_leq_matches_clock_leq(self, xs, ys):
+        a = VectorClock(init=xs)
+        b = VectorClock(init=ys)
+        assert tuple_leq(tuple(xs), tuple(ys)) == a.leq(b)
