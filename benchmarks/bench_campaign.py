@@ -1,0 +1,59 @@
+"""Campaign sharding benchmark: the same cell matrix executed serially
+and across a worker pool.
+
+Run:   pytest benchmarks/bench_campaign.py --benchmark-only
+Full:  REPRO_BENCH_FULL=1 pytest benchmarks/bench_campaign.py ...
+
+Asserts the contract the campaign subsystem is built on: the parallel
+run must produce bit-for-bit the aggregated statistics of the serial
+run (wall-clock is the only thing allowed to differ).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign import build_cells, comparison_rows, run_campaign
+from repro.explore import ExplorationLimits
+from repro.explore.controller import matrix_report
+
+from conftest import BENCH_LIMIT, selected_benchmarks
+
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(os.cpu_count() or 2)))
+EXPLORERS = ["dpor", "hbr-caching", "lazy-hbr-caching"]
+
+
+def _cells():
+    return build_cells(
+        [b.bench_id for b in selected_benchmarks()], EXPLORERS
+    )
+
+
+def _limits():
+    # schedule-limit bound only: a binding wall-clock cap would make
+    # limit_hit depend on machine load and break the serial/sharded
+    # bit-for-bit comparison below
+    return ExplorationLimits(max_schedules=BENCH_LIMIT)
+
+
+def test_campaign_serial(benchmark):
+    campaign = benchmark.pedantic(
+        lambda: run_campaign(_cells(), _limits(), jobs=1),
+        rounds=1, iterations=1,
+    )
+    assert not campaign.failures
+
+
+def test_campaign_sharded(benchmark, output_dir):
+    campaign = benchmark.pedantic(
+        lambda: run_campaign(_cells(), _limits(), jobs=JOBS),
+        rounds=1, iterations=1,
+    )
+    assert not campaign.failures
+
+    report = matrix_report(comparison_rows(campaign.results))
+    (output_dir / "campaign.md").write_text(report)
+
+    # the sharded run must agree with the serial one bit-for-bit
+    serial = run_campaign(_cells(), _limits(), jobs=1)
+    assert report == matrix_report(comparison_rows(serial.results))

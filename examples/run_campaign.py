@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Sharded campaign over the full suite, programmatically.
+
+Runs the ``dpor`` / ``hbr-caching`` / ``lazy-hbr-caching`` cells for
+every benchmark across a worker pool, checkpointing to
+``campaign.ckpt.json`` (interrupt and re-run to resume), then derives
+the Figure 2 and Figure 3 reports from the same results — no second
+pass over the suite.
+
+Usage:
+    python examples/run_campaign.py [schedule_limit] [jobs]
+
+Equivalent CLI:
+    python -m repro campaign --jobs 8 --resume campaign.ckpt.json \
+        --out report.json
+"""
+
+import sys
+
+from repro.analysis import (
+    figure2_report,
+    figure2_rows_from_cells,
+    figure3_report,
+    figure3_rows_from_cells,
+)
+from repro.campaign import ResultStore, build_cells, run_campaign
+from repro.explore import ExplorationLimits
+from repro.suite import REGISTRY
+
+
+def main():
+    limit = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    cells = build_cells(
+        sorted(REGISTRY), ["dpor", "hbr-caching", "lazy-hbr-caching"]
+    )
+    store = ResultStore("campaign.ckpt.json")
+    campaign = run_campaign(
+        cells,
+        ExplorationLimits(max_schedules=limit, max_seconds=10.0),
+        jobs=jobs,
+        store=store,
+        progress=print,
+    )
+    print(
+        f"\n{len(campaign.results)} cells "
+        f"({campaign.num_cached} from checkpoint) in "
+        f"{campaign.elapsed:.1f}s with {jobs} jobs\n"
+    )
+    for failure in campaign.failures:
+        print(f"FAILED {failure.cell.key}: {failure.error}")
+
+    print(figure2_report(figure2_rows_from_cells(campaign.results), limit))
+    print()
+    print(figure3_report(figure3_rows_from_cells(campaign.results), limit))
+
+
+if __name__ == "__main__":
+    main()

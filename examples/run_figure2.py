@@ -3,12 +3,15 @@
 over all 79 suite benchmarks.
 
 Usage:
-    python examples/run_figure2.py [schedule_limit] [seconds_per_benchmark]
+    python examples/run_figure2.py [schedule_limit] [seconds_per_benchmark] [jobs]
 
-Defaults: limit 2000, 10 s per benchmark.  The paper used 100,000
-schedules on an instrumented JVM; every counted quantity grows
+Defaults: limit 2000, 10 s per benchmark, 1 job.  The paper used
+100,000 schedules on an instrumented JVM; every counted quantity grows
 monotonically with the limit, so the diagonal structure is unchanged —
-see EXPERIMENTS.md for the calibration discussion.
+see EXPERIMENTS.md for the calibration discussion.  With ``jobs > 1``
+the benchmarks are sharded across a process pool (same rows bit-for-bit
+when only the schedule limit binds; a binding wall-clock cap is
+load-dependent either way — see ``python -m repro campaign``).
 """
 
 import sys
@@ -19,10 +22,12 @@ from repro.analysis import figure2_report, run_figure2
 def main():
     limit = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
     seconds = float(sys.argv[2]) if len(sys.argv) > 2 else 10.0
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else 1
     rows = run_figure2(
         schedule_limit=limit,
         seconds_per_benchmark=seconds,
         progress=print,
+        jobs=jobs,
     )
     print()
     print(figure2_report(rows, limit))

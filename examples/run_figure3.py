@@ -3,9 +3,13 @@
 regular HBR caching vs lazy HBR caching, over all 79 suite benchmarks.
 
 Usage:
-    python examples/run_figure3.py [schedule_limit] [seconds_per_benchmark]
+    python examples/run_figure3.py [schedule_limit] [seconds_per_benchmark] [jobs]
 
-Defaults: limit 2000, 10 s per benchmark (per explorer).
+Defaults: limit 2000, 10 s per benchmark (per explorer), 1 job.  With
+``jobs > 1`` the per-benchmark cells are sharded across a process pool
+(same rows bit-for-bit when only the schedule limit binds; a binding
+wall-clock cap is load-dependent either way — see
+``python -m repro campaign``).
 """
 
 import sys
@@ -16,10 +20,12 @@ from repro.analysis import figure3_report, run_figure3
 def main():
     limit = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
     seconds = float(sys.argv[2]) if len(sys.argv) > 2 else 10.0
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else 1
     rows = run_figure3(
         schedule_limit=limit,
         seconds_per_benchmark=seconds,
         progress=print,
+        jobs=jobs,
     )
     print()
     print(figure3_report(rows, limit))

@@ -6,8 +6,11 @@ list                      list the 79 suite benchmarks
 run ID [--schedule ...]   execute one benchmark once and show the result
 explore ID [--strategy S] explore a benchmark and print the statistics
 races ID                  systematic data-race hunt on a benchmark
-figure2 / figure3         regenerate the paper's figures
+figure2 / figure3         regenerate the paper's figures (``--jobs N``)
 inequality                the Section 3 inequality table
+campaign                  sharded explorer×benchmark×seed run-matrix
+                          (``--jobs``, ``--seeds``, ``--smoke``,
+                          ``--resume CKPT``, ``--out report.json``)
 """
 
 from __future__ import annotations
@@ -97,7 +100,8 @@ def _cmd_races(args) -> int:
 def _cmd_figure2(args) -> int:
     rows = run_figure2(schedule_limit=args.limit,
                        seconds_per_benchmark=args.seconds,
-                       progress=print if args.verbose else None)
+                       progress=print if args.verbose else None,
+                       jobs=args.jobs)
     print(figure2_report(rows, args.limit))
     return 0
 
@@ -105,16 +109,132 @@ def _cmd_figure2(args) -> int:
 def _cmd_figure3(args) -> int:
     rows = run_figure3(schedule_limit=args.limit,
                        seconds_per_benchmark=args.seconds,
-                       progress=print if args.verbose else None)
+                       progress=print if args.verbose else None,
+                       jobs=args.jobs)
     print(figure3_report(rows, args.limit))
     return 0
 
 
 def _cmd_inequality(args) -> int:
     rows = run_inequality_table(schedule_limit=args.limit,
-                                seconds_per_benchmark=args.seconds)
+                                seconds_per_benchmark=args.seconds,
+                                jobs=args.jobs)
     print(inequality_report(rows))
     return 0
+
+
+#: smoke-campaign defaults: a fast, behaviour-spanning subset — racy +
+#: locked counters, coarse lock over disjoint data, bounded buffer,
+#: condvars, a deadlock (36), an assertion violation (47), a mutual-
+#: exclusion protocol and an SC litmus test.
+SMOKE_IDS = (1, 2, 5, 10, 24, 28, 36, 47, 48, 75)
+SMOKE_EXPLORERS = "dpor,lazy-hbr-caching,random"
+SMOKE_LIMIT = 150
+
+
+def _cmd_campaign(args) -> int:
+    import dataclasses
+    import json
+
+    from .analysis.runner import (
+        figure2_rows_from_cells,
+        figure3_rows_from_cells,
+    )
+    from .campaign import (
+        ResultStore,
+        build_cells,
+        campaign_report,
+        comparison_rows,
+        run_campaign,
+    )
+    from .explore.controller import matrix_report
+
+    explorers_arg = args.explorers
+    limit = args.limit
+    try:
+        ids = ([int(t) for t in args.ids.split(",")] if args.ids
+               else None)
+    except ValueError:
+        print(f"error: --ids must be comma-separated integers, got "
+              f"{args.ids!r}", file=sys.stderr)
+        return 2
+    if args.smoke:
+        explorers_arg = explorers_arg or SMOKE_EXPLORERS
+        limit = limit if limit is not None else SMOKE_LIMIT
+        ids = ids if ids is not None else list(SMOKE_IDS)
+    else:
+        explorers_arg = explorers_arg or "dpor,hbr-caching,lazy-hbr-caching"
+        limit = limit if limit is not None else 2_000
+        ids = ids if ids is not None else sorted(REGISTRY)
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    for i in ids:
+        _get(i)  # validate early, consistent with the other commands
+    explorers = explorers_arg.split(",")
+
+    try:
+        cells = build_cells(ids, explorers, seeds=args.seeds)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    limits = ExplorationLimits(max_schedules=limit,
+                               max_seconds=args.seconds)
+    store = None
+    if args.resume:
+        store = ResultStore(args.resume, limits)
+        recovered = store.load()
+        if recovered:
+            print(f"resuming: {recovered} cell(s) checkpointed in "
+                  f"{args.resume}")
+        elif store.discarded_mismatch:
+            print(f"ignoring checkpoint {args.resume}: written under "
+                  f"different limits")
+    campaign = run_campaign(
+        cells, limits, jobs=args.jobs, store=store,
+        progress=print if args.verbose else None,
+    )
+
+    print(matrix_report(comparison_rows(campaign.results)))
+    print()
+    print(
+        f"cells={len(campaign.results)} executed={campaign.num_executed} "
+        f"cached={campaign.num_cached} failed={len(campaign.failures)} "
+        f"jobs={campaign.jobs} elapsed={campaign.elapsed:.1f}s"
+    )
+
+    if args.out:
+        report = campaign_report(
+            campaign, limits,
+            meta={
+                "bench_ids": ids,
+                "explorers": explorers,
+                "seeds": args.seeds,
+                "jobs": args.jobs,
+                "smoke": bool(args.smoke),
+            },
+        )
+        fig2 = figure2_rows_from_cells(campaign.results)
+        fig3 = figure3_rows_from_cells(campaign.results)
+        if fig2:
+            report["figure2"] = [dataclasses.asdict(r) for r in fig2]
+        if fig3:
+            report["figure3"] = [dataclasses.asdict(r) for r in fig3]
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+
+    bad = campaign.unexpected if args.smoke else campaign.failures
+    for r in bad:
+        kind = ("failed" if not r.ok else "unexpected findings")
+        detail = (r.error or "").splitlines()[0] if not r.ok else ", ".join(
+            f"{e.kind}: {e.message}" for e in r.stats.errors
+        )
+        print(f"UNEXPECTED [{kind}] {r.cell.key}: {detail}",
+              file=sys.stderr)
+    return 1 if bad else 0
 
 
 def _cmd_matrix(args) -> int:
@@ -172,7 +292,43 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--limit", type=int, default=2_000)
         p.add_argument("--seconds", type=float, default=5.0)
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial)")
         p.add_argument("--verbose", action="store_true")
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="sharded explorer×benchmark×seed run-matrix",
+        description="Run a campaign: the (explorer, benchmark, seed) "
+                    "matrix sharded across a process pool, with "
+                    "checkpoint/resume and a JSON report.",
+    )
+    p_camp.add_argument("--ids", help="comma-separated bench ids "
+                                      "(default: all 79)")
+    p_camp.add_argument("--explorers",
+                        help="comma-separated strategy names (default: "
+                             "dpor,hbr-caching,lazy-hbr-caching)")
+    p_camp.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    p_camp.add_argument("--seeds", type=int, default=1,
+                        help="seeds per randomized explorer "
+                             "(random/pct); deterministic strategies "
+                             "always run once")
+    p_camp.add_argument("--limit", type=int, default=None,
+                        help="schedule limit per cell (default: 2000; "
+                             "150 under --smoke)")
+    p_camp.add_argument("--seconds", type=float, default=None,
+                        help="per-cell wall-clock timeout")
+    p_camp.add_argument("--smoke", action="store_true",
+                        help="fast CI subset; also fails on unexpected "
+                             "explorer findings")
+    p_camp.add_argument("--resume", metavar="CKPT",
+                        help="JSON checkpoint file: completed cells are "
+                             "skipped, new ones appended after every "
+                             "cell")
+    p_camp.add_argument("--out", metavar="REPORT",
+                        help="write the full JSON campaign report here")
+    p_camp.add_argument("--verbose", action="store_true")
 
     p_matrix = sub.add_parser(
         "matrix", help="compare explorers over chosen benchmarks"
@@ -199,6 +355,7 @@ def main(argv=None) -> int:
         "figure3": _cmd_figure3,
         "inequality": _cmd_inequality,
         "matrix": _cmd_matrix,
+        "campaign": _cmd_campaign,
     }[args.command]
     try:
         return handler(args)

@@ -13,6 +13,8 @@ from .runner import (
     Figure2Row,
     Figure3Row,
     InequalityRow,
+    figure2_rows_from_cells,
+    figure3_rows_from_cells,
     run_figure2,
     run_figure3,
     run_inequality_table,
@@ -37,7 +39,9 @@ __all__ = [
     "below_diagonal",
     "caching_gain_summary",
     "figure2_report",
+    "figure2_rows_from_cells",
     "figure3_report",
+    "figure3_rows_from_cells",
     "find_races",
     "inequality_report",
     "race_summary",

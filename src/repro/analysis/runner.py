@@ -11,6 +11,15 @@
 * :func:`run_inequality_table` — the Section 3 chain
   ``#states <= #lazy HBRs <= #HBRs <= #schedules`` for every benchmark.
 
+All three accept ``jobs``: with ``jobs > 1`` the per-benchmark cells are
+sharded across a process pool by the campaign driver
+(:mod:`repro.campaign`).  Serial and parallel paths execute the same
+cell function (:func:`repro.explore.controller.run_single`), so the rows
+they produce are bit-for-bit identical — provided only deterministic
+budgets bind: a binding ``seconds_per_benchmark`` wall-clock cap cuts
+exploration at a load-dependent point and is not reproducible, serial
+*or* parallel.
+
 The paper used a schedule limit of 100,000 on instrumented JVM
 executions; the default here is lower because pure-Python execution is
 slower, and every counted quantity grows monotonically with the limit
@@ -19,13 +28,15 @@ slower, and every counted quantity grows monotonically with the limit
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..campaign.cells import CampaignCell
+from ..campaign.runner import run_campaign
+from ..campaign.worker import CellResult
 from ..explore.base import ExplorationLimits, ExplorationStats
-from ..explore.caching import HBRCachingExplorer
-from ..explore.dpor import DPORExplorer
-from ..suite import all_benchmarks
+from ..explore.controller import run_single
+from ..suite import REGISTRY, all_benchmarks
 from ..suite.base import Benchmark
 from .stats import ScatterPoint
 
@@ -73,29 +84,95 @@ def _limits(schedule_limit: int, seconds: Optional[float]) -> ExplorationLimits:
     )
 
 
+# ---------------------------------------------------------------------------
+# Shared execution: every figure harness is a (benchmark × explorer)
+# sub-matrix, executed serially in-process or sharded via the campaign.
+
+def _explore_matrix(
+    benchmarks: Sequence[Benchmark],
+    explorer_names: Sequence[str],
+    limits: ExplorationLimits,
+    jobs: int,
+    on_stats: Optional[Callable[[int, str, ExplorationStats], None]] = None,
+) -> Dict[Tuple[int, str], ExplorationStats]:
+    """Run each named explorer on each benchmark; returns stats keyed by
+    ``(benchmark position, explorer name)``.
+
+    Suite benchmarks go through :func:`repro.campaign.runner
+    .run_campaign` (sharded when ``jobs > 1``); ad-hoc
+    :class:`Benchmark` objects that are not in the registry cannot cross
+    a process boundary and always run serially in-process.  Both paths
+    call the same cell-execution function.
+    """
+    # duplicates would collapse in the cell work-list (cells are keyed
+    # by bench_id); the serial path handles them per-entry
+    registry_backed = (
+        all(REGISTRY.get(b.bench_id) is b for b in benchmarks)
+        and len({b.bench_id for b in benchmarks}) == len(benchmarks)
+    )
+    stats: Dict[Tuple[int, str], ExplorationStats] = {}
+    if not registry_backed:
+        for i, b in enumerate(benchmarks):
+            for name in explorer_names:
+                st = run_single(b.program, name, limits)
+                stats[(i, name)] = st
+                if on_stats is not None:
+                    on_stats(i, name, st)
+        return stats
+
+    index_of = {b.bench_id: i for i, b in enumerate(benchmarks)}
+    cells = [
+        CampaignCell(b.bench_id, name)
+        for b in benchmarks for name in explorer_names
+    ]
+
+    def consume(result: CellResult) -> None:
+        if result.ok and result.stats is not None and on_stats is not None:
+            on_stats(
+                index_of[result.cell.bench_id], result.cell.explorer,
+                result.stats,
+            )
+
+    campaign = run_campaign(cells, limits, jobs=jobs, on_result=consume)
+    failures = campaign.failures
+    if failures:
+        first = failures[0]
+        raise RuntimeError(
+            f"{len(failures)} cell(s) failed; first: "
+            f"{first.cell.key}: {first.error}"
+        )
+    for r in campaign.results:
+        stats[(index_of[r.cell.bench_id], r.cell.explorer)] = r.stats
+    return stats
+
+
 def run_figure2(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     schedule_limit: int = DEFAULT_LIMIT,
     seconds_per_benchmark: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> List[Figure2Row]:
     """DPOR with the regular HBR; count terminal HBRs vs lazy HBRs."""
-    rows: List[Figure2Row] = []
-    for b in benchmarks if benchmarks is not None else all_benchmarks():
-        stats = DPORExplorer(
-            b.program, _limits(schedule_limit, seconds_per_benchmark)
-        ).run()
-        stats.verify_inequality()
-        rows.append(
-            Figure2Row(
-                b.bench_id, b.program.name, stats.num_schedules,
-                stats.num_hbrs, stats.num_lazy_hbrs, stats.num_states,
-                stats.limit_hit,
-            )
-        )
-        if progress is not None:
-            progress(stats.summary())
-    return rows
+    benchs = list(benchmarks) if benchmarks is not None else all_benchmarks()
+    on_stats = (
+        (lambda i, name, st: progress(st.summary()))
+        if progress is not None else None
+    )
+    stats = _explore_matrix(
+        benchs, ["dpor"], _limits(schedule_limit, seconds_per_benchmark),
+        jobs, on_stats,
+    )
+    return [
+        _figure2_row(b, stats[(i, "dpor")]) for i, b in enumerate(benchs)
+    ]
+
+
+def _figure2_row(b: Benchmark, st: ExplorationStats) -> Figure2Row:
+    return Figure2Row(
+        b.bench_id, b.program.name, st.num_schedules, st.num_hbrs,
+        st.num_lazy_hbrs, st.num_states, st.limit_hit,
+    )
 
 
 def run_figure3(
@@ -103,34 +180,46 @@ def run_figure3(
     schedule_limit: int = DEFAULT_LIMIT,
     seconds_per_benchmark: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> List[Figure3Row]:
     """Regular vs lazy HBR caching; compare terminal lazy HBRs reached."""
-    rows: List[Figure3Row] = []
-    for b in benchmarks if benchmarks is not None else all_benchmarks():
-        regular = HBRCachingExplorer(
-            b.program, _limits(schedule_limit, seconds_per_benchmark),
-            lazy=False,
-        ).run()
-        lazy = HBRCachingExplorer(
-            b.program, _limits(schedule_limit, seconds_per_benchmark),
-            lazy=True,
-        ).run()
-        regular.verify_inequality()
-        lazy.verify_inequality()
-        rows.append(
-            Figure3Row(
-                b.bench_id, b.program.name,
-                regular.num_lazy_hbrs, lazy.num_lazy_hbrs,
-                regular.num_schedules, lazy.num_schedules,
-                regular.limit_hit or lazy.limit_hit,
-            )
-        )
-        if progress is not None:
+    benchs = list(benchmarks) if benchmarks is not None else all_benchmarks()
+
+    # progress pairs the two cells of a benchmark into one line, however
+    # the pool interleaves them
+    partial: Dict[int, Dict[str, ExplorationStats]] = {}
+
+    def on_stats(i: int, name: str, st: ExplorationStats) -> None:
+        got = partial.setdefault(i, {})
+        got[name] = st
+        if progress is not None and len(got) == 2:
             progress(
-                f"{b.program.name:<34} caching={regular.num_lazy_hbrs:<6} "
-                f"lazy-caching={lazy.num_lazy_hbrs:<6}"
+                f"{benchs[i].program.name:<34} "
+                f"caching={got['hbr-caching'].num_lazy_hbrs:<6} "
+                f"lazy-caching={got['lazy-hbr-caching'].num_lazy_hbrs:<6}"
             )
-    return rows
+
+    stats = _explore_matrix(
+        benchs, ["hbr-caching", "lazy-hbr-caching"],
+        _limits(schedule_limit, seconds_per_benchmark), jobs, on_stats,
+    )
+    return [
+        _figure3_row(
+            b, stats[(i, "hbr-caching")], stats[(i, "lazy-hbr-caching")]
+        )
+        for i, b in enumerate(benchs)
+    ]
+
+
+def _figure3_row(
+    b: Benchmark, regular: ExplorationStats, lazy: ExplorationStats
+) -> Figure3Row:
+    return Figure3Row(
+        b.bench_id, b.program.name,
+        regular.num_lazy_hbrs, lazy.num_lazy_hbrs,
+        regular.num_schedules, lazy.num_schedules,
+        regular.limit_hit or lazy.limit_hit,
+    )
 
 
 @dataclass
@@ -144,13 +233,57 @@ def run_inequality_table(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     schedule_limit: int = DEFAULT_LIMIT,
     seconds_per_benchmark: Optional[float] = None,
+    jobs: int = 1,
 ) -> List[InequalityRow]:
     """The Section 3 inequality, measured (not assumed) per benchmark."""
-    rows: List[InequalityRow] = []
-    for b in benchmarks if benchmarks is not None else all_benchmarks():
-        stats = DPORExplorer(
-            b.program, _limits(schedule_limit, seconds_per_benchmark)
-        ).run()
-        stats.verify_inequality()
-        rows.append(InequalityRow(b.bench_id, b.program.name, stats))
+    benchs = list(benchmarks) if benchmarks is not None else all_benchmarks()
+    stats = _explore_matrix(
+        benchs, ["dpor"], _limits(schedule_limit, seconds_per_benchmark),
+        jobs,
+    )
+    return [
+        InequalityRow(b.bench_id, b.program.name, stats[(i, "dpor")])
+        for i, b in enumerate(benchs)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure rows from raw campaign results (for `repro campaign --out`):
+# any campaign whose cells cover the needed explorers can be re-read as
+# figure data without re-running anything.
+
+def figure2_rows_from_cells(
+    results: Sequence[CellResult],
+) -> List[Figure2Row]:
+    """Figure 2 rows from a campaign's ``dpor`` (seed 0) cells."""
+    rows = []
+    for r in sorted(results, key=lambda r: r.cell):
+        if (r.cell.explorer == "dpor" and r.cell.seed == 0 and r.ok
+                and r.stats is not None):
+            bench = REGISTRY.get(r.cell.bench_id)
+            if bench is not None:
+                rows.append(_figure2_row(bench, r.stats))
+    return rows
+
+
+def figure3_rows_from_cells(
+    results: Sequence[CellResult],
+) -> List[Figure3Row]:
+    """Figure 3 rows from benchmarks with both caching cells present."""
+    by_bench: Dict[int, Dict[str, ExplorationStats]] = {}
+    for r in results:
+        if (r.cell.explorer in ("hbr-caching", "lazy-hbr-caching")
+                and r.cell.seed == 0 and r.ok and r.stats is not None):
+            by_bench.setdefault(r.cell.bench_id, {})[r.cell.explorer] = \
+                r.stats
+    rows = []
+    for bench_id in sorted(by_bench):
+        got = by_bench[bench_id]
+        bench = REGISTRY.get(bench_id)
+        if bench is not None and len(got) == 2:
+            rows.append(
+                _figure3_row(
+                    bench, got["hbr-caching"], got["lazy-hbr-caching"]
+                )
+            )
     return rows

@@ -1,0 +1,34 @@
+"""Parallel campaign runner: shard the explorer × benchmark × seed
+matrix across a process pool.
+
+The paper's evaluation is a big run-matrix; this subsystem makes it
+wall-clock-bound by core count instead of single-thread speed:
+
+* :mod:`~repro.campaign.cells` — the deterministic work-list;
+* :mod:`~repro.campaign.worker` — one-cell execution (shared with the
+  serial harnesses via :func:`repro.explore.controller.run_single`);
+* :mod:`~repro.campaign.store` — resumable JSON checkpointing;
+* :mod:`~repro.campaign.runner` — the ``multiprocessing`` driver;
+* :mod:`~repro.campaign.aggregate` — order-independent aggregation.
+
+CLI: ``python -m repro campaign --jobs 8`` (see ``--help``).
+"""
+
+from .aggregate import campaign_report, comparison_rows, stats_by_cell
+from .cells import CampaignCell, build_cells
+from .runner import CampaignResult, run_campaign
+from .store import ResultStore
+from .worker import CellResult, execute_cell
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "CellResult",
+    "ResultStore",
+    "build_cells",
+    "campaign_report",
+    "comparison_rows",
+    "execute_cell",
+    "run_campaign",
+    "stats_by_cell",
+]

@@ -1,0 +1,91 @@
+"""Deterministic aggregation of campaign results.
+
+Completion order under a pool is nondeterministic; everything here
+re-keys results by ``(bench_id, explorer, seed)`` so the aggregated
+rows — and therefore the rendered reports — are identical however the
+cells were scheduled.  Figure-specific aggregation (``Figure2Row``,
+``Figure3Row``) lives next to those row types in
+:mod:`repro.analysis.runner`; this module covers the explorer-matrix
+and raw-JSON views that do not depend on the analysis layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..explore.base import ExplorationLimits, ExplorationStats
+from ..explore.controller import ComparisonRow
+from ..suite import REGISTRY
+from .runner import CampaignResult
+from .worker import CellResult
+
+
+def stats_by_cell(
+    results: Sequence[CellResult],
+) -> Dict[tuple, ExplorationStats]:
+    """``(bench_id, explorer, seed) -> stats`` for completed cells."""
+    return {
+        (r.cell.bench_id, r.cell.explorer, r.cell.seed): r.stats
+        for r in results
+        if r.ok and r.stats is not None
+    }
+
+
+def comparison_rows(results: Sequence[CellResult]) -> List[ComparisonRow]:
+    """Re-assemble campaign cells into the rows ``matrix_report``
+    renders: one row per benchmark (ascending id), explorers in cell
+    order, multi-seed cells suffixed ``name#seed``."""
+    by_bench: Dict[int, ComparisonRow] = {}
+    for r in sorted(results, key=lambda r: r.cell):
+        if not r.ok or r.stats is None:
+            continue
+        row = by_bench.get(r.cell.bench_id)
+        if row is None:
+            bench = REGISTRY.get(r.cell.bench_id)
+            name = (bench.program.name if bench is not None
+                    else r.stats.program_name)
+            row = by_bench.setdefault(
+                r.cell.bench_id, ComparisonRow(name)
+            )
+        row.by_explorer[r.cell.label] = r.stats
+    return [by_bench[bid] for bid in sorted(by_bench)]
+
+
+def campaign_report(
+    campaign: CampaignResult,
+    limits: Optional[ExplorationLimits] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """JSON-serialisable campaign report (the ``--out`` artifact)."""
+    totals = {
+        "num_cells": len(campaign.results),
+        "num_executed": campaign.num_executed,
+        "num_cached": campaign.num_cached,
+        "num_failed": len(campaign.failures),
+        "num_unexpected": len(campaign.unexpected),
+        "total_schedules": sum(
+            r.stats.num_schedules for r in campaign.results
+            if r.stats is not None
+        ),
+        "total_events": sum(
+            r.stats.num_events for r in campaign.results
+            if r.stats is not None
+        ),
+        "jobs": campaign.jobs,
+        "elapsed": campaign.elapsed,
+    }
+    report: Dict[str, Any] = {
+        "kind": "repro-campaign-report",
+        "version": 1,
+        "summary": totals,
+        "cells": [r.to_dict() for r in campaign.results],
+    }
+    if limits is not None:
+        report["limits"] = {
+            "max_schedules": limits.max_schedules,
+            "max_seconds": limits.max_seconds,
+            "max_events_per_schedule": limits.max_events_per_schedule,
+        }
+    if meta:
+        report["campaign"] = dict(meta)
+    return report

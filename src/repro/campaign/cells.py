@@ -1,0 +1,72 @@
+"""The campaign work-list: ``(benchmark, explorer, seed)`` cells.
+
+A campaign is a flat, deterministic list of cells.  Each cell is fully
+described by three picklable scalars, so it can be shipped to a worker
+process, keyed into a checkpoint store, and re-executed bit-for-bit:
+
+* ``bench_id``  — suite benchmark id (``repro.suite.REGISTRY``);
+* ``explorer``  — a :data:`~repro.explore.controller.STANDARD_EXPLORERS`
+  name;
+* ``seed``      — RNG seed, meaningful only for the randomized
+  strategies in :data:`~repro.explore.controller.SEEDED_EXPLORERS`.
+
+Deterministic strategies always get exactly one cell (``seed=0``) no
+matter how many seeds the campaign requests — re-running DFS with a
+different seed would be duplicate work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..explore.controller import SEEDED_EXPLORERS, require_explorer
+
+
+@dataclass(frozen=True, order=True)
+class CampaignCell:
+    """One unit of campaign work."""
+
+    bench_id: int
+    explorer: str
+    seed: int = 0
+
+    @property
+    def key(self) -> str:
+        """Stable string key used by the checkpoint store."""
+        return f"{self.bench_id}:{self.explorer}:{self.seed}"
+
+    @staticmethod
+    def from_key(key: str) -> "CampaignCell":
+        bench_id, explorer, seed = key.rsplit(":", 2)
+        return CampaignCell(int(bench_id), explorer, int(seed))
+
+    @property
+    def label(self) -> str:
+        return (f"{self.explorer}#{self.seed}" if self.seed else
+                self.explorer)
+
+
+def build_cells(
+    bench_ids: Iterable[int],
+    explorer_names: Sequence[str],
+    seeds: int = 1,
+) -> List[CampaignCell]:
+    """Expand the ``bench × explorer × seed`` matrix into a work-list.
+
+    Explorer names are validated eagerly (a typo should fail before the
+    pool spins up, not inside a worker).  Duplicates collapse; order is
+    deterministic: benchmarks in the given order, explorers in the given
+    order, seeds ascending.
+    """
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    for name in explorer_names:
+        require_explorer(name)
+    cells: Dict[CampaignCell, None] = {}
+    for bench_id in bench_ids:
+        for name in explorer_names:
+            fan_out = seeds if name in SEEDED_EXPLORERS else 1
+            for seed in range(fan_out):
+                cells.setdefault(CampaignCell(bench_id, name, seed))
+    return list(cells)

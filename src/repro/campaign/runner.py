@@ -1,0 +1,134 @@
+"""Campaign driver: shard a cell work-list across a process pool.
+
+The driver owns *orchestration only* — skipping checkpointed cells,
+fanning pending cells out to workers, flushing each completed cell to
+the store, and re-assembling results in deterministic work-list order.
+All actual exploration happens in :func:`repro.campaign.worker
+.execute_cell`, identically for ``jobs=1`` (in-process, no pool) and
+``jobs=N`` (a ``multiprocessing`` pool), so the two paths return
+bit-for-bit identical statistics and differ only in wall-clock time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..explore.base import ExplorationLimits
+from .cells import CampaignCell
+from .store import ResultStore
+from .worker import CellResult, _pool_entry, execute_cell
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """``fork`` on Linux (cheap workers that inherit the already-built
+    suite registry); the platform default elsewhere — macOS and Windows
+    deliberately default to ``spawn`` (fork is unsafe under macOS
+    system frameworks)."""
+    if sys.platform.startswith("linux"):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, in work-list order."""
+
+    results: List[CellResult] = field(default_factory=list)
+    num_executed: int = 0
+    num_cached: int = 0
+    jobs: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def failures(self) -> List[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def unexpected(self) -> List[CellResult]:
+        """Failed cells plus cells whose explorer reported findings on a
+        benchmark the suite marks error-free — the smoke-CI red flags."""
+        return [r for r in self.results
+                if not r.ok or r.unexpected_findings]
+
+
+def run_campaign(
+    cells: Sequence[CampaignCell],
+    limits: Optional[ExplorationLimits] = None,
+    jobs: int = 1,
+    verify: bool = True,
+    store: Optional[ResultStore] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    on_result: Optional[Callable[[CellResult], None]] = None,
+) -> CampaignResult:
+    """Execute every cell, at most ``jobs`` at a time.
+
+    With a ``store``, cells already checkpointed as completed are
+    returned from the checkpoint without re-execution, and every newly
+    completed cell is flushed before the next one is handed out.
+    ``progress`` receives one formatted line per executed cell;
+    ``on_result`` receives the raw :class:`CellResult` (for callers that
+    aggregate as results stream in).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    limits = limits or ExplorationLimits()
+    start = time.monotonic()
+
+    out = CampaignResult(jobs=jobs)
+    by_cell = {}
+    if store is not None:
+        if store.limits is None:
+            store.limits = limits
+        if not store.loaded:  # callers may have pre-loaded (for a
+            store.load()      # resume message); don't re-parse
+
+
+    pending: List[CampaignCell] = []
+    for cell in cells:
+        cached = store.get(cell) if store is not None else None
+        if cached is not None and cached.ok:
+            by_cell[cell] = cached
+            out.num_cached += 1
+        else:
+            pending.append(cell)
+
+    def record(result: CellResult) -> None:
+        by_cell[result.cell] = result
+        out.num_executed += 1
+        if store is not None:
+            store.add(result)
+        if on_result is not None:
+            on_result(result)
+        if progress is not None:
+            if result.ok and result.stats is not None:
+                progress(result.stats.summary())
+            else:
+                progress(
+                    f"{result.cell.key:<28} FAILED: "
+                    f"{(result.error or '?').splitlines()[0]}"
+                )
+
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            for cell in pending:
+                record(execute_cell(cell, limits, verify))
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                work = [(cell, limits, verify) for cell in pending]
+                for result in pool.imap_unordered(_pool_entry, work,
+                                                  chunksize=1):
+                    record(result)
+    finally:
+        # store.add rate-limits its flushes; guarantee the final state
+        # (and interrupted partial state) reaches disk
+        if store is not None:
+            store.flush()
+
+    out.results = [by_cell[cell] for cell in cells]
+    out.elapsed = time.monotonic() - start
+    return out

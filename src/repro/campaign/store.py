@@ -1,0 +1,130 @@
+"""Resumable JSON checkpoint store for campaign results.
+
+One JSON document maps cell keys to serialized :class:`CellResult`
+payloads.  The store is flushed with an atomic ``os.replace`` as cells
+complete (rate-limited — see :attr:`ResultStore.flush_interval` — with
+a guaranteed final flush from the campaign driver), so an interrupted
+campaign (Ctrl-C, OOM-killed worker host, pre-empted CI runner) resumes
+from (almost) the last completed cell instead of restarting the matrix.
+
+Checkpoints are stamped with the :class:`ExplorationLimits` they were
+produced under; resuming with different limits discards the checkpoint
+rather than silently mixing statistics computed under different
+budgets.
+
+Failed cells are *not* checkpointed: a resume retries them, which is
+what you want after fixing the crash or raising the budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..explore.base import ExplorationLimits
+from .cells import CampaignCell
+from .worker import CellResult
+
+STORE_VERSION = 2
+
+
+def limits_to_dict(limits: ExplorationLimits) -> Dict[str, Any]:
+    return {
+        "max_schedules": limits.max_schedules,
+        "max_seconds": limits.max_seconds,
+        "max_events_per_schedule": limits.max_events_per_schedule,
+    }
+
+
+class ResultStore:
+    """Append-mostly checkpoint file keyed by cell."""
+
+    #: minimum seconds between on-disk flushes; bounds checkpoint I/O to
+    #: O(campaign duration) instead of O(cells^2) while capping the work
+    #: lost to a crash at one interval
+    flush_interval: float = 1.0
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        limits: Optional[ExplorationLimits] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.limits = limits
+        self.discarded_mismatch = False
+        self.loaded = False
+        self._results: Dict[str, CellResult] = {}
+        self._dirty = False
+        self._last_flush = 0.0
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def load(self) -> int:
+        """Read any existing checkpoint; returns the number of completed
+        cells recovered.  A missing, unreadable or malformed file is an
+        empty store (a fresh campaign), not an error; so is a checkpoint
+        written under different limits (``discarded_mismatch`` is
+        set)."""
+        self._results = {}
+        self.discarded_mismatch = False
+        self.loaded = True
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(payload, dict):
+            return 0
+        if payload.get("version") != STORE_VERSION:
+            return 0
+        if (self.limits is not None
+                and payload.get("limits") != limits_to_dict(self.limits)):
+            self.discarded_mismatch = True
+            return 0
+        try:
+            for key, entry in payload.get("cells", {}).items():
+                result = CellResult.from_dict(entry)
+                result.cached = True
+                self._results[key] = result
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # a hand-edited or foreign JSON file: start fresh rather
+            # than abort the campaign
+            self._results = {}
+            return 0
+        return len(self._results)
+
+    def get(self, cell: CampaignCell) -> Optional[CellResult]:
+        return self._results.get(cell.key)
+
+    def add(self, result: CellResult) -> None:
+        """Record a completed cell (failures are retried on resume, so
+        they are accepted in memory but skipped by :meth:`flush`).
+        Flushes to disk at most every :attr:`flush_interval` seconds;
+        call :meth:`flush` for a hard write."""
+        self._results[result.cell.key] = result
+        self._dirty = True
+        if time.monotonic() - self._last_flush >= self.flush_interval:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._dirty:
+            return
+        payload: Dict[str, Any] = {
+            "version": STORE_VERSION,
+            "cells": {
+                key: r.to_dict()
+                for key, r in sorted(self._results.items())
+                if r.ok
+            },
+        }
+        if self.limits is not None:
+            payload["limits"] = limits_to_dict(self.limits)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, self.path)
+        self._dirty = False
+        self._last_flush = time.monotonic()

@@ -1,0 +1,111 @@
+"""Cell execution: the one function every campaign worker runs.
+
+``execute_cell`` resolves the cell's benchmark from the suite registry
+and funnels into :func:`repro.explore.controller.run_single` — the same
+function the serial harnesses call — so a sharded campaign produces
+bit-for-bit the statistics a serial run would.
+
+Failures are *data*, not exceptions: a worker never takes the pool down.
+A crash inside an explorer (or an inequality violation under ``verify``)
+comes back as a failed :class:`CellResult` carrying the traceback, and
+the campaign driver decides whether that fails the run.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..explore.base import ExplorationLimits, ExplorationStats
+from ..explore.controller import run_single
+from ..suite import REGISTRY
+from .cells import CampaignCell
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: statistics, or a captured failure."""
+
+    cell: CampaignCell
+    stats: Optional[ExplorationStats]
+    ok: bool = True
+    error: Optional[str] = None
+    cached: bool = False  #: satisfied from a checkpoint, not re-executed
+
+    @property
+    def unexpected_findings(self) -> bool:
+        """Did the explorer report an error the suite does not expect?
+
+        Benchmarks annotated ``expect_error`` (deadlocks, assertion
+        violations) are *supposed* to yield findings; anything else
+        reporting errors is a red flag for the smoke campaign.
+        """
+        if self.stats is None or not self.stats.errors:
+            return False
+        bench = REGISTRY.get(self.cell.bench_id)
+        return bench is None or bench.expect_error is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench_id": self.cell.bench_id,
+            "explorer": self.cell.explorer,
+            "seed": self.cell.seed,
+            "ok": self.ok,
+            "error": self.error,
+            "stats": self.stats.to_dict() if self.stats is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CellResult":
+        stats = payload.get("stats")
+        return cls(
+            cell=CampaignCell(
+                payload["bench_id"], payload["explorer"],
+                payload.get("seed", 0),
+            ),
+            stats=(ExplorationStats.from_dict(stats)
+                   if stats is not None else None),
+            ok=payload.get("ok", True),
+            error=payload.get("error"),
+        )
+
+
+def execute_cell(
+    cell: CampaignCell,
+    limits: Optional[ExplorationLimits] = None,
+    verify: bool = True,
+) -> CellResult:
+    """Run one cell to completion, trapping any failure.
+
+    Per-cell budgets ride on ``limits``: ``max_schedules`` bounds the
+    work, ``max_seconds`` is the per-cell (cooperative) timeout, and
+    ``max_events_per_schedule`` bounds any single execution — so no cell
+    can wedge a worker indefinitely.
+    """
+    bench = REGISTRY.get(cell.bench_id)
+    if bench is None:
+        return CellResult(
+            cell, None, ok=False,
+            error=f"no suite benchmark with id {cell.bench_id}",
+        )
+    try:
+        stats = run_single(
+            bench.program, cell.explorer, limits, seed=cell.seed,
+            verify=verify,
+        )
+        return CellResult(cell, stats)
+    except Exception as exc:  # noqa: BLE001 - workers must not crash
+        return CellResult(
+            cell, None, ok=False,
+            error=f"{type(exc).__name__}: {exc}\n"
+                  f"{traceback.format_exc(limit=8)}",
+        )
+
+
+def _pool_entry(
+    packed: Tuple[CampaignCell, Optional[ExplorationLimits], bool],
+) -> CellResult:
+    """Top-level (picklable) entry point for ``multiprocessing`` pools."""
+    cell, limits, verify = packed
+    return execute_cell(cell, limits, verify)

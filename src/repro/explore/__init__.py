@@ -13,9 +13,12 @@ from .bounded import (
 )
 from .caching import HBRCachingExplorer
 from .controller import (
+    SEEDED_EXPLORERS,
     STANDARD_EXPLORERS,
     ComparisonRow,
+    make_explorer,
     run_matrix,
+    run_single,
     states_found,
 )
 from .delay import DelayBoundedExplorer
@@ -30,8 +33,11 @@ __all__ = [
     "MinimizationResult",
     "minimize_schedule",
     "DEFAULT_SCHEDULE_LIMIT",
+    "SEEDED_EXPLORERS",
     "STANDARD_EXPLORERS",
     "ComparisonRow",
+    "make_explorer",
+    "run_single",
     "DFSExplorer",
     "DelayBoundedExplorer",
     "DPORExplorer",

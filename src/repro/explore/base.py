@@ -114,6 +114,30 @@ class ExplorationStats:
                       if isinstance(v, (int, float, str, bool))},
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExplorationStats":
+        """Inverse of :meth:`to_dict` (modulo non-scalar ``extra``
+        values) — used by the campaign checkpoint store to resume runs."""
+        return cls(
+            program_name=payload["program"],
+            explorer_name=payload["explorer"],
+            num_schedules=payload.get("num_schedules", 0),
+            num_complete=payload.get("num_complete", 0),
+            num_pruned=payload.get("num_pruned", 0),
+            num_hbrs=payload.get("num_hbrs", 0),
+            num_lazy_hbrs=payload.get("num_lazy_hbrs", 0),
+            num_states=payload.get("num_states", 0),
+            num_events=payload.get("num_events", 0),
+            errors=[
+                ErrorFinding(e["kind"], e["message"], list(e["schedule"]))
+                for e in payload.get("errors", [])
+            ],
+            limit_hit=payload.get("limit_hit", False),
+            exhausted=payload.get("exhausted", False),
+            elapsed=payload.get("elapsed", 0.0),
+            extra=dict(payload.get("extra", {})),
+        )
+
 
 class Explorer:
     """Base class: bookkeeping shared by every strategy."""

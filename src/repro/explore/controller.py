@@ -17,22 +17,79 @@ from .lazy_dpor import LazyDPORExplorer
 from .pct import PCTExplorer
 from .random_walk import RandomWalkExplorer
 
-#: factory: (program, limits) -> Explorer
-ExplorerFactory = Callable[[Program, ExplorationLimits], Explorer]
+#: factory: (program, limits, seed=0) -> Explorer.  Deterministic
+#: strategies ignore the seed; the randomized ones (``random``, ``pct``)
+#: thread it into their RNG so campaign shards with different seeds do
+#: genuinely different work.
+ExplorerFactory = Callable[..., Explorer]
 
 STANDARD_EXPLORERS: Dict[str, ExplorerFactory] = {
-    "dfs": lambda prog, lim: DFSExplorer(prog, lim),
-    "dpor": lambda prog, lim: DPORExplorer(prog, lim),
-    "dpor-nosleep": lambda prog, lim: DPORExplorer(prog, lim, sleep_sets=False),
-    "hbr-caching": lambda prog, lim: HBRCachingExplorer(prog, lim, lazy=False),
-    "lazy-hbr-caching": lambda prog, lim: HBRCachingExplorer(prog, lim, lazy=True),
-    "lazy-dpor": lambda prog, lim: LazyDPORExplorer(prog, lim),
-    "random": lambda prog, lim: RandomWalkExplorer(prog, lim),
-    "pct": lambda prog, lim: PCTExplorer(prog, lim),
-    "preempt-bounded": lambda prog, lim: PreemptionBoundedExplorer(prog, lim),
-    "iterative-cb": lambda prog, lim: IterativeContextBoundingExplorer(prog, lim),
-    "delay-bounded": lambda prog, lim: DelayBoundedExplorer(prog, lim),
+    "dfs": lambda prog, lim, seed=0: DFSExplorer(prog, lim),
+    "dpor": lambda prog, lim, seed=0: DPORExplorer(prog, lim),
+    "dpor-nosleep":
+        lambda prog, lim, seed=0: DPORExplorer(prog, lim, sleep_sets=False),
+    "hbr-caching":
+        lambda prog, lim, seed=0: HBRCachingExplorer(prog, lim, lazy=False),
+    "lazy-hbr-caching":
+        lambda prog, lim, seed=0: HBRCachingExplorer(prog, lim, lazy=True),
+    "lazy-dpor": lambda prog, lim, seed=0: LazyDPORExplorer(prog, lim),
+    "random": lambda prog, lim, seed=0: RandomWalkExplorer(prog, lim, seed=seed),
+    "pct": lambda prog, lim, seed=0: PCTExplorer(prog, lim, seed=seed),
+    "preempt-bounded":
+        lambda prog, lim, seed=0: PreemptionBoundedExplorer(prog, lim),
+    "iterative-cb":
+        lambda prog, lim, seed=0: IterativeContextBoundingExplorer(prog, lim),
+    "delay-bounded":
+        lambda prog, lim, seed=0: DelayBoundedExplorer(prog, lim),
 }
+
+#: strategies whose outcome depends on the seed; only these fan out
+#: into multiple cells when a campaign requests ``seeds > 1``.
+SEEDED_EXPLORERS = frozenset({"random", "pct"})
+
+
+def require_explorer(name: str) -> None:
+    """Raise ``KeyError`` (with the canonical message) for a strategy
+    name not in :data:`STANDARD_EXPLORERS`."""
+    if name not in STANDARD_EXPLORERS:
+        raise KeyError(
+            f"unknown explorer {name!r}; available: "
+            f"{sorted(STANDARD_EXPLORERS)}"
+        )
+
+
+def make_explorer(
+    name: str,
+    program: Program,
+    limits: Optional[ExplorationLimits] = None,
+    seed: int = 0,
+) -> Explorer:
+    """Instantiate a standard explorer by name (seed-aware)."""
+    require_explorer(name)
+    return STANDARD_EXPLORERS[name](program, limits or ExplorationLimits(),
+                                    seed)
+
+
+def run_single(
+    program: Program,
+    explorer_name: str,
+    limits: Optional[ExplorationLimits] = None,
+    seed: int = 0,
+    verify: bool = True,
+) -> ExplorationStats:
+    """Execute ONE (program, explorer, seed) cell.
+
+    This is the single cell-execution function shared by every harness —
+    the serial ``run_matrix``/``run_figure2``/``run_figure3`` loops and
+    the parallel campaign workers all funnel through here, so serial and
+    sharded runs produce bit-for-bit identical statistics (given
+    deterministic budgets; a binding ``max_seconds`` wall-clock cap is
+    inherently load-dependent).
+    """
+    stats = make_explorer(explorer_name, program, limits, seed).run()
+    if verify:
+        stats.verify_inequality()
+    return stats
 
 
 def matrix_report(rows: Sequence["ComparisonRow"]) -> str:
@@ -81,15 +138,7 @@ def run_matrix(
     for program in programs:
         row = ComparisonRow(program.name)
         for name in explorer_names:
-            factory = STANDARD_EXPLORERS.get(name)
-            if factory is None:
-                raise KeyError(
-                    f"unknown explorer {name!r}; available: "
-                    f"{sorted(STANDARD_EXPLORERS)}"
-                )
-            stats = factory(program, limits).run()
-            if verify:
-                stats.verify_inequality()
+            stats = run_single(program, name, limits, verify=verify)
             row.by_explorer[name] = stats
             if progress is not None:
                 progress(stats.summary())
@@ -102,6 +151,6 @@ def states_found(program: Program, explorer_name: str,
     """The set of distinct terminal state hashes an explorer reaches —
     used by the soundness tests to compare against DFS ground truth."""
     limits = limits or ExplorationLimits()
-    explorer = STANDARD_EXPLORERS[explorer_name](program, limits)
+    explorer = make_explorer(explorer_name, program, limits)
     explorer.run()
     return frozenset(explorer._state_hashes)

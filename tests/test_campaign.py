@@ -1,0 +1,326 @@
+"""Tests for the parallel campaign subsystem: work-list construction,
+cell execution, serial/parallel determinism, checkpoint/resume, and the
+``repro campaign`` CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.campaign import (
+    CampaignCell,
+    ResultStore,
+    build_cells,
+    campaign_report,
+    comparison_rows,
+    execute_cell,
+    run_campaign,
+)
+from repro.analysis.runner import (
+    figure2_rows_from_cells,
+    figure3_rows_from_cells,
+    run_figure2,
+    run_figure3,
+)
+from repro.explore import ExplorationLimits, make_explorer
+from repro.explore.controller import matrix_report
+from repro.suite import REGISTRY
+
+LIMITS = ExplorationLimits(max_schedules=120)
+
+
+def stats_dicts(results, drop=("elapsed",)):
+    """Comparable per-cell stats with wall-clock fields removed."""
+    out = []
+    for r in results:
+        d = r.to_dict()
+        if d["stats"] is not None:
+            d["stats"] = {k: v for k, v in d["stats"].items()
+                          if k not in drop}
+        out.append(d)
+    return out
+
+
+class TestBuildCells:
+    def test_deterministic_explorers_do_not_fan_out(self):
+        cells = build_cells([1], ["dpor", "random"], seeds=3)
+        assert [c.key for c in cells] == [
+            "1:dpor:0", "1:random:0", "1:random:1", "1:random:2",
+        ]
+
+    def test_duplicates_collapse(self):
+        cells = build_cells([1, 1], ["dpor", "dpor"])
+        assert cells == [CampaignCell(1, "dpor", 0)]
+
+    def test_unknown_explorer_rejected_eagerly(self):
+        with pytest.raises(KeyError):
+            build_cells([1], ["nope"])
+
+    def test_bad_seed_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_cells([1], ["dpor"], seeds=0)
+
+    def test_key_round_trip(self):
+        cell = CampaignCell(42, "lazy-hbr-caching", 7)
+        assert CampaignCell.from_key(cell.key) == cell
+
+
+class TestSeedThreading:
+    """STANDARD_EXPLORERS must thread seeds into the randomized
+    strategies (previously hardcoded to 0)."""
+
+    def test_randomized_explorers_receive_seed(self):
+        for name in ("random", "pct"):
+            ex = make_explorer(name, REGISTRY[1].program, LIMITS, seed=7)
+            assert ex.seed == 7
+
+    def test_default_seed_is_zero(self):
+        ex = make_explorer("random", REGISTRY[1].program, LIMITS)
+        assert ex.seed == 0
+
+    def test_distinct_seeds_schedule_differently(self):
+        # on a racy program, two random walks with different seeds pick
+        # different schedules; the error-witness schedules differ
+        lim = ExplorationLimits(max_schedules=5)
+        runs = {
+            seed: make_explorer(
+                "random", REGISTRY[47].program, lim, seed=seed
+            ).run()
+            for seed in (0, 1)
+        }
+        sched0 = [e.schedule for e in runs[0].errors]
+        sched1 = [e.schedule for e in runs[1].errors]
+        assert sched0 != sched1
+
+
+class TestExecuteCell:
+    def test_ok_cell(self):
+        res = execute_cell(CampaignCell(1, "dpor"), LIMITS)
+        assert res.ok and res.error is None
+        assert res.stats.num_hbrs == 2
+        assert res.stats.num_lazy_hbrs == 1
+
+    def test_unknown_benchmark_is_failure_not_exception(self):
+        res = execute_cell(CampaignCell(999, "dpor"), LIMITS)
+        assert not res.ok
+        assert "999" in res.error
+        assert res.stats is None
+
+    def test_unknown_explorer_is_failure_not_exception(self):
+        res = execute_cell(CampaignCell(1, "nope"), LIMITS)
+        assert not res.ok
+        assert "KeyError" in res.error
+
+    def test_expected_findings_are_not_unexpected(self):
+        deadlock = execute_cell(CampaignCell(36, "dpor"), LIMITS)
+        assert deadlock.ok and deadlock.stats.errors
+        assert not deadlock.unexpected_findings
+
+    def test_result_round_trips_through_json(self):
+        res = execute_cell(CampaignCell(36, "dpor"), LIMITS)
+        clone = type(res).from_dict(json.loads(json.dumps(res.to_dict())))
+        assert clone.cell == res.cell
+        assert clone.stats.to_dict() == res.stats.to_dict()
+
+
+class TestDeterminism:
+    CELLS = build_cells([1, 3, 36, 47], ["dpor", "lazy-hbr-caching",
+                                         "random"], seeds=2)
+
+    def test_jobs1_vs_jobs4_identical_stats(self):
+        serial = run_campaign(self.CELLS, LIMITS, jobs=1)
+        parallel = run_campaign(self.CELLS, LIMITS, jobs=4)
+        assert stats_dicts(serial.results) == stats_dicts(parallel.results)
+
+    def test_jobs1_vs_jobs4_identical_reports(self):
+        serial = run_campaign(self.CELLS, LIMITS, jobs=1)
+        parallel = run_campaign(self.CELLS, LIMITS, jobs=4)
+        assert (matrix_report(comparison_rows(serial.results))
+                == matrix_report(comparison_rows(parallel.results)))
+
+    def test_figure_rows_identical_serial_vs_parallel(self):
+        subset = [REGISTRY[i] for i in (1, 3, 11, 36)]
+        assert (run_figure2(subset, schedule_limit=120)
+                == run_figure2(subset, schedule_limit=120, jobs=4))
+        assert (run_figure3(subset, schedule_limit=120)
+                == run_figure3(subset, schedule_limit=120, jobs=4))
+
+    def test_duplicate_benchmarks_get_one_row_each(self):
+        # the pre-campaign serial loop produced one row per entry;
+        # duplicates must not collapse through the cell work-list
+        rows = run_figure2([REGISTRY[1], REGISTRY[1]], schedule_limit=60,
+                           jobs=2)
+        assert len(rows) == 2
+        assert rows[0] == rows[1]
+
+    def test_figure_rows_from_cells_match_harness(self):
+        subset = [REGISTRY[i] for i in (1, 3, 11)]
+        cells = build_cells(
+            [b.bench_id for b in subset],
+            ["dpor", "hbr-caching", "lazy-hbr-caching"],
+        )
+        campaign = run_campaign(cells, LIMITS, jobs=2)
+        assert (figure2_rows_from_cells(campaign.results)
+                == run_figure2(subset, schedule_limit=120))
+        assert (figure3_rows_from_cells(campaign.results)
+                == run_figure3(subset, schedule_limit=120))
+
+
+class TestCheckpointResume:
+    CELLS = build_cells([1, 36], ["dpor", "random"], seeds=2)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        first = run_campaign(self.CELLS, LIMITS, jobs=1,
+                             store=ResultStore(path))
+        assert first.num_executed == len(self.CELLS)
+
+        resumed = run_campaign(self.CELLS, LIMITS, jobs=1,
+                               store=ResultStore(path))
+        assert resumed.num_executed == 0
+        assert resumed.num_cached == len(self.CELLS)
+        assert all(r.cached for r in resumed.results)
+        assert stats_dicts(first.results) == stats_dicts(resumed.results)
+
+    def test_partial_checkpoint_runs_only_missing_cells(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        store = ResultStore(path)
+        run_campaign(self.CELLS[:2], LIMITS, store=store)
+
+        rest = run_campaign(self.CELLS, LIMITS, store=ResultStore(path))
+        assert rest.num_cached == 2
+        assert rest.num_executed == len(self.CELLS) - 2
+
+    @pytest.mark.parametrize("content", [
+        "[1, 2, 3]",                                   # wrong shape
+        '{"version": 2, "cells": {"1:dpor:0": {}}}',   # malformed cell
+        '{"version": 2, "cells": "nope"}',             # wrong cells type
+    ])
+    def test_foreign_json_checkpoint_treated_as_fresh(self, tmp_path,
+                                                      content):
+        path = tmp_path / "ckpt.json"
+        path.write_text(content)
+        store = ResultStore(path)
+        assert store.load() == 0
+        campaign = run_campaign(self.CELLS, LIMITS, store=store)
+        assert campaign.num_executed == len(self.CELLS)
+
+    def test_corrupt_checkpoint_treated_as_fresh(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{ not json")
+        store = ResultStore(path)
+        assert store.load() == 0
+        campaign = run_campaign(self.CELLS, LIMITS, store=store)
+        assert campaign.num_executed == len(self.CELLS)
+        # and the store has been rewritten as a valid checkpoint
+        from repro.campaign.store import STORE_VERSION
+        assert json.loads(path.read_text())["version"] == STORE_VERSION
+
+    def test_failed_cells_not_checkpointed(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        bad = [CampaignCell(999, "dpor")]
+        run_campaign(bad, LIMITS, store=ResultStore(path))
+        store = ResultStore(path)
+        assert store.load() == 0  # failure retried on resume
+
+    def test_checkpoint_under_different_limits_discarded(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        run_campaign(self.CELLS, LIMITS, store=ResultStore(path))
+
+        other = ExplorationLimits(max_schedules=500)
+        store = ResultStore(path, other)
+        resumed = run_campaign(self.CELLS, other, store=store)
+        assert store.discarded_mismatch
+        assert resumed.num_cached == 0
+        assert resumed.num_executed == len(self.CELLS)
+        # the checkpoint is rewritten under the new limits and resumable
+        again = run_campaign(self.CELLS, other,
+                             store=ResultStore(path, other))
+        assert again.num_cached == len(self.CELLS)
+
+
+class TestCampaignReport:
+    def test_report_shape(self):
+        cells = build_cells([1, 36], ["dpor"])
+        campaign = run_campaign(cells, LIMITS)
+        report = campaign_report(campaign, LIMITS, meta={"jobs": 1})
+        payload = json.loads(json.dumps(report))
+        assert payload["kind"] == "repro-campaign-report"
+        assert payload["summary"]["num_cells"] == 2
+        assert payload["summary"]["num_failed"] == 0
+        assert payload["limits"]["max_schedules"] == 120
+        assert payload["campaign"]["jobs"] == 1
+        assert len(payload["cells"]) == 2
+
+    def test_failures_counted(self):
+        campaign = run_campaign([CampaignCell(999, "dpor")], LIMITS)
+        report = campaign_report(campaign)
+        assert report["summary"]["num_failed"] == 1
+        assert campaign.unexpected
+
+
+class TestCampaignCLI:
+    def test_smoke_exits_zero(self, capsys):
+        assert main(["campaign", "--smoke", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "| figure1 | dpor |" in out
+        assert "failed=0" in out
+
+    def test_out_report_written(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["campaign", "--ids", "1,36", "--explorers",
+                     "dpor,hbr-caching,lazy-hbr-caching", "--limit",
+                     "120", "--out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["num_cells"] == 6
+        assert [r["bench_id"] for r in payload["figure2"]] == [1, 36]
+        assert [r["bench_id"] for r in payload["figure3"]] == [1, 36]
+
+    def test_resume_skips_completed_cells(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.json"
+        args = ["campaign", "--ids", "1", "--explorers", "dpor",
+                "--limit", "120", "--resume", str(ckpt)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "resuming: 1 cell(s)" in out
+        assert "executed=0 cached=1" in out
+
+    def test_seeds_fan_out_randomized_only(self, capsys):
+        assert main(["campaign", "--ids", "1", "--explorers",
+                     "dpor,random", "--seeds", "2", "--limit",
+                     "60"]) == 0
+        out = capsys.readouterr().out
+        assert "cells=3" in out  # dpor + random#0 + random#1
+        assert "random#1" in out
+
+    def test_unknown_bench_id_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "--ids", "999"])
+        assert exc.value.code == 2
+
+    def test_bad_ids_token_exits_2(self, capsys):
+        assert main(["campaign", "--ids", "1,2x"]) == 2
+        assert "--ids" in capsys.readouterr().err
+
+    def test_unknown_explorer_exits_2(self, capsys):
+        assert main(["campaign", "--ids", "1", "--explorers",
+                     "dpr"]) == 2
+        assert "unknown explorer" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_2(self, capsys):
+        assert main(["campaign", "--ids", "1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_resume_with_different_limits_ignores_checkpoint(
+            self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.json"
+        base = ["campaign", "--ids", "1", "--explorers", "dpor",
+                "--resume", str(ckpt)]
+        assert main(base + ["--limit", "120"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--limit", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "ignoring checkpoint" in out
+        assert "executed=1 cached=0" in out

@@ -71,7 +71,7 @@ class TestFigures:
     def test_parser_has_all_commands(self):
         parser = build_parser()
         for cmd in ("list", "run", "explore", "races", "figure2",
-                    "figure3", "inequality"):
+                    "figure3", "inequality", "campaign"):
             # does not raise
             if cmd == "list":
                 parser.parse_args([cmd])
@@ -79,6 +79,20 @@ class TestFigures:
                 parser.parse_args([cmd, "1"])
             else:
                 parser.parse_args([cmd, "--limit", "10"])
+
+    def test_figure_commands_accept_jobs(self):
+        parser = build_parser()
+        for cmd in ("figure2", "figure3", "inequality"):
+            args = parser.parse_args([cmd, "--jobs", "4"])
+            assert args.jobs == 4
+
+    def test_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--smoke", "--jobs", "2", "--seeds", "3",
+             "--resume", "ckpt.json", "--out", "report.json"]
+        )
+        assert args.smoke and args.jobs == 2 and args.seeds == 3
+        assert args.resume == "ckpt.json" and args.out == "report.json"
 
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,6 +1,7 @@
 """The example scripts are part of the public surface: they must run
 cleanly and print what they claim to print."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -8,14 +9,22 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = pathlib.Path(__file__).parent.parent / "src"
 
 
-def run_example(name, *args, timeout=240):
+def run_example(name, *args, timeout=240, cwd=None):
+    env = dict(os.environ)
+    # absolute src path: a relative PYTHONPATH=src breaks under cwd=
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        cwd=cwd,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout
@@ -109,3 +118,25 @@ class TestFigureRunners:
         out = run_example("run_figure3.py", "40", "1")
         assert "Figure 3" in out
         assert "lazy HBR caching" in out
+
+    def test_run_figure2_parallel_matches_serial(self):
+        # generous time cap so only the (deterministic) schedule limit
+        # binds — a binding wall-clock cap would break reproducibility
+        serial = run_example("run_figure2.py", "40", "60", "1")
+        parallel = run_example("run_figure2.py", "40", "60", "2")
+        # report is deterministic; only progress-line order may differ
+        marker = "## Figure 2"
+        assert serial[serial.index(marker):] == \
+            parallel[parallel.index(marker):]
+
+
+class TestCampaignRunner:
+    def test_run_campaign_checkpoints_and_reports(self, tmp_path):
+        out = run_example("run_campaign.py", "40", "2", cwd=tmp_path)
+        assert "Figure 2" in out
+        assert "Figure 3" in out
+        assert "(0 from checkpoint)" in out
+        assert (tmp_path / "campaign.ckpt.json").exists()
+        # second run resumes entirely from the checkpoint
+        again = run_example("run_campaign.py", "40", "2", cwd=tmp_path)
+        assert "(237 from checkpoint)" in again
