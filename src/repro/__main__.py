@@ -11,6 +11,8 @@ inequality                the Section 3 inequality table
 campaign                  sharded explorer×benchmark×seed run-matrix
                           (``--jobs``, ``--seeds``, ``--smoke``,
                           ``--resume CKPT``, ``--out report.json``)
+bench                     replay-loop micro-benchmarks; JSON reports
+                          (``--smoke``, ``--out``, ``--baseline``)
 """
 
 from __future__ import annotations
@@ -237,6 +239,11 @@ def _cmd_campaign(args) -> int:
     return 1 if bad else 0
 
 
+def _cmd_bench(args) -> int:
+    from .perf.bench import main as bench_main
+    return bench_main(args)
+
+
 def _cmd_matrix(args) -> int:
     import json
 
@@ -330,6 +337,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the full JSON campaign report here")
     p_camp.add_argument("--verbose", action="store_true")
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="replay-loop micro-benchmarks (JSON reports)",
+        description="Measure schedules/sec and events/sec of the "
+                    "explorer micro-benchmarks; optionally write a "
+                    "BENCH_<name>.json report and compare against a "
+                    "committed baseline.",
+    )
+    p_bench.add_argument("--cases",
+                         help="comma-separated case names (default: all)")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="fast mode for CI (shorter measurements)")
+    p_bench.add_argument("--repeat", type=int, default=3,
+                         help="measurement rounds per case; best wins")
+    p_bench.add_argument("--min-time", type=float, default=0.25,
+                         dest="min_time",
+                         help="seconds of work to accumulate per round")
+    p_bench.add_argument("--out", metavar="REPORT",
+                         help="write the JSON report here "
+                              "(e.g. BENCH_latest.json)")
+    p_bench.add_argument("--baseline", metavar="REPORT",
+                         help="compare against this report; exit 1 on "
+                              "regression")
+    p_bench.add_argument("--max-regression", type=float, default=0.30,
+                         dest="max_regression",
+                         help="allowed fractional slowdown vs baseline "
+                              "(default 0.30)")
+    p_bench.add_argument("--quiet", action="store_true")
+
     p_matrix = sub.add_parser(
         "matrix", help="compare explorers over chosen benchmarks"
     )
@@ -356,6 +392,7 @@ def main(argv=None) -> int:
         "inequality": _cmd_inequality,
         "matrix": _cmd_matrix,
         "campaign": _cmd_campaign,
+        "bench": _cmd_bench,
     }[args.command]
     try:
         return handler(args)

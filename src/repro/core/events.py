@@ -16,6 +16,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
+from .fingerprint import fingerprint_label
+
 
 class OpKind(enum.IntEnum):
     """Kinds of visible operations.
@@ -89,8 +91,12 @@ BLOCKING_KINDS = frozenset(
     }
 )
 
+#: Dense bool tables indexed by ``int(kind)`` — O(1) list indexing beats
+#: frozenset hashing on the per-event hot path of the clock engine.
+IS_MODIFYING = tuple(k in MODIFYING_KINDS for k in OpKind)
+IS_MUTEX = tuple(k in MUTEX_KINDS for k in OpKind)
 
-@dataclass(frozen=True)
+
 class Op:
     """A pending operation yielded by a guest thread.
 
@@ -99,19 +105,31 @@ class Op:
     the operation payload: the value for WRITE, the update function for
     RMW, the body for SPAWN, the thread id for JOIN, the paired mutex
     for WAIT.
+
+    A hand-rolled frozen ``__slots__`` class rather than a frozen
+    dataclass: one ``Op`` is allocated per guest yield, so construction
+    is on the replay hot path.
     """
 
-    kind: OpKind
-    target: Any = None
-    arg: Any = None
-    arg2: Any = None
+    __slots__ = ("kind", "target", "arg", "arg2")
+
+    def __init__(self, kind: OpKind, target: Any = None, arg: Any = None,
+                 arg2: Any = None) -> None:
+        s = object.__setattr__
+        s(self, "kind", kind)
+        s(self, "target", target)
+        s(self, "arg", arg)
+        s(self, "arg2", arg2)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"Op is immutable (tried to set {name!r})")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         t = getattr(self.target, "name", self.target)
         return f"Op({self.kind.name}, {t})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """An executed operation, as recorded in the trace.
 
@@ -148,14 +166,16 @@ class Event:
         return self.kind in MODIFYING_KINDS
 
     def label(self) -> Tuple[int, int, Any]:
-        """The event's fingerprint label ``(kind, oid, key)``.
+        """The event's fingerprint label ``(kind, oid, key)``, with a
+        missing key normalised to ``-1`` (see
+        :func:`~repro.core.fingerprint.fingerprint_label`).
 
         Labels deliberately exclude data values: the happens-before
         relation is a partial order over *operations*; in a
         deterministic program the values are a function of the partial
         order, so including them would be redundant.
         """
-        return (int(self.kind), self.oid, self.key)
+        return fingerprint_label(self.kind, self.oid, self.key)
 
     def location(self) -> Tuple[int, Any]:
         """The memory location touched, as an ``(oid, key)`` pair."""

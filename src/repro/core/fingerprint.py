@@ -10,12 +10,23 @@ happen-before it.)
 For counting and caching we do not materialise that structure; instead
 each thread maintains a *chained hash* updated per event::
 
-    h_t  <-  hash((h_t, label, clock))
+    h_t  <-  hash((h_t, kind, oid, key, clock))      # flat label form
+
+(:meth:`FingerprintChain.update` accepts the label as a tuple and
+flattens it into exactly this form; the clock engine inlines the same
+formula to avoid per-event call overhead, so API-built and
+engine-built chains produce identical fingerprints — the equivalence
+tests assert it.)
 
 and a prefix fingerprint is ``hash((n_events, h_0, ..., h_k))``.  All
 hashed values are tuples of ints, for which CPython's ``hash`` is
 deterministic across processes (hash randomisation only affects strings
-and bytes), so fingerprints are stable and reproducible.
+and bytes), so fingerprints are stable and reproducible.  Event labels
+are normalised by :func:`fingerprint_label` before hashing: a missing
+sub-object key becomes ``-1``, because ``hash(None)`` is id-derived on
+CPython < 3.12 and therefore differs between processes.  (Programs
+using *string* dict keys still get per-process fingerprints — see
+``SharedDict`` — which is fine within one exploration.)
 
 The exact, collision-free canonical form (used by the theorem checkers
 in :mod:`repro.core.theorems`) is produced by :class:`CanonicalHBR`.
@@ -26,6 +37,18 @@ from __future__ import annotations
 from typing import List, Tuple
 
 _SEED = 0x9E3779B97F4A7C15  # golden-ratio constant; any fixed seed works
+
+
+def fingerprint_label(kind: int, oid: int, key) -> Tuple[int, int, object]:
+    """The hashable label of an executed operation.
+
+    ``key=None`` (whole-object access) maps to ``-1`` so the label is a
+    pure int tuple for every non-dict program, making its hash — and so
+    the fingerprints — stable across worker processes.  (``-1`` cannot
+    collide with a real key: array indices are non-negative and
+    whole-object accesses never carry a key.)
+    """
+    return (int(kind), oid, -1 if key is None else key)
 
 
 class FingerprintChain:
@@ -42,10 +65,23 @@ class FingerprintChain:
         while len(chains) <= tid:
             chains.append(hash((_SEED, len(chains))))
 
-    def update(self, tid: int, label: Tuple[int, int], clock: Tuple[int, ...]) -> None:
-        """Fold one executed event into thread ``tid``'s chain."""
-        self.ensure_thread(tid)
-        self._chains[tid] = hash((self._chains[tid], label, clock))
+    def update(self, tid: int, label: Tuple[int, int, object],
+               clock: Tuple[int, ...]) -> None:
+        """Fold one executed event into thread ``tid``'s chain.
+
+        Hashes the flat ``(h, kind, oid, key, clock)`` form — the same
+        formula :meth:`DualClockEngine.observe` inlines — with a
+        ``None`` key normalised to ``-1``, so chains built through this
+        public API (e.g. via :meth:`fork`) stay comparable with
+        engine-produced fingerprints.
+        """
+        chains = self._chains
+        if tid >= len(chains):
+            self.ensure_thread(tid)
+        kind, oid, key = label
+        if key is None:
+            key = -1
+        chains[tid] = hash((chains[tid], kind, oid, key, clock))
         self._count += 1
 
     def prefix_fingerprint(self) -> int:

@@ -23,33 +23,57 @@ of the modifying accesses.  A read must happen-after all prior
 modifications (join ``M[o]``); a modification must happen-after all
 prior accesses (join ``A[o]``).  This yields exactly the transitive
 closure of program order plus condition-(b) edges.
+
+Hot-path layout (the replay loop executes :meth:`observe` once per
+event, thousands of times per schedule):
+
+* thread clocks are plain ``list``-of-int, mutated in place
+  (:func:`~repro.core.vector_clock.join_tuple_into`); the only
+  allocation per event per relation is the published snapshot tuple —
+  copy-on-publish;
+* the ``A``/``M`` tables store published *tuples*, not clock objects.
+  A modifying access first joins ``A[o]`` into its thread clock and
+  then ticks, so its snapshot dominates both table entries and can
+  simply **replace** them — no join, no allocation.  Only the
+  ``A[o]`` update of a non-modifying access (concurrent readers) can
+  need a real join.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from .events import Event, MODIFYING_KINDS, MUTEX_KINDS
+from .events import Event, IS_MODIFYING, IS_MUTEX
 from .fingerprint import CanonicalHBR, FingerprintChain
-from .vector_clock import VectorClock
+from .vector_clock import (
+    VectorClock,
+    join_tuple_into,
+    tuple_dominates,
+    tuple_join,
+)
 
 
 class _ClockSide:
-    """Clock state for one of the two relations (regular or lazy)."""
+    """Clock state for one of the two relations (regular or lazy).
+
+    ``thread_clocks`` are raw int lists (mutable working clocks);
+    ``access``/``modify`` map a location to the published snapshot
+    tuple of the join of its (modifying) accesses.
+    """
 
     __slots__ = ("thread_clocks", "access", "modify", "chain", "canonical")
 
     def __init__(self, canonical: bool) -> None:
-        self.thread_clocks: List[VectorClock] = []
-        self.access: Dict[int, VectorClock] = {}
-        self.modify: Dict[int, VectorClock] = {}
+        self.thread_clocks: List[List[int]] = []
+        self.access: Dict[Tuple[int, object], Tuple[int, ...]] = {}
+        self.modify: Dict[Tuple[int, object], Tuple[int, ...]] = {}
         self.chain = FingerprintChain()
         self.canonical: Optional[CanonicalHBR] = CanonicalHBR() if canonical else None
 
     def ensure_thread(self, tid: int) -> None:
         clocks = self.thread_clocks
         while len(clocks) <= tid:
-            clocks.append(VectorClock(len(clocks) + 1))
+            clocks.append([0] * (len(clocks) + 1))
         self.chain.ensure_thread(tid)
 
 
@@ -75,15 +99,39 @@ class DualClockEngine:
         self._pending_sync: Dict[int, List[Tuple[Tuple[int, ...], Tuple[int, ...]]]] = {}
 
     # ------------------------------------------------------------------
+    def reserve(self, n: int) -> None:
+        """Pre-size both relations for ``n`` statically known threads —
+        one bulk call at executor construction instead of per-thread
+        incremental growth (executors are built once per schedule)."""
+        if n > 0:
+            self.regular.ensure_thread(n - 1)
+            self.lazy.ensure_thread(n - 1)
+
     def register_thread(self, tid: int, parent_spawn_event: Optional[Event] = None) -> None:
         """Declare a thread.  If it was spawned by another thread, its
         clock starts from the spawning event's clock (a spawn edge)."""
-        self.regular.ensure_thread(tid)
-        self.lazy.ensure_thread(tid)
         if parent_spawn_event is not None:
             assert parent_spawn_event.clock is not None
-            self.regular.thread_clocks[tid].join_tuple_inplace(parent_spawn_event.clock)
-            self.lazy.thread_clocks[tid].join_tuple_inplace(parent_spawn_event.lazy_clock)
+            self.register_thread_clocks(
+                tid, parent_spawn_event.clock, parent_spawn_event.lazy_clock
+            )
+        else:
+            self.regular.ensure_thread(tid)
+            self.lazy.ensure_thread(tid)
+
+    def register_thread_clocks(
+        self,
+        tid: int,
+        spawn_clock: Tuple[int, ...],
+        spawn_lazy_clock: Tuple[int, ...],
+    ) -> None:
+        """Raw-value form of :meth:`register_thread` for a spawned
+        thread: the child's clocks start from the published snapshots of
+        the SPAWN event."""
+        self.regular.ensure_thread(tid)
+        self.lazy.ensure_thread(tid)
+        join_tuple_into(self.regular.thread_clocks[tid], spawn_clock)
+        join_tuple_into(self.lazy.thread_clocks[tid], spawn_lazy_clock)
 
     def add_release_edge(self, event: Event, released_tid: int) -> None:
         """Record that ``event`` unblocked ``released_tid`` (condvar
@@ -91,79 +139,132 @@ class DualClockEngine:
         observed by join).  The released thread's next event will
         happen-after ``event`` in both relations."""
         assert event.clock is not None and event.lazy_clock is not None
+        self.add_release_edge_clocks(event.clock, event.lazy_clock, released_tid)
+
+    def add_release_edge_clocks(
+        self,
+        clock: Tuple[int, ...],
+        lazy_clock: Tuple[int, ...],
+        released_tid: int,
+    ) -> None:
+        """Raw-value form of :meth:`add_release_edge`."""
         self._pending_sync.setdefault(released_tid, []).append(
-            (event.clock, event.lazy_clock)
+            (clock, lazy_clock)
         )
 
     # ------------------------------------------------------------------
     def on_event(self, event: Event) -> None:
         """Execute the clock updates for ``event`` and stamp it with its
         regular and lazy clocks.  Must be called in schedule order."""
-        tid = event.tid
-        self.regular.ensure_thread(tid)
-        self.lazy.ensure_thread(tid)
+        event.clock, event.lazy_clock = self.observe(
+            event.tid, event.kind, event.oid, event.key,
+            event.released_mutex_oid,
+        )
 
-        pending = self._pending_sync.pop(tid, None)
+    def observe(
+        self,
+        tid: int,
+        kind: int,
+        oid: int,
+        key: object,
+        released_mutex_oid: Optional[int] = None,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Fold one executed operation into both relations and return
+        its published ``(regular, lazy)`` clock snapshots.
 
-        event.clock = self._advance(self.regular, event, pending, lazy=False)
-        event.lazy_clock = self._advance(self.lazy, event, pending, lazy=True)
+        This is THE replay hot path (executed once per event, millions
+        of times per campaign): both relations are advanced in one
+        straight-line body, the fingerprint chains are updated inline,
+        and beyond the two published snapshot tuples (plus the label)
+        nothing is allocated.
+        """
+        ps = self._pending_sync
+        pending = ps.pop(tid, None) if ps else None
+        regular = self.regular
+        lazy = self.lazy
+        modifying = IS_MODIFYING[kind]
+        is_mutex = IS_MUTEX[kind]
+        loc = (oid, key) if oid >= 0 else None
 
-        label = event.label()
-        self.regular.chain.update(tid, label, event.clock)
-        self.lazy.chain.update(tid, label, event.lazy_clock)
-        if self._canonical:
-            self.regular.canonical.update(tid, label, event.clock)
-            self.lazy.canonical.update(tid, label, event.lazy_clock)
-
-    @staticmethod
-    def _advance(side: _ClockSide, event: Event, pending, lazy: bool) -> Tuple[int, ...]:
-        tc = side.thread_clocks[event.tid]
+        # -- regular relation ------------------------------------------
+        tc = regular.thread_clocks[tid]
+        access = regular.access
         if pending:
-            idx = 1 if lazy else 0
-            for snap in pending:
-                tc.join_tuple_inplace(snap[idx])
-
-        kind = event.kind
-        skip_edges = lazy and kind in MUTEX_KINDS
-        loc = (event.oid, event.key) if event.oid >= 0 else None
+            for edge in pending:
+                join_tuple_into(tc, edge[0])
+        if loc is not None:
+            prev = (access if modifying else regular.modify).get(loc)
+            if prev is not None:
+                join_tuple_into(tc, prev)
         # A WAIT event releases its paired mutex: on the regular side it
         # behaves like an unlock of that mutex as well (so later lock()
         # events are ordered after it).  The lazy side ignores mutexes.
         mutex_loc = None
-        if event.released_mutex_oid is not None and not lazy:
-            mutex_loc = (event.released_mutex_oid, None)
-
-        if loc is not None and not skip_edges:
-            if kind in MODIFYING_KINDS:
-                prev = side.access.get(loc)
+        if released_mutex_oid is not None:
+            mutex_loc = (released_mutex_oid, None)
+            prev = access.get(mutex_loc)
+            if prev is not None:
+                join_tuple_into(tc, prev)
+        tc[tid] += 1
+        snap = tuple(tc)  # copy-on-publish: the per-event allocation
+        if loc is not None:
+            if modifying:
+                # joined A[loc] above, then ticked: snap dominates both
+                # table entries, so publication is plain replacement.
+                access[loc] = snap
+                regular.modify[loc] = snap
             else:
-                prev = side.modify.get(loc)
-            if prev is not None:
-                tc.join_inplace(prev)
+                old = access.get(loc)
+                if old is None or tuple_dominates(snap, old):
+                    access[loc] = snap
+                else:  # concurrent readers: genuine join
+                    access[loc] = tuple_join(snap, old)
         if mutex_loc is not None:
-            prev = side.access.get(mutex_loc)
+            # joined A[mutex] above: replacement is sound here too.
+            access[mutex_loc] = snap
+            regular.modify[mutex_loc] = snap
+
+        # -- lazy relation (mutex ops induce no inter-thread edges) ----
+        tc = lazy.thread_clocks[tid]
+        if pending:
+            for edge in pending:
+                join_tuple_into(tc, edge[1])
+        if loc is not None and not is_mutex:
+            prev = (lazy.access if modifying else lazy.modify).get(loc)
             if prev is not None:
-                tc.join_inplace(prev)
+                join_tuple_into(tc, prev)
+        tc[tid] += 1
+        lazy_snap = tuple(tc)
+        if loc is not None and not is_mutex:
+            access = lazy.access
+            if modifying:
+                access[loc] = lazy_snap
+                lazy.modify[loc] = lazy_snap
+            else:
+                old = access.get(loc)
+                if old is None or tuple_dominates(lazy_snap, old):
+                    access[loc] = lazy_snap
+                else:
+                    access[loc] = tuple_join(lazy_snap, old)
 
-        tc.tick(event.tid)
-        snap_clock = tc.snapshot()
-
-        if loc is not None and not skip_edges:
-            DualClockEngine._bump(side.access, loc, snap_clock)
-            if kind in MODIFYING_KINDS:
-                DualClockEngine._bump(side.modify, loc, snap_clock)
-        if mutex_loc is not None:
-            DualClockEngine._bump(side.access, mutex_loc, snap_clock)
-            DualClockEngine._bump(side.modify, mutex_loc, snap_clock)
-        return snap_clock
-
-    @staticmethod
-    def _bump(table: Dict, loc, snap_clock: Tuple[int, ...]) -> None:
-        vc = table.get(loc)
-        if vc is None:
-            vc = VectorClock(len(snap_clock))
-            table[loc] = vc
-        vc.join_tuple_inplace(snap_clock)
+        # -- fingerprints (chain update inlined — see FingerprintChain;
+        # the (label, clock) pair is hashed as one flat tuple to avoid
+        # materialising the label)
+        if key is None:
+            key = -1
+        rchain = regular.chain
+        chains = rchain._chains
+        chains[tid] = hash((chains[tid], kind, oid, key, snap))
+        rchain._count += 1
+        lchain = lazy.chain
+        chains = lchain._chains
+        chains[tid] = hash((chains[tid], kind, oid, key, lazy_snap))
+        lchain._count += 1
+        if self._canonical:
+            label = (kind, oid, key)
+            regular.canonical.update(tid, label, snap)
+            lazy.canonical.update(tid, label, lazy_snap)
+        return snap, lazy_snap
 
     # ------------------------------------------------------------------
     # Fingerprint accessors
@@ -188,6 +289,15 @@ class DualClockEngine:
         return self.lazy.canonical.freeze()
 
     def thread_clock(self, tid: int, lazy: bool = False) -> VectorClock:
+        """The thread's current clock, as an independent
+        :class:`VectorClock` copy (API for analysis code and tests)."""
+        side = self.lazy if lazy else self.regular
+        side.ensure_thread(tid)
+        return VectorClock(init=side.thread_clocks[tid])
+
+    def thread_clock_raw(self, tid: int, lazy: bool = False) -> List[int]:
+        """The live, mutable list clock of ``tid`` — read-only use
+        (DPOR's happens-before tests).  No defensive copy."""
         side = self.lazy if lazy else self.regular
         side.ensure_thread(tid)
         return side.thread_clocks[tid]

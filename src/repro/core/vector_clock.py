@@ -5,29 +5,89 @@ Vector clocks order events: event ``e1`` happens-before ``e2`` iff
 executor knows the full set of threads up front for static programs and
 grows clocks on demand when threads are spawned dynamically.
 
-The implementation favours the hot path of the executor: clocks are
-plain Python lists wrapped in a thin class, joins are in-place, and the
-immutable snapshot used in fingerprints is a tuple.  (Per the
-optimisation guides: make it correct and legible first; the only
-measured hot operations — ``join_inplace`` and ``snapshot`` — are kept
-allocation-light.)
+The hot path of the clock engine (:mod:`repro.core.hb`) works on plain
+``list``-of-int clocks through the module-level mutator below
+(:func:`join_tuple_into`), so one executed event costs zero wrapper
+allocations.  Published (immutable) clocks are plain
+tuples created exactly once per event: *copy-on-publish*.
+
+:class:`VectorClock` remains as a thin wrapper over the same
+representation for callers that want an object API (analysis code,
+tests, DPOR's clock lookups); its :meth:`~VectorClock.snapshot` caches
+the published tuple and only re-copies after a mutation.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Hot-path helpers over raw representations (lists mutate, tuples publish).
+
+
+def join_tuple_into(c: List[int], t) -> None:
+    """Component-wise max of sequence ``t`` (snapshot tuple or another
+    list clock) into list clock ``c``, growing ``c`` with zeros if
+    ``t`` is longer."""
+    n = len(c)
+    if len(t) > n:
+        c.extend([0] * (len(t) - n))
+    for i, v in enumerate(t):
+        if v > c[i]:
+            c[i] = v
+
+
+def tuple_join(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Component-wise max of two snapshots (missing entries are 0)."""
+    if len(a) == len(b):
+        return tuple(map(max, a, b))  # common case, C-speed
+    if len(a) < len(b):
+        a, b = b, a
+    return tuple(map(max, a, b)) + a[len(b):]
+
+
+def tuple_dominates(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    """Pointwise ``a >= b`` — i.e. joining ``b`` into ``a`` is a no-op."""
+    al = len(a)
+    for i, v in enumerate(b):
+        if v and (i >= al or v > a[i]):
+            return False
+    return True
+
+
+def tuple_leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    """Pointwise ``a <= b`` for snapshot tuples (missing entries are 0)."""
+    bl = len(b)
+    for i, v in enumerate(a):
+        if v and (i >= bl or v > b[i]):
+            return False
+    return True
+
+
+def tuple_concurrent(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    """True when neither snapshot dominates the other."""
+    return not tuple_leq(a, b) and not tuple_leq(b, a)
+
+
+# ---------------------------------------------------------------------------
 
 
 class VectorClock:
-    """A mutable dense vector clock over thread ids ``0..n-1``."""
+    """A mutable dense vector clock over thread ids ``0..n-1``.
 
-    __slots__ = ("_c",)
+    The published form (:meth:`snapshot`) is cached and invalidated on
+    mutation, so repeated publication of an unchanged clock allocates
+    nothing.
+    """
+
+    __slots__ = ("_c", "_snap")
 
     def __init__(self, size: int = 0, init: Iterable[int] = ()):
         c = list(init)
         if len(c) < size:
             c.extend([0] * (size - len(c)))
         self._c: List[int] = c
+        self._snap: Optional[Tuple[int, ...]] = None
 
     # -- growth -----------------------------------------------------------
     def ensure_size(self, size: int) -> None:
@@ -35,6 +95,7 @@ class VectorClock:
         c = self._c
         if len(c) < size:
             c.extend([0] * (size - len(c)))
+            self._snap = None
 
     def __len__(self) -> int:
         return len(self._c)
@@ -47,10 +108,17 @@ class VectorClock:
     def __setitem__(self, tid: int, value: int) -> None:
         self.ensure_size(tid + 1)
         self._c[tid] = value
+        self._snap = None
 
     def snapshot(self) -> Tuple[int, ...]:
-        """An immutable copy, suitable for hashing and storage on events."""
-        return tuple(self._c)
+        """An immutable copy, suitable for hashing and storage on events.
+
+        Copy-on-publish: the tuple is only rebuilt after a mutation.
+        """
+        snap = self._snap
+        if snap is None:
+            snap = self._snap = tuple(self._c)
+        return snap
 
     def copy(self) -> "VectorClock":
         return VectorClock(init=self._c)
@@ -60,23 +128,17 @@ class VectorClock:
         """Advance this thread's own component by one."""
         self.ensure_size(tid + 1)
         self._c[tid] += 1
+        self._snap = None
 
     def join_inplace(self, other: "VectorClock") -> None:
         """Component-wise maximum, stored in ``self``."""
-        oc = other._c
-        self.ensure_size(len(oc))
-        c = self._c
-        for i, v in enumerate(oc):
-            if v > c[i]:
-                c[i] = v
+        join_tuple_into(self._c, other._c)
+        self._snap = None
 
     def join_tuple_inplace(self, other: Tuple[int, ...]) -> None:
         """Join with an immutable snapshot."""
-        self.ensure_size(len(other))
-        c = self._c
-        for i, v in enumerate(other):
-            if v > c[i]:
-                c[i] = v
+        join_tuple_into(self._c, other)
+        self._snap = None
 
     # -- comparisons ---------------------------------------------------------
     def leq(self, other: "VectorClock") -> bool:
@@ -101,17 +163,3 @@ class VectorClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"VC{self._c!r}"
-
-
-def tuple_leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
-    """Pointwise ``a <= b`` for snapshot tuples (missing entries are 0)."""
-    bl = len(b)
-    for i, v in enumerate(a):
-        if v and (i >= bl or v > b[i]):
-            return False
-    return True
-
-
-def tuple_concurrent(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
-    """True when neither snapshot dominates the other."""
-    return not tuple_leq(a, b) and not tuple_leq(b, a)

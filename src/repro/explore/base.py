@@ -144,6 +144,14 @@ class Explorer:
 
     name = "base"
 
+    #: Build fast-replay executors (no Event materialisation, no trace
+    #: list, no ``describe_state``).  Explorers that only consume
+    #: fingerprints/state hashes/schedules keep the default; strategies
+    #: that inspect the trace (DPOR and descendants) override to False.
+    #: Instances may flip the attribute before running — the equivalence
+    #: tests do — since executors read it at construction time.
+    fast_replay = True
+
     def __init__(
         self,
         program: Program,
@@ -161,7 +169,9 @@ class Explorer:
     # -- hooks for subclasses ----------------------------------------------
     def _new_executor(self) -> Executor:
         return Executor(
-            self.program, max_events=self.limits.max_events_per_schedule
+            self.program,
+            max_events=self.limits.max_events_per_schedule,
+            fast_replay=self.fast_replay,
         )
 
     def _record_terminal(self, result: TraceResult) -> None:

@@ -61,8 +61,7 @@ class PreemptionBoundedExplorer(Explorer):
                 return
             self._schedule_started()
             ex = self._new_executor()
-            for frame in path:
-                ex.step(frame.chosen)
+            ex.replay_prefix([frame.chosen for frame in path])
             # continue from the end of the replayed prefix
             prev_tid = path[-1].chosen if path else -1
             budget = path[-1].budget if path else (

@@ -69,8 +69,7 @@ class HBRCachingExplorer(Explorer):
                 return
             self._schedule_started()
             ex = self._new_executor()
-            for frame in path:
-                ex.step(frame.chosen)
+            ex.replay_prefix([frame.chosen for frame in path])
             pruned = False
             while not ex.is_done():
                 frame = _Frame(ex.enabled())
@@ -81,7 +80,7 @@ class HBRCachingExplorer(Explorer):
                     break
             if pruned:
                 self.stats.num_pruned += 1
-                self.stats.num_events += len(ex.trace)
+                self.stats.num_events += ex.num_events
             else:
                 result = ex.finish()
                 self.stats.num_events += result.num_events

@@ -76,6 +76,7 @@ def run_single(
     limits: Optional[ExplorationLimits] = None,
     seed: int = 0,
     verify: bool = True,
+    fast: Optional[bool] = None,
 ) -> ExplorationStats:
     """Execute ONE (program, explorer, seed) cell.
 
@@ -85,8 +86,17 @@ def run_single(
     sharded runs produce bit-for-bit identical statistics (given
     deterministic budgets; a binding ``max_seconds`` wall-clock cap is
     inherently load-dependent).
+
+    ``fast`` overrides the explorer's replay mode: ``True`` forces
+    fast-replay executors, ``False`` forces the reference path, ``None``
+    (default) keeps the strategy's own choice.  Both paths produce
+    identical fingerprints, state hashes and schedule counts; the
+    equivalence suite enforces this.
     """
-    stats = make_explorer(explorer_name, program, limits, seed).run()
+    explorer = make_explorer(explorer_name, program, limits, seed)
+    if fast is not None:
+        explorer.fast_replay = fast
+    stats = explorer.run()
     if verify:
         stats.verify_inequality()
     return stats

@@ -72,10 +72,10 @@ class DelayBoundedExplorer(Explorer):
             ex = self._new_executor()
             budget = self.bound
             last_tid = 0
-            for frame in path:
-                ex.step(frame.chosen)
-                budget = frame.budget_left - frame.delays
-                last_tid = frame.chosen
+            ex.replay_prefix([frame.chosen for frame in path])
+            if path:
+                budget = path[-1].budget_left - path[-1].delays
+                last_tid = path[-1].chosen
             while not ex.is_done():
                 enabled = ex.enabled()
                 start = self._default_start(enabled, last_tid)

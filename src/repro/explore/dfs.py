@@ -41,8 +41,7 @@ class DFSExplorer(Explorer):
                 return
             self._schedule_started()
             ex = self._new_executor()
-            for frame in path:
-                ex.step(frame.chosen)
+            ex.replay_prefix([frame.chosen for frame in path])
             while not ex.is_done():
                 frame = _Frame(ex.enabled())
                 path.append(frame)

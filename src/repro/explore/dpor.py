@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..core.events import Event, MODIFYING_KINDS, MUTEX_KINDS, OpKind
+from ..core.events import Event, MUTEX_KINDS, OpKind
 from ..core.dependence import conflicts, may_be_coenabled
 from ..runtime.executor import Executor
 from ..runtime.trace import PendingInfo
@@ -48,7 +48,13 @@ class _Node:
 
 def _pending_as_event(info: PendingInfo) -> Event:
     """View a pending operation as an (unstamped) event for the
-    conflict predicates."""
+    conflict predicates.
+
+    The explorer hot path no longer needs this — the conflict
+    predicates duck-type over :class:`PendingInfo` directly (it carries
+    the same ``tid``/``kind``/``oid``/``key``/``released_mutex_oid``
+    attributes) — but the conversion stays for diagnostics and tests.
+    """
     return Event(
         index=-1,
         tid=info.tid,
@@ -64,6 +70,18 @@ class DPORExplorer(Explorer):
     """Flanagan–Godefroid DPOR with clock vectors and sleep sets."""
 
     name = "dpor"
+    #: race analysis needs the materialised trace and stamped events
+    fast_replay = False
+
+    def _new_executor(self):
+        # Hard override: DPOR's race analysis walks ex.trace, so the
+        # events must be materialised whatever self.fast_replay says
+        # (run_single(fast=True) is a no-op for this strategy).
+        return Executor(
+            self.program,
+            max_events=self.limits.max_events_per_schedule,
+            fast_replay=False,
+        )
 
     def __init__(self, program, limits=None, sleep_sets: bool = True) -> None:
         super().__init__(program, limits)
@@ -153,7 +171,7 @@ class DPORExplorer(Explorer):
             info = ex.pending_info(tid)
             if info is None:
                 continue
-            if not conflicts(_pending_as_event(info), last_event):
+            if not conflicts(info, last_event):
                 survivors.add(tid)
         return survivors
 
@@ -184,8 +202,10 @@ class DPORExplorer(Explorer):
         for info in ex.all_pending_infos():
             if info.oid < 0 and info.released_mutex_oid is None:
                 continue
-            pend = _pending_as_event(info)
-            cv = ex.engine.thread_clock(info.tid)  # regular clock of tid
+            # the conflict predicates duck-type over the PendingInfo;
+            # no throwaway Event allocation per pending op
+            pend = info
+            cv = ex.engine.thread_clock_raw(info.tid)  # regular clock of tid
             i = self._latest_race(trace, loc_index, pend, cv)
             if i is None or i >= len(stack):
                 continue
@@ -211,7 +231,7 @@ class DPORExplorer(Explorer):
         self,
         trace: List[Event],
         loc_index: Dict[Tuple[int, object], List[int]],
-        pend: Event,
+        pend,  # Event or PendingInfo (duck-typed)
         cv,
     ) -> Optional[int]:
         """Index of the latest event racing with ``pend`` (conflicting,
@@ -246,5 +266,8 @@ class DPORExplorer(Explorer):
     @staticmethod
     def _hb_pending(e: Event, cv) -> bool:
         """Does event ``e`` happen-before the pending op of the thread
-        whose current regular clock is ``cv``?"""
-        return e.clock[e.tid] <= cv[e.tid]
+        whose current regular clock is ``cv``?  ``cv`` may be a raw
+        list clock or a :class:`VectorClock`; entries past its length
+        are zero, and every stamped clock has ``clock[tid] >= 1``."""
+        etid = e.tid
+        return etid < len(cv) and e.clock[etid] <= cv[etid]

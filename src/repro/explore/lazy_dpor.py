@@ -80,7 +80,7 @@ class LazyDPORExplorer(DPORExplorer):
             # lazy-HBR pruning: skip continuations of prefixes whose
             # lazy HBR was already reached by an earlier feasible prefix
             if not self.cache.insert(ex.engine.lazy_fingerprint()):
-                self.stats.num_events += len(ex.trace)
+                self.stats.num_events += ex.num_events
                 return True
 
     def run(self):

@@ -54,13 +54,18 @@ class PCTExplorer(Explorer):
         )
         low = 0.0  # change points push priorities below every base one
         steps = 0
-        while not ex.is_done():
-            enabled = ex.enabled()
+        # hot loop: bound methods hoisted, choices trusted
+        is_done = ex.is_done
+        enabled_of = ex.enabled
+        step = ex.step
+        prio_of = priorities.__getitem__
+        while not is_done():
+            enabled = enabled_of()
             for tid in enabled:
                 if tid not in priorities:
                     priorities[tid] = rng.random()
-            chosen = max(enabled, key=lambda t: priorities[t])
-            ex.step(chosen)
+            chosen = max(enabled, key=prio_of)
+            step(chosen, True)
             steps += 1
             while change_points and steps >= change_points[0]:
                 change_points.pop(0)

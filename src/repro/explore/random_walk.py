@@ -23,12 +23,18 @@ class RandomWalkExplorer(Explorer):
 
     def _explore(self) -> None:
         rng = random.Random(self.seed)
+        randrange = rng.randrange
         while not self._budget_exceeded():
             self._schedule_started()
             ex = self._new_executor()
-            while not ex.is_done():
-                enabled = ex.enabled()
-                ex.step(enabled[rng.randrange(len(enabled))])
+            # hot loop: bound methods hoisted, choices trusted (drawn
+            # from the enabled list we just fetched)
+            is_done = ex.is_done
+            enabled_of = ex.enabled
+            step = ex.step
+            while not is_done():
+                enabled = enabled_of()
+                step(enabled[randrange(len(enabled))], True)
             result = ex.finish()
             self.stats.num_events += result.num_events
             self._record_terminal(result)

@@ -1,0 +1,31 @@
+"""Performance harness: explorer micro-benchmarks with JSON reports.
+
+``python -m repro bench`` runs the replay-loop micro-benchmarks and
+writes ``BENCH_<name>.json`` reports; :func:`compare_reports` is the
+calibration-normalised regression check used by the CI bench-smoke job
+against the committed ``BENCH_baseline.json``.
+"""
+
+from .bench import (
+    CASES,
+    DEFAULT_MAX_REGRESSION,
+    BenchCase,
+    bench_table,
+    case_names,
+    compare_reports,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+__all__ = [
+    "CASES",
+    "DEFAULT_MAX_REGRESSION",
+    "BenchCase",
+    "bench_table",
+    "case_names",
+    "compare_reports",
+    "load_report",
+    "run_bench",
+    "write_report",
+]

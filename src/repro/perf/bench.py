@@ -1,0 +1,281 @@
+"""Explorer micro-benchmark harness (``python -m repro bench``).
+
+Measures replay-loop throughput — schedules/sec and events/sec — for a
+fixed set of (explorer, benchmark) cells drawn from the ablation
+programs in ``benchmarks/bench_explorers.py``: a diagonal racy counter,
+the coarse-lock/disjoint-data program where the lazy HBR wins, and the
+condvar-heavy bounded buffer.
+
+Methodology
+-----------
+* Each case is re-run (fresh explorer + program instance per
+  iteration, exactly like real exploration) until at least
+  ``min_time`` seconds have accumulated, and the whole measurement is
+  repeated ``repeat`` times; the **best** rate is reported, which is
+  the standard way to suppress scheduling noise on shared machines.
+* A pure-Python *calibration* workload is timed alongside and stored
+  in the report, so two reports taken on machines of different speeds
+  can be compared via calibration-normalised ratios
+  (:func:`compare_reports`).  The CI bench-smoke job uses this to fail
+  on >30% regressions without being fooled by slower runners.
+
+Reports are JSON (``BENCH_<name>.json``); see README "Performance".
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..explore import ExplorationLimits
+from ..explore.controller import make_explorer, require_explorer
+from ..suite import REGISTRY
+
+#: Schema marker so unrelated JSON files are rejected early.
+REPORT_KIND = "repro-bench"
+
+#: Calibration-normalised slowdown beyond which the comparison fails.
+DEFAULT_MAX_REGRESSION = 0.30
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One (explorer, benchmark) throughput measurement."""
+
+    name: str           #: report key, ``<explorer>/<program label>``
+    explorer: str       #: STANDARD_EXPLORERS strategy name
+    bench_id: int       #: suite benchmark id
+    max_schedules: int  #: per-iteration schedule budget
+
+
+#: The explorer microbenchmarks.  Budgets are sized so one iteration
+#: finishes in well under a second; the harness loops iterations until
+#: ``min_time`` is reached, so tiny cells still time accurately.
+CASES: List[BenchCase] = [
+    BenchCase("dfs/racy_counter", "dfs", 4, 20_000),
+    BenchCase("dpor/racy_counter", "dpor", 4, 20_000),
+    BenchCase("dpor/disjoint_coarse", "dpor", 13, 20_000),
+    BenchCase("lazy-dpor/disjoint_coarse", "lazy-dpor", 13, 20_000),
+    BenchCase("hbr-caching/bounded_buffer", "hbr-caching", 24, 2_000),
+    BenchCase("lazy-hbr-caching/disjoint_coarse", "lazy-hbr-caching",
+              13, 20_000),
+    BenchCase("random/bounded_buffer", "random", 24, 400),
+    BenchCase("pct/bounded_buffer", "pct", 24, 400),
+]
+
+
+def case_names() -> List[str]:
+    return [c.name for c in CASES]
+
+
+def _calibrate(loops: int = 200_000) -> float:
+    """Ops/sec of a fixed pure-Python workload (int + list churn),
+    used to normalise throughput across machines of different speeds."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc = 0
+        xs = [0] * 16
+        for i in range(loops):
+            acc += i & 7
+            xs[i & 15] = acc
+            if xs[0] > 1 << 40:  # pragma: no cover - never taken
+                xs[0] = 0
+        best = min(best, time.perf_counter() - t0)
+    return loops / best
+
+
+def _measure_case(case: BenchCase, min_time: float) -> Dict[str, Any]:
+    """Run ``case`` repeatedly until ``min_time`` seconds accumulate."""
+    limits = ExplorationLimits(max_schedules=case.max_schedules)
+    program = REGISTRY[case.bench_id].program
+    total_sched = total_events = iterations = 0
+    total_time = 0.0
+    while total_time < min_time or iterations == 0:
+        explorer = make_explorer(case.explorer, program, limits)
+        t0 = time.perf_counter()
+        stats = explorer.run()
+        total_time += time.perf_counter() - t0
+        total_sched += stats.num_schedules
+        total_events += stats.num_events
+        iterations += 1
+    return {
+        "schedules": total_sched // iterations,
+        "events": total_events // iterations,
+        "iterations": iterations,
+        "elapsed": total_time,
+        "schedules_per_sec": total_sched / total_time,
+        "events_per_sec": total_events / total_time,
+    }
+
+
+def run_bench(
+    cases: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+    repeat: int = 3,
+    min_time: float = 0.25,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the micro-benchmarks and return the JSON-ready report."""
+    selected = CASES
+    if cases:
+        by_name = {c.name: c for c in CASES}
+        unknown = [n for n in cases if n not in by_name]
+        if unknown:
+            raise KeyError(
+                f"unknown bench case(s) {unknown}; available: {case_names()}"
+            )
+        selected = [by_name[n] for n in cases]
+    for case in selected:
+        require_explorer(case.explorer)
+    if smoke:
+        # shorter than the default but long enough that a single noisy
+        # scheduler hiccup cannot fake a >30% regression in CI
+        repeat = min(repeat, 2)
+        min_time = min(min_time, 0.2)
+
+    calibration = _calibrate()
+    report: Dict[str, Any] = {
+        "meta": {
+            "kind": REPORT_KIND,
+            "smoke": bool(smoke),
+            "repeat": repeat,
+            "min_time": min_time,
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "calibration_ops_per_sec": calibration,
+        },
+        "cases": {},
+    }
+    for case in selected:
+        best: Optional[Dict[str, Any]] = None
+        for _ in range(max(1, repeat)):
+            m = _measure_case(case, min_time)
+            if best is None or m["schedules_per_sec"] > best["schedules_per_sec"]:
+                best = m
+        entry = {
+            "explorer": case.explorer,
+            "bench_id": case.bench_id,
+            "program": REGISTRY[case.bench_id].program.name,
+            "max_schedules": case.max_schedules,
+            **best,
+        }
+        report["cases"][case.name] = entry
+        if progress is not None:
+            progress(
+                f"{case.name:<34} {entry['schedules_per_sec']:>10,.0f} "
+                f"sched/s {entry['events_per_sec']:>12,.0f} ev/s "
+                f"({entry['iterations']} iter)"
+            )
+    return report
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        report = json.load(fh)
+    meta = report.get("meta") or {}
+    if meta.get("kind") != REPORT_KIND:
+        raise ValueError(f"{path} is not a {REPORT_KIND} report")
+    if not isinstance(report.get("cases"), dict) or not isinstance(
+            meta.get("calibration_ops_per_sec"), (int, float)):
+        raise ValueError(
+            f"{path} is missing required {REPORT_KIND} fields "
+            f"(cases, meta.calibration_ops_per_sec)"
+        )
+    return report
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> List[str]:
+    """Regression check, normalised by each report's calibration.
+
+    Returns human-readable failure lines for every shared case whose
+    calibration-normalised schedules/sec dropped more than
+    ``max_regression`` (fraction) below the baseline.  Cases present in
+    only one report are ignored (the case set may evolve).
+    """
+    failures: List[str] = []
+    cur_cal = current["meta"]["calibration_ops_per_sec"]
+    base_cal = baseline["meta"]["calibration_ops_per_sec"]
+    for name, base in baseline["cases"].items():
+        cur = current["cases"].get(name)
+        if cur is None:
+            continue
+        base_norm = base["schedules_per_sec"] / base_cal
+        cur_norm = cur["schedules_per_sec"] / cur_cal
+        if base_norm <= 0:
+            continue
+        ratio = cur_norm / base_norm
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{name}: {cur['schedules_per_sec']:,.0f} sched/s is "
+                f"{(1.0 - ratio) * 100:.0f}% below baseline "
+                f"{base['schedules_per_sec']:,.0f} "
+                f"(calibration-normalised ratio {ratio:.2f})"
+            )
+    return failures
+
+
+def bench_table(report: Dict[str, Any]) -> str:
+    """Markdown table of one report, for terminals and PR descriptions."""
+    out = [
+        "| case | schedules/s | events/s | schedules | iterations |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    for name in sorted(report["cases"]):
+        c = report["cases"][name]
+        out.append(
+            f"| {name} | {c['schedules_per_sec']:,.0f} | "
+            f"{c['events_per_sec']:,.0f} | {c['schedules']} | "
+            f"{c['iterations']} |"
+        )
+    return "\n".join(out)
+
+
+def main(args) -> int:  # pragma: no cover - exercised via the CLI tests
+    """Entry point for ``python -m repro bench``."""
+    cases = args.cases.split(",") if args.cases else None
+    try:
+        report = run_bench(
+            cases=cases,
+            smoke=args.smoke,
+            repeat=args.repeat,
+            min_time=args.min_time,
+            progress=print if not args.quiet else None,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print()
+    print(bench_table(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"\nwrote {args.out}")
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot use baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        failures = compare_reports(report, baseline, args.max_regression)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.baseline} "
+              f"(threshold {args.max_regression:.0%})")
+    return 0

@@ -14,12 +14,38 @@ its guest generators one visible operation at a time:
 
 Explorers re-create an Executor per schedule (stateless exploration
 with replay), so this class has no reset logic.
+
+Hot-path machinery (this class runs millions of steps per campaign):
+
+* the *runnable* thread set is maintained incrementally on status
+  transitions (spawn, exit, wait, wake) — ``enabled()`` never scans
+  finished or parked threads — and its result is memoised until the
+  next step mutates state, so the per-scheduling-point enabledness
+  test runs exactly once however many times ``is_done``/``enabled``
+  are consulted.  (A finer-grained per-object watcher scheme was
+  measured and *lost* to this design at realistic thread counts — in
+  lock-heavy programs every thread watches the same mutex, so the
+  bookkeeping outweighs the rescan of a handful of runnable threads.)
+* the barrier admission pre-pass is skipped entirely unless some
+  runnable thread actually pends a ``BARRIER_WAIT`` (counter maintained
+  as pending ops change);
+* ``fast_replay=True`` selects a reduced-bookkeeping mode for callers
+  that only consume fingerprints, state hashes and schedule/event
+  counts (the DFS/caching/bounded/randomised explorers): no
+  :class:`Event` objects are materialised, no trace list is kept, and
+  ``finish()`` skips ``describe_state``.  Fingerprints, state hashes,
+  schedules and error outcomes are guaranteed identical to the default
+  mode — the equivalence suite asserts this for every program in
+  ``repro.suite``;
+* :meth:`replay_prefix` re-executes a known-feasible prefix without
+  re-validating enabledness at every step.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from bisect import insort
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import Event, Op, OpKind
 from ..core.hb import DualClockEngine
@@ -37,6 +63,40 @@ from .thread_api import ThreadAPI
 from .trace import PendingInfo, TraceResult
 
 DEFAULT_MAX_EVENTS = 20_000
+
+#: Kinds whose execution can change *another* thread's enabledness
+#: (releases, acquisitions, lifecycle).  READ/YIELD/JOIN never do;
+#: WRITE/RMW only when some thread pends an ``await_value`` predicate
+#: (tracked by a counter).  Steps of non-disturbing kinds patch the
+#: memoised enabled list instead of invalidating it.
+_DISTURBING = tuple(
+    k not in (OpKind.READ, OpKind.WRITE, OpKind.RMW, OpKind.YIELD,
+              OpKind.JOIN)
+    for k in OpKind
+)
+
+# OpKind members as module globals: the step dispatch compares against
+# these up to a dozen times per event, and a global load is cheaper
+# than an enum class attribute lookup.
+_READ = OpKind.READ
+_WRITE = OpKind.WRITE
+_RMW = OpKind.RMW
+_LOCK = OpKind.LOCK
+_UNLOCK = OpKind.UNLOCK
+_WAIT = OpKind.WAIT
+_NOTIFY = OpKind.NOTIFY
+_NOTIFY_ALL = OpKind.NOTIFY_ALL
+_SEM_ACQUIRE = OpKind.SEM_ACQUIRE
+_SEM_RELEASE = OpKind.SEM_RELEASE
+_BARRIER_WAIT = OpKind.BARRIER_WAIT
+_SPAWN = OpKind.SPAWN
+_JOIN = OpKind.JOIN
+_EXIT = OpKind.EXIT
+_RLOCK = OpKind.RLOCK
+_RUNLOCK = OpKind.RUNLOCK
+_WLOCK = OpKind.WLOCK
+_WUNLOCK = OpKind.WUNLOCK
+_YIELD = OpKind.YIELD
 
 
 class _Status(enum.IntEnum):
@@ -73,11 +133,13 @@ class Executor:
         program: Program,
         max_events: int = DEFAULT_MAX_EVENTS,
         canonical: bool = False,
+        fast_replay: bool = False,
     ) -> None:
         self.program = program
         self.instance: ProgramInstance = program.instantiate()
         self.engine = DualClockEngine(canonical=canonical)
         self.max_events = max_events
+        self.fast_replay = fast_replay
         self.trace: List[Event] = []
         self.schedule: List[int] = []
         self.threads: List[_GuestThread] = []
@@ -85,9 +147,27 @@ class Executor:
         self.guest_failures: List[GuestError] = []  # per-thread crashes
         self.truncated = False
         self._exit_events: Dict[int, Event] = {}
+        self._num_events = 0
+        # incremental scheduling state (see module docstring)
+        self._runnable: Set[int] = set()       # tids with status RUNNABLE
+        self._runnable_sorted: Optional[List[int]] = None
+        self._unfinished = 0                   # threads not FINISHED
+        self._barrier_pending = 0              # runnable pending BARRIER_WAITs
+        self._pred_watch = 0                   # pending await_value READs
+        # memoised enabled list; membership tests run on the list
+        # itself — linear, but enabled sets are tiny and a C-level list
+        # scan beats building a set on every rebuild
+        self._enabled_cache: Optional[List[int]] = None
 
+        self._static_threads = len(self.instance.threads)
+        self.engine.reserve(self._static_threads)
         for body, args, name in self.instance.threads:
             self._create_thread(body, args, name)
+
+    @property
+    def num_events(self) -> int:
+        """Events executed so far (= ``len(trace)`` in default mode)."""
+        return self._num_events
 
     # ------------------------------------------------------------------
     # Thread management
@@ -98,7 +178,11 @@ class Executor:
         gen = body(api, *args)
         t = _GuestThread(tid, name or f"T{tid}", gen, handle)
         self.threads.append(t)
-        self.engine.register_thread(tid)
+        self._runnable.add(tid)
+        self._runnable_sorted = None
+        self._unfinished += 1
+        if tid >= self._static_threads:
+            self.engine.register_thread(tid)  # reserve() covered the rest
         self._advance(t, None, first=True)
         return t
 
@@ -124,11 +208,19 @@ class Executor:
                 f"Op values built with the ThreadAPI"
             )
         t.pending = op
+        kind = op.kind
+        if kind is _BARRIER_WAIT:
+            self._barrier_pending += 1
+        elif kind is _READ and op.arg2 is not None:
+            self._pred_watch += 1
 
     # ------------------------------------------------------------------
     # Enabledness
     def _admit_barriers(self) -> None:
-        """Deterministic pre-pass: admit full barrier cohorts."""
+        """Deterministic pre-pass: admit full barrier cohorts.  Skipped
+        entirely when no runnable thread is pending a barrier wait."""
+        if not self._barrier_pending:
+            return
         pending_by_barrier: Dict[int, List[int]] = {}
         barriers: Dict[int, Barrier] = {}
         for t in self.threads:
@@ -175,17 +267,29 @@ class Executor:
         return True
 
     def enabled(self) -> List[int]:
-        """Sorted tids whose pending operation can execute now."""
+        """Sorted tids whose pending operation can execute now.
+
+        Memoised until the next step; only *runnable* threads are ever
+        tested (the runnable set is maintained incrementally on status
+        transitions).  Callers must not mutate the returned list.
+        """
+        # terminal states win over any memoised list: error/truncation
+        # can be set between steps (is_done, guest exceptions) without
+        # passing through the invalidation in step()
         if self.error is not None or self.truncated:
             return []
+        cached = self._enabled_cache
+        if cached is not None:
+            return cached
         self._admit_barriers()
-        return [
-            t.tid
-            for t in self.threads
-            if t.status == _Status.RUNNABLE
-            and t.pending is not None
-            and self._op_enabled(t)
-        ]
+        runnable = self._runnable_sorted
+        if runnable is None:
+            runnable = self._runnable_sorted = sorted(self._runnable)
+        threads = self.threads
+        op_enabled = self._op_enabled
+        result = [tid for tid in runnable if op_enabled(threads[tid])]
+        self._enabled_cache = result
+        return result
 
     def runnable_unfinished(self) -> List[int]:
         """Tids of threads that have not finished (enabled or blocked)."""
@@ -207,7 +311,7 @@ class Executor:
             kind=int(op.kind),
             oid=oid,
             key=key,
-            enabled=self._op_enabled(t) and t.status == _Status.RUNNABLE,
+            enabled=t.status == _Status.RUNNABLE and self._op_enabled(t),
             released_mutex_oid=released,
         )
 
@@ -235,18 +339,43 @@ class Executor:
 
     # ------------------------------------------------------------------
     # Stepping
-    def step(self, tid: int) -> Event:
-        """Execute ``tid``'s pending operation; returns the new event."""
+    def replay_prefix(self, tids: Sequence[int]) -> None:
+        """Re-execute a known-feasible prefix of thread choices.
+
+        This is the replay fast path: each step skips the per-step
+        enabledness re-validation (the prefix was produced by a previous
+        execution of the same deterministic program, so every choice is
+        enabled by construction).  Genuine divergence still surfaces as
+        an exception from the operation itself.
+        """
+        for tid in tids:
+            self.step(tid, trusted=True)
+
+    def step(self, tid: int, trusted: bool = False) -> Optional[Event]:
+        """Execute ``tid``'s pending operation.
+
+        Returns the new :class:`Event`, or ``None`` in ``fast_replay``
+        mode (which materialises no events).  ``trusted`` skips the
+        enabledness re-check for known-feasible replays.
+        """
         if self.error is not None or self.truncated:
             raise SchedulerError("execution already terminated")
         t = self.threads[tid]
         if t.status != _Status.RUNNABLE or t.pending is None:
             raise SchedulerError(f"thread {tid} has no pending operation")
-        self._admit_barriers()
-        if not self._op_enabled(t):
-            raise SchedulerError(f"thread {tid} is not enabled")
-        if len(self.trace) >= self.max_events:
+        enabled_cache = self._enabled_cache
+        if trusted:
+            self._admit_barriers()
+        elif enabled_cache is not None:
+            if tid not in enabled_cache:
+                raise SchedulerError(f"thread {tid} is not enabled")
+        else:
+            self._admit_barriers()
+            if not self._op_enabled(t):
+                raise SchedulerError(f"thread {tid} is not enabled")
+        if self._num_events >= self.max_events:
             self.truncated = True
+            self._enabled_cache = None
             raise SchedulerError(
                 f"schedule exceeded max_events={self.max_events}"
             )
@@ -255,25 +384,46 @@ class Executor:
         kind = op.kind
         value: Any = None
         released_mutex_oid: Optional[int] = None
-        woken: List[_GuestThread] = []
+        woken: Optional[List[_GuestThread]] = None
         spawned: Optional[_GuestThread] = None
-        oid, key = self._op_location(t, op)
+        # _op_location, inlined (per-step hot path): READ/WRITE/RMW key
+        # on (target oid, element); SPAWN/YIELD touch nothing; JOIN is
+        # resolved to the joined thread's handle in its branch below.
+        if kind is _READ or kind is _WRITE or kind is _RMW:
+            oid, key = op.target.oid, op.arg
+        elif kind is _YIELD or kind is _SPAWN or kind is _JOIN:
+            oid, key = -1, None
+        else:
+            oid, key = op.target.oid, None
+        if kind is _BARRIER_WAIT:
+            self._barrier_pending -= 1
+        elif kind is _READ and op.arg2 is not None:
+            self._pred_watch -= 1
+        # Conditional invalidation: a non-disturbing op can only change
+        # the *stepping* thread's enabledness, so the memoised enabled
+        # list survives and gets patched after the generator resumes.
+        if _DISTURBING[kind] or (self._pred_watch and (
+                kind is _WRITE or kind is _RMW)):
+            self._enabled_cache = None
+            patch = False
+        else:
+            patch = self._enabled_cache is not None
 
         try:
-            if kind == OpKind.READ:
+            if kind is _READ:
                 value = op.target.get(op.arg)
-            elif kind == OpKind.WRITE:
+            elif kind is _WRITE:
                 op.target.set(op.arg, op.arg2)
                 value = op.arg2
-            elif kind == OpKind.RMW:
+            elif kind is _RMW:
                 old = op.target.get(op.arg)
                 new, value = op.arg2(old)
                 op.target.set(op.arg, new)
-            elif kind == OpKind.LOCK:
+            elif kind is _LOCK:
                 op.target.do_lock(tid)
-            elif kind == OpKind.UNLOCK:
+            elif kind is _UNLOCK:
                 op.target.do_unlock(tid)
-            elif kind == OpKind.WAIT:
+            elif kind is _WAIT:
                 mutex = op.arg2
                 if mutex.owner != tid:
                     raise InvalidOpError(
@@ -285,38 +435,39 @@ class Executor:
                 released_mutex_oid = mutex.oid
                 t.wait_mutex = mutex
                 t.status = _Status.WAITING
-            elif kind == OpKind.NOTIFY:
+                self._runnable.discard(tid)
+                self._runnable_sorted = None
+            elif kind is _NOTIFY:
                 woken = [self.threads[w] for w in op.target.pop_one()]
-            elif kind == OpKind.NOTIFY_ALL:
+            elif kind is _NOTIFY_ALL:
                 woken = [self.threads[w] for w in op.target.pop_all()]
-            elif kind == OpKind.SEM_ACQUIRE:
-                op.target.do_acquire()
-            elif kind == OpKind.SEM_RELEASE:
-                op.target.do_release()
-            elif kind == OpKind.BARRIER_WAIT:
-                value = op.target.do_pass(tid)
-            elif kind == OpKind.RLOCK:
-                op.target.do_rlock(tid)
-            elif kind == OpKind.RUNLOCK:
-                op.target.do_runlock(tid)
-            elif kind == OpKind.WLOCK:
-                op.target.do_wlock(tid)
-            elif kind == OpKind.WUNLOCK:
-                op.target.do_wunlock(tid)
-            elif kind == OpKind.SPAWN:
+            elif kind is _SPAWN:
                 fn, args = op.arg
                 spawned = self._create_thread(fn, args, "")
                 value = spawned.tid
-                oid, key = spawned.handle.oid, None
-            elif kind == OpKind.JOIN:
-                target = self.threads[op.arg]
-                oid, key = target.handle.oid, None
-            elif kind == OpKind.EXIT:
+                oid = spawned.handle.oid
+            elif kind is _JOIN:
+                oid = self.threads[op.arg].handle.oid
+            elif kind is _SEM_ACQUIRE:
+                op.target.do_acquire()
+            elif kind is _SEM_RELEASE:
+                op.target.do_release()
+            elif kind is _BARRIER_WAIT:
+                value = op.target.do_pass(tid)
+            elif kind is _RLOCK:
+                op.target.do_rlock(tid)
+            elif kind is _RUNLOCK:
+                op.target.do_runlock(tid)
+            elif kind is _WLOCK:
+                op.target.do_wlock(tid)
+            elif kind is _WUNLOCK:
+                op.target.do_wunlock(tid)
+            elif kind is _EXIT:
                 if op.arg is not None:  # thread died on a guest assertion
                     t.crashed = True
                     self.guest_failures.append(op.arg)
                     value = op.arg  # surfaced by trace renderers
-            elif kind == OpKind.YIELD:
+            elif kind is _YIELD:
                 pass
             else:  # pragma: no cover - all kinds handled above
                 raise InvalidOpError(f"unhandled op kind {kind!r}")
@@ -324,43 +475,62 @@ class Executor:
             self.error = exc
             t.status = _Status.FINISHED
             t.pending = None
+            self._runnable.discard(tid)
+            self._runnable_sorted = None
+            self._unfinished -= 1
+            self._enabled_cache = None
             raise
 
-        event = Event(
-            index=len(self.trace),
-            tid=tid,
-            tindex=t.tindex,
-            kind=kind,
-            oid=oid,
-            key=key,
-            value=value,
-            released_mutex_oid=released_mutex_oid,
-        )
+        event: Optional[Event] = None
+        if self.fast_replay:
+            clock, lazy_clock = self.engine.observe(
+                tid, kind, oid, key, released_mutex_oid
+            )
+        else:
+            event = Event(
+                index=self._num_events,
+                tid=tid,
+                tindex=t.tindex,
+                kind=kind,
+                oid=oid,
+                key=key,
+                value=value,
+                released_mutex_oid=released_mutex_oid,
+            )
+            self.engine.on_event(event)
+            clock, lazy_clock = event.clock, event.lazy_clock
+            self.trace.append(event)
         t.tindex += 1
-        self.engine.on_event(event)
-        self.trace.append(event)
+        self._num_events += 1
         self.schedule.append(tid)
 
         # Post-event bookkeeping that needs the stamped clocks.
         if spawned is not None:
             # child happens-after the spawn event (in both relations)
-            self.engine.register_thread(spawned.tid, event)
-        for w in woken:
-            # notify -> wakeup edge, in both relations
-            self.engine.add_release_edge(event, w.tid)
-            w.status = _Status.RUNNABLE
-            w.resuming = True
-            w.pending = Op(OpKind.LOCK, w.wait_mutex)
+            self.engine.register_thread_clocks(spawned.tid, clock, lazy_clock)
+        if woken:
+            for w in woken:
+                # notify -> wakeup edge, in both relations
+                self.engine.add_release_edge_clocks(clock, lazy_clock, w.tid)
+                w.status = _Status.RUNNABLE
+                w.resuming = True
+                w.pending = Op(OpKind.LOCK, w.wait_mutex)
+                self._runnable.add(w.tid)
+            self._runnable_sorted = None
 
         # Resume the generator (or finalise the thread).
-        if kind == OpKind.WAIT:
+        if kind is _WAIT:
             t.pending = None  # parked until notified
-        elif kind == OpKind.EXIT:
+        elif kind is _EXIT:
             t.status = _Status.FINISHED
             t.pending = None
             t.exit_recorded = True
-            self._exit_events[tid] = event
-        elif t.resuming and kind == OpKind.LOCK:
+            self._runnable.discard(tid)
+            self._runnable_sorted = None
+            self._unfinished -= 1
+            if event is not None:
+                self._exit_events[tid] = event
+        elif t.resuming and kind is _LOCK:
             # the implicit re-acquire after a wait: now the guest's
             # `yield api.wait(...)` finally returns
             t.resuming = False
@@ -368,6 +538,26 @@ class Executor:
             self._advance(t, None)
         else:
             self._advance(t, value)
+
+        if patch:
+            # Patch the surviving memoised enabled list: only this
+            # thread's entry can have changed.  A copy is patched (never
+            # the published list — explorers hold references to it).
+            np = t.pending
+            if np is not None and np.kind is _BARRIER_WAIT:
+                # new arrival may complete a cohort: admission needs the
+                # full pre-pass, so fall back to invalidation
+                self._enabled_cache = None
+            else:
+                cache = self._enabled_cache
+                now = np is not None and self._op_enabled(t)
+                if now != (tid in cache):
+                    cache = cache.copy()
+                    if now:
+                        insort(cache, tid)
+                    else:
+                        cache.remove(tid)
+                    self._enabled_cache = cache
         return event
 
     # ------------------------------------------------------------------
@@ -377,14 +567,13 @@ class Executor:
         and records deadlock as a side effect."""
         if self.error is not None or self.truncated:
             return True
-        unfinished = self.runnable_unfinished()
-        if not unfinished:
+        if not self._unfinished:
             return True
-        if len(self.trace) >= self.max_events:
+        if self._num_events >= self.max_events:
             self.truncated = True
             return True
         if not self.enabled():
-            self.error = DeadlockError(unfinished)
+            self.error = DeadlockError(self.runnable_unfinished())
             return True
         return False
 
@@ -409,6 +598,24 @@ class Executor:
             lazy_fp=self.engine.lazy_fingerprint(),
             state_hash=state_hash,
             error=error,
-            final_state=describe_state(self.instance.registry),
+            final_state=(
+                {} if self.fast_replay
+                else describe_state(self.instance.registry)
+            ),
             truncated=self.truncated,
+            event_count=self._num_events,
         )
+
+    # ------------------------------------------------------------------
+    # Invariant checking (tests only)
+    def _recomputed_enabled(self) -> Set[int]:
+        """Reference enabledness, recomputed from scratch — the tests
+        cross-check the memoised/incremental sets against this."""
+        self._admit_barriers()
+        return {
+            t.tid
+            for t in self.threads
+            if t.status == _Status.RUNNABLE
+            and t.pending is not None
+            and self._op_enabled(t)
+        }

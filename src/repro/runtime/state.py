@@ -4,14 +4,38 @@ The simulator has perfect visibility of guest state, so — unlike the
 paper's Java tool, which had to treat "same HBR" as a proxy for "same
 state" — we can digest the real final state and *verify* the chain
 ``#states <= #lazy HBRs <= #HBRs <= #schedules`` instead of assuming it.
+
+The digest must be **stable across processes**: campaign shards hash
+terminal states in separate workers and the aggregator compares the
+counts, so two workers must agree on every hash.  The builtin ``hash``
+does not qualify — it randomises strings per process
+(``PYTHONHASHSEED``) and derives ``hash(None)`` from the singleton's
+address on CPython < 3.12 — so we digest a canonical ``repr`` with
+``hashlib.blake2b`` instead.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import GuestError
 from .objects import ObjectRegistry
+
+
+def _canonical(v: Any) -> str:
+    """A deterministic string encoding of a state value.
+
+    ``state_value()`` implementations return ints, strings and nested
+    tuples thereof, with unordered containers already sorted into
+    tuples (see ``sharedvar._hashable`` and the lock/barrier objects),
+    so ``repr`` of the whole structure is canonical — and runs at C
+    speed, which matters because this executes once per completed
+    schedule.  The cross-process regression test in
+    ``tests/test_state_hash_stability.py`` enforces the contract for
+    every program in the suite.
+    """
+    return repr(v)
 
 
 def compute_state_hash(
@@ -24,12 +48,13 @@ def compute_state_hash(
 
     Includes every shared object's value, how far each thread got
     (relevant only for abnormal runs — for complete runs it is implied
-    by the program), and the error status.
+    by the program), and the error status.  The result is a stable
+    64-bit int: identical across processes and hash-seed settings.
     """
     err_mark: Tuple[Any, ...] = ()
     if error is not None:
         err_mark = (type(error).__name__,)
-    return hash(
+    payload = _canonical(
         (
             tuple(registry.state_items()),
             thread_progress,
@@ -37,6 +62,8 @@ def compute_state_hash(
             truncated,
         )
     )
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
 
 
 def describe_state(registry: ObjectRegistry) -> Dict[str, Any]:

@@ -31,6 +31,9 @@ class TraceResult:
     error: Optional[GuestError] = None
     final_state: Dict[str, Any] = field(default_factory=dict)
     truncated: bool = False
+    #: events executed; fast-replay executors record the count without
+    #: materialising ``events``, so it may exceed ``len(events)``.
+    event_count: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -38,6 +41,8 @@ class TraceResult:
 
     @property
     def num_events(self) -> int:
+        if self.event_count is not None:
+            return self.event_count
         return len(self.events)
 
     def describe(self) -> str:
@@ -45,7 +50,7 @@ class TraceResult:
             "truncated" if self.truncated else f"error: {self.error}"
         )
         return (
-            f"{self.program_name}: {len(self.events)} events, "
+            f"{self.program_name}: {self.num_events} events, "
             f"schedule={self.schedule}, {status}"
         )
 

@@ -1,0 +1,139 @@
+"""The perf harness: report shape, regression comparison, CLI, and the
+committed baseline artifact."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+from repro.perf.bench import (
+    CASES,
+    REPORT_KIND,
+    bench_table,
+    case_names,
+    compare_reports,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+TINY = dict(repeat=1, min_time=0.0)
+
+
+class TestRunBench:
+    def test_report_shape(self):
+        report = run_bench(cases=["dfs/racy_counter"], **TINY)
+        assert report["meta"]["kind"] == REPORT_KIND
+        assert report["meta"]["calibration_ops_per_sec"] > 0
+        case = report["cases"]["dfs/racy_counter"]
+        assert case["schedules"] == 1680       # DFS exhausts racy_counter
+        assert case["schedules_per_sec"] > 0
+        assert case["events_per_sec"] > case["schedules_per_sec"]
+        assert case["iterations"] >= 1
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            run_bench(cases=["nope/nothing"], **TINY)
+
+    def test_case_table_is_consistent(self):
+        names = case_names()
+        assert len(names) == len(set(names)) == len(CASES)
+        # at least three distinct explorers and three programs measured
+        assert len({c.explorer for c in CASES}) >= 3
+        assert len({c.bench_id for c in CASES}) >= 3
+
+
+class TestCompareReports:
+    def _fake(self, rate, cal=1_000_000.0):
+        return {
+            "meta": {"kind": REPORT_KIND, "calibration_ops_per_sec": cal},
+            "cases": {"x/y": {"schedules_per_sec": rate,
+                              "events_per_sec": rate * 9}},
+        }
+
+    def test_no_regression_within_threshold(self):
+        assert compare_reports(self._fake(80.0), self._fake(100.0),
+                               max_regression=0.30) == []
+
+    def test_regression_detected(self):
+        failures = compare_reports(self._fake(60.0), self._fake(100.0),
+                                   max_regression=0.30)
+        assert len(failures) == 1 and "x/y" in failures[0]
+
+    def test_calibration_normalises_machine_speed(self):
+        # half the throughput on a machine measured half as fast: fine
+        cur = self._fake(50.0, cal=500_000.0)
+        assert compare_reports(cur, self._fake(100.0),
+                               max_regression=0.30) == []
+
+    def test_disjoint_cases_ignored(self):
+        cur = self._fake(100.0)
+        base = self._fake(100.0)
+        base["cases"]["only/base"] = {"schedules_per_sec": 5.0}
+        assert compare_reports(cur, base) == []
+
+
+class TestReportIO:
+    def test_roundtrip(self, tmp_path):
+        report = run_bench(cases=["dpor/racy_counter"], **TINY)
+        path = tmp_path / "BENCH_test.json"
+        write_report(report, str(path))
+        loaded = load_report(str(path))
+        assert loaded["cases"].keys() == report["cases"].keys()
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ValueError):
+            load_report(str(path))
+
+    def test_table_lists_all_cases(self):
+        report = run_bench(cases=["dfs/racy_counter"], **TINY)
+        table = bench_table(report)
+        assert "dfs/racy_counter" in table and table.startswith("| case |")
+
+
+class TestCommittedBaseline:
+    def test_baseline_artifact_is_valid(self):
+        baseline = load_report(os.path.join(REPO_ROOT,
+                                            "BENCH_baseline.json"))
+        assert set(baseline["cases"]) == set(case_names())
+        pre = baseline["pre_pr"]
+        # the PR's acceptance criterion, pinned as a test: >= 2x on at
+        # least 3 explorer microbenchmarks, measured with one harness
+        speedups = pre["speedup_schedules_per_sec"]
+        assert sum(1 for s in speedups.values() if s >= 2.0) >= 3, speedups
+
+
+class TestCLI:
+    def _env(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return env
+
+    def test_bench_cli_smoke(self, tmp_path):
+        out = tmp_path / "bench.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bench",
+             "--cases", "dpor/racy_counter", "--repeat", "1",
+             "--min-time", "0.0", "--quiet", "--out", str(out)],
+            capture_output=True, text=True, env=self._env(), cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        assert "dpor/racy_counter" in report["cases"]
+
+    def test_bench_cli_unknown_case(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bench", "--cases", "zzz",
+             "--quiet"],
+            capture_output=True, text=True, env=self._env(), cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 2
+        assert "unknown bench case" in proc.stderr

@@ -1,0 +1,97 @@
+"""Cross-process stability of state hashes (and fingerprints).
+
+The campaign runner shards cells across worker processes and the
+aggregator counts distinct terminal states across shards, so
+``compute_state_hash`` must not depend on per-process hash
+randomisation.  The original implementation used builtin ``hash()``
+over tuples containing strings — silently different under every
+``PYTHONHASHSEED`` — which this regression test would have caught: it
+re-computes hashes in fresh subprocesses under different hash seeds
+and demands byte-identical results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.runtime.state import compute_state_hash
+from repro.runtime.objects import ObjectRegistry
+from repro.runtime.sharedvar import SharedDict, SharedVar
+from repro.errors import DeadlockError
+
+#: benchmarks whose terminal runs exercise strings in the state digest
+#: (dict programs, error names) plus plain numeric ones
+SAMPLE_IDS = (1, 4, 13, 24, 36, 47, 59, 75)
+
+_CHILD = r"""
+import json, sys
+from repro.runtime.schedule import execute
+from repro.suite import REGISTRY
+out = {}
+for bid in %r:
+    r = execute(REGISTRY[bid].program)
+    out[str(bid)] = [r.state_hash, r.hbr_fp, r.lazy_fp]
+print(json.dumps(out))
+"""
+
+
+def _hashes_under_seed(seed: str):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD % (SAMPLE_IDS,)],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_state_hashes_stable_across_hash_seeds():
+    a = _hashes_under_seed("0")
+    b = _hashes_under_seed("12345")
+    c = _hashes_under_seed("random")
+    assert a == b == c
+
+
+class TestDigestProperties:
+    def _registry_with(self, value):
+        r = ObjectRegistry()
+        SharedVar(r, value, "x")
+        return r
+
+    def test_same_state_same_hash(self):
+        a = compute_state_hash(self._registry_with(41), (1,), None, False)
+        b = compute_state_hash(self._registry_with(41), (1,), None, False)
+        assert a == b
+
+    def test_value_changes_hash(self):
+        a = compute_state_hash(self._registry_with(1), (), None, False)
+        b = compute_state_hash(self._registry_with(2), (), None, False)
+        assert a != b
+
+    def test_error_and_truncation_marks(self):
+        r = self._registry_with(0)
+        clean = compute_state_hash(r, (), None, False)
+        dead = compute_state_hash(r, (), DeadlockError([0]), False)
+        trunc = compute_state_hash(r, (), None, True)
+        assert len({clean, dead, trunc}) == 3
+
+    def test_dict_states_are_order_insensitive(self):
+        ra, rb = ObjectRegistry(), ObjectRegistry()
+        da, db = SharedDict(ra, name="d"), SharedDict(rb, name="d")
+        da.set("alpha", 1)
+        da.set("beta", 2)
+        db.set("beta", 2)
+        db.set("alpha", 1)
+        assert compute_state_hash(ra, (), None, False) == \
+            compute_state_hash(rb, (), None, False)
+
+    def test_hash_is_64_bit_int(self):
+        h = compute_state_hash(self._registry_with(0), (), None, False)
+        assert isinstance(h, int)
+        assert 0 <= h < (1 << 64)
