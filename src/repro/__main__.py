@@ -10,9 +10,11 @@ figure2 / figure3         regenerate the paper's figures (``--jobs N``)
 inequality                the Section 3 inequality table
 campaign                  sharded explorer×benchmark×seed run-matrix
                           (``--jobs``, ``--seeds``, ``--smoke``,
-                          ``--resume CKPT``, ``--out report.json``)
+                          ``--split-large N``, ``--resume CKPT``,
+                          ``--out report.json``)
 bench                     replay-loop micro-benchmarks; JSON reports
-                          (``--smoke``, ``--out``, ``--baseline``)
+                          (``--smoke``, ``--out``, ``--baseline``,
+                          ``--scenario split``)
 """
 
 from __future__ import annotations
@@ -172,6 +174,10 @@ def _cmd_campaign(args) -> int:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
         return 2
+    if args.split_large == 1 or args.split_large < 0:
+        print(f"error: --split-large must be 0 (off) or >= 2, got "
+              f"{args.split_large}", file=sys.stderr)
+        return 2
     for i in ids:
         _get(i)  # validate early, consistent with the other commands
     explorers = explorers_arg.split(",")
@@ -197,13 +203,21 @@ def _cmd_campaign(args) -> int:
     campaign = run_campaign(
         cells, limits, jobs=args.jobs, store=store,
         progress=print if args.verbose else None,
+        split_large=args.split_large,
     )
 
     print(matrix_report(comparison_rows(campaign.results)))
     print()
+    extra_counts = ""
+    if campaign.num_resumed:
+        extra_counts += f" resumed={campaign.num_resumed}"
+    if campaign.num_split:
+        extra_counts += (f" split={campaign.num_split}"
+                         f"x{args.split_large}")
     print(
         f"cells={len(campaign.results)} executed={campaign.num_executed} "
-        f"cached={campaign.num_cached} failed={len(campaign.failures)} "
+        f"cached={campaign.num_cached} failed={len(campaign.failures)}"
+        f"{extra_counts} "
         f"jobs={campaign.jobs} elapsed={campaign.elapsed:.1f}s"
     )
 
@@ -329,10 +343,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--smoke", action="store_true",
                         help="fast CI subset; also fails on unexpected "
                              "explorer findings")
+    p_camp.add_argument("--split-large", type=int, default=0,
+                        dest="split_large", metavar="N",
+                        help="shard each splittable cell (DFS-family "
+                             "strategies) into N disjoint frontier "
+                             "shards run as separate pool tasks and "
+                             "union-merged; 0 = off")
     p_camp.add_argument("--resume", metavar="CKPT",
-                        help="JSON checkpoint file: completed cells are "
-                             "skipped, new ones appended after every "
-                             "cell")
+                        help="JSON checkpoint file: completed cells "
+                             "(and shards) are skipped, half-explored "
+                             "cells continue from their checkpointed "
+                             "frontier, new results are appended after "
+                             "every cell")
     p_camp.add_argument("--out", metavar="REPORT",
                         help="write the full JSON campaign report here")
     p_camp.add_argument("--verbose", action="store_true")
@@ -345,6 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "BENCH_<name>.json report and compare against a "
                     "committed baseline.",
     )
+    p_bench.add_argument("--scenario", choices=("micro", "split"),
+                         default="micro",
+                         help="micro: replay-loop throughput cases; "
+                              "split: frontier split speedup + "
+                              "snapshot/resume overhead")
+    p_bench.add_argument("--shards", type=int, default=4,
+                         help="shard count for --scenario split")
     p_bench.add_argument("--cases",
                          help="comma-separated case names (default: all)")
     p_bench.add_argument("--smoke", action="store_true",

@@ -14,9 +14,15 @@ wall-clock-bound by core count instead of single-thread speed:
 CLI: ``python -m repro campaign --jobs 8`` (see ``--help``).
 """
 
-from .aggregate import campaign_report, comparison_rows, stats_by_cell
+from .aggregate import (
+    campaign_report,
+    comparison_rows,
+    merge_shard_results,
+    stats_by_cell,
+)
 from .cells import CampaignCell, build_cells
 from .runner import CampaignResult, run_campaign
+from .split import SplitPlan, prepare_split, shard_key
 from .store import ResultStore
 from .worker import CellResult, execute_cell
 
@@ -25,10 +31,14 @@ __all__ = [
     "CampaignResult",
     "CellResult",
     "ResultStore",
+    "SplitPlan",
     "build_cells",
     "campaign_report",
     "comparison_rows",
     "execute_cell",
+    "merge_shard_results",
+    "prepare_split",
     "run_campaign",
+    "shard_key",
     "stats_by_cell",
 ]

@@ -20,6 +20,46 @@ from .runner import CampaignResult
 from .worker import CellResult
 
 
+def merge_shard_results(
+    seed_result: CellResult,
+    shard_results: Sequence[CellResult],
+) -> CellResult:
+    """Union-merge one split cell back into a logical cell result.
+
+    The merge is deterministic — seed first, then shards in index
+    order — and operates on the *set* payloads of
+    :class:`ExplorationStats` (fingerprints, state hashes, error
+    kinds), so for exhaustively explored cells the merged distinct
+    counts are exactly those of the equivalent unsplit run, however
+    the shards were scheduled.  Additive counters (schedules, events,
+    elapsed) sum across seed + shards.
+
+    Any failed shard fails the logical cell (its error is surfaced);
+    the merged cell is ``exhausted`` only if every shard exhausted its
+    sub-frontier.
+    """
+    cell = seed_result.cell
+    failures = [r for r in ([seed_result] + list(shard_results))
+                if not r.ok or r.stats is None]
+    if failures:
+        first = failures[0]
+        return CellResult(
+            cell, None, ok=False,
+            error=(f"shard {first.shard}/{first.num_shards} failed: "
+                   f"{first.error}" if first.num_shards else first.error),
+        )
+    merged = ExplorationStats.from_dict(seed_result.stats.to_dict())
+    # the seed stopped early by design; exhaustion of the logical cell
+    # is decided purely by the shards (AND across them)
+    merged.exhausted = True
+    merged.limit_hit = False
+    for shard in sorted(shard_results, key=lambda r: r.shard):
+        merged.merge(shard.stats)
+    merged.extra["split_shards"] = len(shard_results)
+    merged.extra["split_seed_schedules"] = seed_result.stats.num_schedules
+    return CellResult(cell, merged)
+
+
 def stats_by_cell(
     results: Sequence[CellResult],
 ) -> Dict[tuple, ExplorationStats]:

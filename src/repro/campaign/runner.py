@@ -7,6 +7,20 @@ All actual exploration happens in :func:`repro.campaign.worker
 .execute_cell`, identically for ``jobs=1`` (in-process, no pool) and
 ``jobs=N`` (a ``multiprocessing`` pool), so the two paths return
 bit-for-bit identical statistics and differ only in wall-clock time.
+
+Two frontier-kernel features ride on top of the PR-1 orchestration:
+
+* **intra-cell resume** — with a store, workers periodically
+  checkpoint in-flight explorer snapshots as partial files; on resume
+  a half-explored cell continues from its frontier (and a
+  budget-limited cell resumed under a laxer ``--limit`` picks up where
+  the old budget stopped);
+* **intra-cell sharding** (``split_large=k``) — cells of splittable
+  strategies are seeded in the driver, their frontiers split into
+  ``k`` disjoint sub-frontiers executed as independent pool tasks, and
+  the shard statistics union-merged back into one logical cell result
+  (:func:`repro.campaign.aggregate.merge_shard_results`), so one huge
+  DFS cell no longer serializes the whole campaign.
 """
 
 from __future__ import annotations
@@ -15,10 +29,12 @@ import multiprocessing
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..explore.base import ExplorationLimits
+from ..explore.controller import supports_split
 from .cells import CampaignCell
+from .split import DEFAULT_SEED_SCHEDULES, SplitPlan, prepare_split, shard_key
 from .store import ResultStore
 from .worker import CellResult, _pool_entry, execute_cell
 
@@ -40,6 +56,8 @@ class CampaignResult:
     results: List[CellResult] = field(default_factory=list)
     num_executed: int = 0
     num_cached: int = 0
+    num_resumed: int = 0  #: cells continued from a partial checkpoint
+    num_split: int = 0    #: logical cells that ran as split shards
     jobs: int = 1
     elapsed: float = 0.0
 
@@ -55,6 +73,12 @@ class CampaignResult:
                 if not r.ok or r.unexpected_findings]
 
 
+#: a unit of pool work: the cell plus everything the worker needs
+#: (resume snapshot, checkpoint file, shard identity)
+_Task = Tuple[CampaignCell, Optional[ExplorationLimits], bool,
+              Optional[dict], Optional[str], Optional[str], int, int]
+
+
 def run_campaign(
     cells: Sequence[CampaignCell],
     limits: Optional[ExplorationLimits] = None,
@@ -63,44 +87,120 @@ def run_campaign(
     store: Optional[ResultStore] = None,
     progress: Optional[Callable[[str], None]] = None,
     on_result: Optional[Callable[[CellResult], None]] = None,
+    split_large: int = 0,
+    split_seed_schedules: int = DEFAULT_SEED_SCHEDULES,
 ) -> CampaignResult:
     """Execute every cell, at most ``jobs`` at a time.
 
     With a ``store``, cells already checkpointed as completed are
-    returned from the checkpoint without re-execution, and every newly
-    completed cell is flushed before the next one is handed out.
+    returned from the checkpoint without re-execution, every newly
+    completed cell is flushed before the next one is handed out, and
+    half-explored cells resume from their partial snapshots.
     ``progress`` receives one formatted line per executed cell;
     ``on_result`` receives the raw :class:`CellResult` (for callers that
     aggregate as results stream in).
+
+    ``split_large >= 2`` shards every cell of a splittable strategy
+    into that many frontier shards (see :mod:`repro.campaign.split`);
+    other cells run whole, as before.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if split_large == 1 or split_large < 0:
+        raise ValueError(
+            f"split_large must be 0 (off) or >= 2, got {split_large}"
+        )
     limits = limits or ExplorationLimits()
     start = time.monotonic()
 
     out = CampaignResult(jobs=jobs)
-    by_cell = {}
+    by_cell: Dict[CampaignCell, CellResult] = {}
     if store is not None:
         if store.limits is None:
             store.limits = limits
         if not store.loaded:  # callers may have pre-loaded (for a
             store.load()      # resume message); don't re-parse
 
+    tasks: List[_Task] = []
+    #: cells whose seed phase finished them outright (tiny cells)
+    completed_plans: List[CellResult] = []
+    #: logical split cells: cell -> (plan, {shard index -> result})
+    split_runs: Dict[CampaignCell, Tuple[SplitPlan,
+                                         Dict[int, CellResult]]] = {}
 
-    pending: List[CampaignCell] = []
+    def make_task(cell: CampaignCell, resume: Optional[dict],
+                  key: Optional[str] = None,
+                  shard: int = -1, num_shards: int = 0) -> _Task:
+        ckpt_path = (str(store.partial_path(key or cell.key))
+                     if store is not None else None)
+        return (cell, limits, verify, resume, ckpt_path, key,
+                shard, num_shards)
+
     for cell in cells:
         cached = store.get(cell) if store is not None else None
         if cached is not None and cached.ok:
             by_cell[cell] = cached
             out.num_cached += 1
+            continue
+        if split_large >= 2 and supports_split(cell.explorer):
+            # deterministic driver-side seed + split; re-derived on
+            # resume so completed shards can be served from the store
+            plan = prepare_split(
+                cell, limits, split_large, verify=verify,
+                seed_schedules=split_seed_schedules,
+            )
+            if plan.completed:
+                completed_plans.append(plan.seed_result)
+                continue
+            out.num_split += 1
+            shard_results: Dict[int, CellResult] = {}
+            split_runs[cell] = (plan, shard_results)
+            for i, state in enumerate(plan.shard_states):
+                key = shard_key(cell, i, plan.num_shards)
+                cached_shard = (store.get_shard(key)
+                                if store is not None else None)
+                if cached_shard is not None and cached_shard.ok:
+                    shard_results[i] = cached_shard
+                    out.num_cached += 1
+                    continue
+                resume = (store.load_partial(key)
+                          if store is not None else None) or state
+                tasks.append(make_task(cell, resume, key=key,
+                                       shard=i,
+                                       num_shards=plan.num_shards))
         else:
-            pending.append(cell)
+            resume = (store.load_partial(cell.key)
+                      if store is not None else None)
+            if resume is not None:
+                out.num_resumed += 1
+            tasks.append(make_task(cell, resume))
 
     def record(result: CellResult) -> None:
-        by_cell[result.cell] = result
         out.num_executed += 1
+        if result.num_shards:
+            # one shard of a split cell: stash for the merge
+            split_runs[result.cell][1][result.shard] = result
+            if store is not None:
+                key = shard_key(result.cell, result.shard,
+                                result.num_shards)
+                if result.ok:
+                    store.add_shard(key, result)
+                if result.partial is None:
+                    # keep a budget-limited shard's final snapshot so
+                    # a laxer-budget resume continues it, exactly like
+                    # unsplit cells below
+                    store.clear_partial(key)
+            return
+        by_cell[result.cell] = result
         if store is not None:
-            store.add(result)
+            if result.ok:
+                store.add(result)
+            if result.partial is None:
+                # fully explored (or failed): drop any stale partial.
+                # Budget-limited cells keep theirs — the worker wrote
+                # the final snapshot, so a laxer-budget resume
+                # continues from the frontier.
+                store.clear_partial(result.cell.key)
         if on_result is not None:
             on_result(result)
         if progress is not None:
@@ -113,16 +213,39 @@ def run_campaign(
                 )
 
     try:
-        if jobs == 1 or len(pending) <= 1:
-            for cell in pending:
-                record(execute_cell(cell, limits, verify))
+        for seed_result in completed_plans:
+            record(seed_result)
+        if jobs == 1 or len(tasks) <= 1:
+            for task in tasks:
+                record(execute_cell(
+                    task[0], task[1], task[2],
+                    resume_state=task[3], checkpoint_path=task[4],
+                    checkpoint_key=task[5], shard=task[6],
+                    num_shards=task[7],
+                ))
         else:
             ctx = _pool_context()
-            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-                work = [(cell, limits, verify) for cell in pending]
-                for result in pool.imap_unordered(_pool_entry, work,
+            with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+                for result in pool.imap_unordered(_pool_entry, tasks,
                                                   chunksize=1):
                     record(result)
+
+        # union-merge completed split cells back into logical cells
+        from .aggregate import merge_shard_results
+
+        for cell, (plan, shard_results) in split_runs.items():
+            merged = merge_shard_results(
+                plan.seed_result,
+                [shard_results[i] for i in sorted(shard_results)],
+            )
+            if verify and merged.ok and merged.stats is not None:
+                merged.stats.verify_inequality()
+            by_cell[cell] = merged
+            if on_result is not None:
+                on_result(merged)
+            if progress is not None and merged.ok:
+                progress(merged.stats.summary()
+                         + f"  [split x{plan.num_shards}]")
     finally:
         # store.add rate-limits its flushes; guarantee the final state
         # (and interrupted partial state) reaches disk

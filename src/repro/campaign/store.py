@@ -1,11 +1,13 @@
 """Resumable JSON checkpoint store for campaign results.
 
 One JSON document maps cell keys to serialized :class:`CellResult`
-payloads.  The store is flushed with an atomic ``os.replace`` as cells
-complete (rate-limited — see :attr:`ResultStore.flush_interval` — with
-a guaranteed final flush from the campaign driver), so an interrupted
-campaign (Ctrl-C, OOM-killed worker host, pre-empted CI runner) resumes
-from (almost) the last completed cell instead of restarting the matrix.
+payloads — completed cells under ``"cells"``, completed shards of
+split cells under ``"shards"``.  The store is flushed with an atomic
+``os.replace`` as cells complete (rate-limited — see
+:attr:`ResultStore.flush_interval` — with a guaranteed final flush
+from the campaign driver), so an interrupted campaign (Ctrl-C,
+OOM-killed worker host, pre-empted CI runner) resumes from (almost)
+the last completed cell instead of restarting the matrix.
 
 Checkpoints are stamped with the :class:`ExplorationLimits` they were
 produced under; resuming with different limits discards the checkpoint
@@ -14,6 +16,15 @@ budgets.
 
 Failed cells are *not* checkpointed: a resume retries them, which is
 what you want after fixing the crash or raising the budget.
+
+Beyond whole-cell results, the store manages the *partial* files of
+half-explored cells (see :mod:`repro.campaign.partial`): workers
+checkpoint in-flight explorer snapshots under ``<path>.partials/``,
+and :meth:`load_partial` hands them back on resume so a cell
+continues from its frontier instead of schedule zero.  Partials carry
+their own limits stamp with laxer-budget compatibility, so raising
+``--limit`` keeps the half-explored state even though the completed
+cells (computed under the old budget) are discarded.
 """
 
 from __future__ import annotations
@@ -26,17 +37,17 @@ from typing import Any, Dict, Optional, Union
 
 from ..explore.base import ExplorationLimits
 from .cells import CampaignCell
+from .partial import (
+    clear_partial,
+    limits_to_dict,
+    partial_path,
+    read_partial,
+)
 from .worker import CellResult
 
-STORE_VERSION = 2
+STORE_VERSION = 3
 
-
-def limits_to_dict(limits: ExplorationLimits) -> Dict[str, Any]:
-    return {
-        "max_schedules": limits.max_schedules,
-        "max_seconds": limits.max_seconds,
-        "max_events_per_schedule": limits.max_events_per_schedule,
-    }
+__all__ = ["STORE_VERSION", "ResultStore", "limits_to_dict"]
 
 
 class ResultStore:
@@ -57,6 +68,7 @@ class ResultStore:
         self.discarded_mismatch = False
         self.loaded = False
         self._results: Dict[str, CellResult] = {}
+        self._shards: Dict[str, CellResult] = {}
         self._dirty = False
         self._last_flush = 0.0
 
@@ -70,6 +82,7 @@ class ResultStore:
         written under different limits (``discarded_mismatch`` is
         set)."""
         self._results = {}
+        self._shards = {}
         self.discarded_mismatch = False
         self.loaded = True
         try:
@@ -89,10 +102,15 @@ class ResultStore:
                 result = CellResult.from_dict(entry)
                 result.cached = True
                 self._results[key] = result
+            for key, entry in payload.get("shards", {}).items():
+                result = CellResult.from_dict(entry)
+                result.cached = True
+                self._shards[key] = result
         except (AttributeError, KeyError, TypeError, ValueError):
             # a hand-edited or foreign JSON file: start fresh rather
             # than abort the campaign
             self._results = {}
+            self._shards = {}
             return 0
         return len(self._results)
 
@@ -109,6 +127,34 @@ class ResultStore:
         if time.monotonic() - self._last_flush >= self.flush_interval:
             self.flush()
 
+    # -- shards of split cells ---------------------------------------------
+    def get_shard(self, key: str) -> Optional[CellResult]:
+        return self._shards.get(key)
+
+    def add_shard(self, key: str, result: CellResult) -> None:
+        self._shards[key] = result
+        self._dirty = True
+        if time.monotonic() - self._last_flush >= self.flush_interval:
+            self.flush()
+
+    # -- partial (half-explored) cells -------------------------------------
+    def partial_path(self, key: str) -> Path:
+        """Where the in-flight snapshot for ``key`` (a cell or shard
+        key) is checkpointed; handed to workers so they can write it
+        without sharing this store object across processes."""
+        return partial_path(self.path, key)
+
+    def load_partial(self, key: str) -> Optional[Dict[str, Any]]:
+        """The resumable snapshot for ``key``, if one exists and its
+        limits stamp is compatible with (equal to or stricter than)
+        this store's limits."""
+        if self.limits is None:
+            return None
+        return read_partial(self.partial_path(key), key, self.limits)
+
+    def clear_partial(self, key: str) -> None:
+        clear_partial(self.partial_path(key))
+
     def flush(self) -> None:
         if not self._dirty:
             return
@@ -120,6 +166,12 @@ class ResultStore:
                 if r.ok
             },
         }
+        if self._shards:
+            payload["shards"] = {
+                key: r.to_dict()
+                for key, r in sorted(self._shards.items())
+                if r.ok
+            }
         if self.limits is not None:
             payload["limits"] = limits_to_dict(self.limits)
         self.path.parent.mkdir(parents=True, exist_ok=True)

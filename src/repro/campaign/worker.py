@@ -9,6 +9,13 @@ Failures are *data*, not exceptions: a worker never takes the pool down.
 A crash inside an explorer (or an inequality violation under ``verify``)
 comes back as a failed :class:`CellResult` carrying the traceback, and
 the campaign driver decides whether that fails the run.
+
+Frontier threading (see ``repro.explore.kernel``): a worker can start
+a cell from a ``resume_state`` snapshot (a checkpointed partial, or
+one shard of a split frontier), periodically checkpoints the in-flight
+state to ``checkpoint_path``, and returns the final snapshot of a
+budget-limited cell in :attr:`CellResult.partial` so a later run with
+a laxer budget continues instead of restarting.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from ..explore.base import ExplorationLimits, ExplorationStats
 from ..explore.controller import run_single
 from ..suite import REGISTRY
 from .cells import CampaignCell
+from .partial import write_partial
 
 
 @dataclass
@@ -32,6 +40,15 @@ class CellResult:
     ok: bool = True
     error: Optional[str] = None
     cached: bool = False  #: satisfied from a checkpoint, not re-executed
+    #: final explorer snapshot of a budget-limited cell (when the
+    #: strategy supports snapshots); lets a laxer-budget resume
+    #: continue from the frontier.  Persisted as a partial file, not
+    #: in the main store document.
+    partial: Optional[Dict[str, Any]] = None
+    #: shard index within a split cell (-1 = not a shard)
+    shard: int = -1
+    #: shard count of the split this result belongs to (0 = unsplit)
+    num_shards: int = 0
 
     @property
     def unexpected_findings(self) -> bool:
@@ -47,7 +64,7 @@ class CellResult:
         return bench is None or bench.expect_error is None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "bench_id": self.cell.bench_id,
             "explorer": self.cell.explorer,
             "seed": self.cell.seed,
@@ -55,6 +72,10 @@ class CellResult:
             "error": self.error,
             "stats": self.stats.to_dict() if self.stats is not None else None,
         }
+        if self.num_shards:
+            payload["shard"] = self.shard
+            payload["num_shards"] = self.num_shards
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "CellResult":
@@ -68,6 +89,8 @@ class CellResult:
                    if stats is not None else None),
             ok=payload.get("ok", True),
             error=payload.get("error"),
+            shard=payload.get("shard", -1),
+            num_shards=payload.get("num_shards", 0),
         )
 
 
@@ -75,6 +98,12 @@ def execute_cell(
     cell: CampaignCell,
     limits: Optional[ExplorationLimits] = None,
     verify: bool = True,
+    resume_state: Optional[Dict[str, Any]] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_key: Optional[str] = None,
+    checkpoint_interval: float = 2.0,
+    shard: int = -1,
+    num_shards: int = 0,
 ) -> CellResult:
     """Run one cell to completion, trapping any failure.
 
@@ -82,30 +111,72 @@ def execute_cell(
     work, ``max_seconds`` is the per-cell (cooperative) timeout, and
     ``max_events_per_schedule`` bounds any single execution — so no cell
     can wedge a worker indefinitely.
+
+    With ``resume_state`` the explorer restores a snapshot and
+    continues (restored schedule/elapsed counts are charged against
+    ``limits``).  With ``checkpoint_path`` the in-flight state is
+    written there (atomic replace) at most every
+    ``checkpoint_interval`` seconds, so an interrupted campaign resumes
+    the cell from (almost) where it stopped.
     """
+    limits = limits or ExplorationLimits()
     bench = REGISTRY.get(cell.bench_id)
     if bench is None:
         return CellResult(
             cell, None, ok=False,
             error=f"no suite benchmark with id {cell.bench_id}",
+            shard=shard, num_shards=num_shards,
         )
+    checkpoint_fn = None
+    if checkpoint_path is not None:
+        key = checkpoint_key if checkpoint_key is not None else cell.key
+
+        def checkpoint_fn(snapshot: Dict[str, Any]) -> None:
+            write_partial(checkpoint_path, key, limits, snapshot)
+
+    holder: Dict[str, Any] = {}
+
+    def grab(explorer) -> None:
+        holder["explorer"] = explorer
+
     try:
         stats = run_single(
             bench.program, cell.explorer, limits, seed=cell.seed,
-            verify=verify,
+            verify=verify, resume_state=resume_state,
+            checkpoint_fn=checkpoint_fn,
+            checkpoint_interval=checkpoint_interval,
+            on_explorer=grab,
         )
-        return CellResult(cell, stats)
+        result = CellResult(cell, stats, shard=shard, num_shards=num_shards)
+        explorer = holder.get("explorer")
+        if (stats.limit_hit and explorer is not None
+                and hasattr(explorer, "snapshot")):
+            result.partial = explorer.snapshot()
+            if checkpoint_path is not None:
+                write_partial(checkpoint_path, key, limits, result.partial)
+        return result
     except Exception as exc:  # noqa: BLE001 - workers must not crash
         return CellResult(
             cell, None, ok=False,
             error=f"{type(exc).__name__}: {exc}\n"
                   f"{traceback.format_exc(limit=8)}",
+            shard=shard, num_shards=num_shards,
         )
 
 
 def _pool_entry(
-    packed: Tuple[CampaignCell, Optional[ExplorationLimits], bool],
+    packed: Tuple[CampaignCell, Optional[ExplorationLimits], bool,
+                  Optional[Dict[str, Any]], Optional[str], Optional[str],
+                  int, int],
 ) -> CellResult:
     """Top-level (picklable) entry point for ``multiprocessing`` pools."""
-    cell, limits, verify = packed
-    return execute_cell(cell, limits, verify)
+    (cell, limits, verify, resume_state, checkpoint_path,
+     checkpoint_key, shard, num_shards) = packed
+    return execute_cell(
+        cell, limits, verify,
+        resume_state=resume_state,
+        checkpoint_path=checkpoint_path,
+        checkpoint_key=checkpoint_key,
+        shard=shard,
+        num_shards=num_shards,
+    )

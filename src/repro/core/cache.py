@@ -11,7 +11,7 @@ pruned.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Any, Dict, Optional, Set
 
 
 class FingerprintCache:
@@ -48,6 +48,14 @@ class FingerprintCache:
         s.add(fingerprint)
         return True
 
+    def unrecord(self, fingerprint: int) -> None:
+        """Roll back one fresh :meth:`insert` (the exploration kernel
+        undoes an abandoned schedule's insertions so the re-executed
+        schedule is not pruned by its own stale entries).  Only valid
+        for a fingerprint whose insert returned True."""
+        self._set.discard(fingerprint)
+        self.misses -= 1
+
     def __contains__(self, fingerprint: int) -> bool:
         return fingerprint in self._set
 
@@ -59,3 +67,24 @@ class FingerprintCache:
         self.hits = 0
         self.misses = 0
         self.overflowed = False
+
+    # -- serialization (explorer snapshot/restore) -------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe contents + statistics (fingerprints sorted, so
+        equal caches serialize identically)."""
+        return {
+            "fingerprints": sorted(self._set),
+            "hits": self.hits,
+            "misses": self.misses,
+            "overflowed": self.overflowed,
+            "capacity": self.capacity,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FingerprintCache":
+        cache = cls(payload.get("capacity"))
+        cache._set = set(payload.get("fingerprints", ()))
+        cache.hits = payload.get("hits", 0)
+        cache.misses = payload.get("misses", 0)
+        cache.overflowed = payload.get("overflowed", False)
+        return cache

@@ -13,17 +13,23 @@ from .bounded import (
 )
 from .caching import HBRCachingExplorer
 from .controller import (
+    RESUMABLE_EXPLORERS,
     SEEDED_EXPLORERS,
+    SPLITTABLE_EXPLORERS,
     STANDARD_EXPLORERS,
     ComparisonRow,
     make_explorer,
     run_matrix,
     run_single,
     states_found,
+    supports_snapshot,
+    supports_split,
 )
 from .delay import DelayBoundedExplorer
 from .dfs import DFSExplorer
 from .dpor import DPORExplorer
+from .frontier import Frontier, WorkItem
+from .kernel import Expansion, KernelExplorer, Strategy
 from .lazy_dpor import LazyDPORExplorer
 from .minimize import MinimizationResult, minimize_schedule
 from .pct import PCTExplorer
@@ -33,8 +39,17 @@ __all__ = [
     "MinimizationResult",
     "minimize_schedule",
     "DEFAULT_SCHEDULE_LIMIT",
+    "Expansion",
+    "Frontier",
+    "KernelExplorer",
+    "RESUMABLE_EXPLORERS",
     "SEEDED_EXPLORERS",
+    "SPLITTABLE_EXPLORERS",
     "STANDARD_EXPLORERS",
+    "Strategy",
+    "WorkItem",
+    "supports_snapshot",
+    "supports_split",
     "ComparisonRow",
     "make_explorer",
     "run_single",

@@ -15,13 +15,20 @@ paper's inequality
 
 is checked by :meth:`ExplorationStats.verify_inequality` (and enforced
 in the integration tests).
+
+Beyond the counts, the statistics carry the underlying fingerprint
+*sets* (``hbr_fps``, ``lazy_fps``, ``state_hashes``).  Sets — unlike
+counts — merge: :meth:`ExplorationStats.merge` deterministically
+combines the results of disjoint exploration shards (see
+:meth:`repro.explore.frontier.Frontier.split`) into the statistics one
+unsplit run would have produced.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import GuestError
 from ..runtime.executor import Executor
@@ -29,6 +36,12 @@ from ..runtime.program import Program
 from ..runtime.trace import TraceResult
 
 DEFAULT_SCHEDULE_LIMIT = 100_000
+
+#: A mid-schedule wall-clock deadline check every scheduling point would
+#: be noise on the fast replay path; every N points bounds the overrun
+#: of one long schedule to N steps while keeping the check invisible in
+#: the profile.
+DEADLINE_CHECK_EVERY = 32
 
 
 @dataclass
@@ -49,6 +62,20 @@ class ErrorFinding:
     schedule: List[int]
 
 
+def _json_safe(value: Any) -> bool:
+    """Is ``value`` representable in JSON without loss (scalars plus
+    arbitrarily nested lists/dicts of scalars with string keys)?"""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_json_safe(v) for v in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(k, str) and _json_safe(v) for k, v in value.items()
+        )
+    return False
+
+
 @dataclass
 class ExplorationStats:
     """Outcome of one exploration run."""
@@ -67,6 +94,12 @@ class ExplorationStats:
     exhausted: bool = False         #: the full reduced state space was covered
     elapsed: float = 0.0
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: the distinct-fingerprint sets behind the ``num_*`` counts.
+    #: Serialized (sorted) by :meth:`to_dict` so campaign shards can be
+    #: union-merged instead of merely summed.
+    hbr_fps: Set[int] = field(default_factory=set)
+    lazy_fps: Set[int] = field(default_factory=set)
+    state_hashes: Set[int] = field(default_factory=set)
 
     def verify_inequality(self) -> None:
         """Assert the paper's Section 3 inequality chain."""
@@ -91,7 +124,13 @@ class ExplorationStats:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable form, for persisting experiment results."""
+        """JSON-serialisable form, for persisting experiment results.
+
+        ``extra`` values that are JSON-safe (scalars and nested
+        lists/dicts of scalars) round-trip faithfully; anything else
+        (arbitrary objects) is dropped.  The fingerprint sets are
+        emitted sorted, so equal sets serialize identically.
+        """
         return {
             "program": self.program_name,
             "explorer": self.explorer_name,
@@ -111,12 +150,15 @@ class ExplorationStats:
             "exhausted": self.exhausted,
             "elapsed": self.elapsed,
             "extra": {k: v for k, v in self.extra.items()
-                      if isinstance(v, (int, float, str, bool))},
+                      if _json_safe(v)},
+            "hbr_fps": sorted(self.hbr_fps),
+            "lazy_fps": sorted(self.lazy_fps),
+            "state_hashes": sorted(self.state_hashes),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ExplorationStats":
-        """Inverse of :meth:`to_dict` (modulo non-scalar ``extra``
+        """Inverse of :meth:`to_dict` (modulo non-JSON-safe ``extra``
         values) — used by the campaign checkpoint store to resume runs."""
         return cls(
             program_name=payload["program"],
@@ -136,7 +178,65 @@ class ExplorationStats:
             exhausted=payload.get("exhausted", False),
             elapsed=payload.get("elapsed", 0.0),
             extra=dict(payload.get("extra", {})),
+            hbr_fps=set(payload.get("hbr_fps", ())),
+            lazy_fps=set(payload.get("lazy_fps", ())),
+            state_hashes=set(payload.get("state_hashes", ())),
         )
+
+    def has_consistent_sets(self) -> bool:
+        """Do the fingerprint sets back the counts?  False for legacy
+        payloads that carried counts only — those cannot be merged."""
+        return (
+            self.num_hbrs == len(self.hbr_fps)
+            and self.num_lazy_hbrs == len(self.lazy_fps)
+            and self.num_states == len(self.state_hashes)
+        )
+
+    def merge(self, other: "ExplorationStats") -> None:
+        """Union-merge ``other`` into ``self`` (in place).
+
+        Both sides must carry set payloads consistent with their counts
+        (:meth:`has_consistent_sets`); additive counters sum, the
+        fingerprint/error *sets* union, and the ``num_*`` distinct
+        counts are recomputed from the merged sets — so merging the
+        results of disjoint shards reproduces exactly the distinct
+        counts of the equivalent unsplit run.  Deterministic for a
+        fixed merge order.
+        """
+        if not (self.has_consistent_sets() and other.has_consistent_sets()):
+            raise ValueError(
+                "cannot merge ExplorationStats without consistent "
+                "fingerprint-set payloads (legacy counts-only data?)"
+            )
+        self.num_schedules += other.num_schedules
+        self.num_complete += other.num_complete
+        self.num_pruned += other.num_pruned
+        self.num_events += other.num_events
+        self.hbr_fps |= other.hbr_fps
+        self.lazy_fps |= other.lazy_fps
+        self.state_hashes |= other.state_hashes
+        self.num_hbrs = len(self.hbr_fps)
+        self.num_lazy_hbrs = len(self.lazy_fps)
+        self.num_states = len(self.state_hashes)
+        seen = {(e.kind, e.message) for e in self.errors}
+        for e in other.errors:
+            if (e.kind, e.message) not in seen:
+                seen.add((e.kind, e.message))
+                self.errors.append(
+                    ErrorFinding(e.kind, e.message, list(e.schedule))
+                )
+        self.limit_hit = self.limit_hit or other.limit_hit
+        self.exhausted = self.exhausted and other.exhausted
+        self.elapsed += other.elapsed
+        for key, value in other.extra.items():
+            mine = self.extra.get(key)
+            if (isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and isinstance(mine, (int, float))
+                    and not isinstance(mine, bool)):
+                self.extra[key] = mine + value
+            elif key not in self.extra:
+                self.extra[key] = value
 
 
 class Explorer:
@@ -159,12 +259,31 @@ class Explorer:
     ) -> None:
         self.program = program
         self.limits = limits or ExplorationLimits()
-        self._hbr_fps: Set[int] = set()
-        self._lazy_fps: Set[int] = set()
-        self._state_hashes: Set[int] = set()
         self._error_kinds: Set[Tuple[str, str]] = set()
         self.stats = ExplorationStats(program.name, self.name)
         self._deadline: Optional[float] = None
+        #: wall-clock already consumed by a restored run; counted
+        #: against ``max_seconds`` and added to the final ``elapsed``
+        self._elapsed_base: float = 0.0
+        #: periodic checkpoint callback (see :meth:`set_checkpoint`);
+        #: only explorers with a ``snapshot`` method honour it
+        self._checkpoint_fn: Optional[Callable[[Dict[str, Any]], None]] = None
+        self._checkpoint_interval: float = 2.0
+        self._last_checkpoint: float = 0.0
+        self._points_since_deadline_check = 0
+
+    # -- views kept for tests and analysis tooling --------------------------
+    @property
+    def _hbr_fps(self) -> Set[int]:
+        return self.stats.hbr_fps
+
+    @property
+    def _lazy_fps(self) -> Set[int]:
+        return self.stats.lazy_fps
+
+    @property
+    def _state_hashes(self) -> Set[int]:
+        return self.stats.state_hashes
 
     # -- hooks for subclasses ----------------------------------------------
     def _new_executor(self) -> Executor:
@@ -178,12 +297,12 @@ class Explorer:
         """Account for one completed (terminal) execution."""
         st = self.stats
         st.num_complete += 1
-        self._hbr_fps.add(result.hbr_fp)
-        self._lazy_fps.add(result.lazy_fp)
-        self._state_hashes.add(result.state_hash)
-        st.num_hbrs = len(self._hbr_fps)
-        st.num_lazy_hbrs = len(self._lazy_fps)
-        st.num_states = len(self._state_hashes)
+        st.hbr_fps.add(result.hbr_fp)
+        st.lazy_fps.add(result.lazy_fp)
+        st.state_hashes.add(result.state_hash)
+        st.num_hbrs = len(st.hbr_fps)
+        st.num_lazy_hbrs = len(st.lazy_fps)
+        st.num_states = len(st.state_hashes)
         if result.error is not None:
             self._record_error(result.error, result.schedule)
 
@@ -207,15 +326,86 @@ class Explorer:
             return True
         return False
 
+    def _deadline_exceeded_midschedule(self) -> bool:
+        """Cheap per-scheduling-point deadline probe.
+
+        ``_budget_exceeded`` only runs between schedules, so one long
+        schedule used to overrun ``max_seconds`` unboundedly.  Explorers
+        call this at every scheduling point; it samples the clock every
+        :data:`DEADLINE_CHECK_EVERY` points and flags ``limit_hit`` when
+        the deadline has passed, letting the caller abandon the
+        in-flight schedule.
+        """
+        if self._deadline is None:
+            return False
+        self._points_since_deadline_check += 1
+        if self._points_since_deadline_check < DEADLINE_CHECK_EVERY:
+            return False
+        self._points_since_deadline_check = 0
+        if time.monotonic() > self._deadline:
+            self.stats.limit_hit = True
+            return True
+        return False
+
+    def _restore_stats(self, payload: Optional[Dict[str, Any]]) -> None:
+        """Shared restore() plumbing for resumable explorers: rebuild
+        the statistics (and derived error-dedup set) from a snapshot
+        payload and charge the restored elapsed time against this
+        run's wall-clock budget.  The limit/exhaustion flags are
+        cleared — a snapshot taken at a budget boundary resumes
+        cleanly under a laxer budget, and ``run()`` re-derives them."""
+        if payload is None:
+            return
+        self.stats = ExplorationStats.from_dict(payload)
+        self.stats.program_name = self.program.name
+        self.stats.explorer_name = self.name
+        self._error_kinds = {
+            (e.kind, e.message) for e in self.stats.errors
+        }
+        self._elapsed_base = self.stats.elapsed
+        self.stats.limit_hit = False
+        self.stats.exhausted = False
+
+    # -- checkpointing ------------------------------------------------------
+    def set_checkpoint(
+        self,
+        fn: Callable[[Dict[str, Any]], None],
+        interval: float = 2.0,
+    ) -> None:
+        """Install a periodic checkpoint callback.
+
+        Explorers that support serialization (those with a
+        ``snapshot()`` method — the kernel family and DPOR) call
+        ``fn(self.snapshot())`` between schedules, at most every
+        ``interval`` seconds.  Explorers without snapshot support
+        silently ignore the callback.
+        """
+        self._checkpoint_fn = fn
+        self._checkpoint_interval = interval
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoint_fn is None:
+            return
+        now = time.monotonic()
+        if now - self._last_checkpoint < self._checkpoint_interval:
+            return
+        self._last_checkpoint = now
+        self._checkpoint_fn(self.snapshot())  # type: ignore[attr-defined]
+
     # -- template method ------------------------------------------------------
     def run(self) -> ExplorationStats:
         start = time.monotonic()
         if self.limits.max_seconds is not None:
-            self._deadline = start + self.limits.max_seconds
+            self._deadline = start + (
+                self.limits.max_seconds - self._elapsed_base
+            )
+        self._last_checkpoint = start
         try:
             self._explore()
         finally:
-            self.stats.elapsed = time.monotonic() - start
+            self.stats.elapsed = (
+                self._elapsed_base + time.monotonic() - start
+            )
         return self.stats
 
     def _explore(self) -> None:  # pragma: no cover - abstract

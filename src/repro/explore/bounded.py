@@ -9,97 +9,93 @@ upward.  With ``bound=None`` it degenerates to plain DFS.
 A context switch at a scheduling point is *forced* (free) when the
 previously running thread is finished or blocked; otherwise switching
 to a different thread costs one preemption.
+
+Both explorers ride on the unified kernel.  The path annotation is the
+pair ``(prev, budget)`` — the last scheduled thread and the remaining
+preemption budget — which fully determines the schedulable choices at
+any point; iterative bounding simply seeds the frontier with one root
+per bound (bound 0 on top), so the LIFO kernel order runs the rounds
+strictly in sequence, sharing one schedule budget, exactly as CHESS
+does.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from .base import ExplorationLimits, Explorer
+from .base import ExplorationStats
+from .frontier import Annotation, Frontier, WorkItem
+from .kernel import Expansion, KernelExplorer, Strategy
 
-
-class _Frame:
-    __slots__ = ("choices", "idx", "prev_tid", "budget")
-
-    def __init__(self, choices: List[int], prev_tid: int, budget: int) -> None:
-        self.choices = choices
-        self.idx = 0
-        self.prev_tid = prev_tid
-        self.budget = budget
-
-    @property
-    def chosen(self) -> int:
-        return self.choices[self.idx]
+#: effectively-infinite preemption budget for ``bound=None``
+_UNBOUNDED = 1 << 30
 
 
-class PreemptionBoundedExplorer(Explorer):
+def _choices(enabled: List[int], prev: int, budget: int) -> List[int]:
+    """Schedulable threads under the remaining preemption budget,
+    non-preempting choice first (so cheap schedules come first)."""
+    if prev in enabled:
+        if budget <= 0:
+            return [prev]
+        return [prev] + [t for t in enabled if t != prev]
+    return list(enabled)  # forced switch: free
+
+
+def _budget_after(prev: int, budget: int, choices: List[int],
+                  chosen: int) -> int:
+    """Remaining budget after scheduling ``chosen``: a switch away from
+    a still-schedulable previous thread costs one preemption."""
+    if prev != -1 and prev != chosen and prev in choices:
+        return budget - 1
+    return budget
+
+
+class PreemptionBoundedStrategy(Strategy):
+    """DFS over schedules with at most ``bound`` preemptions."""
+
+    def __init__(self, bound: Optional[int] = 2) -> None:
+        self.bound = bound
+        self.name = ("preempt-bounded" if bound is None
+                     else f"preempt-bounded({bound})")
+
+    def initial_annotation(self) -> Annotation:
+        return {
+            "prev": -1,
+            "budget": self.bound if self.bound is not None else _UNBOUNDED,
+        }
+
+    def expand(self, enabled: List[int], ann: Annotation) -> Expansion:
+        prev = ann["prev"]
+        budget = ann["budget"]
+        choices = _choices(enabled, prev, budget)
+        chosen = choices[0]
+        return Expansion(
+            chosen=chosen,
+            ann_after={
+                "prev": chosen,
+                "budget": _budget_after(prev, budget, choices, chosen),
+            },
+            alternatives=[
+                (c, {"prev": c,
+                     "budget": _budget_after(prev, budget, choices, c)})
+                for c in choices[1:]
+            ],
+        )
+
+
+class PreemptionBoundedExplorer(KernelExplorer):
     """DFS over schedules with at most ``bound`` preemptions."""
 
     name = "preempt-bounded"
 
     def __init__(self, program, limits=None, bound: Optional[int] = 2) -> None:
-        super().__init__(program, limits)
+        super().__init__(
+            program, limits, strategy=PreemptionBoundedStrategy(bound)
+        )
         self.bound = bound
-        if bound is not None:
-            self.stats.explorer_name = self.name = f"preempt-bounded({bound})"
-
-    def _choices(self, enabled: List[int], prev_tid: int, budget: int) -> List[int]:
-        """Schedulable threads under the remaining preemption budget,
-        non-preempting choice first (so cheap schedules come first)."""
-        if prev_tid in enabled:
-            if budget <= 0:
-                return [prev_tid]
-            return [prev_tid] + [t for t in enabled if t != prev_tid]
-        return list(enabled)  # forced switch: free
-
-    def _explore(self) -> None:
-        path: List[_Frame] = []
-        first = True
-        while first or path:
-            first = False
-            if self._budget_exceeded():
-                return
-            self._schedule_started()
-            ex = self._new_executor()
-            ex.replay_prefix([frame.chosen for frame in path])
-            # continue from the end of the replayed prefix
-            prev_tid = path[-1].chosen if path else -1
-            budget = path[-1].budget if path else (
-                self.bound if self.bound is not None else 1 << 30
-            )
-            if path:
-                # account for the preemption taken by the replayed frame
-                budget = self._budget_after(path[-1])
-            while not ex.is_done():
-                enabled = ex.enabled()
-                choices = self._choices(enabled, prev_tid, budget)
-                frame = _Frame(choices, prev_tid, budget)
-                path.append(frame)
-                chosen = frame.chosen
-                budget = self._budget_after(frame)
-                prev_tid = chosen
-                ex.step(chosen)
-            result = ex.finish()
-            self.stats.num_events += result.num_events
-            self._record_terminal(result)
-            while path and path[-1].idx + 1 >= len(path[-1].choices):
-                path.pop()
-            if path:
-                path[-1].idx += 1
-            else:
-                self.stats.exhausted = not self.stats.limit_hit
-                return
-
-    def _budget_after(self, frame: _Frame) -> int:
-        """Remaining budget after taking ``frame.chosen``."""
-        chosen = frame.chosen
-        if frame.prev_tid != -1 and frame.prev_tid != chosen and \
-                frame.prev_tid in frame.choices:
-            return frame.budget - 1
-        return frame.budget
 
 
-class IterativeContextBoundingExplorer(Explorer):
+class IterativeContextBoundingStrategy(PreemptionBoundedStrategy):
     """CHESS-style iterative context bounding (Musuvathi & Qadeer):
     explore with preemption bound 0, then 1, then 2, ... up to
     ``max_bound``, sharing one schedule budget.
@@ -111,46 +107,79 @@ class IterativeContextBoundingExplorer(Explorer):
 
     name = "iterative-cb"
 
-    def __init__(self, program, limits=None, max_bound: int = 3) -> None:
-        super().__init__(program, limits)
+    def __init__(self, max_bound: int = 3) -> None:
+        super().__init__(bound=None)
+        self.name = "iterative-cb"
         self.max_bound = max_bound
+        self._round_schedules: Dict[int, int] = {}
         self.bound_reached = -1
 
-    def _explore(self) -> None:
-        remaining = self.limits.max_schedules
-        for bound in range(self.max_bound + 1):
-            if remaining <= 0:
-                self.stats.limit_hit = True
-                return
-            inner_limits = ExplorationLimits(
-                max_schedules=remaining,
-                max_seconds=None,
-                max_events_per_schedule=self.limits.max_events_per_schedule,
-            )
-            inner = PreemptionBoundedExplorer(
-                self.program, inner_limits, bound=bound
-            )
-            # share the recording sets so stats accumulate across rounds
-            inner._hbr_fps = self._hbr_fps
-            inner._lazy_fps = self._lazy_fps
-            inner._state_hashes = self._state_hashes
-            inner._error_kinds = self._error_kinds
-            inner.stats.errors = self.stats.errors
-            inner_stats = inner.run()
-            self.stats.num_schedules += inner_stats.num_schedules
-            self.stats.num_complete += inner_stats.num_complete
-            self.stats.num_events += inner_stats.num_events
-            self.stats.num_hbrs = len(self._hbr_fps)
-            self.stats.num_lazy_hbrs = len(self._lazy_fps)
-            self.stats.num_states = len(self._state_hashes)
-            remaining -= inner_stats.num_schedules
+    def initial_items(self) -> List[WorkItem]:
+        # exploration order: bound 0 first; each annotation carries its
+        # round so per-round schedule counts survive serialization
+        return [
+            WorkItem((), {"bound": b, "prev": -1, "budget": b})
+            for b in range(self.max_bound + 1)
+        ]
+
+    def expand(self, enabled: List[int], ann: Annotation) -> Expansion:
+        exp = super().expand(enabled, ann)
+        bound = ann["bound"]
+        exp.ann_after["bound"] = bound
+        for _, alt_ann in exp.alternatives:
+            alt_ann["bound"] = bound
+        return exp
+
+    def on_schedule_start(self, item: WorkItem) -> None:
+        bound = item.annotation["bound"]
+        self._round_schedules[bound] = \
+            self._round_schedules.get(bound, 0) + 1
+        if bound > self.bound_reached:
             self.bound_reached = bound
-            self.stats.extra[f"schedules_bound_{bound}"] = \
-                inner_stats.num_schedules
-            if self._deadline is not None:
-                import time
-                if time.monotonic() > self._deadline:
-                    self.stats.limit_hit = True
-                    return
-        self.stats.limit_hit = self.stats.num_schedules >= \
-            self.limits.max_schedules
+
+    def finalize(self, stats: ExplorationStats,
+                 frontier: Frontier) -> None:
+        for bound in sorted(self._round_schedules):
+            stats.extra[f"schedules_bound_{bound}"] = \
+                self._round_schedules[bound]
+        # iterative bounding re-explores low-bound schedules at higher
+        # bounds, so an empty frontier means the budget decision — not
+        # exhaustion of the reduced space — ended the run (the
+        # pre-kernel explorer reported the same)
+        stats.exhausted = False
+        if not frontier:
+            stats.limit_hit = (
+                stats.num_schedules >= self.kernel.limits.max_schedules
+            )
+
+    def state_to_dict(self) -> Dict[str, Any]:
+        return {
+            "round_schedules": {
+                str(b): n for b, n in self._round_schedules.items()
+            },
+            "bound_reached": self.bound_reached,
+        }
+
+    def state_from_dict(self, payload: Dict[str, Any]) -> None:
+        self._round_schedules = {
+            int(b): int(n)
+            for b, n in (payload.get("round_schedules") or {}).items()
+        }
+        self.bound_reached = payload.get("bound_reached", -1)
+
+
+class IterativeContextBoundingExplorer(KernelExplorer):
+    """Iterative context bounding on the kernel; see the strategy."""
+
+    name = "iterative-cb"
+
+    def __init__(self, program, limits=None, max_bound: int = 3) -> None:
+        super().__init__(
+            program, limits,
+            strategy=IterativeContextBoundingStrategy(max_bound),
+        )
+        self.max_bound = max_bound
+
+    @property
+    def bound_reached(self) -> int:
+        return self.strategy.bound_reached

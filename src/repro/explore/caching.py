@@ -17,29 +17,82 @@ is looked up in a global cache:
 Within the same schedule budget, the lazy variant therefore reaches
 *more distinct terminal states* — exactly the comparison of the paper's
 Figure 3.
+
+On the unified kernel this is the DFS strategy plus an ``on_step``
+pruning hook.  The fingerprint cache is *global strategy state*, not
+part of any work item: a prefix reached by replay was fingerprinted
+when its steps were first executed, so replays skip the cache exactly
+as the pre-kernel implementation did.  Checkpoints serialize the cache
+contents (so a resumed run prunes identically); split shards each
+start from the seed run's cache and prune independently — sound, since
+HBR pruning only ever removes branches whose states are reached from
+an equivalent retained prefix *within the same shard*.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.cache import FingerprintCache
-from .base import Explorer
+from .base import ExplorationStats
+from .frontier import Annotation, Frontier
+from .kernel import Expansion, KernelExplorer, Strategy
+
+_EMPTY: Annotation = {}
 
 
-class _Frame:
-    __slots__ = ("enabled", "idx")
+class HBRCachingStrategy(Strategy):
+    """DFS with prefix-HBR pruning; ``lazy`` selects the relation."""
 
-    def __init__(self, enabled: List[int]) -> None:
-        self.enabled = enabled
-        self.idx = 0
+    def __init__(self, lazy: bool = False,
+                 cache_capacity: Optional[int] = None) -> None:
+        self.lazy = lazy
+        self.name = "lazy-hbr-caching" if lazy else "hbr-caching"
+        self.cache = FingerprintCache(cache_capacity)
+        #: fingerprints freshly inserted by the in-flight schedule —
+        #: rolled back if the kernel abandons it mid-way
+        self._schedule_fps: List[int] = []
 
-    @property
-    def chosen(self) -> int:
-        return self.enabled[self.idx]
+    def expand(self, enabled: List[int], ann: Annotation) -> Expansion:
+        return Expansion(
+            chosen=enabled[0],
+            ann_after=_EMPTY,
+            alternatives=[(tid, _EMPTY) for tid in enabled[1:]],
+        )
+
+    def on_schedule_start(self, item) -> None:
+        self._schedule_fps = []
+
+    def on_step(self, ex) -> bool:
+        fp = (ex.engine.lazy_fingerprint() if self.lazy
+              else ex.engine.hbr_fingerprint())
+        if self.cache.insert(fp):
+            self._schedule_fps.append(fp)
+            return False
+        return True
+
+    def on_schedule_abort(self) -> None:
+        # the abandoned schedule is re-executed on resume; without the
+        # rollback it would hit its own stale insertions and prune its
+        # entire subtree
+        for fp in self._schedule_fps:
+            self.cache.unrecord(fp)
+        self._schedule_fps = []
+
+    def finalize(self, stats: ExplorationStats,
+                 frontier: Frontier) -> None:
+        stats.extra["cache_size"] = len(self.cache)
+        stats.extra["cache_hits"] = self.cache.hits
+
+    def state_to_dict(self) -> Dict[str, Any]:
+        return self.cache.to_dict()
+
+    def state_from_dict(self, payload: Dict[str, Any]) -> None:
+        if payload:
+            self.cache = FingerprintCache.from_dict(payload)
 
 
-class HBRCachingExplorer(Explorer):
+class HBRCachingExplorer(KernelExplorer):
     """DFS with prefix-HBR pruning; ``lazy`` selects the relation."""
 
     name = "hbr-caching"
@@ -51,50 +104,12 @@ class HBRCachingExplorer(Explorer):
         lazy: bool = False,
         cache_capacity: Optional[int] = None,
     ) -> None:
-        super().__init__(program, limits)
+        super().__init__(
+            program, limits,
+            strategy=HBRCachingStrategy(lazy, cache_capacity),
+        )
         self.lazy = lazy
-        if lazy:
-            self.stats.explorer_name = self.name = "lazy-hbr-caching"
-        self.cache = FingerprintCache(cache_capacity)
 
-    def _prefix_fp(self, ex) -> int:
-        return ex.engine.lazy_fingerprint() if self.lazy else ex.engine.hbr_fingerprint()
-
-    def _explore(self) -> None:
-        path: List[_Frame] = []
-        first = True
-        while first or path:
-            first = False
-            if self._budget_exceeded():
-                return
-            self._schedule_started()
-            ex = self._new_executor()
-            ex.replay_prefix([frame.chosen for frame in path])
-            pruned = False
-            while not ex.is_done():
-                frame = _Frame(ex.enabled())
-                path.append(frame)
-                ex.step(frame.chosen)
-                if not self.cache.insert(self._prefix_fp(ex)):
-                    pruned = True
-                    break
-            if pruned:
-                self.stats.num_pruned += 1
-                self.stats.num_events += ex.num_events
-            else:
-                result = ex.finish()
-                self.stats.num_events += result.num_events
-                self._record_terminal(result)
-            while path and path[-1].idx + 1 >= len(path[-1].enabled):
-                path.pop()
-            if path:
-                path[-1].idx += 1
-            else:
-                self.stats.exhausted = not self.stats.limit_hit
-                return
-
-    def run(self):
-        stats = super().run()
-        stats.extra["cache_size"] = len(self.cache)
-        stats.extra["cache_hits"] = self.cache.hits
-        return stats
+    @property
+    def cache(self) -> FingerprintCache:
+        return self.strategy.cache

@@ -47,6 +47,33 @@ STANDARD_EXPLORERS: Dict[str, ExplorerFactory] = {
 #: into multiple cells when a campaign requests ``seeds > 1``.
 SEEDED_EXPLORERS = frozenset({"random", "pct"})
 
+#: kernel-based strategies whose frontier can be sharded with
+#: ``Frontier.split`` (see ``repro.explore.kernel``).  DPOR variants are
+#: excluded: their backtrack sets grow dynamically, so a static split of
+#: the stack would drop required branches; the randomized walkers have
+#: no frontier at all.
+SPLITTABLE_EXPLORERS = frozenset({
+    "dfs", "preempt-bounded", "iterative-cb", "delay-bounded",
+    "hbr-caching", "lazy-hbr-caching",
+})
+
+#: strategies supporting intra-cell checkpoint/resume via
+#: ``snapshot()``/``restore()`` — the kernel family plus the DPOR
+#: variants (whose stack serializes through the work-item interface).
+RESUMABLE_EXPLORERS = SPLITTABLE_EXPLORERS | frozenset({
+    "dpor", "dpor-nosleep", "lazy-dpor",
+})
+
+
+def supports_split(name: str) -> bool:
+    """Can cells of this strategy be sharded via ``Frontier.split``?"""
+    return name in SPLITTABLE_EXPLORERS
+
+
+def supports_snapshot(name: str) -> bool:
+    """Can cells of this strategy checkpoint/resume mid-exploration?"""
+    return name in RESUMABLE_EXPLORERS
+
 
 def require_explorer(name: str) -> None:
     """Raise ``KeyError`` (with the canonical message) for a strategy
@@ -77,6 +104,10 @@ def run_single(
     seed: int = 0,
     verify: bool = True,
     fast: Optional[bool] = None,
+    resume_state: Optional[dict] = None,
+    checkpoint_fn=None,
+    checkpoint_interval: float = 2.0,
+    on_explorer=None,
 ) -> ExplorationStats:
     """Execute ONE (program, explorer, seed) cell.
 
@@ -92,13 +123,33 @@ def run_single(
     (default) keeps the strategy's own choice.  Both paths produce
     identical fingerprints, state hashes and schedule counts; the
     equivalence suite enforces this.
+
+    The frontier-kernel extensions (all optional, ignored by
+    strategies without snapshot support):
+
+    * ``resume_state`` — a ``snapshot()`` payload; the explorer
+      restores it and continues with the identical remaining schedule
+      set, its restored schedule/elapsed counts charged against
+      ``limits``;
+    * ``checkpoint_fn`` — called with a fresh snapshot at most every
+      ``checkpoint_interval`` seconds between schedules (the campaign
+      store threads this through for intra-cell ``--resume``);
+    * ``on_explorer`` — receives the explorer instance after the run
+      (the campaign worker grabs the final snapshot of budget-limited
+      cells this way).
     """
     explorer = make_explorer(explorer_name, program, limits, seed)
     if fast is not None:
         explorer.fast_replay = fast
+    if resume_state is not None and hasattr(explorer, "restore"):
+        explorer.restore(resume_state)
+    if checkpoint_fn is not None and hasattr(explorer, "snapshot"):
+        explorer.set_checkpoint(checkpoint_fn, checkpoint_interval)
     stats = explorer.run()
     if verify:
         stats.verify_inequality()
+    if on_explorer is not None:
+        on_explorer(explorer)
     return stats
 
 

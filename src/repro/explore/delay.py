@@ -10,87 +10,67 @@ for *deviating* rather than for switching.
 With ``bound=0`` exactly one schedule (the deterministic round-robin
 execution) is explored; each extra unit of budget multiplies the
 explored set by at most the schedule length.
+
+On the unified kernel the path annotation is ``(budget, last)`` — the
+remaining delay budget and the last scheduled thread (which determines
+the round-robin default).  The siblings of a point are the ``k``-delay
+deviations for ``k = 1 .. min(budget, |enabled|-1)``, each starting its
+subtree with ``budget - k``.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from .base import Explorer
+from .frontier import Annotation
+from .kernel import Expansion, KernelExplorer, Strategy
 
 
-class _Frame:
-    """One scheduling point: how many delays were applied here."""
+def _default_start(enabled: List[int], last_tid: int) -> int:
+    """Round-robin default: the first enabled tid >= last scheduled."""
+    for i, tid in enumerate(enabled):
+        if tid >= last_tid:
+            return i
+    return 0
 
-    __slots__ = ("enabled", "delays", "budget_left", "start")
 
-    def __init__(self, enabled: List[int], budget_left: int, start: int) -> None:
-        self.enabled = enabled
-        self.delays = 0
-        self.budget_left = budget_left
-        self.start = start  # index of the default (round-robin) choice
+class DelayBoundedStrategy(Strategy):
+    """DFS over schedules with at most ``bound`` delays from the
+    deterministic round-robin baseline."""
 
-    @property
-    def chosen(self) -> int:
-        return self.enabled[(self.start + self.delays) % len(self.enabled)]
+    def __init__(self, bound: int = 1) -> None:
+        if bound < 0:
+            raise ValueError("delay bound must be >= 0")
+        self.bound = bound
+        self.name = f"delay-bounded({bound})"
 
-    def can_delay_more(self) -> bool:
-        return (
-            self.delays < self.budget_left
-            and self.delays + 1 < len(self.enabled)
+    def initial_annotation(self) -> Annotation:
+        return {"budget": self.bound, "last": 0}
+
+    def expand(self, enabled: List[int], ann: Annotation) -> Expansion:
+        budget = ann["budget"]
+        start = _default_start(enabled, ann["last"])
+        n = len(enabled)
+        chosen = enabled[start % n]
+        max_delays = min(budget, n - 1)
+        return Expansion(
+            chosen=chosen,
+            ann_after={"budget": budget, "last": chosen},
+            alternatives=[
+                (enabled[(start + k) % n],
+                 {"budget": budget - k, "last": enabled[(start + k) % n]})
+                for k in range(1, max_delays + 1)
+            ],
         )
 
 
-class DelayBoundedExplorer(Explorer):
+class DelayBoundedExplorer(KernelExplorer):
     """DFS over schedules with at most ``bound`` delays from the
     deterministic round-robin baseline."""
 
     name = "delay-bounded"
 
     def __init__(self, program, limits=None, bound: int = 1) -> None:
-        super().__init__(program, limits)
-        if bound < 0:
-            raise ValueError("delay bound must be >= 0")
+        super().__init__(program, limits,
+                         strategy=DelayBoundedStrategy(bound))
         self.bound = bound
-        self.stats.explorer_name = self.name = f"delay-bounded({bound})"
-
-    def _default_start(self, enabled: List[int], last_tid: int) -> int:
-        """Round-robin default: the first enabled tid >= last scheduled."""
-        for i, tid in enumerate(enabled):
-            if tid >= last_tid:
-                return i
-        return 0
-
-    def _explore(self) -> None:
-        path: List[_Frame] = []
-        first = True
-        while first or path:
-            first = False
-            if self._budget_exceeded():
-                return
-            self._schedule_started()
-            ex = self._new_executor()
-            budget = self.bound
-            last_tid = 0
-            ex.replay_prefix([frame.chosen for frame in path])
-            if path:
-                budget = path[-1].budget_left - path[-1].delays
-                last_tid = path[-1].chosen
-            while not ex.is_done():
-                enabled = ex.enabled()
-                start = self._default_start(enabled, last_tid)
-                frame = _Frame(enabled, budget, start)
-                path.append(frame)
-                last_tid = frame.chosen
-                ex.step(frame.chosen)
-            result = ex.finish()
-            self.stats.num_events += result.num_events
-            self._record_terminal(result)
-            # backtrack: deepest frame that can spend one more delay
-            while path and not path[-1].can_delay_more():
-                path.pop()
-            if path:
-                path[-1].delays += 1
-            else:
-                self.stats.exhausted = not self.stats.limit_hit
-                return

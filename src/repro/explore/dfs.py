@@ -4,56 +4,40 @@ No reduction at all: every interleaving of visible operations is
 executed once.  Exponential, but it is the ground truth the reduction
 strategies are tested against — on small programs every other explorer
 must find exactly the same set of terminal states.
+
+Ported onto the unified exploration kernel: the strategy needs no path
+annotation at all — at every scheduling point the default choice is the
+first enabled thread and every other enabled thread roots a sibling
+subtree.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from .base import Explorer
+from .frontier import Annotation
+from .kernel import Expansion, KernelExplorer, Strategy
+
+_EMPTY: Annotation = {}
 
 
-class _Frame:
-    """One scheduling decision on the DFS path."""
+class DFSStrategy(Strategy):
+    """Enumerate every schedule in depth-first order."""
 
-    __slots__ = ("enabled", "idx")
+    name = "dfs"
 
-    def __init__(self, enabled: List[int]) -> None:
-        self.enabled = enabled
-        self.idx = 0  # position in `enabled` currently being explored
+    def expand(self, enabled: List[int], ann: Annotation) -> Expansion:
+        return Expansion(
+            chosen=enabled[0],
+            ann_after=_EMPTY,
+            alternatives=[(tid, _EMPTY) for tid in enabled[1:]],
+        )
 
-    @property
-    def chosen(self) -> int:
-        return self.enabled[self.idx]
 
-
-class DFSExplorer(Explorer):
+class DFSExplorer(KernelExplorer):
     """Enumerates every schedule by stateless depth-first search."""
 
     name = "dfs"
 
-    def _explore(self) -> None:
-        path: List[_Frame] = []
-        first = True
-        while first or path:
-            first = False
-            if self._budget_exceeded():
-                return
-            self._schedule_started()
-            ex = self._new_executor()
-            ex.replay_prefix([frame.chosen for frame in path])
-            while not ex.is_done():
-                frame = _Frame(ex.enabled())
-                path.append(frame)
-                ex.step(frame.chosen)
-            result = ex.finish()
-            self.stats.num_events += result.num_events
-            self._record_terminal(result)
-            # backtrack to the deepest frame with an untried sibling
-            while path and path[-1].idx + 1 >= len(path[-1].enabled):
-                path.pop()
-            if path:
-                path[-1].idx += 1
-            else:
-                self.stats.exhausted = True
-                return
+    def __init__(self, program, limits=None) -> None:
+        super().__init__(program, limits, strategy=DFSStrategy())

@@ -26,11 +26,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from typing import Any
+
 from ..core.events import Event, MUTEX_KINDS, OpKind
 from ..core.dependence import conflicts, may_be_coenabled
 from ..runtime.executor import Executor
 from ..runtime.trace import PendingInfo
 from .base import Explorer
+from .frontier import Frontier, WorkItem
+
+DPOR_SNAPSHOT_VERSION = 1
 
 
 class _Node:
@@ -88,17 +93,29 @@ class DPORExplorer(Explorer):
         self.sleep_sets = sleep_sets
         if not sleep_sets:
             self.stats.explorer_name = self.name = "dpor-nosleep"
+        #: the DPOR stack, kept on the instance so in-progress
+        #: exploration state can be snapshot/restored between schedules
+        self._stack: List[_Node] = []
+        self._started = False
 
     # ------------------------------------------------------------------
     def _explore(self) -> None:
-        stack: List[_Node] = []
-        first = True
+        stack = self._stack
+        first = not self._started
         while first or stack:
             first = False
+            self._started = True
             if self._budget_exceeded():
                 return
+            self._maybe_checkpoint()
             self._schedule_started()
             pruned = self._run_one(stack)
+            if pruned is None:
+                # the wall-clock deadline fired mid-schedule
+                # (``limit_hit`` is already set): discard the partial
+                # run — a resumed exploration re-executes it
+                self.stats.num_schedules -= 1
+                return
             if pruned:
                 self.stats.num_pruned += 1
             # backtrack: deepest node with an unexplored candidate
@@ -119,10 +136,14 @@ class DPORExplorer(Explorer):
                 return
 
     # ------------------------------------------------------------------
-    def _run_one(self, stack: List[_Node]) -> bool:
+    def _run_one(self, stack: List[_Node]) -> Optional[bool]:
         """Replay the stack prefix, then extend to a terminal (or
         sleep-pruned) state, updating backtrack sets.  Returns True if
-        the run was pruned by sleep sets."""
+        the run was pruned by sleep sets, None if the wall-clock
+        deadline fired mid-schedule (the stack stays valid: every
+        appended node was fully race-analysed before its step ran, so
+        a resumed run replays the prefix and picks up exactly at the
+        first unanalysed state)."""
         ex = self._new_executor()
         # per-location index of trace positions, for fast race lookup
         loc_index: Dict[Tuple[int, object], List[int]] = {}
@@ -130,6 +151,8 @@ class DPORExplorer(Explorer):
             self._index_event(loc_index, ex.trace, ex.step(node.chosen))
 
         while True:
+            if self._deadline_exceeded_midschedule():
+                return None
             if ex.is_done():
                 result = ex.finish()
                 self.stats.num_events += result.num_events
@@ -154,6 +177,80 @@ class DPORExplorer(Explorer):
                     node.done.add(choice)
                     stack.append(node)
             self._index_event(loc_index, ex.trace, ex.step(stack[len(ex.trace)].chosen))
+
+    # ------------------------------------------------------------------
+    # The frontier/work-item interface.  DPOR keeps its bespoke loop —
+    # backtrack sets are updated *dynamically* by race analysis, so a
+    # static Frontier.split would be unsound — but its backtrack points
+    # serialize as the same WorkItem currency the kernel uses: stack
+    # node i becomes a work item whose prefix is the schedule through
+    # that node and whose annotation carries the node's backtrack/
+    # done/sleep sets.  That buys intra-cell checkpoint/resume for
+    # DPOR cells, in the same snapshot format the campaign store
+    # threads around.
+    # ------------------------------------------------------------------
+    def to_work_items(self) -> Frontier:
+        """The current stack as a frontier of serializable work items
+        (bottom-to-top; only meaningful between schedules)."""
+        frontier = Frontier()
+        prefix: List[int] = []
+        for node in self._stack:
+            prefix.append(node.chosen)
+            frontier.push(WorkItem(tuple(prefix), {
+                "enabled": list(node.enabled),
+                "chosen": node.chosen,
+                "backtrack": sorted(node.backtrack),
+                "done": sorted(node.done),
+                "sleep": sorted(node.sleep),
+            }))
+        return frontier
+
+    def _load_work_items(self, frontier: Frontier) -> None:
+        self._stack = []
+        for item in frontier:
+            ann = item.annotation
+            node = _Node(list(ann["enabled"]), set(ann["sleep"]))
+            node.chosen = ann["chosen"]
+            node.backtrack = set(ann["backtrack"])
+            node.done = set(ann["done"])
+            self._stack.append(node)
+
+    def _aux_state_to_dict(self) -> Dict[str, Any]:
+        """Extra serializable state; the lazy variant adds its cache."""
+        return {}
+
+    def _aux_state_from_dict(self, payload: Dict[str, Any]) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable in-progress state; valid between schedules."""
+        return {
+            "version": DPOR_SNAPSHOT_VERSION,
+            "kind": "dpor",
+            "explorer": self.name,
+            "program": self.program.name,
+            "frontier": self.to_work_items().to_dict(),
+            "stats": self.stats.to_dict(),
+            "aux": self._aux_state_to_dict(),
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot`: continue a checkpointed run."""
+        version = payload.get("version")
+        if version != DPOR_SNAPSHOT_VERSION or payload.get("kind") != "dpor":
+            raise ValueError(
+                f"unsupported DPOR snapshot (version={version!r}, "
+                f"kind={payload.get('kind')!r})"
+            )
+        if payload.get("explorer") != self.name:
+            raise ValueError(
+                f"snapshot of {payload.get('explorer')!r} cannot restore "
+                f"a {self.name!r} explorer"
+            )
+        self._load_work_items(Frontier.from_dict(payload["frontier"]))
+        self._started = True
+        self._restore_stats(payload.get("stats"))
+        self._aux_state_from_dict(payload.get("aux") or {})
 
     # ------------------------------------------------------------------
     def _child_sleep(self, stack: List[_Node], ex: Executor) -> Set[int]:

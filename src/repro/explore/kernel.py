@@ -1,0 +1,295 @@
+"""The unified exploration kernel: one replay loop, pluggable strategies.
+
+Every DFS-family explorer in the paper's study — plain DFS, preemption
+bounding, iterative context bounding, delay bounding, (lazy) HBR
+caching — is the same stateless-replay loop differing only in how the
+next schedule prefix is chosen.  The kernel owns that loop: replay,
+budgets, statistics, pruning, checkpointing; a :class:`Strategy` owns
+only the scheduling policy, expressed through three hooks:
+
+* ``initial_items()`` — the roots of the search (usually one empty
+  prefix; iterative bounding seeds one root per bound);
+* ``expand(enabled, ann)`` — at one scheduling point, pick the default
+  choice and enumerate the sibling alternatives (each a serializable
+  :class:`~repro.explore.frontier.WorkItem` annotation);
+* ``on_step(ex)`` — optional pruning after an executed step (HBR
+  caching returns True on a fingerprint-cache hit).
+
+The kernel drives an explicit :class:`~repro.explore.frontier.Frontier`
+instead of an implicit Python-local stack of frames.  Popping an item,
+replaying its prefix, extending greedily with the strategy's default
+choices, and pushing each scheduling point's alternatives in reverse
+order reproduces *byte-for-byte* the schedule sequence of the old
+frame-based depth-first loops (golden-equivalence-tested over the
+``small`` suite) — while making the in-progress state serializable:
+``snapshot()``/``restore()`` checkpoint and resume an exploration, and
+``Frontier.split(k)`` shards one cell across workers.
+
+See DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .base import ExplorationStats, Explorer
+from .frontier import Annotation, Frontier, WorkItem
+
+SNAPSHOT_VERSION = 1
+
+
+class Expansion:
+    """A strategy's decision at one scheduling point.
+
+    ``chosen`` is the default choice the kernel executes now;
+    ``ann_after`` is the path annotation after taking it;
+    ``alternatives`` lists the sibling choices *in exploration order*
+    (first = explored soonest), each with the annotation its subtree
+    starts from.
+    """
+
+    __slots__ = ("chosen", "ann_after", "alternatives")
+
+    def __init__(
+        self,
+        chosen: int,
+        ann_after: Annotation,
+        alternatives: Sequence[Tuple[int, Annotation]] = (),
+    ) -> None:
+        self.chosen = chosen
+        self.ann_after = ann_after
+        self.alternatives = alternatives
+
+
+class Strategy:
+    """Scheduling policy plugged into :class:`KernelExplorer`."""
+
+    #: strategy name; becomes the explorer/stats name
+    name = "strategy"
+    #: see :attr:`repro.explore.base.Explorer.fast_replay`
+    fast_replay = True
+    #: safe to shard via ``Frontier.split``?  True for every kernel
+    #: strategy (their work items are self-contained subtree roots)
+    supports_split = True
+
+    def bind(self, kernel: "KernelExplorer") -> None:
+        """Called once by the kernel before exploration; strategies
+        needing the limits or stats keep the reference."""
+        self.kernel = kernel
+
+    def initial_items(self) -> List[WorkItem]:
+        """Roots of the search, in exploration order."""
+        return [WorkItem((), self.initial_annotation())]
+
+    def initial_annotation(self) -> Annotation:
+        return {}
+
+    def expand(self, enabled: List[int], ann: Annotation) -> Expansion:
+        raise NotImplementedError
+
+    def on_step(self, ex) -> bool:
+        """Called after each *newly chosen* executed step (replayed
+        prefix steps were accounted when first executed).  Return True
+        to prune the schedule here."""
+        return False
+
+    def on_schedule_start(self, item: WorkItem) -> None:
+        """Called as each work item is popped, before replay."""
+
+    def on_schedule_abort(self) -> None:
+        """Called when the kernel abandons an in-flight schedule (the
+        mid-schedule wall-clock deadline fired).  The work item is
+        re-pushed and re-executed on resume, so strategies with global
+        mutable state touched by ``on_step`` (fingerprint caches) must
+        roll back this schedule's effects here — otherwise the resumed
+        re-execution would see its own stale insertions and prune its
+        whole subtree."""
+
+    def finalize(self, stats: ExplorationStats, frontier: Frontier) -> None:
+        """Called once after the kernel loop ends (exhaustion or
+        limit); may add ``stats.extra`` entries or refine the
+        ``exhausted``/``limit_hit`` flags."""
+
+    # -- serialization of global strategy state (caches, counters) ---------
+    def state_to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def state_from_dict(self, payload: Dict[str, Any]) -> None:
+        pass
+
+
+class KernelExplorer(Explorer):
+    """Explorer driven by a :class:`Frontier` and a :class:`Strategy`.
+
+    The in-progress exploration state is exactly ``(frontier, stats,
+    strategy state)`` — all serializable — so the kernel supports:
+
+    * ``snapshot()`` / ``restore()`` — intra-cell checkpoint/resume:
+      a restored run continues with the identical remaining schedule
+      set (budgets are cumulative: restored ``num_schedules`` and
+      ``elapsed`` count against ``max_schedules``/``max_seconds``);
+    * ``run_seed(min_items, max_schedules)`` — expand just enough to
+      split: explore until the frontier holds at least ``min_items``
+      disjoint subtree roots (or the seed budget runs out), leaving
+      ``self.frontier`` ready for ``Frontier.split(k)``;
+    * ``schedule_sink`` — optional list receiving every executed
+      schedule (terminal runs in full, pruned runs as the executed
+      prefix), used by the golden-equivalence tests.
+    """
+
+    def __init__(self, program, limits=None, strategy: Strategy = None
+                 ) -> None:
+        if strategy is None:  # pragma: no cover - defensive
+            raise ValueError("KernelExplorer requires a strategy")
+        super().__init__(program, limits)
+        self.strategy = strategy
+        self.fast_replay = strategy.fast_replay
+        self.name = strategy.name
+        self.stats.explorer_name = strategy.name
+        strategy.bind(self)
+        self.frontier = Frontier()
+        for item in reversed(strategy.initial_items()):
+            self.frontier.push(item)
+        self.schedule_sink: Optional[List[List[int]]] = None
+        self._seed_target: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _explore(self) -> None:
+        frontier = self.frontier
+        strategy = self.strategy
+        sink = self.schedule_sink
+        while frontier:
+            if self._budget_exceeded():
+                return  # frontier preserved: snapshot() resumes here
+            # checkpoint BEFORE popping: a snapshot must contain the
+            # complete remaining frontier, including the item about to
+            # be explored (resuming re-executes it)
+            self._maybe_checkpoint()
+            if self._seed_target is not None:
+                if len(frontier) >= self._seed_target:
+                    return
+                # seed-for-split mode: expand breadth-first so the
+                # frontier grows into many similarly-deep subtree
+                # roots (LIFO pops would consume it as fast as it
+                # grows and leave exponentially skewed shards)
+                item = frontier.pop_shallowest()
+            else:
+                item = frontier.pop()
+            strategy.on_schedule_start(item)
+            self._schedule_started()
+            ex = self._new_executor()
+            prefix: List[int] = list(item.prefix)
+            ex.replay_prefix(prefix)
+            ann = item.annotation
+            pruned = False
+            aborted = False
+            # alternatives discovered along this schedule: (depth,
+            # alts) collected locally and only published to the
+            # frontier once the schedule completes, so a mid-schedule
+            # deadline abort leaves the frontier exactly as popped
+            discovered: List[Tuple[int, Sequence[Tuple[int, Annotation]]]] \
+                = []
+            while not ex.is_done():
+                if self._deadline_exceeded_midschedule():
+                    aborted = True
+                    break
+                enabled = ex.enabled()
+                exp = strategy.expand(enabled, ann)
+                if exp.alternatives:
+                    discovered.append((len(prefix), exp.alternatives))
+                ann = exp.ann_after
+                prefix.append(exp.chosen)
+                ex.step(exp.chosen)
+                if strategy.on_step(ex):
+                    pruned = True
+                    break
+            if aborted:
+                # the deadline fired mid-schedule: discard the partial
+                # run (it is re-executed on resume), roll back any
+                # strategy state it mutated, and push the item back so
+                # the frontier stays the exact remaining set
+                self.stats.num_schedules -= 1
+                strategy.on_schedule_abort()
+                frontier.push(item)
+                return
+            for depth, alts in discovered:
+                base = tuple(prefix[:depth])
+                for tid, alt_ann in reversed(list(alts)):
+                    frontier.push(WorkItem(base + (tid,), alt_ann))
+            if pruned:
+                self.stats.num_pruned += 1
+                self.stats.num_events += ex.num_events
+                if sink is not None:
+                    sink.append(list(prefix))
+            else:
+                result = ex.finish()
+                self.stats.num_events += result.num_events
+                self._record_terminal(result)
+                if sink is not None:
+                    sink.append(list(result.schedule))
+        self.stats.exhausted = not self.stats.limit_hit
+
+    def run(self) -> ExplorationStats:
+        stats = super().run()
+        self.strategy.finalize(stats, self.frontier)
+        return stats
+
+    # ------------------------------------------------------------------
+    def run_seed(self, min_items: int,
+                 max_schedules: int = 64) -> ExplorationStats:
+        """Explore just enough to shard: stop as soon as the frontier
+        holds ``min_items`` items (or the seed budget is consumed, or
+        the space is exhausted).  Deterministic; the schedules executed
+        here are exactly the first schedules a serial run executes, so
+        seed stats merge cleanly with shard stats."""
+        from .base import ExplorationLimits
+
+        self._seed_target = max(1, min_items)
+        outer = self.limits
+        self.limits = ExplorationLimits(
+            max_schedules=min(max_schedules, outer.max_schedules),
+            max_seconds=None,
+            max_events_per_schedule=outer.max_events_per_schedule,
+        )
+        try:
+            stats = self.run()
+        finally:
+            self.limits = outer
+            self._seed_target = None
+        if self.frontier:
+            # stopping early is not a real budget event for the cell
+            stats.limit_hit = False
+            stats.exhausted = False
+        return stats
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable in-progress state; valid between schedules."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "explorer": self.name,
+            "program": self.program.name,
+            "frontier": self.frontier.to_dict(),
+            "stats": self.stats.to_dict(),
+            "strategy": self.strategy.state_to_dict(),
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot`: continue a checkpointed run.
+
+        The restored frontier is the exact remaining schedule set;
+        restored statistics (including the fingerprint sets) carry
+        over, and the restored ``elapsed``/``num_schedules`` count
+        against this run's budgets.
+        """
+        version = payload.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {version!r}")
+        if payload.get("explorer") != self.name:
+            raise ValueError(
+                f"snapshot of {payload.get('explorer')!r} cannot restore "
+                f"a {self.name!r} explorer"
+            )
+        self.frontier = Frontier.from_dict(payload["frontier"])
+        self._restore_stats(payload.get("stats"))
+        self.strategy.state_from_dict(payload.get("strategy") or {})

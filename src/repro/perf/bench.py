@@ -25,6 +25,7 @@ Reports are JSON (``BENCH_<name>.json``); see README "Performance".
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -37,6 +38,9 @@ from ..suite import REGISTRY
 
 #: Schema marker so unrelated JSON files are rejected early.
 REPORT_KIND = "repro-bench"
+
+#: Schema marker of the frontier split/resume scenario reports.
+SPLIT_REPORT_KIND = "repro-bench-split"
 
 #: Calibration-normalised slowdown beyond which the comparison fails.
 DEFAULT_MAX_REGRESSION = 0.30
@@ -174,6 +178,116 @@ def run_bench(
     return report
 
 
+def run_split_bench(
+    shards: int = 4,
+    smoke: bool = False,
+    progress=None,
+) -> Dict[str, Any]:
+    """The frontier split/resume scenario (``bench --scenario split``).
+
+    Two measurements on one exhaustible DFS campaign cell:
+
+    * **split speedup** — wall-clock of the unsplit serial cell vs the
+      same cell seeded, ``Frontier.split(k)``-sharded and run on a
+      ``k``-worker pool (``campaign --split-large k --jobs k``).  Both
+      runs exhaust the identical schedule set (enforced: the merged
+      fingerprint sets must equal the serial run's), so the ratio is a
+      true intra-cell scaling number, not budget inflation.
+    * **resume overhead** — time to ``snapshot()`` a half-explored
+      frontier, JSON round-trip it, and ``restore()`` — the cost a
+      checkpointed campaign pays per cell to survive interruption.
+
+    Smoke mode uses a smaller cell so CI stays fast.
+    """
+    from ..campaign import CampaignCell, run_campaign
+    from ..explore import ExplorationLimits
+    from ..explore.controller import make_explorer
+
+    # disjoint_coarse(3,2): 8844-schedule exhaustive DFS cell (~1.5 s
+    # serial) — large enough to amortise pool startup; the smoke cell
+    # (racy_counter(3,1), 1680 schedules) keeps CI under a second
+    bench_id = 4 if smoke else 13
+    cells = [CampaignCell(bench_id, "dfs")]
+    limits = ExplorationLimits()
+
+    t0 = time.perf_counter()
+    serial = run_campaign(cells, limits, jobs=1)
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    split = run_campaign(cells, limits, jobs=shards, split_large=shards)
+    split_seconds = time.perf_counter() - t0
+
+    s_stats, p_stats = serial.results[0].stats, split.results[0].stats
+    if (s_stats.hbr_fps != p_stats.hbr_fps
+            or s_stats.state_hashes != p_stats.state_hashes
+            or s_stats.num_schedules != p_stats.num_schedules):
+        raise AssertionError(
+            "split campaign diverged from the serial cell "
+            f"(serial {s_stats.num_schedules} schedules, split "
+            f"{p_stats.num_schedules})"
+        )
+
+    # resume overhead: snapshot/restore a half-explored frontier
+    program = REGISTRY[bench_id].program
+    explorer = make_explorer(
+        "dfs", program,
+        ExplorationLimits(max_schedules=s_stats.num_schedules // 2),
+    )
+    explorer.run()
+    t0 = time.perf_counter()
+    snapshot = explorer.snapshot()
+    payload = json.dumps(snapshot)
+    snapshot_seconds = time.perf_counter() - t0
+    resumed = make_explorer("dfs", program, ExplorationLimits())
+    t0 = time.perf_counter()
+    resumed.restore(json.loads(payload))
+    restore_seconds = time.perf_counter() - t0
+    resumed_stats = resumed.run()
+    if resumed_stats.num_schedules != s_stats.num_schedules:
+        raise AssertionError(
+            "resumed run diverged: "
+            f"{resumed_stats.num_schedules} != {s_stats.num_schedules}"
+        )
+
+    report = {
+        "meta": {
+            "kind": SPLIT_REPORT_KIND,
+            "smoke": bool(smoke),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            # split speedup is bounded by physical parallelism; a
+            # 1-core runner can only show the (small) sharding overhead
+            "cpu_count": os.cpu_count(),
+        },
+        "split": {
+            "bench_id": bench_id,
+            "program": program.name,
+            "explorer": "dfs",
+            "shards": shards,
+            "schedules": s_stats.num_schedules,
+            "serial_seconds": serial_seconds,
+            "split_seconds": split_seconds,
+            "speedup": serial_seconds / split_seconds,
+        },
+        "resume": {
+            "checkpoint_schedules": s_stats.num_schedules // 2,
+            "frontier_items": len(snapshot["frontier"]["items"]),
+            "snapshot_bytes": len(payload),
+            "snapshot_seconds": snapshot_seconds,
+            "restore_seconds": restore_seconds,
+        },
+    }
+    if progress is not None:
+        progress(
+            f"split x{shards} on {program.name}: "
+            f"{serial_seconds:.2f}s serial -> {split_seconds:.2f}s "
+            f"({report['split']['speedup']:.2f}x); resume snapshot "
+            f"{len(payload):,} bytes in {snapshot_seconds*1e3:.1f}ms"
+        )
+    return report
+
+
 def write_report(report: Dict[str, Any], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
@@ -247,6 +361,28 @@ def bench_table(report: Dict[str, Any]) -> str:
 
 def main(args) -> int:  # pragma: no cover - exercised via the CLI tests
     """Entry point for ``python -m repro bench``."""
+    if getattr(args, "scenario", "micro") == "split":
+        try:
+            report = run_split_bench(
+                shards=args.shards,
+                smoke=args.smoke,
+                progress=print if not args.quiet else None,
+            )
+        except AssertionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        split, resume = report["split"], report["resume"]
+        print(
+            f"split speedup: {split['speedup']:.2f}x over "
+            f"{split['schedules']} schedules "
+            f"({split['shards']} shards); snapshot/restore "
+            f"{resume['snapshot_seconds']*1e3:.1f}/"
+            f"{resume['restore_seconds']*1e3:.1f} ms"
+        )
+        if args.out:
+            write_report(report, args.out)
+            print(f"wrote {args.out}")
+        return 0
     cases = args.cases.split(",") if args.cases else None
     try:
         report = run_bench(

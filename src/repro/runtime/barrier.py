@@ -10,7 +10,7 @@ the last arrival is unspecified.
 No release edges are injected: all BARRIER_WAIT events on one barrier
 conflict pairwise (they modify the barrier), and the synchronisation
 "everyone reached the barrier" is an enabledness fact, not an event
-ordering — see DESIGN.md.
+ordering — see DESIGN.md §5.3.
 """
 
 from __future__ import annotations

@@ -1,0 +1,346 @@
+"""Frozen pre-kernel explorer implementations (golden references).
+
+These are verbatim copies of the frame-based ``_explore`` loops the
+DFS-family explorers shipped before the unified exploration kernel
+(``repro.explore.kernel``) replaced them, instrumented with a
+``schedule_log`` that records every executed schedule (full schedules
+for terminal runs, the executed prefix for pruned runs).
+
+``tests/test_kernel_equivalence.py`` runs each kernel-ported strategy
+against its reference here and asserts byte-identical schedule
+sequences, fingerprint sets and statistics.  Do not "improve" this
+file: its only job is to stay exactly what the pre-refactor code did.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cache import FingerprintCache
+from repro.explore.base import ExplorationLimits, Explorer
+
+
+class _LogMixin:
+    """Adds the ``schedule_log`` list to a reference explorer."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.schedule_log: List[List[int]] = []
+
+
+# ---------------------------------------------------------------------------
+# DFS (pre-kernel repro/explore/dfs.py)
+# ---------------------------------------------------------------------------
+
+class _DFSFrame:
+    __slots__ = ("enabled", "idx")
+
+    def __init__(self, enabled: List[int]) -> None:
+        self.enabled = enabled
+        self.idx = 0
+
+    @property
+    def chosen(self) -> int:
+        return self.enabled[self.idx]
+
+
+class ReferenceDFS(_LogMixin, Explorer):
+    name = "dfs"
+
+    def _explore(self) -> None:
+        path: List[_DFSFrame] = []
+        first = True
+        while first or path:
+            first = False
+            if self._budget_exceeded():
+                return
+            self._schedule_started()
+            ex = self._new_executor()
+            ex.replay_prefix([frame.chosen for frame in path])
+            while not ex.is_done():
+                frame = _DFSFrame(ex.enabled())
+                path.append(frame)
+                ex.step(frame.chosen)
+            result = ex.finish()
+            self.schedule_log.append(list(result.schedule))
+            self.stats.num_events += result.num_events
+            self._record_terminal(result)
+            while path and path[-1].idx + 1 >= len(path[-1].enabled):
+                path.pop()
+            if path:
+                path[-1].idx += 1
+            else:
+                self.stats.exhausted = True
+                return
+
+
+# ---------------------------------------------------------------------------
+# Preemption bounding (pre-kernel repro/explore/bounded.py)
+# ---------------------------------------------------------------------------
+
+class _PBFrame:
+    __slots__ = ("choices", "idx", "prev_tid", "budget")
+
+    def __init__(self, choices: List[int], prev_tid: int, budget: int) -> None:
+        self.choices = choices
+        self.idx = 0
+        self.prev_tid = prev_tid
+        self.budget = budget
+
+    @property
+    def chosen(self) -> int:
+        return self.choices[self.idx]
+
+
+class ReferencePreemptionBounded(_LogMixin, Explorer):
+    name = "preempt-bounded"
+
+    def __init__(self, program, limits=None, bound: Optional[int] = 2) -> None:
+        super().__init__(program, limits)
+        self.bound = bound
+        if bound is not None:
+            self.stats.explorer_name = self.name = f"preempt-bounded({bound})"
+
+    def _choices(self, enabled: List[int], prev_tid: int,
+                 budget: int) -> List[int]:
+        if prev_tid in enabled:
+            if budget <= 0:
+                return [prev_tid]
+            return [prev_tid] + [t for t in enabled if t != prev_tid]
+        return list(enabled)
+
+    def _explore(self) -> None:
+        path: List[_PBFrame] = []
+        first = True
+        while first or path:
+            first = False
+            if self._budget_exceeded():
+                return
+            self._schedule_started()
+            ex = self._new_executor()
+            ex.replay_prefix([frame.chosen for frame in path])
+            prev_tid = path[-1].chosen if path else -1
+            budget = path[-1].budget if path else (
+                self.bound if self.bound is not None else 1 << 30
+            )
+            if path:
+                budget = self._budget_after(path[-1])
+            while not ex.is_done():
+                enabled = ex.enabled()
+                choices = self._choices(enabled, prev_tid, budget)
+                frame = _PBFrame(choices, prev_tid, budget)
+                path.append(frame)
+                chosen = frame.chosen
+                budget = self._budget_after(frame)
+                prev_tid = chosen
+                ex.step(chosen)
+            result = ex.finish()
+            self.schedule_log.append(list(result.schedule))
+            self.stats.num_events += result.num_events
+            self._record_terminal(result)
+            while path and path[-1].idx + 1 >= len(path[-1].choices):
+                path.pop()
+            if path:
+                path[-1].idx += 1
+            else:
+                self.stats.exhausted = not self.stats.limit_hit
+                return
+
+    def _budget_after(self, frame: _PBFrame) -> int:
+        chosen = frame.chosen
+        if frame.prev_tid != -1 and frame.prev_tid != chosen and \
+                frame.prev_tid in frame.choices:
+            return frame.budget - 1
+        return frame.budget
+
+
+class ReferenceIterativeCB(_LogMixin, Explorer):
+    name = "iterative-cb"
+
+    def __init__(self, program, limits=None, max_bound: int = 3) -> None:
+        super().__init__(program, limits)
+        self.max_bound = max_bound
+        self.bound_reached = -1
+
+    def _explore(self) -> None:
+        remaining = self.limits.max_schedules
+        for bound in range(self.max_bound + 1):
+            if remaining <= 0:
+                self.stats.limit_hit = True
+                return
+            inner_limits = ExplorationLimits(
+                max_schedules=remaining,
+                max_seconds=None,
+                max_events_per_schedule=self.limits.max_events_per_schedule,
+            )
+            inner = ReferencePreemptionBounded(
+                self.program, inner_limits, bound=bound
+            )
+            inner.stats.hbr_fps = self.stats.hbr_fps
+            inner.stats.lazy_fps = self.stats.lazy_fps
+            inner.stats.state_hashes = self.stats.state_hashes
+            inner._error_kinds = self._error_kinds
+            inner.stats.errors = self.stats.errors
+            inner_stats = inner.run()
+            self.schedule_log.extend(inner.schedule_log)
+            self.stats.num_schedules += inner_stats.num_schedules
+            self.stats.num_complete += inner_stats.num_complete
+            self.stats.num_events += inner_stats.num_events
+            self.stats.num_hbrs = len(self.stats.hbr_fps)
+            self.stats.num_lazy_hbrs = len(self.stats.lazy_fps)
+            self.stats.num_states = len(self.stats.state_hashes)
+            remaining -= inner_stats.num_schedules
+            self.bound_reached = bound
+            self.stats.extra[f"schedules_bound_{bound}"] = \
+                inner_stats.num_schedules
+            if self._deadline is not None:
+                import time
+                if time.monotonic() > self._deadline:
+                    self.stats.limit_hit = True
+                    return
+        self.stats.limit_hit = self.stats.num_schedules >= \
+            self.limits.max_schedules
+
+
+# ---------------------------------------------------------------------------
+# Delay bounding (pre-kernel repro/explore/delay.py)
+# ---------------------------------------------------------------------------
+
+class _DelayFrame:
+    __slots__ = ("enabled", "delays", "budget_left", "start")
+
+    def __init__(self, enabled: List[int], budget_left: int,
+                 start: int) -> None:
+        self.enabled = enabled
+        self.delays = 0
+        self.budget_left = budget_left
+        self.start = start
+
+    @property
+    def chosen(self) -> int:
+        return self.enabled[(self.start + self.delays) % len(self.enabled)]
+
+    def can_delay_more(self) -> bool:
+        return (
+            self.delays < self.budget_left
+            and self.delays + 1 < len(self.enabled)
+        )
+
+
+class ReferenceDelayBounded(_LogMixin, Explorer):
+    name = "delay-bounded"
+
+    def __init__(self, program, limits=None, bound: int = 1) -> None:
+        super().__init__(program, limits)
+        if bound < 0:
+            raise ValueError("delay bound must be >= 0")
+        self.bound = bound
+        self.stats.explorer_name = self.name = f"delay-bounded({bound})"
+
+    def _default_start(self, enabled: List[int], last_tid: int) -> int:
+        for i, tid in enumerate(enabled):
+            if tid >= last_tid:
+                return i
+        return 0
+
+    def _explore(self) -> None:
+        path: List[_DelayFrame] = []
+        first = True
+        while first or path:
+            first = False
+            if self._budget_exceeded():
+                return
+            self._schedule_started()
+            ex = self._new_executor()
+            budget = self.bound
+            last_tid = 0
+            ex.replay_prefix([frame.chosen for frame in path])
+            if path:
+                budget = path[-1].budget_left - path[-1].delays
+                last_tid = path[-1].chosen
+            while not ex.is_done():
+                enabled = ex.enabled()
+                start = self._default_start(enabled, last_tid)
+                frame = _DelayFrame(enabled, budget, start)
+                path.append(frame)
+                last_tid = frame.chosen
+                ex.step(frame.chosen)
+            result = ex.finish()
+            self.schedule_log.append(list(result.schedule))
+            self.stats.num_events += result.num_events
+            self._record_terminal(result)
+            while path and not path[-1].can_delay_more():
+                path.pop()
+            if path:
+                path[-1].delays += 1
+            else:
+                self.stats.exhausted = not self.stats.limit_hit
+                return
+
+
+# ---------------------------------------------------------------------------
+# (Lazy) HBR caching (pre-kernel repro/explore/caching.py)
+# ---------------------------------------------------------------------------
+
+class ReferenceHBRCaching(_LogMixin, Explorer):
+    name = "hbr-caching"
+
+    def __init__(
+        self,
+        program,
+        limits=None,
+        lazy: bool = False,
+        cache_capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(program, limits)
+        self.lazy = lazy
+        if lazy:
+            self.stats.explorer_name = self.name = "lazy-hbr-caching"
+        self.cache = FingerprintCache(cache_capacity)
+
+    def _prefix_fp(self, ex) -> int:
+        return (ex.engine.lazy_fingerprint() if self.lazy
+                else ex.engine.hbr_fingerprint())
+
+    def _explore(self) -> None:
+        path: List[_DFSFrame] = []
+        first = True
+        while first or path:
+            first = False
+            if self._budget_exceeded():
+                return
+            self._schedule_started()
+            ex = self._new_executor()
+            ex.replay_prefix([frame.chosen for frame in path])
+            pruned = False
+            while not ex.is_done():
+                frame = _DFSFrame(ex.enabled())
+                path.append(frame)
+                ex.step(frame.chosen)
+                if not self.cache.insert(self._prefix_fp(ex)):
+                    pruned = True
+                    break
+            if pruned:
+                self.schedule_log.append(
+                    [frame.chosen for frame in path]
+                )
+                self.stats.num_pruned += 1
+                self.stats.num_events += ex.num_events
+            else:
+                result = ex.finish()
+                self.schedule_log.append(list(result.schedule))
+                self.stats.num_events += result.num_events
+                self._record_terminal(result)
+            while path and path[-1].idx + 1 >= len(path[-1].enabled):
+                path.pop()
+            if path:
+                path[-1].idx += 1
+            else:
+                self.stats.exhausted = not self.stats.limit_hit
+                return
+
+    def run(self):
+        stats = super().run()
+        stats.extra["cache_size"] = len(self.cache)
+        stats.extra["cache_hits"] = self.cache.hits
+        return stats

@@ -239,6 +239,190 @@ class TestCheckpointResume:
         assert again.num_cached == len(self.CELLS)
 
 
+class TestIntraCellResume:
+    """A half-explored cell resumes from its partial frontier
+    checkpoint instead of schedule zero."""
+
+    CELL = CampaignCell(3, "dfs")  # racy_counter(2,2): 252 schedules
+
+    def test_partial_written_on_budget_limit(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        tight = ExplorationLimits(max_schedules=30)
+        store = ResultStore(path, tight)
+        campaign = run_campaign([self.CELL], tight, store=store)
+        assert campaign.results[0].stats.limit_hit
+        assert store.partial_path(self.CELL.key).exists()
+
+    def test_laxer_budget_resumes_from_frontier(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        tight = ExplorationLimits(max_schedules=30)
+        run_campaign([self.CELL], tight, store=ResultStore(path, tight))
+
+        lax = ExplorationLimits(max_schedules=100_000)
+        store = ResultStore(path, lax)
+        resumed = run_campaign([self.CELL], lax, store=store)
+        assert resumed.num_resumed == 1
+        stats = resumed.results[0].stats
+        # continued, not restarted: totals equal the uninterrupted run
+        reference = execute_cell(self.CELL, lax).stats
+        assert stats.num_schedules == reference.num_schedules == 252
+        assert stats.hbr_fps == reference.hbr_fps
+        assert stats.exhausted
+        # the exhausted cell cleared its partial
+        assert not store.partial_path(self.CELL.key).exists()
+
+    def test_tighter_budget_discards_partial(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        mid = ExplorationLimits(max_schedules=30)
+        run_campaign([self.CELL], mid, store=ResultStore(path, mid))
+
+        tighter = ExplorationLimits(max_schedules=10)
+        resumed = run_campaign([self.CELL], tighter,
+                               store=ResultStore(path, tighter))
+        assert resumed.num_resumed == 0
+        assert resumed.results[0].stats.num_schedules == 10
+
+    def test_corrupt_partial_ignored(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        limits = ExplorationLimits(max_schedules=120)
+        store = ResultStore(path, limits)
+        partial = store.partial_path(self.CELL.key)
+        partial.parent.mkdir(parents=True)
+        partial.write_text("{ not json")
+        campaign = run_campaign([self.CELL], limits, store=store)
+        assert campaign.num_resumed == 0
+        assert campaign.results[0].ok
+
+    def test_dpor_cells_resume_too(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        cell = CampaignCell(3, "dpor")
+        tight = ExplorationLimits(max_schedules=5)
+        first = run_campaign([cell], tight,
+                             store=ResultStore(path, tight))
+        if not first.results[0].stats.limit_hit:
+            pytest.skip("dpor exhausted under the interrupt budget")
+        lax = ExplorationLimits(max_schedules=100_000)
+        resumed = run_campaign([cell], lax,
+                               store=ResultStore(path, lax))
+        assert resumed.num_resumed == 1
+        reference = execute_cell(cell, lax).stats
+        assert (resumed.results[0].stats.num_schedules
+                == reference.num_schedules)
+        assert resumed.results[0].stats.state_hashes \
+            == reference.state_hashes
+
+
+class TestSplitCampaign:
+    """--split-large: one cell sharded into k disjoint sub-frontiers
+    whose union-merged sets equal the unsplit cell's exactly."""
+
+    LIMITS = ExplorationLimits(max_schedules=100_000)
+
+    @pytest.mark.parametrize("explorer", ["dfs", "lazy-hbr-caching",
+                                          "iterative-cb"])
+    def test_split4_aggregates_to_unsplit_sets(self, explorer):
+        cells = [CampaignCell(3, explorer)]
+        unsplit = run_campaign(cells, self.LIMITS)
+        # a small seed budget forces real sharding even on this
+        # test-sized cell (the default would exhaust it while seeding)
+        split = run_campaign(cells, self.LIMITS, jobs=2, split_large=4,
+                             split_seed_schedules=8)
+        assert split.num_split == 1
+        u, s = unsplit.results[0].stats, split.results[0].stats
+        assert s.hbr_fps == u.hbr_fps
+        assert s.lazy_fps == u.lazy_fps
+        assert s.state_hashes == u.state_hashes
+        assert ({(e.kind, e.message) for e in s.errors}
+                == {(e.kind, e.message) for e in u.errors})
+        assert s.extra["split_shards"] == 4
+        if explorer == "dfs":
+            # no pruning: the shards partition the schedule set exactly
+            assert s.num_schedules == u.num_schedules
+
+    def test_split_dfs_schedule_count_exact_serial_vs_pool(self):
+        cells = [CampaignCell(3, "dfs")]
+        serial = run_campaign(cells, self.LIMITS, jobs=1, split_large=4)
+        pooled = run_campaign(cells, self.LIMITS, jobs=4, split_large=4)
+        assert stats_dicts(serial.results) == stats_dicts(pooled.results)
+
+    def test_unsplittable_cells_run_whole(self):
+        cells = [CampaignCell(3, "dpor"), CampaignCell(3, "random")]
+        campaign = run_campaign(cells, self.LIMITS, split_large=4)
+        assert campaign.num_split == 0
+        assert all(r.ok for r in campaign.results)
+        assert all("split_shards" not in r.stats.extra
+                   for r in campaign.results)
+
+    def test_tiny_cells_complete_during_seeding(self):
+        campaign = run_campaign([CampaignCell(1, "dfs")], self.LIMITS,
+                                split_large=4)
+        # figure1 exhausts inside the seed budget: no shards needed
+        assert campaign.num_split == 0
+        reference = execute_cell(CampaignCell(1, "dfs"), self.LIMITS)
+        assert (campaign.results[0].stats.num_schedules
+                == reference.stats.num_schedules)
+
+    def test_split_resume_serves_completed_shards(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        cells = [CampaignCell(3, "dfs")]
+        store = ResultStore(path, self.LIMITS)
+        first = run_campaign(cells, self.LIMITS, split_large=4,
+                             store=store)
+        assert first.num_split == 1
+
+        again = run_campaign(cells, self.LIMITS, split_large=4,
+                             store=ResultStore(path, self.LIMITS))
+        # the deterministic seed re-runs, but every shard is cached
+        assert again.num_cached == 4
+        assert again.num_executed == 0
+        assert stats_dicts(first.results) == stats_dicts(again.results)
+
+    def test_budget_limited_shards_keep_partials_and_resume(
+            self, tmp_path):
+        # regression: record() used to delete a limit-hit shard's
+        # final frontier snapshot, so laxer-budget resume restarted
+        # the shard from its seed state
+        path = tmp_path / "ckpt.json"
+        cells = [CampaignCell(3, "dfs")]
+        tight = ExplorationLimits(max_schedules=20)
+        store = ResultStore(path, tight)
+        first = run_campaign(cells, tight, split_large=2,
+                             split_seed_schedules=4, store=store)
+        assert first.num_split == 1
+        assert first.results[0].stats.limit_hit
+        from repro.campaign.split import shard_key
+        kept = [i for i in range(2)
+                if store.partial_path(
+                    shard_key(cells[0], i, 2)).exists()]
+        assert kept, "limit-hit shards must keep their partials"
+
+        lax = ExplorationLimits(max_schedules=100_000)
+        resumed = run_campaign(cells, lax, split_large=2,
+                               split_seed_schedules=4,
+                               store=ResultStore(path, lax))
+        stats = resumed.results[0].stats
+        reference = execute_cell(cells[0], lax).stats
+        assert stats.hbr_fps == reference.hbr_fps
+        assert stats.state_hashes == reference.state_hashes
+        # shards continued from their frontiers: the total schedule
+        # count stays the exact DFS partition count
+        assert stats.num_schedules == reference.num_schedules
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign([CampaignCell(1, "dfs")], self.LIMITS,
+                         split_large=1)
+
+    def test_mixed_matrix_split_and_whole(self):
+        cells = build_cells([1, 3], ["dfs", "dpor"])
+        unsplit = run_campaign(cells, self.LIMITS)
+        split = run_campaign(cells, self.LIMITS, jobs=2, split_large=2)
+        for u, s in zip(unsplit.results, split.results):
+            assert u.stats.state_hashes == s.stats.state_hashes
+        report = campaign_report(split, self.LIMITS)
+        assert report["summary"]["num_failed"] == 0
+
+
 class TestCampaignReport:
     def test_report_shape(self):
         cells = build_cells([1, 36], ["dpor"])

@@ -13,15 +13,48 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 from repro.perf.bench import (
     CASES,
     REPORT_KIND,
+    SPLIT_REPORT_KIND,
     bench_table,
     case_names,
     compare_reports,
     load_report,
     run_bench,
+    run_split_bench,
     write_report,
 )
 
 TINY = dict(repeat=1, min_time=0.0)
+
+
+class TestSplitScenario:
+    def test_report_shape_and_consistency(self):
+        report = run_split_bench(shards=2, smoke=True)
+        assert report["meta"]["kind"] == SPLIT_REPORT_KIND
+        split = report["split"]
+        assert split["shards"] == 2
+        assert split["schedules"] > 0
+        assert split["serial_seconds"] > 0
+        assert split["split_seconds"] > 0
+        # no speedup assertion: CI runners may have one core — the
+        # scenario itself asserts split/serial/resume set equality and
+        # raises AssertionError on divergence, which is the real check
+        assert split["speedup"] == pytest.approx(
+            split["serial_seconds"] / split["split_seconds"]
+        )
+        resume = report["resume"]
+        assert resume["frontier_items"] > 0
+        assert resume["snapshot_bytes"] > 0
+
+    def test_cli_scenario_split(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "BENCH_split.json"
+        assert main(["bench", "--scenario", "split", "--smoke",
+                     "--shards", "2", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "split speedup" in captured
+        payload = json.loads(out.read_text())
+        assert payload["meta"]["kind"] == SPLIT_REPORT_KIND
 
 
 class TestRunBench:

@@ -3,7 +3,8 @@ programs, every reduction strategy must find exactly the terminal
 states exhaustive DFS finds — the strongest evidence the explorers are
 correct beyond the hand-picked suite."""
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, \
+    strategies as st
 
 from repro import Program
 from repro.explore import (
@@ -86,8 +87,21 @@ soundness_settings = settings(
 )
 
 
+#: Hypothesis-discovered counterexample to lazy-DPOR exactness: the
+#: lazy-HBR prune skips a suffix whose race analysis would have added
+#: the backtrack point reaching the second terminal state (the loss
+#: mechanism documented in ``repro.explore.lazy_dpor``).  Pinned so
+#: every CI run exercises it: the sound explorers must still be exact
+#: here, and lazy-DPOR must at least under-approximate soundly.
+LAZY_DPOR_GAP_SPEC = [
+    [(1, [("write", 0)])],
+    [(1, [("read", 1)]), (None, [("read", 1)]), (None, [("write", 0)])],
+]
+
+
 @soundness_settings
 @given(program_spec)
+@example(spec=LAZY_DPOR_GAP_SPEC)
 def test_all_reducers_match_dfs_states(spec):
     program = build_program(spec)
     dfs = DFSExplorer(program, LIM)
@@ -100,7 +114,6 @@ def test_all_reducers_match_dfs_states(spec):
         DPORExplorer(program, LIM, sleep_sets=False),
         HBRCachingExplorer(program, LIM, lazy=False),
         HBRCachingExplorer(program, LIM, lazy=True),
-        LazyDPORExplorer(program, LIM),
     ):
         explorer.run()
         found = frozenset(explorer._state_hashes)
@@ -108,6 +121,29 @@ def test_all_reducers_match_dfs_states(spec):
             f"{explorer.name} found {len(found)} states, DFS "
             f"{len(baseline)}; spec={spec!r}"
         )
+
+    # lazy-DPOR is documented as approximate: it may under-approximate
+    # (see LAZY_DPOR_GAP_SPEC) but must never report an unreachable
+    # state, and must find at least one terminal state
+    lazy = LazyDPORExplorer(program, LIM)
+    lazy.run()
+    lazy_found = frozenset(lazy._state_hashes)
+    assert lazy_found <= baseline, (
+        f"lazy-dpor reported unreachable states; spec={spec!r}"
+    )
+    assert lazy_found, f"lazy-dpor found no states; spec={spec!r}"
+
+
+def test_lazy_dpor_gap_counterexample_still_gapped():
+    """If lazy-DPOR ever becomes exact on the pinned counterexample,
+    this fails as a reminder to restore the exactness assertion above
+    (and to delete the approximation caveat in lazy_dpor.py)."""
+    program = build_program(LAZY_DPOR_GAP_SPEC)
+    dfs = DFSExplorer(program, LIM)
+    dfs.run()
+    lazy = LazyDPORExplorer(program, LIM)
+    lazy.run()
+    assert frozenset(lazy._state_hashes) < frozenset(dfs._state_hashes)
 
 
 @soundness_settings
