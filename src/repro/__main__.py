@@ -190,6 +190,12 @@ def _cmd_campaign(args) -> int:
         return 2
     limits = ExplorationLimits(max_schedules=limit,
                                max_seconds=args.seconds)
+    if args.snapshot_budget_mb is not None:
+        if not (args.snapshot_budget_mb >= 0):  # rejects NaN too
+            print(f"error: --snapshot-budget-mb must be >= 0, got "
+                  f"{args.snapshot_budget_mb}", file=sys.stderr)
+            return 2
+        limits.snapshot_budget_bytes = int(args.snapshot_budget_mb * 2**20)
     store = None
     if args.resume:
         store = ResultStore(args.resume, limits)
@@ -340,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "150 under --smoke)")
     p_camp.add_argument("--seconds", type=float, default=None,
                         help="per-cell wall-clock timeout")
+    p_camp.add_argument("--snapshot-budget-mb", type=float, default=None,
+                        dest="snapshot_budget_mb", metavar="MB",
+                        help="per-cell memory budget of the prefix "
+                             "snapshot tree (default 4; 0 disables "
+                             "snapshot resume — results are identical "
+                             "either way, only slower)")
     p_camp.add_argument("--smoke", action="store_true",
                         help="fast CI subset; also fails on unexpected "
                              "explorer findings")
@@ -367,11 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
                     "BENCH_<name>.json report and compare against a "
                     "committed baseline.",
     )
-    p_bench.add_argument("--scenario", choices=("micro", "split"),
+    p_bench.add_argument("--scenario", choices=("micro", "split", "prefix"),
                          default="micro",
                          help="micro: replay-loop throughput cases; "
                               "split: frontier split speedup + "
-                              "snapshot/resume overhead")
+                              "snapshot/resume overhead; "
+                              "prefix: snapshot-tree prefix sharing "
+                              "(off-vs-on speedup, replayed/fresh event "
+                              "fractions, hit rate, memory high water)")
     p_bench.add_argument("--shards", type=int, default=4,
                          help="shard count for --scenario split")
     p_bench.add_argument("--cases",
@@ -393,6 +408,9 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="max_regression",
                          help="allowed fractional slowdown vs baseline "
                               "(default 0.30)")
+    p_bench.add_argument("--profile", metavar="PSTATS",
+                         help="cProfile the slowest measured case and "
+                              "dump pstats here (micro scenario only)")
     p_bench.add_argument("--quiet", action="store_true")
 
     p_matrix = sub.add_parser(

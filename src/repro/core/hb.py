@@ -76,6 +76,22 @@ class _ClockSide:
             clocks.append([0] * (len(clocks) + 1))
         self.chain.ensure_thread(tid)
 
+    def fork(self) -> "_ClockSide":
+        """An independent copy of this side's state.
+
+        Cheap by construction: the ``access``/``modify`` tables hold
+        *published* snapshot tuples — immutable by the engine's
+        copy-on-publish discipline — so forking shares every tuple and
+        copies only the two dicts, the short mutable working clocks and
+        the fingerprint chain."""
+        side = _ClockSide.__new__(_ClockSide)
+        side.thread_clocks = [list(c) for c in self.thread_clocks]
+        side.access = dict(self.access)
+        side.modify = dict(self.modify)
+        side.chain = self.chain.fork()
+        side.canonical = None
+        return side
+
 
 class DualClockEngine:
     """Computes regular and lazy HB clocks plus fingerprints, online.
@@ -97,6 +113,26 @@ class DualClockEngine:
         # tid -> list of (regular snapshot, lazy snapshot) to join before
         # the thread's next event (release edges from other threads).
         self._pending_sync: Dict[int, List[Tuple[Tuple[int, ...], Tuple[int, ...]]]] = {}
+
+    # ------------------------------------------------------------------
+    def fork(self) -> "DualClockEngine":
+        """An independent engine continuing from this one's state.
+
+        Both relations fork via :meth:`_ClockSide.fork` (published
+        tuples shared, mutable working state copied); pending release
+        edges are copied as well.  Canonical engines do not fork — the
+        exact HBR forms are test/analysis machinery, never part of the
+        exploration hot path that snapshots executors."""
+        if self._canonical:
+            raise ValueError("canonical engines cannot fork")
+        eng = DualClockEngine.__new__(DualClockEngine)
+        eng._canonical = False
+        eng.regular = self.regular.fork()
+        eng.lazy = self.lazy.fork()
+        eng._pending_sync = {
+            tid: list(edges) for tid, edges in self._pending_sync.items()
+        }
+        return eng
 
     # ------------------------------------------------------------------
     def reserve(self, n: int) -> None:

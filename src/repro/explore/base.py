@@ -37,6 +37,15 @@ from ..runtime.trace import TraceResult
 
 DEFAULT_SCHEDULE_LIMIT = 100_000
 
+#: Default memory budget of the prefix snapshot tree (see
+#: :mod:`repro.explore.snapshots`).  Deliberately small: depth-first
+#: exploration only ever resumes from the branch points of the current
+#: search spine (LIFO locality), so a few MiB keep the hit rate at
+#: ~100% while bounding both resident memory and the weight the
+#: cached snapshots add to full GC passes — larger budgets measured
+#: *slower* on the bench suite.
+DEFAULT_SNAPSHOT_BUDGET_BYTES = 4 << 20
+
 #: A mid-schedule wall-clock deadline check every scheduling point would
 #: be noise on the fast replay path; every N points bounds the overrun
 #: of one long schedule to N steps while keeping the check invisible in
@@ -51,6 +60,11 @@ class ExplorationLimits:
     max_schedules: int = DEFAULT_SCHEDULE_LIMIT
     max_seconds: Optional[float] = None
     max_events_per_schedule: int = 20_000
+    #: byte budget of the prefix snapshot tree (0 disables snapshot
+    #: resume entirely).  Purely a performance knob: results are
+    #: byte-identical under any budget, so — unlike the fields above —
+    #: it does not participate in checkpoint-compatibility stamps.
+    snapshot_budget_bytes: int = DEFAULT_SNAPSHOT_BUDGET_BYTES
 
 
 @dataclass
@@ -261,6 +275,11 @@ class Explorer:
         self.limits = limits or ExplorationLimits()
         self._error_kinds: Set[Tuple[str, str]] = set()
         self.stats = ExplorationStats(program.name, self.name)
+        #: prefix snapshot cache (see :mod:`repro.explore.snapshots`);
+        #: installed by the explorers that replay prefixes (the kernel
+        #: family and DPOR) when the limits grant a budget.  When set,
+        #: executors are built with tape recording enabled.
+        self.snapshot_tree = None
         self._deadline: Optional[float] = None
         #: wall-clock already consumed by a restored run; counted
         #: against ``max_seconds`` and added to the final ``elapsed``
@@ -291,6 +310,7 @@ class Explorer:
             self.program,
             max_events=self.limits.max_events_per_schedule,
             fast_replay=self.fast_replay,
+            snapshots=self.snapshot_tree is not None,
         )
 
     def _record_terminal(self, result: TraceResult) -> None:

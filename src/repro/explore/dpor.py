@@ -34,6 +34,7 @@ from ..runtime.executor import Executor
 from ..runtime.trace import PendingInfo
 from .base import Explorer
 from .frontier import Frontier, WorkItem
+from .snapshots import SnapshotTree
 
 DPOR_SNAPSHOT_VERSION = 1
 
@@ -41,7 +42,8 @@ DPOR_SNAPSHOT_VERSION = 1
 class _Node:
     """One scheduling point on the DPOR stack."""
 
-    __slots__ = ("enabled", "chosen", "backtrack", "done", "sleep")
+    __slots__ = ("enabled", "chosen", "backtrack", "done", "sleep",
+                 "want_snap")
 
     def __init__(self, enabled: List[int], sleep: Set[int]) -> None:
         self.enabled = enabled
@@ -49,6 +51,10 @@ class _Node:
         self.backtrack: Set[int] = set()
         self.done: Set[int] = set()
         self.sleep: Set[int] = sleep
+        #: race analysis registered a backtrack candidate here, so this
+        #: state WILL be re-explored: snapshot it on the next replay
+        #: pass through this depth (see _replay_stack)
+        self.want_snap = False
 
 
 def _pending_as_event(info: PendingInfo) -> Event:
@@ -86,6 +92,7 @@ class DPORExplorer(Explorer):
             self.program,
             max_events=self.limits.max_events_per_schedule,
             fast_replay=False,
+            snapshots=self.snapshot_tree is not None,
         )
 
     def __init__(self, program, limits=None, sleep_sets: bool = True) -> None:
@@ -97,6 +104,10 @@ class DPORExplorer(Explorer):
         #: exploration state can be snapshot/restored between schedules
         self._stack: List[_Node] = []
         self._started = False
+        if self.limits.snapshot_budget_bytes > 0:
+            self.snapshot_tree = SnapshotTree(
+                self.limits.snapshot_budget_bytes
+            )
 
     # ------------------------------------------------------------------
     def _explore(self) -> None:
@@ -136,6 +147,52 @@ class DPORExplorer(Explorer):
                 return
 
     # ------------------------------------------------------------------
+    def _replay_stack(
+        self, stack: List[_Node]
+    ) -> Tuple[Executor, Dict[Tuple[int, object], List[int]]]:
+        """Reconstruct the state after the stack's chosen prefix, plus
+        the per-location index of trace positions for fast race lookup.
+
+        Resumes from the deepest cached snapshot of the prefix when the
+        snapshot tree has one — the per-location index is rebuilt from
+        the restored trace (cheap dict appends, no re-execution) —
+        falling back to plain stepwise replay.  Snapshot keys are
+        prefixes of *already-executed* choices, so re-choosing a node's
+        ``chosen`` during backtracking never invalidates the snapshots
+        below it."""
+        loc_index: Dict[Tuple[int, object], List[int]] = {}
+        tree = self.snapshot_tree
+        ex: Optional[Executor] = None
+        start = 0
+        if tree is not None and stack:
+            cached = tree.lookup(tuple(node.chosen for node in stack))
+            if cached is not None:
+                start, snap = cached
+                ex = Executor.from_snapshot(snap)
+                for event in ex.trace:
+                    self._index_event(loc_index, ex.trace, event)
+                tree.resumed_events += start
+        if ex is None:
+            ex = self._new_executor()
+        for node in stack[start:]:
+            if node.want_snap and tree is not None:
+                # this node holds a pending backtrack candidate, so its
+                # pre-state roots a future re-exploration: cache it now
+                # that a replay is passing through anyway.  Snapshots
+                # are taken on demand rather than at node creation —
+                # DPOR's backtrack sets are sparse, so most scheduling
+                # points are never revisited and eager snapshots were
+                # measured to cost more than the replays they save.
+                node.want_snap = False
+                key = tuple(ex.schedule)
+                if tree.wants(key):
+                    tree.insert(key, ex.snapshot())
+            self._index_event(loc_index, ex.trace, ex.step(node.chosen))
+        if tree is not None:
+            tree.replayed_events += len(stack) - start
+        return ex, loc_index
+
+    # ------------------------------------------------------------------
     def _run_one(self, stack: List[_Node]) -> Optional[bool]:
         """Replay the stack prefix, then extend to a terminal (or
         sleep-pruned) state, updating backtrack sets.  Returns True if
@@ -144,11 +201,7 @@ class DPORExplorer(Explorer):
         appended node was fully race-analysed before its step ran, so
         a resumed run replays the prefix and picks up exactly at the
         first unanalysed state)."""
-        ex = self._new_executor()
-        # per-location index of trace positions, for fast race lookup
-        loc_index: Dict[Tuple[int, object], List[int]] = {}
-        for node in stack:
-            self._index_event(loc_index, ex.trace, ex.step(node.chosen))
+        ex, loc_index = self._replay_stack(stack)
 
         while True:
             if self._deadline_exceeded_midschedule():
@@ -321,8 +374,12 @@ class DPORExplorer(Explorer):
             if E:
                 if not (E & (node.backtrack | node.done)):
                     node.backtrack.add(min(E))
+                    node.want_snap = True
             else:
+                before = len(node.backtrack)
                 node.backtrack.update(enabled_at_i)
+                if len(node.backtrack) != before:
+                    node.want_snap = True
 
     def _latest_race(
         self,

@@ -32,8 +32,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..runtime.executor import Executor
 from .base import ExplorationStats, Explorer
 from .frontier import Annotation, Frontier, WorkItem
+from .snapshots import SnapshotTree
 
 SNAPSHOT_VERSION = 1
 
@@ -152,6 +154,10 @@ class KernelExplorer(Explorer):
             self.frontier.push(item)
         self.schedule_sink: Optional[List[List[int]]] = None
         self._seed_target: Optional[int] = None
+        if self.limits.snapshot_budget_bytes > 0:
+            self.snapshot_tree = SnapshotTree(
+                self.limits.snapshot_budget_bytes
+            )
 
     # ------------------------------------------------------------------
     def _explore(self) -> None:
@@ -177,9 +183,26 @@ class KernelExplorer(Explorer):
                 item = frontier.pop()
             strategy.on_schedule_start(item)
             self._schedule_started()
-            ex = self._new_executor()
+            # resume from the deepest cached ancestor state instead of
+            # schedule step zero; a tree miss (cold cache, eviction,
+            # disabled budget) falls back to plain replay — the two
+            # paths are observably identical (snapshot equivalence)
             prefix: List[int] = list(item.prefix)
-            ex.replay_prefix(prefix)
+            tree = self.snapshot_tree
+            ex: Optional[Executor] = None
+            if tree is not None and prefix:
+                cached = tree.lookup(item.prefix)
+                if cached is not None:
+                    depth, snap = cached
+                    ex = Executor.from_snapshot(snap)
+                    ex.replay_prefix(prefix[depth:])
+                    tree.resumed_events += depth
+                    tree.replayed_events += len(prefix) - depth
+            if ex is None:
+                ex = self._new_executor()
+                ex.replay_prefix(prefix)
+                if tree is not None:
+                    tree.replayed_events += len(prefix)
             ann = item.annotation
             pruned = False
             aborted = False
@@ -197,6 +220,12 @@ class KernelExplorer(Explorer):
                 exp = strategy.expand(enabled, ann)
                 if exp.alternatives:
                     discovered.append((len(prefix), exp.alternatives))
+                    # the state here roots sibling subtrees: cache it so
+                    # their work items resume instead of replaying
+                    if tree is not None:
+                        key = tuple(prefix)
+                        if tree.wants(key):
+                            tree.insert(key, ex.snapshot())
                 ann = exp.ann_after
                 prefix.append(exp.chosen)
                 ex.step(exp.chosen)
@@ -250,6 +279,7 @@ class KernelExplorer(Explorer):
             max_schedules=min(max_schedules, outer.max_schedules),
             max_seconds=None,
             max_events_per_schedule=outer.max_events_per_schedule,
+            snapshot_budget_bytes=outer.snapshot_budget_bytes,
         )
         try:
             stats = self.run()

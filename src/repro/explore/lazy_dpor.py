@@ -64,10 +64,7 @@ class LazyDPORExplorer(DPORExplorer):
             self.cache = FingerprintCache.from_dict(payload)
 
     def _run_one(self, stack) -> Optional[bool]:
-        ex = self._new_executor()
-        loc_index = {}
-        for node in stack:
-            self._index_event(loc_index, ex.trace, ex.step(node.chosen))
+        ex, loc_index = self._replay_stack(stack)
 
         while True:
             if self._deadline_exceeded_midschedule():

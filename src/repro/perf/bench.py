@@ -42,6 +42,9 @@ REPORT_KIND = "repro-bench"
 #: Schema marker of the frontier split/resume scenario reports.
 SPLIT_REPORT_KIND = "repro-bench-split"
 
+#: Schema marker of the prefix-sharing (snapshot tree) scenario reports.
+PREFIX_REPORT_KIND = "repro-bench-prefix"
+
 #: Calibration-normalised slowdown beyond which the comparison fails.
 DEFAULT_MAX_REGRESSION = 0.30
 
@@ -61,14 +64,38 @@ class BenchCase:
 #: ``min_time`` is reached, so tiny cells still time accurately.
 CASES: List[BenchCase] = [
     BenchCase("dfs/racy_counter", "dfs", 4, 20_000),
+    BenchCase("dfs/bounded_buffer", "dfs", 24, 2_000),
+    BenchCase("dfs/bounded_buffer_pc2", "dfs", 27, 2_000),
     BenchCase("dpor/racy_counter", "dpor", 4, 20_000),
     BenchCase("dpor/disjoint_coarse", "dpor", 13, 20_000),
     BenchCase("lazy-dpor/disjoint_coarse", "lazy-dpor", 13, 20_000),
     BenchCase("hbr-caching/bounded_buffer", "hbr-caching", 24, 2_000),
     BenchCase("lazy-hbr-caching/disjoint_coarse", "lazy-hbr-caching",
               13, 20_000),
+    BenchCase("lazy-hbr-caching/bounded_buffer_pc2", "lazy-hbr-caching",
+              27, 2_000),
+    BenchCase("preempt-bounded/bounded_buffer", "preempt-bounded", 24,
+              1_000),
     BenchCase("random/bounded_buffer", "random", 24, 400),
     BenchCase("pct/bounded_buffer", "pct", 24, 400),
+]
+
+#: The prefix-sharing scenario cases (``bench --scenario prefix``):
+#: deep DFS-family cells where schedules share long prefixes, measured
+#: with the snapshot tree off vs on.  ``dfs/racy_counter`` rides along
+#: as the shallow control — 9-event schedules have almost no prefix to
+#: share, so it documents the break-even floor rather than a win.
+PREFIX_CASES: List[BenchCase] = [
+    BenchCase("dfs/racy_counter", "dfs", 4, 20_000),
+    BenchCase("dfs/bounded_buffer", "dfs", 24, 2_000),
+    BenchCase("dfs/bounded_buffer_pc2", "dfs", 27, 2_000),
+    BenchCase("hbr-caching/bounded_buffer", "hbr-caching", 24, 2_000),
+    BenchCase("lazy-hbr-caching/disjoint_coarse", "lazy-hbr-caching",
+              13, 20_000),
+    BenchCase("lazy-hbr-caching/bounded_buffer_pc2", "lazy-hbr-caching",
+              27, 2_000),
+    BenchCase("preempt-bounded/bounded_buffer", "preempt-bounded", 24,
+              1_000),
 ]
 
 
@@ -93,9 +120,20 @@ def _calibrate(loops: int = 200_000) -> float:
     return loops / best
 
 
-def _measure_case(case: BenchCase, min_time: float) -> Dict[str, Any]:
-    """Run ``case`` repeatedly until ``min_time`` seconds accumulate."""
+def _case_limits(case: BenchCase,
+                 snapshot_budget_bytes: Optional[int] = None
+                 ) -> ExplorationLimits:
     limits = ExplorationLimits(max_schedules=case.max_schedules)
+    if snapshot_budget_bytes is not None:
+        limits.snapshot_budget_bytes = snapshot_budget_bytes
+    return limits
+
+
+def _measure_case(case: BenchCase, min_time: float,
+                  snapshot_budget_bytes: Optional[int] = None
+                  ) -> Dict[str, Any]:
+    """Run ``case`` repeatedly until ``min_time`` seconds accumulate."""
+    limits = _case_limits(case, snapshot_budget_bytes)
     program = REGISTRY[case.bench_id].program
     total_sched = total_events = iterations = 0
     total_time = 0.0
@@ -288,6 +326,134 @@ def run_split_bench(
     return report
 
 
+def run_prefix_bench(
+    smoke: bool = False,
+    min_time: float = 0.25,
+    repeat: int = 3,
+    progress=None,
+) -> Dict[str, Any]:
+    """The prefix-sharing scenario (``bench --scenario prefix``).
+
+    For each deep DFS-family case in :data:`PREFIX_CASES`, measures
+    schedules/sec with the snapshot tree **off** (``snapshot_budget=0``,
+    i.e. the plain ``replay_prefix`` path) and **on** (default budget),
+    and reports the speedup plus what the tree actually did: the
+    fraction of events resumed from snapshots vs replayed fresh vs newly
+    executed, the snapshot hit rate, and the memory high-water mark.
+
+    Hard-fails if the two modes diverge in any statistic other than
+    wall clock — the same in-harness equivalence enforcement the split
+    scenario applies.
+    """
+    if smoke:
+        min_time = min(min_time, 0.15)
+        repeat = min(repeat, 2)
+
+    report: Dict[str, Any] = {
+        "meta": {
+            "kind": PREFIX_REPORT_KIND,
+            "smoke": bool(smoke),
+            "min_time": min_time,
+            "repeat": repeat,
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "calibration_ops_per_sec": _calibrate(),
+        },
+        "cases": {},
+    }
+    for case in PREFIX_CASES:
+        program = REGISTRY[case.bench_id].program
+
+        # equivalence: off and on must produce identical statistics
+        off_stats = make_explorer(
+            case.explorer, program, _case_limits(case, 0)
+        ).run()
+        on_explorer = make_explorer(
+            case.explorer, program, _case_limits(case)
+        )
+        on_stats = on_explorer.run()
+        off_d, on_d = off_stats.to_dict(), on_stats.to_dict()
+        off_d.pop("elapsed")
+        on_d.pop("elapsed")
+        if off_d != on_d:
+            raise AssertionError(
+                f"snapshot-resume diverged from plain replay on "
+                f"{case.name}"
+            )
+        snap = on_explorer.snapshot_tree.stats()
+        total_events = on_stats.num_events
+        resumed = snap["resumed_events"]
+        replayed = snap["replayed_events"]
+        fresh = total_events - resumed - replayed
+        # the equivalence explorers hold several MiB of live snapshot
+        # graph; drop them (and sweep) so full-GC passes during the
+        # timed rounds do not scan a heap the measured runs never built
+        del on_explorer, off_stats, on_stats
+        import gc
+        gc.collect()
+
+        # off/on rounds interleaved (and the best kept) so machine
+        # noise and thermal drift hit both modes evenly instead of
+        # whichever mode happened to run second
+        off = on = None
+        for _ in range(max(1, repeat)):
+            o = _measure_case(case, min_time, snapshot_budget_bytes=0)
+            n = _measure_case(case, min_time)
+            if off is None or o["schedules_per_sec"] > off["schedules_per_sec"]:
+                off = o
+            if on is None or n["schedules_per_sec"] > on["schedules_per_sec"]:
+                on = n
+        entry = {
+            "explorer": case.explorer,
+            "bench_id": case.bench_id,
+            "program": program.name,
+            "max_schedules": case.max_schedules,
+            "schedules": on["schedules"],
+            "events": total_events,
+            "off_schedules_per_sec": off["schedules_per_sec"],
+            "on_schedules_per_sec": on["schedules_per_sec"],
+            "speedup": on["schedules_per_sec"] / off["schedules_per_sec"],
+            "resumed_events": resumed,
+            "replayed_events": replayed,
+            "fresh_events": fresh,
+            "resumed_fraction": resumed / total_events if total_events else 0.0,
+            "replayed_fraction": (replayed / total_events
+                                  if total_events else 0.0),
+            "fresh_fraction": fresh / total_events if total_events else 0.0,
+            "snapshot": snap,
+        }
+        report["cases"][case.name] = entry
+        if progress is not None:
+            progress(
+                f"{case.name:<34} {entry['speedup']:>5.2f}x  "
+                f"resumed {entry['resumed_fraction']:>5.1%} of "
+                f"{total_events} events, hit rate "
+                f"{snap['hit_rate']:.1%}, "
+                f"{snap['bytes_high_water'] / 1024:,.0f} KiB high water"
+            )
+    return report
+
+
+def profile_case(case_name: str, out_path: str,
+                 max_schedules: Optional[int] = None) -> None:
+    """cProfile one run of a named case and dump pstats to ``out_path``
+    (load with ``python -m pstats``).  CI attaches this for the slowest
+    measured case so regressions come with a profile to read."""
+    import cProfile
+
+    case = next(c for c in CASES if c.name == case_name)
+    limits = _case_limits(case)
+    if max_schedules is not None:
+        limits.max_schedules = max_schedules
+    program = REGISTRY[case.bench_id].program
+    explorer = make_explorer(case.explorer, program, limits)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    explorer.run()
+    profiler.disable()
+    profiler.dump_stats(out_path)
+
+
 def write_report(report: Dict[str, Any], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
@@ -383,6 +549,25 @@ def main(args) -> int:  # pragma: no cover - exercised via the CLI tests
             write_report(report, args.out)
             print(f"wrote {args.out}")
         return 0
+    if getattr(args, "scenario", "micro") == "prefix":
+        try:
+            report = run_prefix_bench(
+                smoke=args.smoke,
+                min_time=args.min_time,
+                progress=print if not args.quiet else None,
+            )
+        except AssertionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        worst = min(
+            c["speedup"] for c in report["cases"].values()
+        )
+        print(f"prefix sharing: worst-case speedup {worst:.2f}x over "
+              f"{len(report['cases'])} deep cases")
+        if args.out:
+            write_report(report, args.out)
+            print(f"wrote {args.out}")
+        return 0
     cases = args.cases.split(",") if args.cases else None
     try:
         report = run_bench(
@@ -400,6 +585,13 @@ def main(args) -> int:  # pragma: no cover - exercised via the CLI tests
     if args.out:
         write_report(report, args.out)
         print(f"\nwrote {args.out}")
+    if getattr(args, "profile", None):
+        slowest = min(
+            report["cases"],
+            key=lambda n: report["cases"][n]["schedules_per_sec"],
+        )
+        profile_case(slowest, args.profile)
+        print(f"profiled slowest case {slowest} -> {args.profile}")
     if args.baseline:
         try:
             baseline = load_report(args.baseline)

@@ -29,6 +29,12 @@ class AtomicInt(SharedObject):
     def state_value(self):
         return self.value
 
+    def snapshot_state(self):
+        return self.value
+
+    def restore_state(self, state) -> None:
+        self.value = state
+
     # The RMW op carries a function old -> (new, result); these builders
     # produce the payloads used by ThreadAPI.
     @staticmethod

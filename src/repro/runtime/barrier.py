@@ -48,3 +48,10 @@ class Barrier(SharedObject):
 
     def state_value(self):
         return ("barrier", self.generation, tuple(sorted(self.admitted)))
+
+    def snapshot_state(self):
+        return (self.generation, frozenset(self.admitted))
+
+    def restore_state(self, state) -> None:
+        self.generation, admitted = state
+        self.admitted = set(admitted)

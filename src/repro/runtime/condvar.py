@@ -50,3 +50,9 @@ class CondVar(SharedObject):
         # A schedule cannot end with still-parked waiters unless it
         # deadlocked; the queue is part of the state regardless.
         return ("condvar", tuple(self.waiters))
+
+    def snapshot_state(self):
+        return tuple(self.waiters)
+
+    def restore_state(self, state) -> None:
+        self.waiters = list(state)

@@ -38,7 +38,13 @@ Hot-path machinery (this class runs millions of steps per campaign):
   mode — the equivalence suite asserts this for every program in
   ``repro.suite``;
 * :meth:`replay_prefix` re-executes a known-feasible prefix without
-  re-validating enabledness at every step.
+  re-validating enabledness at every step;
+* ``snapshots=True`` additionally records each thread's *send tape*
+  (the values its generator has received), enabling
+  :meth:`snapshot`/:meth:`fork`/:meth:`from_snapshot` — copy-on-write
+  executor snapshots that let explorers resume from a cached branch
+  point instead of replaying the whole prefix (see
+  :mod:`repro.runtime.snapshot` for the design and its guarantees).
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ from ..errors import (
 from .barrier import Barrier
 from .objects import ThreadHandle
 from .program import Program, ProgramInstance
+from .snapshot import ExecutorSnapshot, ThreadRecord
 from .state import compute_state_hash, describe_state
 from .thread_api import ThreadAPI
 from .trace import PendingInfo, TraceResult
@@ -109,6 +116,7 @@ class _GuestThread:
     __slots__ = (
         "tid", "name", "gen", "pending", "status", "tindex",
         "handle", "wait_mutex", "resuming", "exit_recorded", "crashed",
+        "tape", "spawn_count",
     )
 
     def __init__(self, tid: int, name: str, gen, handle: ThreadHandle) -> None:
@@ -123,6 +131,8 @@ class _GuestThread:
         self.resuming = False         # pending op is the implicit re-lock
         self.exit_recorded = False
         self.crashed = False          # terminated by a guest assertion
+        self.tape: Optional[List[Any]] = None  # send-value record (snapshots)
+        self.spawn_count = 0          # executed SPAWNs (snapshot bookkeeping)
 
 
 class Executor:
@@ -134,12 +144,18 @@ class Executor:
         max_events: int = DEFAULT_MAX_EVENTS,
         canonical: bool = False,
         fast_replay: bool = False,
+        snapshots: bool = False,
     ) -> None:
         self.program = program
         self.instance: ProgramInstance = program.instantiate()
         self.engine = DualClockEngine(canonical=canonical)
         self.max_events = max_events
         self.fast_replay = fast_replay
+        #: record per-thread send tapes so snapshot()/fork() work; the
+        #: recording itself never changes behaviour (one list append
+        #: per generator resume)
+        self._record = snapshots
+        self._spawn_origin: Dict[int, Tuple[int, int]] = {}
         self.trace: List[Event] = []
         self.schedule: List[int] = []
         self.threads: List[_GuestThread] = []
@@ -177,6 +193,8 @@ class Executor:
         api = ThreadAPI(tid)
         gen = body(api, *args)
         t = _GuestThread(tid, name or f"T{tid}", gen, handle)
+        if self._record:
+            t.tape = []
         self.threads.append(t)
         self._runnable.add(tid)
         self._runnable_sorted = None
@@ -188,6 +206,11 @@ class Executor:
 
     def _advance(self, t: _GuestThread, send_value: Any, first: bool = False) -> None:
         """Resume ``t``'s generator and capture its next pending op."""
+        if t.tape is not None and not first:
+            # the tape records the value even when the send terminates
+            # the generator: fast-forward re-feeds it to reproduce the
+            # same StopIteration/GuestError
+            t.tape.append(send_value)
         try:
             op = next(t.gen) if first else t.gen.send(send_value)
         except StopIteration:
@@ -446,6 +469,9 @@ class Executor:
                 spawned = self._create_thread(fn, args, "")
                 value = spawned.tid
                 oid = spawned.handle.oid
+                if self._record:
+                    self._spawn_origin[spawned.tid] = (tid, t.spawn_count)
+                    t.spawn_count += 1
             elif kind is _JOIN:
                 oid = self.threads[op.arg].handle.oid
             elif kind is _SEM_ACQUIRE:
@@ -559,6 +585,212 @@ class Executor:
                         cache.remove(tid)
                     self._enabled_cache = cache
         return event
+
+    # ------------------------------------------------------------------
+    # Snapshot / fork (see repro.runtime.snapshot for the design)
+    def snapshot(self) -> ExecutorSnapshot:
+        """Capture the complete executor state between steps.
+
+        O(threads + objects + clock-table entries): thread tapes are
+        shared (append-only copy-on-write), the clock engine forks by
+        sharing its published tuples, and each shared object contributes
+        a few scalars.  Requires ``snapshots=True`` at construction (the
+        send tapes must have been recorded from step zero).
+        """
+        if not self._record:
+            raise SchedulerError(
+                "snapshot() requires an executor built with snapshots=True"
+            )
+        finished = _Status.FINISHED
+        records = [
+            ThreadRecord(
+                t.name,
+                t.status,
+                t.tindex,
+                t.resuming,
+                t.exit_recorded,
+                t.crashed,
+                t.wait_mutex.oid if t.wait_mutex is not None else None,
+                t.tape,
+                len(t.tape),
+                t.spawn_count,
+                # dead generators are only rebuilt when children need
+                # their SPAWN ops' fresh (fn, args) closures
+                t.status != finished or t.spawn_count > 0,
+            )
+            for t in self.threads
+        ]
+        return ExecutorSnapshot(
+            self.program,
+            self.max_events,
+            self.fast_replay,
+            tuple(self.schedule),
+            self._num_events,
+            self.truncated,
+            self.error,
+            tuple(self.guest_failures),
+            tuple(self.trace),
+            dict(self._exit_events),
+            records,
+            dict(self._spawn_origin),
+            [o.snapshot_state() for o in self.instance.registry.objects],
+            self.engine.fork(),
+            self._barrier_pending,
+            self._pred_watch,
+            self._unfinished,
+            frozenset(self._runnable),
+            self._static_threads,
+        )
+
+    def fork(self) -> "Executor":
+        """An independent executor continuing from the current state
+        (equivalent to replaying ``self.schedule`` on a fresh one)."""
+        return Executor.from_snapshot(self.snapshot())
+
+    @staticmethod
+    def _fast_forward(
+        gen,
+        tape: Sequence[Any],
+        tape_len: int,
+        handle: ThreadHandle,
+        collect_spawns: bool,
+    ) -> Tuple[Op, List[Op], List[Any]]:
+        """Re-feed ``tape[:tape_len]`` into a fresh generator.
+
+        Returns ``(final pending op, executed SPAWN ops in order, the
+        restored executor's own tape copy)``.  This is the whole
+        per-event cost of a snapshot resume, so the common case — a
+        thread that never spawned — runs a bare ``gen.send`` loop; the
+        per-yield SPAWN scan only runs for threads known to have
+        spawned.  The generator legitimately terminates only on the
+        *last* re-fed value (the guest is deterministic); anything
+        earlier means the snapshot and the program disagree.
+        """
+        new_tape: List[Any] = tape[:tape_len]  # slice of a list: a copy
+        spawns: List[Op] = []
+        i = -1
+        try:
+            op = next(gen)
+            if collect_spawns:
+                for i, v in enumerate(new_tape):
+                    if op.kind is _SPAWN:
+                        spawns.append(op)
+                    op = gen.send(v)
+            else:
+                send = gen.send
+                for i, v in enumerate(new_tape):
+                    op = send(v)
+            return op, spawns, new_tape
+        except StopIteration:
+            if i != tape_len - 1:
+                raise SchedulerError(
+                    "snapshot tape diverged: generator finished at "
+                    f"send {i + 1} of {tape_len}"
+                ) from None
+            return Op(OpKind.EXIT, handle), spawns, new_tape
+        except GuestError as exc:
+            if i != tape_len - 1:
+                raise SchedulerError(
+                    "snapshot tape diverged: guest error at "
+                    f"send {i + 1} of {tape_len}"
+                ) from exc
+            return Op(OpKind.EXIT, handle, exc), spawns, new_tape
+
+    @classmethod
+    def from_snapshot(cls, snap: ExecutorSnapshot) -> "Executor":
+        """Rebuild a live executor from a snapshot.
+
+        Observably identical to constructing a fresh executor and
+        calling ``replay_prefix(snap.schedule)`` — same enabled sets,
+        fingerprints, state hashes and subsequent behaviour — but pays
+        only one generator resume per recorded send instead of the full
+        per-event scheduling/clock pipeline.  A snapshot can be
+        restored any number of times.
+        """
+        ex = cls.__new__(cls)
+        ex.program = snap.program
+        ex.instance = snap.program.instantiate()
+        ex.engine = snap.engine.fork()
+        ex.max_events = snap.max_events
+        ex.fast_replay = snap.fast_replay
+        ex._record = True
+        ex._spawn_origin = dict(snap.spawn_origin)
+        ex.trace = list(snap.trace)
+        ex.schedule = list(snap.schedule)
+        ex.threads = []
+        ex.error = snap.error
+        ex.guest_failures = list(snap.guest_failures)
+        ex.truncated = snap.truncated
+        ex._exit_events = dict(snap.exit_events)
+        ex._num_events = snap.num_events
+        ex._runnable = set(snap.runnable)
+        ex._runnable_sorted = None
+        ex._unfinished = snap.unfinished
+        ex._barrier_pending = snap.barrier_pending
+        ex._pred_watch = snap.pred_watch
+        ex._enabled_cache = None
+        ex._static_threads = snap.static_threads
+        registry = ex.instance.registry
+        static = ex.instance.threads
+        # executed SPAWN ops per fast-forwarded parent, to hand fresh
+        # (fn, args) closures to dynamically spawned children (parents
+        # always have smaller tids, so one tid-ordered pass suffices)
+        spawn_ops: Dict[int, List[Op]] = {}
+        runnable_status = _Status.RUNNABLE
+        for tid, rec in enumerate(snap.thread_records):
+            # handles registered in tid order reproduce the original
+            # oid assignment (spawn order is tid order)
+            handle = ThreadHandle(registry, tid)
+            t = _GuestThread.__new__(_GuestThread)
+            t.tid = tid
+            t.name = rec.name
+            t.gen = None
+            t.handle = handle
+            t.status = rec.status
+            t.tindex = rec.tindex
+            t.resuming = rec.resuming
+            t.exit_recorded = rec.exit_recorded
+            t.crashed = rec.crashed
+            t.spawn_count = rec.spawn_count
+            t.wait_mutex = (
+                registry.objects[rec.wait_mutex_oid]
+                if rec.wait_mutex_oid is not None else None
+            )
+            pending: Optional[Op] = None
+            if rec.needs_replay:
+                if tid < snap.static_threads:
+                    body, args, _name = static[tid]
+                else:
+                    ptid, ordinal = snap.spawn_origin[tid]
+                    body, args = spawn_ops[ptid][ordinal].arg
+                t.gen = body(ThreadAPI(tid), *args)
+                pending, spawns, t.tape = cls._fast_forward(
+                    t.gen, rec.tape, rec.tape_len, handle,
+                    rec.spawn_count > 0,
+                )
+                spawn_ops[tid] = spawns
+            else:
+                # finished, spawned nothing: the generator is dead
+                # weight and the tape is never replayed again
+                t.tape = rec.tape
+            if t.status != runnable_status:
+                t.pending = None          # finished, or parked on a CV
+            elif t.resuming:
+                # the synthesized post-notify re-acquire of the wait
+                # mutex (never a generator yield)
+                t.pending = Op(OpKind.LOCK, t.wait_mutex)
+            else:
+                t.pending = pending
+            ex.threads.append(t)
+        objects = registry.objects
+        if len(objects) != len(snap.object_states):
+            raise SchedulerError(
+                f"snapshot/registry mismatch: {len(snap.object_states)} "
+                f"captured states for {len(objects)} objects"
+            )
+        for obj, state in zip(objects, snap.object_states):
+            obj.restore_state(state)
+        return ex
 
     # ------------------------------------------------------------------
     # Termination

@@ -50,3 +50,9 @@ class Mutex(SharedObject):
         # counting argument guarantees it is equal for schedules with
         # equal lazy HBRs.
         return ("mutex", self.owner)
+
+    def snapshot_state(self):
+        return (self.owner, self.acquisitions)
+
+    def restore_state(self, state) -> None:
+        self.owner, self.acquisitions = state

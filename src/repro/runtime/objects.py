@@ -31,6 +31,24 @@ class ObjectRegistry:
         return [(o.oid, o.state_value()) for o in self.objects]
 
 
+def own_value(v: Any) -> Any:
+    """An independent copy of a guest value for executor snapshots.
+
+    Containers are copied one level deep (the same granularity
+    ``sharedvar._hashable`` digests); scalars are shared.  The runtime
+    treats values stored in shared objects as immutable — guests
+    observe them only through executed READ/RMW events — so one level
+    is exactly the depth a WRITE/RMW can replace.
+    """
+    if isinstance(v, list):
+        return list(v)
+    if isinstance(v, dict):
+        return dict(v)
+    if isinstance(v, set):
+        return set(v)
+    return v
+
+
 class SharedObject:
     """Base class for everything guest threads can operate on."""
 
@@ -43,6 +61,17 @@ class SharedObject:
     def state_value(self) -> Any:
         """A hashable summary of this object's current state, used in the
         final-state hash.  Subclasses must override."""
+        raise NotImplementedError
+
+    def snapshot_state(self) -> Any:
+        """This object's complete mutable state as an independent value
+        (see :meth:`restore_state`); used by executor snapshots.
+        Subclasses with mutable state must override both methods."""
+        raise NotImplementedError
+
+    def restore_state(self, state: Any) -> None:
+        """Inverse of :meth:`snapshot_state`: overwrite this (freshly
+        built) object's state with a previously captured snapshot."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -65,3 +94,9 @@ class ThreadHandle(SharedObject):
 
     def state_value(self):
         return ("thread", self.tid)
+
+    def snapshot_state(self):
+        return None  # handles carry no mutable state
+
+    def restore_state(self, state) -> None:
+        pass

@@ -60,3 +60,10 @@ class RWLock(SharedObject):
 
     def state_value(self):
         return ("rwlock", tuple(sorted(self.readers)), self.writer)
+
+    def snapshot_state(self):
+        return (frozenset(self.readers), self.writer)
+
+    def restore_state(self, state) -> None:
+        readers, self.writer = state
+        self.readers = set(readers)

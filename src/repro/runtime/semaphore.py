@@ -35,3 +35,9 @@ class Semaphore(SharedObject):
 
     def state_value(self):
         return ("sem", self.count)
+
+    def snapshot_state(self):
+        return self.count
+
+    def restore_state(self, state) -> None:
+        self.count = state

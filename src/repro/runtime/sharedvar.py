@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List
 
 from ..errors import InvalidOpError
-from .objects import ObjectRegistry, SharedObject
+from .objects import ObjectRegistry, SharedObject, own_value
 
 
 class SharedVar(SharedObject):
@@ -31,6 +31,12 @@ class SharedVar(SharedObject):
 
     def state_value(self):
         return _hashable(self.value)
+
+    def snapshot_state(self):
+        return own_value(self.value)
+
+    def restore_state(self, state) -> None:
+        self.value = own_value(state)
 
 
 class SharedArray(SharedObject):
@@ -58,6 +64,12 @@ class SharedArray(SharedObject):
     def state_value(self):
         return tuple(_hashable(v) for v in self.cells)
 
+    def snapshot_state(self):
+        return [own_value(v) for v in self.cells]
+
+    def restore_state(self, state) -> None:
+        self.cells = [own_value(v) for v in state]
+
 
 class SharedDict(SharedObject):
     """A shared map; each key is an independent location.
@@ -81,6 +93,12 @@ class SharedDict(SharedObject):
 
     def state_value(self):
         return tuple(sorted((repr(k), repr(v)) for k, v in self.table.items()))
+
+    def snapshot_state(self):
+        return {k: own_value(v) for k, v in self.table.items()}
+
+    def restore_state(self, state) -> None:
+        self.table = {k: own_value(v) for k, v in state.items()}
 
 
 def _hashable(v: Any):

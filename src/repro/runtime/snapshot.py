@@ -1,0 +1,173 @@
+"""Copy-on-write executor snapshots.
+
+An :class:`ExecutorSnapshot` captures the complete state of an
+:class:`~repro.runtime.executor.Executor` *between steps*, cheaply
+enough to take at every branch point of an exploration.  The trick is
+what it does **not** copy:
+
+* Guest threads are Python generators — uncopyable — but they are pure
+  coroutines: a guest body touches shared state only through executed
+  operations, so its generator state is fully determined by the
+  sequence of values the executor has ``send()``-ed into it.  The
+  executor records that sequence per thread (the *tape*); a snapshot
+  shares the live, append-only tape list and remembers only its
+  current length (copy-on-write by append-only discipline).  Restoring
+  builds fresh generators from a fresh
+  :class:`~repro.runtime.program.ProgramInstance` and fast-forwards
+  them by re-feeding the tape — no scheduling, no clock updates, no
+  object operations, just C-level generator resumption.
+* The :class:`~repro.core.hb.DualClockEngine` forks by sharing its
+  published (immutable) clock snapshot tuples and copying only the two
+  location tables and the short mutable working clocks — the engine's
+  existing copy-on-publish discipline doing double duty.
+* Shared objects snapshot their mutable state through
+  ``snapshot_state()`` — a handful of scalars/short containers per
+  object (see each primitive's implementation for its rule).
+* The trace (when materialised) is a shallow list copy; events are
+  immutable once stamped and stay shared.
+
+``Executor.from_snapshot`` rebuilds a live executor from a snapshot;
+the result is observably identical to replaying the snapshot's
+schedule prefix from scratch — same enabled sets, fingerprints, state
+hashes, schedules and statistics — which the equivalence suite
+enforces over every sync primitive.
+
+Snapshots are in-memory values (they hold live object references and
+generator tapes); they are deliberately *not* serializable.  The
+exploration-level cache that holds them is
+:class:`repro.explore.snapshots.SnapshotTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.hb import DualClockEngine
+
+
+class ThreadRecord:
+    """Frozen per-thread state inside an :class:`ExecutorSnapshot`.
+
+    ``tape`` is the thread's **live** send-value list, shared with the
+    executor that produced the snapshot; only the first ``tape_len``
+    entries belong to this snapshot (the list is append-only, so
+    later appends by the live executor never invalidate them).
+    ``needs_replay`` is False for finished threads that spawned no
+    children — their generators are dead weight and are not rebuilt.
+    """
+
+    __slots__ = (
+        "name", "status", "tindex", "resuming", "exit_recorded",
+        "crashed", "wait_mutex_oid", "tape", "tape_len", "spawn_count",
+        "needs_replay",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        status: int,
+        tindex: int,
+        resuming: bool,
+        exit_recorded: bool,
+        crashed: bool,
+        wait_mutex_oid: Optional[int],
+        tape: List[Any],
+        tape_len: int,
+        spawn_count: int,
+        needs_replay: bool,
+    ) -> None:
+        self.name = name
+        self.status = status
+        self.tindex = tindex
+        self.resuming = resuming
+        self.exit_recorded = exit_recorded
+        self.crashed = crashed
+        self.wait_mutex_oid = wait_mutex_oid
+        self.tape = tape
+        self.tape_len = tape_len
+        self.spawn_count = spawn_count
+        self.needs_replay = needs_replay
+
+
+class ExecutorSnapshot:
+    """Complete executor state at one scheduling point.
+
+    Passive data: building one never runs guest code.  A snapshot can
+    be restored any number of times (each restore forks the engine and
+    re-feeds the tapes into fresh generators).
+    """
+
+    __slots__ = (
+        "program", "max_events", "fast_replay", "schedule", "num_events",
+        "truncated", "error", "guest_failures", "trace", "exit_events",
+        "thread_records", "spawn_origin", "object_states", "engine",
+        "barrier_pending", "pred_watch", "unfinished", "runnable",
+        "static_threads", "approx_bytes",
+    )
+
+    def __init__(
+        self,
+        program,
+        max_events: int,
+        fast_replay: bool,
+        schedule: Tuple[int, ...],
+        num_events: int,
+        truncated: bool,
+        error,
+        guest_failures: Tuple,
+        trace: Tuple,
+        exit_events: Dict,
+        thread_records: List[ThreadRecord],
+        spawn_origin: Dict[int, Tuple[int, int]],
+        object_states: List[Any],
+        engine: DualClockEngine,
+        barrier_pending: int,
+        pred_watch: int,
+        unfinished: int,
+        runnable: frozenset,
+        static_threads: int,
+    ) -> None:
+        self.program = program
+        self.max_events = max_events
+        self.fast_replay = fast_replay
+        self.schedule = schedule
+        self.num_events = num_events
+        self.truncated = truncated
+        self.error = error
+        self.guest_failures = guest_failures
+        self.trace = trace
+        self.exit_events = exit_events
+        self.thread_records = thread_records
+        self.spawn_origin = spawn_origin
+        self.object_states = object_states
+        self.engine = engine
+        self.barrier_pending = barrier_pending
+        self.pred_watch = pred_watch
+        self.unfinished = unfinished
+        self.runnable = runnable
+        self.static_threads = static_threads
+        self.approx_bytes = self._estimate_bytes()
+
+    @property
+    def depth(self) -> int:
+        """Schedule position this snapshot was taken at."""
+        return len(self.schedule)
+
+    def _estimate_bytes(self) -> int:
+        """Rough resident size, for the snapshot tree's memory budget.
+
+        Deliberately approximate (CPython object overheads, shared
+        tapes/events counted as owned): the budget bounds the order of
+        magnitude of cache memory, it is not an allocator.
+        """
+        n = 400 + 8 * len(self.schedule)
+        for rec in self.thread_records:
+            n += 160 + 24 * rec.tape_len
+        n += 72 * len(self.object_states)
+        t = len(self.thread_records)
+        for side in (self.engine.regular, self.engine.lazy):
+            n += (len(side.access) + len(side.modify)) * (96 + 8 * t)
+            n += len(side.thread_clocks) * (64 + 8 * t)
+        n += 96 * len(self.trace)  # empty in fast-replay mode
+        n += 88 * len(self.exit_events)
+        return n

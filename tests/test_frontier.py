@@ -110,6 +110,78 @@ class TestFrontier:
         assert fr.pop_shallowest().prefix == (1,)
         assert fr.pop_shallowest().prefix == (0, 1)
 
+    def test_pop_shallowest_matches_reference_scan(self):
+        """Split-seeding determinism regression: the depth-bucketed
+        pop_shallowest (which replaced an O(n²) full scan + splice)
+        must pop the exact item the reference implementation would —
+        shortest prefix, first such in stack order — under arbitrary
+        interleavings of push / pop_shallowest / pop, with len() and
+        serialization agreeing at every step."""
+        import random
+
+        rng = random.Random(20260731)
+        for _ in range(50):
+            fr = Frontier()
+            model = []          # reference: plain list in stack order
+
+            def ref_pop_shallowest():
+                best = min(range(len(model)),
+                           key=lambda i: len(model[i].prefix))
+                return model.pop(best)
+
+            counter = 0
+            for _ in range(rng.randrange(5, 120)):
+                roll = rng.random()
+                if roll < 0.55 or not model:
+                    depth = rng.randrange(0, 6)
+                    item = WorkItem(
+                        tuple(rng.randrange(3) for _ in range(depth)),
+                        {"n": counter},
+                    )
+                    counter += 1
+                    fr.push(item)
+                    model.append(item)
+                elif roll < 0.85:
+                    assert fr.pop_shallowest() == ref_pop_shallowest()
+                else:
+                    # a LIFO pop mid-stream compacts the seeding index
+                    assert fr.pop() == model.pop()
+                assert len(fr) == len(model)
+                assert bool(fr) == bool(model)
+            # leaving seeding mode: order and serialization intact
+            assert list(fr) == model
+            assert fr.to_dict() == Frontier(model).to_dict()
+            assert fr == Frontier(model)
+
+    def test_pop_shallowest_empty_raises(self):
+        with pytest.raises(IndexError):
+            Frontier().pop_shallowest()
+        fr = Frontier()
+        fr.push(WorkItem((1,), {}))
+        fr.pop_shallowest()
+        with pytest.raises(IndexError):
+            fr.pop_shallowest()
+
+    def test_seed_split_deterministic_end_to_end(self):
+        """Two independent seed runs of the same cell grow and split
+        identical frontiers (the campaign's resume correctness relies
+        on this)."""
+        from repro.explore.dfs import DFSExplorer
+        from repro.suite import REGISTRY
+
+        def seeded_shards():
+            ex = DFSExplorer(REGISTRY[13].program, ExplorationLimits())
+            stats = ex.run_seed(min_items=24, max_schedules=64)
+            return ([s.to_dict() for s in ex.frontier.split(4)],
+                    stats.to_dict())
+
+        shards_a, stats_a = seeded_shards()
+        shards_b, stats_b = seeded_shards()
+        stats_a.pop("elapsed")
+        stats_b.pop("elapsed")
+        assert shards_a == shards_b
+        assert stats_a == stats_b
+
 
 class TestSnapshotResume:
     """Serialization round-trip resumes to the identical remaining

@@ -1,0 +1,337 @@
+"""Snapshot/fork equivalence: resuming an executor from a
+copy-on-write snapshot must be *observably identical* to replaying the
+same prefix from scratch — same enabled sets, pending-info lookahead,
+fingerprints, state hashes, schedules and errors.
+
+The property is exercised three ways:
+
+* a hypothesis property over random schedules and random cut points of
+  programs that together use **every** sync primitive (mutex, condvar
+  wait/notify, semaphore, barrier, rwlock, atomic RMW, plain
+  vars/arrays/dicts, await_value, spawn/join, yield, guest assertions,
+  deadlocks);
+* explorer-level equivalence: kernel strategies and DPOR must produce
+  byte-identical statistics whatever the snapshot budget — including a
+  budget so tiny that almost every insert is rejected or evicted
+  (graceful degradation to plain replay);
+* multi-restore: one snapshot restored several times yields
+  independent, identical executors, and forking never perturbs the
+  original.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Program
+from repro.explore import ExplorationLimits
+from repro.explore.controller import make_explorer
+from repro.runtime.executor import Executor
+from repro.suite import REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Programs spanning the full primitive vocabulary
+def _omnibus() -> Program:
+    """Barrier + semaphore + condvar + rwlock + atomic + array/dict +
+    await_value in one program; three threads."""
+
+    def build(p):
+        m = p.mutex("m")
+        cv = p.condvar("cv")
+        sem = p.semaphore("sem", 1)
+        bar = p.barrier("bar", 2)
+        rw = p.rwlock("rw")
+        counter = p.atomic("counter", 0)
+        flag = p.var("flag", 0)
+        cells = p.array("cells", [0, 0])
+        table = p.dict("table", {0: 0})
+
+        def t0(api):
+            yield api.fetch_add(counter, 2)
+            yield api.barrier_wait(bar)
+            yield api.rlock(rw)
+            v = yield api.read(cells, key=0)
+            yield api.runlock(rw)
+            yield api.lock(m)
+            yield api.write(flag, 1)
+            yield api.notify(cv)
+            yield api.unlock(m)
+            yield api.write(table, v + 1, key=0)
+
+        def t1(api):
+            yield api.acquire(sem)
+            yield api.wlock(rw)
+            yield api.write(cells, 5, key=0)
+            yield api.wunlock(rw)
+            yield api.release(sem)
+            yield api.barrier_wait(bar)
+            ok = yield api.cas(counter, 2, 9)
+            yield api.write(cells, 1 if ok else 2, key=1)
+
+        def t2(api):
+            yield api.lock(m)
+            while True:
+                v = yield api.read(flag)
+                if v:
+                    break
+                yield api.wait(cv, m)
+            yield api.unlock(m)
+            yield api.await_value(counter, lambda x: x >= 2)
+            yield api.sched_yield()
+            yield api.write(table, 7, key=1)
+
+        p.thread(t0)
+        p.thread(t1)
+        p.thread(t2)
+
+    return Program("snapshot_omnibus", build)
+
+
+def _spawner() -> Program:
+    """Nested dynamic spawn: a child spawns a grandchild."""
+
+    def build(p):
+        out = p.array("out", [0, 0, 0])
+        total = p.atomic("total", 0)
+
+        def grandchild(api, me):
+            yield api.write(out, me * 10, key=2)
+            yield api.fetch_add(total, 1)
+
+        def child(api, me):
+            yield api.write(out, me, key=1)
+            gtid = yield api.spawn(grandchild, me + 1)
+            yield api.join(gtid)
+            yield api.fetch_add(total, 1)
+
+        def main(api):
+            tid = yield api.spawn(child, 1)
+            yield api.write(out, 99, key=0)
+            yield api.join(tid)
+            yield api.fetch_add(total, 1)
+
+        p.thread(main)
+
+    return Program("snapshot_spawner", build)
+
+
+def _crashy() -> Program:
+    """One thread dies on a guest assertion under some interleavings."""
+
+    def build(p):
+        x = p.var("x", 0)
+
+        def writer(api):
+            yield api.write(x, 1)
+
+        def asserter(api):
+            v = yield api.read(x)
+            api.guest_assert(v == 0, "saw the write")
+            yield api.write(x, v + 10)
+
+        p.thread(writer)
+        p.thread(asserter)
+
+    return Program("snapshot_crashy", build)
+
+
+def _deadlocky() -> Program:
+    def build(p):
+        a = p.mutex("a")
+        b = p.mutex("b")
+
+        def t0(api):
+            yield api.lock(a)
+            yield api.lock(b)
+            yield api.unlock(b)
+            yield api.unlock(a)
+
+        def t1(api):
+            yield api.lock(b)
+            yield api.lock(a)
+            yield api.unlock(a)
+            yield api.unlock(b)
+
+        p.thread(t0)
+        p.thread(t1)
+
+    return Program("snapshot_deadlocky", build)
+
+
+PROGRAMS = {
+    "omnibus": _omnibus(),
+    "spawner": _spawner(),
+    "crashy": _crashy(),
+    "deadlocky": _deadlocky(),
+    "bounded_buffer": REGISTRY[24].program,
+    "spawn_join": REGISTRY[77].program,
+}
+
+
+def _random_schedule(program: Program, seed: int):
+    ex = Executor(program, snapshots=True)
+    rng = random.Random(seed)
+    while not ex.is_done():
+        ex.step(rng.choice(ex.enabled()))
+    return ex.finish()
+
+
+def _pending_view(ex: Executor):
+    return [
+        (i.tid, i.kind, i.oid, i.key, i.enabled, i.released_mutex_oid)
+        for i in ex.all_pending_infos()
+    ]
+
+
+def _assert_runs_identical(a: Executor, b: Executor, tail):
+    """Drive both executors down ``tail`` asserting every observable
+    agrees at every scheduling point."""
+    for tid in tail:
+        assert a.enabled() == b.enabled()
+        assert a.runnable_unfinished() == b.runnable_unfinished()
+        assert _pending_view(a) == _pending_view(b)
+        a.step(tid)
+        b.step(tid)
+    assert a.is_done() == b.is_done()
+    ra, rb = a.finish(), b.finish()
+    assert ra.schedule == rb.schedule
+    assert ra.hbr_fp == rb.hbr_fp
+    assert ra.lazy_fp == rb.lazy_fp
+    assert ra.state_hash == rb.state_hash
+    assert ra.truncated == rb.truncated
+    assert ra.num_events == rb.num_events
+    assert type(ra.error).__name__ == type(rb.error).__name__
+    assert str(ra.error) == str(rb.error)
+    return ra, rb
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+@given(seed=st.integers(0, 10**9), cut_frac=st.floats(0.0, 1.0))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fork_resume_identical_to_fresh_replay(name, seed, cut_frac):
+    program = PROGRAMS[name]
+    full = _random_schedule(program, seed)
+    sched = full.schedule
+    cut = int(cut_frac * len(sched))
+
+    fresh = Executor(program, snapshots=True)
+    fresh.replay_prefix(sched[:cut])
+    snap = fresh.snapshot()
+    resumed = Executor.from_snapshot(snap)
+
+    ra, rb = _assert_runs_identical(fresh, resumed, sched[cut:])
+    assert ra.hbr_fp == full.hbr_fp
+    assert ra.state_hash == full.state_hash
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_multi_restore_and_fork_independence(name):
+    program = PROGRAMS[name]
+    full = _random_schedule(program, 1234)
+    sched = full.schedule
+    cut = len(sched) // 2
+
+    base = Executor(program, snapshots=True)
+    base.replay_prefix(sched[:cut])
+    snap = base.snapshot()
+
+    # one snapshot, three independent restores (one via fork of a fork)
+    r1 = Executor.from_snapshot(snap)
+    r2 = Executor.from_snapshot(snap)
+    r3 = r1.fork()
+    _assert_runs_identical(r1, r2, sched[cut:])
+    # forking r1 before it ran must not have perturbed it, and the fork
+    # itself continues identically
+    r4 = Executor(program, snapshots=True)
+    r4.replay_prefix(sched[:cut])
+    _assert_runs_identical(r3, r4, sched[cut:])
+
+    # the snapshot source keeps running unperturbed
+    for tid in sched[cut:]:
+        base.step(tid)
+    assert base.finish().state_hash == full.state_hash
+
+
+def test_trace_mode_snapshot_preserves_events():
+    # DPOR runs executors with materialised traces; a resumed executor
+    # must carry the full stamped event list
+    program = PROGRAMS["omnibus"]
+    full = _random_schedule(program, 99)
+    sched = full.schedule
+    cut = len(sched) // 2
+    a = Executor(program, fast_replay=False, snapshots=True)
+    a.replay_prefix(sched[:cut])
+    b = Executor.from_snapshot(a.snapshot())
+    for tid in sched[cut:]:
+        a.step(tid)
+        b.step(tid)
+    ta, tb = a.finish().events, b.finish().events
+    assert len(ta) == len(tb) == len(sched)
+    for ea, eb in zip(ta, tb):
+        assert (ea.index, ea.tid, ea.tindex, ea.kind, ea.oid, ea.key,
+                ea.clock, ea.lazy_clock, ea.released_mutex_oid) == \
+               (eb.index, eb.tid, eb.tindex, eb.kind, eb.oid, eb.key,
+                eb.clock, eb.lazy_clock, eb.released_mutex_oid)
+
+
+def test_snapshot_requires_recording():
+    ex = Executor(PROGRAMS["omnibus"])
+    with pytest.raises(Exception):
+        ex.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Explorer-level equivalence across snapshot budgets
+def _stats_dict(explorer_name, bench_id, budget):
+    limits = ExplorationLimits(max_schedules=500)
+    limits.snapshot_budget_bytes = budget
+    explorer = make_explorer(explorer_name, REGISTRY[bench_id].program,
+                             limits)
+    stats = explorer.run().to_dict()
+    stats.pop("elapsed")
+    return stats, explorer
+
+
+@pytest.mark.parametrize("explorer_name", [
+    "dfs", "hbr-caching", "lazy-hbr-caching", "preempt-bounded",
+    "iterative-cb", "delay-bounded", "dpor", "lazy-dpor",
+])
+@pytest.mark.parametrize("bench_id", [4, 24, 36, 47])
+def test_explorer_budget_invariance(explorer_name, bench_id):
+    """Statistics are byte-identical whether the snapshot tree is off,
+    default-sized, or starved down to eviction thrash."""
+    base, _ = _stats_dict(explorer_name, bench_id, 0)
+    for budget in (4 << 20, 6000):
+        other, _ = _stats_dict(explorer_name, bench_id, budget)
+        assert other == base, (explorer_name, bench_id, budget)
+
+
+def test_tiny_budget_degrades_gracefully():
+    """Under a starvation budget the tree must actually reject/evict
+    (proving the budget binds) while results stay identical — the
+    eviction path falls back to plain replay, it never corrupts."""
+    base, _ = _stats_dict("dfs", 24, 0)
+    tiny, ex = _stats_dict("dfs", 24, 6000)
+    assert tiny == base
+    stats = ex.snapshot_tree.stats()
+    assert stats["bytes_high_water"] <= 6000
+    assert stats["evictions"] > 0 or stats["rejected"] > 0
+    # and with everything rejected outright (budget smaller than any
+    # snapshot), every lookup is a miss
+    micro, ex2 = _stats_dict("dfs", 24, 1)
+    assert micro == base
+    assert len(ex2.snapshot_tree) == 0
+    assert ex2.snapshot_tree.stats()["hits"] == 0
+
+
+def test_snapshot_budget_zero_disables_tree():
+    limits = ExplorationLimits(max_schedules=50)
+    limits.snapshot_budget_bytes = 0
+    explorer = make_explorer("dfs", REGISTRY[4].program, limits)
+    explorer.run()
+    assert explorer.snapshot_tree is None

@@ -1,0 +1,108 @@
+"""Unit tests of the prefix-keyed snapshot tree: LRU eviction under a
+byte budget, deepest-ancestor lookup, and the stat counters the perf
+harness reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.snapshots import SnapshotTree
+
+
+class _FakeSnap:
+    """Stands in for ExecutorSnapshot: the tree only reads approx_bytes."""
+
+    def __init__(self, size: int, tag: str = "") -> None:
+        self.approx_bytes = size
+        self.tag = tag
+
+
+def test_lookup_finds_deepest_ancestor():
+    tree = SnapshotTree(10_000)
+    tree.insert((1,), _FakeSnap(100, "d1"))
+    tree.insert((1, 2, 3), _FakeSnap(100, "d3"))
+    depth, snap = tree.lookup((1, 2, 3, 4, 5))
+    assert depth == 3 and snap.tag == "d3"
+    depth, snap = tree.lookup((1, 2))
+    assert depth == 1 and snap.tag == "d1"
+    # exact-depth hits count too
+    depth, snap = tree.lookup((1, 2, 3))
+    assert depth == 3 and snap.tag == "d3"
+    assert tree.lookup((2, 9)) is None
+    stats = tree.stats()
+    assert stats["hits"] == 3 and stats["misses"] == 1
+    assert stats["hit_rate"] == pytest.approx(0.75)
+
+
+def test_wants_rejects_duplicates_and_roots():
+    tree = SnapshotTree(10_000)
+    assert not tree.wants(())            # depth-0 never cached
+    assert tree.wants((1,))
+    tree.insert((1,), _FakeSnap(10))
+    assert not tree.wants((1,))
+    assert tree.wants((1, 2))
+
+
+def test_budget_evicts_lru_first():
+    tree = SnapshotTree(300)
+    tree.insert((1,), _FakeSnap(100, "a"))
+    tree.insert((2,), _FakeSnap(100, "b"))
+    tree.insert((3,), _FakeSnap(100, "c"))
+    assert tree.bytes_used == 300
+    tree.lookup((1,))                    # refresh "a": now LRU is "b"
+    tree.insert((4,), _FakeSnap(100, "d"))
+    assert tree.lookup((2,)) is None     # "b" evicted
+    assert tree.lookup((1,))[1].tag == "a"
+    stats = tree.stats()
+    assert stats["evictions"] == 1
+    assert stats["bytes_used"] == 300
+    assert stats["bytes_high_water"] == 300
+
+
+def test_oversized_snapshot_rejected():
+    tree = SnapshotTree(100)
+    assert not tree.insert((1,), _FakeSnap(101))
+    assert len(tree) == 0 and tree.stats()["rejected"] == 1
+    assert tree.insert((1,), _FakeSnap(100))
+    assert len(tree) == 1
+
+
+def test_eviction_drains_to_fit_large_insert():
+    tree = SnapshotTree(300)
+    for i in range(3):
+        tree.insert((i,), _FakeSnap(100))
+    tree.insert((9,), _FakeSnap(250))
+    # 300 + 250 > 300 → evict until it fits: all three LRU entries go
+    assert tree.stats()["evictions"] == 3
+    assert tree.bytes_used == 250
+    assert tree.lookup((9,)) is not None
+
+
+def test_lookup_probe_range_tracks_evictions():
+    """The miss path probes only up to the deepest *live* key — and the
+    max-depth bookkeeping survives evicting the deepest entry."""
+    tree = SnapshotTree(250)
+    tree.insert((1, 2, 3, 4, 5), _FakeSnap(200, "deep"))
+    assert tree._max_depth == 5
+    tree.insert((7,), _FakeSnap(100, "shallow"))   # evicts "deep"
+    assert tree._max_depth == 1
+    # a very deep miss probes within the live range and still hits the
+    # shallow ancestor
+    assert tree.lookup(tuple([7] + list(range(100))))[1].tag == "shallow"
+    tree.clear()
+    assert tree._max_depth == 0 and tree._depth_counts == {}
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        SnapshotTree(-1)
+
+
+def test_clear_resets_bytes_but_keeps_counters():
+    tree = SnapshotTree(1000)
+    tree.insert((1,), _FakeSnap(500))
+    tree.lookup((1,))
+    tree.clear()
+    assert len(tree) == 0 and tree.bytes_used == 0
+    assert tree.stats()["hits"] == 1     # counters survive a clear
+    assert tree.stats()["bytes_high_water"] == 500
