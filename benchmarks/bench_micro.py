@@ -4,7 +4,6 @@ executor's step loop — these benches track their throughput)."""
 
 from __future__ import annotations
 
-from repro import Program
 from repro.core.fingerprint import FingerprintChain
 from repro.core.vector_clock import VectorClock, tuple_leq
 from repro.runtime.executor import Executor

@@ -51,7 +51,9 @@ from .core import (
     conflicts_lazy,
 )
 from .errors import (
+    ChannelError,
     DeadlockError,
+    FutureError,
     GuestAssertionError,
     GuestError,
     InvalidOpError,
@@ -59,10 +61,13 @@ from .errors import (
     SchedulerError,
 )
 from .runtime import (
+    CLOSED,
     AtomicInt,
     Barrier,
+    Channel,
     CondVar,
     Executor,
+    Future,
     Mutex,
     Program,
     ProgramBuilder,
@@ -82,12 +87,17 @@ __version__ = "1.0.0"
 __all__ = [
     "AtomicInt",
     "Barrier",
+    "CLOSED",
+    "Channel",
+    "ChannelError",
     "CondVar",
     "DeadlockError",
     "DualClockEngine",
     "Event",
     "Executor",
     "FingerprintCache",
+    "Future",
+    "FutureError",
     "GuestAssertionError",
     "GuestError",
     "InvalidOpError",

@@ -2,7 +2,7 @@
 
 Commands
 --------
-list                      list the 79 suite benchmarks
+list                      list the 88 suite benchmarks
 run ID [--schedule ...]   execute one benchmark once and show the result
 explore ID [--strategy S] explore a benchmark and print the statistics
 races ID                  systematic data-race hunt on a benchmark
@@ -49,7 +49,8 @@ def _cmd_list(_args) -> int:
 
 def _get(bench_id: int):
     if bench_id not in REGISTRY:
-        print(f"error: no benchmark {bench_id} (1..79)", file=sys.stderr)
+        print(f"error: no benchmark {bench_id} (1..{max(REGISTRY)})",
+              file=sys.stderr)
         raise SystemExit(2)
     return REGISTRY[bench_id]
 
@@ -130,8 +131,10 @@ def _cmd_inequality(args) -> int:
 #: smoke-campaign defaults: a fast, behaviour-spanning subset — racy +
 #: locked counters, coarse lock over disjoint data, bounded buffer,
 #: condvars, a deadlock (36), an assertion violation (47), a mutual-
-#: exclusion protocol and an SC litmus test.
-SMOKE_IDS = (1, 2, 5, 10, 24, 28, 36, 47, 48, 75)
+#: exclusion protocol, an SC litmus test, and the channel/future
+#: family (pipeline 80, seeded producer-consumer bug 84, future DAG
+#: 86, close race 87).
+SMOKE_IDS = (1, 2, 5, 10, 24, 28, 36, 47, 48, 75, 80, 84, 86, 87)
 SMOKE_EXPLORERS = "dpor,lazy-hbr-caching,random"
 SMOKE_LIMIT = 150
 

@@ -23,13 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.events import Event, MODIFYING_KINDS, OpKind
+from ..core.events import DATA_KINDS, Event, MODIFYING_KINDS, OpKind
 from ..core.vector_clock import VectorClock, tuple_leq
 from ..explore.base import ExplorationLimits
 from ..explore.dpor import DPORExplorer
 from ..runtime.atomic import AtomicInt
 from ..runtime.barrier import Barrier
+from ..runtime.channel import Channel
 from ..runtime.condvar import CondVar
+from ..runtime.future import Future
 from ..runtime.mutex import Mutex
 from ..runtime.objects import ObjectRegistry, ThreadHandle
 from ..runtime.program import Program
@@ -37,14 +39,15 @@ from ..runtime.rwlock import RWLock
 from ..runtime.semaphore import Semaphore
 from ..runtime.trace import TraceResult
 
-#: Kinds that constitute plain data accesses.
-_DATA_KINDS = frozenset({OpKind.READ, OpKind.WRITE, OpKind.RMW})
+#: Kinds that constitute plain data accesses (registry-derived, so a
+#: new data primitive is race-analyzed without edits here).
+_DATA_KINDS = DATA_KINDS
 
 #: Thread-lifecycle kinds — always synchronisation.
 _LIFECYCLE_KINDS = frozenset({OpKind.SPAWN, OpKind.EXIT, OpKind.JOIN})
 
 _SYNC_TYPES = (Mutex, CondVar, Semaphore, Barrier, RWLock, AtomicInt,
-               ThreadHandle)
+               ThreadHandle, Channel, Future)
 
 
 def sync_oids_of(registry: ObjectRegistry) -> Set[int]:

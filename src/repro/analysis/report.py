@@ -6,7 +6,7 @@ from typing import List, Sequence
 
 from .runner import Figure2Row, Figure3Row, InequalityRow
 from .scatter import render_scatter
-from .stats import ScatterPoint, caching_gain_summary, redundancy_summary
+from .stats import caching_gain_summary, redundancy_summary
 
 
 def figure2_report(rows: Sequence[Figure2Row], schedule_limit: int) -> str:

@@ -43,6 +43,16 @@ def _describe_event(e: Event, names: Dict[int, str]) -> str:
         return f"spawn -> T{e.value}"
     if kind == OpKind.JOIN:
         return f"join({loc})"
+    if kind == OpKind.CHAN_SEND:
+        return f"send({loc})"
+    if kind == OpKind.CHAN_RECV:
+        return f"recv({loc}) -> {e.value!r}"
+    if kind == OpKind.CHAN_CLOSE:
+        return f"close({loc})"
+    if kind == OpKind.FUT_SET:
+        return f"fut_set({loc})"
+    if kind == OpKind.FUT_GET:
+        return f"fut_get({loc}) -> {e.value!r}"
     return f"{kind.name.lower()}({loc})"
 
 

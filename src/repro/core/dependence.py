@@ -7,7 +7,12 @@ clause for mutexes: two lock/unlock events never conflict, no matter
 the mutex.
 
 These predicates drive both the online clock engines (which edges to
-add) and DPOR (which pairs of events race).
+add) and DPOR (which pairs of events race).  Neither enumerates
+operation kinds: ``MODIFYING_KINDS``/``MUTEX_KINDS`` are derived from
+the per-kind :class:`~repro.core.events.HBClass` declarations in
+:data:`~repro.core.events.KIND_SPEC`, so a new primitive participates
+in dependence — and hence in DPOR's independence reasoning — by
+declaring its kinds' HB classes, with no edits here.
 """
 
 from __future__ import annotations

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from .fingerprint import fingerprint_label
 
@@ -23,7 +23,7 @@ class OpKind(enum.IntEnum):
     """Kinds of visible operations.
 
     The integer values are stable and are used inside fingerprints, so
-    they must not be reordered.
+    they must not be reordered; new kinds are only ever *appended*.
     """
 
     READ = 0          #: read a shared variable
@@ -45,56 +45,152 @@ class OpKind(enum.IntEnum):
     WLOCK = 16        #: acquire a read-write lock in exclusive mode
     WUNLOCK = 17      #: release exclusive mode
     YIELD = 18        #: pure scheduling point, no shared access
+    CHAN_SEND = 19    #: deposit a value into a channel
+    CHAN_RECV = 20    #: take a value from a channel
+    CHAN_CLOSE = 21   #: close a channel
+    FUT_SET = 22      #: complete a future with a value
+    FUT_GET = 23      #: read a completed future's value
 
 
-#: Kinds that are pure mutex operations.  These are exactly the kinds the
-#: lazy HBR ignores when computing inter-thread edges (paper, Section 2:
-#: "lock and unlock events do not introduce inter-thread edges").
-MUTEX_KINDS = frozenset({OpKind.LOCK, OpKind.UNLOCK})
+class HBClass(enum.IntEnum):
+    """How one operation kind participates in the happens-before
+    relations — the per-kind half of the sync-primitive protocol (the
+    per-object half lives on :class:`~repro.runtime.objects
+    .SharedObject`).
+
+    The clock engine and the dependence predicates are driven entirely
+    by this classification; no component outside the primitive's own
+    module needs to enumerate its kinds.
+
+    * ``ACQUIRE`` — a non-modifying access: it observes the object
+      (ordered after all prior modifications) but does not conflict
+      with other ACQUIRE accesses.  READ, JOIN, FUT_GET.
+    * ``RELEASE`` — a modifying access that additionally hands state to
+      other threads (the runtime may inject explicit release edges to
+      woken threads): NOTIFY, SEM_RELEASE, CHAN_SEND, FUT_SET, SPAWN.
+      Clock treatment equals ``BOTH``; the distinction is semantic and
+      feeds diagnostics/analysis, not the engine.
+    * ``BOTH`` — a modifying access plain and simple: conflicts with
+      every other access to the same location, in both relations.
+    * ``LOCAL`` — a *mutex-class* modification: a full conflict edge in
+      the regular HBR, but no inter-thread edge in the **lazy** HBR
+      (paper, Section 2: "lock and unlock events do not introduce
+      inter-thread edges").  Only LOCK/UNLOCK, per Theorem 2.2.
+    """
+
+    ACQUIRE = 0
+    RELEASE = 1
+    BOTH = 2
+    LOCAL = 3
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """Declarative semantics of one operation kind.
+
+    ``hb`` drives the clock engines and the dependence predicates;
+    ``blocking`` marks kinds with an enabledness condition (used for
+    diagnostics and analysis, never for dispatch); ``disturbing``
+    marks kinds whose execution can change *another* thread's
+    enabledness (the executor's memoised enabled list survives steps
+    of non-disturbing kinds); ``arrival_sensitive`` marks kinds whose
+    mere *pendingness* can enable another thread (a new arrival forces
+    an enabled-list rebuild: barrier cohorts, rendezvous receivers);
+    ``data`` marks plain data-access kinds that key events on the
+    op's ``arg`` (sub-object locations).
+    """
+
+    hb: HBClass
+    blocking: bool = False
+    disturbing: bool = True
+    arrival_sensitive: bool = False
+    data: bool = False
+
+
+#: The kind registry: one declarative row per operation kind.  Adding a
+#: primitive = appending its kinds above and its rows here; every kind
+#: table the engines use is derived from this single source.
+KIND_SPEC: Dict[OpKind, KindSpec] = {
+    # plain data (sharedvar / atomic); WRITE/RMW only disturb threads
+    # pending an ``await_value`` predicate, which the executor tracks
+    # with a dedicated counter — so they are declared non-disturbing
+    OpKind.READ: KindSpec(HBClass.ACQUIRE, disturbing=False, data=True),
+    OpKind.WRITE: KindSpec(HBClass.BOTH, disturbing=False, data=True),
+    OpKind.RMW: KindSpec(HBClass.BOTH, disturbing=False, data=True),
+    # mutex: the only LOCAL (lazy-invisible) kinds, per Theorem 2.2
+    OpKind.LOCK: KindSpec(HBClass.LOCAL, blocking=True),
+    OpKind.UNLOCK: KindSpec(HBClass.LOCAL),
+    # condition variables
+    OpKind.WAIT: KindSpec(HBClass.BOTH, blocking=True),
+    OpKind.NOTIFY: KindSpec(HBClass.RELEASE),
+    OpKind.NOTIFY_ALL: KindSpec(HBClass.RELEASE),
+    # semaphores
+    OpKind.SEM_ACQUIRE: KindSpec(HBClass.BOTH, blocking=True),
+    OpKind.SEM_RELEASE: KindSpec(HBClass.RELEASE),
+    # barriers: a new pending arrival can complete a cohort
+    OpKind.BARRIER_WAIT: KindSpec(
+        HBClass.BOTH, blocking=True, arrival_sensitive=True
+    ),
+    # thread lifecycle (executor-core semantics).  SPAWN/EXIT modify
+    # the target thread's pseudo-object; JOIN only observes it, so
+    # concurrent joins of a finished thread do not conflict.
+    OpKind.SPAWN: KindSpec(HBClass.RELEASE),
+    OpKind.JOIN: KindSpec(HBClass.ACQUIRE, blocking=True, disturbing=False),
+    OpKind.EXIT: KindSpec(HBClass.BOTH),
+    # reader-writer locks (kept in the lazy HBR: the paper's theorem
+    # covers plain mutexes only)
+    OpKind.RLOCK: KindSpec(HBClass.BOTH, blocking=True),
+    OpKind.RUNLOCK: KindSpec(HBClass.BOTH),
+    OpKind.WLOCK: KindSpec(HBClass.BOTH, blocking=True),
+    OpKind.WUNLOCK: KindSpec(HBClass.BOTH),
+    # pure scheduling point
+    OpKind.YIELD: KindSpec(HBClass.ACQUIRE, disturbing=False),
+    # channels: send/recv/close all modify the FIFO, so a recv is
+    # ordered after its matching send by ordinary conflict edges in
+    # both relations; a rendezvous send is enabled only while a
+    # receiver is *pending*, hence recv's arrival sensitivity
+    OpKind.CHAN_SEND: KindSpec(HBClass.RELEASE, blocking=True),
+    OpKind.CHAN_RECV: KindSpec(
+        HBClass.BOTH, blocking=True, arrival_sensitive=True
+    ),
+    OpKind.CHAN_CLOSE: KindSpec(HBClass.BOTH),
+    # futures: set modifies, get observes (concurrent gets independent)
+    OpKind.FUT_SET: KindSpec(HBClass.RELEASE),
+    OpKind.FUT_GET: KindSpec(HBClass.ACQUIRE, blocking=True,
+                             disturbing=False),
+}
+
+assert set(KIND_SPEC) == set(OpKind), "every OpKind needs a KindSpec row"
+
+#: Kinds the lazy HBR ignores when computing inter-thread edges
+#: (mutex-class operations), derived from the kind registry.
+MUTEX_KINDS = frozenset(
+    k for k, spec in KIND_SPEC.items() if spec.hb is HBClass.LOCAL
+)
 
 #: Kinds that *modify* the object they touch, for condition (b) of the
 #: happens-before definition ("at least one access is a modification").
 MODIFYING_KINDS = frozenset(
-    {
-        OpKind.WRITE,
-        OpKind.RMW,
-        OpKind.LOCK,
-        OpKind.UNLOCK,
-        OpKind.WAIT,
-        OpKind.NOTIFY,
-        OpKind.NOTIFY_ALL,
-        OpKind.SEM_ACQUIRE,
-        OpKind.SEM_RELEASE,
-        OpKind.BARRIER_WAIT,
-        OpKind.RLOCK,
-        OpKind.RUNLOCK,
-        OpKind.WLOCK,
-        OpKind.WUNLOCK,
-        # Thread lifecycle events modify the target thread's pseudo-object:
-        # SPAWN creates it, EXIT completes it.  JOIN only observes it (a
-        # read), so concurrent joins of a finished thread do not conflict.
-        OpKind.SPAWN,
-        OpKind.EXIT,
-    }
+    k for k, spec in KIND_SPEC.items() if spec.hb is not HBClass.ACQUIRE
 )
 
 #: Kinds that may block (have an enabledness condition).
 BLOCKING_KINDS = frozenset(
-    {
-        OpKind.LOCK,
-        OpKind.WAIT,
-        OpKind.SEM_ACQUIRE,
-        OpKind.BARRIER_WAIT,
-        OpKind.JOIN,
-        OpKind.RLOCK,
-        OpKind.WLOCK,
-    }
+    k for k, spec in KIND_SPEC.items() if spec.blocking
 )
+
+#: Plain data-access kinds (events keyed on the op's ``arg``).
+DATA_KINDS = frozenset(k for k, spec in KIND_SPEC.items() if spec.data)
 
 #: Dense bool tables indexed by ``int(kind)`` — O(1) list indexing beats
 #: frozenset hashing on the per-event hot path of the clock engine.
 IS_MODIFYING = tuple(k in MODIFYING_KINDS for k in OpKind)
 IS_MUTEX = tuple(k in MUTEX_KINDS for k in OpKind)
+IS_DISTURBING = tuple(KIND_SPEC[k].disturbing for k in OpKind)
+IS_ARRIVAL_SENSITIVE = tuple(
+    KIND_SPEC[k].arrival_sensitive for k in OpKind
+)
+IS_DATA = tuple(KIND_SPEC[k].data for k in OpKind)
 
 
 class Op:

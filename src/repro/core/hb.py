@@ -37,6 +37,13 @@ event, thousands of times per schedule):
   simply **replace** them — no join, no allocation.  Only the
   ``A[o]`` update of a non-modifying access (concurrent readers) can
   need a real join.
+
+Edge classification is driven by the per-kind happens-before classes
+(:class:`~repro.core.events.HBClass`, declared in
+:data:`~repro.core.events.KIND_SPEC`): the ``IS_MODIFYING``/
+``IS_MUTEX`` tables indexed below are derived from those declarations,
+so the engine never enumerates primitive kinds — a new primitive
+participates in both relations by declaring its classes.
 """
 
 from __future__ import annotations

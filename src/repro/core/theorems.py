@@ -15,7 +15,7 @@ the public API so users can sanity-check their own programs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulerError

@@ -27,6 +27,24 @@ class SchedulerError(ReproError):
     replay schedule diverged from the program's behaviour."""
 
 
+class DisabledThreadError(SchedulerError):
+    """A scheduler selected a thread whose pending operation is not
+    enabled.  Carries the enabled tid set and the selected thread's
+    blocking reason (from the primitive's ``blocking_desc``), so a
+    diverged replay reports *why* the choice is infeasible rather than
+    just that it is."""
+
+    def __init__(self, tid: int, enabled, reason: str = ""):
+        self.tid = tid
+        self.enabled = tuple(enabled)
+        self.reason = reason
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"thread {tid} is not enabled{detail} "
+            f"(enabled tids: {list(self.enabled)})"
+        )
+
+
 class ExplorationLimitError(ReproError):
     """An exploration exceeded a hard limit that was configured to raise
     instead of truncate."""
@@ -52,3 +70,16 @@ class GuestAssertionError(GuestError):
     def __init__(self, thread_id: int, message: str = ""):
         self.thread_id = thread_id
         super().__init__(message or f"guest assertion failed in thread {thread_id}")
+
+
+class ChannelError(GuestError):
+    """Illegal channel use by the program under test: sending on a
+    closed channel, or closing a channel twice.  Like an assertion
+    failure, this crashes only the offending thread — explorers record
+    it as a property violation of the schedule that exposed the race."""
+
+
+class FutureError(GuestError):
+    """Illegal future use by the program under test: completing an
+    already-completed future.  Per-thread crash semantics, like
+    :class:`ChannelError`."""

@@ -24,9 +24,7 @@ location), not O(trace length).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
-
-from typing import Any
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.events import Event, MUTEX_KINDS, OpKind
 from ..core.dependence import conflicts, may_be_coenabled

@@ -12,7 +12,7 @@ of depth ``d`` is found with probability >= 1/(n * k^(d-1)) per run.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict
 
 from .base import Explorer
 

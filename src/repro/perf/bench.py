@@ -78,6 +78,12 @@ CASES: List[BenchCase] = [
               1_000),
     BenchCase("random/bounded_buffer", "random", 24, 400),
     BenchCase("pct/bounded_buffer", "pct", 24, 400),
+    # the message-passing family: a deep two-stage channel pipeline
+    # (81) exercising the protocol-dispatched CHAN_* hot path
+    BenchCase("dfs/chan_pipeline2", "dfs", 81, 2_000),
+    BenchCase("dpor/chan_pipeline2", "dpor", 81, 2_000),
+    BenchCase("lazy-hbr-caching/chan_pipeline2", "lazy-hbr-caching",
+              81, 2_000),
 ]
 
 #: The prefix-sharing scenario cases (``bench --scenario prefix``):

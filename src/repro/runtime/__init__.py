@@ -3,8 +3,10 @@ stepwise executor and schedulers."""
 
 from .atomic import AtomicInt
 from .barrier import Barrier
+from .channel import CLOSED, Channel
 from .condvar import CondVar
 from .executor import DEFAULT_MAX_EVENTS, Executor
+from .future import Future
 from .mutex import Mutex
 from .objects import ObjectRegistry, SharedObject, ThreadHandle
 from .program import Program, ProgramBuilder, ProgramInstance
@@ -25,10 +27,13 @@ from .trace import PendingInfo, TraceResult
 __all__ = [
     "AtomicInt",
     "Barrier",
+    "CLOSED",
+    "Channel",
     "CondVar",
     "DEFAULT_MAX_EVENTS",
     "Executor",
     "FirstEnabledScheduler",
+    "Future",
     "Mutex",
     "ObjectRegistry",
     "PendingInfo",

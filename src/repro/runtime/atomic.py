@@ -8,10 +8,10 @@ hardware atomics under sequential consistency.
 
 from __future__ import annotations
 
-from .objects import ObjectRegistry, SharedObject
+from .objects import DataObject, ObjectRegistry
 
 
-class AtomicInt(SharedObject):
+class AtomicInt(DataObject):
     """A shared integer with atomic read-modify-write operations."""
 
     __slots__ = ("value",)

@@ -15,9 +15,29 @@ ordering — see DESIGN.md §5.3.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Dict, Iterable, List, Set, Tuple
 
 from .objects import ObjectRegistry, SharedObject
+
+
+def admit_full_cohorts(candidates: Iterable[Tuple[int, "Barrier"]]) -> None:
+    """Admit every barrier whose new generation is fully assembled.
+
+    ``candidates`` are ``(tid, barrier)`` pairs for runnable threads
+    pending an unadmitted ``BARRIER_WAIT``, in deterministic (tid)
+    order; the executor's enabledness pre-pass collects them.  Only
+    threads of the *new* generation count — threads still in
+    ``admitted`` are finishing the previous one.
+    """
+    pending_by_barrier: Dict[int, List[int]] = {}
+    barriers: Dict[int, "Barrier"] = {}
+    for tid, b in candidates:
+        pending_by_barrier.setdefault(b.oid, []).append(tid)
+        barriers[b.oid] = b
+    for oid, tids in pending_by_barrier.items():
+        b = barriers[oid]
+        if len(tids) >= b.parties:
+            b.admit(tids[: b.parties])
 
 
 class Barrier(SharedObject):
@@ -32,6 +52,19 @@ class Barrier(SharedObject):
         self.parties = parties
         self.admitted: Set[int] = set()
         self.generation = 0
+
+    # -- protocol --------------------------------------------------------
+    def op_enabled(self, op, tid, ex) -> bool:
+        return tid in self.admitted
+
+    def op_apply(self, op, ex, thread):
+        return self.do_pass(thread.tid)
+
+    def blocking_desc(self, op) -> str:
+        return (
+            f"waiting at barrier {self.name!r} "
+            f"({len(self.admitted)}/{self.parties} admitted)"
+        )
 
     def admit(self, tids) -> None:
         """Called by the executor when ``parties`` threads are pending."""

@@ -1,0 +1,156 @@
+"""Message-passing channels: bounded FIFO and rendezvous.
+
+The first primitive written natively against the sync-primitive
+protocol (see :mod:`repro.runtime.objects`): the executor knows nothing
+about channels beyond the per-kind rows in
+:data:`~repro.core.events.KIND_SPEC`.
+
+Semantics (multi-producer, multi-consumer):
+
+* ``capacity >= 1`` — a bounded FIFO.  ``send`` is enabled while the
+  buffer has space; ``recv`` is enabled while the buffer is non-empty
+  (or the channel is closed).  Values arrive in deposit order.
+* ``capacity == 0`` — a rendezvous channel.  ``send`` is enabled only
+  while the one-value hand-off slot is empty **and** some other thread
+  is pending a ``recv`` on this channel (the one primitive semantics
+  that inspects other threads' pending operations, via
+  ``Executor.has_pending_recv``); the matched ``recv`` then drains the
+  slot.  A send with no receiver in sight blocks — and deadlocks if no
+  receiver ever arrives, which the explorers report.
+* ``close`` — closing makes every blocked/future ``recv`` enabled:
+  once the buffer drains, ``recv`` returns the :data:`CLOSED`
+  sentinel.  Sending on a closed channel and closing twice are guest
+  errors (:class:`~repro.errors.ChannelError`): the offending event
+  *executes* (so DPOR can race-reverse it against the close) and the
+  thread then crashes, exactly like a failed guest assertion.
+
+Happens-before: send/recv/close all modify the channel object, so a
+``recv`` is ordered after its matching ``send`` — and after every
+earlier send on the channel — by ordinary conflict edges, in **both**
+relations (channels are not mutexes; the lazy HBR keeps their edges).
+No explicit release edges are needed.
+
+Blocked channel threads stay *runnable with a disabled pending op*
+(like mutex and semaphore blocking), not parked: wakeup order is the
+scheduler's choice, which is exactly the nondeterminism the explorers
+are meant to enumerate.  FIFO determinism applies to the *values* (the
+buffer), not to which consumer the scheduler runs first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..core.events import OpKind
+from ..errors import ChannelError
+from .objects import ObjectRegistry, SharedObject, own_value
+from .sharedvar import _hashable
+
+
+class _Closed:
+    """Singleton sentinel returned by ``recv`` on a drained, closed
+    channel (compare with ``is``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<channel closed>"
+
+
+#: The value a ``recv`` yields once the channel is closed and drained.
+CLOSED = _Closed()
+
+
+class Channel(SharedObject):
+    """A bounded (or, with ``capacity=0``, rendezvous) MPMC channel."""
+
+    __slots__ = ("capacity", "buffer", "closed", "sent", "received")
+
+    def __init__(self, registry: ObjectRegistry, capacity: int = 1,
+                 name: str = ""):
+        super().__init__(registry, name)
+        if capacity < 0:
+            raise ValueError("channel capacity must be >= 0")
+        self.capacity = capacity
+        self.buffer: List[Any] = []   # FIFO; at most 1 entry if rendezvous
+        self.closed = False
+        self.sent = 0                 # informational counters
+        self.received = 0
+
+    # -- protocol --------------------------------------------------------
+    def op_enabled(self, op, tid, ex) -> bool:
+        kind = op.kind
+        if kind is OpKind.CHAN_SEND:
+            if self.closed:
+                return True  # executes, then crashes the sender
+            if self.capacity == 0:
+                return not self.buffer and ex.has_pending_recv(self.oid, tid)
+            return len(self.buffer) < self.capacity
+        if kind is OpKind.CHAN_RECV:
+            return bool(self.buffer) or self.closed
+        return True  # CHAN_CLOSE: double-close surfaces in op_apply
+
+    def op_apply(self, op, ex, thread) -> Any:
+        kind = op.kind
+        if kind is OpKind.CHAN_SEND:
+            if self.closed:
+                ex.fx_throw(ChannelError(
+                    f"T{thread.tid} sent on closed channel {self.name!r}"
+                ))
+                return None
+            self.buffer.append(op.arg)
+            self.sent += 1
+            return None
+        if kind is OpKind.CHAN_RECV:
+            if self.buffer:
+                self.received += 1
+                return self.buffer.pop(0)
+            return CLOSED  # closed and drained
+        # CHAN_CLOSE
+        if self.closed:
+            ex.fx_throw(ChannelError(
+                f"T{thread.tid} closed channel {self.name!r} twice"
+            ))
+            return None
+        self.closed = True
+        return None
+
+    def blocking_desc(self, op) -> str:
+        if op.kind is OpKind.CHAN_SEND:
+            if self.capacity == 0:
+                if self.buffer:
+                    return (
+                        f"rendezvous send on {self.name!r} blocked: "
+                        f"hand-off slot still full"
+                    )
+                return (
+                    f"rendezvous send on {self.name!r} waiting for a "
+                    f"pending receiver"
+                )
+            return (
+                f"send on {self.name!r} blocked: buffer full "
+                f"({len(self.buffer)}/{self.capacity})"
+            )
+        return f"recv on {self.name!r} blocked: channel empty and open"
+
+    # -- state digests and snapshots ------------------------------------
+    def state_value(self):
+        return (
+            "channel",
+            tuple(_hashable(v) for v in self.buffer),
+            self.closed,
+            self.sent,
+            self.received,
+        )
+
+    def snapshot_state(self):
+        return (
+            [own_value(v) for v in self.buffer],
+            self.closed,
+            self.sent,
+            self.received,
+        )
+
+    def restore_state(self, state) -> None:
+        buffer, self.closed, self.sent, self.received = state
+        self.buffer = [own_value(v) for v in buffer]

@@ -18,8 +18,10 @@ re-acquire lock event carries no mutex edges.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..core.events import OpKind
+from ..errors import InvalidOpError
 from .objects import ObjectRegistry, SharedObject
 
 
@@ -31,6 +33,33 @@ class CondVar(SharedObject):
     def __init__(self, registry: ObjectRegistry, name: str = ""):
         super().__init__(registry, name)
         self.waiters: List[int] = []
+
+    # -- protocol --------------------------------------------------------
+    # WAIT is always enabled (it releases the mutex and parks); the
+    # default op_enabled suffices for all three kinds.
+    def op_apply(self, op, ex, thread):
+        kind = op.kind
+        if kind is OpKind.WAIT:
+            mutex = op.arg2
+            tid = thread.tid
+            if mutex.owner != tid:
+                raise InvalidOpError(
+                    f"wait on {self.name}: T{tid} does not hold "
+                    f"{mutex.name}"
+                )
+            mutex.do_unlock(tid)
+            self.add_waiter(tid)
+            ex.fx_park(thread, mutex)
+        elif kind is OpKind.NOTIFY:
+            ex.fx_wake(self.pop_one())
+        else:  # NOTIFY_ALL
+            ex.fx_wake(self.pop_all())
+        return None
+
+    def op_released_oid(self, op) -> Optional[int]:
+        if op.kind is OpKind.WAIT:
+            return op.arg2.oid
+        return None
 
     def add_waiter(self, tid: int) -> None:
         self.waiters.append(tid)

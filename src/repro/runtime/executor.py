@@ -53,15 +53,23 @@ import enum
 from bisect import insort
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.events import Event, Op, OpKind
+from ..core.events import (
+    IS_ARRIVAL_SENSITIVE,
+    IS_DATA,
+    IS_DISTURBING,
+    Event,
+    Op,
+    OpKind,
+)
 from ..core.hb import DualClockEngine
 from ..errors import (
     DeadlockError,
+    DisabledThreadError,
     GuestError,
     InvalidOpError,
     SchedulerError,
 )
-from .barrier import Barrier
+from .barrier import admit_full_cohorts
 from .objects import ThreadHandle
 from .program import Program, ProgramInstance
 from .snapshot import ExecutorSnapshot, ThreadRecord
@@ -72,37 +80,37 @@ from .trace import PendingInfo, TraceResult
 DEFAULT_MAX_EVENTS = 20_000
 
 #: Kinds whose execution can change *another* thread's enabledness
-#: (releases, acquisitions, lifecycle).  READ/YIELD/JOIN never do;
-#: WRITE/RMW only when some thread pends an ``await_value`` predicate
-#: (tracked by a counter).  Steps of non-disturbing kinds patch the
-#: memoised enabled list instead of invalidating it.
-_DISTURBING = tuple(
-    k not in (OpKind.READ, OpKind.WRITE, OpKind.RMW, OpKind.YIELD,
-              OpKind.JOIN)
+#: (releases, acquisitions, lifecycle), per the kind registry.
+#: READ/YIELD/JOIN/FUT_GET never do; WRITE/RMW only when some thread
+#: pends an ``await_value`` predicate (tracked by a counter).  Steps of
+#: non-disturbing kinds patch the memoised enabled list instead of
+#: invalidating it.
+_DISTURBING = IS_DISTURBING
+
+#: Kinds whose mere *pendingness* can enable another thread (barrier
+#: cohorts, rendezvous receivers): a thread arriving at one of these
+#: forces an enabled-list rebuild even after a non-disturbing step.
+_ARRIVAL = IS_ARRIVAL_SENSITIVE
+
+#: Kinds handled by the executor core (thread lifecycle + pure yields);
+#: everything else dispatches to the target's sync-primitive protocol.
+_CORE = tuple(
+    k in (OpKind.SPAWN, OpKind.JOIN, OpKind.EXIT, OpKind.YIELD)
     for k in OpKind
 )
 
-# OpKind members as module globals: the step dispatch compares against
-# these up to a dozen times per event, and a global load is cheaper
-# than an enum class attribute lookup.
+# The few OpKind members the remaining hot loops still compare against,
+# as module globals (a global load is cheaper than an enum class
+# attribute lookup).  The per-primitive dispatch that used to need one
+# alias per kind lives in the primitives' own modules now.
 _READ = OpKind.READ
 _WRITE = OpKind.WRITE
 _RMW = OpKind.RMW
 _LOCK = OpKind.LOCK
-_UNLOCK = OpKind.UNLOCK
-_WAIT = OpKind.WAIT
-_NOTIFY = OpKind.NOTIFY
-_NOTIFY_ALL = OpKind.NOTIFY_ALL
-_SEM_ACQUIRE = OpKind.SEM_ACQUIRE
-_SEM_RELEASE = OpKind.SEM_RELEASE
 _BARRIER_WAIT = OpKind.BARRIER_WAIT
 _SPAWN = OpKind.SPAWN
 _JOIN = OpKind.JOIN
 _EXIT = OpKind.EXIT
-_RLOCK = OpKind.RLOCK
-_RUNLOCK = OpKind.RUNLOCK
-_WLOCK = OpKind.WLOCK
-_WUNLOCK = OpKind.WUNLOCK
 _YIELD = OpKind.YIELD
 
 
@@ -116,7 +124,7 @@ class _GuestThread:
     __slots__ = (
         "tid", "name", "gen", "pending", "status", "tindex",
         "handle", "wait_mutex", "resuming", "exit_recorded", "crashed",
-        "tape", "spawn_count",
+        "tape", "spawn_count", "throw_exc",
     )
 
     def __init__(self, tid: int, name: str, gen, handle: ThreadHandle) -> None:
@@ -133,6 +141,7 @@ class _GuestThread:
         self.crashed = False          # terminated by a guest assertion
         self.tape: Optional[List[Any]] = None  # send-value record (snapshots)
         self.spawn_count = 0          # executed SPAWNs (snapshot bookkeeping)
+        self.throw_exc: Optional[GuestError] = None  # fx_throw injected error
 
 
 class Executor:
@@ -174,6 +183,14 @@ class Executor:
         # itself — linear, but enabled sets are tiny and a C-level list
         # scan beats building a set on every rebuild
         self._enabled_cache: Optional[List[int]] = None
+        # per-step effect scratch, written by primitives' op_apply via
+        # the fx_* hooks and drained by step(); the _fx_any flag keeps
+        # the common (effect-free) step at a single bool test
+        self._fx_any = False
+        self._fx_woken: Optional[List[int]] = None
+        self._fx_parked = False
+        self._fx_released: Optional[int] = None
+        self._fx_throw: Optional[GuestError] = None
 
         self._static_threads = len(self.instance.threads)
         self.engine.reserve(self._static_threads)
@@ -237,57 +254,130 @@ class Executor:
         elif kind is _READ and op.arg2 is not None:
             self._pred_watch += 1
 
+    def _advance_throw(self, t: _GuestThread, exc: GuestError) -> None:
+        """Resume ``t`` by throwing ``exc`` into its generator
+        (:meth:`fx_throw`): the guest dies at its current yield and the
+        crash is recorded like a failed assertion — a pending EXIT
+        event carrying the error.  Nothing is appended to the send
+        tape; snapshots record the injected error instead (the
+        generator is dead weight from here on, exactly like a
+        StopIteration'd one).
+
+        The injected error is fatal by contract: a guest that catches
+        it and returns still crashes with ``exc`` (swallowing the
+        violation does not undo it); a guest that escalates to a
+        different :class:`GuestError` crashes with *that* error; a
+        guest that catches it and yields again has diverged from its
+        send tape, which is a modelling error, not a schedule outcome.
+        """
+        try:
+            t.gen.throw(exc)
+        except StopIteration:
+            pass
+        except GuestError as raised:
+            exc = raised
+        else:
+            raise InvalidOpError(
+                f"thread {t.name} caught a runtime-injected "
+                f"{type(exc).__name__} and kept running; guests must "
+                f"not intercept channel/future violations"
+            )
+        t.throw_exc = exc
+        t.pending = Op(OpKind.EXIT, t.handle, exc)
+
+    # ------------------------------------------------------------------
+    # Effect hooks (called by primitives' op_apply during step())
+    def fx_park(self, t: _GuestThread, mutex) -> None:
+        """Park the stepping thread until :meth:`fx_wake` releases it;
+        its wakeup re-acquires ``mutex`` as an implicit LOCK event
+        before the guest's yield returns (monitor semantics).  The
+        parking op's event carries the released mutex oid, so the
+        regular HBR orders later lock() events after it."""
+        t.wait_mutex = mutex
+        t.status = _Status.WAITING
+        self._runnable.discard(t.tid)
+        self._runnable_sorted = None
+        self._fx_released = mutex.oid
+        self._fx_parked = True
+        self._fx_any = True
+
+    def fx_wake(self, tids: List[int]) -> None:
+        """Wake parked threads: the executing event gets a release edge
+        to each (in both relations), and their pending op becomes the
+        implicit re-acquire of their park mutex."""
+        if tids:
+            self._fx_woken = tids
+            self._fx_any = True
+
+    def fx_throw(self, exc: GuestError) -> None:
+        """Crash the stepping guest thread with ``exc`` after the
+        current event executes: the generator is resumed by *throwing*
+        instead of sending, so the failure is recorded exactly like a
+        guest assertion (a per-thread crash carried by the EXIT event)
+        and explorers can race-reverse the event that triggered it."""
+        self._fx_throw = exc
+        self._fx_any = True
+
     # ------------------------------------------------------------------
     # Enabledness
     def _admit_barriers(self) -> None:
         """Deterministic pre-pass: admit full barrier cohorts.  Skipped
-        entirely when no runnable thread is pending a barrier wait."""
+        entirely when no runnable thread is pending a barrier wait; the
+        cohort rule itself lives in :mod:`repro.runtime.barrier`."""
         if not self._barrier_pending:
             return
-        pending_by_barrier: Dict[int, List[int]] = {}
-        barriers: Dict[int, Barrier] = {}
-        for t in self.threads:
-            op = t.pending
+        admit_full_cohorts(
+            (t.tid, t.pending.target)
+            for t in self.threads
             if (
                 t.status == _Status.RUNNABLE
-                and op is not None
-                and op.kind == OpKind.BARRIER_WAIT
-                and t.tid not in op.target.admitted
-            ):
-                pending_by_barrier.setdefault(op.target.oid, []).append(t.tid)
-                barriers[op.target.oid] = op.target
-        for oid, tids in pending_by_barrier.items():
-            b = barriers[oid]
-            # only threads of the *new* generation count: threads still in
-            # b.admitted are finishing the previous one
-            if len(tids) >= b.parties:
-                b.admit(tids[: b.parties])
+                and t.pending is not None
+                and t.pending.kind is _BARRIER_WAIT
+                and t.tid not in t.pending.target.admitted
+            )
+        )
 
     def _op_enabled(self, t: _GuestThread) -> bool:
         op = t.pending
-        kind = op.kind
-        if kind == OpKind.LOCK:
-            return op.target.can_lock()
-        if kind == OpKind.READ:
-            pred = op.arg2
-            if pred is not None:  # await_value
-                return bool(pred(op.target.get(op.arg)))
+        target = op.target
+        if target is None:
+            # SPAWN / JOIN / YIELD: lifecycle ops with no shared object
+            if op.kind is _JOIN:
+                joined = op.arg
+                return (
+                    0 <= joined < len(self.threads)
+                    and self.threads[joined].status == _Status.FINISHED
+                )
             return True
-        if kind == OpKind.SEM_ACQUIRE:
-            return op.target.can_acquire()
-        if kind == OpKind.JOIN:
-            target = op.arg
-            return (
-                0 <= target < len(self.threads)
-                and self.threads[target].status == _Status.FINISHED
-            )
-        if kind == OpKind.BARRIER_WAIT:
-            return op.target.can_pass(t.tid)
-        if kind == OpKind.RLOCK:
-            return op.target.can_rlock(t.tid)
-        if kind == OpKind.WLOCK:
-            return op.target.can_wlock(t.tid)
-        return True
+        return target.op_enabled(op, t.tid, self)
+
+    def _blocked_reason(self, t: _GuestThread) -> str:
+        """Why ``t``'s pending op cannot run, via the primitive's
+        ``blocking_desc`` (diagnostics; never on the hot path)."""
+        op = t.pending
+        if op is None:
+            return "no pending operation"
+        if op.target is None:
+            if op.kind is _JOIN:
+                return f"waiting to join T{op.arg} (still running)"
+            return f"{op.kind.name} blocked"  # pragma: no cover
+        return op.target.blocking_desc(op)
+
+    def has_pending_recv(self, oid: int, sender_tid: int) -> bool:
+        """Is some *other* runnable thread pending a CHAN_RECV on the
+        channel ``oid``?  Rendezvous-send enabledness (the one primitive
+        semantics that depends on other threads' pending ops)."""
+        recv = OpKind.CHAN_RECV
+        for t in self.threads:
+            if t.tid != sender_tid and t.status == _Status.RUNNABLE:
+                op = t.pending
+                if (
+                    op is not None
+                    and op.kind is recv
+                    and op.target.oid == oid
+                ):
+                    return True
+        return False
 
     def enabled(self) -> List[int]:
         """Sorted tids whose pending operation can execute now.
@@ -328,7 +418,9 @@ class Executor:
             return None
         op = t.pending
         oid, key = self._op_location(t, op)
-        released = op.arg2.oid if op.kind == OpKind.WAIT else None
+        released = (
+            op.target.op_released_oid(op) if op.target is not None else None
+        )
         return PendingInfo(
             tid=tid,
             kind=int(op.kind),
@@ -350,14 +442,12 @@ class Executor:
     @staticmethod
     def _op_location(t: _GuestThread, op: Op) -> Tuple[int, Any]:
         kind = op.kind
-        if kind in (OpKind.READ, OpKind.WRITE, OpKind.RMW):
+        if IS_DATA[kind]:
             return op.target.oid, op.arg
-        if kind == OpKind.YIELD or kind == OpKind.SPAWN:
+        if kind is _YIELD or kind is _SPAWN:
             return -1, None
-        if kind == OpKind.JOIN:
+        if kind is _JOIN:
             return -2, op.arg  # resolved to the handle oid at execution
-        if kind == OpKind.EXIT:
-            return op.target.oid, None
         return op.target.oid, None
 
     # ------------------------------------------------------------------
@@ -391,11 +481,15 @@ class Executor:
             self._admit_barriers()
         elif enabled_cache is not None:
             if tid not in enabled_cache:
-                raise SchedulerError(f"thread {tid} is not enabled")
+                raise DisabledThreadError(
+                    tid, enabled_cache, self._blocked_reason(t)
+                )
         else:
             self._admit_barriers()
             if not self._op_enabled(t):
-                raise SchedulerError(f"thread {tid} is not enabled")
+                raise DisabledThreadError(
+                    tid, self.enabled(), self._blocked_reason(t)
+                )
         if self._num_events >= self.max_events:
             self.truncated = True
             self._enabled_cache = None
@@ -409,10 +503,12 @@ class Executor:
         released_mutex_oid: Optional[int] = None
         woken: Optional[List[_GuestThread]] = None
         spawned: Optional[_GuestThread] = None
-        # _op_location, inlined (per-step hot path): READ/WRITE/RMW key
-        # on (target oid, element); SPAWN/YIELD touch nothing; JOIN is
+        parked = False
+        throw: Optional[GuestError] = None
+        # _op_location, inlined (per-step hot path): data kinds key on
+        # (target oid, element); SPAWN/YIELD touch nothing; JOIN is
         # resolved to the joined thread's handle in its branch below.
-        if kind is _READ or kind is _WRITE or kind is _RMW:
+        if IS_DATA[kind]:
             oid, key = op.target.oid, op.arg
         elif kind is _YIELD or kind is _SPAWN or kind is _JOIN:
             oid, key = -1, None
@@ -433,37 +529,11 @@ class Executor:
             patch = self._enabled_cache is not None
 
         try:
-            if kind is _READ:
-                value = op.target.get(op.arg)
-            elif kind is _WRITE:
-                op.target.set(op.arg, op.arg2)
-                value = op.arg2
-            elif kind is _RMW:
-                old = op.target.get(op.arg)
-                new, value = op.arg2(old)
-                op.target.set(op.arg, new)
-            elif kind is _LOCK:
-                op.target.do_lock(tid)
-            elif kind is _UNLOCK:
-                op.target.do_unlock(tid)
-            elif kind is _WAIT:
-                mutex = op.arg2
-                if mutex.owner != tid:
-                    raise InvalidOpError(
-                        f"wait on {op.target.name}: T{tid} does not hold "
-                        f"{mutex.name}"
-                    )
-                mutex.do_unlock(tid)
-                op.target.add_waiter(tid)
-                released_mutex_oid = mutex.oid
-                t.wait_mutex = mutex
-                t.status = _Status.WAITING
-                self._runnable.discard(tid)
-                self._runnable_sorted = None
-            elif kind is _NOTIFY:
-                woken = [self.threads[w] for w in op.target.pop_one()]
-            elif kind is _NOTIFY_ALL:
-                woken = [self.threads[w] for w in op.target.pop_all()]
+            if not _CORE[kind]:
+                # the sync-primitive protocol: the target executes its
+                # own operation (rare cross-thread effects arrive
+                # through the fx_* scratch, drained below)
+                value = op.target.op_apply(op, self, t)
             elif kind is _SPAWN:
                 fn, args = op.arg
                 spawned = self._create_thread(fn, args, "")
@@ -474,29 +544,13 @@ class Executor:
                     t.spawn_count += 1
             elif kind is _JOIN:
                 oid = self.threads[op.arg].handle.oid
-            elif kind is _SEM_ACQUIRE:
-                op.target.do_acquire()
-            elif kind is _SEM_RELEASE:
-                op.target.do_release()
-            elif kind is _BARRIER_WAIT:
-                value = op.target.do_pass(tid)
-            elif kind is _RLOCK:
-                op.target.do_rlock(tid)
-            elif kind is _RUNLOCK:
-                op.target.do_runlock(tid)
-            elif kind is _WLOCK:
-                op.target.do_wlock(tid)
-            elif kind is _WUNLOCK:
-                op.target.do_wunlock(tid)
             elif kind is _EXIT:
-                if op.arg is not None:  # thread died on a guest assertion
+                if op.arg is not None:  # thread died on a guest error
                     t.crashed = True
+                    t.throw_exc = op.arg  # per-thread record (state hash)
                     self.guest_failures.append(op.arg)
                     value = op.arg  # surfaced by trace renderers
-            elif kind is _YIELD:
-                pass
-            else:  # pragma: no cover - all kinds handled above
-                raise InvalidOpError(f"unhandled op kind {kind!r}")
+            # else YIELD: a pure scheduling point, nothing to execute
         except GuestError as exc:  # pragma: no cover - defensive
             self.error = exc
             t.status = _Status.FINISHED
@@ -506,6 +560,14 @@ class Executor:
             self._unfinished -= 1
             self._enabled_cache = None
             raise
+        if self._fx_any:
+            self._fx_any = False
+            released_mutex_oid, self._fx_released = self._fx_released, None
+            parked, self._fx_parked = self._fx_parked, False
+            throw, self._fx_throw = self._fx_throw, None
+            if self._fx_woken is not None:
+                woken = [self.threads[w] for w in self._fx_woken]
+                self._fx_woken = None
 
         event: Optional[Event] = None
         if self.fast_replay:
@@ -545,8 +607,8 @@ class Executor:
             self._runnable_sorted = None
 
         # Resume the generator (or finalise the thread).
-        if kind is _WAIT:
-            t.pending = None  # parked until notified
+        if parked:
+            t.pending = None  # parked until woken (fx_wake)
         elif kind is _EXIT:
             t.status = _Status.FINISHED
             t.pending = None
@@ -562,6 +624,8 @@ class Executor:
             t.resuming = False
             t.wait_mutex = None
             self._advance(t, None)
+        elif throw is not None:
+            self._advance_throw(t, throw)
         else:
             self._advance(t, value)
 
@@ -570,9 +634,10 @@ class Executor:
             # thread's entry can have changed.  A copy is patched (never
             # the published list — explorers hold references to it).
             np = t.pending
-            if np is not None and np.kind is _BARRIER_WAIT:
-                # new arrival may complete a cohort: admission needs the
-                # full pre-pass, so fall back to invalidation
+            if np is not None and _ARRIVAL[np.kind]:
+                # a new arrival at an arrival-sensitive op (barrier
+                # cohort member, rendezvous receiver) can enable other
+                # threads: fall back to invalidation
                 self._enabled_cache = None
             else:
                 cache = self._enabled_cache
@@ -614,9 +679,13 @@ class Executor:
                 t.tape,
                 len(t.tape),
                 t.spawn_count,
-                # dead generators are only rebuilt when children need
-                # their SPAWN ops' fresh (fn, args) closures
-                t.status != finished or t.spawn_count > 0,
+                # dead generators — finished threads and fx_throw
+                # crashes awaiting their EXIT — are only rebuilt when
+                # children need their SPAWN ops' fresh (fn, args)
+                # closures
+                (t.status != finished and t.throw_exc is None)
+                or t.spawn_count > 0,
+                t.throw_exc,
             )
             for t in self.threads
         ]
@@ -729,6 +798,11 @@ class Executor:
         ex._barrier_pending = snap.barrier_pending
         ex._pred_watch = snap.pred_watch
         ex._enabled_cache = None
+        ex._fx_any = False
+        ex._fx_woken = None
+        ex._fx_parked = False
+        ex._fx_released = None
+        ex._fx_throw = None
         ex._static_threads = snap.static_threads
         registry = ex.instance.registry
         static = ex.instance.threads
@@ -752,6 +826,7 @@ class Executor:
             t.exit_recorded = rec.exit_recorded
             t.crashed = rec.crashed
             t.spawn_count = rec.spawn_count
+            t.throw_exc = rec.throw_exc
             t.wait_mutex = (
                 registry.objects[rec.wait_mutex_oid]
                 if rec.wait_mutex_oid is not None else None
@@ -779,6 +854,12 @@ class Executor:
                 # the synthesized post-notify re-acquire of the wait
                 # mutex (never a generator yield)
                 t.pending = Op(OpKind.LOCK, t.wait_mutex)
+            elif rec.throw_exc is not None:
+                # crashed by fx_throw, EXIT not yet executed: the
+                # pending EXIT is resynthesized from the recorded error
+                # (the rebuilt generator, if any, stays at its final
+                # yield and is never resumed)
+                t.pending = Op(OpKind.EXIT, t.handle, rec.throw_exc)
             else:
                 t.pending = pending
             ex.threads.append(t)
@@ -813,14 +894,25 @@ class Executor:
         """Package the result; the run must be done."""
         if not self.is_done():
             raise SchedulerError("finish() called before the run is done")
+        # Per-thread progress carries each thread's own crash type, so
+        # the digest is invariant under commuting independent crash
+        # EXITs (two threads dying of different guest errors reach the
+        # same terminal state whichever EXIT the schedule ran first).
         progress = tuple(
-            (t.tindex, t.crashed) for t in self.threads
+            (
+                t.tindex,
+                type(t.throw_exc).__name__ if t.crashed else None,
+            )
+            for t in self.threads
         )
-        error = self.error or (
-            self.guest_failures[0] if self.guest_failures else None
-        )
+        # The reported representative failure is likewise deterministic
+        # per equivalence class: executor-level errors (deadlock) win,
+        # then the lowest-tid crashed thread's guest error.
+        error = self.error
+        if error is None and self.guest_failures:
+            error = next(t.throw_exc for t in self.threads if t.crashed)
         state_hash = compute_state_hash(
-            self.instance.registry, progress, error, self.truncated
+            self.instance.registry, progress, self.error, self.truncated
         )
         return TraceResult(
             program_name=self.program.name,

@@ -1,0 +1,84 @@
+"""Write-once futures (single-assignment promises).
+
+Protocol-native like :mod:`repro.runtime.channel`: the executor and
+clock engines see only the per-kind rows in
+:data:`~repro.core.events.KIND_SPEC`.
+
+* ``fut_set(f, v)`` — complete the future.  Always enabled; completing
+  an already-completed future is a guest error
+  (:class:`~repro.errors.FutureError`): the event executes (so the
+  double-set race is explorable) and the thread then crashes.
+* ``fut_get(f)`` — blocking read: enabled once the future is done,
+  returns the value.  FUT_GET is an *acquire* (non-modifying) access,
+  so concurrent gets of the same future do not conflict — a future
+  fan-out costs DPOR nothing.
+* ``fut_done(f)`` — non-blocking poll; an ordinary READ event on the
+  future returning the completion flag.
+
+Happens-before: FUT_SET modifies the future, FUT_GET/READ observe it,
+so every get is ordered after the set in both relations by the
+ordinary acquire/modify conflict edge — set happens-before get.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.events import OpKind
+from ..errors import FutureError
+from .objects import ObjectRegistry, SharedObject, own_value
+from .sharedvar import _hashable
+
+
+class Future(SharedObject):
+    """A single-assignment future: set once, read many."""
+
+    __slots__ = ("done", "value")
+
+    def __init__(self, registry: ObjectRegistry, name: str = ""):
+        super().__init__(registry, name)
+        self.done = False
+        self.value: Any = None
+
+    # -- protocol --------------------------------------------------------
+    def op_enabled(self, op, tid, ex) -> bool:
+        if op.kind is OpKind.FUT_GET:
+            return self.done
+        return True  # FUT_SET always executes; READ is the done-poll
+
+    def op_apply(self, op, ex, thread) -> Any:
+        kind = op.kind
+        if kind is OpKind.FUT_GET:
+            return self.value
+        if kind is OpKind.FUT_SET:
+            if self.done:
+                ex.fx_throw(FutureError(
+                    f"T{thread.tid} completed future {self.name!r} twice"
+                ))
+                return None
+            self.done = True
+            self.value = op.arg
+            return None
+        # the non-blocking done-poll (``api.fut_done``)
+        if kind is OpKind.READ:
+            return self.done
+        return SharedObject.op_apply(self, op, ex, thread)
+
+    def blocking_desc(self, op) -> str:
+        return f"waiting for future {self.name!r} to complete"
+
+    # -- state digests and snapshots ------------------------------------
+    def get(self, key=None) -> bool:
+        """READ events poll completion (see ``ThreadAPI.fut_done``)."""
+        return self.done
+
+    def state_value(self):
+        return ("future", self.done, _hashable(self.value))
+
+    def snapshot_state(self):
+        return (self.done, own_value(self.value))
+
+    def restore_state(self, state) -> None:
+        done, value = state
+        self.done = done
+        self.value = own_value(value)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core.events import OpKind
 from ..errors import InvalidOpError
 from .objects import ObjectRegistry, SharedObject
 
@@ -25,6 +26,22 @@ class Mutex(SharedObject):
         super().__init__(registry, name)
         self.owner: Optional[int] = None
         self.acquisitions = 0  # informational counter
+
+    # -- protocol --------------------------------------------------------
+    def op_enabled(self, op, tid, ex) -> bool:
+        if op.kind is OpKind.LOCK:
+            return self.owner is None
+        return True  # UNLOCK: misuse surfaces in op_apply
+
+    def op_apply(self, op, ex, thread):
+        if op.kind is OpKind.LOCK:
+            self.do_lock(thread.tid)
+        else:
+            self.do_unlock(thread.tid)
+        return None
+
+    def blocking_desc(self, op) -> str:
+        return f"waiting to lock {self.name!r} (held by T{self.owner})"
 
     def can_lock(self) -> bool:
         return self.owner is None

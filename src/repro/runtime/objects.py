@@ -1,16 +1,49 @@
-"""Shared-object base class and per-program object registry.
+"""Shared-object base class, the sync-primitive protocol, and the
+per-program object registry.
 
 Every visible object a guest program can touch (variables, mutexes,
-condition variables, ...) is a :class:`SharedObject` registered with the
-program instance's :class:`ObjectRegistry`.  Object ids are assigned in
-construction order, which makes them deterministic across executions of
-the same program — a requirement for happens-before fingerprints to be
-comparable between schedules.
+condition variables, channels, ...) is a :class:`SharedObject`
+registered with the program instance's :class:`ObjectRegistry`.  Object
+ids are assigned in construction order, which makes them deterministic
+across executions of the same program — a requirement for
+happens-before fingerprints to be comparable between schedules.
+
+**The sync-primitive protocol.**  Each primitive owns its operational
+semantics through five methods the executor dispatches to (plus the
+two snapshot methods executor snapshots use):
+
+* :meth:`SharedObject.op_enabled` — may the pending op execute now?
+* :meth:`SharedObject.op_apply` — execute it (side effects on the
+  object; rarer cross-thread effects — parking the thread, waking
+  waiters, crashing the guest — go through the executor's ``fx_*``
+  effect hooks);
+* :meth:`SharedObject.blocking_desc` — human-readable reason a
+  blocked op cannot run (deadlock/scheduler diagnostics);
+* :meth:`SharedObject.hb_class` — introspection: the op's
+  happens-before class (see :class:`~repro.core.events.HBClass`).
+  The clock engines consume the *per-kind* tables derived from
+  ``KIND_SPEC`` directly, so HB treatment is changed by declaring a
+  kind's class there, never by overriding this method;
+* :meth:`SharedObject.op_released_oid` — the mutex oid an op
+  releases as a side effect (condvar WAIT), for HB edge injection
+  and DPOR conflict lookups.
+
+Thread-lifecycle operations (SPAWN/JOIN/EXIT/YIELD) have no primitive
+object semantics and stay in the executor core.  Adding a primitive
+means: append its :class:`~repro.core.events.OpKind` values and their
+:class:`~repro.core.events.KindSpec` rows, write one module
+implementing this protocol, and expose constructors on
+:class:`~repro.runtime.thread_api.ThreadAPI` and
+:class:`~repro.runtime.program.ProgramBuilder` — no executor or clock
+engine edits (see DESIGN.md §8).
 """
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, List, Optional
+
+from ..core.events import KIND_SPEC, HBClass, Op, OpKind
+from ..errors import InvalidOpError
 
 
 class ObjectRegistry:
@@ -50,7 +83,12 @@ def own_value(v: Any) -> Any:
 
 
 class SharedObject:
-    """Base class for everything guest threads can operate on."""
+    """Base class for everything guest threads can operate on.
+
+    Subclasses implement the sync-primitive protocol (see the module
+    docstring): the executor never enumerates primitive kinds — it
+    asks the op's target.
+    """
 
     __slots__ = ("oid", "name")
 
@@ -58,6 +96,55 @@ class SharedObject:
         self.oid = registry.register(self)
         self.name = name or f"{type(self).__name__.lower()}{self.oid}"
 
+    # -- the sync-primitive protocol ------------------------------------
+    def op_enabled(self, op: Op, tid: int, ex: Any) -> bool:
+        """May ``op`` (pending on thread ``tid``) execute now?
+
+        ``ex`` is the executor, for the rare semantics that depend on
+        other threads' pending operations (rendezvous channels); most
+        primitives answer from their own state alone.
+        """
+        return True
+
+    def op_apply(self, op: Op, ex: Any, thread: Any) -> Any:
+        """Execute ``op`` for ``thread`` (a guest-thread record with a
+        ``tid``); returns the value delivered to the guest's ``yield``.
+
+        Effects beyond this object's own state go through the
+        executor's effect hooks: ``ex.fx_park(thread, mutex)`` parks
+        the thread until woken, ``ex.fx_wake(tids)`` wakes parked
+        threads (injecting release edges), ``ex.fx_throw(exc)``
+        crashes the guest thread with a :class:`~repro.errors
+        .GuestError` *after* this event executes (the event stays
+        visible, so explorers can race-reverse it).
+        """
+        raise InvalidOpError(
+            f"{type(self).__name__} {self.name!r} cannot execute "
+            f"{op.kind.name}"
+        )
+
+    def blocking_desc(self, op: Op) -> str:
+        """Why the pending ``op`` is blocked, for diagnostics (only
+        called for ops whose :meth:`op_enabled` is False)."""
+        return f"{op.kind.name} on {self.name!r} is blocked"
+
+    def hb_class(self, op: Op) -> HBClass:
+        """Introspection: the op's happens-before class, read from the
+        per-kind registry.  The clock engines and dependence
+        predicates index the dense tables derived from ``KIND_SPEC``
+        directly — overriding this method does NOT change HB
+        treatment (declare the kind's class in ``KIND_SPEC`` for
+        that); it exists so tools and tests can inspect a primitive's
+        semantics in one place."""
+        return KIND_SPEC[op.kind].hb
+
+    def op_released_oid(self, op: Op) -> Optional[int]:
+        """Oid of a mutex ``op`` releases as a side effect (condvar
+        WAIT), or None.  Drives the released-mutex HB edge and DPOR's
+        conflict indexing."""
+        return None
+
+    # -- state digests and snapshots ------------------------------------
     def state_value(self) -> Any:
         """A hashable summary of this object's current state, used in the
         final-state hash.  Subclasses must override."""
@@ -76,6 +163,54 @@ class SharedObject:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.name!r}, oid={self.oid})"
+
+
+class DataObject(SharedObject):
+    """Shared base for plain data primitives (variables, arrays, dicts,
+    atomics): anything exposing ``get(key)``/``set(key, value)``.
+
+    Implements the protocol for the three data kinds — READ (including
+    the blocking ``await_value`` form, whose predicate rides in
+    ``op.arg2``), WRITE, and RMW (``op.arg2`` maps ``old -> (new,
+    result)``; the pair executes as one indivisible event).
+    """
+
+    __slots__ = ()
+
+    def get(self, key: Any) -> Any:
+        raise NotImplementedError
+
+    def set(self, key: Any, value: Any) -> None:
+        raise NotImplementedError
+
+    def op_enabled(self, op: Op, tid: int, ex: Any) -> bool:
+        # await_value: a READ carrying a predicate is enabled only once
+        # the predicate holds (models a spin-wait without generating
+        # one schedule per spin iteration)
+        if op.kind is OpKind.READ and op.arg2 is not None:
+            return bool(op.arg2(self.get(op.arg)))
+        return True
+
+    def op_apply(self, op: Op, ex: Any, thread: Any) -> Any:
+        kind = op.kind
+        if kind is OpKind.READ:
+            return self.get(op.arg)
+        if kind is OpKind.WRITE:
+            self.set(op.arg, op.arg2)
+            return op.arg2
+        if kind is OpKind.RMW:
+            new, result = op.arg2(self.get(op.arg))
+            self.set(op.arg, new)
+            return result
+        return SharedObject.op_apply(self, op, ex, thread)
+
+    def blocking_desc(self, op: Op) -> str:
+        if op.kind is OpKind.READ and op.arg2 is not None:
+            return (
+                f"await_value on {self.name!r}: predicate false for "
+                f"{self.get(op.arg)!r}"
+            )
+        return SharedObject.blocking_desc(self, op)
 
 
 class ThreadHandle(SharedObject):

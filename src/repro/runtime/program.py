@@ -32,7 +32,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .atomic import AtomicInt
 from .barrier import Barrier
+from .channel import Channel
 from .condvar import CondVar
+from .future import Future
 from .mutex import Mutex
 from .objects import ObjectRegistry, SharedObject
 from .rwlock import RWLock
@@ -80,6 +82,13 @@ class ProgramBuilder:
 
     def rwlock(self, name: str) -> RWLock:
         return self._remember(RWLock(self.registry, name))
+
+    def channel(self, name: str, capacity: int = 1) -> Channel:
+        """A bounded MPMC channel (``capacity=0`` makes it rendezvous)."""
+        return self._remember(Channel(self.registry, capacity, name))
+
+    def future(self, name: str) -> Future:
+        return self._remember(Future(self.registry, name))
 
     def _remember(self, obj: SharedObject) -> SharedObject:
         if obj.name in self.named:

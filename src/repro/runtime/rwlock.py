@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
+from ..core.events import OpKind
 from ..errors import InvalidOpError
 from .objects import ObjectRegistry, SharedObject
 
@@ -29,6 +30,36 @@ class RWLock(SharedObject):
         super().__init__(registry, name)
         self.readers: Set[int] = set()
         self.writer: Optional[int] = None
+
+    # -- protocol --------------------------------------------------------
+    def op_enabled(self, op, tid, ex) -> bool:
+        kind = op.kind
+        if kind is OpKind.RLOCK:
+            return self.can_rlock(tid)
+        if kind is OpKind.WLOCK:
+            return self.can_wlock(tid)
+        return True
+
+    def op_apply(self, op, ex, thread):
+        kind = op.kind
+        tid = thread.tid
+        if kind is OpKind.RLOCK:
+            self.do_rlock(tid)
+        elif kind is OpKind.RUNLOCK:
+            self.do_runlock(tid)
+        elif kind is OpKind.WLOCK:
+            self.do_wlock(tid)
+        else:  # WUNLOCK
+            self.do_wunlock(tid)
+        return None
+
+    def blocking_desc(self, op) -> str:
+        mode = "read" if op.kind is OpKind.RLOCK else "write"
+        holders = (
+            f"writer T{self.writer}" if self.writer is not None
+            else f"readers {sorted(self.readers)}"
+        )
+        return f"waiting to {mode}-lock {self.name!r} (held by {holders})"
 
     # -- reader side -----------------------------------------------------
     def can_rlock(self, tid: int) -> bool:

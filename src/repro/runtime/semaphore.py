@@ -9,6 +9,7 @@ an accompanying proof — see DESIGN.md §5.4).
 
 from __future__ import annotations
 
+from ..core.events import OpKind
 from .objects import ObjectRegistry, SharedObject
 
 
@@ -22,6 +23,22 @@ class Semaphore(SharedObject):
         if initial < 0:
             raise ValueError("semaphore count must be non-negative")
         self.count = int(initial)
+
+    # -- protocol --------------------------------------------------------
+    def op_enabled(self, op, tid, ex) -> bool:
+        if op.kind is OpKind.SEM_ACQUIRE:
+            return self.count > 0
+        return True
+
+    def op_apply(self, op, ex, thread):
+        if op.kind is OpKind.SEM_ACQUIRE:
+            self.do_acquire()
+        else:
+            self.do_release()
+        return None
+
+    def blocking_desc(self, op) -> str:
+        return f"waiting to acquire semaphore {self.name!r} (count 0)"
 
     def can_acquire(self) -> bool:
         return self.count > 0

@@ -11,10 +11,10 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List
 
 from ..errors import InvalidOpError
-from .objects import ObjectRegistry, SharedObject, own_value
+from .objects import DataObject, ObjectRegistry, own_value
 
 
-class SharedVar(SharedObject):
+class SharedVar(DataObject):
     """A single shared scalar variable."""
 
     __slots__ = ("value",)
@@ -39,7 +39,7 @@ class SharedVar(SharedObject):
         self.value = own_value(state)
 
 
-class SharedArray(SharedObject):
+class SharedArray(DataObject):
     """A fixed-size shared array; each slot is an independent location."""
 
     __slots__ = ("cells",)
@@ -71,7 +71,7 @@ class SharedArray(SharedObject):
         self.cells = [own_value(v) for v in state]
 
 
-class SharedDict(SharedObject):
+class SharedDict(DataObject):
     """A shared map; each key is an independent location.
 
     For fingerprints to be stable across *processes* keys should be

@@ -54,12 +54,16 @@ class ThreadRecord:
     later appends by the live executor never invalidate them).
     ``needs_replay`` is False for finished threads that spawned no
     children — their generators are dead weight and are not rebuilt.
+    The same applies to threads crashed by a runtime-injected guest
+    error (``throw_exc``): the injected error is recorded here instead
+    of on the tape, and a restore resynthesizes the pending EXIT from
+    it rather than re-throwing into a rebuilt generator.
     """
 
     __slots__ = (
         "name", "status", "tindex", "resuming", "exit_recorded",
         "crashed", "wait_mutex_oid", "tape", "tape_len", "spawn_count",
-        "needs_replay",
+        "needs_replay", "throw_exc",
     )
 
     def __init__(
@@ -75,6 +79,7 @@ class ThreadRecord:
         tape_len: int,
         spawn_count: int,
         needs_replay: bool,
+        throw_exc: Optional[Exception] = None,
     ) -> None:
         self.name = name
         self.status = status
@@ -87,6 +92,7 @@ class ThreadRecord:
         self.tape_len = tape_len
         self.spawn_count = spawn_count
         self.needs_replay = needs_replay
+        self.throw_exc = throw_exc
 
 
 class ExecutorSnapshot:

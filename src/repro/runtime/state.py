@@ -40,7 +40,7 @@ def _canonical(v: Any) -> str:
 
 def compute_state_hash(
     registry: ObjectRegistry,
-    thread_progress: Tuple[int, ...],
+    thread_progress: Tuple[Tuple[int, Optional[str]], ...],
     error: Optional[GuestError],
     truncated: bool,
 ) -> int:
@@ -50,6 +50,16 @@ def compute_state_hash(
     (relevant only for abnormal runs — for complete runs it is implied
     by the program), and the error status.  The result is a stable
     64-bit int: identical across processes and hash-seed settings.
+
+    Commutation invariance: every component must be a function of the
+    trace's partial order, never of the interleaving of independent
+    events — DPOR's guarantee is "one schedule per equivalence class",
+    so anything order-dependent in the digest shows up as falsely
+    distinct states.  Per-thread crashes are therefore digested inside
+    ``thread_progress`` (each entry carries its own thread's crash
+    type), and ``error`` must be an *executor-level* outcome (deadlock
+    — a property of the final state) rather than a
+    schedule-order-dependent choice among several threads' failures.
     """
     err_mark: Tuple[Any, ...] = ()
     if error is not None:

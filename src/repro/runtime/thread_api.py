@@ -26,13 +26,15 @@ execution happens in the :class:`~repro.runtime.executor.Executor`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from ..core.events import Op, OpKind
 from ..errors import GuestAssertionError
 from .atomic import AtomicInt
 from .barrier import Barrier
+from .channel import Channel
 from .condvar import CondVar
+from .future import Future
 from .mutex import Mutex
 from .rwlock import RWLock
 from .semaphore import Semaphore
@@ -132,6 +134,40 @@ class ThreadAPI:
 
     def wunlock(self, rw: RWLock) -> Op:
         return Op(OpKind.WUNLOCK, rw)
+
+    # -- channels ----------------------------------------------------------------
+    def send(self, ch: Channel, value: Any) -> Op:
+        """Deposit ``value`` into ``ch`` (blocks while the buffer is
+        full; a rendezvous send blocks until a receiver is pending).
+        Sending on a closed channel is a guest error."""
+        return Op(OpKind.CHAN_SEND, ch, value)
+
+    def recv(self, ch: Channel) -> Op:
+        """Take the oldest value from ``ch`` (blocks while the channel
+        is open and empty).  Once the channel is closed and drained,
+        yields the :data:`~repro.runtime.channel.CLOSED` sentinel."""
+        return Op(OpKind.CHAN_RECV, ch)
+
+    def close(self, ch: Channel) -> Op:
+        """Close ``ch``: every blocked ``recv`` becomes enabled (the
+        sentinel flows once the buffer drains).  Closing twice is a
+        guest error."""
+        return Op(OpKind.CHAN_CLOSE, ch)
+
+    # -- futures -----------------------------------------------------------------
+    def fut_set(self, f: Future, value: Any) -> Op:
+        """Complete ``f`` with ``value``; completing twice is a guest
+        error."""
+        return Op(OpKind.FUT_SET, f, value)
+
+    def fut_get(self, f: Future) -> Op:
+        """Block until ``f`` is completed; yields its value."""
+        return Op(OpKind.FUT_GET, f)
+
+    def fut_done(self, f: Future) -> Op:
+        """Non-blocking completion poll (an ordinary READ event);
+        yields True/False."""
+        return Op(OpKind.READ, f)
 
     # -- threads ------------------------------------------------------------------
     def spawn(self, fn: Callable, *args: Any) -> Op:

@@ -1,14 +1,17 @@
-"""The benchmark suite: 79 program instances, ids 1..79.
+"""The benchmark suite: 88 program instances, ids 1..88.
 
 The paper evaluated 79 open-source multithreaded Java benchmarks; this
-suite substitutes 79 instances drawn from classic concurrency program
+suite substitutes instances drawn from classic concurrency program
 families spanning the same behavioural spectrum (see DESIGN.md §2):
 pure data races (no lazy-HBR benefit), coarse locks over disjoint or
 read-only data (maximal benefit), fine-grained locking, condition
 variables / semaphores / barriers (conservatively kept in the lazy
-relation), lock-free CAS algorithms, mutual-exclusion protocols, and
-known-buggy programs (deadlocks, assertion violations) that the
-explorers must find.
+relation), lock-free CAS algorithms, mutual-exclusion protocols,
+known-buggy programs (deadlocks, assertion violations, channel misuse)
+that the explorers must find, and — since the sync-primitive protocol
+opened the vocabulary — message-passing workloads over channels and
+futures (ids 80+: pipelines, fan-in/fan-out, producer–consumer,
+future DAGs, close races, rendezvous).
 
 ``REGISTRY`` maps bench id -> :class:`~repro.suite.base.Benchmark`;
 ``small`` instances have DFS-exhaustible state spaces and are used as
@@ -22,6 +25,15 @@ from typing import Dict, Iterable, List, Optional
 from .bank import bank_global_lock, bank_per_account, bank_racy
 from .base import Benchmark
 from .buffers import bounded_buffer, pingpong, pipeline
+from .channels import (
+    chan_close_race,
+    chan_fan_in,
+    chan_fan_out,
+    chan_pipeline,
+    chan_producer_consumer,
+    future_dag,
+    rendezvous_handshake,
+)
 from .collections_prog import (
     coarse_dict,
     striped_map,
@@ -238,7 +250,24 @@ def _build_registry() -> Dict[int, Benchmark]:
     # -- 79: flag handshake -----------------------------------------------------------------------------------------------------------------
     add("flags_handshake", flags_handshake(), small=True)
 
-    assert len(entries) == 79, f"registry has {len(entries)} entries, not 79"
+    # -- 80-88: message passing (channels + futures, the first
+    # protocol-native primitives; see suite/channels.py) ----------------------------------------------------------
+    add("chan_pipeline", chan_pipeline(1, 2), small=True)
+    add("chan_pipeline", chan_pipeline(2, 2),
+        notes="deep: two stages, DFS-infeasible, for budgeted cells")
+    add("chan_fan_in", chan_fan_in(2, 1), small=True)
+    add("chan_fan_out", chan_fan_out(2, 1), small=True)
+    add("chan_pc", chan_producer_consumer(1, 1, buggy=True), small=True,
+        expect_error="assertion",
+        notes="seeded lost-update on the producers' counter")
+    add("chan_pc", chan_producer_consumer(1, 2, buggy=False), small=True)
+    add("future_dag", future_dag(2), small=True)
+    add("chan_close_race", chan_close_race(eager_close=True), small=True,
+        expect_error="channel",
+        notes="send racing a close; some schedules crash the producer")
+    add("rendezvous", rendezvous_handshake(2), small=True)
+
+    assert len(entries) == 88, f"registry has {len(entries)} entries, not 88"
     return {b.bench_id: b for b in entries}
 
 
@@ -246,7 +275,7 @@ REGISTRY: Dict[int, Benchmark] = _build_registry()
 
 
 def all_benchmarks() -> List[Benchmark]:
-    """All 79 suite entries, ordered by id."""
+    """All 88 suite entries, ordered by id."""
     return [REGISTRY[i] for i in sorted(REGISTRY)]
 
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..runtime.program import Program
 
@@ -15,7 +15,9 @@ class Benchmark:
     ``small`` marks instances whose full state space is cheap enough for
     exhaustive DFS, used as ground truth in the soundness tests.
     ``expect_error`` names the property violation some schedule of the
-    program exhibits (``"deadlock"`` or ``"assertion"``), or None for
+    program exhibits (``"deadlock"``, ``"assertion"``, or ``"channel"``
+    for channel-misuse crashes; the mapping to error classes lives in
+    ``tests/test_bug_finding.py``'s ``EXPECTED_KIND``), or None for
     correct programs.
     """
 

@@ -1,0 +1,333 @@
+"""Message-passing scenarios: channel pipelines, fan-in/fan-out,
+producer–consumer over a bounded channel (with a seeded bug variant),
+future DAGs, and channel-close races.
+
+These open the scenario family the fixed mutex/condvar vocabulary
+could not express: inter-thread ordering established purely by message
+passing, which exercises the lazy HBR on edges mutexes — by the
+paper's own design — never create.
+"""
+
+from __future__ import annotations
+
+from ..runtime.channel import CLOSED
+from ..runtime.program import Program, ProgramBuilder
+
+
+def chan_pipeline(stages: int, items: int, capacity: int = 1) -> Program:
+    """A chain of stages connected by bounded channels.
+
+    The source sends ``items`` tokens into the first channel; each
+    stage receives, increments, and forwards; the sink accumulates.
+    Every stage closes its output once its input closes, so shutdown
+    propagates down the chain.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        chans = [
+            p.channel(f"ch{i}", capacity) for i in range(stages + 1)
+        ]
+        out = p.var("out", 0)
+
+        def source(api):
+            for i in range(items):
+                yield api.send(chans[0], i + 1)
+            yield api.close(chans[0])
+
+        def stage(api, i):
+            while True:
+                v = yield api.recv(chans[i])
+                if v is CLOSED:
+                    break
+                yield api.send(chans[i + 1], v + 1)
+            yield api.close(chans[i + 1])
+
+        def sink(api):
+            acc = 0
+            while True:
+                v = yield api.recv(chans[stages])
+                if v is CLOSED:
+                    break
+                acc += v
+            yield api.write(out, acc)
+            # every token is incremented once per stage
+            api.guest_assert(
+                acc == sum(range(1, items + 1)) + stages * items,
+                "pipeline lost or corrupted a token",
+            )
+
+        p.thread(source)
+        for i in range(stages):
+            p.thread(stage, i)
+        p.thread(sink)
+
+    return Program(
+        f"chan_pipeline_s{stages}_k{items}_cap{capacity}",
+        build,
+        description="token pipeline over bounded channels",
+    )
+
+
+def chan_fan_in(producers: int, items: int, capacity: int = 1) -> Program:
+    """Fan-in: ``producers`` threads send into one bounded channel; a
+    single consumer drains it.  An atomic join counter tracks finished
+    producers, and the last one to finish closes the channel."""
+
+    def build(p: ProgramBuilder) -> None:
+        ch = p.channel("ch", capacity)
+        done = p.atomic("done", 0)
+        out = p.var("out", 0)
+
+        def producer(api, me):
+            for i in range(items):
+                yield api.send(ch, me * items + i + 1)
+            n = yield api.add_fetch(done, 1)
+            if n == producers:  # last one out closes the channel
+                yield api.close(ch)
+
+        def consumer(api):
+            acc = 0
+            while True:
+                v = yield api.recv(ch)
+                if v is CLOSED:
+                    break
+                acc += v
+            yield api.write(out, acc)
+            total = producers * items
+            api.guest_assert(
+                acc == total * (total + 1) // 2,
+                "fan-in dropped or duplicated a message",
+            )
+
+        for me in range(producers):
+            p.thread(producer, me)
+        p.thread(consumer)
+
+    return Program(
+        f"chan_fan_in_p{producers}_k{items}_cap{capacity}",
+        build,
+        description="multi-producer fan-in over one bounded channel",
+    )
+
+
+def chan_fan_out(consumers: int, items: int, capacity: int = 1) -> Program:
+    """Fan-out: one producer feeds a bounded channel drained by
+    ``consumers`` competing receivers (MPMC wakeup nondeterminism);
+    per-consumer sums land in an array whose total must be conserved."""
+
+    def build(p: ProgramBuilder) -> None:
+        ch = p.channel("ch", capacity)
+        sums = p.array("sums", [0] * consumers)
+        total = p.var("total", 0)
+
+        def producer(api):
+            for i in range(items):
+                yield api.send(ch, i + 1)
+            yield api.close(ch)
+
+        def consumer(api, me):
+            acc = 0
+            while True:
+                v = yield api.recv(ch)
+                if v is CLOSED:
+                    break
+                acc += v
+            yield api.write(sums, acc, key=me)
+
+        def auditor(api):
+            yield api.join(0)  # producer
+            acc = 0
+            for me in range(consumers):
+                yield api.join(1 + me)
+                s = yield api.read(sums, key=me)
+                acc += s
+            yield api.write(total, acc)
+            api.guest_assert(
+                acc == items * (items + 1) // 2,
+                "fan-out lost or duplicated a message",
+            )
+
+        p.thread(producer)
+        for me in range(consumers):
+            p.thread(consumer, me)
+        p.thread(auditor)
+
+    return Program(
+        f"chan_fan_out_c{consumers}_k{items}_cap{capacity}",
+        build,
+        description="single-producer fan-out to competing receivers",
+    )
+
+
+def chan_producer_consumer(items: int, capacity: int,
+                           buggy: bool = False) -> Program:
+    """Producer–consumer over a bounded channel, with a seeded bug.
+
+    The correct variant tracks the sent count with an atomic.  The
+    buggy variant "optimises" the counter into two plain read/write
+    events on a shared variable — a lost-update race: schedules that
+    interleave the unlocked increments under-count, and the consumer's
+    final conservation assertion fails.  DPOR must find it; the
+    minimizer must shrink the witness schedule.
+
+    Each producer counts *before* sending, so every counter update
+    happens-before its message's receipt: once the consumer has drained
+    everything, the only way the count can disagree is the seeded lost
+    update itself.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        ch = p.channel("ch", capacity)
+        sent = p.var("sent", 0)
+        counted = p.atomic("counted", 0)
+
+        def producer(api, me):
+            for i in range(items):
+                if buggy:
+                    # seeded lost-update: read and write as two events
+                    s = yield api.read(sent)
+                    yield api.write(sent, s + 1)
+                else:
+                    yield api.fetch_add(counted, 1)
+                yield api.send(ch, me * items + i + 1)
+
+        def consumer(api):
+            got = 0
+            for _ in range(2 * items):
+                v = yield api.recv(ch)
+                api.guest_assert(v is not CLOSED, "channel closed early")
+                got += 1
+            if buggy:
+                s = yield api.read(sent)
+                api.guest_assert(
+                    s == got, "producer count lost an update"
+                )
+            else:
+                s = yield api.load(counted)
+                api.guest_assert(s == got, "atomic count diverged")
+
+        p.thread(producer, 0)
+        p.thread(producer, 1)
+        p.thread(consumer)
+
+    tag = "buggy" if buggy else "ok"
+    return Program(
+        f"chan_pc_k{items}_cap{capacity}_{tag}",
+        build,
+        description="producer-consumer over a bounded channel"
+        + (" with a seeded lost-update bug" if buggy else ""),
+    )
+
+
+def future_dag(width: int = 2) -> Program:
+    """A diamond dependency DAG computed through futures: ``width``
+    middle threads each combine the source future into their own;
+    the sink gets them all and checks the deterministic total."""
+
+    def build(p: ProgramBuilder) -> None:
+        src = p.future("src")
+        mids = [p.future(f"mid{i}") for i in range(width)]
+        out = p.var("out", 0)
+
+        def source(api):
+            yield api.fut_set(src, 10)
+
+        def middle(api, i):
+            v = yield api.fut_get(src)
+            yield api.fut_set(mids[i], v + i)
+
+        def sink(api):
+            acc = 0
+            for i in range(width):
+                v = yield api.fut_get(mids[i])
+                acc += v
+            yield api.write(out, acc)
+            api.guest_assert(
+                acc == 10 * width + width * (width - 1) // 2,
+                "future DAG combined wrong values",
+            )
+
+        p.thread(source)
+        for i in range(width):
+            p.thread(middle, i)
+        p.thread(sink)
+
+    return Program(
+        f"future_dag_w{width}",
+        build,
+        description="diamond dependency DAG over write-once futures",
+    )
+
+
+def chan_close_race(eager_close: bool = True) -> Program:
+    """A close/send race: the producer sends while a controller closes
+    the channel after seeing the first value.
+
+    With ``eager_close`` the controller closes as soon as it has
+    received one value, so schedules where the producer's second send
+    lands after the close crash the producer with a
+    :class:`~repro.errors.ChannelError` — a property violation the
+    explorers must find.  The fixed variant closes only after draining
+    both values, which no schedule can break.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        ch = p.channel("ch", 2)
+        got = p.var("got", 0)
+
+        def producer(api):
+            yield api.send(ch, 1)
+            yield api.send(ch, 2)
+
+        def controller(api):
+            v = yield api.recv(ch)
+            if not eager_close:
+                w = yield api.recv(ch)
+                v += w
+            yield api.close(ch)
+            yield api.write(got, v)
+
+        p.thread(producer)
+        p.thread(controller)
+
+    tag = "eager" if eager_close else "fixed"
+    return Program(
+        f"chan_close_race_{tag}",
+        build,
+        description="producer racing a channel close",
+    )
+
+
+def rendezvous_handshake(rounds: int = 2) -> Program:
+    """Strict alternation over a rendezvous (capacity-0) channel: each
+    send synchronises with a pending receive, so the reply a client
+    reads is always the echo of its own request."""
+
+    def build(p: ProgramBuilder) -> None:
+        req = p.channel("req", 0)
+        rsp = p.channel("rsp", 0)
+        out = p.var("out", 0)
+
+        def server(api):
+            for _ in range(rounds):
+                v = yield api.recv(req)
+                yield api.send(rsp, v * 10)
+
+        def client(api):
+            acc = 0
+            for i in range(rounds):
+                yield api.send(req, i + 1)
+                r = yield api.recv(rsp)
+                api.guest_assert(r == (i + 1) * 10,
+                                 "rendezvous echoed a stale request")
+                acc += r
+            yield api.write(out, acc)
+
+        p.thread(server)
+        p.thread(client)
+
+    return Program(
+        f"rendezvous_handshake_r{rounds}",
+        build,
+        description="request/response over rendezvous channels",
+    )

@@ -16,6 +16,7 @@ CORRECT_SMALL = [b for b in all_benchmarks()
 EXPECTED_KIND = {
     "deadlock": "DeadlockError",
     "assertion": "GuestAssertionError",
+    "channel": "ChannelError",
 }
 
 

@@ -6,12 +6,12 @@ from repro.__main__ import build_parser, main
 
 
 class TestList:
-    def test_lists_79(self, capsys):
+    def test_lists_all(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "figure1" in out
-        # header + 79 rows
-        assert len(out.strip().splitlines()) == 80
+        # header + 88 rows
+        assert len(out.strip().splitlines()) == 89
 
 
 class TestRun:

@@ -139,4 +139,4 @@ class TestCampaignRunner:
         assert (tmp_path / "campaign.ckpt.json").exists()
         # second run resumes entirely from the checkpoint
         again = run_example("run_campaign.py", "40", "2", cwd=tmp_path)
-        assert "(237 from checkpoint)" in again
+        assert "(264 from checkpoint)" in again

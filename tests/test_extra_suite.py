@@ -1,6 +1,5 @@
 """Tests for the extension workloads (suite.extra)."""
 
-import pytest
 
 from repro.explore import DPORExplorer, ExplorationLimits
 from repro.runtime.schedule import RandomScheduler, execute

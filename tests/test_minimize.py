@@ -5,6 +5,7 @@ import pytest
 from repro import Program, execute
 from repro.explore import DPORExplorer, ExplorationLimits, minimize_schedule
 from repro.suite.bank import bank_racy
+from repro.suite.channels import chan_close_race, chan_producer_consumer
 from repro.suite.locks import lock_order_deadlock
 from repro.suite.mutual_exclusion import peterson
 
@@ -43,6 +44,25 @@ class TestMinimization:
         r = execute(program, schedule=result.schedule)
         assert type(r.error).__name__ == "GuestAssertionError"
         assert len(result.schedule) <= len(finding.schedule)
+
+    def test_channel_bug_schedule_shrinks(self):
+        # the seeded lost-update producer-consumer bug over a bounded
+        # channel: DPOR finds it, the minimizer shrinks the witness
+        program = chan_producer_consumer(1, 1, buggy=True)
+        finding = find_error_schedule(program)
+        result = minimize_schedule(program, finding.schedule)
+        assert result.error_kind == "GuestAssertionError"
+        assert len(result.schedule) <= len(finding.schedule)
+        r = execute(program, schedule=result.schedule)
+        assert type(r.error).__name__ == "GuestAssertionError"
+
+    def test_channel_close_race_shrinks(self):
+        program = chan_close_race(eager_close=True)
+        finding = find_error_schedule(program)
+        result = minimize_schedule(program, finding.schedule)
+        assert result.error_kind == "ChannelError"
+        r = execute(program, schedule=result.schedule)
+        assert type(r.error).__name__ == "ChannelError"
 
     def test_non_failing_schedule_rejected(self, figure1_program):
         full = execute(figure1_program).schedule

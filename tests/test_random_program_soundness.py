@@ -146,6 +146,107 @@ def test_lazy_dpor_gap_counterexample_still_gapped():
     assert frozenset(lazy._state_hashes) < frozenset(dfs._state_hashes)
 
 
+# ---------------------------------------------------------------------------
+# Channel/future programs: the same soundness bar for the
+# message-passing vocabulary the sync-primitive protocol added.  Ops
+# reference two channels (one bounded, one rendezvous) and one future;
+# recv-without-send deadlocks, double closes crash with ChannelError,
+# double sets with FutureError — all legitimate terminal states every
+# sound explorer must agree on.
+chan_op = st.sampled_from([
+    ("send", 0), ("send", 1),
+    ("recv", 0), ("recv", 1),
+    ("close", 0), ("close", 1),
+    ("fut_set", 0), ("fut_get", 0),
+    ("write", 0),
+])
+chan_thread_body = st.lists(chan_op, min_size=1, max_size=3)
+# 2-3 threads so MPMC contention (competing rendezvous receivers — the
+# one semantics where enabledness inspects other threads' pending ops)
+# is inside the soundness bar; <= 6 non-exit events keeps DFS
+# exhaustive even though channel blocking prunes little
+chan_program_spec = st.lists(chan_thread_body, min_size=2, max_size=3).filter(
+    lambda spec: sum(len(body) for body in spec) <= 6
+)
+
+
+def build_chan_program(spec):
+    def build(p):
+        chans = [p.channel("c0", 1), p.channel("c1", 0)]
+        fut = p.future("f")
+        cell = p.var("cell", 0)
+
+        def make_thread(ops, seed):
+            def body(api):
+                token = seed
+                for op, idx in ops:
+                    if op == "send":
+                        token += 1
+                        yield api.send(chans[idx], token)
+                    elif op == "recv":
+                        yield api.recv(chans[idx])
+                    elif op == "close":
+                        yield api.close(chans[idx])
+                    elif op == "fut_set":
+                        token += 1
+                        yield api.fut_set(fut, token)
+                    elif op == "fut_get":
+                        yield api.fut_get(fut)
+                    else:  # write
+                        token += 1
+                        yield api.write(cell, token)
+            return body
+
+        for i, ops in enumerate(spec):
+            p.thread(make_thread(ops, (i + 1) * 100))
+
+    return Program("random_chan_prog", build)
+
+
+@soundness_settings
+@given(chan_program_spec)
+@example(spec=[[("close", 0)], [("close", 0)]])       # double-close race
+@example(spec=[[("fut_set", 0)], [("fut_set", 0)]])   # double-set race
+@example(spec=[[("send", 1)], [("recv", 1)]])         # rendezvous pair
+@example(spec=[[("send", 0), ("close", 0)],
+               [("recv", 0), ("recv", 0)]])           # drain after close
+# hypothesis-found regression: two threads crashing with *different*
+# guest errors (ChannelError vs FutureError).  The crash EXITs are
+# independent, so the state digest must not depend on which ran first
+# — it once keyed the error mark on guest_failures[0] (schedule
+# order), making DPOR see 2 states where DFS saw 3.  Crash types now
+# live in the per-thread progress tuple; see Executor.finish.
+@example(spec=[[("send", 0)],
+               [("close", 0), ("fut_set", 0), ("fut_set", 0)]])
+def test_channel_reducers_match_dfs_states(spec):
+    program = build_chan_program(spec)
+    dfs = DFSExplorer(program, LIM)
+    stats = dfs.run()
+    assert stats.exhausted, "generated channel program too large for DFS"
+    baseline = frozenset(dfs._state_hashes)
+
+    for explorer in (
+        DPORExplorer(program, LIM),
+        DPORExplorer(program, LIM, sleep_sets=False),
+        HBRCachingExplorer(program, LIM, lazy=False),
+        HBRCachingExplorer(program, LIM, lazy=True),
+    ):
+        explorer.run()
+        found = frozenset(explorer._state_hashes)
+        assert found == baseline, (
+            f"{explorer.name} found {len(found)} states, DFS "
+            f"{len(baseline)}; spec={spec!r}"
+        )
+
+    lazy = LazyDPORExplorer(program, LIM)
+    lazy.run()
+    lazy_found = frozenset(lazy._state_hashes)
+    assert lazy_found <= baseline, (
+        f"lazy-dpor reported unreachable states; spec={spec!r}"
+    )
+    assert lazy_found, f"lazy-dpor found no states; spec={spec!r}"
+
+
 @soundness_settings
 @given(program_spec)
 def test_inequality_chain_on_random_programs(spec):

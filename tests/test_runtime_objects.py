@@ -197,3 +197,70 @@ class TestThreadHandle:
         h = ThreadHandle(reg, 2)
         assert h.state_value() == ("thread", 2)
         assert h.tid == 2
+
+
+class TestInjectedErrorSemantics:
+    """fx_throw contract: the injected channel/future error is fatal.
+
+    A guest that swallows it still crashes with the injected error; a
+    guest that escalates to a different GuestError crashes with that
+    error; a guest that swallows it and keeps yielding is a modelling
+    error (its generator has diverged from the send tape).
+    """
+
+    def _close_race(self, producer_body):
+        from repro.runtime.program import Program
+
+        def build(p):
+            ch = p.channel("ch", 2)
+
+            def closer(api):
+                yield api.close(ch)
+
+            p.thread(producer_body, ch)
+            p.thread(closer)
+
+        return Program("throw_semantics", build)
+
+    def test_swallowed_injected_error_still_crashes(self):
+        from repro.errors import ChannelError
+        from repro.runtime.schedule import execute
+
+        def producer(api, ch):
+            try:
+                yield api.send(ch, 1)
+            except ChannelError:
+                return  # swallowing does not undo the violation
+
+        r = execute(self._close_race(producer), schedule=[1, 0, 0])
+        assert type(r.error).__name__ == "ChannelError"
+
+    def test_escalated_error_wins(self):
+        from repro.errors import ChannelError
+        from repro.runtime.schedule import execute
+
+        def producer(api, ch):
+            try:
+                yield api.send(ch, 1)
+            except ChannelError:
+                api.guest_assert(False, "escalated")
+            yield api.send(ch, 2)
+
+        r = execute(self._close_race(producer), schedule=[1, 0, 0])
+        assert type(r.error).__name__ == "GuestAssertionError"
+
+    def test_intercept_and_continue_is_a_modelling_error(self):
+        from repro.errors import ChannelError
+        from repro.runtime.executor import Executor
+
+        def producer(api, ch):
+            try:
+                yield api.send(ch, 1)
+            except ChannelError:
+                pass
+            yield api.sched_yield()  # diverged from the tape
+
+        ex = Executor(self._close_race(producer))
+        ex.step(1)  # close
+        with pytest.raises(InvalidOpError):
+            ex.step(0)  # send on closed -> throw -> guest keeps going

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Program, execute, is_feasible
+from repro import execute, is_feasible
 from repro.errors import SchedulerError
 from repro.runtime.schedule import (
     FirstEnabledScheduler,

@@ -27,6 +27,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import Program
+from repro.core.events import OpKind
 from repro.explore import ExplorationLimits
 from repro.explore.controller import make_explorer
 from repro.runtime.executor import Executor
@@ -169,6 +170,13 @@ PROGRAMS = {
     "deadlocky": _deadlocky(),
     "bounded_buffer": REGISTRY[24].program,
     "spawn_join": REGISTRY[77].program,
+    # the message-passing primitives: channel buffer/closed COW, future
+    # COW, and — via the close race — snapshots of threads crashed by a
+    # runtime-injected ChannelError (the throw_exc restore path)
+    "chan_pipeline": REGISTRY[80].program,
+    "chan_close_race": REGISTRY[87].program,
+    "future_dag": REGISTRY[86].program,
+    "rendezvous": REGISTRY[88].program,
 }
 
 
@@ -335,3 +343,31 @@ def test_snapshot_budget_zero_disables_tree():
     explorer = make_explorer("dfs", REGISTRY[4].program, limits)
     explorer.run()
     assert explorer.snapshot_tree is None
+
+
+def test_snapshot_of_thread_crashed_by_injected_error():
+    """A snapshot taken between a runtime-injected crash (send on a
+    closed channel -> ChannelError thrown into the guest) and the
+    crashed thread's EXIT must restore the pending EXIT from the
+    recorded error — the dead generator cannot re-raise it."""
+    program = REGISTRY[87].program  # chan_close_race_eager
+    # schedule: producer send(1); controller recv, close; producer
+    # send(2) -> crash injected, EXIT pending
+    ex = Executor(program, snapshots=True)
+    for tid in (0, 1, 1, 0):
+        ex.step(tid)
+    t0 = ex.threads[0]
+    assert t0.throw_exc is not None
+    assert t0.pending.kind is OpKind.EXIT
+    snap = ex.snapshot()
+    for a, b in ((ex, Executor.from_snapshot(snap)),
+                 (Executor.from_snapshot(snap),
+                  Executor.from_snapshot(snap))):
+        # drive both to completion step-for-step (first-enabled)
+        while not a.is_done():
+            assert a.enabled() == b.enabled()
+            tid = a.enabled()[0]
+            a.step(tid)
+            b.step(tid)
+        ra, rb = _assert_runs_identical(a, b, tail=[])
+        assert type(ra.error).__name__ == "ChannelError"

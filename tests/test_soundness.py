@@ -49,6 +49,12 @@ SUBSET = [
     74,  # dcl buggy (crashes)
     77,  # spawn/join
     79,  # flags handshake
+    80,  # channel pipeline
+    83,  # channel fan-out (MPMC)
+    84,  # producer-consumer seeded lost-update (assertion schedules)
+    86,  # future DAG
+    87,  # channel close race (ChannelError schedules)
+    88,  # rendezvous handshake
 ]
 
 
