@@ -16,12 +16,40 @@ The package provides:
 * :mod:`repro.suite` — 79 benchmark program instances mirroring the
   paper's benchmark collection;
 * :mod:`repro.analysis` — harnesses that regenerate the paper's
-  Figure 2, Figure 3 and the state-counting inequality.
+  Figure 2, Figure 3 and the state-counting inequality;
+* :mod:`repro.shim` — the real-code frontend: drop-in
+  ``threading``/``queue`` modules plus lightweight instrumentation, so
+  ordinary Python programs are checked without rewriting them as
+  generators.
 
-Quickstart::
+Quickstart — check real code with :func:`check`::
 
-    from repro import Program, execute
-    from repro.explore import DPORExplorer
+    import repro
+    from repro.shim import threading
+
+    @repro.shared
+    class Counter:
+        def __init__(self):
+            self.value = 0
+
+    def main():
+        c = Counter()
+        def worker():
+            c.value += 1          # racy read-modify-write
+        t1 = threading.Thread(target=worker)
+        t2 = threading.Thread(target=worker)
+        t1.start(); t2.start(); t1.join(); t2.join()
+        assert c.value == 2
+
+    result = repro.check(main)    # DPOR over every distinct interleaving
+    if result.bug_found:
+        print(result.summary())   # minimized schedule + timeline
+
+The generator DSL remains the precision frontend (every scheduling
+point explicit)::
+
+    from repro import Program
+    import repro
 
     def build(p):
         m = p.mutex("m")
@@ -34,11 +62,11 @@ Quickstart::
         p.thread(t1)
         p.thread(t1)
 
-    program = Program("demo", build)
-    stats = DPORExplorer(program).run()
-    print(stats.num_schedules, stats.num_hbrs, stats.num_lazy_hbrs)
+    result = repro.check(Program("demo", build), explorer="lazy-hbr-caching")
+    print(result.stats.summary())
 """
 
+from .check import CheckResult, check
 from .core import (
     DualClockEngine,
     Event,
@@ -55,11 +83,15 @@ from .errors import (
     DeadlockError,
     FutureError,
     GuestAssertionError,
+    GuestCrashError,
     GuestError,
+    InstrumentError,
     InvalidOpError,
     ReproError,
     SchedulerError,
+    ShimUsageError,
 )
+from .shim import instrument, program_from_function, shared
 from .runtime import (
     CLOSED,
     AtomicInt,
@@ -90,6 +122,7 @@ __all__ = [
     "CLOSED",
     "Channel",
     "ChannelError",
+    "CheckResult",
     "CondVar",
     "DeadlockError",
     "DualClockEngine",
@@ -99,7 +132,9 @@ __all__ = [
     "Future",
     "FutureError",
     "GuestAssertionError",
+    "GuestCrashError",
     "GuestError",
+    "InstrumentError",
     "InvalidOpError",
     "Mutex",
     "Op",
@@ -114,12 +149,17 @@ __all__ = [
     "SharedArray",
     "SharedDict",
     "SharedVar",
+    "ShimUsageError",
     "ThreadAPI",
     "TraceResult",
     "VectorClock",
+    "check",
     "conflicts",
     "conflicts_lazy",
     "execute",
+    "instrument",
     "is_feasible",
+    "program_from_function",
+    "shared",
     "__version__",
 ]

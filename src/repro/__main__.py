@@ -2,6 +2,9 @@
 
 Commands
 --------
+check TARGET              one-call front door: explore a benchmark id or
+                          a ``module:function`` (shim frontend), report
+                          the :class:`repro.check.CheckResult`
 list                      list the 88 suite benchmarks
 run ID [--schedule ...]   execute one benchmark once and show the result
 explore ID [--strategy S] explore a benchmark and print the statistics
@@ -15,6 +18,8 @@ campaign                  sharded explorer×benchmark×seed run-matrix
 bench                     replay-loop micro-benchmarks; JSON reports
                           (``--smoke``, ``--out``, ``--baseline``,
                           ``--scenario split``)
+shim-equivalence          shim-vs-DSL golden equivalence report
+                          (``--out report.json`` for the CI artifact)
 """
 
 from __future__ import annotations
@@ -35,6 +40,93 @@ from .explore import ExplorationLimits
 from .explore.controller import STANDARD_EXPLORERS
 from .runtime.schedule import execute
 from .suite import REGISTRY, all_benchmarks
+
+
+def _resolve_check_target(spec: str):
+    """A ``check`` target: a suite benchmark id or ``module:function``."""
+    if spec.isdigit():
+        return _get(int(spec))
+    if ":" not in spec:
+        print(f"error: target must be a benchmark id or module:function, "
+              f"got {spec!r}", file=sys.stderr)
+        raise SystemExit(2)
+    module_name, _, attr = spec.partition(":")
+    import importlib
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        print(f"error: cannot import {module_name!r}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    target = getattr(module, attr, None)
+    if target is None:
+        print(f"error: {module_name!r} has no attribute {attr!r}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return target
+
+
+def _cmd_check(args) -> int:
+    import json
+
+    from .check import check
+
+    target = _resolve_check_target(args.target)
+    try:
+        result = check(
+            target,
+            explorer=args.explorer,
+            max_schedules=args.limit,
+            max_seconds=args.seconds,
+            seeds=tuple(range(args.seeds)),
+            minimize=not args.no_minimize,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if args.trace and result.trace:
+        print()
+        print("\n".join(result.trace))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    if args.expect is not None:
+        expected_bug = args.expect == "bug"
+        if result.bug_found != expected_bug:
+            print(f"UNEXPECTED: expected {args.expect}, got "
+                  f"{'bug' if result.bug_found else 'clean'}",
+                  file=sys.stderr)
+            return 1
+        return 0
+    return 1 if result.bug_found else 0
+
+
+def _cmd_shim_equivalence(args) -> int:
+    import json
+
+    from .explore import ExplorationLimits
+    from .suite.shim_twins import equivalence_report
+
+    limits = ExplorationLimits(max_schedules=args.limit,
+                               max_seconds=args.seconds)
+    report = equivalence_report(limits,
+                                explorers=tuple(args.explorers.split(",")))
+    for name in sorted(report["pairs"]):
+        pair = report["pairs"][name]
+        per_explorer = " ".join(
+            f"{exp}={'ok' if e['equal'] else 'DIFF'}"
+            for exp, e in sorted(pair["explorers"].items())
+        )
+        single = "ok" if pair["single_run_equal"] else "DIFF"
+        print(f"{name:<22} single-run={single} {per_explorer}")
+    print(f"all_equal={report['all_equal']}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0 if report["all_equal"] else 1
 
 
 def _cmd_list(_args) -> int:
@@ -140,7 +232,6 @@ SMOKE_LIMIT = 150
 
 
 def _cmd_campaign(args) -> int:
-    import dataclasses
     import json
 
     from .analysis.runner import (
@@ -240,15 +331,11 @@ def _cmd_campaign(args) -> int:
                 "jobs": args.jobs,
                 "smoke": bool(args.smoke),
             },
+            figure2=figure2_rows_from_cells(campaign.results),
+            figure3=figure3_rows_from_cells(campaign.results),
         )
-        fig2 = figure2_rows_from_cells(campaign.results)
-        fig3 = figure3_rows_from_cells(campaign.results)
-        if fig2:
-            report["figure2"] = [dataclasses.asdict(r) for r in fig2]
-        if fig3:
-            report["figure3"] = [dataclasses.asdict(r) for r in fig3]
         with open(args.out, "w") as fh:
-            json.dump(report, fh, indent=1, sort_keys=True)
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
         print(f"wrote {args.out}")
 
     bad = campaign.unexpected if args.smoke else campaign.failures
@@ -298,6 +385,35 @@ def build_parser() -> argparse.ArgumentParser:
         description="Lazy happens-before SCT toolkit (PPoPP 2015 repro)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser(
+        "check",
+        help="explore a target and report bug/no-bug",
+        description="The one-call front door: explore a suite benchmark "
+                    "(by id) or any importable function authored against "
+                    "repro.shim (as module:function), minimize any "
+                    "finding, and print the CheckResult summary.",
+    )
+    p_check.add_argument("target",
+                         help="benchmark id, or module:function (e.g. "
+                              "examples.real_code_demo:main)")
+    p_check.add_argument("--explorer", default="dpor")
+    p_check.add_argument("--limit", type=int, default=2_000,
+                         help="schedule limit (default 2000)")
+    p_check.add_argument("--seconds", type=float, default=None,
+                         help="wall-clock limit")
+    p_check.add_argument("--seeds", type=int, default=1,
+                         help="seeds for randomized explorers")
+    p_check.add_argument("--expect", choices=("bug", "clean"),
+                         help="exit 0 iff the outcome matches (else the "
+                              "exit code is 1 when a bug is found)")
+    p_check.add_argument("--no-minimize", action="store_true",
+                         dest="no_minimize",
+                         help="skip schedule minimization")
+    p_check.add_argument("--trace", action="store_true",
+                         help="print the reproduction timeline")
+    p_check.add_argument("--json", metavar="PATH",
+                         help="write the CheckResult as JSON here")
 
     sub.add_parser("list", help="list the suite benchmarks")
 
@@ -416,6 +532,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "dump pstats here (micro scenario only)")
     p_bench.add_argument("--quiet", action="store_true")
 
+    p_equiv = sub.add_parser(
+        "shim-equivalence",
+        help="shim-vs-DSL golden equivalence report",
+        description="Run every shim/DSL twin pair through the named "
+                    "explorers and report whether fingerprints, "
+                    "schedules and findings are byte-identical; exits 1 "
+                    "on any divergence.",
+    )
+    p_equiv.add_argument("--explorers", default="dfs,dpor,pct",
+                         help="comma-separated explorer names")
+    p_equiv.add_argument("--limit", type=int, default=3_000,
+                         help="schedule limit per run")
+    p_equiv.add_argument("--seconds", type=float, default=None)
+    p_equiv.add_argument("--out", metavar="REPORT",
+                         help="write the JSON equivalence report here")
+
     p_matrix = sub.add_parser(
         "matrix", help="compare explorers over chosen benchmarks"
     )
@@ -433,6 +565,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
+        "check": _cmd_check,
+        "shim-equivalence": _cmd_shim_equivalence,
         "list": _cmd_list,
         "run": _cmd_run,
         "explore": _cmd_explore,

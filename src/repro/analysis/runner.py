@@ -28,6 +28,7 @@ slower, and every counted quantity grows monotonically with the limit
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +60,13 @@ class Figure2Row:
             self.limit_hit,
         )
 
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Figure2Row":
+        return cls(**payload)
+
 
 @dataclass
 class Figure3Row:
@@ -76,6 +84,13 @@ class Figure3Row:
             self.lazy_hbrs_regular_caching, self.lazy_hbrs_lazy_caching,
             self.limit_hit,
         )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Figure3Row":
+        return cls(**payload)
 
 
 def _limits(schedule_limit: int, seconds: Optional[float]) -> ExplorationLimits:
@@ -227,6 +242,20 @@ class InequalityRow:
     bench_id: int
     name: str
     stats: ExplorationStats
+
+    def to_dict(self) -> dict:
+        return {
+            "bench_id": self.bench_id,
+            "name": self.name,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InequalityRow":
+        return cls(
+            payload["bench_id"], payload["name"],
+            ExplorationStats.from_dict(payload["stats"]),
+        )
 
 
 def run_inequality_table(

@@ -15,6 +15,8 @@ CLI: ``python -m repro campaign --jobs 8`` (see ``--help``).
 """
 
 from .aggregate import (
+    CampaignReport,
+    CampaignSummary,
     campaign_report,
     comparison_rows,
     merge_shard_results,
@@ -28,7 +30,9 @@ from .worker import CellResult, execute_cell
 
 __all__ = [
     "CampaignCell",
+    "CampaignReport",
     "CampaignResult",
+    "CampaignSummary",
     "CellResult",
     "ResultStore",
     "SplitPlan",

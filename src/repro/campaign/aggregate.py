@@ -11,13 +11,17 @@ and raw-JSON views that do not depend on the analysis layer.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from ..explore.base import ExplorationLimits, ExplorationStats
 from ..explore.controller import ComparisonRow
 from ..suite import REGISTRY
 from .runner import CampaignResult
 from .worker import CellResult
+
+if TYPE_CHECKING:  # circular at runtime: analysis.runner imports campaign
+    from ..analysis.runner import Figure2Row, Figure3Row
 
 
 def merge_shard_results(
@@ -91,41 +95,142 @@ def comparison_rows(results: Sequence[CellResult]) -> List[ComparisonRow]:
     return [by_bench[bid] for bid in sorted(by_bench)]
 
 
+@dataclass
+class CampaignSummary:
+    """Aggregate counters of one campaign (the report's ``summary``)."""
+
+    num_cells: int = 0
+    num_executed: int = 0
+    num_cached: int = 0
+    num_failed: int = 0
+    num_unexpected: int = 0
+    total_schedules: int = 0
+    total_events: int = 0
+    jobs: int = 1
+    elapsed: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_cells": self.num_cells,
+            "num_executed": self.num_executed,
+            "num_cached": self.num_cached,
+            "num_failed": self.num_failed,
+            "num_unexpected": self.num_unexpected,
+            "total_schedules": self.total_schedules,
+            "total_events": self.total_events,
+            "jobs": self.jobs,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignSummary":
+        return cls(**payload)
+
+    @classmethod
+    def from_campaign(cls, campaign: CampaignResult) -> "CampaignSummary":
+        return cls(
+            num_cells=len(campaign.results),
+            num_executed=campaign.num_executed,
+            num_cached=campaign.num_cached,
+            num_failed=len(campaign.failures),
+            num_unexpected=len(campaign.unexpected),
+            total_schedules=sum(
+                r.stats.num_schedules for r in campaign.results
+                if r.stats is not None
+            ),
+            total_events=sum(
+                r.stats.num_events for r in campaign.results
+                if r.stats is not None
+            ),
+            jobs=campaign.jobs,
+            elapsed=campaign.elapsed,
+        )
+
+
+@dataclass
+class CampaignReport:
+    """The ``--out`` artifact, typed: summary + cells (+ optional limits,
+    campaign metadata and re-derived figure rows).
+
+    ``to_dict``/``from_dict`` round-trip losslessly and produce exactly
+    the historical JSON document shape, so existing report consumers
+    keep working unchanged.
+    """
+
+    KIND = "repro-campaign-report"
+    VERSION = 1
+
+    summary: CampaignSummary
+    cells: List[CellResult] = field(default_factory=list)
+    limits: Optional[ExplorationLimits] = None
+    campaign: Optional[Dict[str, Any]] = None
+    figure2: Optional[List["Figure2Row"]] = None
+    figure3: Optional[List["Figure3Row"]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        report: Dict[str, Any] = {
+            "kind": self.KIND,
+            "version": self.VERSION,
+            "summary": self.summary.to_dict(),
+            "cells": [r.to_dict() for r in self.cells],
+        }
+        if self.limits is not None:
+            report["limits"] = {
+                "max_schedules": self.limits.max_schedules,
+                "max_seconds": self.limits.max_seconds,
+                "max_events_per_schedule":
+                    self.limits.max_events_per_schedule,
+            }
+        if self.campaign:
+            report["campaign"] = dict(self.campaign)
+        if self.figure2:
+            report["figure2"] = [r.to_dict() for r in self.figure2]
+        if self.figure3:
+            report["figure3"] = [r.to_dict() for r in self.figure3]
+        return report
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignReport":
+        from ..analysis.runner import Figure2Row, Figure3Row
+        kind = payload.get("kind")
+        if kind != cls.KIND:
+            raise ValueError(f"not a campaign report: kind={kind!r}")
+        version = payload.get("version")
+        if version != cls.VERSION:
+            raise ValueError(f"unsupported report version {version!r}")
+        limits = None
+        if "limits" in payload:
+            lim = payload["limits"]
+            limits = ExplorationLimits(
+                max_schedules=lim["max_schedules"],
+                max_seconds=lim["max_seconds"],
+                max_events_per_schedule=lim["max_events_per_schedule"],
+            )
+        return cls(
+            summary=CampaignSummary.from_dict(payload["summary"]),
+            cells=[CellResult.from_dict(c) for c in payload["cells"]],
+            limits=limits,
+            campaign=payload.get("campaign"),
+            figure2=([Figure2Row.from_dict(r) for r in payload["figure2"]]
+                     if "figure2" in payload else None),
+            figure3=([Figure3Row.from_dict(r) for r in payload["figure3"]]
+                     if "figure3" in payload else None),
+        )
+
+
 def campaign_report(
     campaign: CampaignResult,
     limits: Optional[ExplorationLimits] = None,
     meta: Optional[Dict[str, Any]] = None,
-) -> Dict[str, Any]:
-    """JSON-serialisable campaign report (the ``--out`` artifact)."""
-    totals = {
-        "num_cells": len(campaign.results),
-        "num_executed": campaign.num_executed,
-        "num_cached": campaign.num_cached,
-        "num_failed": len(campaign.failures),
-        "num_unexpected": len(campaign.unexpected),
-        "total_schedules": sum(
-            r.stats.num_schedules for r in campaign.results
-            if r.stats is not None
-        ),
-        "total_events": sum(
-            r.stats.num_events for r in campaign.results
-            if r.stats is not None
-        ),
-        "jobs": campaign.jobs,
-        "elapsed": campaign.elapsed,
-    }
-    report: Dict[str, Any] = {
-        "kind": "repro-campaign-report",
-        "version": 1,
-        "summary": totals,
-        "cells": [r.to_dict() for r in campaign.results],
-    }
-    if limits is not None:
-        report["limits"] = {
-            "max_schedules": limits.max_schedules,
-            "max_seconds": limits.max_seconds,
-            "max_events_per_schedule": limits.max_events_per_schedule,
-        }
-    if meta:
-        report["campaign"] = dict(meta)
-    return report
+    figure2: Optional[List["Figure2Row"]] = None,
+    figure3: Optional[List["Figure3Row"]] = None,
+) -> CampaignReport:
+    """Typed campaign report (serialise with ``.to_dict()``)."""
+    return CampaignReport(
+        summary=CampaignSummary.from_campaign(campaign),
+        cells=list(campaign.results),
+        limits=limits,
+        campaign=dict(meta) if meta else None,
+        figure2=figure2 or None,
+        figure3=figure3 or None,
+    )

@@ -1,0 +1,57 @@
+"""Warn-once deprecated aliases for renamed public API.
+
+PR 6 consolidated the operation vocabulary: channel verbs carry a
+``chan_`` prefix and semaphore verbs a ``sem_`` prefix (mirroring the
+``fut_`` future verbs), and the builder constructor for condition
+variables is ``condition`` (matching the primitive's stdlib name).
+The old spellings keep working through aliases installed here; each
+alias warns once per process and then stays silent.
+
+The alias tables are public so tests can assert they stay complete:
+every alias must exist, forward to its canonical method, and be
+discoverable via ``__deprecated_alias_for__``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Set, Tuple
+
+#: (owner kind, alias name) pairs that have already warned.
+_warned: Set[Tuple[str, str]] = set()
+
+
+def reset_warnings() -> None:
+    """Forget which aliases have warned (tests only)."""
+    _warned.clear()
+
+
+def warn_once(owner: str, alias: str, canonical: str) -> None:
+    key = (owner, alias)
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(
+        f"{owner}.{alias}() is deprecated; use {owner}.{canonical}()",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def install_aliases(cls: type, table: Dict[str, str]) -> None:
+    """Install a warn-once alias method on ``cls`` for every
+    ``alias -> canonical`` entry in ``table``."""
+    owner = cls.__name__
+    for alias, canonical in table.items():
+        target = getattr(cls, canonical)
+
+        def wrapper(self, *args, _t=target, _a=alias, _c=canonical,
+                    _o=owner, **kwargs):
+            warn_once(_o, _a, _c)
+            return _t(self, *args, **kwargs)
+
+        wrapper.__name__ = alias
+        wrapper.__qualname__ = f"{owner}.{alias}"
+        wrapper.__doc__ = f"Deprecated alias for :meth:`{canonical}`."
+        wrapper.__deprecated_alias_for__ = canonical
+        setattr(cls, alias, wrapper)

@@ -50,6 +50,20 @@ class ExplorationLimitError(ReproError):
     instead of truncate."""
 
 
+class ShimUsageError(ReproError):
+    """Shim-frontend misuse by the *harness author*: constructing shim
+    objects outside a checked program, creating shared state from a
+    worker thread or after ``Thread.start()`` (which would make object
+    ids schedule-dependent), or calling an API the shim cannot model.
+    Host error: propagates instead of being recorded as a finding."""
+
+
+class InstrumentError(ReproError):
+    """``repro.instrument`` could not rewrite a function into a guest
+    (no retrievable source, an async/generator target, or a construct
+    the AST pass does not support)."""
+
+
 class GuestError(ReproError):
     """Base class for property violations of the program under test."""
 
@@ -70,6 +84,20 @@ class GuestAssertionError(GuestError):
     def __init__(self, thread_id: int, message: str = ""):
         self.thread_id = thread_id
         super().__init__(message or f"guest assertion failed in thread {thread_id}")
+
+
+class GuestCrashError(GuestError):
+    """An ordinary (non-``repro``) Python exception escaped a shim-guest
+    thread — a plain ``assert``, ``ValueError``, ....  The shim driver
+    wraps it so real-code bugs surface as per-thread findings, exactly
+    like failed guest assertions, instead of crashing the host."""
+
+    def __init__(self, thread_id: int, original: BaseException):
+        self.thread_id = thread_id
+        self.original_type = type(original).__name__
+        super().__init__(
+            f"T{thread_id} crashed: {self.original_type}: {original}"
+        )
 
 
 class ChannelError(GuestError):

@@ -43,7 +43,7 @@ def admit_full_cohorts(candidates: Iterable[Tuple[int, "Barrier"]]) -> None:
 class Barrier(SharedObject):
     """A reusable barrier for a fixed number of parties."""
 
-    __slots__ = ("parties", "admitted", "generation")
+    __slots__ = ("parties", "admitted", "generation", "arrival")
 
     def __init__(self, registry: ObjectRegistry, parties: int, name: str = ""):
         super().__init__(registry, name)
@@ -52,6 +52,10 @@ class Barrier(SharedObject):
         self.parties = parties
         self.admitted: Set[int] = set()
         self.generation = 0
+        # per-cohort arrival index (0..parties-1), assigned at admission
+        # and handed back by ``do_pass`` — the stdlib ``Barrier.wait``
+        # return value, delivered through the op so replay tapes carry it
+        self.arrival: Dict[int, int] = {}
 
     # -- protocol --------------------------------------------------------
     def op_enabled(self, op, tid, ex) -> bool:
@@ -69,22 +73,31 @@ class Barrier(SharedObject):
     def admit(self, tids) -> None:
         """Called by the executor when ``parties`` threads are pending."""
         self.admitted.update(tids)
+        for i, tid in enumerate(tids):
+            self.arrival[tid] = i
 
     def can_pass(self, tid: int) -> bool:
         return tid in self.admitted
 
     def do_pass(self, tid: int) -> int:
+        idx = self.arrival.pop(tid, 0)
         self.admitted.discard(tid)
         if not self.admitted:
             self.generation += 1
-        return self.generation
+        return idx
 
     def state_value(self):
-        return ("barrier", self.generation, tuple(sorted(self.admitted)))
+        return (
+            "barrier", self.generation,
+            tuple(sorted(self.admitted)),
+            tuple(sorted(self.arrival.items())),
+        )
 
     def snapshot_state(self):
-        return (self.generation, frozenset(self.admitted))
+        return (self.generation, frozenset(self.admitted),
+                tuple(sorted(self.arrival.items())))
 
     def restore_state(self, state) -> None:
-        self.generation, admitted = state
+        self.generation, admitted, arrival = state
         self.admitted = set(admitted)
+        self.arrival = dict(arrival)

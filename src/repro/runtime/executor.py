@@ -164,6 +164,14 @@ class Executor:
         #: recording itself never changes behaviour (one list append
         #: per generator resume)
         self._record = snapshots
+        #: programs whose guests mutate host-side Python state (the shim
+        #: frontend: closures, lists, per-object hold maps) opt in to
+        #: replaying *every* thread's tape on snapshot restore — a
+        #: finished thread's side effects live outside the runtime
+        #: objects, so skipping its generator would lose them
+        self._replay_all_tapes = bool(
+            program.metadata.get("replay_finished_threads")
+        )
         self._spawn_origin: Dict[int, Tuple[int, int]] = {}
         self.trace: List[Event] = []
         self.schedule: List[int] = []
@@ -361,7 +369,13 @@ class Executor:
             if op.kind is _JOIN:
                 return f"waiting to join T{op.arg} (still running)"
             return f"{op.kind.name} blocked"  # pragma: no cover
-        return op.target.blocking_desc(op)
+        reason = op.target.blocking_desc(op)
+        sites = op.target.op_sites
+        if sites:
+            site = sites.get(op.kind)
+            if site:
+                return f"{site}: {reason}"
+        return reason
 
     def has_pending_recv(self, oid: int, sender_tid: int) -> bool:
         """Is some *other* runnable thread pending a CHAN_RECV on the
@@ -682,9 +696,11 @@ class Executor:
                 # dead generators — finished threads and fx_throw
                 # crashes awaiting their EXIT — are only rebuilt when
                 # children need their SPAWN ops' fresh (fn, args)
-                # closures
+                # closures, or when the program opted in to full tape
+                # replay because guests carry host-side state
                 (t.status != finished and t.throw_exc is None)
-                or t.spawn_count > 0,
+                or t.spawn_count > 0
+                or self._replay_all_tapes,
                 t.throw_exc,
             )
             for t in self.threads
@@ -778,6 +794,9 @@ class Executor:
         """
         ex = cls.__new__(cls)
         ex.program = snap.program
+        ex._replay_all_tapes = bool(
+            snap.program.metadata.get("replay_finished_threads")
+        )
         ex.instance = snap.program.instantiate()
         ex.engine = snap.engine.fork()
         ex.max_events = snap.max_events
@@ -827,10 +846,6 @@ class Executor:
             t.crashed = rec.crashed
             t.spawn_count = rec.spawn_count
             t.throw_exc = rec.throw_exc
-            t.wait_mutex = (
-                registry.objects[rec.wait_mutex_oid]
-                if rec.wait_mutex_oid is not None else None
-            )
             pending: Optional[Op] = None
             if rec.needs_replay:
                 if tid < snap.static_threads:
@@ -848,6 +863,15 @@ class Executor:
                 # finished, spawned nothing: the generator is dead
                 # weight and the tape is never replayed again
                 t.tape = rec.tape
+            # resolved only after this thread's fast-forward: programs
+            # that create objects at runtime (the shim frontend) have an
+            # empty registry until the creating thread's tape replays,
+            # and the setup-phase rule puts every creation on a tid no
+            # greater than any waiter's
+            t.wait_mutex = (
+                registry.objects[rec.wait_mutex_oid]
+                if rec.wait_mutex_oid is not None else None
+            )
             if t.status != runnable_status:
                 t.pending = None          # finished, or parked on a CV
             elif t.resuming:

@@ -90,11 +90,16 @@ class SharedObject:
     asks the op's target.
     """
 
-    __slots__ = ("oid", "name")
+    __slots__ = ("oid", "name", "op_sites")
 
     def __init__(self, registry: ObjectRegistry, name: str = "") -> None:
         self.oid = registry.register(self)
         self.name = name or f"{type(self).__name__.lower()}{self.oid}"
+        #: optional ``{OpKind: "stdlib call site"}`` map set by frontends
+        #: (the shim sets e.g. ``{CHAN_RECV: "queue.Queue.get"}``) so
+        #: blocking diagnostics speak the user's vocabulary; read only
+        #: on the cold diagnostics path, never during stepping.
+        self.op_sites = None
 
     # -- the sync-primitive protocol ------------------------------------
     def op_enabled(self, op: Op, tid: int, ex: Any) -> bool:

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..deprecation import install_aliases as _install_aliases
 from .atomic import AtomicInt
 from .barrier import Barrier
 from .channel import Channel
@@ -71,7 +72,7 @@ class ProgramBuilder:
     def mutex(self, name: str) -> Mutex:
         return self._remember(Mutex(self.registry, name))
 
-    def condvar(self, name: str) -> CondVar:
+    def condition(self, name: str) -> CondVar:
         return self._remember(CondVar(self.registry, name))
 
     def semaphore(self, name: str, initial: int = 0) -> Semaphore:
@@ -103,6 +104,15 @@ class ProgramBuilder:
         tid = len(self.threads)
         self.threads.append((body, args, name or f"T{tid}"))
         return tid
+
+
+#: Deprecated spelling -> canonical constructor: the condition-variable
+#: constructor follows the primitive's stdlib name (PR 6 naming pass).
+BUILDER_ALIASES = {
+    "condvar": "condition",
+}
+
+_install_aliases(ProgramBuilder, BUILDER_ALIASES)
 
 
 @dataclass

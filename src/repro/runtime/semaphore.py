@@ -33,9 +33,12 @@ class Semaphore(SharedObject):
     def op_apply(self, op, ex, thread):
         if op.kind is OpKind.SEM_ACQUIRE:
             self.do_acquire()
-        else:
-            self.do_release()
-        return None
+            return None
+        # V returns the post-release count: callers that need a bounds
+        # check (shim BoundedSemaphore) observe it atomically through the
+        # op's send value, which keeps it on the replay tape.
+        self.do_release()
+        return self.count
 
     def blocking_desc(self, op) -> str:
         return f"waiting to acquire semaphore {self.name!r} (count 0)"

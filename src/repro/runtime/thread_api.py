@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..core.events import Op, OpKind
+from ..deprecation import install_aliases as _install_aliases
 from ..errors import GuestAssertionError
 from .atomic import AtomicInt
 from .barrier import Barrier
@@ -112,10 +113,10 @@ class ThreadAPI:
         return Op(OpKind.NOTIFY_ALL, cv)
 
     # -- semaphores ------------------------------------------------------------
-    def acquire(self, sem: Semaphore) -> Op:
+    def sem_acquire(self, sem: Semaphore) -> Op:
         return Op(OpKind.SEM_ACQUIRE, sem)
 
-    def release(self, sem: Semaphore) -> Op:
+    def sem_release(self, sem: Semaphore) -> Op:
         return Op(OpKind.SEM_RELEASE, sem)
 
     # -- barriers ---------------------------------------------------------------
@@ -136,19 +137,19 @@ class ThreadAPI:
         return Op(OpKind.WUNLOCK, rw)
 
     # -- channels ----------------------------------------------------------------
-    def send(self, ch: Channel, value: Any) -> Op:
+    def chan_send(self, ch: Channel, value: Any) -> Op:
         """Deposit ``value`` into ``ch`` (blocks while the buffer is
         full; a rendezvous send blocks until a receiver is pending).
         Sending on a closed channel is a guest error."""
         return Op(OpKind.CHAN_SEND, ch, value)
 
-    def recv(self, ch: Channel) -> Op:
+    def chan_recv(self, ch: Channel) -> Op:
         """Take the oldest value from ``ch`` (blocks while the channel
         is open and empty).  Once the channel is closed and drained,
         yields the :data:`~repro.runtime.channel.CLOSED` sentinel."""
         return Op(OpKind.CHAN_RECV, ch)
 
-    def close(self, ch: Channel) -> Op:
+    def chan_close(self, ch: Channel) -> Op:
         """Close ``ch``: every blocked ``recv`` becomes enabled (the
         sentinel flows once the buffer drains).  Closing twice is a
         guest error."""
@@ -190,3 +191,17 @@ class ThreadAPI:
         already read."""
         if not condition:
             raise GuestAssertionError(self.tid, message)
+
+
+#: Deprecated spelling -> canonical method.  PR 6 aligned the channel
+#: and semaphore verbs with the ``fut_*`` naming (object-kind prefix);
+#: the old verbs warn once and forward.  Tests assert completeness.
+THREAD_API_ALIASES = {
+    "send": "chan_send",
+    "recv": "chan_recv",
+    "close": "chan_close",
+    "acquire": "sem_acquire",
+    "release": "sem_release",
+}
+
+_install_aliases(ThreadAPI, THREAD_API_ALIASES)

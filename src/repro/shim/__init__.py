@@ -1,0 +1,40 @@
+"""The real-code frontend: check stdlib-style programs, unmodified.
+
+``repro.shim.threading`` and ``repro.shim.queue`` are drop-in
+replacements for the stdlib modules; :func:`instrument` rewrites plain
+functions into guests; :func:`shared` makes object attributes
+schedule-visible; :func:`program_from_function` packages it all as a
+:class:`~repro.runtime.program.Program` for the explorers (or just call
+:func:`repro.check` on the function).
+
+    from repro.shim import threading, queue
+
+    def main():
+        q = queue.Queue(maxsize=1)
+        t = threading.Thread(target=q.put, args=(42,))
+        t.start()
+        assert q.get() == 42
+        t.join()
+
+    import repro
+    result = repro.check(main)
+"""
+
+from . import queue, threading
+from ._context import ShimContext, current_context, drive, guest_op
+from ._instrument import ensure_guest, instrument
+from .program import program_from_function
+from .shared import shared
+
+__all__ = [
+    "threading",
+    "queue",
+    "instrument",
+    "ensure_guest",
+    "shared",
+    "program_from_function",
+    "ShimContext",
+    "current_context",
+    "drive",
+    "guest_op",
+]

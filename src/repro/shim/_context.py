@@ -1,0 +1,174 @@
+"""Shim execution context and the guest driver loop.
+
+One :class:`ShimContext` exists per *program instance*: the builder of a
+shim program creates a fresh one each time the program is instantiated,
+so the runtime objects the shim classes allocate land in that instance's
+:class:`~repro.runtime.objects.ObjectRegistry`, with construction-order
+oids — the same determinism contract DSL programs get from declaring
+objects in the build function.
+
+The context is *ambient*: shim constructors (``threading.Lock()``,
+``queue.Queue()``) find it through :func:`current_context` rather than
+via an explicit parameter, because they must mirror stdlib signatures
+exactly.  :func:`drive` re-activates the right context before every
+generator resume, so interleaved executors over different instances (or
+different programs) can never observe each other's context.
+
+**The setup-phase rule.**  Registry objects may only be created by the
+main thread, *before* the first ``Thread.start()``.  This is what makes
+oid assignment deterministic not only across schedules but also across
+executor snapshot restores — ``Executor.from_snapshot`` re-registers
+each thread's handle and then immediately fast-forwards that thread's
+generator (in tid order), so an object created mid-run by tid 0 after a
+spawn would be re-registered in a different order than the original
+execution.  Confining creation to the pre-spawn prefix of tid 0 makes
+both orders identical.  Violations raise
+:class:`~repro.errors.ShimUsageError` with an explanation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import GuestCrashError, GuestError, ReproError, ShimUsageError
+from ..runtime.objects import ObjectRegistry, SharedObject
+from ..runtime.sharedvar import SharedVar
+
+#: The context whose guest code is currently executing (set by drive()
+#: before every resume; constructors read it via current_context()).
+_ACTIVE: Optional["ShimContext"] = None
+
+
+class ShimContext:
+    """Per-program-instance state shared by all shim objects."""
+
+    __slots__ = ("registry", "current_tid", "spawned", "_counts")
+
+    def __init__(self, registry: ObjectRegistry) -> None:
+        self.registry = registry
+        self.current_tid = 0
+        self.spawned = False          # has any Thread.start() executed?
+        self._counts: Dict[str, int] = {}  # per-label naming counters
+
+    # -- object creation (setup phase only) -----------------------------
+    def make(self, cls, *args, label: str,
+             sites: Optional[Dict[Any, str]] = None) -> SharedObject:
+        """Create a runtime object backing one shim object.
+
+        ``label`` names the stdlib class (``"threading.Lock"``); the
+        runtime object is named ``label#n`` with a per-label counter so
+        traces stay readable.  ``sites`` optionally maps op kinds to
+        stdlib call-site strings for blocking diagnostics.
+        """
+        self._require_setup_phase(label)
+        n = self._counts.get(label, 0)
+        self._counts[label] = n + 1
+        obj = cls(self.registry, *args, name=f"{label}#{n}")
+        if sites:
+            obj.op_sites = sites
+        return obj
+
+    def make_cell(self, owner: str, attr: str, initial: Any,
+                  sites: Optional[Dict[Any, str]] = None) -> SharedVar:
+        """Create the :class:`SharedVar` cell backing one attribute of a
+        ``@repro.shared`` object."""
+        label = f"{owner}.{attr}"
+        self._require_setup_phase(label)
+        n = self._counts.get(label, 0)
+        self._counts[label] = n + 1
+        cell = SharedVar(self.registry, initial, f"{label}#{n}")
+        if sites:
+            cell.op_sites = sites
+        return cell
+
+    def _require_setup_phase(self, label: str) -> None:
+        if self.current_tid != 0:
+            raise ShimUsageError(
+                f"{label} created by worker thread T{self.current_tid}; "
+                f"shim programs must create all shared state and sync "
+                f"objects in the main thread, before starting threads "
+                f"(object ids must not depend on the schedule)"
+            )
+        if self.spawned:
+            raise ShimUsageError(
+                f"{label} created after Thread.start(); shim programs "
+                f"must create all shared state and sync objects before "
+                f"the first thread starts (object ids must be identical "
+                f"across schedules and snapshot restores)"
+            )
+
+    def note_spawn(self) -> None:
+        self.spawned = True
+
+
+def current_context(what: str = "shim object") -> ShimContext:
+    """The active context, or a :class:`ShimUsageError` explaining that
+    shim objects only exist inside a checked program."""
+    if _ACTIVE is None:
+        raise ShimUsageError(
+            f"{what} constructed outside a checked program; shim "
+            f"threading/queue objects can only be created inside a "
+            f"function explored via repro.check() (or "
+            f"repro.shim.program_from_function)"
+        )
+    return _ACTIVE
+
+
+def guest_op(genfn):
+    """Mark a hand-written generator method/function as a *guest*: the
+    instrumentation runtime ``yield from``-s marked callables instead of
+    calling them atomically.  All shim methods that emit ops are marked."""
+    genfn.__repro_guest__ = True
+    return genfn
+
+
+def drive(ctx: ShimContext, tid: int, gen):
+    """Run guest generator ``gen`` on behalf of thread ``tid``.
+
+    The driver forwards ops outward and values/injected errors inward,
+    re-activating ``ctx`` (and stamping ``current_tid``) before every
+    resume, so ambient lookups always see the right instance however
+    executors interleave.  Three exception contracts:
+
+    * :class:`ReproError` (including :class:`GuestError`) propagates
+      unchanged — the executor's ``_advance``/``_advance_throw`` handle
+      guest errors, and host errors must stay loud;
+    * any other ``Exception`` escaping the guest becomes a
+      :class:`GuestCrashError` finding — a real ``assert``/``ValueError``
+      bug in checked code crashes only its thread;
+    * an executor-injected :class:`GuestError` (``fx_throw``) arrives at
+      our ``yield`` and is re-thrown *into* the guest, so ``q.put()`` on
+      a closed channel raises at the user's call site.
+    """
+    global _ACTIVE
+    send_value: Any = None
+    throw_exc: Optional[GuestError] = None
+    first = True
+    while True:
+        # active only while guest code runs: restored on suspension and
+        # on exit, so host code between steps (and after the program)
+        # cannot observe a stale context
+        prev = _ACTIVE
+        _ACTIVE = ctx
+        ctx.current_tid = tid
+        try:
+            if first:
+                first = False
+                op = next(gen)
+            elif throw_exc is not None:
+                exc, throw_exc = throw_exc, None
+                op = gen.throw(exc)
+            else:
+                op = gen.send(send_value)
+        except StopIteration as stop:
+            return stop.value
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise GuestCrashError(tid, exc) from exc
+        finally:
+            _ACTIVE = prev
+        try:
+            send_value = yield op
+        except GuestError as injected:
+            throw_exc = injected

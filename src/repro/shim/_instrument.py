@@ -1,0 +1,455 @@
+"""Generator-rewriting instrumentation for real-code guests.
+
+:func:`instrument` turns an ordinary Python function into a *guest
+generator function* by rewriting its AST:
+
+* every call ``f(x)`` becomes ``(yield from __repro_rt__.call(f, x))``
+  — if ``f`` is itself a guest (a shim method like ``Lock.acquire``, an
+  instrumented helper, or a nested function marked during rewriting) it
+  is delegated with ``yield from`` so its scheduling points surface;
+  any other callable runs atomically, exactly like local computation
+  between two yields in DSL guests;
+* attribute reads ``obj.x`` become ``attr_get`` yields and attribute
+  writes ``obj.x = v`` / ``obj.x += v`` become ``attr_set``/``attr_aug``
+  yields — these emit READ/WRITE events only when ``obj`` is a
+  ``@repro.shared`` object (its attributes live in SharedVar cells), so
+  data races on shared state stay DPOR-visible; an augmented assignment
+  is two events (the load and the store), which is what makes the
+  classic lost-update interleaving reachable;
+* ``with`` statements are expanded into explicit ``__enter__`` /
+  ``try/finally __exit__`` calls so shim locks block at the right point;
+* nested ``def``-s are rewritten too and marked as guests, except
+  nested generator functions, which are left untouched.
+
+Lambdas and comprehensions are *not* descended into (``yield`` is
+illegal there); calls inside them run atomically.  ``async`` constructs
+are rejected with :class:`~repro.errors.InstrumentError`.
+
+The rewritten source is compiled with the original function's globals
+(plus one reserved name, ``__repro_rt__``, bound to the runtime helper
+namespace below) so imports and module-level helpers resolve normally;
+closures are reconstructed through a generated factory function.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import operator
+import textwrap
+import types
+from typing import Any, List
+
+from ..core.events import Op, OpKind
+from ..errors import InstrumentError
+
+#: Reserved global injected into the instrumented function's module
+#: namespace; all generated code reaches the runtime through it.
+RT_NAME = "__repro_rt__"
+
+
+# ---------------------------------------------------------------------------
+# runtime helpers referenced by generated code
+# ---------------------------------------------------------------------------
+
+def _cell_of(obj: Any, name: str):
+    """The SharedVar cell backing ``obj.name`` if ``obj`` is a
+    ``@repro.shared`` instance with that attribute, else None."""
+    d = getattr(obj, "__dict__", None)
+    if type(d) is dict:
+        cells = d.get("_repro_cells")
+        if type(cells) is dict:
+            return cells.get(name)
+    return None
+
+
+def _rt_call(fn, /, *args, **kwargs):
+    """Apply a call site: delegate to guests, run everything else
+    atomically."""
+    if getattr(fn, "__repro_guest__", False):
+        return (yield from fn(*args, **kwargs))
+    return fn(*args, **kwargs)
+
+
+def _rt_attr_get(obj, name):
+    cell = _cell_of(obj, name)
+    if cell is not None:
+        return (yield Op(OpKind.READ, cell))
+    return getattr(obj, name)
+
+
+def _rt_attr_set(obj, name, value):
+    cell = _cell_of(obj, name)
+    if cell is not None:
+        yield Op(OpKind.WRITE, cell, None, value)
+        return
+    setattr(obj, name, value)
+    return
+    yield  # pragma: no cover - keeps this a generator on the plain path
+
+
+_AUG_OPS = {
+    "Add": operator.add, "Sub": operator.sub, "Mult": operator.mul,
+    "Div": operator.truediv, "FloorDiv": operator.floordiv,
+    "Mod": operator.mod, "Pow": operator.pow, "LShift": operator.lshift,
+    "RShift": operator.rshift, "BitOr": operator.or_,
+    "BitXor": operator.xor, "BitAnd": operator.and_,
+    "MatMult": operator.matmul,
+}
+
+
+def _rt_attr_aug(obj, name, opname, value):
+    """``obj.x <op>= value``: on shared cells this is a separate READ
+    and WRITE (two scheduling points), deliberately racy."""
+    combine = _AUG_OPS[opname]
+    cell = _cell_of(obj, name)
+    if cell is not None:
+        old = yield Op(OpKind.READ, cell)
+        yield Op(OpKind.WRITE, cell, None, combine(old, value))
+        return
+    setattr(obj, name, combine(getattr(obj, name), value))
+
+
+def _rt_mark(fn):
+    """Decorator stamped onto rewritten nested functions."""
+    fn.__repro_guest__ = True
+    return fn
+
+
+class _Runtime:
+    """The ``__repro_rt__`` namespace seen by generated code."""
+
+    call = staticmethod(_rt_call)
+    attr_get = staticmethod(_rt_attr_get)
+    attr_set = staticmethod(_rt_attr_set)
+    attr_aug = staticmethod(_rt_attr_aug)
+    mark = staticmethod(_rt_mark)
+
+
+_RT = _Runtime()
+
+
+# ---------------------------------------------------------------------------
+# the AST rewriter
+# ---------------------------------------------------------------------------
+
+def _rt_attr(name: str) -> ast.Attribute:
+    return ast.Attribute(
+        value=ast.Name(id=RT_NAME, ctx=ast.Load()), attr=name, ctx=ast.Load()
+    )
+
+
+def _scope_has_yield(node: ast.AST) -> bool:
+    """Does this function's own scope contain a yield (ignoring nested
+    functions and lambdas)?"""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if _scope_has_yield(child):
+            return True
+    return False
+
+
+def _dummy_yield() -> ast.stmt:
+    """``if False: yield`` — forces the def to compile as a generator
+    function even when no real scheduling point was inserted."""
+    return ast.If(
+        test=ast.Constant(value=False),
+        body=[ast.Expr(value=ast.Yield(value=None))],
+        orelse=[],
+    )
+
+
+class _Instrumenter(ast.NodeTransformer):
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    def _temp(self, kind: str) -> str:
+        self._n += 1
+        return f"__repro_{kind}{self._n}"
+
+    def _visit_block(self, stmts: List[ast.stmt]) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for stmt in stmts:
+            result = self.visit(stmt)
+            if result is None:
+                continue
+            if isinstance(result, list):
+                out.extend(result)
+            else:
+                out.append(result)
+        return out
+
+    # -- expressions ---------------------------------------------------
+    def visit_Call(self, node: ast.Call):
+        if isinstance(node.func, ast.Attribute):
+            # method lookup itself is not a data read; only the object
+            # expression is instrumented
+            func: ast.expr = ast.copy_location(
+                ast.Attribute(
+                    value=self.visit(node.func.value),
+                    attr=node.func.attr,
+                    ctx=ast.Load(),
+                ),
+                node.func,
+            )
+        else:
+            func = self.visit(node.func)
+        args = [self.visit(a) for a in node.args]
+        keywords = [self.visit(k) for k in node.keywords]
+        call = ast.Call(func=_rt_attr("call"), args=[func] + args,
+                        keywords=keywords)
+        return ast.copy_location(ast.YieldFrom(value=call), node)
+
+    def visit_Attribute(self, node: ast.Attribute):
+        if not isinstance(node.ctx, ast.Load):
+            return self.generic_visit(node)
+        call = ast.Call(
+            func=_rt_attr("attr_get"),
+            args=[self.visit(node.value), ast.Constant(value=node.attr)],
+            keywords=[],
+        )
+        return ast.copy_location(ast.YieldFrom(value=call), node)
+
+    def visit_Lambda(self, node: ast.Lambda):
+        return node  # yield is illegal inside; runs atomically
+
+    def visit_ListComp(self, node):
+        return node
+
+    def visit_SetComp(self, node):
+        return node
+
+    def visit_DictComp(self, node):
+        return node
+
+    def visit_GeneratorExp(self, node):
+        return node
+
+    # -- assignments ---------------------------------------------------
+    def _attr_set_stmt(self, target: ast.Attribute, value: ast.expr,
+                       origin: ast.stmt) -> ast.stmt:
+        call = ast.Call(
+            func=_rt_attr("attr_set"),
+            args=[self.visit(target.value),
+                  ast.Constant(value=target.attr), value],
+            keywords=[],
+        )
+        return ast.copy_location(ast.Expr(value=ast.YieldFrom(value=call)),
+                                 origin)
+
+    def visit_Assign(self, node: ast.Assign):
+        value = self.visit(node.value)
+        if not any(isinstance(t, ast.Attribute) for t in node.targets):
+            node.value = value
+            node.targets = [self.visit(t) for t in node.targets]
+            return node
+        if len(node.targets) == 1:
+            return self._attr_set_stmt(node.targets[0], value, node)
+        tmp = self._temp("tmp")
+        stmts: List[ast.stmt] = [ast.copy_location(
+            ast.Assign(targets=[ast.Name(id=tmp, ctx=ast.Store())],
+                       value=value),
+            node,
+        )]
+        for target in node.targets:
+            load = ast.Name(id=tmp, ctx=ast.Load())
+            if isinstance(target, ast.Attribute):
+                stmts.append(self._attr_set_stmt(target, load, node))
+            else:
+                stmts.append(ast.copy_location(
+                    ast.Assign(targets=[self.visit(target)], value=load),
+                    node,
+                ))
+        return stmts
+
+    def visit_AnnAssign(self, node: ast.AnnAssign):
+        if isinstance(node.target, ast.Attribute) and node.value is not None:
+            return self._attr_set_stmt(node.target, self.visit(node.value),
+                                       node)
+        if node.value is not None:
+            node.value = self.visit(node.value)
+        return node
+
+    def visit_AugAssign(self, node: ast.AugAssign):
+        value = self.visit(node.value)
+        if not isinstance(node.target, ast.Attribute):
+            node.value = value
+            return node
+        opname = type(node.op).__name__
+        if opname not in _AUG_OPS:
+            raise InstrumentError(
+                f"unsupported augmented assignment operator {opname}"
+            )
+        call = ast.Call(
+            func=_rt_attr("attr_aug"),
+            args=[self.visit(node.target.value),
+                  ast.Constant(value=node.target.attr),
+                  ast.Constant(value=opname), value],
+            keywords=[],
+        )
+        return ast.copy_location(ast.Expr(value=ast.YieldFrom(value=call)),
+                                 node)
+
+    # -- with ----------------------------------------------------------
+    def visit_With(self, node: ast.With):
+        body = self._visit_block(node.body)
+        for item in reversed(node.items):
+            ctx_expr = self.visit(item.context_expr)
+            tmp = self._temp("cm")
+
+            def bound(method: str) -> ast.Attribute:
+                return ast.Attribute(
+                    value=ast.Name(id=tmp, ctx=ast.Load()),
+                    attr=method, ctx=ast.Load(),
+                )
+
+            enter = ast.YieldFrom(value=ast.Call(
+                func=_rt_attr("call"), args=[bound("__enter__")], keywords=[]
+            ))
+            none = ast.Constant(value=None)
+            exit_stmt = ast.Expr(value=ast.YieldFrom(value=ast.Call(
+                func=_rt_attr("call"),
+                args=[bound("__exit__"), none, none, none], keywords=[]
+            )))
+            stmts: List[ast.stmt] = [
+                ast.Assign(targets=[ast.Name(id=tmp, ctx=ast.Store())],
+                           value=ctx_expr),
+                ast.Assign(targets=[item.optional_vars], value=enter)
+                if item.optional_vars is not None
+                else ast.Expr(value=enter),
+                ast.Try(body=body, handlers=[], orelse=[],
+                        finalbody=[exit_stmt]),
+            ]
+            body = [ast.copy_location(s, node) for s in stmts]
+        return body
+
+    # -- nested functions ----------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        if _scope_has_yield(node):
+            return node  # already a generator; leave it alone
+        node.body = self._visit_block(node.body)
+        node.body.append(_dummy_yield())
+        node.decorator_list = [_rt_attr("mark")] + node.decorator_list
+        return node
+
+    # -- rejected constructs -------------------------------------------
+    def visit_AsyncFunctionDef(self, node):
+        raise InstrumentError("async functions cannot be instrumented")
+
+    def visit_AsyncWith(self, node):
+        raise InstrumentError("async with cannot be instrumented")
+
+    def visit_AsyncFor(self, node):
+        raise InstrumentError("async for cannot be instrumented")
+
+    def visit_Await(self, node):
+        raise InstrumentError("await cannot be instrumented")
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+def instrument(fn):
+    """Rewrite plain function ``fn`` into a guest generator function.
+
+    Idempotent (guests pass through) and cached on the original
+    function.  Generator and async functions are rejected: a generator
+    function that yields :class:`Op` values already *is* a guest — give
+    it to the DSL frontend instead.
+    """
+    if getattr(fn, "__repro_guest__", False):
+        return fn
+    cached = getattr(fn, "__repro_cached_guest__", None)
+    if cached is not None:
+        return cached
+    if not inspect.isfunction(fn):
+        raise InstrumentError(
+            f"cannot instrument {fn!r}: expected a plain Python function"
+        )
+    if inspect.isgeneratorfunction(fn):
+        raise InstrumentError(
+            f"cannot instrument generator function {fn.__name__!r}; "
+            f"generator functions yielding Op values are already guests"
+        )
+    if inspect.iscoroutinefunction(fn):
+        raise InstrumentError(
+            f"cannot instrument async function {fn.__name__!r}"
+        )
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise InstrumentError(
+            f"cannot instrument {fn.__name__!r}: source is unavailable "
+            f"({exc}); define the function in an importable module file"
+        ) from exc
+    try:
+        tree = ast.parse(src)
+    except SyntaxError as exc:  # e.g. source slicing artifacts
+        raise InstrumentError(
+            f"cannot parse source of {fn.__name__!r}: {exc}"
+        ) from exc
+    fndef = tree.body[0]
+    if not isinstance(fndef, ast.FunctionDef):
+        raise InstrumentError(
+            f"source of {fn.__name__!r} does not start with a def"
+        )
+    fndef.decorator_list = []
+    rewriter = _Instrumenter()
+    fndef.body = rewriter._visit_block(fndef.body)
+    fndef.body.append(_dummy_yield())
+
+    freevars = fn.__code__.co_freevars
+    if freevars:
+        factory = ast.FunctionDef(
+            name="__repro_factory",
+            args=ast.arguments(
+                posonlyargs=[],
+                args=[ast.arg(arg=v) for v in freevars],
+                vararg=None, kwonlyargs=[], kw_defaults=[],
+                kwarg=None, defaults=[],
+            ),
+            body=[fndef, ast.Return(value=ast.Name(id=fndef.name,
+                                                   ctx=ast.Load()))],
+            decorator_list=[],
+        )
+        tree.body = [factory]
+    ast.fix_missing_locations(tree)
+
+    code = compile(tree, filename=f"<repro.instrument {fn.__name__}>",
+                   mode="exec")
+    fn.__globals__[RT_NAME] = _RT
+    ns: dict = {}
+    exec(code, fn.__globals__, ns)
+    if freevars:
+        try:
+            cells = [c.cell_contents for c in (fn.__closure__ or ())]
+        except ValueError as exc:
+            raise InstrumentError(
+                f"cannot instrument {fn.__name__!r}: a closure cell is "
+                f"still empty (self-referential closure?)"
+            ) from exc
+        guest = ns["__repro_factory"](*cells)
+    else:
+        guest = ns[fndef.name]
+    guest.__repro_guest__ = True
+    guest.__wrapped__ = fn
+    guest.__qualname__ = fn.__qualname__
+    guest.__doc__ = fn.__doc__
+    fn.__repro_cached_guest__ = guest
+    return guest
+
+
+def ensure_guest(fn):
+    """``fn`` as a guest: guests pass through, bound methods are
+    instrumented on their underlying function, plain functions are
+    instrumented."""
+    if getattr(fn, "__repro_guest__", False):
+        return fn
+    if isinstance(fn, types.MethodType):
+        return types.MethodType(ensure_guest(fn.__func__), fn.__self__)
+    return instrument(fn)

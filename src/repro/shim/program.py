@@ -1,0 +1,60 @@
+"""Turn an instrumented real-code function into a checkable Program.
+
+The resulting :class:`~repro.runtime.program.Program` declares exactly
+one *static* thread — ``main``, the instrumented function itself driven
+on tid 0.  Everything else (shared state, locks, queues, worker
+threads) is created by that thread as it runs: object construction
+happens during the setup phase (enforced by the shim context) and
+workers enter through SPAWN ops, so ids stay deterministic across
+schedules, replays and snapshot restores.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from ..runtime.program import Program, ProgramBuilder
+from ._context import ShimContext, drive
+from ._instrument import ensure_guest
+
+
+def program_from_function(
+    fn,
+    *,
+    name: Optional[str] = None,
+    args: Tuple[Any, ...] = (),
+    kwargs: Optional[dict] = None,
+) -> Program:
+    """Wrap callable ``fn(*args, **kwargs)`` as a checkable program.
+
+    ``fn`` may be a plain function (instrumented here) or an
+    already-instrumented guest.  Each instantiation creates a fresh
+    :class:`ShimContext`, so explored schedules never share state.
+    """
+    guest = ensure_guest(fn)
+    frozen_args = tuple(args)
+    frozen_kwargs = dict(kwargs or {})
+    program_name = name or getattr(fn, "__name__", "shim_program")
+
+    def build(p: ProgramBuilder) -> None:
+        ctx = ShimContext(p.registry)
+
+        def main(api):
+            return (yield from drive(
+                ctx, api.tid, guest(*frozen_args, **frozen_kwargs)
+            ))
+
+        p.thread(main, name="main")
+
+    return Program(
+        program_name,
+        build,
+        description=f"shim frontend over {getattr(fn, '__qualname__', fn)!r}",
+        metadata={
+            "frontend": "shim",
+            # shim guests mutate host Python state (closures, shared
+            # hold maps); snapshot restores must replay finished
+            # threads' tapes to reconstruct it (see Executor.snapshot)
+            "replay_finished_threads": True,
+        },
+    )

@@ -1,0 +1,142 @@
+"""Drop-in ``queue`` replacement for checked programs.
+
+``Queue`` is backed by a runtime :class:`Channel` (the FIFO) plus an
+:class:`AtomicInt` (the ``unfinished_tasks`` counter for
+``task_done``/``join``).  ``put`` is two events — the counter bump and
+the deposit — and ``join`` is the runtime's *await* construct (a
+blocking READ enabled once the counter is zero), so no spin schedules
+are generated.
+
+``Empty``/``Full`` are re-exported from the stdlib module so except
+clauses in real code keep matching, though under exploration they are
+never raised by the shim itself: non-blocking/timed operations are
+rejected up front with :class:`~repro.errors.ShimUsageError` (a timed
+``get`` has no meaning when schedules are logical).
+"""
+
+from __future__ import annotations
+
+from queue import Empty, Full  # stdlib re-export: except-clauses keep working
+
+from ..core.events import Op, OpKind
+from ..errors import ShimUsageError
+from ..runtime.atomic import AtomicInt as _RtAtomicInt
+from ..runtime.channel import Channel as _RtChannel
+from ._context import current_context, guest_op
+
+__all__ = ["Queue", "Empty", "Full"]
+
+#: Capacity used for "infinite" queues (maxsize <= 0).  Any schedule
+#: reaching this many buffered items would have exploded long before.
+_UNBOUNDED = 1 << 30
+
+
+def _is_zero(value) -> bool:
+    return value == 0
+
+
+def _task_done_apply(old):
+    """RMW payload for ``task_done``: refuse to go below zero (the
+    ValueError is raised by the caller on a False result)."""
+    if old <= 0:
+        return old, False
+    return old - 1, True
+
+
+class Queue:
+    """``queue.Queue`` (FIFO) with ``task_done``/``join`` support."""
+
+    def __init__(self, maxsize: int = 0) -> None:
+        ctx = current_context("queue.Queue")
+        self._ctx = ctx
+        self.maxsize = maxsize
+        capacity = maxsize if maxsize > 0 else _UNBOUNDED
+        self._chan = ctx.make(
+            _RtChannel, capacity, label="queue.Queue",
+            sites={OpKind.CHAN_SEND: "queue.Queue.put",
+                   OpKind.CHAN_RECV: "queue.Queue.get"},
+        )
+        self._unfinished = ctx.make(
+            _RtAtomicInt, 0, label="queue.Queue.unfinished",
+            sites={OpKind.READ: "queue.Queue.join"},
+        )
+
+    @guest_op
+    def put(self, item, block: bool = True, timeout=None):
+        if not block and self.maxsize > 0:
+            raise ShimUsageError(
+                "queue.Queue.put: non-blocking put on a bounded queue "
+                "is not supported under systematic exploration"
+            )
+        if timeout is not None:
+            raise ShimUsageError(
+                "queue.Queue.put: timeouts are not supported under "
+                "systematic exploration"
+            )
+        # counter first: a consumer's task_done can then never observe
+        # the deposit before the bump
+        yield Op(OpKind.RMW, self._unfinished, None,
+                 _RtAtomicInt._fetch_add(1))
+        yield Op(OpKind.CHAN_SEND, self._chan, item)
+
+    @guest_op
+    def put_nowait(self, item):
+        yield from self.put(item, block=False)
+
+    @guest_op
+    def get(self, block: bool = True, timeout=None):
+        if not block:
+            raise ShimUsageError(
+                "queue.Queue.get: non-blocking get is not supported "
+                "under systematic exploration (there is no single "
+                "'current' state to poll)"
+            )
+        if timeout is not None:
+            raise ShimUsageError(
+                "queue.Queue.get: timeouts are not supported under "
+                "systematic exploration"
+            )
+        return (yield Op(OpKind.CHAN_RECV, self._chan))
+
+    def get_nowait(self):
+        raise ShimUsageError(
+            "queue.Queue.get_nowait is not supported under systematic "
+            "exploration; use get()"
+        )
+
+    @guest_op
+    def task_done(self):
+        ok = yield Op(OpKind.RMW, self._unfinished, None, _task_done_apply)
+        if not ok:
+            raise ValueError("task_done() called too many times")
+
+    @guest_op
+    def join(self):
+        yield Op(OpKind.READ, self._unfinished, None, _is_zero)
+
+    def qsize(self):
+        raise ShimUsageError(
+            "queue.Queue.qsize is not supported under systematic "
+            "exploration (its value is schedule-dependent)"
+        )
+
+    def empty(self):
+        raise ShimUsageError(
+            "queue.Queue.empty is not supported under systematic "
+            "exploration (its value is schedule-dependent)"
+        )
+
+    def full(self):
+        raise ShimUsageError(
+            "queue.Queue.full is not supported under systematic "
+            "exploration (its value is schedule-dependent)"
+        )
+
+
+def __getattr__(name: str):
+    if name.startswith("__"):
+        raise AttributeError(name)
+    raise ShimUsageError(
+        f"repro.shim.queue does not provide {name!r}; supported: "
+        + ", ".join(sorted(__all__))
+    )

@@ -1,0 +1,66 @@
+"""``@repro.shared`` — schedule-visible object attributes.
+
+Decorating a class stores every instance attribute in a
+:class:`~repro.runtime.sharedvar.SharedVar` cell registered with the
+checked program.  Instrumented code then reads and writes those
+attributes through READ/WRITE events, so data races on them are visible
+to the explorers (an ``obj.x += 1`` in instrumented code is a separate
+load and store — the classic lost-update bug stays reachable).
+
+Uninstrumented code keeps working: attribute access falls through to
+the cell's current value without emitting events, exactly like local
+computation between scheduling points.
+
+Instances must be created during the program's setup phase (main
+thread, before the first ``Thread.start()``) so cell oids are
+schedule-independent; see :mod:`repro.shim._context`.
+"""
+
+from __future__ import annotations
+
+from ._context import current_context
+
+
+def shared(cls: type) -> type:
+    """Class decorator: back every instance attribute with a SharedVar
+    cell of the checked program."""
+    if "__slots__" in cls.__dict__:
+        # cells live in the instance __dict__; __slots__ removes it
+        from ..errors import ShimUsageError
+        raise ShimUsageError(
+            f"@repro.shared does not support __slots__ classes "
+            f"({cls.__name__})"
+        )
+
+    clsname = cls.__name__
+
+    def __setattr__(self, name, value):
+        d = self.__dict__
+        cells = d.get("_repro_cells")
+        if cells is None:
+            cells = {}
+            d["_repro_cells"] = cells
+        cell = cells.get(name)
+        if cell is None:
+            ctx = current_context(f"@shared {clsname} attribute {name!r}")
+            cells[name] = ctx.make_cell(clsname, name, value)
+        else:
+            cell.value = value
+
+    def __getattr__(self, name):
+        # only reached when normal lookup fails — attribute stores are
+        # diverted into cells, so instance data always lands here
+        if name != "_repro_cells":
+            cells = self.__dict__.get("_repro_cells")
+            if cells is not None:
+                cell = cells.get(name)
+                if cell is not None:
+                    return cell.value
+        raise AttributeError(
+            f"{clsname!r} object has no attribute {name!r}"
+        )
+
+    cls.__setattr__ = __setattr__
+    cls.__getattr__ = __getattr__
+    cls.__repro_shared__ = True
+    return cls

@@ -1,0 +1,521 @@
+"""Drop-in ``threading`` replacement for checked programs.
+
+``repro.shim.threading`` mirrors the stdlib module's class signatures —
+``Thread``, ``Lock``, ``RLock``, ``Condition``, ``Semaphore``,
+``BoundedSemaphore``, ``Barrier``, ``Event`` — but every operation is
+routed onto the runtime's sync-primitive protocol, so a real-code
+program written against it is explored schedule-by-schedule instead of
+executed on OS threads.  Typical usage swaps one import line::
+
+    from repro.shim import threading   # instead of: import threading
+
+Fidelity notes (enforced, not silent):
+
+* timeouts and non-blocking acquires are rejected with
+  :class:`~repro.errors.ShimUsageError` — SCT explores logical
+  schedules, not wall-clock time;
+* all locks/queues/events (and ``@repro.shared`` state) must be created
+  in the main thread before the first ``Thread.start()`` (the *setup
+  phase*), which is what keeps object ids schedule-independent;
+* a ``BoundedSemaphore`` over-release check is atomic with the release
+  op itself (the release lands, then ``ValueError`` is raised at the
+  same scheduling point).
+
+Unsupported ``threading`` names raise ``ShimUsageError`` on attribute
+access rather than silently running unchecked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.events import Op, OpKind
+from ..errors import ShimUsageError
+from ..runtime.barrier import Barrier as _RtBarrier
+from ..runtime.condvar import CondVar as _RtCondVar
+from ..runtime.mutex import Mutex as _RtMutex
+from ..runtime.semaphore import Semaphore as _RtSemaphore
+from ..runtime.sharedvar import SharedVar as _RtSharedVar
+from ._context import current_context, drive, guest_op
+from ._instrument import _rt_call, ensure_guest
+
+__all__ = [
+    "Thread", "Lock", "RLock", "Condition", "Semaphore",
+    "BoundedSemaphore", "Barrier", "Event", "current_thread",
+    "BrokenBarrierError", "TIMEOUT_MAX",
+]
+
+TIMEOUT_MAX = float("inf")
+
+
+class BrokenBarrierError(RuntimeError):
+    """Stdlib-compatible name; shim barriers never break (no timeouts,
+    no abort), so this is only ever raised by user code."""
+
+
+def _no_timeout(where: str, timeout) -> None:
+    if timeout is not None and timeout != -1:
+        raise ShimUsageError(
+            f"{where}: timeouts are not supported under systematic "
+            f"exploration (schedules are logical, not timed)"
+        )
+
+
+def _no_nonblocking(where: str, blocking) -> None:
+    if not blocking:
+        raise ShimUsageError(
+            f"{where}: non-blocking acquire is not supported under "
+            f"systematic exploration"
+        )
+
+
+# ---------------------------------------------------------------------------
+# locks
+# ---------------------------------------------------------------------------
+
+class Lock:
+    """``threading.Lock`` backed by a runtime :class:`Mutex`."""
+
+    def __init__(self) -> None:
+        ctx = current_context("threading.Lock")
+        self._ctx = ctx
+        self._mutex = ctx.make(
+            _RtMutex, label="threading.Lock",
+            sites={OpKind.LOCK: "threading.Lock.acquire",
+                   OpKind.UNLOCK: "threading.Lock.release"},
+        )
+        # Shim-side hold map for Condition's ownership check: shim code
+        # must never peek runtime-object state (snapshot fast-forward
+        # replays guests without re-applying ops, and replays threads in
+        # tid order, not history order).  Keyed by tid with each thread
+        # writing only its own key, the map is replay-order independent.
+        self._holds: dict = {}
+
+    @guest_op
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        _no_nonblocking("threading.Lock.acquire", blocking)
+        _no_timeout("threading.Lock.acquire", timeout)
+        yield Op(OpKind.LOCK, self._mutex)
+        self._holds[self._ctx.current_tid] = 1
+        return True
+
+    @guest_op
+    def release(self):
+        yield Op(OpKind.UNLOCK, self._mutex)
+        self._holds.pop(self._ctx.current_tid, None)
+
+    @guest_op
+    def __enter__(self):
+        yield from self.acquire()
+        return self
+
+    @guest_op
+    def __exit__(self, exc_type, exc, tb):
+        yield from self.release()
+        return False
+
+    def locked(self):
+        raise ShimUsageError(
+            "threading.Lock.locked: polling lock state is not supported; "
+            "restructure the check around acquire/release"
+        )
+
+
+class RLock:
+    """``threading.RLock``: reentrancy is tracked shim-side, so only the
+    outermost acquire/release touch the runtime mutex (nested pairs are
+    thread-local and emit no events)."""
+
+    def __init__(self) -> None:
+        ctx = current_context("threading.RLock")
+        self._ctx = ctx
+        self._mutex = ctx.make(
+            _RtMutex, label="threading.RLock",
+            sites={OpKind.LOCK: "threading.RLock.acquire",
+                   OpKind.UNLOCK: "threading.RLock.release"},
+        )
+        # per-tid recursion depth; same replay-order-independence rule
+        # as Lock._holds (each thread touches only its own key)
+        self._holds: dict = {}
+
+    @guest_op
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        _no_nonblocking("threading.RLock.acquire", blocking)
+        _no_timeout("threading.RLock.acquire", timeout)
+        tid = self._ctx.current_tid
+        if self._holds.get(tid):
+            self._holds[tid] += 1
+            return True
+        yield Op(OpKind.LOCK, self._mutex)
+        self._holds[tid] = 1
+        return True
+
+    @guest_op
+    def release(self):
+        tid = self._ctx.current_tid
+        count = self._holds.get(tid, 0)
+        if not count:
+            raise RuntimeError("cannot release un-acquired lock")
+        if count > 1:
+            self._holds[tid] = count - 1
+            return
+        del self._holds[tid]
+        yield Op(OpKind.UNLOCK, self._mutex)
+
+    @guest_op
+    def __enter__(self):
+        yield from self.acquire()
+        return self
+
+    @guest_op
+    def __exit__(self, exc_type, exc, tb):
+        yield from self.release()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# condition variables
+# ---------------------------------------------------------------------------
+
+class Condition:
+    """``threading.Condition`` over a shim :class:`Lock`/:class:`RLock`
+    plus a runtime :class:`CondVar`.
+
+    The runtime WAIT op atomically releases the mutex and parks; for an
+    RLock the shim recursion state is saved around the wait, stdlib
+    ``_release_save`` style.
+    """
+
+    def __init__(self, lock=None) -> None:
+        ctx = current_context("threading.Condition")
+        self._ctx = ctx
+        if lock is None:
+            lock = RLock()
+        if not isinstance(lock, (Lock, RLock)):
+            raise ShimUsageError(
+                "threading.Condition: lock must be a shim Lock or RLock"
+            )
+        self._lock = lock
+        self._cv = ctx.make(
+            _RtCondVar, label="threading.Condition",
+            sites={OpKind.WAIT: "threading.Condition.wait",
+                   OpKind.NOTIFY: "threading.Condition.notify",
+                   OpKind.NOTIFY_ALL: "threading.Condition.notify_all"},
+        )
+
+    # lock protocol delegates to the underlying shim lock
+    @guest_op
+    def acquire(self, *args, **kwargs):
+        return (yield from self._lock.acquire(*args, **kwargs))
+
+    @guest_op
+    def release(self):
+        yield from self._lock.release()
+
+    @guest_op
+    def __enter__(self):
+        yield from self._lock.__enter__()
+        return self
+
+    @guest_op
+    def __exit__(self, exc_type, exc, tb):
+        return (yield from self._lock.__exit__(exc_type, exc, tb))
+
+    def _check_owned(self, where: str) -> None:
+        if not self._lock._holds.get(self._ctx.current_tid):
+            raise RuntimeError(f"cannot {where} on un-acquired lock")
+
+    @guest_op
+    def wait(self, timeout=None):
+        _no_timeout("threading.Condition.wait", timeout)
+        self._check_owned("wait")
+        # stdlib _release_save/_acquire_restore: the WAIT op atomically
+        # releases the runtime mutex (once — an RLock holds it once
+        # regardless of recursion depth) and re-acquires it on wake; the
+        # shim-side hold entry is parked across the wait
+        tid = self._ctx.current_tid
+        saved = self._lock._holds.pop(tid)
+        yield Op(OpKind.WAIT, self._cv, None, self._lock._mutex)
+        self._lock._holds[tid] = saved
+        return True
+
+    @guest_op
+    def wait_for(self, predicate, timeout=None):
+        _no_timeout("threading.Condition.wait_for", timeout)
+        result = yield from _rt_call(predicate)
+        while not result:
+            yield from self.wait()
+            result = yield from _rt_call(predicate)
+        return result
+
+    @guest_op
+    def notify(self, n: int = 1):
+        self._check_owned("notify")
+        for _ in range(n):
+            yield Op(OpKind.NOTIFY, self._cv)
+
+    @guest_op
+    def notify_all(self):
+        self._check_owned("notify")
+        yield Op(OpKind.NOTIFY_ALL, self._cv)
+
+
+# ---------------------------------------------------------------------------
+# semaphores
+# ---------------------------------------------------------------------------
+
+class Semaphore:
+    """``threading.Semaphore`` backed by the runtime semaphore."""
+
+    _LABEL = "threading.Semaphore"
+
+    def __init__(self, value: int = 1) -> None:
+        if value < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        ctx = current_context(self._LABEL)
+        self._ctx = ctx
+        self._sem = ctx.make(
+            _RtSemaphore, value, label=self._LABEL,
+            sites={OpKind.SEM_ACQUIRE: f"{self._LABEL}.acquire",
+                   OpKind.SEM_RELEASE: f"{self._LABEL}.release"},
+        )
+
+    @guest_op
+    def acquire(self, blocking: bool = True, timeout=None):
+        _no_nonblocking(f"{self._LABEL}.acquire", blocking)
+        _no_timeout(f"{self._LABEL}.acquire", timeout)
+        yield Op(OpKind.SEM_ACQUIRE, self._sem)
+        return True
+
+    def _post_release(self, new_count: int) -> None:
+        pass
+
+    @guest_op
+    def release(self, n: int = 1):
+        if n < 1:
+            raise ValueError("n must be one or more")
+        for _ in range(n):
+            new_count = yield Op(OpKind.SEM_RELEASE, self._sem)
+            self._post_release(new_count)
+
+    @guest_op
+    def __enter__(self):
+        yield from self.acquire()
+        return self
+
+    @guest_op
+    def __exit__(self, exc_type, exc, tb):
+        yield from self.release()
+        return False
+
+
+class BoundedSemaphore(Semaphore):
+    """``threading.BoundedSemaphore``.
+
+    The over-release check observes the post-release count delivered by
+    the SEM_RELEASE op itself, so it is atomic with the release (the
+    stdlib checks-then-releases under an internal lock; here the release
+    lands and the ``ValueError`` is raised at the same scheduling
+    point).
+    """
+
+    _LABEL = "threading.BoundedSemaphore"
+
+    def __init__(self, value: int = 1) -> None:
+        super().__init__(value)
+        self._initial = value
+
+    def _post_release(self, new_count: int) -> None:
+        if new_count > self._initial:
+            raise ValueError("Semaphore released too many times")
+
+
+# ---------------------------------------------------------------------------
+# barriers and events
+# ---------------------------------------------------------------------------
+
+class Barrier:
+    """``threading.Barrier`` (without ``action``/``timeout``/abort)."""
+
+    def __init__(self, parties: int, action=None, timeout=None) -> None:
+        if action is not None:
+            raise ShimUsageError(
+                "threading.Barrier: action callbacks are not supported"
+            )
+        _no_timeout("threading.Barrier", timeout)
+        ctx = current_context("threading.Barrier")
+        self._ctx = ctx
+        self._barrier = ctx.make(
+            _RtBarrier, parties, label="threading.Barrier",
+            sites={OpKind.BARRIER_WAIT: "threading.Barrier.wait"},
+        )
+        self._parties = parties
+
+    @property
+    def parties(self) -> int:
+        return self._parties
+
+    @guest_op
+    def wait(self, timeout=None):
+        _no_timeout("threading.Barrier.wait", timeout)
+        # the runtime barrier hands back this thread's arrival index
+        # (0..parties-1 within the cohort) as the op's send value
+        return (yield Op(OpKind.BARRIER_WAIT, self._barrier))
+
+
+class Event:
+    """``threading.Event`` over a boolean SharedVar; ``wait`` is the
+    runtime's *await* construct (a blocking READ enabled once the flag
+    is truthy), so no spin schedules are generated."""
+
+    def __init__(self) -> None:
+        ctx = current_context("threading.Event")
+        self._ctx = ctx
+        self._flag = ctx.make(
+            _RtSharedVar, False, label="threading.Event",
+            sites={OpKind.READ: "threading.Event.wait",
+                   OpKind.WRITE: "threading.Event.set"},
+        )
+
+    @guest_op
+    def set(self):
+        yield Op(OpKind.WRITE, self._flag, None, True)
+
+    @guest_op
+    def clear(self):
+        yield Op(OpKind.WRITE, self._flag, None, False)
+
+    @guest_op
+    def is_set(self):
+        return bool((yield Op(OpKind.READ, self._flag)))
+
+    @guest_op
+    def wait(self, timeout=None):
+        _no_timeout("threading.Event.wait", timeout)
+        yield Op(OpKind.READ, self._flag, None, _truthy)
+        return True
+
+
+def _truthy(value) -> bool:
+    return bool(value)
+
+
+# ---------------------------------------------------------------------------
+# threads
+# ---------------------------------------------------------------------------
+
+def _spawned_body(api, ctx, guest, args, kwargs):
+    """Body handed to the runtime SPAWN op: drives the resolved guest
+    on the freshly assigned tid."""
+    if guest is None:
+        return None
+    return (yield from drive(ctx, api.tid, guest(*args, **kwargs)))
+
+
+class Thread:
+    """``threading.Thread``: ``start`` spawns a guest thread, ``join``
+    blocks on its termination.  Both ``target=`` functions and ``run()``
+    overrides in subclasses are instrumented automatically."""
+
+    def __init__(self, group=None, target=None, name=None, args=(),
+                 kwargs=None, *, daemon=None) -> None:
+        if group is not None:
+            raise ShimUsageError("threading.Thread: group must be None")
+        self._ctx = current_context("threading.Thread")
+        self._target = target
+        self._args = tuple(args)
+        self._kwargs = dict(kwargs) if kwargs else {}
+        self._name = name
+        self._daemon = bool(daemon) if daemon is not None else False
+        self._started = False
+        self._tid: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        if self._name is not None:
+            return self._name
+        return f"Thread-T{self._tid}" if self._tid is not None else "Thread"
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
+
+    @property
+    def daemon(self) -> bool:
+        return self._daemon
+
+    @daemon.setter
+    def daemon(self, value: bool) -> None:
+        self._daemon = bool(value)
+
+    @property
+    def ident(self) -> Optional[int]:
+        return self._tid
+
+    def run(self):
+        """Stdlib hook: subclasses override this instead of passing
+        ``target=``.  The override (not this default) is instrumented."""
+        if self._target is not None:
+            return self._target(*self._args, **self._kwargs)
+        return None
+
+    def _resolve_guest(self):
+        if type(self).run is not Thread.run:
+            return ensure_guest(self.run)  # bound method of the subclass
+        if self._target is None:
+            return None
+        return ensure_guest(self._target)
+
+    @guest_op
+    def start(self):
+        if self._started:
+            raise RuntimeError("threads can only be started once")
+        self._started = True
+        guest = self._resolve_guest()
+        ctx = self._ctx
+        ctx.note_spawn()
+        if guest is not None and type(self).run is not Thread.run:
+            # run() override: args were consumed by __init__, the bound
+            # method takes none
+            payload = (_spawned_body, (ctx, guest, (), {}))
+        else:
+            payload = (_spawned_body, (ctx, guest, self._args, self._kwargs))
+        self._tid = yield Op(OpKind.SPAWN, None, payload)
+
+    @guest_op
+    def join(self, timeout=None):
+        _no_timeout("threading.Thread.join", timeout)
+        if not self._started:
+            raise RuntimeError("cannot join thread before it is started")
+        yield Op(OpKind.JOIN, None, self._tid)
+
+    def is_alive(self):
+        raise ShimUsageError(
+            "threading.Thread.is_alive: polling liveness is not "
+            "supported; use join() or an Event"
+        )
+
+
+class _CurrentThread:
+    """Minimal stand-in returned by :func:`current_thread`."""
+
+    __slots__ = ("name", "ident")
+
+    def __init__(self, name: str, ident: int) -> None:
+        self.name = name
+        self.ident = ident
+
+
+def current_thread() -> _CurrentThread:
+    ctx = current_context("threading.current_thread()")
+    tid = ctx.current_tid
+    return _CurrentThread("MainThread" if tid == 0 else f"Thread-T{tid}", tid)
+
+
+def __getattr__(name: str):
+    if name.startswith("__"):
+        raise AttributeError(name)
+    raise ShimUsageError(
+        f"repro.shim.threading does not provide {name!r}; supported: "
+        + ", ".join(sorted(__all__))
+    )

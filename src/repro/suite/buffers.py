@@ -18,8 +18,8 @@ def bounded_buffer(producers: int, consumers: int, items: int, capacity: int) ->
 
     def build(p: ProgramBuilder) -> None:
         m = p.mutex("m")
-        not_full = p.condvar("not_full")
-        not_empty = p.condvar("not_empty")
+        not_full = p.condition("not_full")
+        not_empty = p.condition("not_empty")
         buf = p.array("buf", [0] * capacity)
         count = p.var("count", 0)
         put_idx = p.var("put_idx", 0)
@@ -78,7 +78,7 @@ def pingpong(rounds: int) -> Program:
 
     def build(p: ProgramBuilder) -> None:
         m = p.mutex("m")
-        cv = p.condvar("cv")
+        cv = p.condition("cv")
         turn = p.var("turn", 0)
         hits = p.array("hits", [0, 0])
 
@@ -123,15 +123,15 @@ def pipeline(stages: int, items: int) -> Program:
 
         def stage(api, i):
             for _ in range(items):
-                yield api.acquire(sems[i])
+                yield api.sem_acquire(sems[i])
                 v = yield api.read(cell)
                 yield api.write(cell, v + 1)
                 w = yield api.read(work, key=i)
                 yield api.write(work, w + 1, key=i)
                 if i + 1 < stages:
-                    yield api.release(sems[i + 1])
+                    yield api.sem_release(sems[i + 1])
                 else:
-                    yield api.release(done)
+                    yield api.sem_release(done)
 
         for i in range(stages):
             p.thread(stage, i)

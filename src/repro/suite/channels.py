@@ -31,21 +31,21 @@ def chan_pipeline(stages: int, items: int, capacity: int = 1) -> Program:
 
         def source(api):
             for i in range(items):
-                yield api.send(chans[0], i + 1)
-            yield api.close(chans[0])
+                yield api.chan_send(chans[0], i + 1)
+            yield api.chan_close(chans[0])
 
         def stage(api, i):
             while True:
-                v = yield api.recv(chans[i])
+                v = yield api.chan_recv(chans[i])
                 if v is CLOSED:
                     break
-                yield api.send(chans[i + 1], v + 1)
-            yield api.close(chans[i + 1])
+                yield api.chan_send(chans[i + 1], v + 1)
+            yield api.chan_close(chans[i + 1])
 
         def sink(api):
             acc = 0
             while True:
-                v = yield api.recv(chans[stages])
+                v = yield api.chan_recv(chans[stages])
                 if v is CLOSED:
                     break
                 acc += v
@@ -80,15 +80,15 @@ def chan_fan_in(producers: int, items: int, capacity: int = 1) -> Program:
 
         def producer(api, me):
             for i in range(items):
-                yield api.send(ch, me * items + i + 1)
+                yield api.chan_send(ch, me * items + i + 1)
             n = yield api.add_fetch(done, 1)
             if n == producers:  # last one out closes the channel
-                yield api.close(ch)
+                yield api.chan_close(ch)
 
         def consumer(api):
             acc = 0
             while True:
-                v = yield api.recv(ch)
+                v = yield api.chan_recv(ch)
                 if v is CLOSED:
                     break
                 acc += v
@@ -122,13 +122,13 @@ def chan_fan_out(consumers: int, items: int, capacity: int = 1) -> Program:
 
         def producer(api):
             for i in range(items):
-                yield api.send(ch, i + 1)
-            yield api.close(ch)
+                yield api.chan_send(ch, i + 1)
+            yield api.chan_close(ch)
 
         def consumer(api, me):
             acc = 0
             while True:
-                v = yield api.recv(ch)
+                v = yield api.chan_recv(ch)
                 if v is CLOSED:
                     break
                 acc += v
@@ -189,12 +189,12 @@ def chan_producer_consumer(items: int, capacity: int,
                     yield api.write(sent, s + 1)
                 else:
                     yield api.fetch_add(counted, 1)
-                yield api.send(ch, me * items + i + 1)
+                yield api.chan_send(ch, me * items + i + 1)
 
         def consumer(api):
             got = 0
             for _ in range(2 * items):
-                v = yield api.recv(ch)
+                v = yield api.chan_recv(ch)
                 api.guest_assert(v is not CLOSED, "channel closed early")
                 got += 1
             if buggy:
@@ -276,15 +276,15 @@ def chan_close_race(eager_close: bool = True) -> Program:
         got = p.var("got", 0)
 
         def producer(api):
-            yield api.send(ch, 1)
-            yield api.send(ch, 2)
+            yield api.chan_send(ch, 1)
+            yield api.chan_send(ch, 2)
 
         def controller(api):
-            v = yield api.recv(ch)
+            v = yield api.chan_recv(ch)
             if not eager_close:
-                w = yield api.recv(ch)
+                w = yield api.chan_recv(ch)
                 v += w
-            yield api.close(ch)
+            yield api.chan_close(ch)
             yield api.write(got, v)
 
         p.thread(producer)
@@ -310,14 +310,14 @@ def rendezvous_handshake(rounds: int = 2) -> Program:
 
         def server(api):
             for _ in range(rounds):
-                v = yield api.recv(req)
-                yield api.send(rsp, v * 10)
+                v = yield api.chan_recv(req)
+                yield api.chan_send(rsp, v * 10)
 
         def client(api):
             acc = 0
             for i in range(rounds):
-                yield api.send(req, i + 1)
-                r = yield api.recv(rsp)
+                yield api.chan_send(req, i + 1)
+                r = yield api.chan_recv(rsp)
                 api.guest_assert(r == (i + 1) * 10,
                                  "rendezvous echoed a stale request")
                 acc += r

@@ -38,8 +38,8 @@ def sleeping_barber(customers: int, chairs: int = 1) -> Program:
                 a = yield api.read(admitted)
                 yield api.write(admitted, a + 1)
                 yield api.unlock(m)
-                yield api.release(ready)
-                yield api.acquire(done)
+                yield api.sem_release(ready)
+                yield api.sem_acquire(done)
             else:
                 t = yield api.read(turned_away)
                 yield api.write(turned_away, t + 1)
@@ -47,14 +47,14 @@ def sleeping_barber(customers: int, chairs: int = 1) -> Program:
 
         def barber(api):
             while True:
-                yield api.acquire(ready)
+                yield api.sem_acquire(ready)
                 yield api.lock(m)
                 w = yield api.read(waiting)
                 yield api.write(waiting, w - 1)
                 s = yield api.read(served)
                 yield api.write(served, s + 1)
                 yield api.unlock(m)
-                yield api.release(done)
+                yield api.sem_release(done)
                 # shut down once every customer is accounted for
                 yield api.lock(m)
                 s = yield api.read(served)

@@ -1,0 +1,554 @@
+"""Shim-authored fixture programs paired with hand-built DSL twins.
+
+Each :class:`TwinPair` holds the *same* concurrent program twice:
+
+* ``shim``  — written as ordinary Python against
+  :mod:`repro.shim.threading` / :mod:`repro.shim.queue` (with
+  ``@repro.shared`` state) and packaged via
+  :func:`~repro.shim.program_from_function`;
+* ``dsl``   — written directly in the generator DSL, structured the way
+  the shim frontend structures programs: a single static root thread
+  that creates the runtime objects mid-run (closure over the builder's
+  registry) and spawns workers with ``api.spawn``/``api.join``.
+
+The pairs are the golden-equivalence fixtures: for every explorer the
+two sides must produce *identical* schedules, fingerprint sets, state
+hashes and error kinds — byte-for-byte, which pins down the entire
+instrumentation pipeline (object-id assignment, op streams, error
+wrapping).  ``equivalence_report`` computes the comparison; the test
+suite and the ``shim-equivalence`` CLI command both consume it.
+
+Not imported by ``repro.suite.__init__`` — pairs are fixtures for the
+equivalence harness, not members of the paper's benchmark collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GuestCrashError
+from ..explore.base import ExplorationLimits
+from ..explore.controller import run_single
+from ..runtime.atomic import AtomicInt
+from ..runtime.barrier import Barrier as RtBarrier
+from ..runtime.channel import Channel as RtChannel
+from ..runtime.condvar import CondVar as RtCondVar
+from ..runtime.mutex import Mutex as RtMutex
+from ..runtime.program import Program, ProgramBuilder
+from ..runtime.schedule import execute
+from ..runtime.semaphore import Semaphore as RtSemaphore
+from ..runtime.sharedvar import SharedVar
+from ..shim import program_from_function, shared
+from ..shim import queue as shim_queue
+from ..shim import threading as shim_threading
+from ..shim.queue import _is_zero, _task_done_apply
+from ..shim.threading import _truthy
+
+
+# ---------------------------------------------------------------------------
+# shared state classes used by the shim sides
+# ---------------------------------------------------------------------------
+
+@shared
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+
+@shared
+class Box:
+    def __init__(self):
+        self.data = 0
+
+
+@shared
+class Pair:
+    def __init__(self):
+        self.x = 0
+        self.y = 0
+
+
+@shared
+class Slot:
+    def __init__(self):
+        self.ready = 0
+
+
+# ---------------------------------------------------------------------------
+# 1. racy counter — the classic lost update (expected bug)
+# ---------------------------------------------------------------------------
+
+def shim_racy_counter():
+    c = Counter()
+
+    def worker():
+        c.value += 1
+
+    t1 = shim_threading.Thread(target=worker)
+    t2 = shim_threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    v = c.value
+    if v != 2:
+        raise ValueError(f"lost update: {v}")
+
+
+def _dsl_racy_counter(p: ProgramBuilder) -> None:
+    def worker(api, cell):
+        v = yield api.read(cell)
+        yield api.write(cell, v + 1)
+
+    def main(api):
+        cell = SharedVar(p.registry, 0, "Counter.value#0")
+        t1 = yield api.spawn(worker, cell)
+        t2 = yield api.spawn(worker, cell)
+        yield api.join(t1)
+        yield api.join(t2)
+        v = yield api.read(cell)
+        if v != 2:
+            raise GuestCrashError(api.tid, ValueError(f"lost update: {v}"))
+
+    p.thread(main, name="main")
+
+
+# ---------------------------------------------------------------------------
+# 2. locked counter — same workload, mutex-protected (clean)
+# ---------------------------------------------------------------------------
+
+def shim_locked_counter():
+    c = Counter()
+    lock = shim_threading.Lock()
+
+    def worker():
+        with lock:
+            c.value += 1
+
+    t1 = shim_threading.Thread(target=worker)
+    t2 = shim_threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    v = c.value
+    if v != 2:
+        raise ValueError(f"lost update: {v}")
+
+
+def _dsl_locked_counter(p: ProgramBuilder) -> None:
+    def worker(api, cell, m):
+        yield api.lock(m)
+        v = yield api.read(cell)
+        yield api.write(cell, v + 1)
+        yield api.unlock(m)
+
+    def main(api):
+        cell = SharedVar(p.registry, 0, "Counter.value#0")
+        m = RtMutex(p.registry, "threading.Lock#0")
+        t1 = yield api.spawn(worker, cell, m)
+        t2 = yield api.spawn(worker, cell, m)
+        yield api.join(t1)
+        yield api.join(t2)
+        v = yield api.read(cell)
+        if v != 2:
+            raise GuestCrashError(api.tid, ValueError(f"lost update: {v}"))
+
+    p.thread(main, name="main")
+
+
+# ---------------------------------------------------------------------------
+# 3. event handshake — publish data, then signal (clean)
+# ---------------------------------------------------------------------------
+
+def shim_event_handshake():
+    box = Box()
+    ev = shim_threading.Event()
+
+    def setter():
+        box.data = 42
+        ev.set()
+
+    t = shim_threading.Thread(target=setter)
+    t.start()
+    ev.wait()
+    v = box.data
+    t.join()
+    if v != 42:
+        raise ValueError(f"handshake saw {v}")
+
+
+def _dsl_event_handshake(p: ProgramBuilder) -> None:
+    def setter(api, cell, flag):
+        yield api.write(cell, 42)
+        yield api.write(flag, True)
+
+    def main(api):
+        cell = SharedVar(p.registry, 0, "Box.data#0")
+        flag = SharedVar(p.registry, False, "threading.Event#0")
+        t = yield api.spawn(setter, cell, flag)
+        yield api.await_value(flag, _truthy)
+        v = yield api.read(cell)
+        yield api.join(t)
+        if v != 42:
+            raise GuestCrashError(api.tid, ValueError(f"handshake saw {v}"))
+
+    p.thread(main, name="main")
+
+
+# ---------------------------------------------------------------------------
+# 4. semaphore pair — binary semaphore as a lock (clean)
+# ---------------------------------------------------------------------------
+
+def shim_semaphore_pair():
+    c = Counter()
+    sem = shim_threading.Semaphore(1)
+
+    def worker():
+        sem.acquire()
+        c.value += 1
+        sem.release()
+
+    t1 = shim_threading.Thread(target=worker)
+    t2 = shim_threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    v = c.value
+    if v != 2:
+        raise ValueError(f"lost update: {v}")
+
+
+def _dsl_semaphore_pair(p: ProgramBuilder) -> None:
+    def worker(api, cell, sem):
+        yield api.sem_acquire(sem)
+        v = yield api.read(cell)
+        yield api.write(cell, v + 1)
+        yield api.sem_release(sem)
+
+    def main(api):
+        cell = SharedVar(p.registry, 0, "Counter.value#0")
+        sem = RtSemaphore(p.registry, 1, "threading.Semaphore#0")
+        t1 = yield api.spawn(worker, cell, sem)
+        t2 = yield api.spawn(worker, cell, sem)
+        yield api.join(t1)
+        yield api.join(t2)
+        v = yield api.read(cell)
+        if v != 2:
+            raise GuestCrashError(api.tid, ValueError(f"lost update: {v}"))
+
+    p.thread(main, name="main")
+
+
+# ---------------------------------------------------------------------------
+# 5. barrier phases — write, meet, read the other's write (clean)
+# ---------------------------------------------------------------------------
+
+def shim_barrier_phases():
+    pr = Pair()
+    b = shim_threading.Barrier(2)
+
+    def w1():
+        pr.x = 1
+        b.wait()
+        v = pr.y
+        if v != 2:
+            raise ValueError(f"w1 saw {v}")
+
+    def w2():
+        pr.y = 2
+        b.wait()
+        v = pr.x
+        if v != 1:
+            raise ValueError(f"w2 saw {v}")
+
+    t1 = shim_threading.Thread(target=w1)
+    t2 = shim_threading.Thread(target=w2)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+
+
+def _dsl_barrier_phases(p: ProgramBuilder) -> None:
+    def w1(api, x, y, b):
+        yield api.write(x, 1)
+        yield api.barrier_wait(b)
+        v = yield api.read(y)
+        if v != 2:
+            raise GuestCrashError(api.tid, ValueError(f"w1 saw {v}"))
+
+    def w2(api, x, y, b):
+        yield api.write(y, 2)
+        yield api.barrier_wait(b)
+        v = yield api.read(x)
+        if v != 1:
+            raise GuestCrashError(api.tid, ValueError(f"w2 saw {v}"))
+
+    def main(api):
+        x = SharedVar(p.registry, 0, "Pair.x#0")
+        y = SharedVar(p.registry, 0, "Pair.y#0")
+        b = RtBarrier(p.registry, 2, "threading.Barrier#0")
+        t1 = yield api.spawn(w1, x, y, b)
+        t2 = yield api.spawn(w2, x, y, b)
+        yield api.join(t1)
+        yield api.join(t2)
+
+    p.thread(main, name="main")
+
+
+# ---------------------------------------------------------------------------
+# 6. queue pipeline — bounded queue with task accounting (clean)
+# ---------------------------------------------------------------------------
+
+def shim_queue_pipeline():
+    q = shim_queue.Queue(maxsize=1)
+
+    def producer():
+        q.put(1)
+        q.put(2)
+
+    t = shim_threading.Thread(target=producer)
+    t.start()
+    a = q.get()
+    q.task_done()
+    b = q.get()
+    q.task_done()
+    q.join()
+    t.join()
+    if (a, b) != (1, 2):
+        raise ValueError(f"pipeline saw {(a, b)}")
+
+
+def _dsl_queue_pipeline(p: ProgramBuilder) -> None:
+    def producer(api, ch, unfinished):
+        yield api.fetch_add(unfinished, 1)
+        yield api.chan_send(ch, 1)
+        yield api.fetch_add(unfinished, 1)
+        yield api.chan_send(ch, 2)
+
+    def main(api):
+        ch = RtChannel(p.registry, 1, "queue.Queue#0")
+        unfinished = AtomicInt(p.registry, 0, "queue.Queue.unfinished#0")
+        t = yield api.spawn(producer, ch, unfinished)
+        a = yield api.chan_recv(ch)
+        yield api.rmw(unfinished, _task_done_apply)
+        b = yield api.chan_recv(ch)
+        yield api.rmw(unfinished, _task_done_apply)
+        yield api.await_value(unfinished, _is_zero)
+        yield api.join(t)
+        if (a, b) != (1, 2):
+            raise GuestCrashError(api.tid, ValueError(f"pipeline saw {(a, b)}"))
+
+    p.thread(main, name="main")
+
+
+# ---------------------------------------------------------------------------
+# 7. condition handoff — monitor-style wait loop (clean)
+# ---------------------------------------------------------------------------
+
+def shim_condition_handoff():
+    slot = Slot()
+    cond = shim_threading.Condition(shim_threading.Lock())
+
+    def producer():
+        with cond:
+            slot.ready = 1
+            cond.notify()
+
+    t = shim_threading.Thread(target=producer)
+    t.start()
+    with cond:
+        while not slot.ready:
+            cond.wait()
+    t.join()
+
+
+def _dsl_condition_handoff(p: ProgramBuilder) -> None:
+    def producer(api, ready, m, cv):
+        yield api.lock(m)
+        yield api.write(ready, 1)
+        yield api.notify(cv)
+        yield api.unlock(m)
+
+    def main(api):
+        ready = SharedVar(p.registry, 0, "Slot.ready#0")
+        m = RtMutex(p.registry, "threading.Lock#0")
+        cv = RtCondVar(p.registry, "threading.Condition#0")
+        t = yield api.spawn(producer, ready, m, cv)
+        yield api.lock(m)
+        v = yield api.read(ready)
+        while not v:
+            yield api.wait(cv, m)
+            v = yield api.read(ready)
+        yield api.unlock(m)
+        yield api.join(t)
+
+    p.thread(main, name="main")
+
+
+# ---------------------------------------------------------------------------
+# 8. rlock reentrant — nested acquires are shim-local (clean)
+# ---------------------------------------------------------------------------
+
+def shim_rlock_reentrant():
+    c = Counter()
+    rl = shim_threading.RLock()
+
+    def inner():
+        with rl:  # reentrant: no runtime events
+            c.value += 1
+
+    def outer():
+        with rl:
+            inner()
+
+    t1 = shim_threading.Thread(target=outer)
+    t2 = shim_threading.Thread(target=outer)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    v = c.value
+    if v != 2:
+        raise ValueError(f"lost update: {v}")
+
+
+def _dsl_rlock_reentrant(p: ProgramBuilder) -> None:
+    def worker(api, cell, m):
+        yield api.lock(m)
+        v = yield api.read(cell)
+        yield api.write(cell, v + 1)
+        yield api.unlock(m)
+
+    def main(api):
+        cell = SharedVar(p.registry, 0, "Counter.value#0")
+        m = RtMutex(p.registry, "threading.RLock#0")
+        t1 = yield api.spawn(worker, cell, m)
+        t2 = yield api.spawn(worker, cell, m)
+        yield api.join(t1)
+        yield api.join(t2)
+        v = yield api.read(cell)
+        if v != 2:
+            raise GuestCrashError(api.tid, ValueError(f"lost update: {v}"))
+
+    p.thread(main, name="main")
+
+
+# ---------------------------------------------------------------------------
+# the pair registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TwinPair:
+    """One program authored twice: shim frontend vs generator DSL."""
+
+    name: str
+    shim: Program
+    dsl: Program
+    expect_error: Optional[str] = None   #: expected error kind, or None
+    small: bool = True                   #: cheap enough for exhaustive dfs
+
+
+def _pair(name, shim_fn, dsl_build, expect_error=None) -> TwinPair:
+    return TwinPair(
+        name=name,
+        shim=program_from_function(shim_fn, name=f"{name}__shim"),
+        dsl=Program(f"{name}__dsl", dsl_build,
+                    description=f"hand-built DSL twin of {name}"),
+        expect_error=expect_error,
+    )
+
+
+def make_twins() -> List[TwinPair]:
+    """Fresh TwinPair fixtures (programs are stateless recipes, but a
+    fresh list keeps callers from depending on shared identity)."""
+    return [
+        _pair("racy_counter", shim_racy_counter, _dsl_racy_counter,
+              expect_error="GuestCrashError"),
+        _pair("locked_counter", shim_locked_counter, _dsl_locked_counter),
+        _pair("event_handshake", shim_event_handshake, _dsl_event_handshake),
+        _pair("semaphore_pair", shim_semaphore_pair, _dsl_semaphore_pair),
+        _pair("barrier_phases", shim_barrier_phases, _dsl_barrier_phases),
+        _pair("queue_pipeline", shim_queue_pipeline, _dsl_queue_pipeline),
+        _pair("condition_handoff", shim_condition_handoff,
+              _dsl_condition_handoff),
+        _pair("rlock_reentrant", shim_rlock_reentrant, _dsl_rlock_reentrant),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the equivalence harness
+# ---------------------------------------------------------------------------
+
+def _single_run_signature(program: Program) -> Dict:
+    """Signature of one deterministic (first-enabled) execution."""
+    result = execute(program)
+    return {
+        "events": [
+            (e.tid, e.kind.name, e.oid, e.key) for e in result.events
+        ],
+        "schedule": list(result.schedule),
+        "hbr_fp": result.hbr_fp,
+        "lazy_fp": result.lazy_fp,
+        "state_hash": result.state_hash,
+        "error": type(result.error).__name__ if result.error else None,
+    }
+
+
+def _explorer_signature(program: Program, explorer: str,
+                        limits: ExplorationLimits) -> Dict:
+    stats = run_single(program, explorer, limits, seed=0, verify=True)
+    return {
+        "num_schedules": stats.num_schedules,
+        "num_complete": stats.num_complete,
+        "num_hbrs": stats.num_hbrs,
+        "num_lazy_hbrs": stats.num_lazy_hbrs,
+        "num_states": stats.num_states,
+        "hbr_fps": sorted(stats.hbr_fps),
+        "lazy_fps": sorted(stats.lazy_fps),
+        "state_hashes": sorted(stats.state_hashes),
+        "error_kinds": sorted({e.kind for e in stats.errors}),
+        "error_schedules": sorted(
+            tuple(e.schedule) for e in stats.errors
+        ),
+        "limit_hit": stats.limit_hit,
+    }
+
+
+def equivalence_report(
+    limits: Optional[ExplorationLimits] = None,
+    explorers: Tuple[str, ...] = ("dfs", "dpor", "pct"),
+) -> Dict:
+    """Compare every twin pair under every explorer.
+
+    Returns a JSON-able report; ``report["all_equal"]`` summarises it.
+    """
+    lim = limits or ExplorationLimits(max_schedules=3000)
+    pairs = {}
+    all_equal = True
+    for pair in make_twins():
+        entry: Dict = {"expect_error": pair.expect_error, "explorers": {}}
+        shim_single = _single_run_signature(pair.shim)
+        dsl_single = _single_run_signature(pair.dsl)
+        entry["single_run_equal"] = shim_single == dsl_single
+        entry["single_run"] = {"shim": shim_single, "dsl": dsl_single}
+        for explorer in explorers:
+            shim_sig = _explorer_signature(pair.shim, explorer, lim)
+            dsl_sig = _explorer_signature(pair.dsl, explorer, lim)
+            equal = shim_sig == dsl_sig
+            entry["explorers"][explorer] = {
+                "equal": equal, "shim": shim_sig, "dsl": dsl_sig,
+            }
+            all_equal = all_equal and equal
+        all_equal = all_equal and entry["single_run_equal"]
+        pairs[pair.name] = entry
+    return {
+        "kind": "repro-shim-equivalence",
+        "version": 1,
+        "explorers": list(explorers),
+        "all_equal": all_equal,
+        "pairs": pairs,
+    }

@@ -45,10 +45,10 @@ def semaphore_pool(threads: int, permits: int) -> Program:
         used = p.array("used", [0] * threads)
 
         def worker(api, me):
-            yield api.acquire(sem)
+            yield api.sem_acquire(sem)
             v = yield api.read(used, key=me)
             yield api.write(used, v + 1, key=me)
-            yield api.release(sem)
+            yield api.sem_release(sem)
 
         for me in range(threads):
             p.thread(worker, me)
@@ -211,7 +211,7 @@ def condvar_broadcast(waiters: int) -> Program:
 
     def build(p: ProgramBuilder) -> None:
         m = p.mutex("m")
-        cv = p.condvar("cv")
+        cv = p.condition("cv")
         announced = p.var("announced", 0)
         seen = p.array("seen", [0] * waiters)
 

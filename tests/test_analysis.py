@@ -119,3 +119,42 @@ class TestFigureRuns:
         rows = run_inequality_table(SUBSET, schedule_limit=200)
         text = inequality_report(rows)
         assert "Violations: **0**" in text
+
+
+class TestRowRoundTrips:
+    """Figure rows are the typed result currency; their dict forms pin
+    the JSON report schema and must round-trip losslessly."""
+
+    def test_figure2_row(self):
+        import json
+
+        from repro.analysis.runner import Figure2Row
+        rows = run_figure2(SUBSET[:2], schedule_limit=100)
+        for row in rows:
+            payload = json.loads(json.dumps(row.to_dict()))
+            assert Figure2Row.from_dict(payload) == row
+            assert set(payload) == {
+                "bench_id", "name", "num_schedules", "num_hbrs",
+                "num_lazy_hbrs", "num_states", "limit_hit",
+            }
+
+    def test_figure3_row(self):
+        import json
+
+        from repro.analysis.runner import Figure3Row
+        rows = run_figure3(SUBSET[:2], schedule_limit=100)
+        for row in rows:
+            payload = json.loads(json.dumps(row.to_dict()))
+            assert Figure3Row.from_dict(payload) == row
+
+    def test_inequality_row(self):
+        import json
+
+        from repro.analysis.runner import InequalityRow
+        rows = run_inequality_table(SUBSET[:2], schedule_limit=100)
+        for row in rows:
+            payload = json.loads(json.dumps(row.to_dict()))
+            back = InequalityRow.from_dict(payload)
+            assert back.bench_id == row.bench_id
+            assert back.name == row.name
+            assert back.stats.to_dict() == row.stats.to_dict()

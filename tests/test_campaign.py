@@ -9,6 +9,7 @@ import pytest
 from repro.__main__ import main
 from repro.campaign import (
     CampaignCell,
+    CampaignReport,
     ResultStore,
     build_cells,
     campaign_report,
@@ -420,7 +421,7 @@ class TestSplitCampaign:
         for u, s in zip(unsplit.results, split.results):
             assert u.stats.state_hashes == s.stats.state_hashes
         report = campaign_report(split, self.LIMITS)
-        assert report["summary"]["num_failed"] == 0
+        assert report.summary.num_failed == 0
 
 
 class TestCampaignReport:
@@ -428,7 +429,9 @@ class TestCampaignReport:
         cells = build_cells([1, 36], ["dpor"])
         campaign = run_campaign(cells, LIMITS)
         report = campaign_report(campaign, LIMITS, meta={"jobs": 1})
-        payload = json.loads(json.dumps(report))
+        assert report.summary.num_cells == 2
+        assert report.summary.num_failed == 0
+        payload = json.loads(json.dumps(report.to_dict()))
         assert payload["kind"] == "repro-campaign-report"
         assert payload["summary"]["num_cells"] == 2
         assert payload["summary"]["num_failed"] == 0
@@ -439,8 +442,38 @@ class TestCampaignReport:
     def test_failures_counted(self):
         campaign = run_campaign([CampaignCell(999, "dpor")], LIMITS)
         report = campaign_report(campaign)
-        assert report["summary"]["num_failed"] == 1
+        assert report.summary.num_failed == 1
         assert campaign.unexpected
+
+    def test_round_trip(self):
+        cells = build_cells([1, 36], ["dpor", "hbr-caching"])
+        campaign = run_campaign(cells, LIMITS)
+        report = campaign_report(
+            campaign, LIMITS, meta={"jobs": 1, "smoke": False},
+            figure2=figure2_rows_from_cells(campaign.results),
+        )
+        payload = report.to_dict()
+        back = CampaignReport.from_dict(json.loads(json.dumps(payload)))
+        assert back.to_dict() == payload
+        assert back.summary == report.summary
+        assert [r.cell for r in back.cells] == [r.cell for r in report.cells]
+        assert back.figure2 == report.figure2
+
+    def test_round_trip_minimal(self):
+        campaign = run_campaign([CampaignCell(1, "dpor")], LIMITS)
+        report = campaign_report(campaign)
+        back = CampaignReport.from_dict(report.to_dict())
+        assert back.to_dict() == report.to_dict()
+        assert back.limits is None and back.campaign is None
+        assert back.figure2 is None and back.figure3 is None
+
+    def test_from_dict_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="kind"):
+            CampaignReport.from_dict({"kind": "something-else"})
+        with pytest.raises(ValueError, match="version"):
+            CampaignReport.from_dict(
+                {"kind": "repro-campaign-report", "version": 99}
+            )
 
 
 class TestCampaignCLI:

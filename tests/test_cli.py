@@ -5,6 +5,71 @@ import pytest
 from repro.__main__ import build_parser, main
 
 
+class TestCheck:
+    def test_check_benchmark_clean(self, capsys):
+        assert main(["check", "1", "--explorer", "dfs",
+                     "--limit", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "no bug found" in out
+
+    def test_check_finds_bug_exits_1(self, capsys):
+        assert main(["check", "36", "--limit", "500"]) == 1
+        out = capsys.readouterr().out
+        assert "BUG" in out
+        assert "minimized" in out
+
+    def test_expect_bug_makes_finding_a_pass(self, capsys):
+        assert main(["check", "36", "--limit", "500",
+                     "--expect", "bug"]) == 0
+
+    def test_expect_clean_fails_on_bug(self, capsys):
+        assert main(["check", "36", "--limit", "500",
+                     "--expect", "clean"]) == 1
+        assert "UNEXPECTED" in capsys.readouterr().err
+
+    def test_module_function_target(self, capsys, monkeypatch):
+        import pathlib
+        import sys as _sys
+        repo = pathlib.Path(__file__).parent.parent
+        monkeypatch.syspath_prepend(str(repo))
+        _sys.modules.pop("examples.real_code_demo", None)
+        assert main(["check", "examples.real_code_demo:pipeline",
+                     "--expect", "bug"]) == 0
+        out = capsys.readouterr().out
+        assert "lost update" in out
+
+    def test_json_artifact(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "check.json"
+        assert main(["check", "36", "--limit", "500",
+                     "--json", str(path), "--expect", "bug"]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["bug_found"] is True
+        assert payload["explorer"] == "dpor"
+
+    def test_bad_target_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "no-colon-here"])
+        assert exc.value.code == 2
+
+    def test_unknown_explorer_exits_2(self, capsys):
+        assert main(["check", "1", "--explorer", "nope"]) == 2
+
+
+class TestShimEquivalence:
+    def test_report_and_artifact(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "equiv.json"
+        assert main(["shim-equivalence", "--limit", "400",
+                     "--explorers", "dpor", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "all_equal=True" in out
+        assert "racy_counter" in out
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "repro-shim-equivalence"
+        assert payload["all_equal"] is True
+
+
 class TestList:
     def test_lists_all(self, capsys):
         assert main(["list"]) == 0

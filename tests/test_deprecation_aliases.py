@@ -1,0 +1,90 @@
+"""Renamed public API: deprecated aliases must stay complete and
+warn exactly once per process."""
+
+import warnings
+
+import pytest
+
+from repro.deprecation import reset_warnings
+from repro.runtime.program import BUILDER_ALIASES, Program, ProgramBuilder
+from repro.runtime.schedule import execute
+from repro.runtime.thread_api import THREAD_API_ALIASES, ThreadAPI
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_warnings()
+    yield
+    reset_warnings()
+
+
+@pytest.mark.parametrize("alias,canonical",
+                         sorted(THREAD_API_ALIASES.items()))
+def test_thread_api_alias_complete(alias, canonical):
+    assert hasattr(ThreadAPI, canonical), canonical
+    method = getattr(ThreadAPI, alias)
+    assert method.__deprecated_alias_for__ == canonical
+
+
+@pytest.mark.parametrize("alias,canonical", sorted(BUILDER_ALIASES.items()))
+def test_builder_alias_complete(alias, canonical):
+    assert hasattr(ProgramBuilder, canonical), canonical
+    method = getattr(ProgramBuilder, alias)
+    assert method.__deprecated_alias_for__ == canonical
+
+
+def test_no_stray_aliases():
+    """Every __deprecated_alias_for__-marked method is in its table."""
+    for cls, table in ((ThreadAPI, THREAD_API_ALIASES),
+                       (ProgramBuilder, BUILDER_ALIASES)):
+        marked = {
+            name
+            for name in dir(cls)
+            if getattr(getattr(cls, name), "__deprecated_alias_for__", None)
+        }
+        assert marked == set(table), cls.__name__
+
+
+def test_alias_forwards_and_warns_once():
+    def build(p):
+        sem = p.semaphore("s", 1)
+
+        def main(api):
+            yield api.acquire(sem)   # deprecated spelling of sem_acquire
+            yield api.release(sem)   # deprecated spelling of sem_release
+
+        p.thread(main)
+
+    program = Program("alias-forward", build)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = execute(program)
+        assert result.ok, result.error
+        execute(program)  # second run: aliases already warned
+    messages = [str(w.message) for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+    acquire_warnings = [m for m in messages if "sem_acquire" in m]
+    release_warnings = [m for m in messages if "sem_release" in m]
+    assert len(acquire_warnings) == 1, messages
+    assert len(release_warnings) == 1, messages
+    assert "deprecated" in acquire_warnings[0]
+
+
+def test_builder_alias_forwards():
+    def build(p):
+        cv = p.condvar("cv")     # deprecated spelling of condition
+        m = p.mutex("m")
+
+        def main(api):
+            yield api.lock(m)
+            yield api.notify(cv)
+            yield api.unlock(m)
+
+        p.thread(main)
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = execute(Program("builder-alias", build))
+    assert result.ok, result.error
+    assert any("condition" in str(w.message) for w in caught
+               if issubclass(w.category, DeprecationWarning))

@@ -107,6 +107,27 @@ class TestDebuggingWorkflow:
         assert "exit [crashed]" in output
 
 
+class TestRealCodeDemo:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("real_code_demo.py")
+
+    def test_dpor_finds_the_lost_update(self, output):
+        assert "BUG (GuestCrashError)" in output
+        assert "lost update" in output
+
+    def test_schedule_minimized(self, output):
+        assert "minimized:" in output
+        assert "% shorter" in output
+
+    def test_timeline_rendered(self, output):
+        assert "Stats.processed#0" in output
+        assert "exit [crashed]" in output
+
+    def test_deterministic_across_invocations(self, output):
+        assert "identical result across two invocations" in output
+
+
 class TestFigureRunners:
     def test_run_figure2_subset(self):
         # tiny limit for speed; the full run is exercised by the bench

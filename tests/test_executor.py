@@ -140,7 +140,7 @@ class TestMutexSemantics:
 class TestCondVarSemantics:
     def _waiter_notifier(self, p):
         m = p.mutex("m")
-        cv = p.condvar("cv")
+        cv = p.condition("cv")
         flag = p.var("flag", 0)
 
         def waiter(api):
@@ -189,7 +189,7 @@ class TestCondVarSemantics:
         # notify with no waiters is a no-op; a later wait sleeps forever
         def build(p):
             m = p.mutex("m")
-            cv = p.condvar("cv")
+            cv = p.condition("cv")
 
             def waiter(api):
                 yield api.lock(m)
@@ -208,7 +208,7 @@ class TestCondVarSemantics:
     def test_wait_without_mutex_is_host_error(self):
         def build(p):
             m = p.mutex("m")
-            cv = p.condvar("cv")
+            cv = p.condition("cv")
 
             def t(api):
                 yield api.wait(cv, m)
@@ -221,7 +221,7 @@ class TestCondVarSemantics:
     def test_notify_all_wakes_everyone(self):
         def build(p):
             m = p.mutex("m")
-            cv = p.condvar("cv")
+            cv = p.condition("cv")
             flag = p.var("flag", 0)
 
             def waiter(api):

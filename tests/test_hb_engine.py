@@ -72,7 +72,7 @@ class TestSynchronisationEdges:
     def test_notify_edge_survives_in_lazy(self):
         def build(p):
             m = p.mutex("m")
-            cv = p.condvar("cv")
+            cv = p.condition("cv")
             flag = p.var("flag", 0)
 
             def waiter(api):

@@ -1,0 +1,222 @@
+"""AST instrumentation: constructs, caching and rejection paths.
+
+``repro.instrument`` rewrites a plain function into a generator guest;
+these tests pin which syntactic constructs become scheduling points and
+which stay atomic.
+"""
+
+import pytest
+
+import repro
+from repro.errors import InstrumentError
+from repro.runtime.schedule import execute
+from repro.shim import ensure_guest, instrument, program_from_function
+from repro.shim import threading as shim_threading
+
+
+@repro.shared
+class Cell:
+    def __init__(self):
+        self.value = 0
+
+
+def run_events(fn, *, args=()):
+    result = execute(program_from_function(fn, args=args))
+    assert result.ok, result.error
+    return [(e.tid, e.kind.name) for e in result.events]
+
+
+# ---------------------------------------------------------------------------
+# construct coverage
+# ---------------------------------------------------------------------------
+
+class TestConstructs:
+    def test_attribute_read_yields_event(self):
+        def main():
+            c = Cell()
+            _ = c.value
+
+        kinds = [k for _, k in run_events(main)]
+        assert kinds.count("READ") == 1
+
+    def test_attribute_write_yields_event(self):
+        def main():
+            c = Cell()
+            c.value = 5
+
+        kinds = [k for _, k in run_events(main)]
+        assert kinds.count("WRITE") == 1
+
+    def test_augassign_is_read_then_write(self):
+        def main():
+            c = Cell()
+            c.value += 1
+
+        kinds = [k for _, k in run_events(main)]
+        read, write = kinds.index("READ"), kinds.index("WRITE")
+        assert read < write
+
+    def test_multi_target_assign(self):
+        def main():
+            a = Cell()
+            b = Cell()
+            a.value = b.value = 9
+            assert a.value == 9 and b.value == 9
+
+        kinds = [k for _, k in run_events(main)]
+        assert kinds.count("WRITE") == 2
+
+    def test_annassign_attribute_target(self):
+        def main():
+            c = Cell()
+            c.value: int = 3
+            assert c.value == 3
+
+        kinds = [k for _, k in run_events(main)]
+        assert kinds.count("WRITE") == 1
+
+    def test_with_statement_releases_on_exception(self):
+        def main():
+            lock = shim_threading.Lock()
+
+            def worker():
+                with lock:
+                    raise RuntimeError("inside")
+
+            def other():
+                with lock:
+                    pass
+
+            t1 = shim_threading.Thread(target=worker)
+            t2 = shim_threading.Thread(target=other)
+            t1.start()
+            t2.start()
+            t1.join()
+            t2.join()
+
+        from repro.explore.base import ExplorationLimits
+        from repro.explore.controller import run_single
+        stats = run_single(program_from_function(main), "dfs",
+                           ExplorationLimits(max_schedules=2000))
+        # every schedule crashes T1, but none deadlocks: __exit__ ran
+        kinds = {e.kind for e in stats.errors}
+        assert kinds == {"GuestCrashError"}
+
+    def test_nested_def_is_instrumented(self):
+        def main():
+            c = Cell()
+
+            def helper():
+                c.value += 1
+
+            def worker():
+                helper()
+
+            t = shim_threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert c.value == 1
+
+        kinds = [k for tid, k in run_events(main)]
+        assert "READ" in kinds and "WRITE" in kinds
+
+    def test_closure_freevars_preserved(self):
+        base = 40
+
+        def main():
+            c = Cell()
+            c.value = base + 2
+            assert c.value == 42
+
+        run_events(main)
+
+    def test_args_and_kwargs_forwarded(self):
+        def main(start, *, bump):
+            c = Cell()
+            c.value = start
+            c.value += bump
+            assert c.value == 12
+
+        result = execute(program_from_function(main, args=(10,),
+                                               kwargs={"bump": 2}))
+        assert result.ok, result.error
+
+    def test_function_without_ops_still_runs(self):
+        def main():
+            x = 1 + 1
+            assert x == 2
+
+        events = run_events(main)
+        assert [k for _, k in events] == ["EXIT"]
+
+    def test_plain_helper_calls_stay_atomic(self):
+        # uninstrumented helpers run as one opaque step: no events from
+        # inside sorted()/len()/list methods
+        def main():
+            items = [3, 1, 2]
+            items.sort()
+            assert items == sorted(items)
+
+        events = run_events(main)
+        assert [k for _, k in events] == ["EXIT"]
+
+    def test_comprehensions_not_descended(self):
+        def main():
+            squares = [i * i for i in range(4)]
+            assert squares == [0, 1, 4, 9]
+
+        run_events(main)
+
+
+# ---------------------------------------------------------------------------
+# instrument()/ensure_guest() mechanics
+# ---------------------------------------------------------------------------
+
+def _module_level_fn():
+    c = Cell()
+    c.value += 1
+
+
+class TestMechanics:
+    def test_instrument_is_cached(self):
+        g1 = instrument(_module_level_fn)
+        g2 = instrument(_module_level_fn)
+        assert g1 is g2
+
+    def test_instrument_passthrough_for_guests(self):
+        g = instrument(_module_level_fn)
+        assert instrument(g) is g
+        assert ensure_guest(g) is g
+
+    def test_guest_metadata(self):
+        g = instrument(_module_level_fn)
+        assert g.__repro_guest__
+        assert g.__wrapped__ is _module_level_fn
+        assert g.__qualname__ == _module_level_fn.__qualname__
+
+    def test_generator_function_rejected(self):
+        def gen():
+            yield 1
+
+        with pytest.raises(InstrumentError, match="generator"):
+            instrument(gen)
+
+    def test_async_function_rejected(self):
+        async def coro():
+            return 1
+
+        with pytest.raises(InstrumentError):
+            instrument(coro)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(InstrumentError):
+            instrument(42)
+
+    def test_exec_defined_function_rejected(self):
+        ns = {}
+        exec("def from_exec():\n    pass", ns)
+        with pytest.raises(InstrumentError, match="source"):
+            instrument(ns["from_exec"])
+
+    def test_repro_instrument_export(self):
+        assert repro.instrument is instrument

@@ -14,7 +14,7 @@ class TestBuilder:
         b.dict("d", {1: 2})
         b.atomic("at", 3)
         b.mutex("m")
-        b.condvar("cv")
+        b.condition("cv")
         b.semaphore("s", 2)
         b.barrier("bar", 2)
         b.rwlock("rw")

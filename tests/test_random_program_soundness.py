@@ -182,11 +182,11 @@ def build_chan_program(spec):
                 for op, idx in ops:
                     if op == "send":
                         token += 1
-                        yield api.send(chans[idx], token)
+                        yield api.chan_send(chans[idx], token)
                     elif op == "recv":
-                        yield api.recv(chans[idx])
+                        yield api.chan_recv(chans[idx])
                     elif op == "close":
-                        yield api.close(chans[idx])
+                        yield api.chan_close(chans[idx])
                     elif op == "fut_set":
                         token += 1
                         yield api.fut_set(fut, token)

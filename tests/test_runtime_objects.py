@@ -215,7 +215,7 @@ class TestInjectedErrorSemantics:
             ch = p.channel("ch", 2)
 
             def closer(api):
-                yield api.close(ch)
+                yield api.chan_close(ch)
 
             p.thread(producer_body, ch)
             p.thread(closer)
@@ -228,7 +228,7 @@ class TestInjectedErrorSemantics:
 
         def producer(api, ch):
             try:
-                yield api.send(ch, 1)
+                yield api.chan_send(ch, 1)
             except ChannelError:
                 return  # swallowing does not undo the violation
 
@@ -241,10 +241,10 @@ class TestInjectedErrorSemantics:
 
         def producer(api, ch):
             try:
-                yield api.send(ch, 1)
+                yield api.chan_send(ch, 1)
             except ChannelError:
                 api.guest_assert(False, "escalated")
-            yield api.send(ch, 2)
+            yield api.chan_send(ch, 2)
 
         r = execute(self._close_race(producer), schedule=[1, 0, 0])
         assert type(r.error).__name__ == "GuestAssertionError"
@@ -255,7 +255,7 @@ class TestInjectedErrorSemantics:
 
         def producer(api, ch):
             try:
-                yield api.send(ch, 1)
+                yield api.chan_send(ch, 1)
             except ChannelError:
                 pass
             yield api.sched_yield()  # diverged from the tape

@@ -1,0 +1,475 @@
+"""Shim frontend: primitives, setup-phase rules and error surfacing.
+
+The instrumentation pipeline itself is covered in test_instrument.py and
+the shim-vs-DSL golden equivalence in test_shim_equivalence.py; this
+file exercises the ``repro.shim.threading`` / ``repro.shim.queue``
+classes and the usage contract they enforce.
+"""
+
+import pytest
+
+import repro
+from repro.errors import (
+    DisabledThreadError,
+    GuestCrashError,
+    ShimUsageError,
+)
+from repro.explore.base import ExplorationLimits
+from repro.explore.controller import run_single
+from repro.runtime.executor import Executor
+from repro.runtime.schedule import execute
+from repro.shim import program_from_function
+from repro.shim import queue as shim_queue
+from repro.shim import threading as shim_threading
+
+LIM = ExplorationLimits(max_schedules=2000)
+
+
+@repro.shared
+class Cell:
+    def __init__(self):
+        self.value = 0
+
+
+def run_ok(fn, *, args=()):
+    """Single first-enabled execution; assert it completes cleanly."""
+    result = execute(program_from_function(fn, args=args))
+    assert result.ok, result.error
+    return result
+
+
+def run_error(fn):
+    """Single first-enabled execution; return the recorded error."""
+    result = execute(program_from_function(fn))
+    assert result.error is not None
+    return result.error
+
+
+# ---------------------------------------------------------------------------
+# setup-phase and context rules
+# ---------------------------------------------------------------------------
+
+class TestUsageContract:
+    def test_shim_object_outside_check_rejected(self):
+        with pytest.raises(ShimUsageError, match="checked program"):
+            shim_threading.Lock()
+
+    def test_shared_object_outside_check_rejected(self):
+        with pytest.raises(ShimUsageError):
+            Cell()
+
+    def test_create_after_start_rejected(self):
+        def main():
+            t = shim_threading.Thread(target=None)
+            t.start()
+            shim_threading.Lock()
+
+        with pytest.raises(ShimUsageError,
+                           match="before the first thread starts"):
+            execute(program_from_function(main))
+
+    def test_create_in_worker_rejected(self):
+        def main():
+            def worker():
+                shim_threading.Lock()
+
+            t = shim_threading.Thread(target=worker)
+            t.start()
+            t.join()
+
+        with pytest.raises(ShimUsageError, match="created by worker thread"):
+            execute(program_from_function(main))
+
+    def test_unsupported_threading_name(self):
+        with pytest.raises(ShimUsageError, match="local"):
+            shim_threading.local  # noqa: B018
+
+    def test_unsupported_queue_name(self):
+        with pytest.raises(ShimUsageError, match="LifoQueue"):
+            shim_queue.LifoQueue  # noqa: B018
+
+    def test_timeouts_rejected(self):
+        def main():
+            lock = shim_threading.Lock()
+            lock.acquire(timeout=1.5)
+
+        with pytest.raises(ShimUsageError, match="timeout"):
+            execute(program_from_function(main))
+
+    def test_nonblocking_rejected(self):
+        def main():
+            lock = shim_threading.Lock()
+            lock.acquire(blocking=False)
+
+        with pytest.raises(ShimUsageError, match="non-blocking"):
+            execute(program_from_function(main))
+
+    def test_polling_apis_rejected(self):
+        def use_locked():
+            shim_threading.Lock().locked()
+
+        def use_qsize():
+            shim_queue.Queue().qsize()
+
+        def use_is_alive():
+            shim_threading.Thread(target=None).is_alive()
+
+        for fn in (use_locked, use_qsize, use_is_alive):
+            with pytest.raises(ShimUsageError):
+                execute(program_from_function(fn))
+
+    def test_shared_rejects_slots(self):
+        with pytest.raises(ShimUsageError, match="__slots__"):
+            @repro.shared
+            class Slotted:
+                __slots__ = ("x",)
+
+
+# ---------------------------------------------------------------------------
+# satellite 3: blocked shim ops name the stdlib call site
+# ---------------------------------------------------------------------------
+
+class TestBlockedSiteNaming:
+    def test_queue_get_site_in_disabled_thread_error(self):
+        def main():
+            q = shim_queue.Queue()
+            q.get()
+
+        ex = Executor(program_from_function(main))
+        with pytest.raises(DisabledThreadError, match=r"queue\.Queue\.get"):
+            ex.step(0)
+
+    def test_lock_acquire_site_in_disabled_thread_error(self):
+        def main():
+            lock = shim_threading.Lock()
+            lock.acquire()
+
+            def worker():
+                lock.acquire()
+
+            t = shim_threading.Thread(target=worker)
+            t.start()
+            t.join()
+
+        ex = Executor(program_from_function(main))
+        while ex.enabled():
+            ex.step(ex.enabled()[0])
+        # main holds the lock and joins; the worker's acquire is blocked
+        with pytest.raises(DisabledThreadError,
+                           match=r"threading\.Lock\.acquire"):
+            ex.step(1)
+
+    def test_event_wait_site(self):
+        def main():
+            ev = shim_threading.Event()
+            ev.wait()
+
+        ex = Executor(program_from_function(main))
+        with pytest.raises(DisabledThreadError,
+                           match=r"threading\.Event\.wait"):
+            ex.step(0)
+
+
+# ---------------------------------------------------------------------------
+# primitive behaviour
+# ---------------------------------------------------------------------------
+
+class TestPrimitives:
+    def test_lock_context_manager(self):
+        def main():
+            c = Cell()
+            lock = shim_threading.Lock()
+
+            def worker():
+                with lock:
+                    c.value += 1
+
+            ts = [shim_threading.Thread(target=worker) for _ in range(2)]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join()
+            assert c.value == 2
+
+        stats = run_single(program_from_function(main), "dpor", LIM)
+        assert not stats.errors
+
+    def test_rlock_reentrancy_emits_single_pair(self):
+        def main():
+            rl = shim_threading.RLock()
+            with rl:
+                with rl:
+                    pass
+
+        result = run_ok(main)
+        kinds = [e.kind.name for e in result.events]
+        assert kinds.count("LOCK") == 1
+        assert kinds.count("UNLOCK") == 1
+
+    def test_rlock_release_unowned_crashes(self):
+        def main():
+            rl = shim_threading.RLock()
+            rl.release()
+
+        err = run_error(main)
+        assert isinstance(err, GuestCrashError)
+        assert "cannot release un-acquired lock" in str(err)
+
+    def test_condition_notify_requires_lock(self):
+        def main():
+            cond = shim_threading.Condition()
+            cond.notify()
+
+        err = run_error(main)
+        assert isinstance(err, GuestCrashError)
+        assert "un-acquired lock" in str(err)
+
+    def test_condition_wait_for(self):
+        def main():
+            slot = Cell()
+            cond = shim_threading.Condition()
+
+            def producer():
+                with cond:
+                    slot.value = 7
+                    cond.notify_all()
+
+            t = shim_threading.Thread(target=producer)
+            t.start()
+            with cond:
+                got = cond.wait_for(lambda: slot.value)
+            t.join()
+            assert got == 7
+
+        stats = run_single(program_from_function(main), "dpor", LIM)
+        assert not stats.errors
+
+    def test_condition_rejects_foreign_lock(self):
+        def main():
+            shim_threading.Condition(lock=object())
+
+        with pytest.raises(ShimUsageError, match="shim Lock or RLock"):
+            execute(program_from_function(main))
+
+    def test_semaphore_multi_release(self):
+        def main():
+            sem = shim_threading.Semaphore(0)
+
+            def releaser():
+                sem.release(2)
+
+            t = shim_threading.Thread(target=releaser)
+            t.start()
+            sem.acquire()
+            sem.acquire()
+            t.join()
+
+        stats = run_single(program_from_function(main), "dpor", LIM)
+        assert not stats.errors
+
+    def test_bounded_semaphore_over_release(self):
+        def main():
+            sem = shim_threading.BoundedSemaphore(1)
+            sem.release()
+
+        err = run_error(main)
+        assert isinstance(err, GuestCrashError)
+        assert "released too many times" in str(err)
+
+    def test_barrier_returns_distinct_indices(self):
+        def main():
+            b = shim_threading.Barrier(2)
+            seen = []
+
+            def worker():
+                seen.append(b.wait())
+
+            t1 = shim_threading.Thread(target=worker)
+            t2 = shim_threading.Thread(target=worker)
+            t1.start()
+            t2.start()
+            t1.join()
+            t2.join()
+            assert sorted(seen) == [0, 1], seen
+
+        stats = run_single(program_from_function(main), "dfs", LIM)
+        assert not stats.errors
+
+    def test_event_set_clear(self):
+        def main():
+            ev = shim_threading.Event()
+            assert not ev.is_set()
+            ev.set()
+            assert ev.is_set()
+            ev.clear()
+            assert not ev.is_set()
+
+        run_ok(main)
+
+    def test_queue_fifo_and_join(self):
+        def main():
+            q = shim_queue.Queue()
+
+            def producer():
+                q.put("a")
+                q.put("b")
+
+            t = shim_threading.Thread(target=producer)
+            t.start()
+            first = q.get()
+            q.task_done()
+            second = q.get()
+            q.task_done()
+            q.join()
+            t.join()
+            assert (first, second) == ("a", "b")
+
+        stats = run_single(program_from_function(main), "dpor", LIM)
+        assert not stats.errors
+
+    def test_queue_task_done_too_many(self):
+        def main():
+            q = shim_queue.Queue()
+            q.task_done()
+
+        err = run_error(main)
+        assert isinstance(err, GuestCrashError)
+        assert "task_done" in str(err)
+
+    def test_queue_nonblocking_get_rejected(self):
+        def main():
+            shim_queue.Queue().get(block=False)
+
+        with pytest.raises(ShimUsageError):
+            execute(program_from_function(main))
+
+    def test_queue_exports_stdlib_exceptions(self):
+        import queue as stdlib_queue
+        assert shim_queue.Empty is stdlib_queue.Empty
+        assert shim_queue.Full is stdlib_queue.Full
+
+
+# ---------------------------------------------------------------------------
+# threads
+# ---------------------------------------------------------------------------
+
+class TestThread:
+    def test_target_args_kwargs(self):
+        def main():
+            c = Cell()
+
+            def worker(amount, *, extra=0):
+                c.value += amount + extra
+
+            t = shim_threading.Thread(target=worker, args=(3,),
+                                      kwargs={"extra": 4})
+            t.start()
+            t.join()
+            assert c.value == 7
+
+        run_ok(main)
+
+    def test_run_override(self):
+        def main():
+            c = Cell()
+
+            class MyThread(shim_threading.Thread):
+                def run(self):
+                    c.value = 11
+
+            t = MyThread()
+            t.start()
+            t.join()
+            assert c.value == 11
+
+        run_ok(main)
+
+    def test_double_start_crashes(self):
+        def main():
+            t = shim_threading.Thread(target=None)
+            t.start()
+            t.start()
+
+        err = run_error(main)
+        assert isinstance(err, GuestCrashError)
+        assert "started once" in str(err)
+
+    def test_join_before_start_crashes(self):
+        def main():
+            t = shim_threading.Thread(target=None)
+            t.join()
+
+        err = run_error(main)
+        assert isinstance(err, GuestCrashError)
+        assert "before it is started" in str(err)
+
+    def test_current_thread_and_ident(self):
+        def main():
+            names = []
+
+            def worker():
+                me = shim_threading.current_thread()
+                names.append((me.name, me.ident))
+
+            names.append(shim_threading.current_thread().name)
+            t = shim_threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert names[0] == "MainThread"
+            assert names[1] == (f"Thread-T{t.ident}", t.ident)
+
+        run_ok(main)
+
+    def test_group_rejected(self):
+        def main():
+            shim_threading.Thread(group=object())
+
+        with pytest.raises(ShimUsageError, match="group"):
+            execute(program_from_function(main))
+
+
+# ---------------------------------------------------------------------------
+# shared state
+# ---------------------------------------------------------------------------
+
+class TestShared:
+    def test_lost_update_found_by_dpor(self):
+        def main():
+            c = Cell()
+
+            def worker():
+                c.value += 1
+
+            t1 = shim_threading.Thread(target=worker)
+            t2 = shim_threading.Thread(target=worker)
+            t1.start()
+            t2.start()
+            t1.join()
+            t2.join()
+            assert c.value == 2, c.value
+
+        stats = run_single(program_from_function(main), "dpor", LIM)
+        kinds = {e.kind for e in stats.errors}
+        assert kinds == {"GuestCrashError"}
+
+    def test_augassign_is_two_events(self):
+        def main():
+            c = Cell()
+            c.value += 1
+
+        result = run_ok(main)
+        kinds = [e.kind.name for e in result.events]
+        assert kinds.count("READ") == 1
+        assert kinds.count("WRITE") == 1
+
+    def test_cells_named_after_class_and_attr(self):
+        def main():
+            c = Cell()
+            c.value += 1
+
+        program = program_from_function(main)
+        ex = Executor(program)
+        while not ex.is_done():
+            ex.step(ex.enabled()[0])
+        names = [o.name for o in ex.instance.registry.objects]
+        assert "Cell.value#0" in names

@@ -42,7 +42,7 @@ def _omnibus() -> Program:
 
     def build(p):
         m = p.mutex("m")
-        cv = p.condvar("cv")
+        cv = p.condition("cv")
         sem = p.semaphore("sem", 1)
         bar = p.barrier("bar", 2)
         rw = p.rwlock("rw")
@@ -64,11 +64,11 @@ def _omnibus() -> Program:
             yield api.write(table, v + 1, key=0)
 
         def t1(api):
-            yield api.acquire(sem)
+            yield api.sem_acquire(sem)
             yield api.wlock(rw)
             yield api.write(cells, 5, key=0)
             yield api.wunlock(rw)
-            yield api.release(sem)
+            yield api.sem_release(sem)
             yield api.barrier_wait(bar)
             ok = yield api.cas(counter, 2, 9)
             yield api.write(cells, 1 if ok else 2, key=1)
