@@ -231,9 +231,97 @@ SMOKE_EXPLORERS = "dpor,lazy-hbr-caching,random"
 SMOKE_LIMIT = 150
 
 
-def _cmd_campaign(args) -> int:
-    import json
+def _campaign_worker(args) -> int:
+    """``campaign --worker``: serve leases from a coordinator."""
+    import os
 
+    from .campaign.chaos import ChaosPlan
+    from .campaign.distributed import (
+        DistributedWorker,
+        FileWorkerChannel,
+        TcpWorkerChannel,
+        TransportError,
+    )
+    from .campaign.distributed.transport import parse_hostport
+
+    worker_id = args.worker_id or f"worker-{os.getpid()}"
+    if args.transport == "file":
+        if not args.queue:
+            print("error: --transport file needs --queue DIR",
+                  file=sys.stderr)
+            return 2
+        channel = FileWorkerChannel(args.queue, worker_id)
+    else:
+        if not args.connect:
+            print("error: --worker over tcp needs --connect HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        host, port = parse_hostport(args.connect)
+        channel = TcpWorkerChannel(host, port, worker_id)
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosPlan.load(args.chaos)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    worker = DistributedWorker(
+        channel, chaos=chaos, hard_timeout=args.hard_timeout,
+        progress=print if args.verbose else None,
+    )
+    try:
+        stats = worker.run()
+    except TransportError as exc:
+        print(f"worker {worker_id}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        channel.close()
+    print(f"worker {worker_id}: tasks={stats['tasks']} "
+          f"completed={stats['completed']} "
+          f"abandoned={stats['abandoned']} donated={stats['donated']}")
+    return 0
+
+
+def _campaign_coordinate(args, cells, limits, store):
+    """``campaign --coordinator``: own the queue, workers explore."""
+    from .campaign.distributed import (
+        Coordinator,
+        FileCoordinatorServer,
+        TcpCoordinatorServer,
+    )
+    from .campaign.distributed.transport import parse_hostport
+
+    if args.transport == "file":
+        if not args.queue:
+            print("error: --transport file needs --queue DIR",
+                  file=sys.stderr)
+            return None
+        server = FileCoordinatorServer(args.queue)
+        where = args.queue
+    else:
+        host, port = parse_hostport(args.bind or "127.0.0.1:0")
+        server = TcpCoordinatorServer(host, port)
+        where = "%s:%d" % server.address
+    state_path = args.state or (f"{args.resume}.coordinator.json"
+                                if args.resume else None)
+    coordinator = Coordinator(
+        cells, limits, server=server, store=store,
+        state_path=state_path,
+        lease_timeout=args.lease_timeout,
+        max_cell_retries=args.max_cell_retries,
+        steal=not args.no_steal,
+        progress=print if args.verbose else None,
+    )
+    print(f"coordinator: {len(cells)} cell(s) on {args.transport} "
+          f"transport at {where}"
+          + (f", state in {state_path}" if state_path else ""))
+    try:
+        return coordinator.run()
+    finally:
+        server.close()
+
+
+def _cmd_campaign(args) -> int:
     from .analysis.runner import (
         figure2_rows_from_cells,
         figure3_rows_from_cells,
@@ -246,6 +334,16 @@ def _cmd_campaign(args) -> int:
         run_campaign,
     )
     from .explore.controller import matrix_report
+    from .ioutil import atomic_write_json
+
+    if args.worker and args.coordinator:
+        print("error: --coordinator and --worker are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    if args.worker:
+        # workers take their configuration (limits, verify, budgets)
+        # from the coordinator's hello reply, not from the CLI
+        return _campaign_worker(args)
 
     explorers_arg = args.explorers
     limit = args.limit
@@ -300,11 +398,16 @@ def _cmd_campaign(args) -> int:
         elif store.discarded_mismatch:
             print(f"ignoring checkpoint {args.resume}: written under "
                   f"different limits")
-    campaign = run_campaign(
-        cells, limits, jobs=args.jobs, store=store,
-        progress=print if args.verbose else None,
-        split_large=args.split_large,
-    )
+    if args.coordinator:
+        campaign = _campaign_coordinate(args, cells, limits, store)
+        if campaign is None:
+            return 2
+    else:
+        campaign = run_campaign(
+            cells, limits, jobs=args.jobs, store=store,
+            progress=print if args.verbose else None,
+            split_large=args.split_large,
+        )
 
     print(matrix_report(comparison_rows(campaign.results)))
     print()
@@ -330,12 +433,12 @@ def _cmd_campaign(args) -> int:
                 "seeds": args.seeds,
                 "jobs": args.jobs,
                 "smoke": bool(args.smoke),
+                "distributed": bool(args.coordinator),
             },
             figure2=figure2_rows_from_cells(campaign.results),
             figure3=figure3_rows_from_cells(campaign.results),
         )
-        with open(args.out, "w") as fh:
-            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+        atomic_write_json(args.out, report.to_dict())
         print(f"wrote {args.out}")
 
     bad = campaign.unexpected if args.smoke else campaign.failures
@@ -489,6 +592,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--out", metavar="REPORT",
                         help="write the full JSON campaign report here")
     p_camp.add_argument("--verbose", action="store_true")
+    # -- distributed mode (see DESIGN.md §10) --
+    p_camp.add_argument("--coordinator", action="store_true",
+                        help="serve this campaign's cells to remote "
+                             "workers instead of running them locally")
+    p_camp.add_argument("--worker", action="store_true",
+                        help="lease and execute cells from a "
+                             "coordinator (ignores the matrix flags; "
+                             "limits come from the coordinator)")
+    p_camp.add_argument("--transport", choices=("tcp", "file"),
+                        default="tcp",
+                        help="coordinator/worker transport: tcp "
+                             "sockets, or a shared-directory file "
+                             "queue (--queue) for no-network "
+                             "environments")
+    p_camp.add_argument("--bind", metavar="HOST:PORT",
+                        help="coordinator tcp listen address "
+                             "(default 127.0.0.1:0 — the chosen port "
+                             "is printed)")
+    p_camp.add_argument("--connect", metavar="HOST:PORT",
+                        help="worker: the coordinator's tcp address")
+    p_camp.add_argument("--queue", metavar="DIR",
+                        help="file transport: shared queue directory")
+    p_camp.add_argument("--lease-timeout", type=float, default=15.0,
+                        dest="lease_timeout", metavar="SECONDS",
+                        help="missed-heartbeat window after which a "
+                             "worker's task is reassigned from its "
+                             "last checkpoint (default 15)")
+    p_camp.add_argument("--max-cell-retries", type=int, default=3,
+                        dest="max_cell_retries", metavar="N",
+                        help="failed/expired attempts per cell before "
+                             "it is quarantined as poisonous "
+                             "(default 3)")
+    p_camp.add_argument("--worker-id", dest="worker_id",
+                        help="stable worker name (default: "
+                             "worker-<pid>)")
+    p_camp.add_argument("--chaos", metavar="PLAN",
+                        help="worker: JSON fault-injection plan "
+                             "(see repro.campaign.chaos)")
+    p_camp.add_argument("--hard-timeout", type=float, default=None,
+                        dest="hard_timeout", metavar="SECONDS",
+                        help="worker: hard per-cell wall-clock "
+                             "watchdog; an overrunning cell is "
+                             "reported as timed_out instead of "
+                             "wedging the worker")
+    p_camp.add_argument("--no-steal", action="store_true",
+                        dest="no_steal",
+                        help="coordinator: disable work stealing from "
+                             "long-running splittable cells")
+    p_camp.add_argument("--state", metavar="PATH",
+                        help="coordinator: crash-safe queue/lease "
+                             "state file (default: derived from "
+                             "--resume; no file means no coordinator "
+                             "crash-resume)")
 
     p_bench = sub.add_parser(
         "bench",

@@ -64,6 +64,83 @@ def merge_shard_results(
     return CellResult(cell, merged)
 
 
+def merge_stolen_results(
+    parent_result: CellResult,
+    shard_results: Sequence[CellResult],
+) -> CellResult:
+    """Union-merge work-stealing shards back into their logical cell.
+
+    The distributed coordinator's counterpart of
+    :func:`merge_shard_results`.  The parent attempt's statistics are
+    *cumulative over the whole cell minus the stolen subtrees* (the
+    victim keeps exploring after the steal), and each shard covers
+    exactly its stolen subtrees — the frontier partition guarantees
+    disjointness — so summing counters and unioning the fingerprint
+    sets reproduces the serial run for count-exact strategies.  Merge
+    order is deterministic: parent first, then shards in creation
+    order (the order the coordinator recorded them).
+
+    Provenance goes under ``dist_``-prefixed ``extra`` keys, which the
+    canonical report view strips (see :func:`canonical_report_dict`).
+    """
+    cell = parent_result.cell
+    failures = [r for r in ([parent_result] + list(shard_results))
+                if not r.ok or r.stats is None]
+    if failures:
+        first = failures[0]
+        return CellResult(cell, None, ok=False, error=first.error,
+                          diagnostics=first.diagnostics)
+    merged = ExplorationStats.from_dict(parent_result.stats.to_dict())
+    for shard in shard_results:
+        merged.merge(shard.stats)
+    merged.extra["dist_stolen_shards"] = len(shard_results)
+    return CellResult(cell, merged)
+
+
+#: summary fields that record execution provenance (how the campaign
+#: ran), not exploration results (what it computed)
+_PROVENANCE_SUMMARY_FIELDS = ("jobs", "elapsed", "num_executed",
+                              "num_cached")
+
+
+def canonical_report_dict(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The execution-invariant view of a campaign report document.
+
+    Two campaigns over the same cells with the same limits — serial,
+    pooled, or distributed with workers dying mid-cell — must agree on
+    this view *byte for byte* once JSON-serialized with sorted keys.
+    It strips exactly the provenance that legitimately varies with how
+    (not what) the campaign computed: wall-clock ``elapsed``, the
+    executed/cached split (a resumed campaign re-executes fewer
+    cells), worker counts, the ``campaign`` metadata block, and
+    ``dist_``-prefixed ``extra`` keys (stolen-shard bookkeeping).
+    """
+    out = {k: v for k, v in report.items() if k != "campaign"}
+    summary = report.get("summary")
+    if isinstance(summary, dict):
+        out["summary"] = {k: v for k, v in summary.items()
+                          if k not in _PROVENANCE_SUMMARY_FIELDS}
+    cells = report.get("cells")
+    if isinstance(cells, list):
+        out["cells"] = [_canonical_cell(c) for c in cells]
+    return out
+
+
+def _canonical_cell(cell: Any) -> Any:
+    if not isinstance(cell, dict):
+        return cell
+    out = dict(cell)
+    stats = cell.get("stats")
+    if isinstance(stats, dict):
+        stats = {k: v for k, v in stats.items() if k != "elapsed"}
+        extra = stats.get("extra")
+        if isinstance(extra, dict):
+            stats["extra"] = {k: v for k, v in extra.items()
+                              if not k.startswith("dist_")}
+        out["stats"] = stats
+    return out
+
+
 def stats_by_cell(
     results: Sequence[CellResult],
 ) -> Dict[tuple, ExplorationStats]:

@@ -1,0 +1,178 @@
+"""Deterministic fault injection for campaign robustness testing.
+
+A :class:`ChaosPlan` is a list of rules, each firing when a matching
+worker reaches a chosen schedule count inside a matching cell.  The
+worker probes the plan from its between-schedules control callback
+(see :meth:`repro.explore.base.Explorer.set_control`), which runs at
+*every* schedule boundary — so ``after_schedules=40`` fires at exactly
+the 40th boundary, reproducibly, regardless of wall-clock load.
+
+Actions:
+
+=============  ======================================================
+``kill``       ``os._exit(137)`` — a SIGKILLed worker: no cleanup, no
+               result message, lease expires
+``hang``       sleep ``seconds`` inside the schedule boundary — a
+               wedged worker: heartbeats stop, the lease expires (or
+               the hard watchdog fires)
+``fail``       raise :class:`ChaosError` — an internal worker crash:
+               surfaces through the failed-:class:`CellResult` path
+               with a traceback
+``partition``  drop this worker's RPCs for ``seconds`` — a network
+               partition: heartbeats are lost but the worker keeps
+               computing and re-delivers its result afterwards
+               (exercising at-least-once dedup)
+=============  ======================================================
+
+Plans serialize to JSON (``--chaos plan.json``) so CI jobs and tests
+describe faults declaratively.  Rule fire-counts are per *process*:
+a respawned worker starts with a fresh plan — which is the realistic
+model (the replacement of a crashed worker is a new process), and why
+repeated-kill rules drive cells into poison quarantine.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..ioutil import atomic_write_json, read_json
+
+CHAOS_VERSION = 1
+
+ACTIONS = frozenset({"kill", "hang", "fail", "partition"})
+
+
+class ChaosError(RuntimeError):
+    """The injected in-process failure (``action == "fail"``)."""
+
+
+@dataclass
+class ChaosRule:
+    """One fault: *what* happens, *where*, and *when*."""
+
+    action: str
+    #: cell key (``"3:dfs:0"``) this rule applies to; None = any cell
+    cell: Optional[str] = None
+    #: worker id this rule applies to; None = any worker
+    worker: Optional[str] = None
+    #: fire once the cell's schedule count reaches this value
+    after_schedules: int = 0
+    #: firings per worker process (-1 = unlimited)
+    times: int = 1
+    #: duration of ``hang``/``partition``
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; "
+                f"available: {sorted(ACTIONS)}"
+            )
+
+    def matches(self, worker_id: str, cell_key: str,
+                schedules: int) -> bool:
+        if self.worker is not None and self.worker != worker_id:
+            return False
+        if self.cell is not None and self.cell != cell_key:
+            return False
+        return schedules >= self.after_schedules
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "action": self.action,
+            "cell": self.cell,
+            "worker": self.worker,
+            "after_schedules": self.after_schedules,
+            "times": self.times,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ChaosRule":
+        return cls(
+            action=payload["action"],
+            cell=payload.get("cell"),
+            worker=payload.get("worker"),
+            after_schedules=int(payload.get("after_schedules", 0)),
+            times=int(payload.get("times", 1)),
+            seconds=float(payload.get("seconds", 0.0)),
+        )
+
+
+class ChaosPlan:
+    """An ordered rule list with per-process fire counting."""
+
+    def __init__(self, rules: Sequence[ChaosRule] = ()) -> None:
+        self.rules: List[ChaosRule] = list(rules)
+        self._fired = [0] * len(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def match(self, worker_id: str, cell_key: str,
+              schedules: int) -> Optional[ChaosRule]:
+        """First unexhausted rule matching this probe point (consumes
+        one firing), or None."""
+        for i, rule in enumerate(self.rules):
+            if 0 <= rule.times <= self._fired[i]:
+                continue
+            if rule.matches(worker_id, cell_key, schedules):
+                self._fired[i] += 1
+                return rule
+        return None
+
+    def probe(self, worker_id: str, cell_key: str,
+              schedules: int) -> Optional[ChaosRule]:
+        """Probe and *perform* the matched fault.
+
+        ``kill`` never returns; ``hang`` sleeps here and then returns
+        the rule; ``fail`` raises :class:`ChaosError`; ``partition`` is
+        returned for the caller (the worker owns its channel, so it
+        implements the message-dropping window).
+        """
+        rule = self.match(worker_id, cell_key, schedules)
+        if rule is None:
+            return None
+        if rule.action == "kill":
+            # SIGKILL semantics: no atexit handlers, no flush, no
+            # result message — the lease must expire at the coordinator
+            os._exit(137)
+        if rule.action == "hang":
+            time.sleep(rule.seconds)
+            return rule
+        if rule.action == "fail":
+            raise ChaosError(
+                f"chaos: injected failure in {cell_key} at schedule "
+                f"{schedules} on {worker_id}"
+            )
+        return rule  # partition: applied by the caller
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": CHAOS_VERSION,
+            "rules": [r.to_dict() for r in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ChaosPlan":
+        if payload.get("version") != CHAOS_VERSION:
+            raise ValueError(
+                f"unsupported chaos plan version "
+                f"{payload.get('version')!r}"
+            )
+        return cls([ChaosRule.from_dict(r)
+                    for r in payload.get("rules", [])])
+
+    def dump(self, path: Union[str, Path]) -> None:
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ChaosPlan":
+        payload = read_json(path)
+        if not isinstance(payload, dict):
+            raise ValueError(f"unreadable chaos plan: {path}")
+        return cls.from_dict(payload)

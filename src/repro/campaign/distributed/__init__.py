@@ -1,0 +1,39 @@
+"""Fault-tolerant distributed campaigns.
+
+A coordinator owns the campaign work-list; workers lease one task at a
+time over a request/reply transport (TCP, or a shared-filesystem file
+queue for no-network CI), heartbeat while executing, stream partial
+checkpoints back, and — when other workers sit idle — donate halves of
+their frontier as stolen shard tasks.  Everything is at-least-once
+with coordinator-side dedup; crash-recovery paths (worker death,
+coordinator death, message replay) all resume from the last streamed
+checkpoint.  See DESIGN.md §10 for the protocol and the
+exactly-once-merge argument.
+"""
+
+from ..chaos import ChaosError, ChaosPlan, ChaosRule
+from .coordinator import Coordinator
+from .messages import PROTOCOL_VERSION, Task
+from .transport import (
+    FileCoordinatorServer,
+    FileWorkerChannel,
+    TcpCoordinatorServer,
+    TcpWorkerChannel,
+    TransportError,
+)
+from .worker import DistributedWorker
+
+__all__ = [
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosRule",
+    "Coordinator",
+    "DistributedWorker",
+    "FileCoordinatorServer",
+    "FileWorkerChannel",
+    "PROTOCOL_VERSION",
+    "Task",
+    "TcpCoordinatorServer",
+    "TcpWorkerChannel",
+    "TransportError",
+]

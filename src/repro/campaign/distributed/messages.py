@@ -1,0 +1,109 @@
+"""Wire protocol of the distributed campaign: plain JSON dicts.
+
+Every exchange is a worker-initiated request with exactly one
+coordinator reply (RPC style), so both transports — a TCP socket and a
+file queue — implement the same two tiny interfaces (see
+:mod:`.transport`).  Messages are versioned dicts, not pickled
+objects: a worker from a different checkout fails loudly on a version
+mismatch instead of deserializing garbage.
+
+Worker → coordinator message types (``"type"`` field):
+
+=============  =====================================================
+``hello``      register; reply carries limits, verify flag, lease
+               timeout and heartbeat interval
+``request``    ask for work; reply is ``lease`` (a :class:`Task`),
+               ``idle`` (retry after ``wait`` seconds) or
+               ``shutdown`` (campaign complete)
+``heartbeat``  renew the lease; reply may carry ``abandon`` (lease
+               lost — stop, discard) or ``steal`` (donate frontier)
+``checkpoint`` stream an in-flight snapshot; reply may carry
+               ``abandon``
+``stolen``     deliver frontier shards cut off for a steal request
+``result``     deliver the finished :class:`~repro.campaign.worker
+               .CellResult`; duplicates are acknowledged, not merged
+               twice
+=============  =====================================================
+
+All requests are safe to retry (the transports re-send on timeout):
+``hello``/``request``/``heartbeat``/``checkpoint`` are idempotent,
+``stolen`` is deduplicated by ``steal_id`` and ``result`` by task id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..cells import CampaignCell
+
+PROTOCOL_VERSION = 1
+
+#: worker → coordinator request types
+HELLO = "hello"
+REQUEST = "request"
+HEARTBEAT = "heartbeat"
+CHECKPOINT = "checkpoint"
+STOLEN = "stolen"
+RESULT = "result"
+
+#: coordinator → worker reply types
+OK = "ok"
+LEASE = "lease"
+IDLE = "idle"
+SHUTDOWN = "shutdown"
+ERROR = "error"
+
+
+@dataclass
+class Task:
+    """One leasable unit of work.
+
+    A *cell task* (``task_id == cell.key``) runs a whole campaign
+    cell, possibly resuming from ``snapshot`` (the last streamed
+    checkpoint of a previous attempt, or a local partial).  A *shard
+    task* (``task_id == "<cell.key>@stealN-i"``) runs one frontier
+    shard stolen from a running cell; its ``snapshot`` is the shard
+    state (zeroed statistics — the merge adds the victim's statistics
+    exactly once).
+    """
+
+    task_id: str
+    cell_key: str
+    snapshot: Optional[Dict[str, Any]] = None
+    attempt: int = 0
+
+    @property
+    def cell(self) -> CampaignCell:
+        return CampaignCell.from_key(self.cell_key)
+
+    @property
+    def is_shard(self) -> bool:
+        return "@" in self.task_id
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "cell_key": self.cell_key,
+            "snapshot": self.snapshot,
+            "attempt": self.attempt,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Task":
+        return cls(
+            task_id=payload["task_id"],
+            cell_key=payload["cell_key"],
+            snapshot=payload.get("snapshot"),
+            attempt=int(payload.get("attempt", 0)),
+        )
+
+
+def reply_ok(**extra: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"type": OK}
+    out.update(extra)
+    return out
+
+
+def reply_error(message: str) -> Dict[str, Any]:
+    return {"type": ERROR, "error": message}

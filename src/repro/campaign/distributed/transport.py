@@ -1,0 +1,393 @@
+"""Request/reply transports for the distributed campaign.
+
+Two symmetric interfaces:
+
+* :class:`WorkerChannel` — the worker side: ``request(msg)`` sends one
+  JSON message and returns the coordinator's JSON reply, retrying on
+  timeout with jittered exponential backoff (jitter is seeded from the
+  worker id, so a fleet of workers restarting together does not
+  retry in lockstep);
+* :class:`CoordinatorServer` — the coordinator side: ``poll(timeout)``
+  returns ``(message, reply_fn)`` pairs; the coordinator state machine
+  computes a reply dict and hands it to ``reply_fn``.
+
+Two implementations of each:
+
+* **TCP** (``tcp``) — newline-delimited JSON over a non-blocking
+  listening socket multiplexed with :mod:`selectors`; one persistent
+  connection per worker.
+* **File queue** (``file``) — a shared directory with ``req/`` and
+  ``rep/`` subdirectories; every message is one atomically-replaced
+  JSON file, so readers never observe torn messages and no network
+  stack is needed (CI sandboxes, shared-filesystem clusters).
+
+Both sides assume *at-least-once* delivery: a retried request may
+reach the coordinator twice (e.g. the coordinator processed it and
+died before replying), so every protocol message is idempotent or
+explicitly deduplicated (see :mod:`.messages`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import re
+import selectors
+import socket
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ...ioutil import atomic_write_json, read_json
+
+Reply = Callable[[Dict[str, Any]], None]
+
+
+class TransportError(Exception):
+    """A request could not be delivered/answered (after retries)."""
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+class WorkerChannel:
+    """Base worker-side RPC channel: retry loop with jittered backoff."""
+
+    #: attempts per logical request (1 initial + retries)
+    max_attempts = 5
+    #: first retry delay; doubles per retry, scaled by jitter in [0.5, 1.5)
+    base_delay = 0.05
+    max_delay = 2.0
+    #: per-attempt reply deadline
+    default_timeout = 5.0
+
+    def __init__(self, worker_id: str) -> None:
+        self.worker_id = worker_id
+        # deterministic per-worker jitter: desynchronises a restarting
+        # fleet without introducing run-to-run nondeterminism in tests
+        self._jitter = random.Random(f"transport:{worker_id}")
+
+    def request(
+        self,
+        msg: Dict[str, Any],
+        timeout: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Send ``msg`` and return the coordinator's reply.
+
+        Retries with jittered exponential backoff on per-attempt
+        timeout or transport failure; raises :class:`TransportError`
+        once every attempt is exhausted (callers treat that as a
+        coordinator outage or partition).
+        """
+        timeout = self.default_timeout if timeout is None else timeout
+        attempts = self.max_attempts if max_attempts is None else max_attempts
+        msg = dict(msg)
+        msg.setdefault("worker", self.worker_id)
+        last: Optional[Exception] = None
+        for attempt in range(max(1, attempts)):
+            if attempt:
+                delay = min(self.base_delay * (2 ** (attempt - 1)),
+                            self.max_delay)
+                time.sleep(delay * (0.5 + self._jitter.random()))
+            try:
+                return self._request_once(msg, timeout, attempt)
+            except TransportError as exc:
+                last = exc
+        raise TransportError(
+            f"request {msg.get('type')!r} failed after {attempts} "
+            f"attempts: {last}"
+        )
+
+    def _request_once(self, msg: Dict[str, Any], timeout: float,
+                      attempt: int) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class TcpWorkerChannel(WorkerChannel):
+    """One persistent connection, strict request → reply lockstep."""
+
+    def __init__(self, host: str, port: int, worker_id: str) -> None:
+        super().__init__(worker_id)
+        self.host = host
+        self.port = port
+        self._sock: Optional[socket.socket] = None
+        self._buf = b""
+
+    def _connect(self, timeout: float) -> socket.socket:
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=timeout)
+            except OSError as exc:
+                raise TransportError(f"connect {self.host}:{self.port}: "
+                                     f"{exc}") from exc
+            self._buf = b""
+        return self._sock
+
+    def _request_once(self, msg: Dict[str, Any], timeout: float,
+                      attempt: int) -> Dict[str, Any]:
+        deadline = time.monotonic() + timeout
+        sock = self._connect(timeout)
+        try:
+            sock.settimeout(timeout)
+            sock.sendall(json.dumps(msg).encode() + b"\n")
+            while b"\n" not in self._buf:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise socket.timeout("reply deadline exceeded")
+                sock.settimeout(remaining)
+                chunk = sock.recv(65536)
+                if not chunk:
+                    raise OSError("connection closed by coordinator")
+                self._buf += chunk
+            line, _, self._buf = self._buf.partition(b"\n")
+            return json.loads(line)
+        except (OSError, ValueError) as exc:
+            # drop the connection: a fresh one re-synchronises the
+            # request/reply framing after a half-delivered exchange
+            self.close()
+            raise TransportError(str(exc)) from exc
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._buf = b""
+
+
+class FileWorkerChannel(WorkerChannel):
+    """File-queue worker side: one request file, one reply file.
+
+    A logical request keeps its file name across retry attempts: if
+    the coordinator consumed the request but died before replying, the
+    retry re-publishes the *same* request (processed again — all
+    messages tolerate duplicates) and eventually finds the reply under
+    the same name.
+    """
+
+    def __init__(self, queue_dir: Union[str, Path], worker_id: str) -> None:
+        super().__init__(worker_id)
+        self.root = Path(queue_dir)
+        self.req_dir = self.root / "req"
+        self.rep_dir = self.root / "rep"
+        self.req_dir.mkdir(parents=True, exist_ok=True)
+        self.rep_dir.mkdir(parents=True, exist_ok=True)
+        self._safe_id = re.sub(r"[^\w.-]", "_", worker_id)
+        self._seq = 0
+        self._poll_interval = 0.01
+        self._pending: Optional[str] = None
+
+    def _request_once(self, msg: Dict[str, Any], timeout: float,
+                      attempt: int) -> Dict[str, Any]:
+        if attempt == 0 or self._pending is None:
+            self._seq += 1
+            self._pending = (f"{self._safe_id}-{os.getpid()}-"
+                             f"{self._seq:08d}.json")
+            # a crashed previous incarnation of this exact name cannot
+            # exist (pid+seq), but clear defensively
+            try:
+                os.unlink(self.rep_dir / self._pending)
+            except OSError:
+                pass
+        name = self._pending
+        atomic_write_json(self.req_dir / name, msg, indent=0, fsync=False)
+        deadline = time.monotonic() + timeout
+        rep = self.rep_dir / name
+        while time.monotonic() < deadline:
+            payload = read_json(rep)
+            if isinstance(payload, dict):
+                try:
+                    os.unlink(rep)
+                except OSError:
+                    pass
+                self._pending = None
+                return payload
+            time.sleep(self._poll_interval)
+        raise TransportError(f"no reply to {name} within {timeout:g}s")
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+
+class CoordinatorServer:
+    """Base coordinator-side endpoint."""
+
+    def poll(self, timeout: float) -> List[Tuple[Dict[str, Any], Reply]]:
+        """Harvest pending worker messages (waiting up to ``timeout``
+        seconds for the first); each comes with a ``reply`` callable
+        expecting the coordinator's reply dict."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class TcpCoordinatorServer(CoordinatorServer):
+    """Non-blocking TCP listener multiplexing worker connections."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.create_server((host, port))
+        self._listener.setblocking(False)
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(self._listener, selectors.EVENT_READ)
+        self._buffers: Dict[socket.socket, bytearray] = {}
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        addr = self._listener.getsockname()
+        return addr[0], addr[1]
+
+    def poll(self, timeout: float) -> List[Tuple[Dict[str, Any], Reply]]:
+        out: List[Tuple[Dict[str, Any], Reply]] = []
+        for key, _ in self._sel.select(timeout):
+            sock = key.fileobj
+            if sock is self._listener:
+                self._accept()
+                continue
+            self._read(sock, out)
+        return out
+
+    def _accept(self) -> None:
+        try:
+            conn, _ = self._listener.accept()
+        except OSError:
+            return
+        conn.setblocking(False)
+        self._sel.register(conn, selectors.EVENT_READ)
+        self._buffers[conn] = bytearray()
+
+    def _read(self, sock: socket.socket,
+              out: List[Tuple[Dict[str, Any], Reply]]) -> None:
+        try:
+            data = sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            data = b""
+        if not data:
+            self._drop(sock)
+            return
+        buf = self._buffers[sock]
+        buf += data
+        while True:
+            nl = buf.find(b"\n")
+            if nl < 0:
+                break
+            line = bytes(buf[:nl])
+            del buf[:nl + 1]
+            try:
+                msg = json.loads(line)
+            except ValueError:
+                continue  # garbage line: drop, the sender will retry
+            if isinstance(msg, dict):
+                out.append((msg, self._make_reply(sock)))
+
+    def _make_reply(self, sock: socket.socket) -> Reply:
+        def reply(payload: Dict[str, Any]) -> None:
+            data = json.dumps(payload).encode() + b"\n"
+            try:
+                # replies are tiny; block briefly rather than buffer
+                sock.setblocking(True)
+                sock.settimeout(5.0)
+                sock.sendall(data)
+            except OSError:
+                # worker vanished mid-reply: its lease will expire and
+                # the task is reassigned — nothing to do here
+                self._drop(sock)
+                return
+            try:
+                sock.setblocking(False)
+            except OSError:
+                self._drop(sock)
+        return reply
+
+    def _drop(self, sock: socket.socket) -> None:
+        try:
+            self._sel.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+        self._buffers.pop(sock, None)
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        for sock in list(self._buffers):
+            self._drop(sock)
+        try:
+            self._sel.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._sel.close()
+
+
+class FileCoordinatorServer(CoordinatorServer):
+    """File-queue coordinator side: scan ``req/``, answer into ``rep/``.
+
+    Request files are deleted *before* their reply is computed, so a
+    coordinator crash mid-handling loses the request file — the worker
+    times out and re-sends, which is exactly the at-least-once
+    behaviour the protocol is built for.
+    """
+
+    def __init__(self, queue_dir: Union[str, Path]) -> None:
+        self.root = Path(queue_dir)
+        self.req_dir = self.root / "req"
+        self.rep_dir = self.root / "rep"
+        self.req_dir.mkdir(parents=True, exist_ok=True)
+        self.rep_dir.mkdir(parents=True, exist_ok=True)
+        self._poll_interval = 0.01
+
+    def poll(self, timeout: float) -> List[Tuple[Dict[str, Any], Reply]]:
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            out: List[Tuple[Dict[str, Any], Reply]] = []
+            try:
+                names = sorted(p for p in self.req_dir.iterdir()
+                               if p.suffix == ".json")
+            except OSError:
+                names = []
+            for path in names:
+                payload = read_json(path)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                if isinstance(payload, dict):
+                    out.append((payload, self._make_reply(path.name)))
+            if out or time.monotonic() >= deadline:
+                return out
+            time.sleep(self._poll_interval)
+
+    def _make_reply(self, name: str) -> Reply:
+        def reply(payload: Dict[str, Any]) -> None:
+            atomic_write_json(self.rep_dir / name, payload, indent=0,
+                              fsync=False)
+        return reply
+
+
+# ---------------------------------------------------------------------------
+# construction helpers (shared by CLI and tests)
+# ---------------------------------------------------------------------------
+
+def parse_hostport(spec: str, default_port: int = 0) -> Tuple[str, int]:
+    """``"host:port"`` (or bare ``"host"``) → ``(host, port)``."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        return spec, default_port
+    return host or "127.0.0.1", int(port)

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..explore.base import ExplorationLimits
+from ..ioutil import atomic_write_json
 
 PARTIAL_VERSION = 1
 
@@ -74,18 +75,15 @@ def write_partial(
     limits: ExplorationLimits,
     snapshot: Dict[str, Any],
 ) -> None:
-    """Atomically persist one partial snapshot."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Atomically persist one partial snapshot (crash-safe: a killed
+    writer leaves the previous file intact, never a torn one)."""
     payload = {
         "version": PARTIAL_VERSION,
         "key": key,
         "limits": limits_to_dict(limits),
         "snapshot": snapshot,
     }
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True))
-    os.replace(tmp, path)
+    atomic_write_json(path, payload, indent=0)
 
 
 def read_partial(

@@ -30,12 +30,12 @@ cells (computed under the old budget) are discarded.
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..explore.base import ExplorationLimits
+from ..ioutil import atomic_write_json
 from .cells import CampaignCell
 from .partial import (
     clear_partial,
@@ -174,9 +174,6 @@ class ResultStore:
             }
         if self.limits is not None:
             payload["limits"] = limits_to_dict(self.limits)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
-        os.replace(tmp, self.path)
+        atomic_write_json(self.path, payload)
         self._dirty = False
         self._last_flush = time.monotonic()

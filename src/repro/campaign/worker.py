@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import traceback
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..explore.base import ExplorationLimits, ExplorationStats
 from ..explore.controller import run_single
@@ -49,6 +49,13 @@ class CellResult:
     shard: int = -1
     #: shard count of the split this result belongs to (0 = unsplit)
     num_shards: int = 0
+    #: failure/quarantine forensics (distributed campaigns): status
+    #: (``"failed"``/``"timed_out"``/``"quarantined"``), retry count,
+    #: worker ids that attempted the cell, the last traceback, and the
+    #: schedule depth of the last usable checkpoint.  ``None`` (and
+    #: absent from the JSON form) for healthy cells, so the historical
+    #: document shape is unchanged.
+    diagnostics: Optional[Dict[str, Any]] = None
 
     @property
     def unexpected_findings(self) -> bool:
@@ -75,6 +82,8 @@ class CellResult:
         if self.num_shards:
             payload["shard"] = self.shard
             payload["num_shards"] = self.num_shards
+        if self.diagnostics is not None:
+            payload["diagnostics"] = dict(self.diagnostics)
         return payload
 
     @classmethod
@@ -91,6 +100,7 @@ class CellResult:
             error=payload.get("error"),
             shard=payload.get("shard", -1),
             num_shards=payload.get("num_shards", 0),
+            diagnostics=payload.get("diagnostics"),
         )
 
 
@@ -104,6 +114,9 @@ def execute_cell(
     checkpoint_interval: float = 2.0,
     shard: int = -1,
     num_shards: int = 0,
+    checkpoint_fn: Optional[Callable[[Dict[str, Any]], None]] = None,
+    control_fn: Optional[Callable[[Any], None]] = None,
+    on_explorer: Optional[Callable[[Any], None]] = None,
 ) -> CellResult:
     """Run one cell to completion, trapping any failure.
 
@@ -117,7 +130,12 @@ def execute_cell(
     ``limits``).  With ``checkpoint_path`` the in-flight state is
     written there (atomic replace) at most every
     ``checkpoint_interval`` seconds, so an interrupted campaign resumes
-    the cell from (almost) where it stopped.
+    the cell from (almost) where it stopped.  ``checkpoint_fn``
+    overrides the file sink with a custom one (the distributed worker
+    streams checkpoints to the coordinator instead); ``control_fn`` is
+    installed as the explorer's between-schedules control callback
+    (heartbeats, steal commands, fault injection — see
+    :meth:`repro.explore.base.Explorer.set_control`).
     """
     limits = limits or ExplorationLimits()
     bench = REGISTRY.get(cell.bench_id)
@@ -127,10 +145,8 @@ def execute_cell(
             error=f"no suite benchmark with id {cell.bench_id}",
             shard=shard, num_shards=num_shards,
         )
-    checkpoint_fn = None
-    if checkpoint_path is not None:
-        key = checkpoint_key if checkpoint_key is not None else cell.key
-
+    key = checkpoint_key if checkpoint_key is not None else cell.key
+    if checkpoint_fn is None and checkpoint_path is not None:
         def checkpoint_fn(snapshot: Dict[str, Any]) -> None:
             write_partial(checkpoint_path, key, limits, snapshot)
 
@@ -138,6 +154,8 @@ def execute_cell(
 
     def grab(explorer) -> None:
         holder["explorer"] = explorer
+        if on_explorer is not None:
+            on_explorer(explorer)
 
     try:
         stats = run_single(
@@ -145,6 +163,7 @@ def execute_cell(
             verify=verify, resume_state=resume_state,
             checkpoint_fn=checkpoint_fn,
             checkpoint_interval=checkpoint_interval,
+            control_fn=control_fn,
             on_explorer=grab,
         )
         result = CellResult(cell, stats, shard=shard, num_shards=num_shards)
@@ -152,8 +171,8 @@ def execute_cell(
         if (stats.limit_hit and explorer is not None
                 and hasattr(explorer, "snapshot")):
             result.partial = explorer.snapshot()
-            if checkpoint_path is not None:
-                write_partial(checkpoint_path, key, limits, result.partial)
+            if checkpoint_fn is not None:
+                checkpoint_fn(result.partial)
         return result
     except Exception as exc:  # noqa: BLE001 - workers must not crash
         return CellResult(
@@ -162,6 +181,84 @@ def execute_cell(
                   f"{traceback.format_exc(limit=8)}",
             shard=shard, num_shards=num_shards,
         )
+
+
+def execute_cell_with_watchdog(
+    cell: CampaignCell,
+    limits: Optional[ExplorationLimits] = None,
+    verify: bool = True,
+    hard_timeout: Optional[float] = None,
+    resume_state: Optional[Dict[str, Any]] = None,
+    checkpoint_fn: Optional[Callable[[Dict[str, Any]], None]] = None,
+    control_fn: Optional[Callable[[Any], None]] = None,
+    checkpoint_interval: float = 2.0,
+    _execute: Callable[..., CellResult] = None,
+) -> CellResult:
+    """Run one cell under a hard wall-clock watchdog.
+
+    ``ExplorationLimits.max_seconds`` is a *cooperative* deadline —
+    probed every 32 scheduling points — so a cell that wedges inside a
+    single step (a pathological guest, a runaway object semantics bug)
+    would hold its lease forever.  The watchdog runs the cell in a
+    daemon thread and, if it has not finished after ``hard_timeout``
+    seconds, reports the cell as ``timed_out`` (a failed
+    :class:`CellResult` with ``diagnostics["status"] == "timed_out"``)
+    instead of stalling or crashing the worker.
+
+    The overrunning thread cannot be killed (CPython has no thread
+    cancellation); it is asked to stop cooperatively
+    (:meth:`~repro.explore.base.Explorer.request_stop`) and abandoned
+    as a daemon — it stops burning CPU at the next schedule boundary
+    it ever reaches, and dies with the worker process.  ``None``
+    disables the watchdog (plain :func:`execute_cell`).
+    """
+    import threading
+
+    execute = _execute or execute_cell
+    if hard_timeout is None:
+        return execute(cell, limits, verify, resume_state=resume_state,
+                       checkpoint_fn=checkpoint_fn, control_fn=control_fn,
+                       checkpoint_interval=checkpoint_interval)
+    box: Dict[str, Any] = {}
+
+    def capture_control(explorer) -> None:
+        # runs at every schedule boundary: keep the live explorer in
+        # reach so the watchdog can ask it to stop cooperatively
+        box["explorer"] = explorer
+        if control_fn is not None:
+            control_fn(explorer)
+
+    def target() -> None:
+        box["result"] = execute(
+            cell, limits, verify, resume_state=resume_state,
+            checkpoint_fn=checkpoint_fn, control_fn=capture_control,
+            checkpoint_interval=checkpoint_interval,
+        )
+
+    thread = threading.Thread(
+        target=target, daemon=True,
+        name=f"cell-{cell.key}",
+    )
+    thread.start()
+    thread.join(hard_timeout)
+    if thread.is_alive():
+        explorer = box.get("explorer")
+        if explorer is not None and hasattr(explorer, "request_stop"):
+            explorer.request_stop()
+        return CellResult(
+            cell, None, ok=False,
+            error=(f"hard watchdog: cell still running after "
+                   f"{hard_timeout:g}s"),
+            diagnostics={
+                "status": "timed_out",
+                "hard_timeout": hard_timeout,
+            },
+        )
+    result = box.get("result")
+    if result is None:  # pragma: no cover - thread died abnormally
+        return CellResult(cell, None, ok=False,
+                          error="worker thread died without a result")
+    return result
 
 
 def _pool_entry(

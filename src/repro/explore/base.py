@@ -290,6 +290,14 @@ class Explorer:
         self._checkpoint_interval: float = 2.0
         self._last_checkpoint: float = 0.0
         self._points_since_deadline_check = 0
+        #: between-schedules control callback (see :meth:`set_control`);
+        #: unlike checkpoints it runs at EVERY schedule boundary — the
+        #: callback does its own rate limiting — so callers with
+        #: deterministic triggers (fault injection, steal commands at a
+        #: chosen schedule count) fire at exact points
+        self._control_fn: Optional[Callable[["Explorer"], None]] = None
+        #: cooperative stop flag (see :meth:`request_stop`)
+        self._stop_requested = False
 
     # -- views kept for tests and analysis tooling --------------------------
     @property
@@ -338,6 +346,14 @@ class Explorer:
         self.stats.num_schedules += 1
 
     def _budget_exceeded(self) -> bool:
+        # every explorer loop probes the budget between schedules, so
+        # this is the one uniform between-schedules point: run the
+        # control callback (heartbeats, steal commands, fault
+        # injection) first — it may request the stop honoured below
+        self._maybe_control()
+        if self._stop_requested:
+            self.stats.limit_hit = True
+            return True
         if self.stats.num_schedules >= self.limits.max_schedules:
             self.stats.limit_hit = True
             return True
@@ -411,6 +427,35 @@ class Explorer:
             return
         self._last_checkpoint = now
         self._checkpoint_fn(self.snapshot())  # type: ignore[attr-defined]
+
+    # -- external control ---------------------------------------------------
+    def set_control(self, fn: Callable[["Explorer"], None]) -> None:
+        """Install a between-schedules control callback.
+
+        ``fn(self)`` runs at every schedule boundary of explorers that
+        support it (the kernel family and DPOR — the same set that
+        honours checkpoints).  The distributed campaign worker uses it
+        to heartbeat its lease, answer steal commands by splitting the
+        live frontier, and let the chaos harness fire deterministic
+        faults at exact schedule counts.  The callback may call
+        :meth:`request_stop` to end the run cooperatively.
+        """
+        self._control_fn = fn
+
+    def _maybe_control(self) -> None:
+        if self._control_fn is not None:
+            self._control_fn(self)
+
+    def request_stop(self) -> None:
+        """Ask the run to stop at the next schedule boundary.
+
+        The run ends as if a budget limit fired (``limit_hit`` set,
+        frontier preserved), so a ``snapshot()`` taken afterwards
+        resumes exactly where the stop landed.  Used by the
+        distributed worker to abandon a task whose lease the
+        coordinator revoked.
+        """
+        self._stop_requested = True
 
     # -- template method ------------------------------------------------------
     def run(self) -> ExplorationStats:

@@ -107,6 +107,7 @@ def run_single(
     resume_state: Optional[dict] = None,
     checkpoint_fn=None,
     checkpoint_interval: float = 2.0,
+    control_fn=None,
     on_explorer=None,
 ) -> ExplorationStats:
     """Execute ONE (program, explorer, seed) cell.
@@ -134,6 +135,10 @@ def run_single(
     * ``checkpoint_fn`` — called with a fresh snapshot at most every
       ``checkpoint_interval`` seconds between schedules (the campaign
       store threads this through for intra-cell ``--resume``);
+    * ``control_fn`` — installed as the explorer's between-schedules
+      control callback (``Explorer.set_control``); the distributed
+      worker heartbeats its lease, answers steal commands and injects
+      chaos faults through it;
     * ``on_explorer`` — receives the explorer instance after the run
       (the campaign worker grabs the final snapshot of budget-limited
       cells this way).
@@ -145,6 +150,8 @@ def run_single(
         explorer.restore(resume_state)
     if checkpoint_fn is not None and hasattr(explorer, "snapshot"):
         explorer.set_checkpoint(checkpoint_fn, checkpoint_interval)
+    if control_fn is not None:
+        explorer.set_control(control_fn)
     stats = explorer.run()
     if verify:
         stats.verify_inequality()

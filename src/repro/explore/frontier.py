@@ -223,6 +223,32 @@ class Frontier:
             )
         return cls(WorkItem.from_dict(p) for p in payload["items"])
 
+    # -- work stealing -----------------------------------------------------
+    def steal(self, k: int) -> "Frontier":
+        """Remove up to ``k`` items from the *bottom* of the stack and
+        return them as a new frontier (possibly empty).
+
+        The bottom items are the oldest unexplored subtree roots —
+        under depth-first order the ones this exploration would reach
+        *last*, which makes them the natural donation to an idle
+        worker: the victim keeps its current locality (the top of the
+        stack it is about to pop) and hands over the largest, most
+        distant chunks of remaining work.  The two frontiers partition
+        this one's items exactly (relative order preserved on both
+        sides), so by the frontier invariant the stolen subtrees are
+        disjoint from everything the victim keeps — stolen work is
+        explored exactly once, wherever it lands.
+
+        Deterministic: a pure function of item order and ``k``.
+        """
+        if k < 0:
+            raise ValueError(f"steal requires k >= 0, got {k}")
+        self._compact()
+        k = min(k, len(self._items))
+        stolen = self._items[:k]
+        self._items = self._items[k:]
+        return Frontier(stolen)
+
     # -- sharding ----------------------------------------------------------
     def split(self, k: int) -> List["Frontier"]:
         """Partition into ``k`` sub-frontiers (some possibly empty).

@@ -165,6 +165,10 @@ class KernelExplorer(Explorer):
         strategy = self.strategy
         sink = self.schedule_sink
         while frontier:
+            # the budget probe runs the control callback first: it may
+            # request a stop (honoured by the same probe) or steal
+            # frontier items, and a checkpoint taken afterwards must
+            # reflect that
             if self._budget_exceeded():
                 return  # frontier preserved: snapshot() resumes here
             # checkpoint BEFORE popping: a snapshot must contain the

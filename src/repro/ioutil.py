@@ -1,0 +1,99 @@
+"""Crash-safe file writes: the one atomic-JSON helper.
+
+Every durable artifact the toolkit writes — campaign stores, partial
+checkpoints, ``BENCH_*.json`` reports, campaign reports, coordinator
+state — goes through :func:`atomic_write_json`, so a process killed at
+*any* instruction boundary can never leave a torn or truncated JSON
+document behind.  The recipe is the standard one:
+
+1. serialize into a sibling temp file (same directory, so the final
+   rename never crosses a filesystem boundary);
+2. ``flush`` + ``os.fsync`` the temp file, so the *contents* are
+   durable before the name is;
+3. ``os.replace`` onto the destination (atomic on POSIX and Windows);
+4. best-effort ``fsync`` of the containing directory, so the rename
+   itself survives power loss.
+
+Readers therefore observe either the complete old document or the
+complete new one, never a prefix.  Temp names embed the writer's PID,
+so concurrent writers of *different* documents in one directory never
+collide (two writers racing on the *same* path last-write-wins, which
+is the same guarantee ``os.replace`` gives).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      fsync: bool = True) -> None:
+    """Atomically replace ``path`` with ``text`` (see module doc)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f"{path.name}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # a failed write must not leave temp litter that a later
+        # directory scan could mistake for real data
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_dir(path.parent)
+
+
+def atomic_write_json(
+    path: Union[str, Path],
+    payload: Any,
+    indent: int = 1,
+    sort_keys: bool = True,
+    fsync: bool = True,
+) -> None:
+    """Atomically replace ``path`` with ``payload`` serialized as JSON.
+
+    ``sort_keys`` defaults on so that equal payloads serialize to equal
+    bytes — the property the campaign's bit-identical-report tests
+    compare on.
+    """
+    atomic_write_text(
+        path,
+        json.dumps(payload, indent=indent, sort_keys=sort_keys),
+        fsync=fsync,
+    )
+
+
+def read_json(path: Union[str, Path]) -> Any:
+    """Best-effort JSON read: ``None`` for a missing, unreadable or
+    malformed file (an atomic writer never produces a malformed file,
+    so ``None`` means "not written yet" or "foreign data")."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Durably record the rename in the directory; best effort (some
+    filesystems and platforms do not support opening directories)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

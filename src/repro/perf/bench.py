@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..explore import ExplorationLimits
 from ..explore.controller import make_explorer, require_explorer
+from ..ioutil import atomic_write_text
 from ..suite import REGISTRY
 
 #: Schema marker so unrelated JSON files are rejected early.
@@ -461,9 +462,10 @@ def profile_case(case_name: str, out_path: str,
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    # crash-safe: a killed bench run never leaves a torn BENCH_*.json
+    atomic_write_text(
+        path, json.dumps(report, indent=1, sort_keys=True) + "\n"
+    )
 
 
 def load_report(path: str) -> Dict[str, Any]:

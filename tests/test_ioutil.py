@@ -1,0 +1,103 @@
+"""Atomic-write semantics: readers never see a torn JSON document.
+
+The distributed campaign leans on :mod:`repro.ioutil` for every
+durable artifact (store, partials, coordinator state, reports), so the
+"old doc or new doc, never a prefix" guarantee gets its own tests —
+including the brutal one: a subprocess SIGKILLed at a random point in
+a tight rewrite loop must leave a parseable document behind.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.ioutil import atomic_write_json, atomic_write_text, read_json
+
+
+class TestAtomicWriteBasics:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"a": 1, "b": [1, 2, 3]})
+        assert read_json(path) == {"a": 1, "b": [1, 2, 3]}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "doc.json"
+        atomic_write_json(path, {"ok": True})
+        assert read_json(path) == {"ok": True}
+
+    def test_replace_preserves_old_until_swap(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"gen": 1})
+        atomic_write_json(path, {"gen": 2})
+        assert read_json(path) == {"gen": 2}
+
+    def test_no_tmp_litter_after_success(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"gen": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_no_tmp_litter_after_serialization_failure(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"gen": "old"})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        # the old document survives and no temp file is left behind
+        assert read_json(path) == {"gen": "old"}
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_atomic_write_text(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_read_json_missing_file(self, tmp_path):
+        assert read_json(tmp_path / "nope.json") is None
+
+    def test_read_json_garbage(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{ this is not json")
+        assert read_json(path) is None
+
+
+def _rewrite_forever(path, ready):
+    """Child: rewrite ``path`` as fast as possible until killed."""
+    gen = 0
+    payload_pad = "x" * 8192  # big enough that a torn write would show
+    while True:
+        gen += 1
+        atomic_write_json(path, {"gen": gen, "pad": payload_pad},
+                          fsync=False)
+        if gen == 3:
+            ready.set()  # at least a few complete documents exist
+
+
+class TestKillMidWrite:
+    def test_sigkill_mid_write_never_tears_the_document(self, tmp_path):
+        """SIGKILL a tight rewrite loop at random points; the document
+        must parse as a *complete* payload every single time."""
+        path = tmp_path / "doc.json"
+        ctx = multiprocessing.get_context("fork")
+        for round_no in range(8):
+            ready = ctx.Event()
+            proc = ctx.Process(target=_rewrite_forever,
+                               args=(str(path), ready), daemon=True)
+            proc.start()
+            assert ready.wait(timeout=30.0), "writer never got going"
+            # kill at a varying offset inside the write loop
+            time.sleep(0.001 * (round_no + 1))
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=10.0)
+            assert proc.exitcode == -signal.SIGKILL
+            payload = read_json(path)
+            assert isinstance(payload, dict), \
+                f"round {round_no}: torn document"
+            assert set(payload) == {"gen", "pad"}
+            assert payload["pad"] == "x" * 8192
+        # temp litter from the killed writers (if any) must never be
+        # mistaken for the document itself
+        raw = json.loads(path.read_text())
+        assert raw["gen"] >= 3
