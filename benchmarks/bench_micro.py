@@ -4,6 +4,10 @@ executor's step loop — these benches track their throughput)."""
 
 from __future__ import annotations
 
+import pytest
+
+from repro.core.engines import create_clock_engine
+from repro.core.events import OpKind
 from repro.core.fingerprint import FingerprintChain
 from repro.core.vector_clock import VectorClock, tuple_leq
 from repro.runtime.executor import Executor
@@ -45,6 +49,63 @@ def test_fingerprint_update(benchmark):
         return chain.prefix_fingerprint()
 
     benchmark(run)
+
+
+#: A representative per-event mix for the observe() isolation bench:
+#: reads/writes on two variables (both dominance branches), a mutex
+#: pair (the lazy side's skip path) and a keyed channel op.
+_OBSERVE_MIX = (
+    (OpKind.READ, 0, None), (OpKind.WRITE, 0, None),
+    (OpKind.LOCK, 2, None), (OpKind.RMW, 1, None),
+    (OpKind.UNLOCK, 2, None), (OpKind.CHAN_SEND, 3, 0),
+)
+
+
+@pytest.mark.parametrize("engine", ["ref", "accel"])
+def test_observe_isolated(benchmark, engine):
+    """observe() alone — THE replay hot path — per backend, with the
+    executor, scheduler and program machinery stripped away."""
+    nthreads = 3
+
+    def run():
+        eng = create_clock_engine(engine)
+        eng.reserve(nthreads)
+        observe = eng.observe
+        for i in range(600):
+            kind, oid, key = _OBSERVE_MIX[i % len(_OBSERVE_MIX)]
+            observe(i % nthreads, int(kind), oid, key)
+        return eng.hbr_fingerprint()
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("engine", ["ref", "accel"])
+def test_engine_fork(benchmark, engine):
+    """Engine fork — paid once per snapshot restore — per backend."""
+    eng = create_clock_engine(engine)
+    eng.reserve(4)
+    for i in range(40):
+        kind, oid, key = _OBSERVE_MIX[i % len(_OBSERVE_MIX)]
+        eng.observe(i % 4, int(kind), oid, key)
+    benchmark(lambda: [eng.fork() for _ in range(50)])
+
+
+@pytest.mark.parametrize("engine", ["ref", "accel"])
+def test_executor_step_isolated(benchmark, engine):
+    """The fast-replay executor step loop per backend (accel additionally
+    installs the specialized stepper)."""
+    program = disjoint_coarse(3, 3)
+
+    def run_steps():
+        ex = Executor(program, fast_replay=True, engine=engine)
+        n = 0
+        while not ex.is_done():
+            ex.step(ex.enabled()[0])
+            n += 1
+        return n
+
+    n = benchmark(run_steps)
+    assert n > 0
 
 
 def test_executor_throughput(benchmark):

@@ -80,6 +80,7 @@ def _cmd_check(args) -> int:
             max_seconds=args.seconds,
             seeds=tuple(range(args.seeds)),
             minimize=not args.no_minimize,
+            engine=args.engine,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -340,6 +341,19 @@ def _cmd_campaign(args) -> int:
         print("error: --coordinator and --worker are mutually "
               "exclusive", file=sys.stderr)
         return 2
+    if args.engine:
+        # campaign cells run in pool/worker subprocesses; the
+        # environment variable is the one channel every spawn mode
+        # (fork, spawn, distributed workers) inherits
+        import os
+
+        from .core.engines import ENGINE_ENV, resolve_engine
+        try:
+            resolve_engine(args.engine)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        os.environ[ENGINE_ENV] = args.engine
     if args.worker:
         # workers take their configuration (limits, verify, budgets)
         # from the coordinator's hello reply, not from the CLI
@@ -510,6 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--expect", choices=("bug", "clean"),
                          help="exit 0 iff the outcome matches (else the "
                               "exit code is 1 when a bug is found)")
+    p_check.add_argument("--engine", choices=("ref", "accel"),
+                         default=None,
+                         help="clock-engine backend (default: auto; "
+                              "see repro.core.engines)")
     p_check.add_argument("--no-minimize", action="store_true",
                          dest="no_minimize",
                          help="skip schedule minimization")
@@ -574,6 +592,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "snapshot tree (default 4; 0 disables "
                              "snapshot resume — results are identical "
                              "either way, only slower)")
+    p_camp.add_argument("--engine", choices=("ref", "accel"),
+                        default=None,
+                        help="clock-engine backend for every cell "
+                             "(exported as REPRO_ENGINE so pool and "
+                             "distributed workers inherit it; default: "
+                             "auto)")
     p_camp.add_argument("--smoke", action="store_true",
                         help="fast CI subset; also fails on unexpected "
                              "explorer findings")
@@ -666,6 +690,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard count for --scenario split")
     p_bench.add_argument("--cases",
                          help="comma-separated case names (default: all)")
+    p_bench.add_argument("--engine", choices=("ref", "accel", "both"),
+                         default=None,
+                         help="clock-engine backend; 'both' runs every "
+                              "case under ref AND accel, asserts the "
+                              "fingerprint sets are identical, and "
+                              "reports the A/B speedups (micro "
+                              "scenario only; default: auto)")
     p_bench.add_argument("--smoke", action="store_true",
                          help="fast mode for CI (shorter measurements)")
     p_bench.add_argument("--repeat", type=int, default=3,

@@ -163,6 +163,7 @@ def check(
     minimize: bool = True,
     trace: bool = True,
     verify: bool = True,
+    engine: Optional[str] = None,
 ) -> CheckResult:
     """Explore ``target`` and report what was found.
 
@@ -179,6 +180,10 @@ def check(
     On a finding, the first error's schedule is minimized by replay
     (delta-debugging style) and re-executed to render a per-thread
     timeline of the shortest reproduction.
+
+    ``engine`` pins the clock-engine backend (``"ref"``/``"accel"``;
+    ``None`` = auto) for the exploration; findings and statistics are
+    identical either way (see :mod:`repro.core.engines`).
     """
     if explorer not in STANDARD_EXPLORERS:
         raise ValueError(
@@ -202,7 +207,8 @@ def check(
     start = time.monotonic()
     stats: Optional[ExplorationStats] = None
     for seed in seed_list:
-        run = run_single(program, explorer, lim, seed=seed, verify=verify)
+        run = run_single(program, explorer, lim, seed=seed, verify=verify,
+                         engine=engine)
         stats = run if stats is None else stats.merge(run)
 
     finding = stats.errors[0] if stats.errors else None

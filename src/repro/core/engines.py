@@ -1,0 +1,134 @@
+"""The engine backend registry: pluggable clock-engine implementations.
+
+The replay hot path — :meth:`~repro.core.hb.DualClockEngine.observe`
+plus the executor step loop driving it — exists in two implementations:
+
+* ``ref`` — the pure-Python reference (:class:`~repro.core.hb
+  .DualClockEngine`): list-of-list clocks, always correct, always
+  available.  The only backend that supports ``canonical=True``.
+* ``accel`` — the accelerated engine (:class:`~repro.core.hb_accel
+  .AccelClockEngine`): flat ``array('q')`` clock storage with
+  copy-on-publish at the array level, int-keyed location tables, an
+  optional numpy bulk-join path for wide clocks, and a specialized
+  executor step loop (:mod:`repro.runtime.stepper`).  Byte-identical
+  to ``ref`` by contract: fingerprints, state hashes, schedules and
+  clock snapshots must match suite-wide (the equivalence tests and the
+  ``bench --engine both`` harness enforce it).
+
+Selection is runtime, with this precedence:
+
+1. an explicit name (``--engine`` on the ``bench``/``campaign``/
+   ``check`` CLIs, or the ``engine=`` parameter threaded through
+   :class:`~repro.runtime.executor.Executor` and the explorers);
+2. the ``REPRO_ENGINE`` environment variable (``ref`` or ``accel``);
+3. ``auto`` — the measured-fastest default for this machine class.
+
+Auto currently resolves to ``ref`` in **both** executor modes: at
+suite thread counts (3–6 threads) the reference's plain-list clocks
+measure faster than the array engine on this harness — boxing machine
+ints out of an ``array('q')`` on every scalar read costs more than the
+batched joins save, and the numpy bulk-join path only engages at ≥ 32
+wide.  The interleaved A/B harness (``bench --engine both``) is the
+evidence, and re-running it is how this default should be revisited if
+the balance changes (wider programs, a faster buffer protocol, a
+C extension).  The ``fast_replay`` hint threaded into
+:func:`resolve_engine` is the routing hook for that future: auto may
+pick per-mode without touching any caller.
+
+An *explicit* name (CLI flag or ``REPRO_ENGINE``) always wins, so
+``REPRO_ENGINE=accel`` forces the array engine everywhere —
+byte-identical results, enforced by the equivalence suite and the
+``bench --engine both`` harness — and ``REPRO_ENGINE=ref`` pins the
+reference even where a future auto would disagree.  See DESIGN.md §11.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+from .hb import DualClockEngine
+
+#: Environment variable consulted when no explicit engine is requested.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Name resolved when neither an explicit request nor the environment
+#: names a backend.
+AUTO = "auto"
+
+#: name -> zero-arg availability probe.  ``ref`` is always available;
+#: ``accel`` degrades to unavailable if its module fails to import
+#: (the registry then auto-picks ``ref``).
+_BACKENDS: Dict[str, Callable[[], bool]] = {}
+
+
+def register_backend(name: str, available: Callable[[], bool]) -> None:
+    _BACKENDS[name] = available
+
+
+def _accel_importable() -> bool:
+    try:
+        from . import hb_accel  # noqa: F401
+    except Exception:  # pragma: no cover - accel ships with the package
+        return False
+    return True
+
+
+register_backend("ref", lambda: True)
+register_backend("accel", _accel_importable)
+
+
+def backend_names() -> tuple:
+    """Registered backend names, reference first."""
+    return tuple(_BACKENDS)
+
+
+def available_backends() -> tuple:
+    """The subset of registered backends that can actually be built."""
+    return tuple(n for n, probe in _BACKENDS.items() if probe())
+
+
+def resolve_engine(
+    name: Optional[str] = None, fast_replay: bool = True
+) -> str:
+    """Resolve a requested engine name to a concrete backend.
+
+    ``None``/``"auto"`` consults :data:`ENGINE_ENV`, then falls back
+    to the measured-fastest default — currently ``ref`` in both
+    executor modes (see the module docstring; ``fast_replay`` is the
+    hook that lets auto route per mode if that measurement changes).
+    An explicit unknown or unavailable name raises ``ValueError``
+    (misconfiguration should be loud, not a silent fallback).
+    """
+    if name is None or name == "" or name == AUTO:
+        name = os.environ.get(ENGINE_ENV) or AUTO
+    if name == AUTO:
+        return "ref"
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown engine {name!r}; available: "
+            f"{sorted(_BACKENDS)} (or 'auto')"
+        )
+    if not _BACKENDS[name]():
+        raise ValueError(f"engine {name!r} is not available in this "
+                         f"environment")
+    return name
+
+
+def create_clock_engine(
+    name: Optional[str] = None, canonical: bool = False,
+    fast_replay: bool = True,
+):
+    """Build a clock engine for the resolved backend.
+
+    ``canonical=True`` always builds the reference engine: the exact
+    :class:`~repro.core.fingerprint.CanonicalHBR` forms are theorem
+    checker/test machinery, never part of the replay hot path, and only
+    the reference implementation carries them.
+    """
+    resolved = resolve_engine(name, fast_replay=fast_replay)
+    if canonical or resolved == "ref":
+        return DualClockEngine(canonical=canonical)
+    from .hb_accel import AccelClockEngine
+
+    return AccelClockEngine()

@@ -111,6 +111,8 @@ class DualClockEngine:
         exploration hot path).
     """
 
+    backend = "ref"
+
     __slots__ = ("regular", "lazy", "_pending_sync", "_canonical")
 
     def __init__(self, canonical: bool = False) -> None:
@@ -344,3 +346,14 @@ class DualClockEngine:
         side = self.lazy if lazy else self.regular
         side.ensure_thread(tid)
         return side.thread_clocks[tid]
+
+    # ------------------------------------------------------------------
+    def table_stats(self) -> Tuple[int, int]:
+        """(published table entries, thread count) — the backend-neutral
+        sizing hook snapshot memory estimation uses (the accelerated
+        engine exposes the same signature over its own layout)."""
+        r, z = self.regular, self.lazy
+        entries = (
+            len(r.access) + len(r.modify) + len(z.access) + len(z.modify)
+        )
+        return entries, len(r.thread_clocks)

@@ -1,0 +1,415 @@
+"""The accelerated clock engine (``engine="accel"``).
+
+Drop-in replacement for :class:`~repro.core.hb.DualClockEngine` on the
+replay hot path, byte-identical by contract (same published snapshot
+tuples, same fingerprints, same clock values — the equivalence suite
+and ``bench --engine both`` enforce it) but laid out for speed:
+
+* **flat ``array('q')`` clock storage** — each relation keeps all
+  thread clocks in one machine-int array of ``cap``-wide rows (thread
+  ``t``'s clock occupies ``[t*cap, t*cap + len_t)``; slots past the
+  logical length are zero).  Forking a side is two C-level ``memcpy``
+  slice copies instead of one list copy per thread — the dominant cost
+  of :meth:`fork` under snapshot-heavy exploration;
+* **copy-on-publish at the array level** — the per-event published
+  tuple is built straight from the array row (``tuple(buf[b:b+n])``),
+  and the logical row lengths replicate the reference engine's
+  grow-on-join rule exactly, so published tuples are value- and
+  length-identical to the reference;
+* **split location tables** — whole-object locations (``key is
+  None``, the overwhelmingly common case) live in int-keyed dicts, so
+  the hot path never allocates or hashes an ``(oid, key)`` tuple;
+  element accesses keep tuple-keyed tables;
+* **fused dominance-or-join publish** — the non-modifying table
+  update does one pass that either proves dominance (plain pointer
+  replacement) or falls back to a genuine join;
+* **optional numpy bulk joins** — rows at least :data:`_NP_MIN` wide
+  are joined via ``np.maximum`` over a zero-copy ``frombuffer`` view;
+  narrow clocks (every suite program) stay on the scalar loop, which
+  measures faster below that width.  Stdlib-only fallback when numpy
+  is missing.
+
+The engine does not implement ``canonical=True`` — exact
+:class:`~repro.core.fingerprint.CanonicalHBR` forms are theorem-checker
+machinery; the registry (:mod:`repro.core.engines`) builds the
+reference engine for canonical callers.
+
+See DESIGN.md §11.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from .events import IS_MODIFYING, IS_MUTEX, Event
+from .fingerprint import _SEED
+from .vector_clock import VectorClock, tuple_dominates, tuple_join
+
+try:  # optional fast path; the scalar loop below is the contract
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy present in dev envs
+    _np = None
+
+#: Minimum row width for the numpy join path.  Below this, ufunc call
+#: overhead loses to the scalar loop (suite clocks are 2–10 wide).
+_NP_MIN = 32
+
+#: Initial per-row capacity (threads).  Covers every suite program
+#: without growth; dynamic spawns past it trigger one rebuild.
+_INITIAL_CAP = 8
+
+
+def _join_row(buf: array, base: int, tlen: int, tup) -> int:
+    """Join snapshot ``tup`` into the row at ``base``; returns the new
+    logical row length (the reference engine's grow-on-join rule)."""
+    n = len(tup)
+    if _np is not None and n >= _NP_MIN:
+        row = _np.frombuffer(buf, dtype=_np.int64, count=n, offset=base * 8)
+        _np.maximum(row, tup, out=row)
+    else:
+        i = base
+        for v in tup:
+            if v > buf[i]:
+                buf[i] = v
+            i += 1
+    return n if n > tlen else tlen
+
+
+class AccelClockEngine:
+    """Accelerated dual happens-before clock engine.
+
+    Public API mirrors :class:`~repro.core.hb.DualClockEngine`; state
+    layout is flat (per-side buffers and tables live directly on the
+    engine) so :meth:`observe` runs with minimal attribute chasing.
+    """
+
+    backend = "accel"
+
+    __slots__ = (
+        "_cap", "_nthreads", "_pending_sync",
+        # regular relation
+        "_rbuf", "_rlens", "_rchains", "_rcount",
+        "_raccess_o", "_rmodify_o", "_raccess_k", "_rmodify_k",
+        # lazy relation
+        "_lbuf", "_llens", "_lchains", "_lcount",
+        "_laccess_o", "_lmodify_o", "_laccess_k", "_lmodify_k",
+    )
+
+    def __init__(self) -> None:
+        cap = _INITIAL_CAP
+        self._cap = cap
+        self._nthreads = 0
+        self._pending_sync: Dict[
+            int, List[Tuple[Tuple[int, ...], Tuple[int, ...]]]
+        ] = {}
+        self._rbuf = array("q", bytes(8 * cap * cap))
+        self._lbuf = array("q", bytes(8 * cap * cap))
+        self._rlens: List[int] = []
+        self._llens: List[int] = []
+        self._rchains: List[int] = []
+        self._lchains: List[int] = []
+        self._rcount = 0
+        self._lcount = 0
+        self._raccess_o: Dict[int, Tuple[int, ...]] = {}
+        self._rmodify_o: Dict[int, Tuple[int, ...]] = {}
+        self._raccess_k: Dict[Tuple[int, object], Tuple[int, ...]] = {}
+        self._rmodify_k: Dict[Tuple[int, object], Tuple[int, ...]] = {}
+        self._laccess_o: Dict[int, Tuple[int, ...]] = {}
+        self._lmodify_o: Dict[int, Tuple[int, ...]] = {}
+        self._laccess_k: Dict[Tuple[int, object], Tuple[int, ...]] = {}
+        self._lmodify_k: Dict[Tuple[int, object], Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def _ensure(self, tid: int) -> None:
+        """Declare threads ``0..tid`` in both relations (the reference
+        engine's per-side ``ensure_thread``, fused)."""
+        if tid >= self._cap:
+            self._grow(tid + 1)
+        n = self._nthreads
+        if n > tid:
+            return
+        rlens, llens = self._rlens, self._llens
+        rchains, lchains = self._rchains, self._lchains
+        while n <= tid:
+            # a fresh thread's clock is [0] * (index + 1), and its
+            # fingerprint chain is seeded exactly like FingerprintChain
+            rlens.append(n + 1)
+            llens.append(n + 1)
+            seed = hash((_SEED, n))
+            rchains.append(seed)
+            lchains.append(seed)
+            n += 1
+        self._nthreads = n
+
+    def _grow(self, need: int) -> None:
+        """Rebuild both buffers with a wider row stride (rare: only
+        dynamic spawns past the reserve can trigger it)."""
+        old_cap = self._cap
+        new_cap = old_cap
+        while new_cap < need:
+            new_cap *= 2
+        for attr, lens in (("_rbuf", self._rlens), ("_lbuf", self._llens)):
+            old = getattr(self, attr)
+            new = array("q", bytes(8 * new_cap * new_cap))
+            for t, ln in enumerate(lens):
+                new[t * new_cap:t * new_cap + ln] = \
+                    old[t * old_cap:t * old_cap + ln]
+            setattr(self, attr, new)
+        self._cap = new_cap
+
+    # ------------------------------------------------------------------
+    def fork(self) -> "AccelClockEngine":
+        """An independent engine continuing from this one's state.
+
+        The buffer copies are single C-level memcpys; published tuples
+        in the location tables are shared (copy-on-publish discipline,
+        exactly like the reference engine's fork)."""
+        eng = AccelClockEngine.__new__(AccelClockEngine)
+        eng._cap = self._cap
+        eng._nthreads = self._nthreads
+        eng._rbuf = self._rbuf[:]
+        eng._lbuf = self._lbuf[:]
+        eng._rlens = self._rlens[:]
+        eng._llens = self._llens[:]
+        eng._rchains = self._rchains[:]
+        eng._lchains = self._lchains[:]
+        eng._rcount = self._rcount
+        eng._lcount = self._lcount
+        eng._raccess_o = dict(self._raccess_o)
+        eng._rmodify_o = dict(self._rmodify_o)
+        eng._raccess_k = dict(self._raccess_k)
+        eng._rmodify_k = dict(self._rmodify_k)
+        eng._laccess_o = dict(self._laccess_o)
+        eng._lmodify_o = dict(self._lmodify_o)
+        eng._laccess_k = dict(self._laccess_k)
+        eng._lmodify_k = dict(self._lmodify_k)
+        eng._pending_sync = {
+            tid: list(edges) for tid, edges in self._pending_sync.items()
+        }
+        return eng
+
+    # ------------------------------------------------------------------
+    def reserve(self, n: int) -> None:
+        if n > 0:
+            self._ensure(n - 1)
+
+    def register_thread(
+        self, tid: int, parent_spawn_event: Optional[Event] = None
+    ) -> None:
+        if parent_spawn_event is not None:
+            assert parent_spawn_event.clock is not None
+            self.register_thread_clocks(
+                tid, parent_spawn_event.clock, parent_spawn_event.lazy_clock
+            )
+        else:
+            self._ensure(tid)
+
+    def register_thread_clocks(
+        self,
+        tid: int,
+        spawn_clock: Tuple[int, ...],
+        spawn_lazy_clock: Tuple[int, ...],
+    ) -> None:
+        self._ensure(tid)
+        base = tid * self._cap
+        self._rlens[tid] = _join_row(
+            self._rbuf, base, self._rlens[tid], spawn_clock
+        )
+        self._llens[tid] = _join_row(
+            self._lbuf, base, self._llens[tid], spawn_lazy_clock
+        )
+
+    def add_release_edge(self, event: Event, released_tid: int) -> None:
+        assert event.clock is not None and event.lazy_clock is not None
+        self.add_release_edge_clocks(
+            event.clock, event.lazy_clock, released_tid
+        )
+
+    def add_release_edge_clocks(
+        self,
+        clock: Tuple[int, ...],
+        lazy_clock: Tuple[int, ...],
+        released_tid: int,
+    ) -> None:
+        self._pending_sync.setdefault(released_tid, []).append(
+            (clock, lazy_clock)
+        )
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: Event) -> None:
+        event.clock, event.lazy_clock = self.observe(
+            event.tid, event.kind, event.oid, event.key,
+            event.released_mutex_oid,
+        )
+
+    def observe(
+        self,
+        tid: int,
+        kind: int,
+        oid: int,
+        key: object,
+        released_mutex_oid: Optional[int] = None,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Fold one executed operation into both relations; identical
+        observable behaviour to the reference engine's ``observe``."""
+        ps = self._pending_sync
+        pending = ps.pop(tid, None) if ps else None
+        modifying = IS_MODIFYING[kind]
+        keyless = key is None
+        cap = self._cap
+        base = tid * cap
+
+        # -- regular relation ------------------------------------------
+        buf = self._rbuf
+        tlen = self._rlens[tid]
+        if pending:
+            for edge in pending:
+                tlen = _join_row(buf, base, tlen, edge[0])
+        access_o = self._raccess_o
+        if oid >= 0:
+            if keyless:
+                prev = (access_o if modifying else self._rmodify_o).get(oid)
+            else:
+                prev = (self._raccess_k if modifying
+                        else self._rmodify_k).get((oid, key))
+            if prev is not None:
+                tlen = _join_row(buf, base, tlen, prev)
+        # A WAIT event releases its paired mutex: regular side only.
+        if released_mutex_oid is not None:
+            prev = access_o.get(released_mutex_oid)
+            if prev is not None:
+                tlen = _join_row(buf, base, tlen, prev)
+        p = base + tid
+        buf[p] += 1
+        self._rlens[tid] = tlen
+        snap = tuple(buf[base:base + tlen])  # copy-on-publish
+        if oid >= 0:
+            if modifying:
+                # joined A[loc] above, then ticked: plain replacement
+                if keyless:
+                    access_o[oid] = snap
+                    self._rmodify_o[oid] = snap
+                else:
+                    loc = (oid, key)
+                    self._raccess_k[loc] = snap
+                    self._rmodify_k[loc] = snap
+            elif keyless:
+                old = access_o.get(oid)
+                if old is None or tuple_dominates(snap, old):
+                    access_o[oid] = snap
+                else:  # concurrent readers: genuine join
+                    access_o[oid] = tuple_join(snap, old)
+            else:
+                loc = (oid, key)
+                access_k = self._raccess_k
+                old = access_k.get(loc)
+                if old is None or tuple_dominates(snap, old):
+                    access_k[loc] = snap
+                else:
+                    access_k[loc] = tuple_join(snap, old)
+        if released_mutex_oid is not None:
+            access_o[released_mutex_oid] = snap
+            self._rmodify_o[released_mutex_oid] = snap
+
+        # -- lazy relation (mutex ops induce no inter-thread edges) ----
+        buf = self._lbuf
+        tlen = self._llens[tid]
+        if pending:
+            for edge in pending:
+                tlen = _join_row(buf, base, tlen, edge[1])
+        track = oid >= 0 and not IS_MUTEX[kind]
+        if track:
+            if keyless:
+                prev = (self._laccess_o if modifying
+                        else self._lmodify_o).get(oid)
+            else:
+                prev = (self._laccess_k if modifying
+                        else self._lmodify_k).get((oid, key))
+            if prev is not None:
+                tlen = _join_row(buf, base, tlen, prev)
+        buf[p] += 1
+        self._llens[tid] = tlen
+        lazy_snap = tuple(buf[base:base + tlen])
+        if track:
+            if modifying:
+                if keyless:
+                    self._laccess_o[oid] = lazy_snap
+                    self._lmodify_o[oid] = lazy_snap
+                else:
+                    loc = (oid, key)
+                    self._laccess_k[loc] = lazy_snap
+                    self._lmodify_k[loc] = lazy_snap
+            elif keyless:
+                access_o = self._laccess_o
+                old = access_o.get(oid)
+                if old is None or tuple_dominates(lazy_snap, old):
+                    access_o[oid] = lazy_snap
+                else:
+                    access_o[oid] = tuple_join(lazy_snap, old)
+            else:
+                loc = (oid, key)
+                access_k = self._laccess_k
+                old = access_k.get(loc)
+                if old is None or tuple_dominates(lazy_snap, old):
+                    access_k[loc] = lazy_snap
+                else:
+                    access_k[loc] = tuple_join(lazy_snap, old)
+
+        # -- fingerprints (the chained-hash formula of FingerprintChain)
+        if key is None:
+            key = -1
+        chains = self._rchains
+        chains[tid] = hash((chains[tid], kind, oid, key, snap))
+        self._rcount += 1
+        chains = self._lchains
+        chains[tid] = hash((chains[tid], kind, oid, key, lazy_snap))
+        self._lcount += 1
+        return snap, lazy_snap
+
+    # ------------------------------------------------------------------
+    # Fingerprint accessors
+    def hbr_fingerprint(self) -> int:
+        return hash((self._rcount, tuple(self._rchains)))
+
+    def lazy_fingerprint(self) -> int:
+        return hash((self._lcount, tuple(self._lchains)))
+
+    def canonical_hbr(self):
+        raise ValueError("engine was created with canonical=False")
+
+    def canonical_lazy_hbr(self):
+        raise ValueError("engine was created with canonical=False")
+
+    # ------------------------------------------------------------------
+    def thread_clock(self, tid: int, lazy: bool = False) -> VectorClock:
+        self._ensure(tid)
+        base = tid * self._cap
+        if lazy:
+            row = self._lbuf[base:base + self._llens[tid]]
+        else:
+            row = self._rbuf[base:base + self._rlens[tid]]
+        return VectorClock(init=row)
+
+    def thread_clock_raw(self, tid: int, lazy: bool = False):
+        """The thread's clock as an int sequence (supports ``len`` and
+        indexing, the DPOR happens-before test's needs).  A zero-copy
+        live view, like the reference engine's list — valid until the
+        engine's next mutation (``_grow`` swaps buffers but the
+        exported view stays on the old one, so no BufferError)."""
+        self._ensure(tid)
+        base = tid * self._cap
+        if lazy:
+            return memoryview(self._lbuf)[base:base + self._llens[tid]]
+        return memoryview(self._rbuf)[base:base + self._rlens[tid]]
+
+    # ------------------------------------------------------------------
+    def table_stats(self) -> Tuple[int, int]:
+        """(published table entries, thread count) — snapshot sizing."""
+        entries = (
+            len(self._raccess_o) + len(self._rmodify_o)
+            + len(self._raccess_k) + len(self._rmodify_k)
+            + len(self._laccess_o) + len(self._lmodify_o)
+            + len(self._laccess_k) + len(self._lmodify_k)
+        )
+        return entries, self._nthreads

@@ -266,6 +266,12 @@ class Explorer:
     #: tests do — since executors read it at construction time.
     fast_replay = True
 
+    #: Clock-engine backend for the executors this explorer builds
+    #: (``"ref"``/``"accel"``/``None`` = auto; see
+    #: :mod:`repro.core.engines`).  Set by ``make_explorer(engine=...)``
+    #: or directly on the instance before :meth:`run`.
+    engine: Optional[str] = None
+
     def __init__(
         self,
         program: Program,
@@ -319,6 +325,7 @@ class Explorer:
             max_events=self.limits.max_events_per_schedule,
             fast_replay=self.fast_replay,
             snapshots=self.snapshot_tree is not None,
+            engine=self.engine,
         )
 
     def _record_terminal(self, result: TraceResult) -> None:

@@ -90,11 +90,20 @@ def make_explorer(
     program: Program,
     limits: Optional[ExplorationLimits] = None,
     seed: int = 0,
+    engine: Optional[str] = None,
 ) -> Explorer:
-    """Instantiate a standard explorer by name (seed-aware)."""
+    """Instantiate a standard explorer by name (seed-aware).
+
+    ``engine`` pins the clock-engine backend for every executor the
+    explorer builds (``"ref"``/``"accel"``; ``None`` keeps the
+    registry's auto pick — see :mod:`repro.core.engines`).
+    """
     require_explorer(name)
-    return STANDARD_EXPLORERS[name](program, limits or ExplorationLimits(),
-                                    seed)
+    explorer = STANDARD_EXPLORERS[name](program, limits or
+                                        ExplorationLimits(), seed)
+    if engine is not None:
+        explorer.engine = engine
+    return explorer
 
 
 def run_single(
@@ -109,6 +118,7 @@ def run_single(
     checkpoint_interval: float = 2.0,
     control_fn=None,
     on_explorer=None,
+    engine: Optional[str] = None,
 ) -> ExplorationStats:
     """Execute ONE (program, explorer, seed) cell.
 
@@ -124,6 +134,10 @@ def run_single(
     (default) keeps the strategy's own choice.  Both paths produce
     identical fingerprints, state hashes and schedule counts; the
     equivalence suite enforces this.
+
+    ``engine`` pins the clock-engine backend (``"ref"``/``"accel"``)
+    for the cell's executors; ``None`` keeps the registry's auto pick.
+    Both backends are byte-identical in observable behaviour.
 
     The frontier-kernel extensions (all optional, ignored by
     strategies without snapshot support):
@@ -143,7 +157,8 @@ def run_single(
       (the campaign worker grabs the final snapshot of budget-limited
       cells this way).
     """
-    explorer = make_explorer(explorer_name, program, limits, seed)
+    explorer = make_explorer(explorer_name, program, limits, seed,
+                             engine=engine)
     if fast is not None:
         explorer.fast_replay = fast
     if resume_state is not None and hasattr(explorer, "restore"):

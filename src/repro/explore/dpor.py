@@ -91,6 +91,7 @@ class DPORExplorer(Explorer):
             max_events=self.limits.max_events_per_schedule,
             fast_replay=False,
             snapshots=self.snapshot_tree is not None,
+            engine=self.engine,
         )
 
     def __init__(self, program, limits=None, sleep_sets: bool = True) -> None:
@@ -102,6 +103,9 @@ class DPORExplorer(Explorer):
         #: exploration state can be snapshot/restored between schedules
         self._stack: List[_Node] = []
         self._started = False
+        #: retired (instance, threads) handoffs from finished schedules,
+        #: recycled by snapshot restores (see Executor.release_instance)
+        self._instance_pool: List[Any] = []
         if self.limits.snapshot_budget_bytes > 0:
             self.snapshot_tree = SnapshotTree(
                 self.limits.snapshot_budget_bytes
@@ -166,7 +170,10 @@ class DPORExplorer(Explorer):
             cached = tree.lookup(tuple(node.chosen for node in stack))
             if cached is not None:
                 start, snap = cached
-                ex = Executor.from_snapshot(snap)
+                pool = self._instance_pool
+                ex = Executor.from_snapshot(
+                    snap, reuse=pool.pop() if pool else None
+                )
                 for event in ex.trace:
                     self._index_event(loc_index, ex.trace, event)
                 tree.resumed_events += start
@@ -209,6 +216,7 @@ class DPORExplorer(Explorer):
                 self.stats.num_events += result.num_events
                 self._update_backtracks(ex, stack, loc_index)
                 self._record_terminal(result)
+                self._retire(ex)
                 return False
             if len(ex.trace) >= len(stack):
                 # a state we have not analysed yet
@@ -221,6 +229,7 @@ class DPORExplorer(Explorer):
                     if not runnable:
                         # every enabled thread is redundant here: the
                         # continuation is covered by an earlier branch
+                        self._retire(ex)
                         return True
                     choice = runnable[0]
                     node.backtrack.add(choice)
@@ -228,6 +237,15 @@ class DPORExplorer(Explorer):
                     node.done.add(choice)
                     stack.append(node)
             self._index_event(loc_index, ex.trace, ex.step(stack[len(ex.trace)].chosen))
+
+    def _retire(self, ex: Executor) -> None:
+        """Bank a finished schedule's instance/threads for the next
+        snapshot restore (bounded pool; shim programs opt out)."""
+        pool = self._instance_pool
+        if len(pool) < 4:
+            handoff = ex.release_instance()
+            if handoff is not None:
+                pool.append(handoff)
 
     # ------------------------------------------------------------------
     # The frontier/work-item interface.  DPOR keeps its bespoke loop —

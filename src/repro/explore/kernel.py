@@ -154,6 +154,9 @@ class KernelExplorer(Explorer):
             self.frontier.push(item)
         self.schedule_sink: Optional[List[List[int]]] = None
         self._seed_target: Optional[int] = None
+        # retired program instances recycled into from_snapshot (see
+        # Executor.release_instance: DSL programs only, bounded depth)
+        self._instance_pool: List[Any] = []
         if self.limits.snapshot_budget_bytes > 0:
             self.snapshot_tree = SnapshotTree(
                 self.limits.snapshot_budget_bytes
@@ -193,12 +196,15 @@ class KernelExplorer(Explorer):
             # paths are observably identical (snapshot equivalence)
             prefix: List[int] = list(item.prefix)
             tree = self.snapshot_tree
+            pool = self._instance_pool
             ex: Optional[Executor] = None
             if tree is not None and prefix:
                 cached = tree.lookup(item.prefix)
                 if cached is not None:
                     depth, snap = cached
-                    ex = Executor.from_snapshot(snap)
+                    ex = Executor.from_snapshot(
+                        snap, reuse=pool.pop() if pool else None
+                    )
                     ex.replay_prefix(prefix[depth:])
                     tree.resumed_events += depth
                     tree.replayed_events += len(prefix) - depth
@@ -260,6 +266,10 @@ class KernelExplorer(Explorer):
                 self._record_terminal(result)
                 if sink is not None:
                     sink.append(list(result.schedule))
+            if len(pool) < 4:
+                retired = ex.release_instance()
+                if retired is not None:
+                    pool.append(retired)
         self.stats.exhausted = not self.stats.limit_hit
 
     def run(self) -> ExplorationStats:

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..core.engines import resolve_engine
 from ..explore import ExplorationLimits
 from ..explore.controller import make_explorer, require_explorer
 from ..ioutil import atomic_write_text
@@ -39,6 +40,9 @@ from ..suite import REGISTRY
 
 #: Schema marker so unrelated JSON files are rejected early.
 REPORT_KIND = "repro-bench"
+
+#: Schema marker of the two-engine A/B reports (``bench --engine both``).
+AB_REPORT_KIND = "repro-bench-ab"
 
 #: Schema marker of the frontier split/resume scenario reports.
 SPLIT_REPORT_KIND = "repro-bench-split"
@@ -137,7 +141,8 @@ def _case_limits(case: BenchCase,
 
 
 def _measure_case(case: BenchCase, min_time: float,
-                  snapshot_budget_bytes: Optional[int] = None
+                  snapshot_budget_bytes: Optional[int] = None,
+                  engine: Optional[str] = None
                   ) -> Dict[str, Any]:
     """Run ``case`` repeatedly until ``min_time`` seconds accumulate."""
     limits = _case_limits(case, snapshot_budget_bytes)
@@ -145,7 +150,8 @@ def _measure_case(case: BenchCase, min_time: float,
     total_sched = total_events = iterations = 0
     total_time = 0.0
     while total_time < min_time or iterations == 0:
-        explorer = make_explorer(case.explorer, program, limits)
+        explorer = make_explorer(case.explorer, program, limits,
+                                 engine=engine)
         t0 = time.perf_counter()
         stats = explorer.run()
         total_time += time.perf_counter() - t0
@@ -162,14 +168,7 @@ def _measure_case(case: BenchCase, min_time: float,
     }
 
 
-def run_bench(
-    cases: Optional[Sequence[str]] = None,
-    smoke: bool = False,
-    repeat: int = 3,
-    min_time: float = 0.25,
-    progress=None,
-) -> Dict[str, Any]:
-    """Run the micro-benchmarks and return the JSON-ready report."""
+def _select_cases(cases: Optional[Sequence[str]]) -> List[BenchCase]:
     selected = CASES
     if cases:
         by_name = {c.name: c for c in CASES}
@@ -181,6 +180,38 @@ def run_bench(
         selected = [by_name[n] for n in cases]
     for case in selected:
         require_explorer(case.explorer)
+    return selected
+
+
+def _case_engine(case: BenchCase, engine: Optional[str]) -> str:
+    """The backend the case's executors will actually use.
+
+    Resolution goes through :func:`repro.core.engines.resolve_engine`
+    with the case's executor mode, so the recorded name tracks
+    whatever the registry decides for that explorer — today ``ref``
+    under auto, but the row stays truthful if the default changes.
+    """
+    probe = make_explorer(case.explorer, REGISTRY[case.bench_id].program,
+                          _case_limits(case))
+    return resolve_engine(engine, fast_replay=probe.fast_replay)
+
+
+def run_bench(
+    cases: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+    repeat: int = 3,
+    min_time: float = 0.25,
+    progress=None,
+    engine: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the micro-benchmarks and return the JSON-ready report.
+
+    ``engine`` pins the clock-engine backend for every case
+    (``"ref"``/``"accel"``; ``None`` = the registry's mode-aware auto
+    pick).  Every case row records the backend it actually ran under
+    (``"engine"``), so reports are self-describing.
+    """
+    selected = _select_cases(cases)
     if smoke:
         # shorter than the default but long enough that a single noisy
         # scheduler hiccup cannot fake a >30% regression in CI
@@ -194,6 +225,7 @@ def run_bench(
             "smoke": bool(smoke),
             "repeat": repeat,
             "min_time": min_time,
+            "engine": engine or "auto",
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "calibration_ops_per_sec": calibration,
@@ -203,7 +235,7 @@ def run_bench(
     for case in selected:
         best: Optional[Dict[str, Any]] = None
         for _ in range(max(1, repeat)):
-            m = _measure_case(case, min_time)
+            m = _measure_case(case, min_time, engine=engine)
             if best is None or m["schedules_per_sec"] > best["schedules_per_sec"]:
                 best = m
         entry = {
@@ -211,6 +243,7 @@ def run_bench(
             "bench_id": case.bench_id,
             "program": REGISTRY[case.bench_id].program.name,
             "max_schedules": case.max_schedules,
+            "engine": _case_engine(case, engine),
             **best,
         }
         report["cases"][case.name] = entry
@@ -218,7 +251,100 @@ def run_bench(
             progress(
                 f"{case.name:<34} {entry['schedules_per_sec']:>10,.0f} "
                 f"sched/s {entry['events_per_sec']:>12,.0f} ev/s "
-                f"({entry['iterations']} iter)"
+                f"({entry['iterations']} iter, {entry['engine']})"
+            )
+    return report
+
+
+def _engine_fingerprint_sets(case: BenchCase, engine: str) -> Dict[str, Any]:
+    """One full exploration of ``case`` under ``engine``; the observable
+    outcome sets the A/B harness compares."""
+    stats = make_explorer(
+        case.explorer, REGISTRY[case.bench_id].program, _case_limits(case),
+        engine=engine,
+    ).run()
+    return {
+        "schedules": stats.num_schedules,
+        "hbr_fps": frozenset(stats.hbr_fps),
+        "lazy_fps": frozenset(stats.lazy_fps),
+        "state_hashes": frozenset(stats.state_hashes),
+    }
+
+
+def run_engine_ab(
+    cases: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+    repeat: int = 3,
+    min_time: float = 0.25,
+    progress=None,
+) -> Dict[str, Any]:
+    """``bench --engine both``: measure every case under both backends.
+
+    For each case the harness first runs one full exploration per
+    engine and hard-fails (``AssertionError``) unless the fingerprint
+    sets, state-hash sets and schedule counts are identical — the
+    byte-identical contract, enforced in the same process that is about
+    to publish numbers.  Then ref/accel measurement rounds are
+    interleaved (best kept per engine) so machine noise hits both
+    backends evenly.
+    """
+    selected = _select_cases(cases)
+    if smoke:
+        repeat = min(repeat, 2)
+        min_time = min(min_time, 0.2)
+
+    report: Dict[str, Any] = {
+        "meta": {
+            "kind": AB_REPORT_KIND,
+            "smoke": bool(smoke),
+            "repeat": repeat,
+            "min_time": min_time,
+            "engines": ["ref", "accel"],
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "calibration_ops_per_sec": _calibrate(),
+        },
+        "cases": {},
+    }
+    for case in selected:
+        ref_out = _engine_fingerprint_sets(case, "ref")
+        accel_out = _engine_fingerprint_sets(case, "accel")
+        if ref_out != accel_out:
+            diverged = sorted(
+                k for k in ref_out if ref_out[k] != accel_out[k]
+            )
+            raise AssertionError(
+                f"engine divergence on {case.name}: ref and accel "
+                f"disagree on {', '.join(diverged)} "
+                f"(ref {ref_out['schedules']} schedules, accel "
+                f"{accel_out['schedules']})"
+            )
+        ref = accel = None
+        for _ in range(max(1, repeat)):
+            r = _measure_case(case, min_time, engine="ref")
+            a = _measure_case(case, min_time, engine="accel")
+            if ref is None or r["schedules_per_sec"] > ref["schedules_per_sec"]:
+                ref = r
+            if accel is None or a["schedules_per_sec"] > accel["schedules_per_sec"]:
+                accel = a
+        entry = {
+            "explorer": case.explorer,
+            "bench_id": case.bench_id,
+            "program": REGISTRY[case.bench_id].program.name,
+            "max_schedules": case.max_schedules,
+            "schedules": ref["schedules"],
+            "equivalent": True,
+            "ref": {**ref, "engine": "ref"},
+            "accel": {**accel, "engine": "accel"},
+            "accel_speedup": (accel["schedules_per_sec"]
+                              / ref["schedules_per_sec"]),
+        }
+        report["cases"][case.name] = entry
+        if progress is not None:
+            progress(
+                f"{case.name:<34} ref {ref['schedules_per_sec']:>9,.0f} "
+                f"accel {accel['schedules_per_sec']:>9,.0f} sched/s "
+                f"({entry['accel_speedup']:.2f}x, fingerprints equal)"
             )
     return report
 
@@ -520,15 +646,32 @@ def compare_reports(
 def bench_table(report: Dict[str, Any]) -> str:
     """Markdown table of one report, for terminals and PR descriptions."""
     out = [
-        "| case | schedules/s | events/s | schedules | iterations |",
-        "|---|---:|---:|---:|---:|",
+        "| case | engine | schedules/s | events/s | schedules | iterations |",
+        "|---|---|---:|---:|---:|---:|",
     ]
     for name in sorted(report["cases"]):
         c = report["cases"][name]
         out.append(
-            f"| {name} | {c['schedules_per_sec']:,.0f} | "
+            f"| {name} | {c.get('engine', 'ref')} | "
+            f"{c['schedules_per_sec']:,.0f} | "
             f"{c['events_per_sec']:,.0f} | {c['schedules']} | "
             f"{c['iterations']} |"
+        )
+    return "\n".join(out)
+
+
+def ab_table(report: Dict[str, Any]) -> str:
+    """Markdown table of a ``--engine both`` A/B report."""
+    out = [
+        "| case | ref sched/s | accel sched/s | accel speedup |",
+        "|---|---:|---:|---:|",
+    ]
+    for name in sorted(report["cases"]):
+        c = report["cases"][name]
+        out.append(
+            f"| {name} | {c['ref']['schedules_per_sec']:,.0f} | "
+            f"{c['accel']['schedules_per_sec']:,.0f} | "
+            f"{c['accel_speedup']:.2f}x |"
         )
     return "\n".join(out)
 
@@ -577,6 +720,28 @@ def main(args) -> int:  # pragma: no cover - exercised via the CLI tests
             print(f"wrote {args.out}")
         return 0
     cases = args.cases.split(",") if args.cases else None
+    engine = getattr(args, "engine", None)
+    if engine == "both":
+        try:
+            report = run_engine_ab(
+                cases=cases,
+                smoke=args.smoke,
+                repeat=args.repeat,
+                min_time=args.min_time,
+                progress=print if not args.quiet else None,
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        except (AssertionError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print()
+        print(ab_table(report))
+        if args.out:
+            write_report(report, args.out)
+            print(f"\nwrote {args.out}")
+        return 0
     try:
         report = run_bench(
             cases=cases,
@@ -584,9 +749,15 @@ def main(args) -> int:  # pragma: no cover - exercised via the CLI tests
             repeat=args.repeat,
             min_time=args.min_time,
             progress=print if not args.quiet else None,
+            engine=engine,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # an explicit engine that the registry rejects (unknown or
+        # unavailable in this environment)
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     print()
     print(bench_table(report))
@@ -607,6 +778,19 @@ def main(args) -> int:  # pragma: no cover - exercised via the CLI tests
             print(f"error: cannot use baseline {args.baseline}: {exc}",
                   file=sys.stderr)
             return 2
+        # compare_reports is deliberately lenient about disjoint case
+        # sets (reports from different eras stay comparable), but the
+        # CLI gate must not silently pass a case the baseline has never
+        # measured — that reads as "no regression" when nothing was
+        # checked at all
+        missing = sorted(n for n in report["cases"]
+                         if n not in baseline["cases"])
+        if missing:
+            for name in missing:
+                print(f"error: case {name!r} missing from baseline "
+                      f"{args.baseline}; regenerate the baseline "
+                      f"(bench --out) to cover it", file=sys.stderr)
+            return 1
         failures = compare_reports(report, baseline, args.max_regression)
         if failures:
             for line in failures:

@@ -61,7 +61,7 @@ from ..core.events import (
     Op,
     OpKind,
 )
-from ..core.hb import DualClockEngine
+from ..core.engines import create_clock_engine, resolve_engine
 from ..errors import (
     DeadlockError,
     DisabledThreadError,
@@ -74,6 +74,7 @@ from .objects import ThreadHandle
 from .program import Program, ProgramInstance
 from .snapshot import ExecutorSnapshot, ThreadRecord
 from .state import compute_state_hash, describe_state
+from .stepper import install_specialized_step
 from .thread_api import ThreadAPI
 from .trace import PendingInfo, TraceResult
 
@@ -154,10 +155,19 @@ class Executor:
         canonical: bool = False,
         fast_replay: bool = False,
         snapshots: bool = False,
+        engine: Optional[str] = None,
     ) -> None:
         self.program = program
         self.instance: ProgramInstance = program.instantiate()
-        self.engine = DualClockEngine(canonical=canonical)
+        # canonical runs always use the reference engine (the exact HBR
+        # forms are analysis machinery); otherwise the backend registry
+        # resolves engine name -> implementation (None = env/auto; auto
+        # routes by execution mode — see repro.core.engines)
+        self.engine_name = (
+            "ref" if canonical
+            else resolve_engine(engine, fast_replay=fast_replay)
+        )
+        self.engine = create_clock_engine(self.engine_name, canonical=canonical)
         self.max_events = max_events
         self.fast_replay = fast_replay
         #: record per-thread send tapes so snapshot()/fork() work; the
@@ -204,6 +214,14 @@ class Executor:
         self.engine.reserve(self._static_threads)
         for body, args, name in self.instance.threads:
             self._create_thread(body, args, name)
+        #: registry size before any guest code ran (build-time objects
+        #: plus the static thread handles); release_instance compares
+        #: against this to detect runtime object creation, which makes
+        #: instance reuse unsound (fast-forward re-runs the creating
+        #: host code and would register duplicates)
+        self._boot_objects = len(self.instance.registry.objects)
+        if fast_replay and self.engine.backend == "accel":
+            install_specialized_step(self)
 
     @property
     def num_events(self) -> int:
@@ -781,8 +799,40 @@ class Executor:
                 ) from exc
             return Op(OpKind.EXIT, handle, exc), spawns, new_tape
 
+    def release_instance(self):
+        """Hand back this executor's program instance — and its live
+        threads — for reuse by a later :meth:`from_snapshot` (the
+        executor must not be used afterwards).
+
+        Sound only when all cross-thread mutable state lives in
+        registry objects — ``restore_state`` then resets everything a
+        previous life touched.  That is exactly the DSL contract the
+        replay-equivalence guarantees already rest on; programs that
+        opt into ``replay_finished_threads`` (the shim frontend)
+        carry host-side Python state outside the registry and are
+        excluded, so this returns ``None`` for them.  So are instances
+        whose registry grew past its boot size: an object created at
+        runtime is re-created when the creating thread's tape is
+        fast-forwarded, so handing such a registry to
+        :meth:`from_snapshot` would register duplicates on top of the
+        survivors from the previous life.
+
+        The threads ride along for *differential restore*: when the
+        recycled executor shares lineage with the snapshot being
+        restored (DFS pops siblings, so it almost always does), any
+        thread that provably has not advanced since the snapshot —
+        same shared tape object at the same length, same
+        tindex/status/flags — is moved into the new executor as-is,
+        generator and all, skipping its fast-forward entirely.
+        """
+        if self._replay_all_tapes:
+            return None
+        if len(self.instance.registry.objects) != self._boot_objects:
+            return None
+        return (self.program, self.instance, self.threads)
+
     @classmethod
-    def from_snapshot(cls, snap: ExecutorSnapshot) -> "Executor":
+    def from_snapshot(cls, snap: ExecutorSnapshot, reuse=None) -> "Executor":
         """Rebuild a live executor from a snapshot.
 
         Observably identical to constructing a fresh executor and
@@ -791,49 +841,122 @@ class Executor:
         only one generator resume per recorded send instead of the full
         per-event scheduling/clock pipeline.  A snapshot can be
         restored any number of times.
+
+        ``reuse`` optionally recycles a compatible retired executor's
+        instance and threads (from :meth:`release_instance`):
+        ``program.instantiate()`` and the per-thread handle
+        registrations are skipped, ``restore_state`` resets every
+        object, and threads that provably have not advanced since the
+        snapshot was taken — the recycled thread still holds the
+        *identical* tape list at exactly the recorded length, with
+        matching position and status flags — are adopted wholesale,
+        live generator included, instead of being fast-forwarded from
+        scratch.  Tape-object identity pins the shared lineage: a
+        thread that advanced past the snapshot grew the shared list
+        (every resume appends), and a wake/park/crash that advances no
+        tape still flips status/resuming/throw_exc, so a stale adopt
+        is impossible; anything unverifiable rebuilds as before.  An
+        incompatible handoff (different program, or a thread/object
+        count mismatch from dynamic spawns past the snapshot depth) is
+        silently discarded and the fresh-instance path runs instead.
         """
+        r_threads = None
+        if reuse is not None:
+            r_program, r_instance, r_threads_cand = reuse
+            if (
+                r_program is snap.program
+                and len(r_threads_cand) == len(snap.thread_records)
+                and len(r_instance.registry.objects)
+                == len(snap.object_states)
+            ):
+                r_threads = r_threads_cand
         ex = cls.__new__(cls)
-        ex.program = snap.program
-        ex._replay_all_tapes = bool(
-            snap.program.metadata.get("replay_finished_threads")
+        engine = snap.engine.fork()  # fork preserves the backend type
+        if r_threads is not None:
+            # release_instance guarantees the recycled registry is at
+            # its boot size (runtime-creating programs are never pooled)
+            instance = r_instance
+            boot_objects = len(instance.registry.objects)
+        else:
+            instance = snap.program.instantiate()
+            # build-time objects are present already; the static thread
+            # handles are registered in the rebuild loop below
+            boot_objects = (
+                len(instance.registry.objects) + snap.static_threads
+            )
+        ex.__dict__.update(
+            program=snap.program,
+            _replay_all_tapes=bool(
+                snap.program.metadata.get("replay_finished_threads")
+            ),
+            instance=instance,
+            _boot_objects=boot_objects,
+            engine=engine,
+            engine_name=engine.backend,
+            max_events=snap.max_events,
+            fast_replay=snap.fast_replay,
+            _record=True,
+            _spawn_origin=dict(snap.spawn_origin),
+            trace=list(snap.trace),
+            schedule=list(snap.schedule),
+            threads=[],
+            error=snap.error,
+            guest_failures=list(snap.guest_failures),
+            truncated=snap.truncated,
+            _exit_events=dict(snap.exit_events),
+            _num_events=snap.num_events,
+            _runnable=set(snap.runnable),
+            _runnable_sorted=None,
+            _unfinished=snap.unfinished,
+            _barrier_pending=snap.barrier_pending,
+            _pred_watch=snap.pred_watch,
+            _enabled_cache=None,
+            _fx_any=False,
+            _fx_woken=None,
+            _fx_parked=False,
+            _fx_released=None,
+            _fx_throw=None,
+            _static_threads=snap.static_threads,
         )
-        ex.instance = snap.program.instantiate()
-        ex.engine = snap.engine.fork()
-        ex.max_events = snap.max_events
-        ex.fast_replay = snap.fast_replay
-        ex._record = True
-        ex._spawn_origin = dict(snap.spawn_origin)
-        ex.trace = list(snap.trace)
-        ex.schedule = list(snap.schedule)
-        ex.threads = []
-        ex.error = snap.error
-        ex.guest_failures = list(snap.guest_failures)
-        ex.truncated = snap.truncated
-        ex._exit_events = dict(snap.exit_events)
-        ex._num_events = snap.num_events
-        ex._runnable = set(snap.runnable)
-        ex._runnable_sorted = None
-        ex._unfinished = snap.unfinished
-        ex._barrier_pending = snap.barrier_pending
-        ex._pred_watch = snap.pred_watch
-        ex._enabled_cache = None
-        ex._fx_any = False
-        ex._fx_woken = None
-        ex._fx_parked = False
-        ex._fx_released = None
-        ex._fx_throw = None
-        ex._static_threads = snap.static_threads
         registry = ex.instance.registry
         static = ex.instance.threads
         # executed SPAWN ops per fast-forwarded parent, to hand fresh
         # (fn, args) closures to dynamically spawned children (parents
-        # always have smaller tids, so one tid-ordered pass suffices)
+        # always have smaller tids, so one tid-ordered pass suffices).
+        # Thread adoption is off for snapshots with dynamic spawns: an
+        # adopted parent's live generator cannot re-surrender its SPAWN
+        # ops, and a rebuilt child would need them.
         spawn_ops: Dict[int, List[Op]] = {}
+        adopt = r_threads if not snap.spawn_origin else None
         runnable_status = _Status.RUNNABLE
+        own_threads = ex.threads
         for tid, rec in enumerate(snap.thread_records):
-            # handles registered in tid order reproduce the original
-            # oid assignment (spawn order is tid order)
-            handle = ThreadHandle(registry, tid)
+            if r_threads is not None:
+                rt = r_threads[tid]
+                if (
+                    adopt is not None
+                    and rec.tape is not None
+                    and rt.tape is rec.tape
+                    and len(rt.tape) == rec.tape_len
+                    and rt.tindex == rec.tindex
+                    and rt.status == rec.status
+                    and rt.resuming == rec.resuming
+                    and rt.crashed == rec.crashed
+                    and rt.exit_recorded == rec.exit_recorded
+                    and rt.throw_exc is rec.throw_exc
+                    and (
+                        rt.wait_mutex.oid
+                        if rt.wait_mutex is not None else None
+                    ) == rec.wait_mutex_oid
+                ):
+                    own_threads.append(rt)
+                    continue
+                handle = rt.handle
+            else:
+                # handles registered in tid order reproduce the
+                # original oid assignment (spawn order is tid order); a
+                # reused instance already carries them at the same oids
+                handle = ThreadHandle(registry, tid)
             t = _GuestThread.__new__(_GuestThread)
             t.tid = tid
             t.name = rec.name
@@ -895,6 +1018,8 @@ class Executor:
             )
         for obj, state in zip(objects, snap.object_states):
             obj.restore_state(state)
+        if ex.fast_replay and ex.engine.backend == "accel":
+            install_specialized_step(ex)
         return ex
 
     # ------------------------------------------------------------------

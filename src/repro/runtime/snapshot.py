@@ -171,9 +171,9 @@ class ExecutorSnapshot:
             n += 160 + 24 * rec.tape_len
         n += 72 * len(self.object_states)
         t = len(self.thread_records)
-        for side in (self.engine.regular, self.engine.lazy):
-            n += (len(side.access) + len(side.modify)) * (96 + 8 * t)
-            n += len(side.thread_clocks) * (64 + 8 * t)
+        entries, clocks = self.engine.table_stats()
+        n += entries * (96 + 8 * t)
+        n += 2 * clocks * (64 + 8 * t)
         n += 96 * len(self.trace)  # empty in fast-replay mode
         n += 88 * len(self.exit_events)
         return n

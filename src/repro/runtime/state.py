@@ -17,6 +17,7 @@ address on CPython < 3.12 — so we digest a canonical ``repr`` with
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import GuestError
@@ -36,6 +37,21 @@ def _canonical(v: Any) -> str:
     every program in the suite.
     """
     return repr(v)
+
+
+@lru_cache(maxsize=16384)
+def _digest(key: Tuple[Any, ...]) -> int:
+    """blake2b of the canonical repr, memoised on the structured key.
+
+    Exploration revisits a small set of terminal states thousands of
+    times (racy counter: 1680 schedules, 4 distinct states), so the
+    repr/encode/blake2b pipeline collapses to one builtin tuple hash
+    and a dict probe on repeats.  The cache never changes a digest —
+    it only skips recomputing one — and the key is exactly the payload
+    that gets repr'd, so equal keys give equal digests by construction.
+    """
+    digest = hashlib.blake2b(_canonical(key).encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
 
 
 def compute_state_hash(
@@ -64,16 +80,20 @@ def compute_state_hash(
     err_mark: Tuple[Any, ...] = ()
     if error is not None:
         err_mark = (type(error).__name__,)
-    payload = _canonical(
-        (
-            tuple(registry.state_items()),
-            thread_progress,
-            err_mark,
-            truncated,
-        )
+    key = (
+        tuple(registry.state_items()),
+        thread_progress,
+        err_mark,
+        truncated,
     )
-    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8)
-    return int.from_bytes(digest.digest(), "big")
+    try:
+        return _digest(key)
+    except TypeError:
+        # a state_value broke the hashability contract (it would also
+        # break campaign dedup); digest it uncached
+        payload = _canonical(key)
+        digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8)
+        return int.from_bytes(digest.digest(), "big")
 
 
 def describe_state(registry: ObjectRegistry) -> Dict[str, Any]:

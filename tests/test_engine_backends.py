@@ -1,0 +1,249 @@
+"""The engine backend registry and ref/accel byte-identity.
+
+Three layers of assurance:
+
+* registry unit tests — resolution precedence (explicit > environment >
+  auto), the mode-aware auto pick, and loud failures on misconfiguration;
+* a hypothesis property driving the reference and accelerated engines
+  through identical random operation sequences — spawn edges, release
+  edges, engine forks included — and comparing every published clock
+  snapshot, fingerprint and dominance outcome event by event;
+* subprocess tests proving ``REPRO_ENGINE`` actually steers a fresh
+  interpreter (the escape hatch the docs promise).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engines import (
+    ENGINE_ENV,
+    _BACKENDS,
+    available_backends,
+    backend_names,
+    create_clock_engine,
+    register_backend,
+    resolve_engine,
+)
+from repro.core.events import OpKind
+from repro.core.hb import DualClockEngine
+from repro.core.hb_accel import AccelClockEngine
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestRegistry:
+    def test_backends_registered(self):
+        assert backend_names() == ("ref", "accel")
+        # both ship with the package; accel has a stdlib-only fallback
+        # so it is importable even without numpy
+        assert set(available_backends()) == {"ref", "accel"}
+
+    def test_explicit_name_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "accel")
+        assert resolve_engine("ref") == "ref"
+        monkeypatch.setenv(ENGINE_ENV, "ref")
+        assert resolve_engine("accel") == "accel"
+
+    def test_environment_beats_auto(self, monkeypatch):
+        # env forces accel everywhere, including where auto picks ref
+        monkeypatch.setenv(ENGINE_ENV, "accel")
+        assert resolve_engine(None, fast_replay=True) == "accel"
+        assert resolve_engine(None, fast_replay=False) == "accel"
+
+    def test_auto_defaults_to_reference(self, monkeypatch):
+        # the measured-fastest backend at suite thread counts, in both
+        # executor modes (see engines.py module docstring)
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        for fast_replay in (True, False):
+            assert resolve_engine(None, fast_replay=fast_replay) == "ref"
+            assert resolve_engine("auto", fast_replay=fast_replay) == "ref"
+
+    def test_unknown_engine_is_loud(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("turbo")
+
+    def test_unavailable_engine_is_loud(self):
+        register_backend("broken", lambda: False)
+        try:
+            with pytest.raises(ValueError, match="not available"):
+                resolve_engine("broken")
+        finally:
+            del _BACKENDS["broken"]
+
+    def test_create_respects_backend(self):
+        assert create_clock_engine("ref").backend == "ref"
+        assert create_clock_engine("accel").backend == "accel"
+        assert isinstance(create_clock_engine("accel"), AccelClockEngine)
+
+    def test_canonical_always_reference(self):
+        # canonical HBR forms are theorem-checker machinery; only the
+        # reference engine carries them
+        engine = create_clock_engine("accel", canonical=True)
+        assert isinstance(engine, DualClockEngine)
+        assert engine.backend == "ref"
+
+
+# -- the hypothesis property -------------------------------------------
+
+#: Kinds the property exercises: data ops (both dominance branches),
+#: mutex ops (lazy side must skip them) and the channel kinds (tuple
+#: keys exercise the accel engine's keyed location tables).
+_KINDS = (
+    OpKind.READ, OpKind.WRITE, OpKind.RMW,
+    OpKind.LOCK, OpKind.UNLOCK,
+    OpKind.CHAN_SEND, OpKind.CHAN_RECV,
+)
+
+
+def _steps(nthreads):
+    tid = st.integers(0, nthreads - 1)
+    observe = st.tuples(
+        st.just("observe"), tid, st.sampled_from(_KINDS),
+        st.integers(0, 3), st.sampled_from([None, 0, 1, "slot"]),
+    )
+    # WAIT releases its paired mutex: the regular side publishes to the
+    # mutex location too
+    wait = st.tuples(st.just("wait"), tid, st.integers(0, 3))
+    release = st.tuples(st.just("release"), tid, tid)
+    spawn = st.tuples(st.just("spawn"), tid, tid)
+    fork = st.tuples(st.just("fork"))
+    return st.lists(
+        st.one_of(observe, wait, release, spawn, fork),
+        min_size=1, max_size=60,
+    )
+
+
+class TestObserveEquivalence:
+    """ref and accel must agree on every observable, event by event."""
+
+    def _compare(self, ref, acc, nthreads):
+        assert ref.hbr_fingerprint() == acc.hbr_fingerprint()
+        assert ref.lazy_fingerprint() == acc.lazy_fingerprint()
+        for t in range(nthreads):
+            for lazy in (False, True):
+                assert (list(ref.thread_clock_raw(t, lazy))
+                        == list(acc.thread_clock_raw(t, lazy))), (t, lazy)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_sequences(self, data):
+        nthreads = data.draw(st.integers(2, 5))
+        steps = data.draw(_steps(nthreads))
+        ref = DualClockEngine()
+        acc = AccelClockEngine()
+        for e in (ref, acc):
+            e.reserve(nthreads)
+        last_snap = {}
+        for step in steps:
+            if step[0] == "observe":
+                _, tid, kind, oid, key = step
+                r = ref.observe(tid, int(kind), oid, key)
+                a = acc.observe(tid, int(kind), oid, key)
+                assert r == a, step
+                last_snap[tid] = r
+            elif step[0] == "wait":
+                _, tid, moid = step
+                r = ref.observe(tid, int(OpKind.WAIT), moid + 10, None,
+                                released_mutex_oid=moid)
+                a = acc.observe(tid, int(OpKind.WAIT), moid + 10, None,
+                                released_mutex_oid=moid)
+                assert r == a, step
+                last_snap[tid] = r
+            elif step[0] == "release":
+                _, src, dst = step
+                snap = last_snap.get(src)
+                if snap is None:
+                    continue
+                ref.add_release_edge_clocks(snap[0], snap[1], dst)
+                acc.add_release_edge_clocks(snap[0], snap[1], dst)
+            elif step[0] == "spawn":
+                _, parent, child = step
+                snap = last_snap.get(parent)
+                if snap is None:
+                    continue
+                ref.register_thread_clocks(child, snap[0], snap[1])
+                acc.register_thread_clocks(child, snap[0], snap[1])
+            else:  # fork: continue on the copies — copy-on-publish must
+                # not let the child alias the parent's published rows
+                ref, acc = ref.fork(), acc.fork()
+            self._compare(ref, acc, nthreads)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_fork_isolation(self, data):
+        """Mutating a fork never leaks into the parent (either engine)."""
+        nthreads = 3
+        ref = DualClockEngine()
+        acc = AccelClockEngine()
+        for e in (ref, acc):
+            e.reserve(nthreads)
+        warm = data.draw(_steps(nthreads))
+        for step in warm:
+            if step[0] == "observe":
+                _, tid, kind, oid, key = step
+                ref.observe(tid, int(kind), oid, key)
+                acc.observe(tid, int(kind), oid, key)
+        rfork, afork = ref.fork(), acc.fork()
+        before = (ref.hbr_fingerprint(), ref.lazy_fingerprint())
+        for tid in range(nthreads):
+            rfork.observe(tid, int(OpKind.WRITE), 0, None)
+            afork.observe(tid, int(OpKind.WRITE), 0, None)
+        assert (ref.hbr_fingerprint(), ref.lazy_fingerprint()) == before
+        assert acc.hbr_fingerprint() == ref.hbr_fingerprint()
+        assert afork.hbr_fingerprint() == rfork.hbr_fingerprint()
+        assert afork.lazy_fingerprint() == rfork.lazy_fingerprint()
+
+    def test_wide_clocks_hit_bulk_join_path(self):
+        """40 threads crosses the numpy bulk-join threshold (when numpy
+        is present); the outcome must not depend on which join ran."""
+        nthreads = 40
+        ref = DualClockEngine()
+        acc = AccelClockEngine()
+        for e in (ref, acc):
+            e.reserve(nthreads)
+        for round_no in range(3):
+            for tid in range(nthreads):
+                kind = _KINDS[(tid + round_no) % len(_KINDS)]
+                key = None if tid % 3 else "wide"
+                r = ref.observe(tid, int(kind), tid % 5, key)
+                a = acc.observe(tid, int(kind), tid % 5, key)
+                assert r == a, (round_no, tid)
+        assert ref.hbr_fingerprint() == acc.hbr_fingerprint()
+        assert ref.lazy_fingerprint() == acc.lazy_fingerprint()
+        assert ref.table_stats() == acc.table_stats()
+
+
+class TestEnvSteering:
+    """REPRO_ENGINE must steer a fresh interpreter end to end."""
+
+    def _run(self, engine_env, fast_replay):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env[ENGINE_ENV] = engine_env
+        code = (
+            "from repro.runtime.executor import Executor\n"
+            "from repro.suite import REGISTRY\n"
+            f"ex = Executor(REGISTRY[4].program, fast_replay={fast_replay})\n"
+            "print(ex.engine_name, ex.engine.backend)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env=env, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout.split()
+
+    def test_ref_env_forces_fallback(self):
+        # even on the fast-replay path, where accel is importable and
+        # auto would have picked it
+        assert self._run("ref", True) == ["ref", "ref"]
+
+    def test_accel_env_forces_accel_everywhere(self):
+        assert self._run("accel", False) == ["accel", "accel"]

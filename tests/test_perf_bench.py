@@ -9,17 +9,20 @@ import sys
 import pytest
 
 from repro.perf.bench import (
+    AB_REPORT_KIND,
     CASES,
     PREFIX_CASES,
     PREFIX_REPORT_KIND,
     REPORT_KIND,
     SPLIT_REPORT_KIND,
+    ab_table,
     bench_table,
     case_names,
     compare_reports,
     load_report,
     profile_case,
     run_bench,
+    run_engine_ab,
     run_prefix_bench,
     run_split_bench,
     write_report,
@@ -137,6 +140,51 @@ class TestRunBench:
         assert len({c.explorer for c in CASES}) >= 3
         assert len({c.bench_id for c in CASES}) >= 3
 
+    def test_engine_recorded_in_every_case_row(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        report = run_bench(cases=["dfs/racy_counter", "dpor/racy_counter"],
+                           **TINY)
+        assert report["meta"]["engine"] == "auto"
+        for row in report["cases"].values():
+            assert row["engine"] in ("ref", "accel")
+        # auto currently resolves to the reference backend everywhere
+        assert report["cases"]["dpor/racy_counter"]["engine"] == "ref"
+
+    def test_explicit_engine_pins_every_case(self):
+        report = run_bench(cases=["dfs/racy_counter", "dpor/racy_counter"],
+                           engine="ref", **TINY)
+        assert report["meta"]["engine"] == "ref"
+        assert all(r["engine"] == "ref" for r in report["cases"].values())
+
+
+class TestEngineAB:
+    def test_ab_report_shape_and_equivalence(self):
+        report = run_engine_ab(cases=["dfs/racy_counter"], **TINY)
+        assert report["meta"]["kind"] == AB_REPORT_KIND
+        assert report["meta"]["engines"] == ["ref", "accel"]
+        case = report["cases"]["dfs/racy_counter"]
+        assert case["equivalent"] is True
+        assert case["ref"]["engine"] == "ref"
+        assert case["accel"]["engine"] == "accel"
+        assert case["accel_speedup"] == pytest.approx(
+            case["accel"]["schedules_per_sec"]
+            / case["ref"]["schedules_per_sec"]
+        )
+        table = ab_table(report)
+        assert "dfs/racy_counter" in table and "accel speedup" in table
+
+    def test_ab_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "BENCH_ab.json"
+        assert main(["bench", "--engine", "both",
+                     "--cases", "dpor/racy_counter", "--repeat", "1",
+                     "--min-time", "0.0", "--quiet",
+                     "--out", str(out)]) == 0
+        assert "accel speedup" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["meta"]["kind"] == AB_REPORT_KIND
+
 
 class TestCompareReports:
     def _fake(self, rate, cal=1_000_000.0):
@@ -189,35 +237,42 @@ class TestReportIO:
 
 
 class TestCommittedBaseline:
-    #: cells the sync-primitive-protocol refactor must not regress:
-    #: data-op-heavy DFS (the protocol-dispatched READ/WRITE hot path),
-    #: the lazy-HBR caching cells PR 2/4 sped up, and DPOR
-    PROTOCOL_GUARD = (
+    #: the dfs/dpor hot cells the engine-backend PR guards: none may
+    #: fall below 0.9x of the immediately-pre-PR schedules/sec on the
+    #: reference engine (the auto default)
+    REPLAY_GUARD = (
         "dfs/racy_counter",
-        "lazy-hbr-caching/disjoint_coarse",
-        "lazy-hbr-caching/bounded_buffer_pc2",
+        "dfs/bounded_buffer",
+        "dfs/bounded_buffer_pc2",
+        "dfs/chan_pipeline2",
         "dpor/racy_counter",
+        "dpor/disjoint_coarse",
+        "dpor/chan_pipeline2",
+        "lazy-dpor/disjoint_coarse",
     )
 
     def test_baseline_artifact_is_valid(self):
         baseline = load_report(os.path.join(REPO_ROOT,
                                             "BENCH_baseline.json"))
         assert set(baseline["cases"]) == set(case_names())
+        # every case row is self-describing about its backend
+        for name, row in baseline["cases"].items():
+            assert row["engine"] in ("ref", "accel"), name
         pre = baseline["pre_pr"]
-        # the protocol PR's acceptance criterion, pinned as a test:
-        # collapsing the OpKind switches into per-object dispatch must
-        # stay within 10% of the immediately-pre-PR schedules/sec on
-        # the guarded cells (one harness+machine) — the refactor must
-        # not give back PR 2/4's hot-path wins.  (PR 4's >= 1.5x
-        # prefix-sharing win stays enforced end-to-end by the
-        # `bench --scenario prefix` CI step.)
+        assert pre["commit"]
+        # the engine PR's regression guard, pinned as a test: the
+        # replay-path structural work (state-hash memoisation, thread
+        # adoption on restore, executor pooling) must keep every
+        # guarded dfs/dpor hot cell within 10% of the
+        # immediately-pre-PR schedules/sec, calibration-normalised on
+        # one harness+machine.  (The snapshot-path cells measured
+        # 1.1-1.3x; the guard pins the floor, not the wins.)
         speedups = pre["speedup_schedules_per_sec"]
-        guard = {n: speedups[n] for n in self.PROTOCOL_GUARD}
+        guard = {n: speedups[n] for n in self.REPLAY_GUARD}
         assert all(s >= 0.9 for s in guard.values()), guard
-        # new-in-this-PR channel cells exist but have no pre-PR number
-        for name in ("dfs/chan_pipeline2", "dpor/chan_pipeline2"):
-            assert name in baseline["cases"]
-            assert name not in speedups
+        # the pre-PR block covers the full current case set
+        assert set(speedups) == set(case_names())
+        assert set(pre["cases"]) == set(case_names())
 
 
 class TestCLI:
@@ -239,6 +294,22 @@ class TestCLI:
         assert proc.returncode == 0, proc.stderr
         report = json.loads(out.read_text())
         assert "dpor/racy_counter" in report["cases"]
+
+    def test_baseline_missing_case_fails_loudly(self, tmp_path, capsys):
+        # regression: a case the baseline never measured used to sail
+        # through the comparison as "no regressions" — the CLI must
+        # fail with a clear message instead
+        from repro.__main__ import main
+
+        baseline = run_bench(cases=["dpor/racy_counter"], **TINY)
+        path = tmp_path / "BENCH_small.json"
+        write_report(baseline, str(path))
+        assert main(["bench", "--cases", "dfs/racy_counter",
+                     "--repeat", "1", "--min-time", "0.0", "--quiet",
+                     "--baseline", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "missing from baseline" in err
+        assert "dfs/racy_counter" in err
 
     def test_bench_cli_unknown_case(self):
         proc = subprocess.run(

@@ -138,7 +138,14 @@ class ReferenceDualClockEngine:
 
 def _reference_run(program, monkeypatch, schedule_seed=None):
     with monkeypatch.context() as m:
-        m.setattr(executor_mod, "DualClockEngine", ReferenceDualClockEngine)
+        # swap the construction funnel (the executor builds engines via
+        # the backend registry now) for the model reference engine
+        m.setattr(
+            executor_mod, "create_clock_engine",
+            lambda name=None, canonical=False: ReferenceDualClockEngine(
+                canonical=canonical
+            ),
+        )
         scheduler = (RandomScheduler(schedule_seed)
                      if schedule_seed is not None else None)
         return execute(program, scheduler=scheduler)
