@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Scenario: a retry-with-timeout worker, checked on the virtual clock.
+
+``lease_worker()`` below is ordinary ``threading`` code with the
+imports switched to ``repro.shim``: a holder works under a lock (the
+"lease") while a contender retries ``lock.acquire(timeout=)`` with an
+``Event.wait(timeout=)`` backoff between attempts.  The seeded bug is
+the classic distributed-systems sin — after the retries run out the
+contender assumes the holder is dead and writes ownership *without*
+the lock.
+
+Under real threading this failure needs the wall clock to land inside
+the holder's critical section — a flaky, unreproducible race.  Here
+every ``timeout=`` runs on the executor's deterministic virtual clock
+(DESIGN.md §12), so "the deadline fired while the holder was mid-work"
+is just another scheduling branch: DPOR enumerates it, finds the
+stolen lease, and minimizes a schedule that replays it every time.
+
+Run:  python examples/timed_retry_demo.py
+CLI:  python -m repro check examples.timed_retry_demo:lease_worker --expect bug
+"""
+
+import sys
+
+import repro
+from repro.shim import threading
+
+
+@repro.shared
+class Lease:
+    """Attribute accesses on @repro.shared objects are scheduling
+    points, so the unlocked ownership write stays visible to DPOR."""
+
+    def __init__(self):
+        self.owner = 0
+
+
+def lease_worker():
+    lease = Lease()
+    lock = threading.Lock()
+    backoff = threading.Event()  # never set: pure timed backoff
+
+    def holder():
+        with lock:
+            lease.owner = 1
+            # work under the lease; virtual time may run past the
+            # contender's deadlines while this thread is mid-section
+            assert lease.owner == 1, "lease stolen while still held"
+
+    def contender():
+        for _ in range(2):
+            if lock.acquire(timeout=0.05):
+                lease.owner = 2          # took over cleanly
+                lock.release()
+                return
+            backoff.wait(timeout=0.01)   # retry backoff (virtual)
+        # BUG: retries exhausted, so "the holder must be dead" —
+        # writes ownership without holding the lock
+        lease.owner = 2
+
+    threads = [threading.Thread(target=holder),
+               threading.Thread(target=contender)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def main():
+    limit = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    result = repro.check(lease_worker, explorer="dpor",
+                         max_schedules=max(limit, 2_000))
+    print(result.summary())
+    assert result.bug_found, "DPOR must find the stolen lease"
+    assert result.minimized_schedule is not None
+    assert len(result.minimized_schedule) <= len(result.schedule)
+
+    print()
+    print("shortest reproduction timeline:")
+    for line in result.trace:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,7 @@ Commands
 check TARGET              one-call front door: explore a benchmark id or
                           a ``module:function`` (shim frontend), report
                           the :class:`repro.check.CheckResult`
-list                      list the 88 suite benchmarks
+list                      list the 96 suite benchmarks
 run ID [--schedule ...]   execute one benchmark once and show the result
 explore ID [--strategy S] explore a benchmark and print the statistics
 races ID                  systematic data-race hunt on a benchmark
@@ -226,8 +226,9 @@ def _cmd_inequality(args) -> int:
 #: condvars, a deadlock (36), an assertion violation (47), a mutual-
 #: exclusion protocol, an SC litmus test, and the channel/future
 #: family (pipeline 80, seeded producer-consumer bug 84, future DAG
-#: 86, close race 87).
-SMOKE_IDS = (1, 2, 5, 10, 24, 28, 36, 47, 48, 75, 80, 84, 86, 87)
+#: 86, close race 87), and the virtual-time family (seeded lease-expiry
+#: bug 89, timed-retry storm bug 93).
+SMOKE_IDS = (1, 2, 5, 10, 24, 28, 36, 47, 48, 75, 80, 84, 86, 87, 89, 93)
 SMOKE_EXPLORERS = "dpor,lazy-hbr-caching,random"
 SMOKE_LIMIT = 150
 

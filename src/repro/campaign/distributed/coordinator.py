@@ -7,7 +7,8 @@ to the identical report).  It is written as a synchronous state
 machine — :meth:`Coordinator.handle` maps one worker message to one
 reply dict, with no I/O — pumped by :meth:`Coordinator.run` over a
 :class:`~.transport.CoordinatorServer`.  Tests drive ``handle``
-directly with hand-built messages and a fake clock.
+directly with hand-built messages and a
+:class:`~repro.clock.ManualClock`.
 
 Lease lifecycle of a task (a whole cell, or a stolen frontier shard)::
 
@@ -42,10 +43,10 @@ Robustness rules (the whole point of this module):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
+from ...clock import Clock, SystemClock
 from ...explore.base import ExplorationLimits
 from ...explore.controller import SPLITTABLE_EXPLORERS
 from ...ioutil import atomic_write_json, read_json
@@ -125,7 +126,7 @@ class Coordinator:
         steal_exact_only: bool = True,
         verify: bool = True,
         progress: Optional[Callable[[str], None]] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Clock = SystemClock(),
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got "

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from ...clock import Clock, SystemClock
 from ...explore.base import ExplorationLimits
 from ...explore.kernel import SNAPSHOT_VERSION
 from ..chaos import ChaosPlan
@@ -51,7 +52,7 @@ class DistributedWorker:
         chaos: Optional[ChaosPlan] = None,
         hard_timeout: Optional[float] = None,
         progress: Optional[Callable[[str], None]] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Clock = SystemClock(),
     ) -> None:
         self.channel = channel
         self.worker_id = channel.worker_id

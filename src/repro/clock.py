@@ -1,0 +1,103 @@
+"""One clock protocol for every part of the toolkit that asks "what
+time is it?".
+
+Three subsystems used to carry their own ad-hoc notion of time:
+
+* the executor's new deterministic **virtual clock** (integer ticks,
+  advanced only by executed time events — see DESIGN.md §12);
+* the distributed campaign's lease/heartbeat clock
+  (:mod:`repro.campaign.distributed` takes an injectable
+  ``clock: Clock``, defaulting to :class:`SystemClock`);
+* the chaos/fault-injection tests, which drive lease expiry with a
+  hand-cranked test clock (now :class:`ManualClock`).
+
+They now share this one shape: **a clock is a zero-argument callable
+returning seconds as a float**.  ``time.monotonic`` already satisfies
+it; :class:`SystemClock` wraps it explicitly, :class:`ManualClock` is
+the deterministic test double, and :class:`VirtualClock` is the
+executor's tick-based clock exposing the same callable face (so lease
+logic could, in principle, run on virtual time unchanged).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from .core.events import TICKS_PER_SECOND
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can be asked for the current time in seconds."""
+
+    def __call__(self) -> float: ...
+
+
+class SystemClock:
+    """Wall time via ``time.monotonic`` — the production default."""
+
+    __slots__ = ()
+
+    def __call__(self) -> float:
+        return time.monotonic()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "SystemClock()"
+
+
+class ManualClock:
+    """A hand-cranked clock for deterministic tests: time moves only
+    when the test calls :meth:`advance` (or :meth:`set`)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds!r} seconds")
+        self._now += seconds
+        return self._now
+
+    def set(self, now: float) -> None:
+        if now < self._now:
+            raise ValueError(
+                f"clock cannot go backwards ({now!r} < {self._now!r})"
+            )
+        self._now = float(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ManualClock({self._now!r})"
+
+
+class VirtualClock:
+    """The executor's deterministic logical clock.
+
+    Time is an integer tick count (1 tick = 1µs, see
+    :data:`~repro.core.events.TICKS_PER_SECOND`) that only ever moves
+    forward, and only when the scheduler executes a time event (SLEEP,
+    TIME_FIRE, TIMER_TICK) — never from the wall clock.  Calling it
+    returns seconds, satisfying the :class:`Clock` protocol.
+    """
+
+    __slots__ = ("now_ticks",)
+
+    def __init__(self, start_ticks: int = 0) -> None:
+        self.now_ticks = start_ticks
+
+    def __call__(self) -> float:
+        return self.now_ticks / TICKS_PER_SECOND
+
+    def advance_to(self, deadline_ticks: int) -> int:
+        """Advance to ``deadline_ticks`` (monotone: never backwards)."""
+        if deadline_ticks > self.now_ticks:
+            self.now_ticks = deadline_ticks
+        return self.now_ticks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock({self.now_ticks})"

@@ -36,11 +36,16 @@ def conflicts(e1: Event, e2: Event) -> bool:
 def _touches_common_location(e1: Event, e2: Event) -> bool:
     if e1.oid >= 0 and (e1.oid, e1.key) == (e2.oid, e2.key):
         return True
-    # WAIT releases a mutex: it conflicts with mutex ops on that mutex.
-    if e1.released_mutex_oid is not None and e2.kind in MUTEX_KINDS and \
+    # Secondary locations.  A WAIT event releases a mutex, so it
+    # conflicts with operations on that mutex; a TIME_FIRE event
+    # withdraws a timed operation from its awaited object (and a timed
+    # pending op may yet fire), so it conflicts with operations on that
+    # object.  Matching on the oid alone is conservative and therefore
+    # sound: extra conflicts only cost DPOR extra backtracking.
+    if e1.released_mutex_oid is not None and \
             e2.oid == e1.released_mutex_oid:
         return True
-    if e2.released_mutex_oid is not None and e1.kind in MUTEX_KINDS and \
+    if e2.released_mutex_oid is not None and \
             e1.oid == e2.released_mutex_oid:
         return True
     return False
@@ -73,6 +78,12 @@ def may_be_coenabled(e1: Event, e2: Event) -> bool:
     if e1.oid >= 0 and e1.oid == e2.oid:
         kinds = {e1.kind, e2.kind}
         if kinds == {OpKind.LOCK, OpKind.UNLOCK}:
+            # ... except that a *timed* lock acquisition is always
+            # enabled (its timeout may fire instead), so it genuinely
+            # races with the unlock.  Events never carry ``timed``;
+            # PendingInfo does.
+            if getattr(e1, "timed", False) or getattr(e2, "timed", False):
+                return True
             return False
         if kinds == {OpKind.WAIT, OpKind.NOTIFY} or kinds == {
             OpKind.WAIT,

@@ -50,6 +50,9 @@ class OpKind(enum.IntEnum):
     CHAN_CLOSE = 21   #: close a channel
     FUT_SET = 22      #: complete a future with a value
     FUT_GET = 23      #: read a completed future's value
+    SLEEP = 24        #: advance virtual time by a fixed duration
+    TIME_FIRE = 25    #: a pending timeout fired instead of its operation
+    TIMER_TICK = 26   #: one period of a periodic timer thread elapsed
 
 
 class HBClass(enum.IntEnum):
@@ -158,6 +161,18 @@ KIND_SPEC: Dict[OpKind, KindSpec] = {
     OpKind.FUT_SET: KindSpec(HBClass.RELEASE),
     OpKind.FUT_GET: KindSpec(HBClass.ACQUIRE, blocking=True,
                              disturbing=False),
+    # virtual time: every time event modifies the program's clock
+    # object in BOTH relations, so time events are totally ordered and
+    # the virtual now is a function of the happens-before fingerprint
+    # (which keeps the fingerprint-caching explorers sound).  SLEEP and
+    # TIMER_TICK only advance the clock (the stepped thread stays
+    # enabled); TIME_FIRE also withdraws the timed-out operation, which
+    # can disable another thread (a rendezvous sender loses its pending
+    # receiver), hence disturbing.
+    OpKind.SLEEP: KindSpec(HBClass.BOTH, blocking=True, disturbing=False),
+    OpKind.TIME_FIRE: KindSpec(HBClass.BOTH, blocking=True),
+    OpKind.TIMER_TICK: KindSpec(HBClass.BOTH, blocking=True,
+                                disturbing=False),
 }
 
 assert set(KIND_SPEC) == set(OpKind), "every OpKind needs a KindSpec row"
@@ -182,6 +197,11 @@ BLOCKING_KINDS = frozenset(
 #: Plain data-access kinds (events keyed on the op's ``arg``).
 DATA_KINDS = frozenset(k for k, spec in KIND_SPEC.items() if spec.data)
 
+#: Virtual-time kinds: events that advance the program's clock object.
+TIME_KINDS = frozenset(
+    {OpKind.SLEEP, OpKind.TIME_FIRE, OpKind.TIMER_TICK}
+)
+
 #: Dense bool tables indexed by ``int(kind)`` — O(1) list indexing beats
 #: frozenset hashing on the per-event hot path of the clock engine.
 IS_MODIFYING = tuple(k in MODIFYING_KINDS for k in OpKind)
@@ -191,6 +211,43 @@ IS_ARRIVAL_SENSITIVE = tuple(
     KIND_SPEC[k].arrival_sensitive for k in OpKind
 )
 IS_DATA = tuple(KIND_SPEC[k].data for k in OpKind)
+IS_TIME = tuple(k in TIME_KINDS for k in OpKind)
+
+
+#: One virtual tick is one microsecond; durations cross the API as
+#: seconds (matching the stdlib signatures) and live in the runtime as
+#: integer ticks so virtual time is exact, portable and hashable.
+TICKS_PER_SECOND = 1_000_000
+
+
+def to_ticks(seconds: float) -> int:
+    """Convert a stdlib-style ``seconds`` duration to integer ticks
+    (non-negative; sub-tick durations round to nearest)."""
+    ticks = int(round(seconds * TICKS_PER_SECOND))
+    return ticks if ticks > 0 else 0
+
+
+class _TimedOutType:
+    """The singleton sentinel a guest receives when a timed operation's
+    timeout fired instead of the operation succeeding.  Identity is
+    preserved across pickling (snapshots, campaign workers)."""
+
+    _instance: Optional["_TimedOutType"] = None
+    __slots__ = ()
+
+    def __new__(cls) -> "_TimedOutType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TIMED_OUT"
+
+    def __reduce__(self):
+        return (_TimedOutType, ())
+
+
+TIMED_OUT = _TimedOutType()
 
 
 class Op:
@@ -211,14 +268,17 @@ class Op:
     slots still reject foreign attributes.
     """
 
-    __slots__ = ("kind", "target", "arg", "arg2")
+    __slots__ = ("kind", "target", "arg", "arg2", "timeout")
 
     def __init__(self, kind: OpKind, target: Any = None, arg: Any = None,
-                 arg2: Any = None) -> None:
+                 arg2: Any = None, timeout: Optional[int] = None) -> None:
         self.kind = kind
         self.target = target
         self.arg = arg
         self.arg2 = arg2
+        #: virtual-time budget in ticks for a blocking op (``None`` =
+        #: wait forever); for SLEEP/TIMER_TICK, the duration itself
+        self.timeout = timeout
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         t = getattr(self.target, "name", self.target)

@@ -58,6 +58,25 @@ class ShimUsageError(ReproError):
     Host error: propagates instead of being recorded as a finding."""
 
 
+class UnsupportedTimeoutError(ShimUsageError):
+    """A ``timeout=`` argument at a shim call site the virtual clock
+    cannot model (e.g. ``Barrier(timeout=...)``).  Most blocking shim
+    calls — ``Lock.acquire``, ``Condition.wait``, ``Queue.get``,
+    ``Event.wait``, ... — accept timeouts and route them onto the
+    deterministic virtual clock; the few that do not raise this error
+    naming the call site and the nearest supported alternative, instead
+    of silently falling back to wall time."""
+
+    def __init__(self, where: str, alternative: str):
+        self.where = where
+        self.alternative = alternative
+        super().__init__(
+            f"{where}: timeout is not supported under systematic "
+            f"exploration at this call site; nearest supported "
+            f"alternative: {alternative}"
+        )
+
+
 class InstrumentError(ReproError):
     """``repro.instrument`` could not rewrite a function into a guest
     (no retrievable source, an async/generator target, or a construct

@@ -53,9 +53,14 @@ def _run_prefix(program: Program, prefix: Sequence[int],
     try:
         while not ex.is_done():
             ex.step(sched.choose(ex))
+        return ex.finish()
     except SchedulerError:
         return None
-    return ex.finish()
+    finally:
+        # candidate prefixes routinely diverge or end in an error with
+        # other guests still suspended; close them explicitly so their
+        # GC-time teardown cannot spray "ignored GeneratorExit" noise
+        ex.close()
 
 
 def _error_kind(result: Optional[TraceResult]) -> Optional[str]:

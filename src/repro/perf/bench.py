@@ -89,6 +89,12 @@ CASES: List[BenchCase] = [
     BenchCase("dpor/chan_pipeline2", "dpor", 81, 2_000),
     BenchCase("lazy-hbr-caching/chan_pipeline2", "lazy-hbr-caching",
               81, 2_000),
+    # the virtual-time family: timed-lock retries with backoff sleeps
+    # (93) exercising the SLEEP/TIME_FIRE clock path in both the
+    # enumerating and reducing explorers
+    BenchCase("dfs/retry_backoff", "dfs", 93, 2_000),
+    BenchCase("lazy-hbr-caching/retry_backoff", "lazy-hbr-caching",
+              93, 2_000),
 ]
 
 #: The prefix-sharing scenario cases (``bench --scenario prefix``):

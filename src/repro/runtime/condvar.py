@@ -49,6 +49,10 @@ class CondVar(SharedObject):
                 )
             mutex.do_unlock(tid)
             self.add_waiter(tid)
+            if op.timeout is not None:
+                # remember where the thread parked so the executor can
+                # withdraw it from the queue if its timeout fires first
+                thread.parked_on = self
             ex.fx_park(thread, mutex)
         elif kind is OpKind.NOTIFY:
             ex.fx_wake(self.pop_one())
@@ -74,6 +78,19 @@ class CondVar(SharedObject):
         """Waiters released by ``notify_all``."""
         out, self.waiters = self.waiters, []
         return out
+
+    def withdraw_waiter(self, tid: int) -> None:
+        """Remove a timed-out waiter (its TIME_FIRE raced a notify and
+        lost the queue slot race — nothing to remove is fine)."""
+        try:
+            self.waiters.remove(tid)
+        except ValueError:
+            pass
+
+    def op_timeout_result(self, op):
+        # threading.Condition.wait(timeout=...) contract; delivered
+        # after the mutex has been re-acquired
+        return False
 
     def state_value(self):
         # A schedule cannot end with still-parked waiters unless it

@@ -113,6 +113,9 @@ _SPAWN = OpKind.SPAWN
 _JOIN = OpKind.JOIN
 _EXIT = OpKind.EXIT
 _YIELD = OpKind.YIELD
+_SLEEP = OpKind.SLEEP
+_TIMER_TICK = OpKind.TIMER_TICK
+_TIME_FIRE = OpKind.TIME_FIRE
 
 
 class _Status(enum.IntEnum):
@@ -126,6 +129,7 @@ class _GuestThread:
         "tid", "name", "gen", "pending", "status", "tindex",
         "handle", "wait_mutex", "resuming", "exit_recorded", "crashed",
         "tape", "spawn_count", "throw_exc",
+        "deadline", "wake_value", "parked_on",
     )
 
     def __init__(self, tid: int, name: str, gen, handle: ThreadHandle) -> None:
@@ -143,6 +147,11 @@ class _GuestThread:
         self.tape: Optional[List[Any]] = None  # send-value record (snapshots)
         self.spawn_count = 0          # executed SPAWNs (snapshot bookkeeping)
         self.throw_exc: Optional[GuestError] = None  # fx_throw injected error
+        # virtual-time bookkeeping for the pending op (set when a timed
+        # op becomes pending; survives a timed condvar park)
+        self.deadline: Optional[int] = None   # armed timeout (relative ticks)
+        self.wake_value: Optional[bool] = None  # timed wait: notified?
+        self.parked_on = None         # condvar a *timed* wait parked on
 
 
 class Executor:
@@ -159,6 +168,7 @@ class Executor:
     ) -> None:
         self.program = program
         self.instance: ProgramInstance = program.instantiate()
+        self._clock = self.instance.clock
         # canonical runs always use the reference engine (the exact HBR
         # forms are analysis machinery); otherwise the backend registry
         # resolves engine name -> implementation (None = env/auto; auto
@@ -197,6 +207,9 @@ class Executor:
         self._unfinished = 0                   # threads not FINISHED
         self._barrier_pending = 0              # runnable pending BARRIER_WAITs
         self._pred_watch = 0                   # pending await_value READs
+        # tids parked on a condvar *with a deadline*: steppable even
+        # though WAITING (the step is their timeout firing)
+        self._timed_parked: Set[int] = set()
         # memoised enabled list; membership tests run on the list
         # itself — linear, but enabled sets are tiny and a C-level list
         # scan beats building a set on every rebuild
@@ -275,6 +288,18 @@ class Executor:
             )
         t.pending = op
         kind = op.kind
+        if op.timeout is not None:
+            # SLEEP/TIMER_TICK target the program clock (the API cannot
+            # reach it, so the op arrives with target=None).  The armed
+            # value is the RELATIVE duration: the clock advances by it
+            # when (if) the time event executes.  Capturing an absolute
+            # deadline here would read the clock at pending-creation
+            # time, making it depend on how independent events
+            # interleaved — unsound for DPOR (commuting an unrelated
+            # event with a clock advance would change the deadline).
+            if op.target is None and (kind is _SLEEP or kind is _TIMER_TICK):
+                op.target = self._clock
+            t.deadline = op.timeout
         if kind is _BARRIER_WAIT:
             self._barrier_pending += 1
         elif kind is _READ and op.arg2 is not None:
@@ -432,7 +457,18 @@ class Executor:
             runnable = self._runnable_sorted = sorted(self._runnable)
         threads = self.threads
         op_enabled = self._op_enabled
-        result = [tid for tid in runnable if op_enabled(threads[tid])]
+        # a timed pending op is *always* enabled: stepping it executes
+        # the base operation if that can run now, else its TIME_FIRE
+        result = [
+            tid for tid in runnable
+            if threads[tid].pending.timeout is not None
+            or op_enabled(threads[tid])
+        ]
+        if self._timed_parked:
+            # timed condvar waiters are steppable while parked (their
+            # step is the timeout firing); disjoint from runnable
+            result.extend(self._timed_parked)
+            result.sort()
         self._enabled_cache = result
         return result
 
@@ -447,19 +483,41 @@ class Executor:
         finished/parked threads."""
         t = self.threads[tid]
         if t.pending is None:
+            if t.deadline is not None and t.status == _Status.WAITING:
+                # timed condvar waiter: the lookahead is its TIME_FIRE
+                # on the clock, withdrawing it from the parked-on cv
+                return PendingInfo(
+                    tid=tid,
+                    kind=int(_TIME_FIRE),
+                    oid=self._clock.oid,
+                    key=None,
+                    enabled=True,
+                    released_mutex_oid=(
+                        t.parked_on.oid if t.parked_on is not None else None
+                    ),
+                    timed=True,
+                )
             return None
         op = t.pending
         oid, key = self._op_location(t, op)
         released = (
             op.target.op_released_oid(op) if op.target is not None else None
         )
+        timed = op.timeout is not None
+        if timed and released is None and oid != self._clock.oid:
+            # a timed blocking op may execute as a TIME_FIRE on the
+            # clock: expose the clock as its secondary location so
+            # DPOR orders it against other time events
+            released = self._clock.oid
         return PendingInfo(
             tid=tid,
             kind=int(op.kind),
             oid=oid,
             key=key,
-            enabled=t.status == _Status.RUNNABLE and self._op_enabled(t),
+            enabled=t.status == _Status.RUNNABLE
+            and (timed or self._op_enabled(t)),
             released_mutex_oid=released,
+            timed=timed,
         )
 
     def all_pending_infos(self) -> List[PendingInfo]:
@@ -507,6 +565,10 @@ class Executor:
             raise SchedulerError("execution already terminated")
         t = self.threads[tid]
         if t.status != _Status.RUNNABLE or t.pending is None:
+            if t.status == _Status.WAITING and t.deadline is not None:
+                # a timed condvar waiter: stepping it while parked means
+                # its timeout fires (the wait returns False)
+                return self._fire_parked_timeout(t)
             raise SchedulerError(f"thread {tid} has no pending operation")
         enabled_cache = self._enabled_cache
         if trusted:
@@ -518,7 +580,7 @@ class Executor:
                 )
         else:
             self._admit_barriers()
-            if not self._op_enabled(t):
+            if t.pending.timeout is None and not self._op_enabled(t):
                 raise DisabledThreadError(
                     tid, self.enabled(), self._blocked_reason(t)
                 )
@@ -530,6 +592,11 @@ class Executor:
             )
 
         op = t.pending
+        if op.timeout is not None and not self._op_enabled(t):
+            # the base operation cannot run now, so stepping this thread
+            # executes the timeout branch instead — a deterministic
+            # function of the current state, so replays agree
+            return self._fire_pending_timeout(t, op)
         kind = op.kind
         value: Any = None
         released_mutex_oid: Optional[int] = None
@@ -600,6 +667,13 @@ class Executor:
             if self._fx_woken is not None:
                 woken = [self.threads[w] for w in self._fx_woken]
                 self._fx_woken = None
+        if t.deadline is not None:
+            if parked:
+                # a timed condvar wait: the deadline stays armed across
+                # the parked phase (fire-vs-notify is the race)
+                self._timed_parked.add(tid)
+            else:
+                t.deadline = None  # the base operation won
 
         event: Optional[Event] = None
         if self.fast_replay:
@@ -635,6 +709,13 @@ class Executor:
                 w.status = _Status.RUNNABLE
                 w.resuming = True
                 w.pending = Op(OpKind.LOCK, w.wait_mutex)
+                if w.deadline is not None:
+                    # the notify won the race against this waiter's
+                    # timeout: disarm it, record the True wake value
+                    self._timed_parked.discard(w.tid)
+                    w.deadline = None
+                    w.parked_on = None
+                    w.wake_value = True
                 self._runnable.add(w.tid)
             self._runnable_sorted = None
 
@@ -652,10 +733,13 @@ class Executor:
                 self._exit_events[tid] = event
         elif t.resuming and kind is _LOCK:
             # the implicit re-acquire after a wait: now the guest's
-            # `yield api.wait(...)` finally returns
+            # `yield api.wait(...)` finally returns — with None for
+            # untimed waits, True/False (notified / timed out) for
+            # timed ones
             t.resuming = False
             t.wait_mutex = None
-            self._advance(t, None)
+            wake_value, t.wake_value = t.wake_value, None
+            self._advance(t, wake_value)
         elif throw is not None:
             self._advance_throw(t, throw)
         else:
@@ -673,7 +757,9 @@ class Executor:
                 self._enabled_cache = None
             else:
                 cache = self._enabled_cache
-                now = np is not None and self._op_enabled(t)
+                now = np is not None and (
+                    np.timeout is not None or self._op_enabled(t)
+                )
                 if now != (tid in cache):
                     cache = cache.copy()
                     if now:
@@ -681,6 +767,86 @@ class Executor:
                     else:
                         cache.remove(tid)
                     self._enabled_cache = cache
+        return event
+
+    # ------------------------------------------------------------------
+    # Virtual-time fire paths.  Both execute a synthesised TIME_FIRE
+    # event on the program clock: its primary location is the clock
+    # (keeping all time events totally ordered, so "now" is a function
+    # of the HB fingerprint) and its secondary location is the awaited
+    # object the thread withdraws from (so DPOR race-reverses it
+    # against the operation that would have satisfied the wait).  The
+    # specialized accel stepper delegates to these same methods, which
+    # keeps the two step implementations byte-identical on timed paths.
+    def _fire_pending_timeout(self, t: _GuestThread, op: Op) -> Optional[Event]:
+        """The scheduler chose the timeout branch of a timed blocking
+        op: withdraw the pending op and deliver the primitive's
+        timeout result to the guest."""
+        if op.kind is _BARRIER_WAIT:
+            self._barrier_pending -= 1
+        elif op.kind is _READ and op.arg2 is not None:
+            self._pred_watch -= 1
+        # always disturbing: withdrawing the op can disable another
+        # thread (e.g. a rendezvous sender loses its pending receiver)
+        self._enabled_cache = None
+        self._clock.advance_to(self._clock.now + t.deadline)
+        t.deadline = None
+        value = op.target.op_timeout_result(op)
+        event = self._record_time_fire(t, op.target.oid, value)
+        self._advance(t, value)
+        return event
+
+    def _fire_parked_timeout(self, t: _GuestThread) -> Optional[Event]:
+        """A timed condvar waiter's deadline fires while parked: it is
+        withdrawn from the wait queue and re-acquires its mutex, after
+        which the guest's wait returns False."""
+        if self._num_events >= self.max_events:
+            self.truncated = True
+            self._enabled_cache = None
+            raise SchedulerError(
+                f"schedule exceeded max_events={self.max_events}"
+            )
+        cv = t.parked_on
+        t.parked_on = None
+        cv.withdraw_waiter(t.tid)
+        self._enabled_cache = None
+        self._clock.advance_to(self._clock.now + t.deadline)
+        t.deadline = None
+        self._timed_parked.discard(t.tid)
+        t.status = _Status.RUNNABLE
+        t.resuming = True
+        t.pending = Op(OpKind.LOCK, t.wait_mutex)
+        t.wake_value = False
+        self._runnable.add(t.tid)
+        self._runnable_sorted = None
+        return self._record_time_fire(t, cv.oid, False)
+
+    def _record_time_fire(self, t: _GuestThread, released_oid: int,
+                          value: Any) -> Optional[Event]:
+        """Record one TIME_FIRE event for ``t`` (clock engines, trace,
+        schedule, counters)."""
+        tid = t.tid
+        if self.fast_replay:
+            event = None
+            self.engine.observe(
+                tid, _TIME_FIRE, self._clock.oid, None, released_oid
+            )
+        else:
+            event = Event(
+                index=self._num_events,
+                tid=tid,
+                tindex=t.tindex,
+                kind=_TIME_FIRE,
+                oid=self._clock.oid,
+                key=None,
+                value=value,
+                released_mutex_oid=released_oid,
+            )
+            self.engine.on_event(event)
+            self.trace.append(event)
+        t.tindex += 1
+        self._num_events += 1
+        self.schedule.append(tid)
         return event
 
     # ------------------------------------------------------------------
@@ -720,6 +886,9 @@ class Executor:
                 or t.spawn_count > 0
                 or self._replay_all_tapes,
                 t.throw_exc,
+                t.deadline,
+                t.wake_value,
+                t.parked_on.oid if t.parked_on is not None else None,
             )
             for t in self.threads
         ]
@@ -917,6 +1086,8 @@ class Executor:
             _fx_released=None,
             _fx_throw=None,
             _static_threads=snap.static_threads,
+            _clock=instance.clock,
+            _timed_parked=set(),
         )
         registry = ex.instance.registry
         static = ex.instance.threads
@@ -944,6 +1115,12 @@ class Executor:
                     and rt.crashed == rec.crashed
                     and rt.exit_recorded == rec.exit_recorded
                     and rt.throw_exc is rec.throw_exc
+                    and rt.deadline == rec.deadline
+                    and rt.wake_value == rec.wake_value
+                    and (
+                        rt.parked_on.oid
+                        if rt.parked_on is not None else None
+                    ) == rec.parked_on_oid
                     and (
                         rt.wait_mutex.oid
                         if rt.wait_mutex is not None else None
@@ -969,6 +1146,8 @@ class Executor:
             t.crashed = rec.crashed
             t.spawn_count = rec.spawn_count
             t.throw_exc = rec.throw_exc
+            t.deadline = rec.deadline
+            t.wake_value = rec.wake_value
             pending: Optional[Op] = None
             if rec.needs_replay:
                 if tid < snap.static_threads:
@@ -995,6 +1174,10 @@ class Executor:
                 registry.objects[rec.wait_mutex_oid]
                 if rec.wait_mutex_oid is not None else None
             )
+            t.parked_on = (
+                registry.objects[rec.parked_on_oid]
+                if rec.parked_on_oid is not None else None
+            )
             if t.status != runnable_status:
                 t.pending = None          # finished, or parked on a CV
             elif t.resuming:
@@ -1008,6 +1191,16 @@ class Executor:
                 # yield and is never resumed)
                 t.pending = Op(OpKind.EXIT, t.handle, rec.throw_exc)
             else:
+                if (
+                    pending is not None
+                    and pending.target is None
+                    and (pending.kind is _SLEEP
+                         or pending.kind is _TIMER_TICK)
+                ):
+                    # fast-forward bypasses _advance: re-point the
+                    # fresh SLEEP/TIMER_TICK op at this instance's
+                    # clock (the deadline is restored from the record)
+                    pending.target = instance.clock
                 t.pending = pending
             ex.threads.append(t)
         objects = registry.objects
@@ -1018,6 +1211,10 @@ class Executor:
             )
         for obj, state in zip(objects, snap.object_states):
             obj.restore_state(state)
+        ex._timed_parked = {
+            t.tid for t in ex.threads
+            if t.deadline is not None and t.status == _Status.WAITING
+        }
         if ex.fast_replay and ex.engine.backend == "accel":
             install_specialized_step(ex)
         return ex
@@ -1079,6 +1276,46 @@ class Executor:
             event_count=self._num_events,
         )
 
+    def close(self) -> None:
+        """Explicitly tear down guest generators (abandoned runs).
+
+        Dropping an unfinished executor leaves guests suspended at a
+        yield; CPython closes them at collection time, and a guest
+        parked inside an instrumented ``with`` block re-yields during
+        ``GeneratorExit`` cleanup (the shim ``__exit__`` releases the
+        lock through the op protocol), which the interpreter reports
+        as an ignored ``GeneratorExit`` on stderr.  Closing here
+        retries until the unwinding completes, so abandoned replays
+        stay quiet.  The executor must not be stepped — or recycled
+        into a pool — afterwards.
+        """
+        for t in self.threads:
+            gen = t.gen
+            if gen is None:
+                continue
+            # walk the yield-from delegation chain (shim guests run
+            # inside wrapper generators): closing only the outermost
+            # would orphan the suspended user generator, whose own
+            # GC-time close then re-raises the noise this silences
+            chain = [gen]
+            while True:
+                sub = getattr(chain[-1], "gi_yieldfrom", None)
+                if sub is None or not hasattr(sub, "close"):
+                    break
+                chain.append(sub)
+            for g in reversed(chain):
+                # each instrumented with-block level re-yields once
+                # while unwinding; the bound is paranoia against a
+                # guest that swallows GeneratorExit forever
+                for _ in range(16):
+                    try:
+                        g.close()
+                        break
+                    except RuntimeError:
+                        continue
+                    except Exception:
+                        break  # guest cleanup raised; run is discarded
+
     # ------------------------------------------------------------------
     # Invariant checking (tests only)
     def _recomputed_enabled(self) -> Set[int]:
@@ -1088,7 +1325,10 @@ class Executor:
         return {
             t.tid
             for t in self.threads
-            if t.status == _Status.RUNNABLE
-            and t.pending is not None
-            and self._op_enabled(t)
+            if (
+                t.status == _Status.RUNNABLE
+                and t.pending is not None
+                and (t.pending.timeout is not None or self._op_enabled(t))
+            )
+            or (t.status == _Status.WAITING and t.deadline is not None)
         }

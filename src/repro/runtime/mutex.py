@@ -43,6 +43,10 @@ class Mutex(SharedObject):
     def blocking_desc(self, op) -> str:
         return f"waiting to lock {self.name!r} (held by T{self.owner})"
 
+    def op_timeout_result(self, op):
+        # threading.Lock.acquire(timeout=...) contract
+        return False
+
     def can_lock(self) -> bool:
         return self.owner is None
 

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
-from ..core.events import KIND_SPEC, HBClass, Op, OpKind
+from ..core.events import KIND_SPEC, TIMED_OUT, HBClass, Op, OpKind
 from ..errors import InvalidOpError
 
 
@@ -149,6 +149,15 @@ class SharedObject:
         conflict indexing."""
         return None
 
+    def op_timeout_result(self, op: Op) -> Any:
+        """The value the guest's ``yield`` receives when ``op``'s
+        virtual-time budget fires before the operation could execute
+        (the scheduler chose the TIME_FIRE branch).  The default is the
+        :data:`~repro.core.events.TIMED_OUT` sentinel; acquisition-style
+        primitives override with ``False`` to match the stdlib's
+        ``acquire(timeout=...)`` contract."""
+        return TIMED_OUT
+
     # -- state digests and snapshots ------------------------------------
     def state_value(self) -> Any:
         """A hashable summary of this object's current state, used in the
@@ -216,6 +225,10 @@ class DataObject(SharedObject):
                 f"{self.get(op.arg)!r}"
             )
         return SharedObject.blocking_desc(self, op)
+
+    def op_timeout_result(self, op: Op):
+        # a timed-out await_value reports "predicate never held"
+        return False
 
 
 class ThreadHandle(SharedObject):

@@ -41,6 +41,7 @@ from .objects import ObjectRegistry, SharedObject
 from .rwlock import RWLock
 from .semaphore import Semaphore
 from .sharedvar import SharedArray, SharedDict, SharedVar
+from .vclock import ClockObject
 
 #: A guest thread body: generator function taking (api, *args).
 ThreadBody = Callable[..., Any]
@@ -105,6 +106,24 @@ class ProgramBuilder:
         self.threads.append((body, args, name or f"T{tid}"))
         return tid
 
+    def timer(self, body: ThreadBody, *args: Any, period: float,
+              count: int, name: str = "") -> int:
+        """Declare a periodic timer thread: every virtual ``period``
+        seconds it runs one iteration of ``body(api, *args)`` (a
+        generator function), ``count`` times in total.  Each period
+        elapses as one explorable TIMER_TICK event on the virtual
+        clock — wall time is never consulted."""
+        if count < 1:
+            raise ValueError(f"timer needs count >= 1, got {count}")
+
+        def timer_body(api, *a):
+            for _ in range(count):
+                yield api.timer_tick(period)
+                yield from body(api, *a)
+
+        return self.thread(timer_body, *args,
+                           name=name or f"timer{len(self.threads)}")
+
 
 #: Deprecated spelling -> canonical constructor: the condition-variable
 #: constructor follows the primitive's stdlib name (PR 6 naming pass).
@@ -122,6 +141,9 @@ class ProgramInstance:
     registry: ObjectRegistry
     threads: List[Tuple[ThreadBody, Tuple[Any, ...], str]]
     named: Dict[str, SharedObject]
+    #: the per-program virtual clock (registered after the program's
+    #: own objects, so declaration-order oids are unaffected)
+    clock: ClockObject
 
 
 @dataclass(frozen=True)
@@ -138,4 +160,6 @@ class Program:
         self.build(builder)
         if not builder.threads:
             raise ValueError(f"program {self.name!r} declares no threads")
-        return ProgramInstance(builder.registry, builder.threads, builder.named)
+        clock = ClockObject(builder.registry)
+        return ProgramInstance(builder.registry, builder.threads,
+                               builder.named, clock)

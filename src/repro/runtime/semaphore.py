@@ -43,6 +43,10 @@ class Semaphore(SharedObject):
     def blocking_desc(self, op) -> str:
         return f"waiting to acquire semaphore {self.name!r} (count 0)"
 
+    def op_timeout_result(self, op):
+        # threading.Semaphore.acquire(timeout=...) contract
+        return False
+
     def can_acquire(self) -> bool:
         return self.count > 0
 

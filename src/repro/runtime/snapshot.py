@@ -63,7 +63,8 @@ class ThreadRecord:
     __slots__ = (
         "name", "status", "tindex", "resuming", "exit_recorded",
         "crashed", "wait_mutex_oid", "tape", "tape_len", "spawn_count",
-        "needs_replay", "throw_exc",
+        "needs_replay", "throw_exc", "deadline", "wake_value",
+        "parked_on_oid",
     )
 
     def __init__(
@@ -80,6 +81,9 @@ class ThreadRecord:
         spawn_count: int,
         needs_replay: bool,
         throw_exc: Optional[Exception] = None,
+        deadline: Optional[int] = None,
+        wake_value: Optional[bool] = None,
+        parked_on_oid: Optional[int] = None,
     ) -> None:
         self.name = name
         self.status = status
@@ -93,6 +97,10 @@ class ThreadRecord:
         self.spawn_count = spawn_count
         self.needs_replay = needs_replay
         self.throw_exc = throw_exc
+        # virtual-time state of a timed op/park (see executor)
+        self.deadline = deadline
+        self.wake_value = wake_value
+        self.parked_on_oid = parked_on_oid
 
 
 class ExecutorSnapshot:

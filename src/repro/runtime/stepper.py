@@ -58,7 +58,7 @@ F_EXIT = 1024
 F_LOCK = 2048
 
 _FLAGS = None
-_RUNNABLE = _FINISHED = None
+_RUNNABLE = _WAITING = _FINISHED = None
 _LOCK_KIND = OpKind.LOCK
 
 
@@ -109,6 +109,10 @@ def _specialized_step(self, tid, trusted=False):
     threads = self.threads
     t = threads[tid]
     if t.status != _RUNNABLE or t.pending is None:
+        if t.status == _WAITING and t.deadline is not None:
+            # timed condvar waiter: stepping it fires its timeout
+            # (delegates to the executor's shared fire path)
+            return self._fire_parked_timeout(t)
         raise SchedulerError(f"thread {tid} has no pending operation")
     enabled_cache = self._enabled_cache
     if trusted:
@@ -120,7 +124,7 @@ def _specialized_step(self, tid, trusted=False):
             )
     else:
         self._admit_barriers()
-        if not self._op_enabled(t):
+        if t.pending.timeout is None and not self._op_enabled(t):
             raise DisabledThreadError(
                 tid, self.enabled(), self._blocked_reason(t)
             )
@@ -133,6 +137,9 @@ def _specialized_step(self, tid, trusted=False):
 
     FLAGS = _FLAGS
     op = t.pending
+    if op.timeout is not None and not self._op_enabled(t):
+        # the base op cannot run: the timeout branch executes instead
+        return self._fire_pending_timeout(t, op)
     kind = op.kind
     flags = FLAGS[kind]
     value = None
@@ -197,6 +204,12 @@ def _specialized_step(self, tid, trusted=False):
         if self._fx_woken is not None:
             woken = self._fx_woken
             self._fx_woken = None
+    if t.deadline is not None:
+        if parked:
+            # timed condvar wait: deadline stays armed while parked
+            self._timed_parked.add(tid)
+        else:
+            t.deadline = None  # the base operation won
 
     clock, lazy_clock = self.engine.observe(
         tid, kind, oid, key, released_mutex_oid
@@ -216,6 +229,12 @@ def _specialized_step(self, tid, trusted=False):
             w.status = _RUNNABLE
             w.resuming = True
             w.pending = Op(_LOCK_KIND, w.wait_mutex)
+            if w.deadline is not None:
+                # the notify beat this waiter's timeout
+                self._timed_parked.discard(wtid)
+                w.deadline = None
+                w.parked_on = None
+                w.wake_value = True
             runnable.add(wtid)
         self._runnable_sorted = None
 
@@ -231,7 +250,8 @@ def _specialized_step(self, tid, trusted=False):
     elif t.resuming and flags & F_LOCK:
         t.resuming = False
         t.wait_mutex = None
-        self._advance(t, None)
+        wake_value, t.wake_value = t.wake_value, None
+        self._advance(t, wake_value)
     elif throw is not None:
         self._advance_throw(t, throw)
     else:
@@ -243,7 +263,9 @@ def _specialized_step(self, tid, trusted=False):
             self._enabled_cache = None
         else:
             cache = self._enabled_cache
-            now = np is not None and self._op_enabled(t)
+            now = np is not None and (
+                np.timeout is not None or self._op_enabled(t)
+            )
             if now != (tid in cache):
                 cache = cache.copy()
                 if now:
@@ -257,11 +279,12 @@ def _specialized_step(self, tid, trusted=False):
 def install_specialized_step(ex) -> None:
     """Rebind ``ex.step`` to the fused fast-replay loop.  Requires
     ``ex.fast_replay`` (no Event objects, no trace)."""
-    global _RUNNABLE, _FINISHED
+    global _RUNNABLE, _WAITING, _FINISHED
     if _RUNNABLE is None:
         from .executor import _Status  # deferred: the executor imports us
 
         _RUNNABLE = _Status.RUNNABLE
+        _WAITING = _Status.WAITING
         _FINISHED = _Status.FINISHED
         kind_flags()
     ex.step = MethodType(_specialized_step, ex)

@@ -26,9 +26,9 @@ execution happens in the :class:`~repro.runtime.executor.Executor`.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
-from ..core.events import Op, OpKind
+from ..core.events import Op, OpKind, to_ticks
 from ..deprecation import install_aliases as _install_aliases
 from ..errors import GuestAssertionError
 from .atomic import AtomicInt
@@ -39,6 +39,11 @@ from .future import Future
 from .mutex import Mutex
 from .rwlock import RWLock
 from .semaphore import Semaphore
+
+
+def _ticks(timeout: Optional[float]) -> Optional[int]:
+    """Seconds -> integer virtual ticks (None passes through)."""
+    return None if timeout is None else to_ticks(timeout)
 
 
 class ThreadAPI:
@@ -58,14 +63,17 @@ class ThreadAPI:
         """Write ``value`` to ``var`` (or to element ``key``)."""
         return Op(OpKind.WRITE, var, key, value)
 
-    def await_value(self, var, predicate: Callable[[Any], bool], key: Any = None) -> Op:
+    def await_value(self, var, predicate: Callable[[Any], bool], key: Any = None,
+                    timeout: Optional[float] = None) -> Op:
         """Blocking read: enabled only once ``predicate(value)`` holds.
 
         This models a spin-wait loop without generating one schedule per
         spin iteration (the standard *await* construct of modelling
-        languages); the executed event is an ordinary READ.
+        languages); the executed event is an ordinary READ.  With
+        ``timeout`` the wait may instead end with the timeout firing
+        (an explorable branch) and the yield returns ``False``.
         """
-        return Op(OpKind.READ, var, key, predicate)
+        return Op(OpKind.READ, var, key, predicate, timeout=_ticks(timeout))
 
     # -- atomics -----------------------------------------------------------
     def load(self, atom: AtomicInt) -> Op:
@@ -95,16 +103,25 @@ class ThreadAPI:
         return Op(OpKind.RMW, var, key, update)
 
     # -- mutexes -----------------------------------------------------------
-    def lock(self, m: Mutex) -> Op:
-        return Op(OpKind.LOCK, m)
+    def lock(self, m: Mutex, timeout: Optional[float] = None) -> Op:
+        """Acquire ``m``.  With ``timeout`` the acquisition may instead
+        time out after ``timeout`` virtual seconds (the scheduler
+        explores both branches); the yield then returns ``False``
+        instead of ``None``."""
+        return Op(OpKind.LOCK, m, timeout=_ticks(timeout))
 
     def unlock(self, m: Mutex) -> Op:
         return Op(OpKind.UNLOCK, m)
 
     # -- condition variables -------------------------------------------------
-    def wait(self, cv: CondVar, m: Mutex) -> Op:
-        """Release ``m``, park on ``cv``; returns after re-acquiring ``m``."""
-        return Op(OpKind.WAIT, cv, None, m)
+    def wait(self, cv: CondVar, m: Mutex, timeout: Optional[float] = None) -> Op:
+        """Release ``m``, park on ``cv``; returns after re-acquiring ``m``.
+
+        Untimed waits yield ``None``.  With ``timeout`` the yield
+        returns ``True`` if a notify woke the thread, ``False`` if the
+        virtual-time budget fired first (either way the mutex has been
+        re-acquired) — the ``Condition.wait(timeout=...)`` contract."""
+        return Op(OpKind.WAIT, cv, None, m, timeout=_ticks(timeout))
 
     def notify(self, cv: CondVar) -> Op:
         return Op(OpKind.NOTIFY, cv)
@@ -113,8 +130,10 @@ class ThreadAPI:
         return Op(OpKind.NOTIFY_ALL, cv)
 
     # -- semaphores ------------------------------------------------------------
-    def sem_acquire(self, sem: Semaphore) -> Op:
-        return Op(OpKind.SEM_ACQUIRE, sem)
+    def sem_acquire(self, sem: Semaphore, timeout: Optional[float] = None) -> Op:
+        """P on ``sem``; with ``timeout`` the yield returns ``False``
+        when the timeout fires before a permit arrives."""
+        return Op(OpKind.SEM_ACQUIRE, sem, timeout=_ticks(timeout))
 
     def sem_release(self, sem: Semaphore) -> Op:
         return Op(OpKind.SEM_RELEASE, sem)
@@ -137,17 +156,23 @@ class ThreadAPI:
         return Op(OpKind.WUNLOCK, rw)
 
     # -- channels ----------------------------------------------------------------
-    def chan_send(self, ch: Channel, value: Any) -> Op:
+    def chan_send(self, ch: Channel, value: Any,
+                  timeout: Optional[float] = None) -> Op:
         """Deposit ``value`` into ``ch`` (blocks while the buffer is
         full; a rendezvous send blocks until a receiver is pending).
-        Sending on a closed channel is a guest error."""
-        return Op(OpKind.CHAN_SEND, ch, value)
+        Sending on a closed channel is a guest error.  With ``timeout``
+        the yield returns :data:`~repro.core.events.TIMED_OUT` when the
+        budget fires before space appears."""
+        return Op(OpKind.CHAN_SEND, ch, value, timeout=_ticks(timeout))
 
-    def chan_recv(self, ch: Channel) -> Op:
+    def chan_recv(self, ch: Channel, timeout: Optional[float] = None) -> Op:
         """Take the oldest value from ``ch`` (blocks while the channel
         is open and empty).  Once the channel is closed and drained,
-        yields the :data:`~repro.runtime.channel.CLOSED` sentinel."""
-        return Op(OpKind.CHAN_RECV, ch)
+        yields the :data:`~repro.runtime.channel.CLOSED` sentinel.  With
+        ``timeout`` the yield returns
+        :data:`~repro.core.events.TIMED_OUT` when the budget fires
+        while the channel is still empty."""
+        return Op(OpKind.CHAN_RECV, ch, timeout=_ticks(timeout))
 
     def chan_close(self, ch: Channel) -> Op:
         """Close ``ch``: every blocked ``recv`` becomes enabled (the
@@ -161,9 +186,12 @@ class ThreadAPI:
         error."""
         return Op(OpKind.FUT_SET, f, value)
 
-    def fut_get(self, f: Future) -> Op:
-        """Block until ``f`` is completed; yields its value."""
-        return Op(OpKind.FUT_GET, f)
+    def fut_get(self, f: Future, timeout: Optional[float] = None) -> Op:
+        """Block until ``f`` is completed; yields its value.  With
+        ``timeout`` the yield returns
+        :data:`~repro.core.events.TIMED_OUT` when the budget fires
+        before completion."""
+        return Op(OpKind.FUT_GET, f, timeout=_ticks(timeout))
 
     def fut_done(self, f: Future) -> Op:
         """Non-blocking completion poll (an ordinary READ event);
@@ -178,6 +206,20 @@ class ThreadAPI:
     def join(self, tid: int) -> Op:
         """Block until guest thread ``tid`` terminates."""
         return Op(OpKind.JOIN, None, tid)
+
+    # -- virtual time ------------------------------------------------------------
+    def sleep(self, seconds: float) -> Op:
+        """Advance virtual time by ``seconds``.  One SLEEP event on the
+        program's clock: time jumps to the deadline when the scheduler
+        executes it — wall time is never consulted.  Yields the new
+        virtual now (in ticks)."""
+        return Op(OpKind.SLEEP, None, timeout=to_ticks(seconds))
+
+    def timer_tick(self, seconds: float) -> Op:
+        """One period of a periodic timer elapsing (used by
+        ``ProgramBuilder.timer``); semantically a SLEEP with its own
+        kind so traces show timer firings distinctly."""
+        return Op(OpKind.TIMER_TICK, None, timeout=to_ticks(seconds))
 
     # -- misc ------------------------------------------------------------------------
     def sched_yield(self) -> Op:

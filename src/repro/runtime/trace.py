@@ -65,6 +65,9 @@ class PendingInfo:
     key: Any
     enabled: bool
     released_mutex_oid: Optional[int] = None
+    #: the op carries a virtual-time timeout, so stepping it may fire
+    #: the timeout instead (DPOR must treat it as always co-enabled)
+    timed: bool = False
 
     def location(self) -> Tuple[int, Any]:
         return (self.oid, self.key)

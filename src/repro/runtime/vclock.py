@@ -1,0 +1,84 @@
+"""Virtual time as a shared object.
+
+Every :class:`~repro.runtime.program.ProgramInstance` carries exactly
+one :class:`ClockObject`, registered after the program's own objects
+(so user oids are unchanged by its existence).  All time events —
+SLEEP, TIMER_TICK, and the TIME_FIRE events the executor synthesises
+when a pending timeout fires — target this object, and its KindSpec
+rows classify them as modifying in *both* happens-before relations.
+That makes time events totally ordered along any execution, so the
+virtual "now" is a deterministic function of the happens-before
+fingerprint — exactly the property the fingerprint-caching explorers
+and DPOR need to stay sound (DESIGN.md §12).
+
+Time never advances from the wall clock: it jumps to a deadline only
+when the scheduler executes a time event, which is what turns
+*timeout-fires-vs-wakeup-wins* into an ordinary explorable scheduling
+choice.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..clock import VirtualClock
+from ..core.events import Op, OpKind
+from .objects import ObjectRegistry, SharedObject
+
+#: reserved name of the per-program clock object (never user-visible
+#: through ``ProgramBuilder``, so it cannot collide)
+CLOCK_NAME = "__clock__"
+
+
+class ClockObject(SharedObject):
+    """The per-program deterministic clock (integer microsecond ticks).
+
+    SLEEP and TIMER_TICK ops target it directly; :meth:`op_apply`
+    advances time by the op's duration, read *at execution time*.
+    TIME_FIRE events likewise advance it by the armed timeout, via
+    :meth:`advance_to` from the executor's timeout path.  Advances must
+    be relative-at-execution: every clock value is then a function of
+    the (totally ordered) clock-event subsequence alone, so commuting
+    independent non-clock events never changes it — capturing an
+    absolute deadline earlier (at pending-creation) would leak the
+    interleaving into the state and break DPOR's equivalence classes.
+    """
+
+    __slots__ = ("clock",)
+
+    def __init__(self, registry: ObjectRegistry) -> None:
+        super().__init__(registry, CLOCK_NAME)
+        self.clock = VirtualClock()
+
+    @property
+    def now(self) -> int:
+        return self.clock.now_ticks
+
+    def advance_to(self, deadline_ticks: int) -> int:
+        return self.clock.advance_to(deadline_ticks)
+
+    # -- the sync-primitive protocol ------------------------------------
+    def op_enabled(self, op: Op, tid: int, ex: Any) -> bool:
+        # a SLEEP/TIMER_TICK can fire at any scheduling point: virtual
+        # time is allowed to jump straight to its deadline
+        return True
+
+    def op_apply(self, op: Op, ex: Any, thread: Any) -> Any:
+        if op.kind is not OpKind.SLEEP and op.kind is not OpKind.TIMER_TICK:
+            return SharedObject.op_apply(self, op, ex, thread)
+        thread.deadline = None
+        self.clock.advance_to(self.clock.now_ticks + (op.timeout or 0))
+        return self.clock.now_ticks
+
+    def blocking_desc(self, op: Op) -> str:  # pragma: no cover - diags
+        return f"{op.kind.name} until t={op.timeout}"
+
+    # -- state digests and snapshots ------------------------------------
+    def state_value(self) -> Any:
+        return ("clock", self.clock.now_ticks)
+
+    def snapshot_state(self) -> Any:
+        return self.clock.now_ticks
+
+    def restore_state(self, state: Any) -> None:
+        self.clock.now_ticks = state

@@ -144,31 +144,48 @@ def drive(ctx: ShimContext, tid: int, gen):
     send_value: Any = None
     throw_exc: Optional[GuestError] = None
     first = True
-    while True:
-        # active only while guest code runs: restored on suspension and
-        # on exit, so host code between steps (and after the program)
-        # cannot observe a stale context
-        prev = _ACTIVE
-        _ACTIVE = ctx
-        ctx.current_tid = tid
-        try:
-            if first:
-                first = False
-                op = next(gen)
-            elif throw_exc is not None:
-                exc, throw_exc = throw_exc, None
-                op = gen.throw(exc)
-            else:
-                op = gen.send(send_value)
-        except StopIteration as stop:
-            return stop.value
-        except ReproError:
-            raise
-        except Exception as exc:
-            raise GuestCrashError(tid, exc) from exc
-        finally:
-            _ACTIVE = prev
-        try:
-            send_value = yield op
-        except GuestError as injected:
-            throw_exc = injected
+    try:
+        while True:
+            # active only while guest code runs: restored on suspension
+            # and on exit, so host code between steps (and after the
+            # program) cannot observe a stale context
+            prev = _ACTIVE
+            _ACTIVE = ctx
+            ctx.current_tid = tid
+            try:
+                if first:
+                    first = False
+                    op = next(gen)
+                elif throw_exc is not None:
+                    exc, throw_exc = throw_exc, None
+                    op = gen.throw(exc)
+                else:
+                    op = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise GuestCrashError(tid, exc) from exc
+            finally:
+                _ACTIVE = prev
+            try:
+                send_value = yield op
+            except GuestError as injected:
+                throw_exc = injected
+    except GeneratorExit:
+        # the host abandoned this thread mid-run (Executor.close, or a
+        # discarded replay being collected): unwind the guest here, or
+        # its own GC-time close sprays "ignored GeneratorExit" — a
+        # guest suspended in an instrumented with-block re-yields once
+        # per nesting level while its cleanup releases through the op
+        # protocol, hence the bounded retry
+        for _ in range(8):
+            try:
+                gen.close()
+                break
+            except RuntimeError:
+                continue
+            except Exception:
+                break  # guest cleanup raised; the run is discarded
+        raise

@@ -8,17 +8,19 @@ blocking READ enabled once the counter is zero), so no spin schedules
 are generated.
 
 ``Empty``/``Full`` are re-exported from the stdlib module so except
-clauses in real code keep matching, though under exploration they are
-never raised by the shim itself: non-blocking/timed operations are
-rejected up front with :class:`~repro.errors.ShimUsageError` (a timed
-``get`` has no meaning when schedules are logical).
+clauses in real code keep matching.  Timed ``get``/``put`` run on the
+runtime's deterministic virtual clock — the timeout firing is an
+explorable scheduling branch that raises the stdlib exception, never a
+wall-clock race — while non-blocking operations remain rejected up
+front with :class:`~repro.errors.ShimUsageError` (there is no single
+"current" state to poll).
 """
 
 from __future__ import annotations
 
 from queue import Empty, Full  # stdlib re-export: except-clauses keep working
 
-from ..core.events import Op, OpKind
+from ..core.events import TIMED_OUT, Op, OpKind, to_ticks
 from ..errors import ShimUsageError
 from ..runtime.atomic import AtomicInt as _RtAtomicInt
 from ..runtime.channel import Channel as _RtChannel
@@ -33,6 +35,16 @@ _UNBOUNDED = 1 << 30
 
 def _is_zero(value) -> bool:
     return value == 0
+
+
+def _q_ticks(timeout):
+    """Stdlib ``queue`` timeout contract: ``None`` waits forever, a
+    negative value is a ``ValueError`` (no ``-1`` convention here)."""
+    if timeout is None:
+        return None
+    if timeout < 0:
+        raise ValueError("'timeout' must be a non-negative number")
+    return to_ticks(timeout)
 
 
 def _task_done_apply(old):
@@ -68,16 +80,21 @@ class Queue:
                 "queue.Queue.put: non-blocking put on a bounded queue "
                 "is not supported under systematic exploration"
             )
-        if timeout is not None:
-            raise ShimUsageError(
-                "queue.Queue.put: timeouts are not supported under "
-                "systematic exploration"
-            )
+        ticks = _q_ticks(timeout)
         # counter first: a consumer's task_done can then never observe
         # the deposit before the bump
         yield Op(OpKind.RMW, self._unfinished, None,
                  _RtAtomicInt._fetch_add(1))
-        yield Op(OpKind.CHAN_SEND, self._chan, item)
+        got = yield Op(OpKind.CHAN_SEND, self._chan, item, timeout=ticks)
+        if got is TIMED_OUT:
+            # the virtual-clock deadline fired before capacity opened:
+            # compensate the optimistic bump, then report Full.  A
+            # concurrent join() can observe the transient bump — that
+            # window exists in any schedule where the put blocks, so it
+            # adds no behaviours the bounded queue did not already have.
+            yield Op(OpKind.RMW, self._unfinished, None,
+                     _RtAtomicInt._fetch_add(-1))
+            raise Full
 
     @guest_op
     def put_nowait(self, item):
@@ -91,12 +108,11 @@ class Queue:
                 "under systematic exploration (there is no single "
                 "'current' state to poll)"
             )
-        if timeout is not None:
-            raise ShimUsageError(
-                "queue.Queue.get: timeouts are not supported under "
-                "systematic exploration"
-            )
-        return (yield Op(OpKind.CHAN_RECV, self._chan))
+        ticks = _q_ticks(timeout)
+        value = yield Op(OpKind.CHAN_RECV, self._chan, timeout=ticks)
+        if value is TIMED_OUT:
+            raise Empty
+        return value
 
     def get_nowait(self):
         raise ShimUsageError(

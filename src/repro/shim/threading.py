@@ -11,9 +11,15 @@ executed on OS threads.  Typical usage swaps one import line::
 
 Fidelity notes (enforced, not silent):
 
-* timeouts and non-blocking acquires are rejected with
-  :class:`~repro.errors.ShimUsageError` — SCT explores logical
-  schedules, not wall-clock time;
+* ``timeout=`` arguments on blocking calls (``Lock.acquire``,
+  ``Condition.wait``, ``Semaphore.acquire``, ``Event.wait``) run on the
+  runtime's deterministic **virtual clock**: the timeout firing is an
+  explorable scheduling branch, never a wall-clock race.  The few call
+  sites virtual time cannot model (``Barrier(timeout=)``,
+  ``Thread.join(timeout=)``, ``Condition.wait_for(timeout=)``) raise
+  :class:`~repro.errors.UnsupportedTimeoutError` naming the nearest
+  supported alternative; non-blocking acquires are likewise rejected —
+  nothing silently falls back to wall time;
 * all locks/queues/events (and ``@repro.shared`` state) must be created
   in the main thread before the first ``Thread.start()`` (the *setup
   phase*), which is what keeps object ids schedule-independent;
@@ -27,10 +33,10 @@ access rather than silently running unchecked.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
-from ..core.events import Op, OpKind
-from ..errors import ShimUsageError
+from ..core.events import Op, OpKind, to_ticks
+from ..errors import ShimUsageError, UnsupportedTimeoutError
 from ..runtime.barrier import Barrier as _RtBarrier
 from ..runtime.condvar import CondVar as _RtCondVar
 from ..runtime.mutex import Mutex as _RtMutex
@@ -53,12 +59,21 @@ class BrokenBarrierError(RuntimeError):
     no abort), so this is only ever raised by user code."""
 
 
-def _no_timeout(where: str, timeout) -> None:
+def _no_timeout(where: str, timeout, alternative: str) -> None:
+    """Reject a ``timeout=`` at a call site virtual time cannot model,
+    pointing at the nearest shim construct that does support one."""
     if timeout is not None and timeout != -1:
-        raise ShimUsageError(
-            f"{where}: timeouts are not supported under systematic "
-            f"exploration (schedules are logical, not timed)"
-        )
+        raise UnsupportedTimeoutError(where, alternative)
+
+
+def _timeout_ticks(where: str, timeout) -> Optional[int]:
+    """Validate and convert a supported ``timeout=`` to virtual ticks
+    (stdlib convention: ``None``/``-1`` mean wait forever)."""
+    if timeout is None or timeout == -1:
+        return None
+    if timeout < 0:
+        raise ValueError(f"{where}: timeout value must be non-negative")
+    return to_ticks(timeout)
 
 
 def _no_nonblocking(where: str, blocking) -> None:
@@ -94,8 +109,10 @@ class Lock:
     @guest_op
     def acquire(self, blocking: bool = True, timeout: float = -1):
         _no_nonblocking("threading.Lock.acquire", blocking)
-        _no_timeout("threading.Lock.acquire", timeout)
-        yield Op(OpKind.LOCK, self._mutex)
+        ticks = _timeout_ticks("threading.Lock.acquire", timeout)
+        got = yield Op(OpKind.LOCK, self._mutex, timeout=ticks)
+        if got is False:  # virtual-clock timeout fired first
+            return False
         self._holds[self._ctx.current_tid] = 1
         return True
 
@@ -141,12 +158,14 @@ class RLock:
     @guest_op
     def acquire(self, blocking: bool = True, timeout: float = -1):
         _no_nonblocking("threading.RLock.acquire", blocking)
-        _no_timeout("threading.RLock.acquire", timeout)
+        ticks = _timeout_ticks("threading.RLock.acquire", timeout)
         tid = self._ctx.current_tid
         if self._holds.get(tid):
             self._holds[tid] += 1
             return True
-        yield Op(OpKind.LOCK, self._mutex)
+        got = yield Op(OpKind.LOCK, self._mutex, timeout=ticks)
+        if got is False:  # virtual-clock timeout fired first
+            return False
         self._holds[tid] = 1
         return True
 
@@ -227,21 +246,29 @@ class Condition:
 
     @guest_op
     def wait(self, timeout=None):
-        _no_timeout("threading.Condition.wait", timeout)
+        ticks = _timeout_ticks("threading.Condition.wait", timeout)
         self._check_owned("wait")
         # stdlib _release_save/_acquire_restore: the WAIT op atomically
         # releases the runtime mutex (once — an RLock holds it once
         # regardless of recursion depth) and re-acquires it on wake; the
-        # shim-side hold entry is parked across the wait
+        # shim-side hold entry is parked across the wait.  A timed wait
+        # reports the stdlib contract: True if notified, False if the
+        # virtual-clock deadline fired first (the mutex is re-acquired
+        # either way).
         tid = self._ctx.current_tid
         saved = self._lock._holds.pop(tid)
-        yield Op(OpKind.WAIT, self._cv, None, self._lock._mutex)
+        got = yield Op(
+            OpKind.WAIT, self._cv, None, self._lock._mutex, timeout=ticks
+        )
         self._lock._holds[tid] = saved
-        return True
+        return got is not False
 
     @guest_op
     def wait_for(self, predicate, timeout=None):
-        _no_timeout("threading.Condition.wait_for", timeout)
+        _no_timeout(
+            "threading.Condition.wait_for", timeout,
+            "loop over Condition.wait(timeout=) re-testing the predicate",
+        )
         result = yield from _rt_call(predicate)
         while not result:
             yield from self.wait()
@@ -283,9 +310,9 @@ class Semaphore:
     @guest_op
     def acquire(self, blocking: bool = True, timeout=None):
         _no_nonblocking(f"{self._LABEL}.acquire", blocking)
-        _no_timeout(f"{self._LABEL}.acquire", timeout)
-        yield Op(OpKind.SEM_ACQUIRE, self._sem)
-        return True
+        ticks = _timeout_ticks(f"{self._LABEL}.acquire", timeout)
+        got = yield Op(OpKind.SEM_ACQUIRE, self._sem, timeout=ticks)
+        return got is not False
 
     def _post_release(self, new_count: int) -> None:
         pass
@@ -342,7 +369,10 @@ class Barrier:
             raise ShimUsageError(
                 "threading.Barrier: action callbacks are not supported"
             )
-        _no_timeout("threading.Barrier", timeout)
+        _no_timeout(
+            "threading.Barrier", timeout,
+            "a per-waiter Event.wait(timeout=) guarding the rendezvous",
+        )
         ctx = current_context("threading.Barrier")
         self._ctx = ctx
         self._barrier = ctx.make(
@@ -357,7 +387,10 @@ class Barrier:
 
     @guest_op
     def wait(self, timeout=None):
-        _no_timeout("threading.Barrier.wait", timeout)
+        _no_timeout(
+            "threading.Barrier.wait", timeout,
+            "a per-waiter Event.wait(timeout=) guarding the rendezvous",
+        )
         # the runtime barrier hands back this thread's arrival index
         # (0..parties-1 within the cohort) as the op's send value
         return (yield Op(OpKind.BARRIER_WAIT, self._barrier))
@@ -391,9 +424,9 @@ class Event:
 
     @guest_op
     def wait(self, timeout=None):
-        _no_timeout("threading.Event.wait", timeout)
-        yield Op(OpKind.READ, self._flag, None, _truthy)
-        return True
+        ticks = _timeout_ticks("threading.Event.wait", timeout)
+        got = yield Op(OpKind.READ, self._flag, None, _truthy, timeout=ticks)
+        return got is not False
 
 
 def _truthy(value) -> bool:
@@ -484,7 +517,11 @@ class Thread:
 
     @guest_op
     def join(self, timeout=None):
-        _no_timeout("threading.Thread.join", timeout)
+        _no_timeout(
+            "threading.Thread.join", timeout,
+            "an Event the worker sets on exit, awaited with "
+            "Event.wait(timeout=)",
+        )
         if not self._started:
             raise RuntimeError("cannot join thread before it is started")
         yield Op(OpKind.JOIN, None, self._tid)

@@ -1,4 +1,4 @@
-"""The benchmark suite: 88 program instances, ids 1..88.
+"""The benchmark suite: 96 program instances, ids 1..96.
 
 The paper evaluated 79 open-source multithreaded Java benchmarks; this
 suite substitutes instances drawn from classic concurrency program
@@ -10,8 +10,11 @@ relation), lock-free CAS algorithms, mutual-exclusion protocols,
 known-buggy programs (deadlocks, assertion violations, channel misuse)
 that the explorers must find, and — since the sync-primitive protocol
 opened the vocabulary — message-passing workloads over channels and
-futures (ids 80+: pipelines, fan-in/fan-out, producer–consumer,
-future DAGs, close races, rendezvous).
+futures (ids 80-88: pipelines, fan-in/fan-out, producer–consumer,
+future DAGs, close races, rendezvous), and virtual-time workloads
+(ids 89-96: leases, watchdogs, retry storms, timed message passing)
+whose timeouts are explorable scheduling branches on the deterministic
+clock.
 
 ``REGISTRY`` maps bench id -> :class:`~repro.suite.base.Benchmark`;
 ``small`` instances have DFS-exhaustible state spaces and are used as
@@ -68,6 +71,13 @@ from .sync_patterns import (
     spawn_join_tree,
     store_buffer_litmus,
     token_ring,
+)
+from .timed import (
+    heartbeat_watchdog,
+    lease_expiry,
+    retry_backoff,
+    sleepy_producer_consumer,
+    timed_handshake,
 )
 
 __all__ = [
@@ -267,7 +277,24 @@ def _build_registry() -> Dict[int, Benchmark]:
         notes="send racing a close; some schedules crash the producer")
     add("rendezvous", rendezvous_handshake(2), small=True)
 
-    assert len(entries) == 88, f"registry has {len(entries)} entries, not 88"
+    # -- 89-96: virtual time (timeouts as explorable branches on the
+    # deterministic clock; see suite/timed.py) ---------------------------
+    add("lease_expiry", lease_expiry(buggy=True), small=True,
+        expect_error="assertion",
+        notes="seeded steal-without-lease after an acquire timeout")
+    add("lease_expiry", lease_expiry(buggy=False), small=True)
+    add("heartbeat_watchdog", heartbeat_watchdog(2, buggy=True), small=True,
+        expect_error="assertion",
+        notes="watchdog deadline racing a live worker's heartbeats")
+    add("heartbeat_watchdog", heartbeat_watchdog(2, buggy=False), small=True)
+    add("retry_backoff", retry_backoff(2, buggy=True), small=True,
+        expect_error="assertion",
+        notes="client exhausts timed-lock retries and writes unlocked")
+    add("retry_backoff", retry_backoff(2, buggy=False), small=True)
+    add("sleepy_pc", sleepy_producer_consumer(2), small=True)
+    add("timed_handshake", timed_handshake(2), small=True)
+
+    assert len(entries) == 96, f"registry has {len(entries)} entries, not 96"
     return {b.bench_id: b for b in entries}
 
 
@@ -275,7 +302,7 @@ REGISTRY: Dict[int, Benchmark] = _build_registry()
 
 
 def all_benchmarks() -> List[Benchmark]:
-    """All 88 suite entries, ordered by id."""
+    """All 96 suite entries, ordered by id."""
     return [REGISTRY[i] for i in sorted(REGISTRY)]
 
 

@@ -438,6 +438,65 @@ def _dsl_rlock_reentrant(p: ProgramBuilder) -> None:
 
 
 # ---------------------------------------------------------------------------
+# 9. timed lease — lock-acquire timeout as an explorable branch
+#    (expected bug: the contender steals after its deadline fires)
+# ---------------------------------------------------------------------------
+
+def shim_timed_lease():
+    box = Box()
+    lock = shim_threading.Lock()
+
+    def holder():
+        lock.acquire()
+        box.data = 1
+        v = box.data
+        lock.release()
+        if v != 1:
+            raise ValueError(f"lease stolen: {v}")
+
+    def contender():
+        got = lock.acquire(timeout=0.02)
+        if got:
+            lock.release()
+        else:
+            box.data = 2  # assumes the holder died; writes without the lease
+
+    t1 = shim_threading.Thread(target=holder)
+    t2 = shim_threading.Thread(target=contender)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+
+
+def _dsl_timed_lease(p: ProgramBuilder) -> None:
+    def holder(api, cell, m):
+        yield api.lock(m)
+        yield api.write(cell, 1)
+        v = yield api.read(cell)
+        yield api.unlock(m)
+        if v != 1:
+            raise GuestCrashError(api.tid, ValueError(f"lease stolen: {v}"))
+
+    def contender(api, cell, m):
+        got = yield api.lock(m, timeout=0.02)
+        if got is not False:
+            yield api.unlock(m)
+        else:
+            yield api.write(cell, 2)
+
+    def main(api):
+        cell = SharedVar(p.registry, 0, "Box.data#0")
+        m = RtMutex(p.registry, "threading.Lock#0")
+        t1 = yield api.spawn(holder, cell, m)
+        t2 = yield api.spawn(contender, cell, m)
+        yield api.join(t1)
+        yield api.join(t2)
+
+    p.thread(main, name="main")
+
+
+# ---------------------------------------------------------------------------
 # the pair registry
 # ---------------------------------------------------------------------------
 
@@ -476,6 +535,8 @@ def make_twins() -> List[TwinPair]:
         _pair("condition_handoff", shim_condition_handoff,
               _dsl_condition_handoff),
         _pair("rlock_reentrant", shim_rlock_reentrant, _dsl_rlock_reentrant),
+        _pair("timed_lease", shim_timed_lease, _dsl_timed_lease,
+              expect_error="GuestCrashError"),
     ]
 
 

@@ -1,0 +1,252 @@
+"""Virtual-time scenarios: leases, watchdogs, retries and timed
+message passing.
+
+These programs exercise the deterministic virtual clock (DESIGN.md
+§12): every ``timeout=`` below is an explorable scheduling branch —
+the explorers enumerate both "the base operation won" and "the
+deadline fired first" orderings, never a wall-clock race.  The seeded
+bugs are the classic distributed-systems failure shapes that only
+exist *because* of timeouts: acting on a lease the holder still
+believes it owns, declaring a live worker dead, and giving up on a
+lock but writing anyway.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from ..core.events import TIMED_OUT
+from ..runtime.program import Program, ProgramBuilder
+
+
+def _at_least(n, value) -> bool:
+    """Module-level predicate (awaited ops must survive snapshots)."""
+    return value >= n
+
+
+def lease_expiry(buggy: bool = False) -> Program:
+    """A lease-expiry race: the holder works under the lease while a
+    contender's timed acquire expires.
+
+    The buggy variant commits the textbook sin — after the acquire
+    times out it assumes the holder crashed and writes ownership
+    *without* the lease, so schedules where the deadline fires inside
+    the holder's critical section fail the holder's ownership check.
+    The fixed variant falls back to an untimed acquire.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        lease = p.mutex("lease")
+        owner = p.var("owner", 0)
+        committed = p.var("committed", 0)
+
+        def holder(api):
+            yield api.lock(lease)
+            yield api.write(owner, 1)
+            yield api.sleep(0.05)  # works while holding the lease
+            o = yield api.read(owner)
+            api.guest_assert(o == 1, "lease stolen while still held")
+            yield api.write(committed, 1)
+            yield api.unlock(lease)
+
+        def contender(api):
+            got = yield api.lock(lease, timeout=0.02)
+            if got is False:
+                if buggy:
+                    # "the holder must be dead": writes without the lease
+                    yield api.write(owner, 2)
+                else:
+                    yield api.lock(lease)
+                    yield api.write(owner, 2)
+                    yield api.unlock(lease)
+            else:
+                yield api.write(owner, 2)
+                yield api.unlock(lease)
+
+        p.thread(holder)
+        p.thread(contender)
+
+    tag = "buggy" if buggy else "ok"
+    return Program(
+        f"lease_expiry_{tag}",
+        build,
+        description="timed lock acquire racing the lease holder"
+        + (" with a seeded steal-without-lease bug" if buggy else ""),
+    )
+
+
+def heartbeat_watchdog(beats: int = 2, buggy: bool = False) -> Program:
+    """A periodic heartbeat timer monitored by a watchdog with a timed
+    await.
+
+    The buggy variant asserts the watchdog's deadline can never fire
+    before all heartbeats land — but the timeout branch is explorable
+    whenever the counter is still low, so the explorers find the
+    schedule where a live worker is declared dead.  The fixed variant
+    records the alarm and keeps waiting.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        hb = p.atomic("hb", 0)
+        alarms = p.var("alarms", 0)
+
+        def beat(api):
+            yield api.fetch_add(hb, 1)
+
+        def watchdog(api):
+            got = yield api.await_value(
+                hb, partial(_at_least, beats), timeout=0.05
+            )
+            if buggy:
+                api.guest_assert(
+                    got is not False,
+                    "watchdog declared a live worker dead",
+                )
+            elif got is False:
+                yield api.write(alarms, 1)
+                yield api.await_value(hb, partial(_at_least, beats))
+
+        p.timer(beat, period=0.01, count=beats)
+        p.thread(watchdog)
+
+    tag = "buggy" if buggy else "ok"
+    return Program(
+        f"heartbeat_watchdog_b{beats}_{tag}",
+        build,
+        description="timed await racing a periodic heartbeat timer"
+        + (" with a seeded live-worker-declared-dead bug" if buggy else ""),
+    )
+
+
+def retry_backoff(clients: int = 2, buggy: bool = False) -> Program:
+    """A retry-with-backoff storm: clients loop over timed lock
+    acquires with growing virtual sleeps between attempts.
+
+    The buggy variant gives up after its retries and performs the
+    increment *unlocked* — a lost update the auditor's conservation
+    assertion catches.  The fixed variant falls back to an untimed
+    acquire after the storm.
+    """
+
+    def build(p: ProgramBuilder) -> None:
+        m = p.mutex("m")
+        count = p.var("count", 0)
+
+        def client(api, me):
+            backoff = 0.01
+            for _attempt in range(2):
+                got = yield api.lock(m, timeout=backoff)
+                if got is not False:
+                    c = yield api.read(count)
+                    yield api.write(count, c + 1)
+                    yield api.unlock(m)
+                    return
+                yield api.sleep(backoff)
+                backoff *= 2
+            if buggy:
+                # retries exhausted; increments without the lock
+                c = yield api.read(count)
+                yield api.write(count, c + 1)
+            else:
+                yield api.lock(m)
+                c = yield api.read(count)
+                yield api.write(count, c + 1)
+                yield api.unlock(m)
+
+        def auditor(api):
+            for t in range(clients):
+                yield api.join(t)
+            c = yield api.read(count)
+            api.guest_assert(c == clients, "retry storm lost an update")
+
+        for me in range(clients):
+            p.thread(client, me)
+        p.thread(auditor)
+
+    tag = "buggy" if buggy else "ok"
+    return Program(
+        f"retry_backoff_c{clients}_{tag}",
+        build,
+        description="timed-lock retry storm with virtual backoff sleeps"
+        + (" and a seeded unlocked give-up write" if buggy else ""),
+    )
+
+
+def sleepy_producer_consumer(items: int = 2) -> Program:
+    """A producer that sleeps between sends feeding a consumer that
+    polls with a timed receive (one timed attempt per item, then an
+    untimed fallback, so every schedule terminates).  Conservation
+    holds on every schedule — the timed branches add orderings, not
+    outcomes."""
+
+    def build(p: ProgramBuilder) -> None:
+        ch = p.channel("ch", 1)
+        out = p.var("out", 0)
+
+        def producer(api):
+            for i in range(items):
+                yield api.sleep(0.01)
+                yield api.chan_send(ch, i + 1)
+
+        def consumer(api):
+            acc = 0
+            for _ in range(items):
+                v = yield api.chan_recv(ch, timeout=0.03)
+                if v is TIMED_OUT:
+                    v = yield api.chan_recv(ch)
+                acc += v
+            yield api.write(out, acc)
+            api.guest_assert(
+                acc == items * (items + 1) // 2,
+                "sleepy producer-consumer lost an item",
+            )
+
+        p.thread(producer)
+        p.thread(consumer)
+
+    return Program(
+        f"sleepy_pc_k{items}",
+        build,
+        description="sleeping producer vs timed-recv polling consumer",
+    )
+
+
+def timed_handshake(rounds: int = 2) -> Program:
+    """Request/response over rendezvous channels where both sides use
+    timed operations with untimed fallbacks.  Strict alternation still
+    holds (each reply echoes the client's own request) — timeouts on a
+    rendezvous add retry orderings but cannot reorder the handshake."""
+
+    def build(p: ProgramBuilder) -> None:
+        req = p.channel("req", 0)
+        rsp = p.channel("rsp", 0)
+        out = p.var("out", 0)
+
+        def server(api):
+            for _ in range(rounds):
+                v = yield api.chan_recv(req, timeout=0.02)
+                if v is TIMED_OUT:
+                    v = yield api.chan_recv(req)
+                yield api.chan_send(rsp, v * 10)
+
+        def client(api):
+            acc = 0
+            for i in range(rounds):
+                got = yield api.chan_send(req, i + 1, timeout=0.02)
+                if got is TIMED_OUT:
+                    yield api.chan_send(req, i + 1)
+                r = yield api.chan_recv(rsp)
+                api.guest_assert(
+                    r == (i + 1) * 10, "handshake echoed a stale request"
+                )
+                acc += r
+            yield api.write(out, acc)
+
+        p.thread(server)
+        p.thread(client)
+
+    return Program(
+        f"timed_handshake_r{rounds}",
+        build,
+        description="rendezvous handshake with timed send/recv retries",
+    )

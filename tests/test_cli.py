@@ -75,8 +75,8 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "figure1" in out
-        # header + 88 rows
-        assert len(out.strip().splitlines()) == 89
+        # header + 96 rows
+        assert len(out.strip().splitlines()) == 97
 
 
 class TestRun:

@@ -35,20 +35,10 @@ from repro.campaign.distributed import (
 from repro.campaign.distributed import messages as M
 from repro.campaign.distributed.coordinator import EXACT_STEAL_EXPLORERS
 from repro.campaign.distributed.transport import parse_hostport
+from repro.clock import ManualClock
 from repro.explore.base import ExplorationLimits
 
 LIMITS = ExplorationLimits(max_schedules=500)
-
-
-class FakeClock:
-    def __init__(self, now=100.0):
-        self.now = now
-
-    def __call__(self):
-        return self.now
-
-    def advance(self, dt):
-        self.now += dt
 
 
 @pytest.fixture(scope="module")
@@ -64,7 +54,7 @@ def result_1_dfs():
 def make_coord(cells=((5, "dfs", 0),), clock=None, **kw):
     cells = [CampaignCell(*c) for c in cells]
     kw.setdefault("lease_timeout", 10.0)
-    return Coordinator(cells, LIMITS, clock=clock or FakeClock(), **kw)
+    return Coordinator(cells, LIMITS, clock=clock or ManualClock(100.0), **kw)
 
 
 def req(worker):
@@ -136,7 +126,7 @@ class TestLeaseLifecycle:
             result_5_dfs.stats.num_schedules
 
     def test_expired_lease_is_requeued_with_attempt_bump(self):
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock)
         assert coord.handle(req("w1"))["type"] == M.LEASE
         clock.advance(coord.lease_timeout + 1.0)
@@ -147,7 +137,7 @@ class TestLeaseLifecycle:
         assert coord.num_expired == 1
 
     def test_heartbeat_renews_the_lease(self):
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock)
         coord.handle(req("w1"))
         for _ in range(4):
@@ -183,7 +173,7 @@ class TestDedupAndStaleHolders:
         # w1's lease expires, w2 picks the task up — then w1's result
         # arrives late.  Statistics are cumulative, so it covers the
         # whole cell: accept it and cancel w2's duplicate attempt.
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock)
         coord.handle(req("w1"))
         clock.advance(coord.lease_timeout + 1.0)
@@ -196,7 +186,7 @@ class TestDedupAndStaleHolders:
         assert coord.handle(hb("w2", "5:dfs:0")).get("abandon") is True
 
     def test_stale_failed_result_does_not_burn_a_retry(self):
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock)
         coord.handle(req("w1"))
         clock.advance(coord.lease_timeout + 1.0)
@@ -210,7 +200,7 @@ class TestDedupAndStaleHolders:
         assert coord._book["5:dfs:0"].retries == 1
 
     def test_stale_result_rejected_after_a_steal(self, result_5_dfs):
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock)
         coord.handle(req("w1"))
         clock.advance(coord.lease_timeout + 1.0)
@@ -229,7 +219,7 @@ class TestCheckpoints:
             "strategy": {}}
 
     def test_checkpoint_resumes_next_attempt(self):
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock)
         coord.handle(req("w1"))
         assert coord.handle(
@@ -251,7 +241,7 @@ class TestCheckpoints:
         assert "5:dfs:0" not in coord._checkpoints
 
     def test_checkpoint_renews_the_lease(self):
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock)
         coord.handle(req("w1"))
         clock.advance(0.9 * coord.lease_timeout)
@@ -291,7 +281,7 @@ class TestStealing:
              "frontier": {"items": [1]}, "stats": None, "strategy": {}}
 
     def _coord_with_victim(self):
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock)
         coord.handle(req("w1"))
         clock.advance(1.0)  # past steal_min_age
@@ -346,7 +336,7 @@ class TestStealing:
 
     def test_no_steal_for_inexact_strategies(self):
         assert "random" not in EXACT_STEAL_EXPLORERS
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(cells=((5, "random", 0),), clock=clock)
         coord.handle(req("w1"))
         clock.advance(1.0)
@@ -354,7 +344,7 @@ class TestStealing:
         assert "steal" not in coord.handle(hb("w1", "5:random:0"))
 
     def test_no_steal_when_disabled(self):
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock, steal=False)
         coord.handle(req("w1"))
         clock.advance(1.0)
@@ -364,7 +354,7 @@ class TestStealing:
 
 class TestPoisonQuarantine:
     def test_repeated_expiry_poisons_the_cell(self):
-        clock = FakeClock()
+        clock = ManualClock(100.0)
         coord = make_coord(clock=clock, max_cell_retries=1)
         coord.handle(req("w1"))
         clock.advance(coord.lease_timeout + 1.0)

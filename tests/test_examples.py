@@ -128,6 +128,42 @@ class TestRealCodeDemo:
         assert "identical result across two invocations" in output
 
 
+class TestTimedRetryDemo:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("timed_retry_demo.py")
+
+    @pytest.fixture(scope="class")
+    def stderr(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "timed_retry_demo.py")],
+            capture_output=True, text=True, timeout=240,
+            env={**os.environ,
+                 "PYTHONPATH": str(SRC)},
+        )
+        assert result.returncode == 0
+        return result.stderr
+
+    def test_dpor_finds_the_stolen_lease(self, output):
+        assert "BUG (GuestCrashError)" in output
+        assert "lease stolen while still held" in output
+
+    def test_schedule_minimized(self, output):
+        assert "minimized:" in output
+        assert "% shorter" in output
+
+    def test_timeline_shows_the_timeout_firing(self, output):
+        # the reproduction visibly hinges on virtual-time branches
+        assert "time_fire(__clock__)" in output
+        assert "Lease.owner#0" in output
+
+    def test_no_generator_teardown_noise(self, stderr):
+        # abandoned minimization replays must close their guests
+        # quietly (Executor.close / the drive() GeneratorExit path)
+        assert "Exception ignored" not in stderr
+        assert "GeneratorExit" not in stderr
+
+
 class TestFigureRunners:
     def test_run_figure2_subset(self):
         # tiny limit for speed; the full run is exercised by the bench
@@ -160,4 +196,4 @@ class TestCampaignRunner:
         assert (tmp_path / "campaign.ckpt.json").exists()
         # second run resumes entirely from the checkpoint
         again = run_example("run_campaign.py", "40", "2", cwd=tmp_path)
-        assert "(264 from checkpoint)" in again
+        assert "(288 from checkpoint)" in again

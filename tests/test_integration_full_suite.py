@@ -4,7 +4,7 @@ verified on every single run.
 
 This is the test-suite counterpart of the benchmark harness: tiny
 budgets (hundreds of schedules, seconds per program) so the whole sweep
-stays fast, but full breadth — all 88 instances x the headline
+stays fast, but full breadth — all 96 instances x the headline
 strategies.
 """
 

@@ -8,6 +8,7 @@ from repro.suite.bank import bank_racy
 from repro.suite.channels import chan_close_race, chan_producer_consumer
 from repro.suite.locks import lock_order_deadlock
 from repro.suite.mutual_exclusion import peterson
+from repro.suite import REGISTRY
 
 
 def find_error_schedule(program):
@@ -100,3 +101,58 @@ class TestMinimization:
         finding = find_error_schedule(program)
         result = minimize_schedule(program, finding.schedule, max_replays=5)
         assert result.replays <= 6
+
+
+class TestTimedBugWitness:
+    """The seeded lease-expiry timeout bug (suite id 89): DPOR finds
+    it, the minimizer shrinks the witness, and the shrunk schedule
+    reproduces byte-identically on every execution configuration —
+    both clock-engine backends, snapshots on and off, and the serial
+    campaign path."""
+
+    @pytest.fixture(scope="class")
+    def witness(self):
+        program = REGISTRY[89].program
+        finding = find_error_schedule(program)
+        assert finding.kind == "GuestAssertionError"
+        result = minimize_schedule(program, finding.schedule)
+        return program, finding, result
+
+    def test_minimizer_shrinks_the_timeout_witness(self, witness):
+        program, finding, result = witness
+        assert result.error_kind == "GuestAssertionError"
+        assert len(result.schedule) <= len(finding.schedule)
+        r = execute(program, schedule=result.schedule)
+        assert type(r.error).__name__ == "GuestAssertionError"
+        assert "lease stolen" in str(r.error)
+
+    def test_witness_reproduces_on_every_configuration(self, witness):
+        from repro.runtime.executor import Executor
+
+        program, _, result = witness
+        # execute() completes the minimized prefix with the first-enabled
+        # policy; base.schedule is the fully-recorded schedule
+        base = execute(program, schedule=result.schedule)
+        signature = (base.hbr_fp, base.lazy_fp, base.state_hash)
+        for kwargs in ({"engine": "ref"}, {"engine": "accel"},
+                       {"snapshots": True}):
+            ex = Executor(program, **kwargs)
+            for tid in base.schedule:
+                ex.step(tid)
+            r = ex.finish()
+            assert (r.hbr_fp, r.lazy_fp, r.state_hash) == signature, kwargs
+            assert type(r.error).__name__ == "GuestAssertionError"
+
+    def test_campaign_cell_finds_the_same_bug(self):
+        from repro.campaign import CampaignCell, execute_cell
+        from repro.explore.controller import run_single
+
+        lim = ExplorationLimits(max_schedules=30_000)
+        serial = run_single(REGISTRY[89].program, "dpor", lim)
+        cell = execute_cell(CampaignCell(89, "dpor", 0), lim)
+        assert cell.ok, cell.error
+        assert {e.kind for e in serial.errors} == {"GuestAssertionError"}
+        assert {e.kind for e in cell.stats.errors} == {"GuestAssertionError"}
+        assert cell.stats.state_hashes == serial.state_hashes
+        assert sorted(e.schedule for e in cell.stats.errors) == \
+            sorted(e.schedule for e in serial.errors)

@@ -13,6 +13,7 @@ from repro.errors import (
     DisabledThreadError,
     GuestCrashError,
     ShimUsageError,
+    UnsupportedTimeoutError,
 )
 from repro.explore.base import ExplorationLimits
 from repro.explore.controller import run_single
@@ -88,12 +89,27 @@ class TestUsageContract:
         with pytest.raises(ShimUsageError, match="LifoQueue"):
             shim_queue.LifoQueue  # noqa: B018
 
-    def test_timeouts_rejected(self):
+    def test_uncontended_timed_acquire_succeeds(self):
+        # timeouts route onto the virtual clock; an uncontended timed
+        # acquire succeeds without the deadline ever firing
         def main():
             lock = shim_threading.Lock()
-            lock.acquire(timeout=1.5)
+            assert lock.acquire(timeout=1.5) is True
+            lock.release()
 
-        with pytest.raises(ShimUsageError, match="timeout"):
+        run_ok(main)
+
+    def test_unsupported_timeout_site_names_alternative(self):
+        def main():
+            t = shim_threading.Thread(target=None)
+            t.start()
+            t.join(timeout=0.5)
+
+        with pytest.raises(
+            UnsupportedTimeoutError,
+            match=r"threading\.Thread\.join.*nearest supported "
+                  r"alternative.*Event\.wait\(timeout=\)",
+        ):
             execute(program_from_function(main))
 
     def test_nonblocking_rejected(self):

@@ -55,6 +55,9 @@ SUBSET = [
     86,  # future DAG
     87,  # channel close race (ChannelError schedules)
     88,  # rendezvous handshake
+    89,  # lease expiry seeded timeout bug (TIME_FIRE vs mutex)
+    91,  # heartbeat watchdog (timer thread + timed await)
+    96,  # timed handshake (timed rendezvous send/recv)
 ]
 
 

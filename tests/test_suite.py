@@ -8,22 +8,22 @@ from repro.suite import REGISTRY, all_benchmarks, by_family, get_benchmark, smal
 
 
 class TestRegistry:
-    def test_exactly_88_benchmarks(self):
-        assert len(REGISTRY) == 88
+    def test_exactly_96_benchmarks(self):
+        assert len(REGISTRY) == 96
 
-    def test_ids_are_1_to_88(self):
-        assert sorted(REGISTRY) == list(range(1, 89))
+    def test_ids_are_1_to_96(self):
+        assert sorted(REGISTRY) == list(range(1, 97))
 
     def test_names_unique(self):
         names = [b.program.name for b in all_benchmarks()]
-        assert len(set(names)) == 88
+        assert len(set(names)) == 96
 
     def test_get_benchmark(self):
         assert get_benchmark(1).program.name == "figure1"
 
     def test_small_subset_nonempty(self):
         smalls = small_benchmarks()
-        assert 30 <= len(smalls) <= 88
+        assert 30 <= len(smalls) <= 96
 
     def test_by_family(self):
         phils = by_family(["philosophers"])
