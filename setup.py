@@ -1,11 +1,47 @@
-"""Legacy setup shim.
+"""Setup shim + optional native-kernel build.
 
-The execution environment is offline with a setuptools too old for
-PEP 517 editable installs (no ``wheel``); this shim lets
-``pip install -e . --no-use-pep517`` (or plain ``pip install -e .`` on
-older pips) work everywhere.  Metadata lives in pyproject.toml.
+The package is pure Python with one *optional* C extension:
+``repro.core._native``, the compiled clock-engine kernel behind
+``engine="native"`` (see DESIGN.md §13).  The build is best-effort by
+design — the pure-Python twin in ``repro/core/hb_native.py`` is a
+byte-identical fallback, so a missing compiler degrades performance,
+never correctness.  Build in place with::
+
+    python setup.py build_ext --inplace
+
+which is what CI's native job and developers run; ``pip install``
+without a toolchain still succeeds (the extension is marked optional).
 """
 
-from setuptools import setup
+from setuptools import Extension, find_packages, setup
+from setuptools.command.build_ext import build_ext
 
-setup()
+
+class optional_build_ext(build_ext):
+    """Build ``repro.core._native`` if the toolchain allows; otherwise
+    warn and continue — the pure fallback keeps the package working."""
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # compiler missing / broken headers
+            import warnings
+
+            warnings.warn(
+                f"could not build optional extension {ext.name}: {exc}; "
+                "repro will use the pure-Python native fallback"
+            )
+
+
+setup(
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    ext_modules=[
+        Extension(
+            "repro.core._native",
+            sources=["src/repro/core/_native.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": optional_build_ext},
+)

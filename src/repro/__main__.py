@@ -525,7 +525,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--expect", choices=("bug", "clean"),
                          help="exit 0 iff the outcome matches (else the "
                               "exit code is 1 when a bug is found)")
-    p_check.add_argument("--engine", choices=("ref", "accel"),
+    p_check.add_argument("--engine",
+                         choices=("ref", "accel", "native"),
                          default=None,
                          help="clock-engine backend (default: auto; "
                               "see repro.core.engines)")
@@ -593,7 +594,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "snapshot tree (default 4; 0 disables "
                              "snapshot resume — results are identical "
                              "either way, only slower)")
-    p_camp.add_argument("--engine", choices=("ref", "accel"),
+    p_camp.add_argument("--engine",
+                        choices=("ref", "accel", "native"),
                         default=None,
                         help="clock-engine backend for every cell "
                              "(exported as REPRO_ENGINE so pool and "
@@ -691,12 +693,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard count for --scenario split")
     p_bench.add_argument("--cases",
                          help="comma-separated case names (default: all)")
-    p_bench.add_argument("--engine", choices=("ref", "accel", "both"),
+    p_bench.add_argument("--engine",
+                         choices=("ref", "accel", "native", "both"),
                          default=None,
                          help="clock-engine backend; 'both' runs every "
-                              "case under ref AND accel, asserts the "
+                              "case under ALL registered backends "
+                              "(ref, accel, native), asserts the "
                               "fingerprint sets are identical, and "
-                              "reports the A/B speedups (micro "
+                              "reports the speedups vs ref (micro "
                               "scenario only; default: auto)")
     p_bench.add_argument("--smoke", action="store_true",
                          help="fast mode for CI (shorter measurements)")

@@ -1,7 +1,8 @@
 """The engine backend registry: pluggable clock-engine implementations.
 
 The replay hot path — :meth:`~repro.core.hb.DualClockEngine.observe`
-plus the executor step loop driving it — exists in two implementations:
+plus the executor step loop driving it — exists in three
+implementations:
 
 * ``ref`` — the pure-Python reference (:class:`~repro.core.hb
   .DualClockEngine`): list-of-list clocks, always correct, always
@@ -10,36 +11,46 @@ plus the executor step loop driving it — exists in two implementations:
   .AccelClockEngine`): flat ``array('q')`` clock storage with
   copy-on-publish at the array level, int-keyed location tables, an
   optional numpy bulk-join path for wide clocks, and a specialized
-  executor step loop (:mod:`repro.runtime.stepper`).  Byte-identical
-  to ``ref`` by contract: fingerprints, state hashes, schedules and
-  clock snapshots must match suite-wide (the equivalence tests and the
-  ``bench --engine both`` harness enforce it).
+  executor step loop (:mod:`repro.runtime.stepper`).
+* ``native`` — the compiled kernel (:mod:`repro.core.hb_native`):
+  the ``observe`` dual-clock join, dominance tables and fingerprint
+  chains as a C extension (``repro.core._native``), fused with the
+  specialized step loop.  Always *available* — when the compiled
+  artifact has not been built for this interpreter, ``native`` falls
+  back to the byte-identical pure-Python kernel in the same module
+  (``PyNativeClockEngine``; :func:`native_compiled` tells the two
+  apart, and bench rows record the provenance).
+
+All backends are byte-identical by contract: fingerprints, state
+hashes, schedules and clock snapshots must match suite-wide (the
+equivalence tests, the three-engine hypothesis property and the
+``bench --engine both`` harness enforce it).
 
 Selection is runtime, with this precedence:
 
 1. an explicit name (``--engine`` on the ``bench``/``campaign``/
    ``check`` CLIs, or the ``engine=`` parameter threaded through
    :class:`~repro.runtime.executor.Executor` and the explorers);
-2. the ``REPRO_ENGINE`` environment variable (``ref`` or ``accel``);
+2. the ``REPRO_ENGINE`` environment variable (``ref``, ``accel`` or
+   ``native``);
 3. ``auto`` — the measured-fastest default for this machine class.
 
-Auto currently resolves to ``ref`` in **both** executor modes: at
-suite thread counts (3–6 threads) the reference's plain-list clocks
-measure faster than the array engine on this harness — boxing machine
-ints out of an ``array('q')`` on every scalar read costs more than the
-batched joins save, and the numpy bulk-join path only engages at ≥ 32
-wide.  The interleaved A/B harness (``bench --engine both``) is the
-evidence, and re-running it is how this default should be revisited if
-the balance changes (wider programs, a faster buffer protocol, a
-C extension).  The ``fast_replay`` hint threaded into
-:func:`resolve_engine` is the routing hook for that future: auto may
-pick per-mode without touching any caller.
+Auto resolves to ``native`` exactly when the compiled artifact
+imports, and to ``ref`` otherwise: at suite thread counts (3–6
+threads) the reference's plain-list clocks measure faster than both
+pure-Python alternative layouts (boxing machine ints out of an
+``array('q')`` on every scalar read costs more than the batched joins
+save), while the compiled kernel beats everything by integer factors
+(the committed ``BENCH_baseline.json`` and DESIGN.md §13 carry the
+measured numbers).  The interleaved A/B harness (``bench --engine
+both``) is the evidence, and re-running it is how this default should
+be revisited.  The ``fast_replay`` hint threaded into
+:func:`resolve_engine` is the routing hook for per-mode auto picks.
 
 An *explicit* name (CLI flag or ``REPRO_ENGINE``) always wins, so
-``REPRO_ENGINE=accel`` forces the array engine everywhere —
-byte-identical results, enforced by the equivalence suite and the
-``bench --engine both`` harness — and ``REPRO_ENGINE=ref`` pins the
-reference even where a future auto would disagree.  See DESIGN.md §11.
+``REPRO_ENGINE=ref`` pins the reference even where auto would pick the
+compiled kernel, and ``REPRO_ENGINE=native`` forces the native kernel
+(compiled or fallback) everywhere.  See DESIGN.md §11 and §13.
 """
 
 from __future__ import annotations
@@ -74,8 +85,58 @@ def _accel_importable() -> bool:
     return True
 
 
+def _native_importable() -> bool:
+    # the native *backend* is always available: hb_native carries a
+    # pure-Python fallback kernel.  Whether the compiled artifact
+    # loaded is a provenance question (native_compiled()), not an
+    # availability one.
+    try:
+        from . import hb_native  # noqa: F401
+    except Exception:  # pragma: no cover - ships with the package
+        return False
+    return True
+
+
 register_backend("ref", lambda: True)
 register_backend("accel", _accel_importable)
+register_backend("native", _native_importable)
+
+
+_NATIVE_COMPILED: Optional[bool] = None
+
+
+def native_compiled() -> bool:
+    """True when the ``native`` backend's compiled C kernel imported
+    (vs the pure-Python fallback).  Drives the ``auto`` pick and the
+    bench provenance rows.  Memoised: every executor construction asks
+    (via :func:`resolve_engine`), and the answer is fixed per process
+    once :mod:`~repro.core.hb_native` has imported."""
+    global _NATIVE_COMPILED
+    if _NATIVE_COMPILED is None:
+        try:
+            from .hb_native import NATIVE_COMPILED
+        except Exception:  # pragma: no cover - ships with the package
+            _NATIVE_COMPILED = False
+        else:
+            _NATIVE_COMPILED = NATIVE_COMPILED
+    return _NATIVE_COMPILED
+
+
+def engine_provenance(name: str) -> dict:
+    """Provenance of a resolved backend, recorded per bench case row:
+    how the kernel executing the measurement was actually built."""
+    import platform
+
+    if name == "native":
+        from .hb_native import provenance
+
+        return dict(provenance())
+    return {
+        "compiled": False,
+        "compiler": None,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
 
 
 def backend_names() -> tuple:
@@ -88,31 +149,46 @@ def available_backends() -> tuple:
     return tuple(n for n, probe in _BACKENDS.items() if probe())
 
 
+#: (requested name, REPRO_ENGINE value) -> resolved backend.  Every
+#: executor construction resolves; the answer only changes when the
+#: environment variable does, so the pair is the full cache key.
+_RESOLVE_CACHE: Dict[tuple, str] = {}
+
+
 def resolve_engine(
     name: Optional[str] = None, fast_replay: bool = True
 ) -> str:
     """Resolve a requested engine name to a concrete backend.
 
     ``None``/``"auto"`` consults :data:`ENGINE_ENV`, then falls back
-    to the measured-fastest default — currently ``ref`` in both
-    executor modes (see the module docstring; ``fast_replay`` is the
-    hook that lets auto route per mode if that measurement changes).
-    An explicit unknown or unavailable name raises ``ValueError``
-    (misconfiguration should be loud, not a silent fallback).
+    to the measured-fastest default — ``native`` when its compiled
+    kernel imported, ``ref`` otherwise (see the module docstring;
+    ``fast_replay`` is the hook that lets auto route per mode if that
+    measurement changes).  An explicit unknown or unavailable name
+    raises ``ValueError`` (misconfiguration should be loud, not a
+    silent fallback).
     """
+    env = os.environ.get(ENGINE_ENV)
+    cached = _RESOLVE_CACHE.get((name, env))
+    if cached is not None:
+        return cached
+    requested = name
     if name is None or name == "" or name == AUTO:
-        name = os.environ.get(ENGINE_ENV) or AUTO
+        name = env or AUTO
     if name == AUTO:
-        return "ref"
-    if name not in _BACKENDS:
-        raise ValueError(
-            f"unknown engine {name!r}; available: "
-            f"{sorted(_BACKENDS)} (or 'auto')"
-        )
-    if not _BACKENDS[name]():
-        raise ValueError(f"engine {name!r} is not available in this "
-                         f"environment")
-    return name
+        resolved = "native" if native_compiled() else "ref"
+    else:
+        if name not in _BACKENDS:
+            raise ValueError(
+                f"unknown engine {name!r}; available: "
+                f"{sorted(_BACKENDS)} (or 'auto')"
+            )
+        if not _BACKENDS[name]():
+            raise ValueError(f"engine {name!r} is not available in this "
+                             f"environment")
+        resolved = name
+    _RESOLVE_CACHE[(requested, env)] = resolved
+    return resolved
 
 
 def create_clock_engine(
@@ -129,6 +205,11 @@ def create_clock_engine(
     resolved = resolve_engine(name, fast_replay=fast_replay)
     if canonical or resolved == "ref":
         return DualClockEngine(canonical=canonical)
+    if resolved == "native":
+        from .hb_native import NativeClockEngine, self_test
+
+        self_test()
+        return NativeClockEngine()
     from .hb_accel import AccelClockEngine
 
     return AccelClockEngine()

@@ -311,6 +311,11 @@ class DualClockEngine:
             lazy.canonical.update(tid, label, lazy_snap)
         return snap, lazy_snap
 
+    #: No-return variant for callers that drop the published snapshots
+    #: (the fused step loop).  A plain alias here; the compiled native
+    #: kernel's version skips the tuple materialisations.
+    observe_fast = observe
+
     # ------------------------------------------------------------------
     # Fingerprint accessors
     def hbr_fingerprint(self) -> int:

@@ -1,112 +1,90 @@
-"""The accelerated clock engine (``engine="accel"``).
+"""The native clock engine (``engine="native"``): compiled kernel with
+a byte-identical pure-Python fallback.
 
-Drop-in replacement for :class:`~repro.core.hb.DualClockEngine` on the
-replay hot path, byte-identical by contract (same published snapshot
-tuples, same fingerprints, same clock values — the equivalence suite
-and ``bench --engine both`` enforce it) but laid out for speed:
+This module is the *frontend* for the third backend in the registry
+(:mod:`repro.core.engines`).  The hot-path kernel — the dual-side clock
+join of :meth:`~repro.core.hb.DualClockEngine.observe`, the
+dominance-based table replacement, and the flat fingerprint hashing —
+exists twice:
 
-* **flat ``array('q')`` clock storage** — each relation keeps all
-  thread clocks in one machine-int array of ``cap``-wide rows (thread
-  ``t``'s clock occupies ``[t*cap, t*cap + len_t)``; slots past the
-  logical length are zero).  Forking a side is two C-level ``memcpy``
-  slice copies instead of one list copy per thread — the dominant cost
-  of :meth:`fork` under snapshot-heavy exploration;
-* **copy-on-publish at the array level** — the per-event published
-  tuple is built straight from the array row (``tuple(buf[b:b+n])``),
-  and the logical row lengths replicate the reference engine's
-  grow-on-join rule exactly, so published tuples are value- and
-  length-identical to the reference;
-* **split location tables** — whole-object locations (``key is
-  None``, the overwhelmingly common case) live in int-keyed dicts, so
-  the hot path never allocates or hashes an ``(oid, key)`` tuple;
-  element accesses keep tuple-keyed tables;
-* **fused dominance-or-join publish** — the non-modifying table
-  update does one pass that either proves dominance (plain pointer
-  replacement) or falls back to a genuine join;
-* **optional numpy bulk joins** — rows at least :data:`_NP_MIN` wide
-  are joined via ``np.maximum`` over a zero-copy ``frombuffer`` view;
-  narrow clocks (every suite program) stay on the scalar loop, which
-  measures faster below that width.  Stdlib-only fallback when numpy
-  is missing.
+* :class:`PyNativeClockEngine` (below) — the pure-Python kernel,
+  written in a compilation-friendly style (flat layout, machine ints,
+  no closures, split int-keyed location tables).  This is the
+  always-correct fallback: it runs uncompiled on any interpreter and
+  is what ``engine="native"`` builds when the compiled artifact is
+  absent.
+* ``repro.core._native`` — the compiled C twin of the same kernel
+  (built by ``python setup.py build_ext --inplace``; see DESIGN.md
+  §13).  When it imports, :data:`NativeClockEngine` points at it and
+  :data:`NATIVE_COMPILED` is true — and the registry's ``auto`` pick
+  resolves to ``native``.
 
-The engine does not implement ``canonical=True`` — exact
-:class:`~repro.core.fingerprint.CanonicalHBR` forms are theorem-checker
-machinery; the registry (:mod:`repro.core.engines`) builds the
-reference engine for canonical callers.
+Byte-identity between the two (and against ``ref``/``accel``) is not
+aspirational: the compiled kernel re-implements CPython's own int and
+tuple hashing (``pyhash.c``'s xxPRIME tuple hash over 61-bit-modulus
+int hashes), so fingerprints, published clock snapshots, schedules and
+state hashes are bit-for-bit identical, enforced suite-wide by the
+equivalence tests, the three-engine hypothesis property and the
+``bench --engine both`` harness.
 
-See DESIGN.md §11.
+The one hashed value the C kernel delegates back to CPython is a
+non-int element key (``PyObject_Hash``), so string-keyed locations
+inherit the process's randomized string hash exactly like the
+reference engine — fingerprints were never stable across processes for
+those, by design.
 """
 
 from __future__ import annotations
 
-from array import array
+import platform
+import sys
 from typing import Dict, List, Optional, Tuple
 
-from .events import IS_MODIFYING, IS_MUTEX, Event
+from .events import Event, IS_MODIFYING, IS_MUTEX
 from .fingerprint import _SEED
-from .vector_clock import VectorClock, tuple_dominates, tuple_join
+from .vector_clock import (
+    VectorClock,
+    join_tuple_into,
+    tuple_dominates,
+    tuple_join,
+)
 
-try:  # optional fast path; the scalar loop below is the contract
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy present in dev envs
-    _np = None
-
-#: Minimum row width for the numpy join path.  Below this, ufunc call
-#: overhead loses to the scalar loop (suite clocks are 2–10 wide).
-_NP_MIN = 32
-
-#: Initial per-row capacity (threads).  Covers every suite program
-#: without growth; dynamic spawns past it trigger one rebuild.
-_INITIAL_CAP = 8
+try:  # the compiled kernel; absence is not an error (pure fallback)
+    from . import _native as _C  # type: ignore[attr-defined]
+except ImportError:  # pragma: no cover - exercised by the CI fallback job
+    _C = None
 
 
-def _join_row(buf: array, base: int, tlen: int, tup) -> int:
-    """Join snapshot ``tup`` into the row at ``base``; returns the new
-    logical row length (the reference engine's grow-on-join rule)."""
-    n = len(tup)
-    if _np is not None and n >= _NP_MIN:
-        row = _np.frombuffer(buf, dtype=_np.int64, count=n, offset=base * 8)
-        _np.maximum(row, tup, out=row)
-    else:
-        i = base
-        for v in tup:
-            if v > buf[i]:
-                buf[i] = v
-            i += 1
-    return n if n > tlen else tlen
+class PyNativeClockEngine:
+    """Pure-Python native kernel: the uncompiled fallback.
 
-
-class AccelClockEngine:
-    """Accelerated dual happens-before clock engine.
-
-    Public API mirrors :class:`~repro.core.hb.DualClockEngine`; state
-    layout is flat (per-side buffers and tables live directly on the
-    engine) so :meth:`observe` runs with minimal attribute chasing.
+    Same observable behaviour as :class:`~repro.core.hb.DualClockEngine`
+    (the equivalence suite enforces it); laid out the way the compiled
+    kernel is laid out — flat per-side state, split location tables
+    (int-keyed dicts for whole-object locations, tuple-keyed dicts for
+    element locations), inline fingerprint chains — so the two sources
+    stay line-for-line comparable.
     """
 
-    backend = "accel"
+    backend = "native"
+    compiled = False
 
     __slots__ = (
-        "_cap", "_nthreads", "_pending_sync",
+        "_pending_sync",
         # regular relation
-        "_rbuf", "_rlens", "_rchains", "_rcount",
+        "_rclocks", "_rchains", "_rcount",
         "_raccess_o", "_rmodify_o", "_raccess_k", "_rmodify_k",
         # lazy relation
-        "_lbuf", "_llens", "_lchains", "_lcount",
+        "_lclocks", "_lchains", "_lcount",
         "_laccess_o", "_lmodify_o", "_laccess_k", "_lmodify_k",
     )
 
     def __init__(self) -> None:
-        cap = _INITIAL_CAP
-        self._cap = cap
-        self._nthreads = 0
         self._pending_sync: Dict[
             int, List[Tuple[Tuple[int, ...], Tuple[int, ...]]]
         ] = {}
-        self._rbuf = array("q", bytes(8 * cap * cap))
-        self._lbuf = array("q", bytes(8 * cap * cap))
-        self._rlens: List[int] = []
-        self._llens: List[int] = []
+        self._rclocks: List[List[int]] = []
+        self._lclocks: List[List[int]] = []
         self._rchains: List[int] = []
         self._lchains: List[int] = []
         self._rcount = 0
@@ -124,54 +102,28 @@ class AccelClockEngine:
     def _ensure(self, tid: int) -> None:
         """Declare threads ``0..tid`` in both relations (the reference
         engine's per-side ``ensure_thread``, fused)."""
-        if tid >= self._cap:
-            self._grow(tid + 1)
-        n = self._nthreads
+        rclocks = self._rclocks
+        n = len(rclocks)
         if n > tid:
             return
-        rlens, llens = self._rlens, self._llens
+        lclocks = self._lclocks
         rchains, lchains = self._rchains, self._lchains
         while n <= tid:
-            # a fresh thread's clock is [0] * (index + 1), and its
-            # fingerprint chain is seeded exactly like FingerprintChain
-            rlens.append(n + 1)
-            llens.append(n + 1)
+            rclocks.append([0] * (n + 1))
+            lclocks.append([0] * (n + 1))
             seed = hash((_SEED, n))
             rchains.append(seed)
             lchains.append(seed)
             n += 1
-        self._nthreads = n
-
-    def _grow(self, need: int) -> None:
-        """Rebuild both buffers with a wider row stride (rare: only
-        dynamic spawns past the reserve can trigger it)."""
-        old_cap = self._cap
-        new_cap = old_cap
-        while new_cap < need:
-            new_cap *= 2
-        for attr, lens in (("_rbuf", self._rlens), ("_lbuf", self._llens)):
-            old = getattr(self, attr)
-            new = array("q", bytes(8 * new_cap * new_cap))
-            for t, ln in enumerate(lens):
-                new[t * new_cap:t * new_cap + ln] = \
-                    old[t * old_cap:t * old_cap + ln]
-            setattr(self, attr, new)
-        self._cap = new_cap
 
     # ------------------------------------------------------------------
-    def fork(self) -> "AccelClockEngine":
+    def fork(self) -> "PyNativeClockEngine":
         """An independent engine continuing from this one's state.
-
-        The buffer copies are single C-level memcpys; published tuples
-        in the location tables are shared (copy-on-publish discipline,
-        exactly like the reference engine's fork)."""
-        eng = AccelClockEngine.__new__(AccelClockEngine)
-        eng._cap = self._cap
-        eng._nthreads = self._nthreads
-        eng._rbuf = self._rbuf[:]
-        eng._lbuf = self._lbuf[:]
-        eng._rlens = self._rlens[:]
-        eng._llens = self._llens[:]
+        Published tuples in the location tables are shared
+        (copy-on-publish discipline, exactly like the reference)."""
+        eng = PyNativeClockEngine.__new__(PyNativeClockEngine)
+        eng._rclocks = [list(c) for c in self._rclocks]
+        eng._lclocks = [list(c) for c in self._lclocks]
         eng._rchains = self._rchains[:]
         eng._lchains = self._lchains[:]
         eng._rcount = self._rcount
@@ -212,13 +164,8 @@ class AccelClockEngine:
         spawn_lazy_clock: Tuple[int, ...],
     ) -> None:
         self._ensure(tid)
-        base = tid * self._cap
-        self._rlens[tid] = _join_row(
-            self._rbuf, base, self._rlens[tid], spawn_clock
-        )
-        self._llens[tid] = _join_row(
-            self._lbuf, base, self._llens[tid], spawn_lazy_clock
-        )
+        join_tuple_into(self._rclocks[tid], spawn_clock)
+        join_tuple_into(self._lclocks[tid], spawn_lazy_clock)
 
     def add_release_edge(self, event: Event, released_tid: int) -> None:
         assert event.clock is not None and event.lazy_clock is not None
@@ -257,15 +204,12 @@ class AccelClockEngine:
         pending = ps.pop(tid, None) if ps else None
         modifying = IS_MODIFYING[kind]
         keyless = key is None
-        cap = self._cap
-        base = tid * cap
 
         # -- regular relation ------------------------------------------
-        buf = self._rbuf
-        tlen = self._rlens[tid]
+        tc = self._rclocks[tid]
         if pending:
             for edge in pending:
-                tlen = _join_row(buf, base, tlen, edge[0])
+                join_tuple_into(tc, edge[0])
         access_o = self._raccess_o
         if oid >= 0:
             if keyless:
@@ -274,16 +218,14 @@ class AccelClockEngine:
                 prev = (self._raccess_k if modifying
                         else self._rmodify_k).get((oid, key))
             if prev is not None:
-                tlen = _join_row(buf, base, tlen, prev)
+                join_tuple_into(tc, prev)
         # A WAIT event releases its paired mutex: regular side only.
         if released_mutex_oid is not None:
             prev = access_o.get(released_mutex_oid)
             if prev is not None:
-                tlen = _join_row(buf, base, tlen, prev)
-        p = base + tid
-        buf[p] += 1
-        self._rlens[tid] = tlen
-        snap = tuple(buf[base:base + tlen])  # copy-on-publish
+                join_tuple_into(tc, prev)
+        tc[tid] += 1
+        snap = tuple(tc)  # copy-on-publish
         if oid >= 0:
             if modifying:
                 # joined A[loc] above, then ticked: plain replacement
@@ -313,11 +255,10 @@ class AccelClockEngine:
             self._rmodify_o[released_mutex_oid] = snap
 
         # -- lazy relation (mutex ops induce no inter-thread edges) ----
-        buf = self._lbuf
-        tlen = self._llens[tid]
+        tc = self._lclocks[tid]
         if pending:
             for edge in pending:
-                tlen = _join_row(buf, base, tlen, edge[1])
+                join_tuple_into(tc, edge[1])
         track = oid >= 0 and not IS_MUTEX[kind]
         if track:
             if keyless:
@@ -327,10 +268,9 @@ class AccelClockEngine:
                 prev = (self._laccess_k if modifying
                         else self._lmodify_k).get((oid, key))
             if prev is not None:
-                tlen = _join_row(buf, base, tlen, prev)
-        buf[p] += 1
-        self._llens[tid] = tlen
-        lazy_snap = tuple(buf[base:base + tlen])
+                join_tuple_into(tc, prev)
+        tc[tid] += 1
+        lazy_snap = tuple(tc)
         if track:
             if modifying:
                 if keyless:
@@ -367,9 +307,10 @@ class AccelClockEngine:
         self._lcount += 1
         return snap, lazy_snap
 
-    #: No-return variant for callers that drop the snapshots (the
-    #: fused step loop).  The array engine publishes tuples anyway, so
-    #: this is a plain alias; the compiled native kernel overrides it.
+    #: The no-return variant the fused step loop calls when the caller
+    #: has no use for the published snapshots.  The compiled kernel
+    #: skips the two tuple materialisations entirely; here it is a
+    #: plain alias (the tuples are built for publication anyway).
     observe_fast = observe
 
     # ------------------------------------------------------------------
@@ -389,24 +330,15 @@ class AccelClockEngine:
     # ------------------------------------------------------------------
     def thread_clock(self, tid: int, lazy: bool = False) -> VectorClock:
         self._ensure(tid)
-        base = tid * self._cap
-        if lazy:
-            row = self._lbuf[base:base + self._llens[tid]]
-        else:
-            row = self._rbuf[base:base + self._rlens[tid]]
-        return VectorClock(init=row)
+        clocks = self._lclocks if lazy else self._rclocks
+        return VectorClock(init=clocks[tid])
 
-    def thread_clock_raw(self, tid: int, lazy: bool = False):
-        """The thread's clock as an int sequence (supports ``len`` and
-        indexing, the DPOR happens-before test's needs).  A zero-copy
-        live view, like the reference engine's list — valid until the
-        engine's next mutation (``_grow`` swaps buffers but the
-        exported view stays on the old one, so no BufferError)."""
+    def thread_clock_raw(self, tid: int, lazy: bool = False) -> List[int]:
+        """The live, mutable list clock of ``tid`` — read-only use
+        (DPOR's happens-before tests).  No defensive copy."""
         self._ensure(tid)
-        base = tid * self._cap
-        if lazy:
-            return memoryview(self._lbuf)[base:base + self._llens[tid]]
-        return memoryview(self._rbuf)[base:base + self._rlens[tid]]
+        clocks = self._lclocks if lazy else self._rclocks
+        return clocks[tid]
 
     # ------------------------------------------------------------------
     def table_stats(self) -> Tuple[int, int]:
@@ -417,4 +349,113 @@ class AccelClockEngine:
             + len(self._laccess_o) + len(self._lmodify_o)
             + len(self._laccess_k) + len(self._lmodify_k)
         )
-        return entries, self._nthreads
+        return entries, len(self._rclocks)
+
+
+#: True when the compiled C kernel imported: the registry's ``auto``
+#: resolves to ``native`` exactly when this is true.
+NATIVE_COMPILED = _C is not None
+
+if NATIVE_COMPILED:
+
+    class NativeClockEngine(_C.EngineCore):  # type: ignore[misc, name-defined]
+        """The compiled kernel, plus the thin conveniences the rest of
+        the runtime expects (everything on the per-event path lives in
+        C; these wrappers are called at spawn/snapshot frequency)."""
+
+        backend = "native"
+        compiled = True
+
+        def fork(self) -> "NativeClockEngine":
+            eng = type(self)()
+            eng._adopt(self)
+            return eng
+
+        def register_thread(
+            self, tid: int, parent_spawn_event: Optional[Event] = None
+        ) -> None:
+            if parent_spawn_event is not None:
+                assert parent_spawn_event.clock is not None
+                self.register_thread_clocks(
+                    tid,
+                    parent_spawn_event.clock,
+                    parent_spawn_event.lazy_clock,
+                )
+            else:
+                self.reserve(tid + 1)
+
+        def add_release_edge(self, event: Event, released_tid: int) -> None:
+            assert event.clock is not None and event.lazy_clock is not None
+            self.add_release_edge_clocks(
+                event.clock, event.lazy_clock, released_tid
+            )
+
+        def on_event(self, event: Event) -> None:
+            event.clock, event.lazy_clock = self.observe(
+                event.tid, event.kind, event.oid, event.key,
+                event.released_mutex_oid,
+            )
+
+        def canonical_hbr(self):
+            raise ValueError("engine was created with canonical=False")
+
+        def canonical_lazy_hbr(self):
+            raise ValueError("engine was created with canonical=False")
+
+        def thread_clock(self, tid: int, lazy: bool = False) -> VectorClock:
+            return VectorClock(init=self.thread_clock_raw(tid, lazy))
+
+else:
+    #: The engine class ``create_clock_engine("native")`` instantiates.
+    NativeClockEngine = PyNativeClockEngine  # type: ignore[assignment, misc]
+
+
+def provenance() -> Dict[str, object]:
+    """How this process's ``native`` backend was built — recorded per
+    bench case row so reports cannot silently mix compiled and fallback
+    numbers (the ``bench --baseline`` comparison warns on mismatch)."""
+    return {
+        "compiled": NATIVE_COMPILED,
+        "compiler": (_C.COMPILER if NATIVE_COMPILED else None),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+_SELF_TESTED = False
+
+
+def self_test() -> None:
+    """Assert the compiled kernel's re-implementation of CPython's int
+    and tuple hashing agrees with this interpreter (no-op uncompiled).
+    Cheap, and run once per process — on the first compiled-engine
+    construction — so a miscompiled artifact is loud at selection
+    time, not wrong at fingerprint time."""
+    global _SELF_TESTED
+    if not NATIVE_COMPILED or _SELF_TESTED:
+        return
+    _SELF_TESTED = True
+    probes = (
+        0, 1, -1, -2, 7, 2**60, 2**61 - 1, 2**61, 2**61 + 5,
+        -(2**61) - 7, 2**63 - 1, -(2**63),
+    )
+    for v in probes:
+        got = _C.int_hash(v)
+        want = hash(v)
+        if got != want:
+            raise ImportError(
+                f"_native int_hash({v}) = {got} != hash() = {want}; "
+                f"rebuild the extension for this interpreter "
+                f"(python {sys.version.split()[0]})"
+            )
+    samples = (
+        (), (0,), (1, 2, 3), (-1, -2, 2**62, 5),
+        (hash((_SEED, 0)), 3, 0, -1, (1, 0, 2)),
+    )
+    for t in samples:
+        got = _C.tuple_hash_probe(t)
+        want = hash(t)
+        if got != want:
+            raise ImportError(
+                f"_native tuple hash of {t!r} = {got} != hash() = {want}"
+            )

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..core.events import Event, MUTEX_KINDS, OpKind
+from ..core.events import Event, OpKind
 from ..core.dependence import conflicts, may_be_coenabled
 from ..runtime.executor import Executor
 from ..runtime.trace import PendingInfo
@@ -334,7 +334,7 @@ class DPORExplorer(Explorer):
         last_event = ex.trace[-1]
         survivors: Set[int] = set()
         for tid in parent.sleep:
-            info = ex.pending_info(tid)
+            info = ex.pending_info(tid, refresh_enabled=False)
             if info is None:
                 continue
             if not conflicts(info, last_event):
@@ -365,7 +365,9 @@ class DPORExplorer(Explorer):
         latest conflicting, possibly-co-enabled, HB-unordered event and
         register a backtrack point before it."""
         trace = ex.trace
-        for info in ex.all_pending_infos():
+        # the race analysis never reads PendingInfo.enabled, so skip
+        # the per-thread enabledness recheck the full accessor pays
+        for info in ex.all_pending_infos(refresh_enabled=False):
             if info.oid < 0 and info.released_mutex_oid is None:
                 continue
             # the conflict predicates duck-type over the PendingInfo;
@@ -406,16 +408,30 @@ class DPORExplorer(Explorer):
     ) -> Optional[int]:
         """Index of the latest event racing with ``pend`` (conflicting,
         possibly co-enabled, not happens-before the pending thread)."""
-        candidates: List[int] = []
-        if pend.oid >= 0:
-            candidates.extend(loc_index.get((pend.oid, pend.key), ()))
-        if pend.released_mutex_oid is not None:
-            candidates.extend(loc_index.get((pend.released_mutex_oid, None), ()))
-        if pend.kind in MUTEX_KINDS:
-            # WAIT events that released this mutex are indexed under the
-            # mutex location already, so nothing extra to scan.
-            pass
-        for i in sorted(set(candidates), reverse=True):
+        # The per-location index lists are appended in trace order, so
+        # each candidate source is already ascending: walk the (at
+        # most) two lists as a descending merge instead of
+        # materialising sorted(set(...)) per pending op per state.
+        # WAIT events that released a mutex are indexed under the mutex
+        # location already, so MUTEX_KINDS need nothing extra.
+        a = loc_index.get((pend.oid, pend.key)) if pend.oid >= 0 else None
+        b = (
+            loc_index.get((pend.released_mutex_oid, None))
+            if pend.released_mutex_oid is not None else None
+        )
+        ia = len(a) - 1 if a is not None else -1
+        ib = len(b) - 1 if b is not None else -1
+        while ia >= 0 or ib >= 0:
+            va = a[ia] if ia >= 0 else -1
+            vb = b[ib] if ib >= 0 else -1
+            if va >= vb:
+                i = va
+                ia -= 1
+                if vb == va:
+                    ib -= 1  # same event under both locations
+            else:
+                i = vb
+                ib -= 1
             e = trace[i]
             if e.tid == pend.tid:
                 continue

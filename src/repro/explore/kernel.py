@@ -157,6 +157,12 @@ class KernelExplorer(Explorer):
         # retired program instances recycled into from_snapshot (see
         # Executor.release_instance: DSL programs only, bounded depth)
         self._instance_pool: List[Any] = []
+        # depth-0 snapshot of the first executor: later from-scratch
+        # replays restore it (with a pooled instance) instead of
+        # re-instantiating the program — observably identical by the
+        # snapshot-equivalence guarantee, and the restore path rides
+        # the op cache
+        self._boot_snap = None
         if self.limits.snapshot_budget_bytes > 0:
             self.snapshot_tree = SnapshotTree(
                 self.limits.snapshot_budget_bytes
@@ -209,7 +215,19 @@ class KernelExplorer(Explorer):
                     tree.resumed_events += depth
                     tree.replayed_events += len(prefix) - depth
             if ex is None:
-                ex = self._new_executor()
+                boot = self._boot_snap
+                if boot is not None:
+                    ex = Executor.from_snapshot(
+                        boot, reuse=pool.pop() if pool else None
+                    )
+                else:
+                    ex = self._new_executor()
+                    if ex._record:
+                        # tapes are recorded from step zero (the op
+                        # cache forces it even under snapshots=False),
+                        # so the depth-0 snapshot is well-defined
+                        ex._snapshot_ok = True
+                        self._boot_snap = ex.snapshot()
                 ex.replay_prefix(prefix)
                 if tree is not None:
                     tree.replayed_events += len(prefix)
@@ -222,12 +240,31 @@ class KernelExplorer(Explorer):
             # deadline abort leaves the frontier exactly as popped
             discovered: List[Tuple[int, Sequence[Tuple[int, Annotation]]]] \
                 = []
-            while not ex.is_done():
-                if self._deadline_exceeded_midschedule():
+            # per-schedule hot loop: bound methods hoisted, the default
+            # (no-op) on_step hook and the deadline probe compiled out
+            # when inert — this loop runs once per scheduling point of
+            # every schedule in a campaign
+            ex_is_done = ex.is_done
+            ex_enabled = ex.enabled
+            ex_step = ex.step
+            expand = strategy.expand
+            prefix_append = prefix.append
+            on_step = (
+                strategy.on_step
+                if type(strategy).on_step is not Strategy.on_step
+                else None
+            )
+            probe_deadline = (
+                self._deadline_exceeded_midschedule
+                if self._deadline is not None
+                or "_deadline_exceeded_midschedule" in self.__dict__
+                else None
+            )
+            while not ex_is_done():
+                if probe_deadline is not None and probe_deadline():
                     aborted = True
                     break
-                enabled = ex.enabled()
-                exp = strategy.expand(enabled, ann)
+                exp = expand(ex_enabled(), ann)
                 if exp.alternatives:
                     discovered.append((len(prefix), exp.alternatives))
                     # the state here roots sibling subtrees: cache it so
@@ -237,9 +274,10 @@ class KernelExplorer(Explorer):
                         if tree.wants(key):
                             tree.insert(key, ex.snapshot())
                 ann = exp.ann_after
-                prefix.append(exp.chosen)
-                ex.step(exp.chosen)
-                if strategy.on_step(ex):
+                chosen = exp.chosen
+                prefix_append(chosen)
+                ex_step(chosen)
+                if on_step is not None and on_step(ex):
                     pruned = True
                     break
             if aborted:

@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..core.engines import resolve_engine
+from ..core.engines import backend_names, engine_provenance, resolve_engine
 from ..explore import ExplorationLimits
 from ..explore.controller import make_explorer, require_explorer
 from ..ioutil import atomic_write_text
@@ -52,6 +52,13 @@ PREFIX_REPORT_KIND = "repro-bench-prefix"
 
 #: Calibration-normalised slowdown beyond which the comparison fails.
 DEFAULT_MAX_REGRESSION = 0.30
+
+#: Floor on measurement iterations per round.  The min_time loop alone
+#: let slow cells calibrate to two iterations (dfs/bounded_buffer_pc2
+#: historically), where a single scheduler hiccup lands on half the
+#: sample; three is the least count at which best-of still has a
+#: majority of clean iterations to pick from.
+MIN_ITERATIONS = 3
 
 
 @dataclass(frozen=True)
@@ -155,7 +162,7 @@ def _measure_case(case: BenchCase, min_time: float,
     program = REGISTRY[case.bench_id].program
     total_sched = total_events = iterations = 0
     total_time = 0.0
-    while total_time < min_time or iterations == 0:
+    while total_time < min_time or iterations < MIN_ITERATIONS:
         explorer = make_explorer(case.explorer, program, limits,
                                  engine=engine)
         t0 = time.perf_counter()
@@ -194,8 +201,9 @@ def _case_engine(case: BenchCase, engine: Optional[str]) -> str:
 
     Resolution goes through :func:`repro.core.engines.resolve_engine`
     with the case's executor mode, so the recorded name tracks
-    whatever the registry decides for that explorer — today ``ref``
-    under auto, but the row stays truthful if the default changes.
+    whatever the registry decides for that explorer — ``native`` under
+    auto when the compiled kernel is built, ``ref`` otherwise — and
+    the row stays truthful if the default changes.
     """
     probe = make_explorer(case.explorer, REGISTRY[case.bench_id].program,
                           _case_limits(case))
@@ -213,9 +221,12 @@ def run_bench(
     """Run the micro-benchmarks and return the JSON-ready report.
 
     ``engine`` pins the clock-engine backend for every case
-    (``"ref"``/``"accel"``; ``None`` = the registry's mode-aware auto
-    pick).  Every case row records the backend it actually ran under
-    (``"engine"``), so reports are self-describing.
+    (``"ref"``/``"accel"``/``"native"``; ``None`` = the registry's
+    mode-aware auto pick).  Every case row records the backend it
+    actually ran under (``"engine"``) and how that backend was built
+    (``"provenance"``: compiled vs pure fallback, interpreter,
+    compiler), so reports are self-describing and cross-provenance
+    comparisons can warn (:func:`provenance_warnings`).
     """
     selected = _select_cases(cases)
     if smoke:
@@ -244,22 +255,64 @@ def run_bench(
             m = _measure_case(case, min_time, engine=engine)
             if best is None or m["schedules_per_sec"] > best["schedules_per_sec"]:
                 best = m
+        resolved = _case_engine(case, engine)
         entry = {
             "explorer": case.explorer,
             "bench_id": case.bench_id,
             "program": REGISTRY[case.bench_id].program.name,
             "max_schedules": case.max_schedules,
-            "engine": _case_engine(case, engine),
+            "engine": resolved,
+            "provenance": engine_provenance(resolved),
             **best,
         }
         report["cases"][case.name] = entry
         if progress is not None:
+            prov = entry["provenance"]
+            how = "compiled" if prov["compiled"] else "pure"
             progress(
                 f"{case.name:<34} {entry['schedules_per_sec']:>10,.0f} "
                 f"sched/s {entry['events_per_sec']:>12,.0f} ev/s "
-                f"({entry['iterations']} iter, {entry['engine']})"
+                f"({entry['iterations']} iter, {entry['engine']}/{how})"
             )
     return report
+
+
+def provenance_warnings(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Human-readable warnings for shared cases whose engine provenance
+    differs between two reports — compiled kernel vs pure fallback,
+    different interpreter, different compiler.  Such pairs are still
+    *compared* (calibration normalisation keeps the gate meaningful for
+    same-provenance rows), but the mismatch must be loud: a 3x compiled
+    win silently measured against a fallback baseline reads as a
+    regression fixed, and vice versa.
+    """
+    warnings: List[str] = []
+    for name, base in baseline.get("cases", {}).items():
+        cur = current["cases"].get(name)
+        if cur is None:
+            continue
+        bp, cp = base.get("provenance"), cur.get("provenance")
+        if bp == cp:
+            continue
+        if bp is None or cp is None:
+            missing = "baseline" if bp is None else "current"
+            warnings.append(
+                f"{name}: {missing} report predates provenance "
+                f"recording; regenerate it (bench --out) before "
+                f"trusting cross-report ratios"
+            )
+            continue
+        diffs = ", ".join(
+            f"{k}: {bp.get(k)} -> {cp.get(k)}"
+            for k in sorted(set(bp) | set(cp))
+            if bp.get(k) != cp.get(k)
+        )
+        warnings.append(
+            f"{name}: engine provenance differs from baseline ({diffs})"
+        )
+    return warnings
 
 
 def _engine_fingerprint_sets(case: BenchCase, engine: str) -> Dict[str, Any]:
@@ -284,28 +337,32 @@ def run_engine_ab(
     min_time: float = 0.25,
     progress=None,
 ) -> Dict[str, Any]:
-    """``bench --engine both``: measure every case under both backends.
+    """``bench --engine both``: measure every case under every
+    registered backend (``ref``, ``accel``, ``native``, and whatever is
+    registered next — the list comes from the registry).
 
     For each case the harness first runs one full exploration per
     engine and hard-fails (``AssertionError``) unless the fingerprint
-    sets, state-hash sets and schedule counts are identical — the
-    byte-identical contract, enforced in the same process that is about
-    to publish numbers.  Then ref/accel measurement rounds are
-    interleaved (best kept per engine) so machine noise hits both
-    backends evenly.
+    sets, state-hash sets and schedule counts are identical to the
+    reference — the byte-identical contract, enforced in the same
+    process that is about to publish numbers.  Then per-engine
+    measurement rounds are interleaved (best kept per engine) so
+    machine noise hits every backend evenly.
     """
     selected = _select_cases(cases)
     if smoke:
         repeat = min(repeat, 2)
         min_time = min(min_time, 0.2)
 
+    engines = list(backend_names())
     report: Dict[str, Any] = {
         "meta": {
             "kind": AB_REPORT_KIND,
             "smoke": bool(smoke),
             "repeat": repeat,
             "min_time": min_time,
-            "engines": ["ref", "accel"],
+            "engines": engines,
+            "provenance": {e: engine_provenance(e) for e in engines},
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "calibration_ops_per_sec": _calibrate(),
@@ -313,44 +370,56 @@ def run_engine_ab(
         "cases": {},
     }
     for case in selected:
-        ref_out = _engine_fingerprint_sets(case, "ref")
-        accel_out = _engine_fingerprint_sets(case, "accel")
-        if ref_out != accel_out:
-            diverged = sorted(
-                k for k in ref_out if ref_out[k] != accel_out[k]
-            )
-            raise AssertionError(
-                f"engine divergence on {case.name}: ref and accel "
-                f"disagree on {', '.join(diverged)} "
-                f"(ref {ref_out['schedules']} schedules, accel "
-                f"{accel_out['schedules']})"
-            )
-        ref = accel = None
+        outcomes = {e: _engine_fingerprint_sets(case, e) for e in engines}
+        ref_out = outcomes["ref"]
+        for name, out in outcomes.items():
+            if out != ref_out:
+                diverged = sorted(
+                    k for k in ref_out if ref_out[k] != out[k]
+                )
+                raise AssertionError(
+                    f"engine divergence on {case.name}: ref and {name} "
+                    f"disagree on {', '.join(diverged)} "
+                    f"(ref {ref_out['schedules']} schedules, {name} "
+                    f"{out['schedules']})"
+                )
+        best: Dict[str, Optional[Dict[str, Any]]] = dict.fromkeys(engines)
         for _ in range(max(1, repeat)):
-            r = _measure_case(case, min_time, engine="ref")
-            a = _measure_case(case, min_time, engine="accel")
-            if ref is None or r["schedules_per_sec"] > ref["schedules_per_sec"]:
-                ref = r
-            if accel is None or a["schedules_per_sec"] > accel["schedules_per_sec"]:
-                accel = a
+            for name in engines:
+                m = _measure_case(case, min_time, engine=name)
+                b = best[name]
+                if b is None or m["schedules_per_sec"] > b["schedules_per_sec"]:
+                    best[name] = m
+        ref_rate = best["ref"]["schedules_per_sec"]
         entry = {
             "explorer": case.explorer,
             "bench_id": case.bench_id,
             "program": REGISTRY[case.bench_id].program.name,
             "max_schedules": case.max_schedules,
-            "schedules": ref["schedules"],
+            "schedules": best["ref"]["schedules"],
             "equivalent": True,
-            "ref": {**ref, "engine": "ref"},
-            "accel": {**accel, "engine": "accel"},
-            "accel_speedup": (accel["schedules_per_sec"]
-                              / ref["schedules_per_sec"]),
+            "speedups": {
+                name: best[name]["schedules_per_sec"] / ref_rate
+                for name in engines if name != "ref"
+            },
         }
+        for name in engines:
+            entry[name] = {**best[name], "engine": name}
+        # kept for report consumers predating the three-engine table
+        entry["accel_speedup"] = entry["speedups"]["accel"]
         report["cases"][case.name] = entry
         if progress is not None:
+            rates = " ".join(
+                f"{name} {best[name]['schedules_per_sec']:>9,.0f}"
+                for name in engines
+            )
+            ratios = ", ".join(
+                f"{name} {ratio:.2f}x"
+                for name, ratio in entry["speedups"].items()
+            )
             progress(
-                f"{case.name:<34} ref {ref['schedules_per_sec']:>9,.0f} "
-                f"accel {accel['schedules_per_sec']:>9,.0f} sched/s "
-                f"({entry['accel_speedup']:.2f}x, fingerprints equal)"
+                f"{case.name:<34} {rates} sched/s "
+                f"({ratios}; fingerprints equal)"
             )
     return report
 
@@ -667,18 +736,26 @@ def bench_table(report: Dict[str, Any]) -> str:
 
 
 def ab_table(report: Dict[str, Any]) -> str:
-    """Markdown table of a ``--engine both`` A/B report."""
-    out = [
-        "| case | ref sched/s | accel sched/s | accel speedup |",
-        "|---|---:|---:|---:|",
-    ]
+    """Markdown table of a ``--engine both`` A/B report, one rate
+    column per measured engine plus speedup-vs-ref columns."""
+    engines = report["meta"].get("engines", ["ref", "accel"])
+    others = [e for e in engines if e != "ref"]
+    header = (
+        "| case | "
+        + " | ".join(f"{e} sched/s" for e in engines)
+        + " | "
+        + " | ".join(f"{e} speedup" for e in others)
+        + " |"
+    )
+    out = [header, "|---|" + "---:|" * (len(engines) + len(others))]
     for name in sorted(report["cases"]):
         c = report["cases"][name]
-        out.append(
-            f"| {name} | {c['ref']['schedules_per_sec']:,.0f} | "
-            f"{c['accel']['schedules_per_sec']:,.0f} | "
-            f"{c['accel_speedup']:.2f}x |"
+        speedups = c.get("speedups") or {"accel": c["accel_speedup"]}
+        rates = " | ".join(
+            f"{c[e]['schedules_per_sec']:,.0f}" for e in engines
         )
+        ratios = " | ".join(f"{speedups[e]:.2f}x" for e in others)
+        out.append(f"| {name} | {rates} | {ratios} |")
     return "\n".join(out)
 
 
@@ -797,6 +874,8 @@ def main(args) -> int:  # pragma: no cover - exercised via the CLI tests
                       f"{args.baseline}; regenerate the baseline "
                       f"(bench --out) to cover it", file=sys.stderr)
             return 1
+        for line in provenance_warnings(report, baseline):
+            print(f"WARNING: {line}", file=sys.stderr)
         failures = compare_reports(report, baseline, args.max_regression)
         if failures:
             for line in failures:

@@ -50,6 +50,7 @@ Hot-path machinery (this class runs millions of steps per campaign):
 from __future__ import annotations
 
 import enum
+import os
 from bisect import insort
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -71,14 +72,26 @@ from ..errors import (
 )
 from .barrier import admit_full_cohorts
 from .objects import ThreadHandle
+from .optrie import UNKEYABLE, OpTrie, trie_key
 from .program import Program, ProgramInstance
 from .snapshot import ExecutorSnapshot, ThreadRecord
 from .state import compute_state_hash, describe_state
 from .stepper import install_specialized_step
+
+#: Backends whose executors run the fused fast-replay step loop
+#: (:mod:`repro.runtime.stepper`) instead of the generic ``step``.
+_SPECIALIZED_BACKENDS = frozenset(("accel", "native"))
 from .thread_api import ThreadAPI
 from .trace import PendingInfo, TraceResult
 
 DEFAULT_MAX_EVENTS = 20_000
+
+#: Process-wide kill switch for the op-stream cache
+#: (:mod:`repro.runtime.optrie`); the byte-identity suite uses it to
+#: assert cache-on == cache-off.
+_OPCACHE_ON = os.environ.get("REPRO_OPCACHE", "").strip().lower() not in (
+    "0", "off", "no", "false",
+)
 
 #: Kinds whose execution can change *another* thread's enabledness
 #: (releases, acquisitions, lifecycle), per the kind registry.
@@ -124,12 +137,26 @@ class _Status(enum.IntEnum):
     FINISHED = 2
 
 
+#: Immortal per-tid ThreadAPI instances.  A ThreadAPI is an immutable
+#: op factory (one ``tid`` slot, no state), so every executor can hand
+#: the same instance to its thread ``tid`` — snapshot restores build
+#: threads millions of times per campaign and the allocation shows up.
+_THREAD_APIS: List[ThreadAPI] = []
+
+
+def _thread_api(tid: int) -> ThreadAPI:
+    apis = _THREAD_APIS
+    while len(apis) <= tid:
+        apis.append(ThreadAPI(len(apis)))
+    return apis[tid]
+
+
 class _GuestThread:
     __slots__ = (
         "tid", "name", "gen", "pending", "status", "tindex",
         "handle", "wait_mutex", "resuming", "exit_recorded", "crashed",
         "tape", "spawn_count", "throw_exc",
-        "deadline", "wake_value", "parked_on",
+        "deadline", "wake_value", "parked_on", "trie_node", "pinfo",
     )
 
     def __init__(self, tid: int, name: str, gen, handle: ThreadHandle) -> None:
@@ -152,6 +179,16 @@ class _GuestThread:
         self.deadline: Optional[int] = None   # armed timeout (relative ticks)
         self.wake_value: Optional[bool] = None  # timed wait: notified?
         self.parked_on = None         # condvar a *timed* wait parked on
+        #: op-cache position (:mod:`repro.runtime.optrie`): with a live
+        #: ``gen`` the thread *records* new edges here; with ``gen is
+        #: None`` its ops are *served* from the trie; ``None`` = off
+        self.trie_node = None
+        #: memoised :class:`~repro.runtime.trace.PendingInfo` for the
+        #: current pending op, as ``(op, status, info)`` — every field
+        #: but ``enabled`` is a pure function of the op, so the info is
+        #: valid while ``pending``/``status`` are unchanged (DPOR asks
+        #: for the whole lookahead at every scheduling point)
+        self.pinfo = None
 
 
 class Executor:
@@ -184,6 +221,11 @@ class Executor:
         #: recording itself never changes behaviour (one list append
         #: per generator resume)
         self._record = snapshots
+        #: the *public* snapshot() contract flag: the op cache below may
+        #: force recording on anyway, but callers who built the executor
+        #: with ``snapshots=False`` still get the loud error (internal
+        #: users that know recording is live bypass via _snapshot_ok)
+        self._snapshot_ok = snapshots
         #: programs whose guests mutate host-side Python state (the shim
         #: frontend: closures, lists, per-object hold maps) opt in to
         #: replaying *every* thread's tape on snapshot restore — a
@@ -192,6 +234,18 @@ class Executor:
         self._replay_all_tapes = bool(
             program.metadata.get("replay_finished_threads")
         )
+        #: op-stream cache (see :mod:`repro.runtime.optrie`): serves
+        #: previously-seen guest op sequences without generators.
+        #: Excluded exactly where tape-skipping is (guests with
+        #: host-side state); enabling it forces tape recording, which
+        #: materialisation needs
+        self._optrie: Optional[OpTrie] = None
+        if _OPCACHE_ON and not self._replay_all_tapes:
+            trie = self.instance.optrie
+            if trie is None:
+                trie = self.instance.optrie = OpTrie()
+            self._optrie = trie
+            self._record = True
         self._spawn_origin: Dict[int, Tuple[int, int]] = {}
         self.trace: List[Event] = []
         self.schedule: List[int] = []
@@ -233,7 +287,7 @@ class Executor:
         #: instance reuse unsound (fast-forward re-runs the creating
         #: host code and would register duplicates)
         self._boot_objects = len(self.instance.registry.objects)
-        if fast_replay and self.engine.backend == "accel":
+        if fast_replay and self.engine.backend in _SPECIALIZED_BACKENDS:
             install_specialized_step(self)
 
     @property
@@ -246,9 +300,7 @@ class Executor:
     def _create_thread(self, body: Callable, args: Tuple, name: str) -> _GuestThread:
         tid = len(self.threads)
         handle = ThreadHandle(self.instance.registry, tid)
-        api = ThreadAPI(tid)
-        gen = body(api, *args)
-        t = _GuestThread(tid, name or f"T{tid}", gen, handle)
+        t = _GuestThread(tid, name or f"T{tid}", None, handle)
         if self._record:
             t.tape = []
         self.threads.append(t)
@@ -257,20 +309,116 @@ class Executor:
         self._unfinished += 1
         if tid >= self._static_threads:
             self.engine.register_thread(tid)  # reserve() covered the rest
+        trie = self._optrie
+        static = tid < self._static_threads
+        if trie is not None and static:
+            root = trie.roots.get(tid)
+            if root is not None:
+                # op-cache hit: serve the first op without building the
+                # generator at all (it materialises only if this run's
+                # send history leaves the recorded trie)
+                t.trie_node = root
+                self._serve_pending(t, root[0])
+                return t
+        t.gen = body(_thread_api(tid), *args)
         self._advance(t, None, first=True)
+        if trie is not None and static and trie.nodes < trie.cap:
+            trie.nodes += 1
+            t.trie_node = trie.roots[tid] = [t.pending, None]
         return t
 
+    def _serve_pending(self, t: _GuestThread, op: Op) -> None:
+        """Install a trie-served pending op, with the same
+        pending-arrival bookkeeping as the live path's tail (the
+        SLEEP/TIMER_TICK clock re-point is idempotent: cached ops
+        already target this instance's clock)."""
+        t.pending = op
+        kind = op.kind
+        if op.timeout is not None:
+            if op.target is None and (kind is _SLEEP or kind is _TIMER_TICK):
+                op.target = self._clock
+            t.deadline = op.timeout
+        if kind is _BARRIER_WAIT:
+            self._barrier_pending += 1
+        elif kind is _READ and op.arg2 is not None:
+            self._pred_watch += 1
+
+    def _trie_extend(self, t: _GuestThread, node, send_value: Any,
+                     op: Op) -> None:
+        """Record the live-executed edge ``send_value -> op`` under
+        ``node`` and move ``t``'s cache position onto it.  An
+        unkeyable value (or a full trie) permanently drops the thread
+        out of the cache instead."""
+        key = trie_key(send_value)
+        if key is UNKEYABLE:
+            t.trie_node = None
+            return
+        children = node[1]
+        if children is None:
+            children = node[1] = {}
+        child = children.get(key)
+        if child is None:
+            trie = self._optrie
+            if trie.nodes >= trie.cap:
+                t.trie_node = None
+                return
+            trie.nodes += 1
+            child = children[key] = [op, None]
+        t.trie_node = child
+
+    def _materialize(self, t: _GuestThread):
+        """Rebuild a trie-served thread's generator at its current
+        position by re-feeding the recorded send history — exactly a
+        snapshot fast-forward.  Runs when a schedule first leaves the
+        recorded trie (or an exception must be thrown into the guest);
+        the guest is deterministic, so it cannot die mid-history."""
+        body, args, _name = self.instance.threads[t.tid]
+        gen = body(_thread_api(t.tid), *args)
+        try:
+            next(gen)
+            send = gen.send
+            for v in t.tape:
+                send(v)
+        except (StopIteration, GuestError) as exc:
+            raise SchedulerError(
+                f"op-cache divergence: thread {t.tid} ({t.name}) died "
+                f"while re-feeding its recorded send history"
+            ) from exc
+        t.gen = gen
+        return gen
+
     def _advance(self, t: _GuestThread, send_value: Any, first: bool = False) -> None:
-        """Resume ``t``'s generator and capture its next pending op."""
+        """Resume ``t``'s generator and capture its next pending op —
+        or, for a trie-served thread, look the op up in the op-stream
+        cache without touching a generator at all."""
+        gen = t.gen
+        node = t.trie_node
+        if gen is None and node is not None:
+            children = node[1]
+            if children is not None:
+                key = trie_key(send_value)
+                if key is not UNKEYABLE:
+                    child = children.get(key)
+                    if child is not None:
+                        t.tape.append(send_value)
+                        t.trie_node = child
+                        self._serve_pending(t, child[0])
+                        return
+            # unexplored edge: build the generator at this position and
+            # fall through to live execution (recording resumes below)
+            gen = self._materialize(t)
         if t.tape is not None and not first:
             # the tape records the value even when the send terminates
             # the generator: fast-forward re-feeds it to reproduce the
             # same StopIteration/GuestError
             t.tape.append(send_value)
         try:
-            op = next(t.gen) if first else t.gen.send(send_value)
+            op = next(gen) if first else gen.send(send_value)
         except StopIteration:
-            t.pending = Op(OpKind.EXIT, t.handle)
+            op = Op(OpKind.EXIT, t.handle)
+            t.pending = op
+            if node is not None:
+                self._trie_extend(t, node, send_value, op)
             return
         except GuestError as exc:
             # A guest assertion failure crashes only this thread: its
@@ -279,13 +427,18 @@ class Executor:
             # make terminal states depend on where *concurrent* threads
             # happened to be, which breaks the trace-equivalence
             # arguments every POR strategy relies on.
-            t.pending = Op(OpKind.EXIT, t.handle, exc)
+            op = Op(OpKind.EXIT, t.handle, exc)
+            t.pending = op
+            if node is not None:
+                self._trie_extend(t, node, send_value, op)
             return
         if not isinstance(op, Op):
             raise InvalidOpError(
                 f"thread {t.name} yielded {op!r}; guest threads must yield "
                 f"Op values built with the ThreadAPI"
             )
+        if node is not None:
+            self._trie_extend(t, node, send_value, op)
         t.pending = op
         kind = op.kind
         if op.timeout is not None:
@@ -321,6 +474,12 @@ class Executor:
         guest that catches it and yields again has diverged from its
         send tape, which is a modelling error, not a schedule outcome.
         """
+        if t.gen is None and t.trie_node is not None:
+            # a trie-served thread needs a real generator to die in;
+            # injected exceptions are not part of the send alphabet, so
+            # the thread leaves the op cache for good
+            self._materialize(t)
+        t.trie_node = None
         try:
             t.gen.throw(exc)
         except StopIteration:
@@ -478,15 +637,45 @@ class Executor:
 
     # ------------------------------------------------------------------
     # DPOR lookahead
-    def pending_info(self, tid: int) -> Optional[PendingInfo]:
+    def pending_info(
+        self, tid: int, refresh_enabled: bool = True
+    ) -> Optional[PendingInfo]:
         """The pending operation of ``tid`` as location data, or None for
-        finished/parked threads."""
+        finished/parked threads.
+
+        Memoised per thread: every field but ``enabled`` is a pure
+        function of the pending op (locations, keys and released oids
+        never depend on mutable object state), so the info is rebuilt
+        only when the op or status changes.  ``enabled`` *is*
+        state-dependent and is refreshed in place on each call;
+        callers that never read it (DPOR's race analysis) pass
+        ``refresh_enabled=False`` to skip the recheck.
+        """
         t = self.threads[tid]
-        if t.pending is None:
-            if t.deadline is not None and t.status == _Status.WAITING:
+        op = t.pending
+        status = t.status
+        cached = t.pinfo
+        if (
+            cached is not None
+            and cached[0] is op
+            and cached[1] == status
+            # a cached op-less info is the timed-waiter lookahead; it
+            # only applies while the deadline is still armed
+            and (op is not None or t.deadline is not None)
+        ):
+            info = cached[2]
+            if refresh_enabled and op is not None:
+                en = status == _Status.RUNNABLE and (
+                    info.timed or self._op_enabled(t)
+                )
+                if en != info.enabled:
+                    object.__setattr__(info, "enabled", en)
+            return info
+        if op is None:
+            if t.deadline is not None and status == _Status.WAITING:
                 # timed condvar waiter: the lookahead is its TIME_FIRE
                 # on the clock, withdrawing it from the parked-on cv
-                return PendingInfo(
+                info = PendingInfo(
                     tid=tid,
                     kind=int(_TIME_FIRE),
                     oid=self._clock.oid,
@@ -497,8 +686,9 @@ class Executor:
                     ),
                     timed=True,
                 )
+                t.pinfo = (None, status, info)
+                return info
             return None
-        op = t.pending
         oid, key = self._op_location(t, op)
         released = (
             op.target.op_released_oid(op) if op.target is not None else None
@@ -509,22 +699,27 @@ class Executor:
             # clock: expose the clock as its secondary location so
             # DPOR orders it against other time events
             released = self._clock.oid
-        return PendingInfo(
+        info = PendingInfo(
             tid=tid,
             kind=int(op.kind),
             oid=oid,
             key=key,
-            enabled=t.status == _Status.RUNNABLE
+            enabled=status == _Status.RUNNABLE
             and (timed or self._op_enabled(t)),
             released_mutex_oid=released,
             timed=timed,
         )
+        t.pinfo = (op, status, info)
+        return info
 
-    def all_pending_infos(self) -> List[PendingInfo]:
+    def all_pending_infos(
+        self, refresh_enabled: bool = True
+    ) -> List[PendingInfo]:
         self._admit_barriers()
+        pending_info = self.pending_info
         infos = []
         for t in self.threads:
-            info = self.pending_info(t.tid)
+            info = pending_info(t.tid, refresh_enabled)
             if info is not None:
                 infos.append(info)
         return infos
@@ -860,7 +1055,7 @@ class Executor:
         a few scalars.  Requires ``snapshots=True`` at construction (the
         send tapes must have been recorded from step zero).
         """
-        if not self._record:
+        if not self._snapshot_ok:
             raise SchedulerError(
                 "snapshot() requires an executor built with snapshots=True"
             )
@@ -912,6 +1107,33 @@ class Executor:
             self._unfinished,
             frozenset(self._runnable),
             self._static_threads,
+            # restore template: every scalar/immutable executor
+            # attribute, blitted into a restored executor's __dict__ in
+            # one C-level dict update (from_snapshot overwrites the
+            # per-restore values on top)
+            {
+                "program": self.program,
+                "_replay_all_tapes": self._replay_all_tapes,
+                "max_events": self.max_events,
+                "fast_replay": self.fast_replay,
+                "_record": True,
+                "error": self.error,
+                "truncated": self.truncated,
+                "_num_events": self._num_events,
+                "_unfinished": self._unfinished,
+                "_barrier_pending": self._barrier_pending,
+                "_pred_watch": self._pred_watch,
+                "_static_threads": self._static_threads,
+                "_snapshot_ok": True,
+                "engine_name": self.engine.backend,
+                "_enabled_cache": None,
+                "_runnable_sorted": None,
+                "_fx_any": False,
+                "_fx_woken": None,
+                "_fx_parked": False,
+                "_fx_released": None,
+                "_fx_throw": None,
+            },
         )
 
     def fork(self) -> "Executor":
@@ -1053,42 +1275,27 @@ class Executor:
             boot_objects = (
                 len(instance.registry.objects) + snap.static_threads
             )
-        ex.__dict__.update(
-            program=snap.program,
-            _replay_all_tapes=bool(
-                snap.program.metadata.get("replay_finished_threads")
-            ),
-            instance=instance,
-            _boot_objects=boot_objects,
-            engine=engine,
-            engine_name=engine.backend,
-            max_events=snap.max_events,
-            fast_replay=snap.fast_replay,
-            _record=True,
-            _spawn_origin=dict(snap.spawn_origin),
-            trace=list(snap.trace),
-            schedule=list(snap.schedule),
-            threads=[],
-            error=snap.error,
-            guest_failures=list(snap.guest_failures),
-            truncated=snap.truncated,
-            _exit_events=dict(snap.exit_events),
-            _num_events=snap.num_events,
-            _runnable=set(snap.runnable),
-            _runnable_sorted=None,
-            _unfinished=snap.unfinished,
-            _barrier_pending=snap.barrier_pending,
-            _pred_watch=snap.pred_watch,
-            _enabled_cache=None,
-            _fx_any=False,
-            _fx_woken=None,
-            _fx_parked=False,
-            _fx_released=None,
-            _fx_throw=None,
-            _static_threads=snap.static_threads,
-            _clock=instance.clock,
-            _timed_parked=set(),
-        )
+        d = ex.__dict__
+        d.update(snap.restore_fields)
+        replay_all_tapes = d["_replay_all_tapes"]
+        optrie = None
+        if _OPCACHE_ON and not replay_all_tapes:
+            optrie = instance.optrie
+            if optrie is None:
+                optrie = instance.optrie = OpTrie()
+        d["_optrie"] = optrie
+        d["instance"] = instance
+        d["_boot_objects"] = boot_objects
+        d["engine"] = engine
+        d["_clock"] = instance.clock
+        d["threads"] = []
+        d["schedule"] = list(snap.schedule)
+        d["trace"] = list(snap.trace)
+        d["_spawn_origin"] = dict(snap.spawn_origin)
+        d["guest_failures"] = list(snap.guest_failures)
+        d["_exit_events"] = dict(snap.exit_events)
+        d["_runnable"] = set(snap.runnable)
+        d["_timed_parked"] = set()
         registry = ex.instance.registry
         static = ex.instance.threads
         # executed SPAWN ops per fast-forwarded parent, to hand fresh
@@ -1097,17 +1304,25 @@ class Executor:
         # Thread adoption is off for snapshots with dynamic spawns: an
         # adopted parent's live generator cannot re-surrender its SPAWN
         # ops, and a rebuilt child would need them.
+        spawn_origin = snap.spawn_origin
         spawn_ops: Dict[int, List[Op]] = {}
-        adopt = r_threads if not snap.spawn_origin else None
+        adopt = r_threads if not spawn_origin else None
         runnable_status = _Status.RUNNABLE
+        waiting_status = _Status.WAITING
         own_threads = ex.threads
+        own_append = own_threads.append
+        fast_forward = cls._fast_forward
+        objects = registry.objects
+        timed_parked = ex._timed_parked
+        guest_new = _GuestThread.__new__
+        trie_roots = optrie.roots if optrie is not None else None
         for tid, rec in enumerate(snap.thread_records):
             if r_threads is not None:
                 rt = r_threads[tid]
                 if (
                     adopt is not None
-                    and rec.tape is not None
                     and rt.tape is rec.tape
+                    and rec.tape is not None
                     and len(rt.tape) == rec.tape_len
                     and rt.tindex == rec.tindex
                     and rt.status == rec.status
@@ -1126,7 +1341,10 @@ class Executor:
                         if rt.wait_mutex is not None else None
                     ) == rec.wait_mutex_oid
                 ):
-                    own_threads.append(rt)
+                    own_append(rt)
+                    if rec.deadline is not None and \
+                            rec.status == waiting_status:
+                        timed_parked.add(tid)
                     continue
                 handle = rt.handle
             else:
@@ -1134,33 +1352,69 @@ class Executor:
                 # original oid assignment (spawn order is tid order); a
                 # reused instance already carries them at the same oids
                 handle = ThreadHandle(registry, tid)
-            t = _GuestThread.__new__(_GuestThread)
+            t = guest_new(_GuestThread)
             t.tid = tid
             t.name = rec.name
             t.gen = None
             t.handle = handle
-            t.status = rec.status
+            status = t.status = rec.status
             t.tindex = rec.tindex
-            t.resuming = rec.resuming
+            resuming = t.resuming = rec.resuming
             t.exit_recorded = rec.exit_recorded
             t.crashed = rec.crashed
             t.spawn_count = rec.spawn_count
-            t.throw_exc = rec.throw_exc
-            t.deadline = rec.deadline
+            throw_exc = t.throw_exc = rec.throw_exc
+            deadline = t.deadline = rec.deadline
             t.wake_value = rec.wake_value
+            t.trie_node = None
+            t.pinfo = None
             pending: Optional[Op] = None
             if rec.needs_replay:
-                if tid < snap.static_threads:
-                    body, args, _name = static[tid]
-                else:
-                    ptid, ordinal = snap.spawn_origin[tid]
-                    body, args = spawn_ops[ptid][ordinal].arg
-                t.gen = body(ThreadAPI(tid), *args)
-                pending, spawns, t.tape = cls._fast_forward(
-                    t.gen, rec.tape, rec.tape_len, handle,
-                    rec.spawn_count > 0,
+                node = (
+                    trie_roots.get(tid)
+                    if trie_roots is not None
+                    and tid < snap.static_threads else None
                 )
-                spawn_ops[tid] = spawns
+                if node is not None:
+                    # op-cache walk: one dict hop per recorded send
+                    # instead of a generator resume; collects executed
+                    # SPAWN ops exactly like fast-forward does (each
+                    # node's op precedes the send that follows it)
+                    tape = rec.tape
+                    collect = rec.spawn_count > 0
+                    spawns = []
+                    for i in range(rec.tape_len):
+                        if collect and node[0].kind is _SPAWN:
+                            spawns.append(node[0])
+                        children = node[1]
+                        child = None
+                        if children is not None:
+                            k = trie_key(tape[i])
+                            if k is not UNKEYABLE:
+                                child = children.get(k)
+                        if child is None:
+                            node = None
+                            break
+                        node = child
+                if node is not None:
+                    pending = node[0]
+                    t.tape = rec.tape[:rec.tape_len]
+                    t.trie_node = node
+                    if spawn_origin:
+                        spawn_ops[tid] = spawns
+                else:
+                    if tid < snap.static_threads:
+                        body, args, _name = static[tid]
+                    else:
+                        ptid, ordinal = spawn_origin[tid]
+                        body, args = spawn_ops[ptid][ordinal].arg
+                    t.gen = body(_thread_api(tid), *args)
+                    pending, spawns, t.tape = fast_forward(
+                        t.gen, rec.tape, rec.tape_len, handle,
+                        rec.spawn_count > 0,
+                    )
+                    if spawn_origin:
+                        spawn_ops[tid] = spawns
             else:
                 # finished, spawned nothing: the generator is dead
                 # weight and the tape is never replayed again
@@ -1170,26 +1424,28 @@ class Executor:
             # empty registry until the creating thread's tape replays,
             # and the setup-phase rule puts every creation on a tid no
             # greater than any waiter's
-            t.wait_mutex = (
-                registry.objects[rec.wait_mutex_oid]
+            wait_mutex = t.wait_mutex = (
+                objects[rec.wait_mutex_oid]
                 if rec.wait_mutex_oid is not None else None
             )
             t.parked_on = (
-                registry.objects[rec.parked_on_oid]
+                objects[rec.parked_on_oid]
                 if rec.parked_on_oid is not None else None
             )
-            if t.status != runnable_status:
+            if status != runnable_status:
                 t.pending = None          # finished, or parked on a CV
-            elif t.resuming:
+                if deadline is not None and status == waiting_status:
+                    timed_parked.add(tid)
+            elif resuming:
                 # the synthesized post-notify re-acquire of the wait
                 # mutex (never a generator yield)
-                t.pending = Op(OpKind.LOCK, t.wait_mutex)
-            elif rec.throw_exc is not None:
+                t.pending = Op(_LOCK, wait_mutex)
+            elif throw_exc is not None:
                 # crashed by fx_throw, EXIT not yet executed: the
                 # pending EXIT is resynthesized from the recorded error
                 # (the rebuilt generator, if any, stays at its final
                 # yield and is never resumed)
-                t.pending = Op(OpKind.EXIT, t.handle, rec.throw_exc)
+                t.pending = Op(_EXIT, handle, throw_exc)
             else:
                 if (
                     pending is not None
@@ -1202,8 +1458,7 @@ class Executor:
                     # clock (the deadline is restored from the record)
                     pending.target = instance.clock
                 t.pending = pending
-            ex.threads.append(t)
-        objects = registry.objects
+            own_append(t)
         if len(objects) != len(snap.object_states):
             raise SchedulerError(
                 f"snapshot/registry mismatch: {len(snap.object_states)} "
@@ -1211,11 +1466,7 @@ class Executor:
             )
         for obj, state in zip(objects, snap.object_states):
             obj.restore_state(state)
-        ex._timed_parked = {
-            t.tid for t in ex.threads
-            if t.deadline is not None and t.status == _Status.WAITING
-        }
-        if ex.fast_replay and ex.engine.backend == "accel":
+        if ex.fast_replay and ex.engine.backend in _SPECIALIZED_BACKENDS:
             install_specialized_step(ex)
         return ex
 

@@ -144,6 +144,10 @@ class ProgramInstance:
     #: the per-program virtual clock (registered after the program's
     #: own objects, so declaration-order oids are unaffected)
     clock: ClockObject
+    #: lazily-installed op-stream cache (:class:`~repro.runtime.optrie
+    #: .OpTrie`); owned by this instance because cached ops close over
+    #: its shared objects
+    optrie: Any = field(default=None, repr=False, compare=False)
 
 
 @dataclass(frozen=True)

@@ -40,12 +40,12 @@ exploration-level cache that holds them is
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from ..core.hb import DualClockEngine
 
 
-class ThreadRecord:
+class ThreadRecord(NamedTuple):
     """Frozen per-thread state inside an :class:`ExecutorSnapshot`.
 
     ``tape`` is the thread's **live** send-value list, shared with the
@@ -58,49 +58,28 @@ class ThreadRecord:
     error (``throw_exc``): the injected error is recorded here instead
     of on the tape, and a restore resynthesizes the pending EXIT from
     it rather than re-throwing into a rebuilt generator.
+
+    A named tuple rather than a slotted class: explorers build a few
+    of these per branch point on the snapshot hot path, and tuple
+    construction runs at C speed.
     """
 
-    __slots__ = (
-        "name", "status", "tindex", "resuming", "exit_recorded",
-        "crashed", "wait_mutex_oid", "tape", "tape_len", "spawn_count",
-        "needs_replay", "throw_exc", "deadline", "wake_value",
-        "parked_on_oid",
-    )
-
-    def __init__(
-        self,
-        name: str,
-        status: int,
-        tindex: int,
-        resuming: bool,
-        exit_recorded: bool,
-        crashed: bool,
-        wait_mutex_oid: Optional[int],
-        tape: List[Any],
-        tape_len: int,
-        spawn_count: int,
-        needs_replay: bool,
-        throw_exc: Optional[Exception] = None,
-        deadline: Optional[int] = None,
-        wake_value: Optional[bool] = None,
-        parked_on_oid: Optional[int] = None,
-    ) -> None:
-        self.name = name
-        self.status = status
-        self.tindex = tindex
-        self.resuming = resuming
-        self.exit_recorded = exit_recorded
-        self.crashed = crashed
-        self.wait_mutex_oid = wait_mutex_oid
-        self.tape = tape
-        self.tape_len = tape_len
-        self.spawn_count = spawn_count
-        self.needs_replay = needs_replay
-        self.throw_exc = throw_exc
-        # virtual-time state of a timed op/park (see executor)
-        self.deadline = deadline
-        self.wake_value = wake_value
-        self.parked_on_oid = parked_on_oid
+    name: str
+    status: int
+    tindex: int
+    resuming: bool
+    exit_recorded: bool
+    crashed: bool
+    wait_mutex_oid: Optional[int]
+    tape: Optional[List[Any]]
+    tape_len: int
+    spawn_count: int
+    needs_replay: bool
+    throw_exc: Optional[Exception] = None
+    # virtual-time state of a timed op/park (see executor)
+    deadline: Optional[int] = None
+    wake_value: Optional[bool] = None
+    parked_on_oid: Optional[int] = None
 
 
 class ExecutorSnapshot:
@@ -116,7 +95,7 @@ class ExecutorSnapshot:
         "truncated", "error", "guest_failures", "trace", "exit_events",
         "thread_records", "spawn_origin", "object_states", "engine",
         "barrier_pending", "pred_watch", "unfinished", "runnable",
-        "static_threads", "approx_bytes",
+        "static_threads", "restore_fields", "_approx_bytes",
     )
 
     def __init__(
@@ -140,6 +119,7 @@ class ExecutorSnapshot:
         unfinished: int,
         runnable: frozenset,
         static_threads: int,
+        restore_fields: Dict[str, Any],
     ) -> None:
         self.program = program
         self.max_events = max_events
@@ -160,12 +140,27 @@ class ExecutorSnapshot:
         self.unfinished = unfinished
         self.runnable = runnable
         self.static_threads = static_threads
-        self.approx_bytes = self._estimate_bytes()
+        #: the scalar/shared executor attributes this snapshot pins,
+        #: prebuilt as a dict so a restore is one C-level
+        #: ``__dict__.update`` plus the handful of per-restore values
+        #: (instance, engine fork, mutable-container copies)
+        self.restore_fields = restore_fields
+        self._approx_bytes: Optional[int] = None
 
     @property
     def depth(self) -> int:
         """Schedule position this snapshot was taken at."""
         return len(self.schedule)
+
+    @property
+    def approx_bytes(self) -> int:
+        """Rough resident size, computed lazily: only the snapshot
+        tree's budget accounting reads it, and transient snapshots
+        (:meth:`Executor.fork`) never pay for the estimate."""
+        n = self._approx_bytes
+        if n is None:
+            n = self._approx_bytes = self._estimate_bytes()
+        return n
 
     def _estimate_bytes(self) -> int:
         """Rough resident size, for the snapshot tree's memory budget.

@@ -211,9 +211,14 @@ def _specialized_step(self, tid, trusted=False):
         else:
             t.deadline = None  # the base operation won
 
-    clock, lazy_clock = self.engine.observe(
-        tid, kind, oid, key, released_mutex_oid
-    )
+    if spawned is None and not woken:
+        # nobody consumes the published snapshots: the no-return
+        # variant lets the compiled kernel skip materialising them
+        self.engine.observe_fast(tid, kind, oid, key, released_mutex_oid)
+    else:
+        clock, lazy_clock = self.engine.observe(
+            tid, kind, oid, key, released_mutex_oid
+        )
     t.tindex += 1
     self._num_events += 1
     self.schedule.append(tid)

@@ -1,0 +1,79 @@
+"""Dispatch-overhead regression pin for the replay hot path.
+
+The engine-backend work (specialized step loop, fused
+``observe_fast``, op-stream memoisation, restore templates) is about
+removing Python-level dispatch from the per-event replay path.  This
+test pins that property so it cannot silently regress: a reference
+dfs cell is explored under ``cProfile`` (which counts every
+Python-level call through the same hook family as
+``sys.setprofile``) and the number of primitive calls per
+replayed event must stay under a fixed ceiling.
+
+The ceiling is deliberately generous (~40% headroom over the measured
+value) so it only trips on structural regressions — a new per-event
+Python callback, an accidentally disabled fast path — not on noise.
+Call counts, unlike wall-clock time, are machine-independent, which
+is what makes this pin viable in CI.
+"""
+
+import cProfile
+import pstats
+
+import pytest
+
+from repro.explore.base import ExplorationLimits
+from repro.explore.controller import make_explorer
+from repro.core.engines import native_compiled
+from repro.suite import REGISTRY
+
+#: calls/event ceilings per backend, measured at ~24.4 (ref) and
+#: ~20.7 (native) on the commit that introduced this test
+CALLS_PER_EVENT_CEILING = {"ref": 35.0, "native": 30.0}
+
+#: the reference cell: small enough to explore exhaustively in
+#: milliseconds, hot enough that per-event costs dominate
+PROGRAM = "racy_counter_t3_k1"
+MAX_SCHEDULES = 500
+
+
+def _calls_per_event(engine: str) -> float:
+    program = {b.name: b for b in REGISTRY.values()}[PROGRAM].program
+    explorer = make_explorer(
+        "dfs", program, ExplorationLimits(max_schedules=MAX_SCHEDULES),
+        engine=engine,
+    )
+    profile = cProfile.Profile()
+    profile.enable()
+    stats = explorer.run()
+    profile.disable()
+    assert stats.num_events > 0
+    prim_calls = pstats.Stats(profile).prim_calls
+    return prim_calls / stats.num_events
+
+
+def test_ref_engine_dispatch_overhead_pinned():
+    ratio = _calls_per_event("ref")
+    assert ratio <= CALLS_PER_EVENT_CEILING["ref"], (
+        f"replay dispatch overhead regressed: {ratio:.1f} Python-level "
+        f"calls per replayed event on the reference dfs cell "
+        f"(ceiling {CALLS_PER_EVENT_CEILING['ref']})"
+    )
+
+
+@pytest.mark.skipif(not native_compiled(),
+                    reason="native extension not compiled")
+def test_native_engine_dispatch_overhead_pinned():
+    ratio = _calls_per_event("native")
+    assert ratio <= CALLS_PER_EVENT_CEILING["native"], (
+        f"native replay dispatch overhead regressed: {ratio:.1f} "
+        f"Python-level calls per replayed event "
+        f"(ceiling {CALLS_PER_EVENT_CEILING['native']})"
+    )
+
+
+@pytest.mark.skipif(not native_compiled(),
+                    reason="native extension not compiled")
+def test_native_dispatches_less_than_ref():
+    # the compiled engine must actually remove Python-level work from
+    # the hot loop, not just shuffle it around
+    assert _calls_per_event("native") < _calls_per_event("ref")

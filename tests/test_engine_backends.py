@@ -1,13 +1,15 @@
-"""The engine backend registry and ref/accel byte-identity.
+"""The engine backend registry and ref/accel/native byte-identity.
 
 Three layers of assurance:
 
 * registry unit tests — resolution precedence (explicit > environment >
-  auto), the mode-aware auto pick, and loud failures on misconfiguration;
-* a hypothesis property driving the reference and accelerated engines
-  through identical random operation sequences — spawn edges, release
-  edges, engine forks included — and comparing every published clock
-  snapshot, fingerprint and dominance outcome event by event;
+  auto), the compiled-artifact-aware auto pick, and loud failures on
+  misconfiguration;
+* a hypothesis property driving the reference, accelerated and native
+  engines (the compiled kernel too, when built) through identical
+  random operation sequences — spawn edges, release edges, engine forks
+  included — and comparing every published clock snapshot, fingerprint
+  and dominance outcome event by event;
 * subprocess tests proving ``REPRO_ENGINE`` actually steers a fresh
   interpreter (the escape hatch the docs promise).
 """
@@ -26,42 +28,63 @@ from repro.core.engines import (
     available_backends,
     backend_names,
     create_clock_engine,
+    native_compiled,
     register_backend,
     resolve_engine,
 )
 from repro.core.events import OpKind
 from repro.core.hb import DualClockEngine
 from repro.core.hb_accel import AccelClockEngine
+from repro.core.hb_native import (
+    NATIVE_COMPILED,
+    NativeClockEngine,
+    PyNativeClockEngine,
+)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+def _fresh_engines():
+    """One instance of every engine implementation under test: the
+    reference, the accelerated, the pure native twin — and the compiled
+    kernel when the artifact is built.  Index 0 is the reference."""
+    engines = [DualClockEngine(), AccelClockEngine(), PyNativeClockEngine()]
+    if NATIVE_COMPILED:
+        engines.append(NativeClockEngine())
+    return engines
+
+
 class TestRegistry:
     def test_backends_registered(self):
-        assert backend_names() == ("ref", "accel")
-        # both ship with the package; accel has a stdlib-only fallback
-        # so it is importable even without numpy
-        assert set(available_backends()) == {"ref", "accel"}
+        assert backend_names() == ("ref", "accel", "native")
+        # all three ship with the package; accel has a stdlib-only
+        # fallback and native a pure-Python twin, so every backend is
+        # importable even without numpy or a C toolchain
+        assert set(available_backends()) == {"ref", "accel", "native"}
 
     def test_explicit_name_beats_environment(self, monkeypatch):
         monkeypatch.setenv(ENGINE_ENV, "accel")
         assert resolve_engine("ref") == "ref"
         monkeypatch.setenv(ENGINE_ENV, "ref")
         assert resolve_engine("accel") == "accel"
+        monkeypatch.setenv(ENGINE_ENV, "ref")
+        assert resolve_engine("native") == "native"
 
     def test_environment_beats_auto(self, monkeypatch):
-        # env forces accel everywhere, including where auto picks ref
+        # env forces accel everywhere, whatever auto would have picked
         monkeypatch.setenv(ENGINE_ENV, "accel")
         assert resolve_engine(None, fast_replay=True) == "accel"
         assert resolve_engine(None, fast_replay=False) == "accel"
 
-    def test_auto_defaults_to_reference(self, monkeypatch):
-        # the measured-fastest backend at suite thread counts, in both
-        # executor modes (see engines.py module docstring)
+    def test_auto_tracks_compiled_artifact(self, monkeypatch):
+        # auto picks the compiled native kernel when the artifact is
+        # built, and the measured-fastest pure backend (ref) when not —
+        # never the uncompiled native twin (see engines.py docstring)
         monkeypatch.delenv(ENGINE_ENV, raising=False)
+        expected = "native" if native_compiled() else "ref"
         for fast_replay in (True, False):
-            assert resolve_engine(None, fast_replay=fast_replay) == "ref"
-            assert resolve_engine("auto", fast_replay=fast_replay) == "ref"
+            assert resolve_engine(None, fast_replay=fast_replay) == expected
+            assert resolve_engine("auto", fast_replay=fast_replay) == expected
 
     def test_unknown_engine_is_loud(self):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -79,20 +102,31 @@ class TestRegistry:
         assert create_clock_engine("ref").backend == "ref"
         assert create_clock_engine("accel").backend == "accel"
         assert isinstance(create_clock_engine("accel"), AccelClockEngine)
+        native = create_clock_engine("native")
+        assert native.backend == "native"
+        assert native.compiled == NATIVE_COMPILED
 
     def test_canonical_always_reference(self):
         # canonical HBR forms are theorem-checker machinery; only the
         # reference engine carries them
-        engine = create_clock_engine("accel", canonical=True)
-        assert isinstance(engine, DualClockEngine)
-        assert engine.backend == "ref"
+        for name in ("accel", "native"):
+            engine = create_clock_engine(name, canonical=True)
+            assert isinstance(engine, DualClockEngine)
+            assert engine.backend == "ref"
+
+    def test_native_canonical_accessors_raise(self):
+        engine = create_clock_engine("native")
+        with pytest.raises(ValueError, match="canonical"):
+            engine.canonical_hbr()
+        with pytest.raises(ValueError, match="canonical"):
+            engine.canonical_lazy_hbr()
 
 
 # -- the hypothesis property -------------------------------------------
 
 #: Kinds the property exercises: data ops (both dominance branches),
 #: mutex ops (lazy side must skip them) and the channel kinds (tuple
-#: keys exercise the accel engine's keyed location tables).
+#: keys exercise the keyed location tables of accel and native).
 _KINDS = (
     OpKind.READ, OpKind.WRITE, OpKind.RMW,
     OpKind.LOCK, OpKind.UNLOCK,
@@ -119,103 +153,113 @@ def _steps(nthreads):
 
 
 class TestObserveEquivalence:
-    """ref and accel must agree on every observable, event by event."""
+    """Every engine must agree with the reference on every observable,
+    event by event."""
 
-    def _compare(self, ref, acc, nthreads):
-        assert ref.hbr_fingerprint() == acc.hbr_fingerprint()
-        assert ref.lazy_fingerprint() == acc.lazy_fingerprint()
-        for t in range(nthreads):
-            for lazy in (False, True):
-                assert (list(ref.thread_clock_raw(t, lazy))
-                        == list(acc.thread_clock_raw(t, lazy))), (t, lazy)
+    def _compare(self, engines, nthreads):
+        ref = engines[0]
+        for other in engines[1:]:
+            label = type(other).__name__
+            assert ref.hbr_fingerprint() == other.hbr_fingerprint(), label
+            assert ref.lazy_fingerprint() == other.lazy_fingerprint(), label
+            for t in range(nthreads):
+                for lazy in (False, True):
+                    assert (
+                        list(ref.thread_clock_raw(t, lazy))
+                        == list(other.thread_clock_raw(t, lazy))
+                    ), (label, t, lazy)
 
     @settings(max_examples=60, deadline=None)
     @given(st.data())
     def test_random_sequences(self, data):
         nthreads = data.draw(st.integers(2, 5))
         steps = data.draw(_steps(nthreads))
-        ref = DualClockEngine()
-        acc = AccelClockEngine()
-        for e in (ref, acc):
+        engines = _fresh_engines()
+        for e in engines:
             e.reserve(nthreads)
         last_snap = {}
         for step in steps:
             if step[0] == "observe":
                 _, tid, kind, oid, key = step
-                r = ref.observe(tid, int(kind), oid, key)
-                a = acc.observe(tid, int(kind), oid, key)
-                assert r == a, step
-                last_snap[tid] = r
+                snaps = [e.observe(tid, int(kind), oid, key)
+                         for e in engines]
+                assert all(s == snaps[0] for s in snaps), step
+                last_snap[tid] = snaps[0]
             elif step[0] == "wait":
                 _, tid, moid = step
-                r = ref.observe(tid, int(OpKind.WAIT), moid + 10, None,
-                                released_mutex_oid=moid)
-                a = acc.observe(tid, int(OpKind.WAIT), moid + 10, None,
-                                released_mutex_oid=moid)
-                assert r == a, step
-                last_snap[tid] = r
+                snaps = [
+                    e.observe(tid, int(OpKind.WAIT), moid + 10, None,
+                              released_mutex_oid=moid)
+                    for e in engines
+                ]
+                assert all(s == snaps[0] for s in snaps), step
+                last_snap[tid] = snaps[0]
             elif step[0] == "release":
                 _, src, dst = step
                 snap = last_snap.get(src)
                 if snap is None:
                     continue
-                ref.add_release_edge_clocks(snap[0], snap[1], dst)
-                acc.add_release_edge_clocks(snap[0], snap[1], dst)
+                for e in engines:
+                    e.add_release_edge_clocks(snap[0], snap[1], dst)
             elif step[0] == "spawn":
                 _, parent, child = step
                 snap = last_snap.get(parent)
                 if snap is None:
                     continue
-                ref.register_thread_clocks(child, snap[0], snap[1])
-                acc.register_thread_clocks(child, snap[0], snap[1])
+                for e in engines:
+                    e.register_thread_clocks(child, snap[0], snap[1])
             else:  # fork: continue on the copies — copy-on-publish must
                 # not let the child alias the parent's published rows
-                ref, acc = ref.fork(), acc.fork()
-            self._compare(ref, acc, nthreads)
+                engines = [e.fork() for e in engines]
+            self._compare(engines, nthreads)
 
     @settings(max_examples=20, deadline=None)
     @given(st.data())
     def test_fork_isolation(self, data):
-        """Mutating a fork never leaks into the parent (either engine)."""
+        """Mutating a fork never leaks into the parent (any engine)."""
         nthreads = 3
-        ref = DualClockEngine()
-        acc = AccelClockEngine()
-        for e in (ref, acc):
+        engines = _fresh_engines()
+        for e in engines:
             e.reserve(nthreads)
         warm = data.draw(_steps(nthreads))
         for step in warm:
             if step[0] == "observe":
                 _, tid, kind, oid, key = step
-                ref.observe(tid, int(kind), oid, key)
-                acc.observe(tid, int(kind), oid, key)
-        rfork, afork = ref.fork(), acc.fork()
+                for e in engines:
+                    e.observe(tid, int(kind), oid, key)
+        forks = [e.fork() for e in engines]
+        ref = engines[0]
         before = (ref.hbr_fingerprint(), ref.lazy_fingerprint())
         for tid in range(nthreads):
-            rfork.observe(tid, int(OpKind.WRITE), 0, None)
-            afork.observe(tid, int(OpKind.WRITE), 0, None)
+            for f in forks:
+                f.observe(tid, int(OpKind.WRITE), 0, None)
         assert (ref.hbr_fingerprint(), ref.lazy_fingerprint()) == before
-        assert acc.hbr_fingerprint() == ref.hbr_fingerprint()
-        assert afork.hbr_fingerprint() == rfork.hbr_fingerprint()
-        assert afork.lazy_fingerprint() == rfork.lazy_fingerprint()
+        rfork = forks[0]
+        for parent, fork in zip(engines[1:], forks[1:]):
+            assert parent.hbr_fingerprint() == ref.hbr_fingerprint()
+            assert fork.hbr_fingerprint() == rfork.hbr_fingerprint()
+            assert fork.lazy_fingerprint() == rfork.lazy_fingerprint()
 
     def test_wide_clocks_hit_bulk_join_path(self):
         """40 threads crosses the numpy bulk-join threshold (when numpy
-        is present); the outcome must not depend on which join ran."""
+        is present) and every flat engine's row-growth path; the
+        outcome must not depend on which join ran."""
         nthreads = 40
-        ref = DualClockEngine()
-        acc = AccelClockEngine()
-        for e in (ref, acc):
+        engines = _fresh_engines()
+        for e in engines:
             e.reserve(nthreads)
+        ref = engines[0]
         for round_no in range(3):
             for tid in range(nthreads):
                 kind = _KINDS[(tid + round_no) % len(_KINDS)]
                 key = None if tid % 3 else "wide"
-                r = ref.observe(tid, int(kind), tid % 5, key)
-                a = acc.observe(tid, int(kind), tid % 5, key)
-                assert r == a, (round_no, tid)
-        assert ref.hbr_fingerprint() == acc.hbr_fingerprint()
-        assert ref.lazy_fingerprint() == acc.lazy_fingerprint()
-        assert ref.table_stats() == acc.table_stats()
+                snaps = [e.observe(tid, int(kind), tid % 5, key)
+                         for e in engines]
+                assert all(s == snaps[0] for s in snaps), (round_no, tid)
+        for other in engines[1:]:
+            assert ref.hbr_fingerprint() == other.hbr_fingerprint()
+            assert ref.lazy_fingerprint() == other.lazy_fingerprint()
+            assert ref.table_stats() == other.table_stats()
 
 
 class TestEnvSteering:
@@ -241,9 +285,14 @@ class TestEnvSteering:
         return proc.stdout.split()
 
     def test_ref_env_forces_fallback(self):
-        # even on the fast-replay path, where accel is importable and
-        # auto would have picked it
+        # even on the fast-replay path, where auto may pick a faster
+        # backend
         assert self._run("ref", True) == ["ref", "ref"]
 
     def test_accel_env_forces_accel_everywhere(self):
         assert self._run("accel", False) == ["accel", "accel"]
+
+    def test_native_env_forces_native_everywhere(self):
+        # compiled or not: the name always resolves (pure twin fallback)
+        assert self._run("native", True) == ["native", "native"]
+        assert self._run("native", False) == ["native", "native"]

@@ -129,6 +129,19 @@ class TestRunBench:
         assert case["events_per_sec"] > case["schedules_per_sec"]
         assert case["iterations"] >= 1
 
+    def test_iteration_floor(self):
+        # regression: slow cells used to calibrate to as few as two
+        # iterations (dfs/bounded_buffer_pc2), letting one scheduler
+        # hiccup poison half the best-of sample; every measurement now
+        # runs at least MIN_ITERATIONS iterations even when min_time
+        # has already elapsed
+        from repro.perf.bench import MIN_ITERATIONS
+
+        assert MIN_ITERATIONS >= 3
+        report = run_bench(cases=["dfs/racy_counter"], **TINY)
+        assert (report["cases"]["dfs/racy_counter"]["iterations"]
+                >= MIN_ITERATIONS)
+
     def test_unknown_case_rejected(self):
         with pytest.raises(KeyError):
             run_bench(cases=["nope/nothing"], **TINY)
@@ -141,14 +154,38 @@ class TestRunBench:
         assert len({c.bench_id for c in CASES}) >= 3
 
     def test_engine_recorded_in_every_case_row(self, monkeypatch):
+        from repro.core.engines import backend_names, native_compiled
+
         monkeypatch.delenv("REPRO_ENGINE", raising=False)
         report = run_bench(cases=["dfs/racy_counter", "dpor/racy_counter"],
                            **TINY)
         assert report["meta"]["engine"] == "auto"
         for row in report["cases"].values():
-            assert row["engine"] in ("ref", "accel")
-        # auto currently resolves to the reference backend everywhere
-        assert report["cases"]["dpor/racy_counter"]["engine"] == "ref"
+            assert row["engine"] in backend_names()
+            # every row carries the provenance of the backend it ran on
+            prov = row["provenance"]
+            assert isinstance(prov["compiled"], bool)
+            assert prov["python"]
+        # auto resolves to the compiled native kernel when built, the
+        # reference backend otherwise
+        expected = "native" if native_compiled() else "ref"
+        assert report["cases"]["dpor/racy_counter"]["engine"] == expected
+
+    def test_provenance_warnings_on_mismatch(self):
+        from repro.perf.bench import provenance_warnings
+
+        current = run_bench(cases=["dfs/racy_counter"], **TINY)
+        same = provenance_warnings(current, current)
+        assert same == []
+        flipped = json.loads(json.dumps(current))
+        row = flipped["cases"]["dfs/racy_counter"]
+        row["provenance"]["compiled"] = not row["provenance"]["compiled"]
+        warned = provenance_warnings(current, flipped)
+        assert len(warned) == 1 and "provenance differs" in warned[0]
+        # a baseline predating provenance recording warns too
+        del row["provenance"]
+        warned = provenance_warnings(current, flipped)
+        assert len(warned) == 1 and "predates provenance" in warned[0]
 
     def test_explicit_engine_pins_every_case(self):
         report = run_bench(cases=["dfs/racy_counter", "dpor/racy_counter"],
@@ -159,19 +196,27 @@ class TestRunBench:
 
 class TestEngineAB:
     def test_ab_report_shape_and_equivalence(self):
+        from repro.core.engines import backend_names
+
         report = run_engine_ab(cases=["dfs/racy_counter"], **TINY)
         assert report["meta"]["kind"] == AB_REPORT_KIND
-        assert report["meta"]["engines"] == ["ref", "accel"]
+        # every registered backend is measured, not a hardcoded pair
+        assert report["meta"]["engines"] == list(backend_names())
+        assert set(report["meta"]["provenance"]) == set(backend_names())
         case = report["cases"]["dfs/racy_counter"]
         assert case["equivalent"] is True
-        assert case["ref"]["engine"] == "ref"
-        assert case["accel"]["engine"] == "accel"
-        assert case["accel_speedup"] == pytest.approx(
-            case["accel"]["schedules_per_sec"]
-            / case["ref"]["schedules_per_sec"]
-        )
+        for name in backend_names():
+            assert case[name]["engine"] == name
+            assert case[name]["schedules_per_sec"] > 0
+        ref_rate = case["ref"]["schedules_per_sec"]
+        for name, ratio in case["speedups"].items():
+            assert ratio == pytest.approx(
+                case[name]["schedules_per_sec"] / ref_rate
+            )
+        assert case["accel_speedup"] == case["speedups"]["accel"]
         table = ab_table(report)
         assert "dfs/racy_counter" in table and "accel speedup" in table
+        assert "native sched/s" in table and "native speedup" in table
 
     def test_ab_cli(self, tmp_path, capsys):
         from repro.__main__ import main
@@ -255,9 +300,11 @@ class TestCommittedBaseline:
         baseline = load_report(os.path.join(REPO_ROOT,
                                             "BENCH_baseline.json"))
         assert set(baseline["cases"]) == set(case_names())
-        # every case row is self-describing about its backend
+        # every case row is self-describing about its backend and how
+        # that backend was built
         for name, row in baseline["cases"].items():
-            assert row["engine"] in ("ref", "accel"), name
+            assert row["engine"] in ("ref", "accel", "native"), name
+            assert "provenance" in row, name
         pre = baseline["pre_pr"]
         assert pre["commit"]
         # the engine PR's regression guard, pinned as a test: the

@@ -70,6 +70,71 @@ def test_equivalence_report_shape():
 
 
 # ---------------------------------------------------------------------------
+# the same twin identity, per clock-engine backend
+# ---------------------------------------------------------------------------
+#
+# The shim pipeline must stay byte-identical to its DSL twin no matter
+# which backend replays it, and each twin's exploration signature must
+# itself be backend-invariant.  ``accel`` is always importable;
+# ``native`` only runs where the compiled artifact exists (the same
+# machines the `auto` policy would select it on).
+
+from repro.core.engines import native_compiled  # noqa: E402
+from repro.runtime.executor import Executor  # noqa: E402
+from repro.runtime.schedule import execute  # noqa: E402
+
+ENGINES = ("ref", "accel") + (("native",) if native_compiled() else ())
+ENGINE_LIM = ExplorationLimits(max_schedules=600)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("pair", TWINS, ids=[p.name for p in TWINS])
+def test_twins_byte_identical_per_engine(pair, engine, monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", engine)
+    shim_sig = _explorer_signature(pair.shim, "dfs", ENGINE_LIM)
+    dsl_sig = _explorer_signature(pair.dsl, "dfs", ENGINE_LIM)
+    assert shim_sig == dsl_sig
+
+
+@pytest.mark.parametrize("pair", TWINS, ids=[p.name for p in TWINS])
+def test_twin_signature_engine_invariant(pair, monkeypatch):
+    sigs = {}
+    for engine in ENGINES:
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        sigs[engine] = _explorer_signature(pair.shim, "dpor", ENGINE_LIM)
+    base = sigs["ref"]
+    for engine, sig in sigs.items():
+        assert sig == base, f"engine {engine} diverges from ref"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("pair", TWINS, ids=[p.name for p in TWINS])
+def test_twin_mid_schedule_snapshot_round_trip(pair, engine, monkeypatch):
+    """Snapshot a shim twin mid-schedule on each backend and finish it
+    from the restore: the restored run must be indistinguishable from
+    the uninterrupted one — same fingerprints, state hash, error."""
+    monkeypatch.setenv("REPRO_ENGINE", engine)
+    full = execute(pair.shim)
+    sched = list(full.schedule)
+    cut = len(sched) // 2
+
+    ex = Executor(pair.shim, snapshots=True)
+    ex.replay_prefix(sched[:cut])
+    restored = Executor.from_snapshot(ex.snapshot())
+    assert restored.engine.backend == ex.engine.backend
+    for tid in sched[cut:]:
+        assert restored.enabled() == ex.enabled()
+        restored.step(tid)
+        ex.step(tid)
+    ra, rb = restored.finish(), ex.finish()
+    assert (ra.hbr_fp, ra.lazy_fp, ra.state_hash, ra.num_events) == \
+           (rb.hbr_fp, rb.lazy_fp, rb.state_hash, rb.num_events)
+    assert ra.hbr_fp == full.hbr_fp
+    assert ra.state_hash == full.state_hash
+    assert type(ra.error).__name__ == type(rb.error).__name__
+
+
+# ---------------------------------------------------------------------------
 # randomized soundness: DFS-exhaustive == DPOR on small shim programs
 # ---------------------------------------------------------------------------
 
